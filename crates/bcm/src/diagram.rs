@@ -1,0 +1,151 @@
+//! ASCII space–time diagrams of runs, in the style of the paper's figures.
+//!
+//! Each process gets one row; columns are time ticks. Markers:
+//! `o` a basic node, `E` a node receiving an external input, letters for
+//! actions (first letter of the action name, uppercased). A message table
+//! below the grid lists sends/deliveries.
+
+use std::fmt::Write as _;
+
+use crate::run::Run;
+use crate::time::Time;
+
+/// Renders the whole run (up to its horizon).
+pub fn render(run: &Run) -> String {
+    render_window(run, Time::ZERO, run.horizon())
+}
+
+/// Renders the time window `[from, to]` of the run.
+///
+/// # Panics
+///
+/// Panics if `from > to`.
+pub fn render_window(run: &Run, from: Time, to: Time) -> String {
+    assert!(from <= to, "empty diagram window");
+    let net = run.context().network();
+    let width = (to - from) as usize + 1;
+    let name_w = net
+        .processes()
+        .map(|p| net.name(p).len())
+        .max()
+        .unwrap_or(1)
+        .max(4);
+    let mut out = String::new();
+
+    // Time ruler (every 5 ticks).
+    let _ = write!(out, "{:name_w$} ", "time");
+    for col in 0..width {
+        let t = from.ticks() + col as u64;
+        if t % 5 == 0 {
+            let s = t.to_string();
+            let _ = write!(out, "{}", s.chars().next().unwrap());
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+
+    for p in net.processes() {
+        let _ = write!(out, "{:name_w$} ", net.name(p));
+        let mut row = vec!['-'; width];
+        for rec in run.timeline(p) {
+            if rec.time() < from || rec.time() > to {
+                continue;
+            }
+            let col = (rec.time() - from) as usize;
+            let mut marker = 'o';
+            if rec
+                .receipts()
+                .iter()
+                .any(|r| r.external().is_some())
+            {
+                marker = 'E';
+            }
+            if let Some(a) = rec.actions().first() {
+                marker = a
+                    .name()
+                    .chars()
+                    .next()
+                    .unwrap_or('*')
+                    .to_ascii_uppercase();
+            }
+            row[col] = marker;
+        }
+        out.extend(row);
+        out.push('\n');
+    }
+
+    // Message table.
+    out.push('\n');
+    for m in run.messages() {
+        if m.sent_at() > to || m.sent_at() < from {
+            continue;
+        }
+        let src_name = net.name(m.channel().from);
+        let dst_name = net.name(m.channel().to);
+        match m.delivery() {
+            Some(d) => {
+                let _ = writeln!(
+                    out,
+                    "  {}: {src_name}@{} -> {dst_name}@{}",
+                    m.id(),
+                    m.sent_at(),
+                    d.time
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {}: {src_name}@{} -> {dst_name} (in transit, due {})",
+                    m.id(),
+                    m.sent_at(),
+                    m.scheduled_at()
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Network, ProcessId};
+    use crate::protocols::ScriptedActions;
+    use crate::scheduler::EagerScheduler;
+    use crate::sim::{SimConfig, Simulator};
+
+    #[test]
+    fn renders_nodes_actions_and_messages() {
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        b.add_bidirectional(c, a, 2, 4).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(12)));
+        sim.external(Time::new(1), c, "go");
+        let mut script = ScriptedActions::new();
+        script.on_external(c, "go", "go");
+        let run = sim.run(&mut script, &mut EagerScheduler).unwrap();
+        let s = render(&run);
+        assert!(s.contains("C "));
+        assert!(s.contains("A "));
+        assert!(s.contains("G")); // the action marker at C's go node
+        assert!(s.contains("m0"));
+        assert!(s.contains("->"));
+        // Window rendering works too and is smaller.
+        let w = render_window(&run, Time::new(0), Time::new(3));
+        assert!(w.len() < s.len());
+        let _ = ProcessId::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty diagram window")]
+    fn bad_window_panics() {
+        let mut b = Network::builder();
+        let _ = b.add_process("X");
+        let ctx = b.build().unwrap();
+        let run = Run::skeleton(ctx, Time::new(3));
+        let _ = render_window(&run, Time::new(2), Time::new(1));
+    }
+}

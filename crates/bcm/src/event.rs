@@ -1,0 +1,95 @@
+//! Events observed by processes: message receipts and local actions.
+//!
+//! A process's local state is its initial state followed by the sequence of
+//! events it has observed (paper §2.1); in this implementation that history
+//! is spread over the [`crate::run::NodeRecord`]s of its timeline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::{ExternalId, MessageId};
+
+/// A single receipt observed at a basic node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Receipt {
+    /// An internal message arrived on a channel.
+    Internal(MessageId),
+    /// A spontaneous external input (an element of `E`) arrived.
+    External(ExternalId),
+}
+
+impl Receipt {
+    /// The internal message id, if this is an internal receipt.
+    pub fn internal(self) -> Option<MessageId> {
+        match self {
+            Receipt::Internal(m) => Some(m),
+            Receipt::External(_) => None,
+        }
+    }
+
+    /// The external input id, if this is an external receipt.
+    pub fn external(self) -> Option<ExternalId> {
+        match self {
+            Receipt::External(e) => Some(e),
+            Receipt::Internal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Receipt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Receipt::Internal(m) => write!(f, "recv({m})"),
+            Receipt::External(e) => write!(f, "ext({e})"),
+        }
+    }
+}
+
+/// A named, instantaneous local action performed at a basic node
+/// (e.g. the paper's `a` and `b`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionRecord {
+    name: String,
+}
+
+impl ActionRecord {
+    /// Creates an action record with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ActionRecord { name: name.into() }
+    }
+
+    /// The action's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ActionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "act({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receipt_projections() {
+        let r = Receipt::Internal(MessageId::new(4));
+        assert_eq!(r.internal(), Some(MessageId::new(4)));
+        assert_eq!(r.external(), None);
+        let e = Receipt::External(ExternalId::new(2));
+        assert_eq!(e.external(), Some(ExternalId::new(2)));
+        assert_eq!(e.internal(), None);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Receipt::Internal(MessageId::new(1)).to_string(), "recv(m1)");
+        assert_eq!(Receipt::External(ExternalId::new(0)).to_string(), "ext(e0)");
+        assert_eq!(ActionRecord::new("a").to_string(), "act(a)");
+        assert_eq!(ActionRecord::new("b").name(), "b");
+    }
+}

@@ -1,0 +1,234 @@
+//! Message records: internal channel messages and spontaneous external
+//! inputs (`E` in paper §2.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::{Channel, ProcessId};
+use crate::run::NodeId;
+use crate::time::Time;
+
+/// Identifier of an internal message within a [`crate::Run`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MessageId(u32);
+
+impl MessageId {
+    /// Creates a message identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        MessageId(index)
+    }
+
+    /// The dense index of this message.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of an external input within a [`crate::Run`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ExternalId(u32);
+
+impl ExternalId {
+    /// Creates an external-input identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        ExternalId(index)
+    }
+
+    /// The dense index of this external input.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExternalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Where and when a message was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The receiving basic node.
+    pub node: NodeId,
+    /// Delivery time.
+    pub time: Time,
+}
+
+/// A single internal message of a run.
+///
+/// In the flooding full-information protocol every message carries the
+/// sender's complete local history; because a [`crate::Run`] records the
+/// whole execution, that content is implicit — the receiver's view is
+/// exactly the causal past of its receive node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    id: MessageId,
+    src: NodeId,
+    channel: Channel,
+    sent_at: Time,
+    scheduled_at: Time,
+    delivery: Option<Delivery>,
+}
+
+impl MessageRecord {
+    /// Creates a message record. Used by the simulator and by run
+    /// constructions in the causality layer.
+    pub fn new(
+        id: MessageId,
+        src: NodeId,
+        channel: Channel,
+        sent_at: Time,
+        scheduled_at: Time,
+    ) -> Self {
+        MessageRecord {
+            id,
+            src,
+            channel,
+            sent_at,
+            scheduled_at,
+            delivery: None,
+        }
+    }
+
+    /// The message identifier.
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+
+    /// The basic node at which the message was sent.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The channel `(i, j)` the message travels on.
+    pub fn channel(&self) -> Channel {
+        self.channel
+    }
+
+    /// The sending time `t_µ`.
+    pub fn sent_at(&self) -> Time {
+        self.sent_at
+    }
+
+    /// The delivery time chosen by the environment (it may lie beyond the
+    /// recorded horizon, in which case [`MessageRecord::delivery`] is
+    /// `None`).
+    pub fn scheduled_at(&self) -> Time {
+        self.scheduled_at
+    }
+
+    /// The delivery, if it happened within the recorded horizon.
+    pub fn delivery(&self) -> Option<Delivery> {
+        self.delivery
+    }
+
+    /// Whether the message was delivered within the recorded horizon.
+    pub fn is_delivered(&self) -> bool {
+        self.delivery.is_some()
+    }
+
+    /// Marks the message as delivered. Used by the simulator.
+    pub fn set_delivery(&mut self, node: NodeId, time: Time) {
+        self.delivery = Some(Delivery { node, time });
+    }
+}
+
+/// A spontaneous external input (an element of `E`) delivered to a process.
+///
+/// External deliveries are what get the event-driven system moving: the
+/// paper's "go" trigger `µ_go` is an external input to process `C`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalRecord {
+    id: ExternalId,
+    name: String,
+    proc: ProcessId,
+    time: Time,
+    node: NodeId,
+}
+
+impl ExternalRecord {
+    /// Creates an external-input record. Used by the simulator.
+    pub fn new(id: ExternalId, name: impl Into<String>, proc: ProcessId, time: Time, node: NodeId) -> Self {
+        ExternalRecord {
+            id,
+            name: name.into(),
+            proc,
+            time,
+            node,
+        }
+    }
+
+    /// The external-input identifier.
+    pub fn id(&self) -> ExternalId {
+        self.id
+    }
+
+    /// The application-level name of the input (e.g. `"go"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The receiving process.
+    pub fn proc(&self) -> ProcessId {
+        self.proc
+    }
+
+    /// The delivery time (always `> 0`).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The basic node that observed the input.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_record_lifecycle() {
+        let src = NodeId::new(ProcessId::new(0), 1);
+        let ch = Channel::new(ProcessId::new(0), ProcessId::new(1));
+        let mut m = MessageRecord::new(MessageId::new(7), src, ch, Time::new(3), Time::new(5));
+        assert_eq!(m.id().index(), 7);
+        assert_eq!(m.src(), src);
+        assert_eq!(m.sent_at(), Time::new(3));
+        assert_eq!(m.scheduled_at(), Time::new(5));
+        assert!(!m.is_delivered());
+        let dst = NodeId::new(ProcessId::new(1), 1);
+        m.set_delivery(dst, Time::new(5));
+        assert_eq!(m.delivery().unwrap().node, dst);
+        assert_eq!(m.delivery().unwrap().time, Time::new(5));
+    }
+
+    #[test]
+    fn external_record_accessors() {
+        let node = NodeId::new(ProcessId::new(2), 1);
+        let e = ExternalRecord::new(ExternalId::new(0), "go", ProcessId::new(2), Time::new(4), node);
+        assert_eq!(e.name(), "go");
+        assert_eq!(e.proc(), ProcessId::new(2));
+        assert_eq!(e.time(), Time::new(4));
+        assert_eq!(e.node(), node);
+        assert_eq!(e.id().to_string(), "e0");
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(MessageId::new(3).to_string(), "m3");
+    }
+}

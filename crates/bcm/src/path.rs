@@ -1,0 +1,253 @@
+//! Paths in the network graph, written as process-name sequences (paper
+//! §2.1): `[i_1, …, i_d]`, with composition `p ∘ q` when the last element of
+//! `p` equals the first of `q`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::BcmError;
+use crate::net::{Channel, Network, ProcessId};
+
+/// A non-empty sequence of process names describing a route in `Net`.
+///
+/// A *singleton* path `[i]` denotes "stay at `i`" and has zero hops; the
+/// paper writes it simply as `i`.
+///
+/// # Examples
+///
+/// ```
+/// use zigzag_bcm::{NetPath, ProcessId};
+/// let p = NetPath::new(vec![ProcessId::new(0), ProcessId::new(1)])?;
+/// let q = NetPath::new(vec![ProcessId::new(1), ProcessId::new(2)])?;
+/// let pq = p.compose(&q)?;
+/// assert_eq!(pq.len(), 3);
+/// assert_eq!(pq.hops().count(), 2);
+/// # Ok::<(), zigzag_bcm::BcmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetPath {
+    procs: Vec<ProcessId>,
+}
+
+impl NetPath {
+    /// Creates a path from a process sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcmError::InvalidPath`] if the sequence is empty or has two
+    /// equal adjacent entries (self-loop hop).
+    pub fn new(procs: Vec<ProcessId>) -> Result<Self, BcmError> {
+        if procs.is_empty() {
+            return Err(BcmError::InvalidPath {
+                detail: "empty process sequence".into(),
+            });
+        }
+        for w in procs.windows(2) {
+            if w[0] == w[1] {
+                return Err(BcmError::InvalidPath {
+                    detail: format!("self-loop hop at {}", w[0]),
+                });
+            }
+        }
+        Ok(NetPath { procs })
+    }
+
+    /// The singleton path `[p]`.
+    pub fn singleton(p: ProcessId) -> Self {
+        NetPath { procs: vec![p] }
+    }
+
+    /// Number of processes on the path (`d`), at least 1.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Paths are never empty; this always returns `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the path is a singleton `[i]` (zero hops).
+    pub fn is_singleton(&self) -> bool {
+        self.procs.len() == 1
+    }
+
+    /// First process on the path.
+    pub fn first(&self) -> ProcessId {
+        self.procs[0]
+    }
+
+    /// Last process on the path.
+    pub fn last(&self) -> ProcessId {
+        *self.procs.last().expect("paths are non-empty")
+    }
+
+    /// The underlying process sequence.
+    pub fn procs(&self) -> &[ProcessId] {
+        &self.procs
+    }
+
+    /// Iterator over the hops (channels) of the path.
+    pub fn hops(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.procs.windows(2).map(|w| Channel::new(w[0], w[1]))
+    }
+
+    /// Composition `p ∘ q` of two paths where `p.last() == q.first()`
+    /// (paper §2.1): `[i_1, …, i_k, j] ∘ [j, h_1, …, h_m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcmError::InvalidPath`] if the endpoints do not match.
+    pub fn compose(&self, other: &NetPath) -> Result<NetPath, BcmError> {
+        if self.last() != other.first() {
+            return Err(BcmError::InvalidPath {
+                detail: format!(
+                    "cannot compose: path ends at {} but next starts at {}",
+                    self.last(),
+                    other.first()
+                ),
+            });
+        }
+        let mut procs = self.procs.clone();
+        procs.extend_from_slice(&other.procs[1..]);
+        Ok(NetPath { procs })
+    }
+
+    /// Appends a single hop to `next`, returning the extended path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcmError::InvalidPath`] if `next` equals the current last
+    /// process.
+    pub fn extended(&self, next: ProcessId) -> Result<NetPath, BcmError> {
+        if self.last() == next {
+            return Err(BcmError::InvalidPath {
+                detail: format!("self-loop hop at {next}"),
+            });
+        }
+        let mut procs = self.procs.clone();
+        procs.push(next);
+        Ok(NetPath { procs })
+    }
+
+    /// The prefix consisting of the first `k` processes (`1 <= k <= len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > self.len()`.
+    pub fn prefix(&self, k: usize) -> NetPath {
+        assert!(k >= 1 && k <= self.procs.len(), "prefix length out of range");
+        NetPath {
+            procs: self.procs[..k].to_vec(),
+        }
+    }
+
+    /// The suffix starting at position `k` (`0 <= k < len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn suffix(&self, k: usize) -> NetPath {
+        assert!(k < self.procs.len(), "suffix start out of range");
+        NetPath {
+            procs: self.procs[k..].to_vec(),
+        }
+    }
+
+    /// The reversed sequence (note: the reversed path exists in `Net` only
+    /// if all reversed channels do).
+    pub fn reversed(&self) -> NetPath {
+        let mut procs = self.procs.clone();
+        procs.reverse();
+        NetPath { procs }
+    }
+
+    /// Checks that every hop is a channel of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcmError::MissingChannel`] on the first missing hop.
+    pub fn validate_in(&self, net: &Network) -> Result<(), BcmError> {
+        for hop in self.hops() {
+            if !net.has_channel(hop.from, hop.to) {
+                return Err(BcmError::MissingChannel {
+                    from: hop.from,
+                    to: hop.to,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NetPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (k, p) in self.procs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> NetPath {
+        NetPath::new(ids.iter().map(|&i| ProcessId::new(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_rules() {
+        assert!(NetPath::new(vec![]).is_err());
+        assert!(NetPath::new(vec![ProcessId::new(0), ProcessId::new(0)]).is_err());
+        let s = NetPath::singleton(ProcessId::new(3));
+        assert!(s.is_singleton());
+        assert_eq!(s.first(), s.last());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn composition() {
+        let pq = p(&[0, 1]).compose(&p(&[1, 2, 3])).unwrap();
+        assert_eq!(pq, p(&[0, 1, 2, 3]));
+        assert!(p(&[0, 1]).compose(&p(&[2, 3])).is_err());
+        // Composing with a singleton is the identity.
+        let q = p(&[0, 1]);
+        assert_eq!(q.compose(&NetPath::singleton(ProcessId::new(1))).unwrap(), q);
+    }
+
+    #[test]
+    fn prefixes_suffixes_hops() {
+        let q = p(&[0, 1, 2]);
+        assert_eq!(q.prefix(2), p(&[0, 1]));
+        assert_eq!(q.suffix(1), p(&[1, 2]));
+        assert_eq!(q.hops().count(), 2);
+        assert_eq!(q.reversed(), p(&[2, 1, 0]));
+        assert_eq!(q.extended(ProcessId::new(3)).unwrap(), p(&[0, 1, 2, 3]));
+        assert!(q.extended(ProcessId::new(2)).is_err());
+        assert_eq!(q.to_string(), "[p0,p1,p2]");
+    }
+
+    #[test]
+    fn validate_against_network() {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_channel(i, j, 1, 1).unwrap();
+        let ctx = b.build().unwrap();
+        assert!(p(&[0, 1]).validate_in(ctx.network()).is_ok());
+        assert!(p(&[1, 0]).validate_in(ctx.network()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length out of range")]
+    fn prefix_zero_panics() {
+        let _ = p(&[0, 1]).prefix(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Protocols: deterministic functions of the local state (paper §2.1).
+//!
+//! Communication is handled by the engine itself, which always floods in
+//! the style of the **flooding full-information protocol (FFIP)**: whenever
+//! a process receives a message it immediately sends its entire local state
+//! to all of its neighbors. FFIPs are general protocols for the bcm model
+//! (any protocol can be simulated on top of one), so application logic only
+//! chooses which *local actions* to perform at each node.
+
+use std::fmt;
+
+use crate::view::View;
+
+/// A named local action requested by a protocol (e.g. the paper's `a`, `b`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    name: String,
+}
+
+impl Action {
+    /// Creates an action with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Action { name: name.into() }
+    }
+
+    /// The action's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consumes the action, returning its name.
+    pub fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The application layer of a protocol `P = (P_1, …, P_n)`.
+///
+/// `on_event` is invoked exactly when a process transitions to a new basic
+/// node — i.e. when it receives one or more messages (internal or external).
+/// It must be a deterministic function of the [`View`] (the local state);
+/// the engine calls it for every process from a single `Protocol` value, so
+/// per-process mutable state should be keyed by `view.proc()` if needed.
+///
+/// Processes are event-driven and never act spontaneously; in particular
+/// `on_event` is never called for initial nodes (time 0).
+pub trait Protocol {
+    /// Decide which local actions to perform at the newly created node.
+    fn on_event(&mut self, view: &View<'_>) -> Vec<Action>;
+}
+
+impl<F> Protocol for F
+where
+    F: FnMut(&View<'_>) -> Vec<Action>,
+{
+    fn on_event(&mut self, view: &View<'_>) -> Vec<Action> {
+        self(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let a = Action::new("go");
+        assert_eq!(a.name(), "go");
+        assert_eq!(a.to_string(), "go");
+        assert_eq!(a.clone().into_name(), "go");
+    }
+}

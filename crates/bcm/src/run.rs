@@ -1,0 +1,600 @@
+//! Recorded runs and causality queries on them.
+//!
+//! A run `r` is an infinite sequence of global states in the paper; here we
+//! record the finite prefix up to a configurable *horizon* as per-process
+//! timelines of [`NodeRecord`]s plus message/external tables. Every object
+//! of the paper's analysis — `past(r, σ)`, bounds graphs, zigzag patterns,
+//! knowledge at a node — depends only on such a finite prefix.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::BcmError;
+use crate::event::{ActionRecord, Receipt};
+use crate::message::{ExternalId, ExternalRecord, MessageId, MessageRecord};
+use crate::net::{Context, ProcessId};
+use crate::time::Time;
+
+/// A basic node `σ = (i, ℓ)` (paper §2.2): a point on process `i`'s
+/// timeline, identified by the position of its local state.
+///
+/// Under a full-information protocol the local state of a process never
+/// repeats, so `(process, index)` is in one-to-one correspondence with the
+/// paper's `(process, local state)` pairs. Index `0` is the *initial node*
+/// (time 0, empty history).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId {
+    proc: ProcessId,
+    index: u32,
+}
+
+impl NodeId {
+    /// Creates a node identifier.
+    pub const fn new(proc: ProcessId, index: u32) -> Self {
+        NodeId { proc, index }
+    }
+
+    /// The initial node of `proc` (time 0).
+    pub const fn initial(proc: ProcessId) -> Self {
+        NodeId { proc, index: 0 }
+    }
+
+    /// The process whose timeline this node lies on (an *i-node* has
+    /// `proc() == i`).
+    pub const fn proc(self) -> ProcessId {
+        self.proc
+    }
+
+    /// Zero-based position on the process timeline.
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Whether this is the initial node (index 0, time 0).
+    pub const fn is_initial(self) -> bool {
+        self.index == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.proc, self.index)
+    }
+}
+
+/// Everything observed at (and performed by) one basic node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    id: NodeId,
+    time: Time,
+    receipts: Vec<Receipt>,
+    sent: Vec<MessageId>,
+    actions: Vec<ActionRecord>,
+}
+
+impl NodeRecord {
+    /// Creates a node record. Used by the simulator and run constructions.
+    pub fn new(id: NodeId, time: Time) -> Self {
+        NodeRecord {
+            id,
+            time,
+            receipts: Vec::new(),
+            sent: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The (externally observable) time `time_r(σ)` at which the node
+    /// arises. Protocol code never sees this; see [`crate::View`].
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Receipts observed at this node (non-empty for non-initial nodes).
+    pub fn receipts(&self) -> &[Receipt] {
+        &self.receipts
+    }
+
+    /// Messages sent by this node (under FFIP: one per out-neighbor).
+    pub fn sent(&self) -> &[MessageId] {
+        &self.sent
+    }
+
+    /// Local actions performed at this node.
+    pub fn actions(&self) -> &[ActionRecord] {
+        &self.actions
+    }
+
+    /// Records a receipt. Used by the simulator.
+    pub fn push_receipt(&mut self, r: Receipt) {
+        self.receipts.push(r);
+    }
+
+    /// Records a sent message. Used by the simulator.
+    pub fn push_sent(&mut self, m: MessageId) {
+        self.sent.push(m);
+    }
+
+    /// Records an action. Used by the simulator.
+    pub fn push_action(&mut self, a: ActionRecord) {
+        self.actions.push(a);
+    }
+}
+
+/// The causal past `past(r, σ) = {σ' : σ' ⪯_r σ}` of a basic node
+/// (paper Definition 2), including `σ` itself.
+///
+/// Because the happens-before relation is downward closed along each
+/// timeline (Locality), the past is fully described by the latest in-past
+/// index of every process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Past {
+    of: NodeId,
+    /// `latest[i]` = largest index of an `i`-node in the past, or `None`
+    /// if no `i`-node is in the past.
+    latest: Vec<Option<u32>>,
+}
+
+impl Past {
+    /// The node whose past this is.
+    pub fn of(&self) -> NodeId {
+        self.of
+    }
+
+    /// Whether `node` is in the past (i.e. `node ⪯_r of`).
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self.latest.get(node.proc().index()) {
+            Some(Some(k)) => node.index() <= *k,
+            _ => false,
+        }
+    }
+
+    /// The *boundary node* of process `i` (paper Definition 15): the last
+    /// `i`-node in the past, if any.
+    pub fn boundary(&self, proc: ProcessId) -> Option<NodeId> {
+        self.latest
+            .get(proc.index())
+            .copied()
+            .flatten()
+            .map(|k| NodeId::new(proc, k))
+    }
+
+    /// Iterator over all boundary nodes (one per process with any node in
+    /// the past), in process order.
+    pub fn boundaries(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.latest.iter().enumerate().filter_map(|(i, k)| {
+            k.map(|k| NodeId::new(ProcessId::new(i as u32), k))
+        })
+    }
+
+    /// Iterator over every node in the past, in (process, index) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.latest.iter().enumerate().flat_map(|(i, k)| {
+            let n = k.map_or(0, |k| k + 1);
+            (0..n).map(move |idx| NodeId::new(ProcessId::new(i as u32), idx))
+        })
+    }
+
+    /// Total number of nodes in the past.
+    pub fn len(&self) -> usize {
+        self.latest
+            .iter()
+            .map(|k| k.map_or(0, |k| k as usize + 1))
+            .sum()
+    }
+
+    /// Whether the past is empty (never true: it contains `of` itself).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A recorded run prefix of the system `R(P, γ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Run {
+    context: Context,
+    timelines: Vec<Vec<NodeRecord>>,
+    messages: Vec<MessageRecord>,
+    externals: Vec<ExternalRecord>,
+    horizon: Time,
+}
+
+impl Run {
+    /// Creates an empty run skeleton: every process has exactly its initial
+    /// node at time 0. Used by the simulator and run constructions.
+    pub fn skeleton(context: Context, horizon: Time) -> Self {
+        let n = context.network().len();
+        let timelines = (0..n)
+            .map(|i| {
+                vec![NodeRecord::new(
+                    NodeId::initial(ProcessId::new(i as u32)),
+                    Time::ZERO,
+                )]
+            })
+            .collect();
+        Run {
+            context,
+            timelines,
+            messages: Vec::new(),
+            externals: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// The bounded context `γ` this run belongs to.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// The recorded horizon: all node times are `<= horizon`.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The timeline of process `p` in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a process of the network.
+    pub fn timeline(&self, p: ProcessId) -> &[NodeRecord] {
+        &self.timelines[p.index()]
+    }
+
+    /// The record of `node`, if it exists.
+    pub fn node(&self, node: NodeId) -> Option<&NodeRecord> {
+        self.timelines
+            .get(node.proc().index())?
+            .get(node.index() as usize)
+    }
+
+    /// The record of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcmError::UnknownNode`] if the node does not appear.
+    pub fn node_checked(&self, node: NodeId) -> Result<&NodeRecord, BcmError> {
+        self.node(node).ok_or_else(|| BcmError::UnknownNode {
+            detail: format!("{node} does not appear in the run"),
+        })
+    }
+
+    /// `time_r(σ)`: when the node arises, if it appears.
+    pub fn time(&self, node: NodeId) -> Option<Time> {
+        self.node(node).map(NodeRecord::time)
+    }
+
+    /// Whether `node` appears in the recorded prefix.
+    pub fn appears(&self, node: NodeId) -> bool {
+        self.node(node).is_some()
+    }
+
+    /// The node of process `p` at exactly time `t`, if any.
+    pub fn node_at(&self, p: ProcessId, t: Time) -> Option<NodeId> {
+        let tl = self.timelines.get(p.index())?;
+        tl.binary_search_by_key(&t, NodeRecord::time)
+            .ok()
+            .map(|k| NodeId::new(p, k as u32))
+    }
+
+    /// The latest node of process `p` with time `<= t` (every process has
+    /// at least its initial node at time 0).
+    pub fn node_at_or_before(&self, p: ProcessId, t: Time) -> Option<NodeId> {
+        let tl = self.timelines.get(p.index())?;
+        match tl.binary_search_by_key(&t, NodeRecord::time) {
+            Ok(k) => Some(NodeId::new(p, k as u32)),
+            Err(0) => None,
+            Err(k) => Some(NodeId::new(p, (k - 1) as u32)),
+        }
+    }
+
+    /// The successor of `node` on its timeline (paper §2.2), if recorded.
+    pub fn successor(&self, node: NodeId) -> Option<NodeId> {
+        let next = NodeId::new(node.proc(), node.index() + 1);
+        self.appears(next).then_some(next)
+    }
+
+    /// The predecessor of `node` on its timeline, if `node` is not initial.
+    pub fn predecessor(&self, node: NodeId) -> Option<NodeId> {
+        (!node.is_initial()).then(|| NodeId::new(node.proc(), node.index() - 1))
+    }
+
+    /// All recorded messages.
+    pub fn messages(&self) -> &[MessageRecord] {
+        &self.messages
+    }
+
+    /// The record of message `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a message of this run.
+    pub fn message(&self, m: MessageId) -> &MessageRecord {
+        &self.messages[m.index()]
+    }
+
+    /// All recorded external inputs.
+    pub fn externals(&self) -> &[ExternalRecord] {
+        &self.externals
+    }
+
+    /// The record of external input `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an external input of this run.
+    pub fn external(&self, e: ExternalId) -> &ExternalRecord {
+        &self.externals[e.index()]
+    }
+
+    /// The message sent by `node` to process `dst`, if any (under FFIP
+    /// there is exactly one for every out-neighbor of a non-initial node).
+    pub fn message_from_to(&self, node: NodeId, dst: ProcessId) -> Option<MessageId> {
+        let rec = self.node(node)?;
+        rec.sent
+            .iter()
+            .copied()
+            .find(|&m| self.message(m).channel().to == dst)
+    }
+
+    /// Iterator over every recorded node in (process, index) order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeRecord> + '_ {
+        self.timelines.iter().flatten()
+    }
+
+    /// Total number of recorded nodes.
+    pub fn node_count(&self) -> usize {
+        self.timelines.iter().map(Vec::len).sum()
+    }
+
+    /// Lamport's happens-before among basic nodes (paper Definition 2),
+    /// reflexive on each timeline: `a ⪯_r b`.
+    ///
+    /// For repeated queries against the same `b`, compute [`Run::past`]
+    /// once instead.
+    pub fn happens_before(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.appears(a) || !self.appears(b) {
+            return false;
+        }
+        if a.proc() == b.proc() {
+            return a.index() <= b.index();
+        }
+        self.past(b).contains(a)
+    }
+
+    /// Computes `past(r, σ)` (paper Definition 2). `σ` itself is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `σ` does not appear in the run.
+    pub fn past(&self, sigma: NodeId) -> Past {
+        assert!(self.appears(sigma), "past() of a node that does not appear");
+        let n = self.timelines.len();
+        // latest[i]: highest index of an i-node known to be in the past.
+        let mut latest: Vec<Option<u32>> = vec![None; n];
+        // scanned[i]: indices <= scanned[i] have had their receipts expanded.
+        let mut scanned: Vec<i64> = vec![-1; n];
+        latest[sigma.proc().index()] = Some(sigma.index());
+        let mut queue: VecDeque<ProcessId> = VecDeque::new();
+        queue.push_back(sigma.proc());
+        while let Some(p) = queue.pop_front() {
+            let pi = p.index();
+            let hi = match latest[pi] {
+                Some(k) => k as i64,
+                None => continue,
+            };
+            while scanned[pi] < hi {
+                let idx = (scanned[pi] + 1) as usize;
+                scanned[pi] += 1;
+                let rec = &self.timelines[pi][idx];
+                for receipt in rec.receipts() {
+                    if let Receipt::Internal(m) = receipt {
+                        let src = self.message(*m).src();
+                        let spi = src.proc().index();
+                        let new = src.index();
+                        let improved = match latest[spi] {
+                            Some(cur) => new > cur,
+                            None => true,
+                        };
+                        if improved {
+                            latest[spi] = Some(new);
+                            queue.push_back(src.proc());
+                        }
+                    }
+                }
+            }
+        }
+        Past { of: sigma, latest }
+    }
+
+    /// The node of process `C` that received the external input named
+    /// `name`, if any (e.g. the node `σ_C` where `µ_go` arrived).
+    pub fn external_receipt_node(&self, proc: ProcessId, name: &str) -> Option<NodeId> {
+        self.externals
+            .iter()
+            .find(|e| e.proc() == proc && e.name() == name)
+            .map(|e| e.node())
+    }
+
+    /// The first node (by time) at which an action named `name` was
+    /// performed by process `p`, if any.
+    pub fn action_node(&self, p: ProcessId, name: &str) -> Option<NodeId> {
+        self.timelines[p.index()]
+            .iter()
+            .find(|rec| rec.actions().iter().any(|a| a.name() == name))
+            .map(NodeRecord::id)
+    }
+
+    /// Mutable access for the simulator and run constructions.
+    pub(crate) fn node_mut(&mut self, node: NodeId) -> &mut NodeRecord {
+        &mut self.timelines[node.proc().index()][node.index() as usize]
+    }
+
+    pub(crate) fn push_node(&mut self, rec: NodeRecord) {
+        self.timelines[rec.id().proc().index()].push(rec);
+    }
+
+    pub(crate) fn push_message(&mut self, rec: MessageRecord) {
+        self.messages.push(rec);
+    }
+
+    pub(crate) fn push_external(&mut self, rec: ExternalRecord) {
+        self.externals.push(rec);
+    }
+
+    pub(crate) fn message_mut(&mut self, m: MessageId) -> &mut MessageRecord {
+        &mut self.messages[m.index()]
+    }
+
+    pub(crate) fn set_horizon(&mut self, horizon: Time) {
+        self.horizon = horizon;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Channel, Network};
+
+    fn tiny_context() -> Context {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_bidirectional(i, j, 1, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Hand-builds a run: i#1 at t1 (external), i#1 sends to j, delivered
+    /// at j#1 at t3.
+    fn tiny_run() -> Run {
+        let ctx = tiny_context();
+        let i = ProcessId::new(0);
+        let j = ProcessId::new(1);
+        let mut run = Run::skeleton(ctx, Time::new(10));
+        let i1 = NodeId::new(i, 1);
+        let mut rec = NodeRecord::new(i1, Time::new(1));
+        rec.push_receipt(Receipt::External(ExternalId::new(0)));
+        rec.push_sent(MessageId::new(0));
+        rec.push_action(ActionRecord::new("a"));
+        run.push_node(rec);
+        run.push_external(ExternalRecord::new(
+            ExternalId::new(0),
+            "go",
+            i,
+            Time::new(1),
+            i1,
+        ));
+        let mut msg = MessageRecord::new(
+            MessageId::new(0),
+            i1,
+            Channel::new(i, j),
+            Time::new(1),
+            Time::new(3),
+        );
+        let j1 = NodeId::new(j, 1);
+        msg.set_delivery(j1, Time::new(3));
+        run.push_message(msg);
+        let mut jrec = NodeRecord::new(j1, Time::new(3));
+        jrec.push_receipt(Receipt::Internal(MessageId::new(0)));
+        run.push_node(jrec);
+        run
+    }
+
+    #[test]
+    fn skeleton_has_initial_nodes() {
+        let run = Run::skeleton(tiny_context(), Time::new(5));
+        assert_eq!(run.node_count(), 2);
+        let init = NodeId::initial(ProcessId::new(0));
+        assert!(init.is_initial());
+        assert_eq!(run.time(init), Some(Time::ZERO));
+        assert_eq!(run.horizon(), Time::new(5));
+    }
+
+    #[test]
+    fn lookups() {
+        let run = tiny_run();
+        let i = ProcessId::new(0);
+        let j = ProcessId::new(1);
+        assert_eq!(run.node_at(i, Time::new(1)), Some(NodeId::new(i, 1)));
+        assert_eq!(run.node_at(i, Time::new(2)), None);
+        assert_eq!(
+            run.node_at_or_before(j, Time::new(9)),
+            Some(NodeId::new(j, 1))
+        );
+        assert_eq!(
+            run.node_at_or_before(j, Time::new(2)),
+            Some(NodeId::initial(j))
+        );
+        assert_eq!(run.successor(NodeId::initial(i)), Some(NodeId::new(i, 1)));
+        assert_eq!(run.successor(NodeId::new(i, 1)), None);
+        assert_eq!(run.predecessor(NodeId::new(i, 1)), Some(NodeId::initial(i)));
+        assert_eq!(run.predecessor(NodeId::initial(i)), None);
+        assert_eq!(
+            run.message_from_to(NodeId::new(i, 1), j),
+            Some(MessageId::new(0))
+        );
+        assert_eq!(run.external_receipt_node(i, "go"), Some(NodeId::new(i, 1)));
+        assert_eq!(run.external_receipt_node(j, "go"), None);
+        assert_eq!(run.action_node(i, "a"), Some(NodeId::new(i, 1)));
+        assert_eq!(run.action_node(j, "a"), None);
+    }
+
+    #[test]
+    fn happens_before_and_past() {
+        let run = tiny_run();
+        let i = ProcessId::new(0);
+        let j = ProcessId::new(1);
+        let i0 = NodeId::initial(i);
+        let i1 = NodeId::new(i, 1);
+        let j0 = NodeId::initial(j);
+        let j1 = NodeId::new(j, 1);
+        // Locality (reflexive along a timeline).
+        assert!(run.happens_before(i0, i1));
+        assert!(run.happens_before(i1, i1));
+        assert!(!run.happens_before(i1, i0));
+        // Message edge.
+        assert!(run.happens_before(i1, j1));
+        assert!(!run.happens_before(j1, i1));
+        // No relation between the initial nodes... except locality is
+        // per-timeline; cross-process initial nodes are unrelated.
+        assert!(!run.happens_before(i0, j0));
+
+        let past = run.past(j1);
+        assert!(past.contains(j1) && past.contains(j0));
+        assert!(past.contains(i1) && past.contains(i0));
+        assert_eq!(past.len(), 4);
+        assert!(!past.is_empty());
+        assert_eq!(past.boundary(i), Some(i1));
+        assert_eq!(past.boundary(j), Some(j1));
+        assert_eq!(past.boundaries().count(), 2);
+        assert_eq!(past.iter().count(), 4);
+        assert_eq!(past.of(), j1);
+
+        let past_i1 = run.past(i1);
+        assert!(!past_i1.contains(j0));
+        assert_eq!(past_i1.boundary(j), None);
+        assert_eq!(past_i1.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not appear")]
+    fn past_of_missing_node_panics() {
+        let run = tiny_run();
+        let _ = run.past(NodeId::new(ProcessId::new(0), 9));
+    }
+
+    #[test]
+    fn node_checked_errors() {
+        let run = tiny_run();
+        assert!(run.node_checked(NodeId::new(ProcessId::new(0), 9)).is_err());
+        assert!(run.node_checked(NodeId::new(ProcessId::new(0), 1)).is_ok());
+    }
+}

@@ -1,0 +1,353 @@
+//! Scheduler policies playing the role of the paper's nondeterministic
+//! environment (§2.1).
+//!
+//! The environment may deliver a message `µ` on channel `(i, j)` at any
+//! time `t` with `L_ij <= t - t_µ <= U_ij`, and *must* deliver it when
+//! `t - t_µ = U_ij`. A [`Scheduler`] resolves this nondeterminism by
+//! committing, at send time, to a delivery time within the window; the set
+//! of runs generable this way is exactly `R(P, γ)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::bounds::ChannelBounds;
+use crate::net::{Channel, ProcessId};
+use crate::run::{NodeId, Run};
+use crate::time::Time;
+
+/// A pending send for which the environment must choose a delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSend {
+    /// The basic node performing the send.
+    pub src: NodeId,
+    /// The channel the message travels on.
+    pub channel: Channel,
+    /// The sending time `t_µ`.
+    pub sent_at: Time,
+    /// The `[L, U]` bounds of the channel.
+    pub bounds: ChannelBounds,
+}
+
+impl PendingSend {
+    /// The earliest legal delivery time `t_µ + L`.
+    pub fn earliest(&self) -> Time {
+        self.sent_at + self.bounds.lower()
+    }
+
+    /// The latest legal delivery time `t_µ + U`.
+    pub fn latest(&self) -> Time {
+        self.sent_at + self.bounds.upper()
+    }
+
+    /// Clamps `t` into the legal delivery window.
+    pub fn clamp(&self, t: Time) -> Time {
+        t.max(self.earliest()).min(self.latest())
+    }
+}
+
+/// The environment's delivery policy.
+///
+/// Implementations must return a time within `[send.earliest(),
+/// send.latest()]`; the simulator verifies this and fails otherwise.
+/// The partially-built run is provided so that policies may depend on
+/// history (the replay and fast-run schedulers of the causality layer do).
+pub trait Scheduler {
+    /// Chooses the delivery time for `send`.
+    fn schedule(&mut self, run: &Run, send: PendingSend) -> Time;
+}
+
+/// Delivers every message at its lower bound `t_µ + L`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerScheduler;
+
+impl Scheduler for EagerScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        send.earliest()
+    }
+}
+
+/// Delivers every message at its upper bound `t_µ + U` (the unique time at
+/// which delivery becomes mandatory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LazyScheduler;
+
+impl Scheduler for LazyScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        send.latest()
+    }
+}
+
+/// Delivers at `t_µ + L + round(f · (U - L))` for a fixed fraction
+/// `f ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FractionScheduler {
+    fraction: f64,
+}
+
+impl FractionScheduler {
+    /// Creates the policy; `fraction` is clamped into `[0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        FractionScheduler {
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Scheduler for FractionScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        let slack = send.bounds.slack() as f64;
+        let extra = (slack * self.fraction).round() as u64;
+        send.earliest() + extra
+    }
+}
+
+/// Delivers uniformly at random within the window, from a seeded RNG
+/// (deterministic for a given seed).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates the policy from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        let lo = send.earliest().ticks();
+        let hi = send.latest().ticks();
+        Time::new(self.rng.gen_range(lo..=hi))
+    }
+}
+
+/// Per-channel fixed delays (clamped into bounds), with a default policy
+/// for unlisted channels. Useful for building the paper's worked scenarios.
+#[derive(Debug, Clone)]
+pub struct PerChannelScheduler {
+    delays: BTreeMap<Channel, u64>,
+    default_fraction: f64,
+}
+
+impl PerChannelScheduler {
+    /// Creates a policy with no per-channel entries; unlisted channels use
+    /// `default_fraction` as in [`FractionScheduler`].
+    pub fn new(default_fraction: f64) -> Self {
+        PerChannelScheduler {
+            delays: BTreeMap::new(),
+            default_fraction: default_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Fixes the transmission delay of `channel` to `delay` ticks
+    /// (clamped into the channel bounds at schedule time).
+    pub fn set_delay(&mut self, channel: Channel, delay: u64) -> &mut Self {
+        self.delays.insert(channel, delay);
+        self
+    }
+}
+
+impl Scheduler for PerChannelScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        match self.delays.get(&send.channel) {
+            Some(&d) => send.clamp(send.sent_at + d),
+            None => {
+                let slack = send.bounds.slack() as f64;
+                let extra = (slack * self.default_fraction).round() as u64;
+                send.earliest() + extra
+            }
+        }
+    }
+}
+
+/// Replays exact delivery times keyed by `(sending node, destination)`,
+/// falling back to a fraction policy for unkeyed messages. Delivery times
+/// are clamped into bounds.
+///
+/// This is the building block for the run constructions of the causality
+/// layer (runs from valid timing functions, Lemma 8; fast runs, Def. 24).
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    map: BTreeMap<(NodeId, ProcessId), Time>,
+    fallback_fraction: f64,
+}
+
+impl ReplayScheduler {
+    /// Creates an empty replay table with the given fallback fraction.
+    pub fn new(fallback_fraction: f64) -> Self {
+        ReplayScheduler {
+            map: BTreeMap::new(),
+            fallback_fraction: fallback_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Prescribes that the message sent by `src` to `dst` is delivered at
+    /// `t` (clamped into bounds at schedule time).
+    pub fn prescribe(&mut self, src: NodeId, dst: ProcessId, t: Time) -> &mut Self {
+        self.map.insert((src, dst), t);
+        self
+    }
+
+    /// Extracts the full delivery schedule of a recorded run: re-running
+    /// the simulator with the same context, protocol and externals under
+    /// this scheduler reproduces the run exactly (deterministic replay).
+    pub fn from_run(run: &Run) -> Self {
+        let mut sched = ReplayScheduler::new(1.0);
+        for m in run.messages() {
+            sched.prescribe(m.src(), m.channel().to, m.scheduled_at());
+        }
+        sched
+    }
+
+    /// Number of prescriptions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn schedule(&mut self, _run: &Run, send: PendingSend) -> Time {
+        match self.map.get(&(send.src, send.channel.to)) {
+            Some(&t) => send.clamp(t),
+            None => {
+                let slack = send.bounds.slack() as f64;
+                let extra = (slack * self.fallback_fraction).round() as u64;
+                send.earliest() + extra
+            }
+        }
+    }
+}
+
+/// Adapter turning a closure into a scheduler.
+#[derive(Debug)]
+pub struct FnScheduler<F>(pub F);
+
+impl<F> Scheduler for FnScheduler<F>
+where
+    F: FnMut(&Run, PendingSend) -> Time,
+{
+    fn schedule(&mut self, run: &Run, send: PendingSend) -> Time {
+        (self.0)(run, send)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+    use crate::run::Run;
+
+    fn send() -> (Run, PendingSend) {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_channel(i, j, 2, 6).unwrap();
+        let ctx = b.build().unwrap();
+        let bounds = ctx.channel_bounds(i, j).unwrap();
+        let run = Run::skeleton(ctx, Time::new(10));
+        (
+            run,
+            PendingSend {
+                src: NodeId::new(i, 1),
+                channel: Channel::new(i, j),
+                sent_at: Time::new(5),
+                bounds,
+            },
+        )
+    }
+
+    #[test]
+    fn window_and_clamp() {
+        let (_, s) = send();
+        assert_eq!(s.earliest(), Time::new(7));
+        assert_eq!(s.latest(), Time::new(11));
+        assert_eq!(s.clamp(Time::new(1)), Time::new(7));
+        assert_eq!(s.clamp(Time::new(99)), Time::new(11));
+        assert_eq!(s.clamp(Time::new(9)), Time::new(9));
+    }
+
+    #[test]
+    fn eager_and_lazy() {
+        let (run, s) = send();
+        assert_eq!(EagerScheduler.schedule(&run, s), Time::new(7));
+        assert_eq!(LazyScheduler.schedule(&run, s), Time::new(11));
+    }
+
+    #[test]
+    fn fraction_rounds() {
+        let (run, s) = send();
+        assert_eq!(FractionScheduler::new(0.0).schedule(&run, s), Time::new(7));
+        assert_eq!(FractionScheduler::new(0.5).schedule(&run, s), Time::new(9));
+        assert_eq!(FractionScheduler::new(1.0).schedule(&run, s), Time::new(11));
+        // Out-of-range fractions are clamped.
+        assert_eq!(FractionScheduler::new(7.0).schedule(&run, s), Time::new(11));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_bounds() {
+        let (run, s) = send();
+        let mut a = RandomScheduler::seeded(42);
+        let mut b = RandomScheduler::seeded(42);
+        for _ in 0..50 {
+            let ta = a.schedule(&run, s);
+            let tb = b.schedule(&run, s);
+            assert_eq!(ta, tb);
+            assert!(ta >= s.earliest() && ta <= s.latest());
+        }
+    }
+
+    #[test]
+    fn per_channel_and_replay() {
+        let (run, s) = send();
+        let mut pc = PerChannelScheduler::new(0.0);
+        pc.set_delay(s.channel, 4);
+        assert_eq!(pc.schedule(&run, s), Time::new(9));
+        pc.set_delay(s.channel, 100);
+        assert_eq!(pc.schedule(&run, s), Time::new(11)); // clamped
+
+        let mut rp = ReplayScheduler::new(1.0);
+        assert!(rp.is_empty());
+        rp.prescribe(s.src, s.channel.to, Time::new(8));
+        assert_eq!(rp.len(), 1);
+        assert_eq!(rp.schedule(&run, s), Time::new(8));
+        let other = PendingSend {
+            src: NodeId::new(s.channel.to, 1),
+            ..s
+        };
+        assert_eq!(rp.schedule(&run, other), Time::new(11)); // fallback lazy
+    }
+
+    #[test]
+    fn replay_from_run_reproduces_it() {
+        use crate::protocols::Ffip;
+        use crate::sim::{SimConfig, Simulator};
+        let mut b = crate::net::Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_bidirectional(i, j, 2, 6).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30)));
+        sim.external(Time::new(1), i, "kick");
+        let original = sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(9)).unwrap();
+        let mut replay = ReplayScheduler::from_run(&original);
+        let again = sim.run(&mut Ffip::new(), &mut replay).unwrap();
+        assert_eq!(original, again);
+    }
+
+    #[test]
+    fn fn_scheduler() {
+        let (run, s) = send();
+        let mut f = FnScheduler(|_: &Run, send: PendingSend| send.earliest());
+        assert_eq!(f.schedule(&run, s), Time::new(7));
+    }
+}

@@ -1,0 +1,166 @@
+//! Run statistics: message latencies, flood depth, and per-process load.
+//!
+//! Experiment harnesses summarize runs with these; they are also a quick
+//! smoke check that a scheduler behaves as configured (e.g. eager runs
+//! have zero mean slack-used, lazy runs use all of it).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::run::Run;
+use crate::time::Time;
+
+/// Aggregated statistics of one recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total basic nodes (including initial nodes).
+    pub nodes: usize,
+    /// Messages sent within the horizon.
+    pub messages_sent: usize,
+    /// Messages delivered within the horizon.
+    pub messages_delivered: usize,
+    /// Messages still in flight at the horizon.
+    pub in_flight: usize,
+    /// External inputs delivered.
+    pub externals: usize,
+    /// Mean delivery latency (delivered messages only).
+    pub mean_latency: f64,
+    /// Mean fraction of the `[L, U]` window used
+    /// (`0.0` = all at lower bounds, `1.0` = all at upper bounds).
+    pub mean_slack_used: f64,
+    /// Latest recorded node time.
+    pub makespan: Time,
+    /// Maximum nodes on any single process timeline.
+    pub max_timeline: usize,
+}
+
+impl RunStats {
+    /// Computes the statistics of `run`.
+    pub fn of(run: &Run) -> Self {
+        let bounds = run.context().bounds();
+        let mut delivered = 0usize;
+        let mut latency_sum = 0u64;
+        let mut slack_sum = 0.0f64;
+        let mut slack_samples = 0usize;
+        for m in run.messages() {
+            let Some(d) = m.delivery() else { continue };
+            delivered += 1;
+            let lat = (d.time - m.sent_at()).max(0) as u64;
+            latency_sum += lat;
+            let cb = bounds.get(m.channel()).expect("recorded channels bounded");
+            if cb.slack() > 0 {
+                slack_sum += (lat - cb.lower()) as f64 / cb.slack() as f64;
+                slack_samples += 1;
+            }
+        }
+        let makespan = run
+            .nodes()
+            .map(|r| r.time())
+            .max()
+            .unwrap_or(Time::ZERO);
+        let max_timeline = run
+            .context()
+            .network()
+            .processes()
+            .map(|p| run.timeline(p).len())
+            .max()
+            .unwrap_or(0);
+        RunStats {
+            nodes: run.node_count(),
+            messages_sent: run.messages().len(),
+            messages_delivered: delivered,
+            in_flight: run.messages().len() - delivered,
+            externals: run.externals().len(),
+            mean_latency: if delivered > 0 {
+                latency_sum as f64 / delivered as f64
+            } else {
+                f64::NAN
+            },
+            mean_slack_used: if slack_samples > 0 {
+                slack_sum / slack_samples as f64
+            } else {
+                f64::NAN
+            },
+            makespan,
+            max_timeline,
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} msgs ({} delivered, {} in flight), {} externals, \
+             mean latency {:.2}, slack used {:.0}%, makespan {}",
+            self.nodes,
+            self.messages_sent,
+            self.messages_delivered,
+            self.in_flight,
+            self.externals,
+            self.mean_latency,
+            self.mean_slack_used * 100.0,
+            self.makespan
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+    use crate::protocols::Ffip;
+    use crate::scheduler::{EagerScheduler, LazyScheduler};
+    use crate::sim::{SimConfig, Simulator};
+    use crate::time::Time;
+
+    fn run_with(sched: &mut dyn crate::scheduler::Scheduler) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_bidirectional(i, j, 2, 6).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), sched).unwrap()
+    }
+
+    #[test]
+    fn eager_uses_no_slack_lazy_uses_all() {
+        let eager = RunStats::of(&run_with(&mut EagerScheduler));
+        assert_eq!(eager.mean_slack_used, 0.0);
+        assert_eq!(eager.mean_latency, 2.0);
+        let lazy = RunStats::of(&run_with(&mut LazyScheduler));
+        assert_eq!(lazy.mean_slack_used, 1.0);
+        assert_eq!(lazy.mean_latency, 6.0);
+        assert!(eager.nodes > lazy.nodes); // eager floods denser
+        assert_eq!(eager.externals, 1);
+        assert!(eager.makespan <= Time::new(30));
+        assert!(eager.max_timeline >= 2);
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let run = run_with(&mut LazyScheduler);
+        let s = RunStats::of(&run);
+        assert_eq!(s.messages_sent, s.messages_delivered + s.in_flight);
+        // The last flood is always in flight at the horizon.
+        assert!(s.in_flight >= 1);
+        assert!(s.to_string().contains("in flight"));
+    }
+
+    #[test]
+    fn quiescent_run_stats() {
+        let mut b = Network::builder();
+        let _ = b.add_process("solo");
+        let ctx = b.build().unwrap();
+        let run = Run::skeleton(ctx, Time::new(5));
+        let s = RunStats::of(&run);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.messages_sent, 0);
+        assert!(s.mean_latency.is_nan());
+        assert!(s.mean_slack_used.is_nan());
+        assert_eq!(s.makespan, Time::ZERO);
+    }
+}

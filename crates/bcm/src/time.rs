@@ -1,0 +1,160 @@
+//! Discrete time, identified with the natural numbers (paper §2.1).
+//!
+//! A single tick is "the minimal relevant unit of time". Processes in the
+//! bcm model never observe [`Time`]; it exists only in the environment's
+//! (and the analyst's) frame of reference.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the global timeline (`m ∈ N` in the paper).
+///
+/// `Time` is a newtype over `u64` ticks. Differences between times are
+/// represented as [`i64`] *weights* elsewhere in the workspace, because the
+/// paper's timed-precedence bounds may be negative.
+///
+/// # Examples
+///
+/// ```
+/// use zigzag_bcm::Time;
+/// let t = Time::new(5) + 3;
+/// assert_eq!(t, Time::new(8));
+/// assert_eq!(t.diff(Time::new(10)), -2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero, where every run starts with the initial global state.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time point at `ticks`.
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the number of ticks since time zero.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - other` as a signed weight.
+    ///
+    /// ```
+    /// use zigzag_bcm::Time;
+    /// assert_eq!(Time::new(3).diff(Time::new(7)), -4);
+    /// ```
+    pub fn diff(self, other: Time) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Adds a signed offset, saturating at zero.
+    ///
+    /// ```
+    /// use zigzag_bcm::Time;
+    /// assert_eq!(Time::new(3).offset(-10), Time::ZERO);
+    /// assert_eq!(Time::new(3).offset(4), Time::new(7));
+    /// ```
+    pub fn offset(self, delta: i64) -> Time {
+        if delta >= 0 {
+            Time(self.0.saturating_add(delta as u64))
+        } else {
+            Time(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+
+    /// The immediately following tick.
+    pub fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    /// Whether this is time zero (the initial global state).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = i64;
+    fn sub(self, rhs: Time) -> i64 {
+        self.diff(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::ZERO.ticks(), 0);
+        assert!(Time::ZERO.is_zero());
+        assert_eq!(Time::new(17).ticks(), 17);
+        assert!(!Time::new(1).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Time::new(2) + 3, Time::new(5));
+        assert_eq!(Time::new(9) - Time::new(4), 5);
+        assert_eq!(Time::new(4) - Time::new(9), -5);
+        assert_eq!(Time::new(4).next(), Time::new(5));
+    }
+
+    #[test]
+    fn offsets_saturate() {
+        assert_eq!(Time::new(2).offset(-5), Time::ZERO);
+        assert_eq!(Time::new(2).offset(5), Time::new(7));
+        assert_eq!(Time::new(2).offset(0), Time::new(2));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::new(1) < Time::new(2));
+        assert_eq!(Time::new(12).to_string(), "t12");
+        let mut t = Time::new(1);
+        t += 2;
+        assert_eq!(t, Time::new(3));
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Time = 7u64.into();
+        assert_eq!(u64::from(t), 7);
+    }
+}

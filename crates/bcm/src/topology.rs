@@ -1,0 +1,197 @@
+//! Stock network topologies used by examples, tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::BcmError;
+use crate::net::{Context, Network, ProcessId};
+
+/// A bidirectional line `p0 — p1 — … — p(n-1)` with uniform bounds.
+///
+/// # Errors
+///
+/// Fails if `n == 0` or the bounds are invalid.
+pub fn line(n: usize, lower: u64, upper: u64) -> Result<Context, BcmError> {
+    let mut b = Network::builder();
+    let ids = b.add_processes(n);
+    for w in ids.windows(2) {
+        b.add_bidirectional(w[0], w[1], lower, upper)?;
+    }
+    b.build()
+}
+
+/// A bidirectional ring over `n >= 3` processes with uniform bounds.
+///
+/// # Errors
+///
+/// Fails if `n < 3` or the bounds are invalid.
+pub fn ring(n: usize, lower: u64, upper: u64) -> Result<Context, BcmError> {
+    if n < 3 {
+        return Err(BcmError::InvalidPath {
+            detail: "ring needs at least 3 processes".into(),
+        });
+    }
+    let mut b = Network::builder();
+    let ids = b.add_processes(n);
+    for k in 0..n {
+        b.add_bidirectional(ids[k], ids[(k + 1) % n], lower, upper)?;
+    }
+    b.build()
+}
+
+/// A star: hub `p0` bidirectionally connected to `n - 1` leaves.
+///
+/// # Errors
+///
+/// Fails if `n < 2` or the bounds are invalid.
+pub fn star(n: usize, lower: u64, upper: u64) -> Result<Context, BcmError> {
+    if n < 2 {
+        return Err(BcmError::InvalidPath {
+            detail: "star needs at least 2 processes".into(),
+        });
+    }
+    let mut b = Network::builder();
+    let ids = b.add_processes(n);
+    for &leaf in &ids[1..] {
+        b.add_bidirectional(ids[0], leaf, lower, upper)?;
+    }
+    b.build()
+}
+
+/// The complete bidirectional graph over `n` processes with uniform bounds.
+///
+/// # Errors
+///
+/// Fails if `n == 0` or the bounds are invalid.
+pub fn complete(n: usize, lower: u64, upper: u64) -> Result<Context, BcmError> {
+    let mut b = Network::builder();
+    let ids = b.add_processes(n);
+    for x in 0..n {
+        for y in (x + 1)..n {
+            b.add_bidirectional(ids[x], ids[y], lower, upper)?;
+        }
+    }
+    b.build()
+}
+
+/// A random strongly-connected-ish network: a bidirectional ring backbone
+/// (guaranteeing strong connectivity) plus each extra directed edge with
+/// probability `extra_p`; bounds drawn uniformly with
+/// `L ∈ [1, max_lower]` and `U ∈ [L, L + max_slack]`. Deterministic in
+/// `seed`.
+///
+/// # Errors
+///
+/// Fails if `n < 3`.
+pub fn random(
+    n: usize,
+    extra_p: f64,
+    max_lower: u64,
+    max_slack: u64,
+    seed: u64,
+) -> Result<Context, BcmError> {
+    if n < 3 {
+        return Err(BcmError::InvalidPath {
+            detail: "random topology needs at least 3 processes".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_lower = max_lower.max(1);
+    let mut b = Network::builder();
+    let ids = b.add_processes(n);
+    let mut have = std::collections::BTreeSet::new();
+    for k in 0..n {
+        for (from, to) in [
+            (ids[k], ids[(k + 1) % n]),
+            (ids[(k + 1) % n], ids[k]),
+        ] {
+            let l = rng.gen_range(1..=max_lower);
+            let u = l + rng.gen_range(0..=max_slack);
+            b.add_channel(from, to, l, u)?;
+            have.insert((from, to));
+        }
+    }
+    for x in 0..n {
+        for y in 0..n {
+            if x == y {
+                continue;
+            }
+            let e = (ids[x], ids[y]);
+            if have.contains(&e) {
+                continue;
+            }
+            if rng.gen_bool(extra_p.clamp(0.0, 1.0)) {
+                let l = rng.gen_range(1..=max_lower);
+                let u = l + rng.gen_range(0..=max_slack);
+                b.add_channel(e.0, e.1, l, u)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Convenience: the ids `(p0, …)` of the first `k` processes of a context.
+pub fn first_processes(ctx: &Context, k: usize) -> Vec<ProcessId> {
+    ctx.network().processes().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let ctx = line(4, 1, 3).unwrap();
+        let net = ctx.network();
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.channels().len(), 6);
+        assert!(net.has_channel(ProcessId::new(1), ProcessId::new(2)));
+        assert!(!net.has_channel(ProcessId::new(0), ProcessId::new(2)));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let ctx = ring(5, 2, 2).unwrap();
+        assert_eq!(ctx.network().channels().len(), 10);
+        assert!(ring(2, 1, 1).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let ctx = star(4, 1, 1).unwrap();
+        let net = ctx.network();
+        assert_eq!(net.out_neighbors(ProcessId::new(0)).len(), 3);
+        assert_eq!(net.out_neighbors(ProcessId::new(2)).len(), 1);
+        assert!(star(1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let ctx = complete(4, 1, 2).unwrap();
+        assert_eq!(ctx.network().channels().len(), 12);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_connected() {
+        let a = random(6, 0.3, 3, 4, 99).unwrap();
+        let b = random(6, 0.3, 3, 4, 99).unwrap();
+        assert_eq!(a.network().channels(), b.network().channels());
+        // Ring backbone present.
+        for k in 0..6u32 {
+            assert!(a
+                .network()
+                .has_channel(ProcessId::new(k), ProcessId::new((k + 1) % 6)));
+        }
+        // Bounds are valid by construction (builder would have failed).
+        for (_, cb) in a.bounds().iter() {
+            assert!(cb.lower() >= 1 && cb.lower() <= cb.upper());
+        }
+    }
+
+    #[test]
+    fn first_processes_helper() {
+        let ctx = line(4, 1, 1).unwrap();
+        let ps = first_processes(&ctx, 2);
+        assert_eq!(ps, vec![ProcessId::new(0), ProcessId::new(1)]);
+    }
+}

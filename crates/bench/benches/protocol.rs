@@ -1,0 +1,38 @@
+//! B6 — end-to-end protocol decision latency: one full scenario run under
+//! each strategy (the optimal strategy pays a knowledge query per B-node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zigzag_bcm::scheduler::RandomScheduler;
+use zigzag_bcm::Time;
+use zigzag_bench::fig2_context;
+use zigzag_coord::{
+    AsyncChainStrategy, BStrategy, CoordKind, NeverStrategy, OptimalStrategy, Scenario,
+    SimpleForkStrategy, TimedCoordination,
+};
+
+fn protocol_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    let (ctx, [a, b, ch_c, _d, e]) = fig2_context(true);
+    let spec = TimedCoordination::new(CoordKind::Late { x: 5 }, a, b, ch_c);
+    let scenario = Scenario::new(spec, ctx, Time::new(2), Time::new(120))
+        .unwrap()
+        .with_external(Time::new(25), e, "kick_e");
+    let strategies: Vec<(&str, Box<dyn Fn() -> Box<dyn BStrategy>>)> = vec![
+        ("optimal", Box::new(|| Box::new(OptimalStrategy::new()))),
+        ("fork", Box::new(|| Box::new(SimpleForkStrategy::default()))),
+        ("async", Box::new(|| Box::new(AsyncChainStrategy::new()))),
+        ("never", Box::new(|| Box::new(NeverStrategy))),
+    ];
+    for (name, make) in strategies {
+        group.bench_with_input(BenchmarkId::new("fig2b-run", name), &scenario, |bench, sc| {
+            bench.iter(|| {
+                let mut s = make();
+                sc.run_verified(s.as_mut(), &mut RandomScheduler::seeded(3)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, protocol_latency);
+criterion_main!(benches);

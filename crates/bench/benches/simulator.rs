@@ -1,0 +1,29 @@
+//! B1 — simulator throughput: events per second as a function of network
+//! size, density, and horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zigzag_bench::{kicked_run, scaled_context};
+use zigzag_bcm::ProcessId;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [4usize, 8, 16] {
+        let ctx = scaled_context(n, 0.3, 42);
+        // Count nodes once for the throughput denominator.
+        let nodes = kicked_run(&ctx, ProcessId::new(0), 1, 60, 0).node_count();
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::new("procs", n), &ctx, |b, ctx| {
+            b.iter(|| kicked_run(ctx, ProcessId::new(0), 1, 60, 0));
+        });
+    }
+    for horizon in [40u64, 80, 160] {
+        let ctx = scaled_context(8, 0.3, 42);
+        group.bench_with_input(BenchmarkId::new("horizon", horizon), &horizon, |b, &h| {
+            b.iter(|| kicked_run(&ctx, ProcessId::new(0), 1, h, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

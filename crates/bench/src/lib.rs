@@ -1,0 +1,121 @@
+//! # zigzag-bench — experiment harness for the reproduction
+//!
+//! Shared fixtures and reporting helpers used by the experiment binaries
+//! (`src/bin/exp_*.rs`, one per paper figure/claim — see DESIGN.md §4 and
+//! EXPERIMENTS.md) and the Criterion benchmarks (`benches/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use zigzag_bcm::protocols::Ffip;
+use zigzag_bcm::scheduler::RandomScheduler;
+use zigzag_bcm::{Context, Network, ProcessId, Run, SimConfig, Simulator, Time};
+
+/// The Figure 1 context with parametric bounds: `C → A [la, ua]`,
+/// `C → B [lb, ub]`. Returns `(ctx, c, a, b)`.
+pub fn fig1_context(
+    la: u64,
+    ua: u64,
+    lb: u64,
+    ub: u64,
+) -> (Context, ProcessId, ProcessId, ProcessId) {
+    let mut nb = Network::builder();
+    let c = nb.add_process("C");
+    let a = nb.add_process("A");
+    let b = nb.add_process("B");
+    nb.add_channel(c, a, la, ua).expect("valid bounds");
+    nb.add_channel(c, b, lb, ub).expect("valid bounds");
+    (nb.build().expect("non-empty"), c, a, b)
+}
+
+/// The Figure 2 / 2b context with the paper's bound pattern. Returns
+/// `(ctx, [a, b, c, d, e])`; `with_report` adds the `D → B` channel that
+/// makes the zigzag visible at `B`.
+pub fn fig2_context(with_report: bool) -> (Context, [ProcessId; 5]) {
+    let mut nb = Network::builder();
+    let a = nb.add_process("A");
+    let b = nb.add_process("B");
+    let c = nb.add_process("C");
+    let d = nb.add_process("D");
+    let e = nb.add_process("E");
+    nb.add_channel(c, a, 1, 3).expect("valid"); // U_CA = 3
+    nb.add_channel(c, d, 6, 8).expect("valid"); // L_CD = 6
+    nb.add_channel(e, d, 1, 2).expect("valid"); // U_ED = 2
+    nb.add_channel(e, b, 4, 7).expect("valid"); // L_EB = 4
+    if with_report {
+        nb.add_channel(d, b, 1, 5).expect("valid");
+    }
+    (nb.build().expect("non-empty"), [a, b, c, d, e])
+}
+
+/// Simulates a single-trigger workload under a seeded random schedule.
+pub fn kicked_run(ctx: &Context, kick_to: ProcessId, at: u64, horizon: u64, seed: u64) -> Run {
+    let mut sim = Simulator::new(ctx.clone(), SimConfig::with_horizon(Time::new(horizon)));
+    sim.external(Time::new(at), kick_to, "kick");
+    sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+        .expect("well-formed workload")
+}
+
+/// A strongly connected random context of `n` processes (ring plus random
+/// chords), for scaling sweeps.
+pub fn scaled_context(n: usize, density: f64, seed: u64) -> Context {
+    zigzag_bcm::topology::random(n, density, 1, 6, seed).expect("valid topology parameters")
+}
+
+/// Prints a Markdown-style table row, padding each cell to its column.
+pub fn print_row(widths: &[usize], cells: &[String]) {
+    let line: Vec<String> = widths
+        .iter()
+        .zip(cells)
+        .map(|(w, c)| format!("{c:>w$}"))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Prints a table header plus separator.
+pub fn print_header(widths: &[usize], names: &[&str]) {
+    print_row(
+        widths,
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", line.join("-|-"));
+}
+
+/// Mean of an i64 sample.
+pub fn mean(xs: &[i64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<i64>() as f64 / xs.len() as f64
+}
+
+/// Minimum of an i64 sample (`i64::MAX` when empty).
+pub fn min(xs: &[i64]) -> i64 {
+    xs.iter().copied().min().unwrap_or(i64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_materialize() {
+        let (ctx, c, _a, _b) = fig1_context(2, 5, 9, 12);
+        let run = kicked_run(&ctx, c, 3, 30, 0);
+        assert!(run.node_count() > 3);
+        let (ctx2, procs) = fig2_context(true);
+        assert_eq!(ctx2.network().len(), 5);
+        assert!(ctx2.network().has_channel(procs[3], procs[1]));
+        let ctx3 = scaled_context(6, 0.5, 1);
+        assert_eq!(ctx3.network().len(), 6);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1, 2, 3]), 2.0);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(min(&[3, 1, 2]), 1);
+        assert_eq!(min(&[]), i64::MAX);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the coordination layer.
+
+use std::fmt;
+
+use zigzag_bcm::BcmError;
+use zigzag_core::CoreError;
+
+/// Errors produced by coordination scenarios and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoordError {
+    /// An underlying model error.
+    Bcm(BcmError),
+    /// An underlying causality-layer error.
+    Core(CoreError),
+    /// The scenario or specification is malformed (missing channel,
+    /// coinciding roles that the spec forbids, …).
+    BadScenario {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// The recorded horizon is too small to determine the verdict (e.g.
+    /// `A`'s action node lies beyond the prefix).
+    Inconclusive {
+        /// Explanation of what could not be determined.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Bcm(e) => write!(f, "{e}"),
+            CoordError::Core(e) => write!(f, "{e}"),
+            CoordError::BadScenario { detail } => write!(f, "bad scenario: {detail}"),
+            CoordError::Inconclusive { detail } => {
+                write!(f, "verdict inconclusive at this horizon: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::Bcm(e) => Some(e),
+            CoordError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BcmError> for CoordError {
+    fn from(e: BcmError) -> Self {
+        CoordError::Bcm(e)
+    }
+}
+
+impl From<CoreError> for CoordError {
+    fn from(e: CoreError) -> Self {
+        CoordError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let e: CoordError = BcmError::EmptyNetwork.into();
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let e: CoordError = CoreError::PositiveCycle.into();
+        assert!(e.source().is_some());
+        let e = CoordError::BadScenario { detail: "x".into() };
+        assert!(e.to_string().contains("bad scenario"));
+        assert!(e.source().is_none());
+        let e = CoordError::Inconclusive { detail: "x".into() };
+        assert!(e.to_string().contains("inconclusive"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Scenario harness: wires a [`TimedCoordination`] spec into the simulator.
+//!
+//! A scenario fixes the context, the spontaneous trigger, and the protocol
+//! roles of Definition 1: `C` relays the trigger (the FFIP flood *is* the
+//! "go" message), `A` acts unconditionally on `C`'s direct message, and `B`
+//! consults a pluggable [`BStrategy`] — the optimal visible-zigzag protocol
+//! or one of the baselines — at every node.
+
+use zigzag_bcm::process::{Action, Protocol};
+use zigzag_bcm::scheduler::Scheduler;
+use zigzag_bcm::{Context, Run, SimConfig, Simulator, Time, View};
+
+use crate::error::CoordError;
+use crate::spec::{verify, TimedCoordination, Verdict};
+
+/// `B`'s decision rule: whether to perform `b` at the current node.
+///
+/// Implementations may consult only the [`View`] (the local state) and the
+/// common-knowledge bounds; this is enforced socially rather than by the
+/// type system (see [`View::run_for_analysis`]), and the knowledge-based
+/// strategy provably respects it.
+pub trait BStrategy {
+    /// Decide whether to act at `view.node()`. Called once per node of
+    /// `B`; the harness guarantees `b` fires at most once per run.
+    fn should_act(&mut self, spec: &TimedCoordination, view: &View<'_>) -> bool;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A Definition 1 scenario: context, spec, trigger time, horizon, plus
+/// any additional spontaneous externals the workload calls for (e.g. the
+/// kick that sets Figure 2's process `E` in motion).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    spec: TimedCoordination,
+    context: Context,
+    go_time: Time,
+    horizon: Time,
+    extra_externals: Vec<(Time, zigzag_bcm::ProcessId, String)>,
+}
+
+impl Scenario {
+    /// Creates a scenario, validating that the required channel `C → A`
+    /// exists (unless `C = A`) and all roles name processes of the
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError::BadScenario`] on a malformed setup.
+    pub fn new(
+        spec: TimedCoordination,
+        context: Context,
+        go_time: Time,
+        horizon: Time,
+    ) -> Result<Self, CoordError> {
+        let net = context.network();
+        for (role, p) in [("A", spec.a), ("B", spec.b), ("C", spec.c)] {
+            if !net.contains(p) {
+                return Err(CoordError::BadScenario {
+                    detail: format!("role {role} names unknown process {p}"),
+                });
+            }
+        }
+        if spec.a != spec.c && !net.has_channel(spec.c, spec.a) {
+            return Err(CoordError::BadScenario {
+                detail: format!("no channel {} → {} for the go message", spec.c, spec.a),
+            });
+        }
+        if go_time.is_zero() {
+            return Err(CoordError::BadScenario {
+                detail: "the trigger cannot arrive at time 0".into(),
+            });
+        }
+        Ok(Scenario {
+            spec,
+            context,
+            go_time,
+            horizon,
+            extra_externals: Vec::new(),
+        })
+    }
+
+    /// Schedules an additional spontaneous external input.
+    pub fn with_external(
+        mut self,
+        time: Time,
+        proc: zigzag_bcm::ProcessId,
+        name: impl Into<String>,
+    ) -> Self {
+        self.extra_externals.push((time, proc, name.into()));
+        self
+    }
+
+    /// The specification under test.
+    pub fn spec(&self) -> &TimedCoordination {
+        &self.spec
+    }
+
+    /// The bounded context.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Runs the scenario once under the given strategy and scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (misbehaving scheduler, …).
+    pub fn run(
+        &self,
+        strategy: &mut dyn BStrategy,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<Run, CoordError> {
+        let mut sim = Simulator::new(self.context.clone(), SimConfig::with_horizon(self.horizon));
+        sim.external(self.go_time, self.spec.c, self.spec.go_name.clone());
+        for (t, p, name) in &self.extra_externals {
+            sim.external(*t, *p, name.clone());
+        }
+        let mut protocol = CoordProtocol {
+            spec: &self.spec,
+            strategy,
+        };
+        Ok(sim.run(&mut protocol, scheduler)?)
+    }
+
+    /// Runs the scenario and verifies the outcome in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and verification errors.
+    pub fn run_verified(
+        &self,
+        strategy: &mut dyn BStrategy,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<(Run, Verdict), CoordError> {
+        let run = self.run(strategy, scheduler)?;
+        let verdict = verify(&self.spec, &run)?;
+        Ok((run, verdict))
+    }
+}
+
+/// The Definition 1 protocol: `C` relays, `A` acts on receipt, `B` defers
+/// to its strategy.
+struct CoordProtocol<'s> {
+    spec: &'s TimedCoordination,
+    strategy: &'s mut dyn BStrategy,
+}
+
+impl CoordProtocol<'_> {
+    /// Whether the current node observes `C`'s *direct* go message (or the
+    /// trigger itself when `C = A`).
+    fn receives_go_message(&self, view: &View<'_>) -> bool {
+        let Some(sigma_c) = view.external_node(self.spec.c, &self.spec.go_name) else {
+            return false;
+        };
+        if self.spec.a == self.spec.c {
+            return view.node() == sigma_c;
+        }
+        view.current_receipts()
+            .iter()
+            .filter_map(|r| r.internal())
+            .any(|m| view.sender(m) == Some(sigma_c))
+    }
+}
+
+impl Protocol for CoordProtocol<'_> {
+    fn on_event(&mut self, view: &View<'_>) -> Vec<Action> {
+        let me = view.proc();
+        let mut out = Vec::new();
+        if me == self.spec.c
+            && view
+                .current_receipts()
+                .iter()
+                .filter_map(|r| r.external())
+                .any(|e| view.external_name(e) == Some(self.spec.go_name.as_str()))
+        {
+            out.push(Action::new("send_go"));
+        }
+        if me == self.spec.a
+            && !view.already_acted(&self.spec.a_action)
+            && self.receives_go_message(view)
+        {
+            out.push(Action::new(self.spec.a_action.clone()));
+        }
+        if me == self.spec.b
+            && !view.already_acted(&self.spec.b_action)
+            && self.strategy.should_act(self.spec, view)
+        {
+            out.push(Action::new(self.spec.b_action.clone()));
+        }
+        out
+    }
+}
+
+/// Support for harnesses that drive the Definition 1 protocol through a
+/// hand-built [`Simulator`] (extra externals, custom recording) instead of
+/// [`Scenario::run`].
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    /// Builds the Definition 1 protocol directly.
+    pub fn protocol<'s>(
+        spec: &'s TimedCoordination,
+        strategy: &'s mut dyn BStrategy,
+    ) -> impl Protocol + 's {
+        CoordProtocol { spec, strategy }
+    }
+}
+
+/// A strategy that never acts — the trivially correct (and useless)
+/// control; abstention always satisfies Definition 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverStrategy;
+
+impl BStrategy for NeverStrategy {
+    fn should_act(&mut self, _spec: &TimedCoordination, _view: &View<'_>) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "never"
+    }
+}
+
+/// A strategy that acts at `B`'s first non-initial node regardless of any
+/// evidence — the unsound control used to check that the verifier and the
+/// adversarial schedulers actually catch violations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecklessStrategy;
+
+impl BStrategy for RecklessStrategy {
+    fn should_act(&mut self, _spec: &TimedCoordination, _view: &View<'_>) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "reckless"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CoordKind;
+    use zigzag_bcm::scheduler::{EagerScheduler, RandomScheduler};
+    use zigzag_bcm::{Network, ProcessId};
+
+    fn fig1_scenario(x: i64) -> Scenario {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        let ctx = nb.build().unwrap();
+        let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+        Scenario::new(spec, ctx, Time::new(3), Time::new(60)).unwrap()
+    }
+
+    #[test]
+    fn a_acts_exactly_at_go_receipt() {
+        let sc = fig1_scenario(4);
+        let (run, verdict) = sc
+            .run_verified(&mut NeverStrategy, &mut EagerScheduler)
+            .unwrap();
+        assert!(verdict.ok);
+        let a = ProcessId::new(1);
+        let a_node = run.action_node(a, "a").unwrap();
+        assert_eq!(run.time(a_node), Some(Time::new(3 + 2)));
+        assert_eq!(verdict.b_node, None);
+        // C marked its relay.
+        assert!(run.action_node(ProcessId::new(0), "send_go").is_some());
+    }
+
+    #[test]
+    fn reckless_b_gets_caught() {
+        // Reckless B acts on its first event; with x = 10 the fig-1 gap
+        // (L_CB − U_CA = 4) cannot support it under adversarial schedules.
+        let sc = fig1_scenario(10);
+        let mut violations = 0;
+        for seed in 0..20 {
+            let (_, verdict) = sc
+                .run_verified(&mut RecklessStrategy, &mut RandomScheduler::seeded(seed))
+                .unwrap();
+            if !verdict.ok {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "verifier never caught the reckless strategy");
+    }
+
+    #[test]
+    fn scenario_validation() {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, b, 1, 2).unwrap();
+        let ctx = nb.build().unwrap();
+        // Missing C → A channel.
+        let spec = TimedCoordination::new(CoordKind::Late { x: 0 }, a, b, c);
+        assert!(Scenario::new(spec.clone(), ctx.clone(), Time::new(1), Time::new(10)).is_err());
+        // Unknown process.
+        let mut bad = spec.clone();
+        bad.a = ProcessId::new(9);
+        assert!(Scenario::new(bad, ctx.clone(), Time::new(1), Time::new(10)).is_err());
+        // Trigger at time 0.
+        let mut ok_spec = spec;
+        ok_spec.a = c; // C = A avoids the missing channel
+        assert!(Scenario::new(ok_spec.clone(), ctx.clone(), Time::ZERO, Time::new(10)).is_err());
+        let sc = Scenario::new(ok_spec, ctx, Time::new(1), Time::new(10)).unwrap();
+        assert_eq!(sc.spec().c, ProcessId::new(0));
+        let _ = sc.context();
+    }
+
+    #[test]
+    fn c_equals_a_acts_at_trigger() {
+        let mut nb = Network::builder();
+        let c = nb.add_process("CA");
+        let b = nb.add_process("B");
+        nb.add_channel(c, b, 3, 6).unwrap();
+        let ctx = nb.build().unwrap();
+        let spec = TimedCoordination::new(CoordKind::Late { x: 1 }, c, b, c);
+        let sc = Scenario::new(spec, ctx, Time::new(2), Time::new(30)).unwrap();
+        let (run, verdict) = sc
+            .run_verified(&mut NeverStrategy, &mut EagerScheduler)
+            .unwrap();
+        assert!(verdict.ok);
+        assert_eq!(run.time(verdict.a_node.unwrap()), Some(Time::new(2)));
+        let never = &mut NeverStrategy;
+        assert_eq!(BStrategy::name(never), "never");
+        assert_eq!(RecklessStrategy.name(), "reckless");
+    }
+}

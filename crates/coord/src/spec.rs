@@ -1,0 +1,389 @@
+//! Timed-coordination specifications (paper Definition 1) and their
+//! verification against recorded runs.
+
+use serde::{Deserialize, Serialize};
+use zigzag_bcm::{NodeId, ProcessId, Run, Time};
+use zigzag_core::{CoreError, GeneralNode};
+
+use crate::error::CoordError;
+
+/// Which of the two Definition 1 problems is being solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoordKind {
+    /// `Early⟨b --x--> a⟩`: `B` performs `b` at least `x` time units
+    /// *before* `a`.
+    Early {
+        /// The required separation (possibly negative).
+        x: i64,
+    },
+    /// `Late⟨a --x--> b⟩`: `B` performs `b` at least `x` time units
+    /// *after* `a`.
+    Late {
+        /// The required separation (possibly negative).
+        x: i64,
+    },
+    /// `Window⟨a, b⟩`: `b` at least `after` **and** at most `within` time
+    /// units after `a` — the two-sided constraint (an extension in the
+    /// paper's spirit: both a lower and an upper bound on `t_b − t_a`,
+    /// requiring knowledge in *both* directions).
+    Window {
+        /// Minimum separation `t_b − t_a >= after`.
+        after: i64,
+        /// Maximum separation `t_b − t_a <= within`.
+        within: i64,
+    },
+}
+
+impl CoordKind {
+    /// The (primary) separation parameter `x` (`after` for windows).
+    pub fn x(self) -> i64 {
+        match self {
+            CoordKind::Early { x } | CoordKind::Late { x } => x,
+            CoordKind::Window { after, .. } => after,
+        }
+    }
+}
+
+impl std::fmt::Display for CoordKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordKind::Early { x } => write!(f, "Early⟨b --{x}--> a⟩"),
+            CoordKind::Late { x } => write!(f, "Late⟨a --{x}--> b⟩"),
+            CoordKind::Window { after, within } => {
+                write!(f, "Window⟨a --[{after},{within}]--> b⟩")
+            }
+        }
+    }
+}
+
+/// A Definition 1 instance: `A` performs `a` upon receiving a "go" message
+/// that `C` sends when the spontaneous external input `go_name` arrives;
+/// `B` should perform `b` only if `a` is performed, and only at a time
+/// consistent with [`CoordKind`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedCoordination {
+    /// The problem variant and separation.
+    pub kind: CoordKind,
+    /// The process performing `a`.
+    pub a: ProcessId,
+    /// The process performing `b`.
+    pub b: ProcessId,
+    /// The process receiving the spontaneous trigger (may equal `a`, in
+    /// which case `a` is performed directly at the trigger node — the
+    /// paper's "asynchronous instance" of Figure 1).
+    pub c: ProcessId,
+    /// Name of the external input `µ_go`.
+    pub go_name: String,
+    /// Name of action `a`.
+    pub a_action: String,
+    /// Name of action `b`.
+    pub b_action: String,
+}
+
+impl TimedCoordination {
+    /// Creates a spec with the conventional action names `"go"`, `"a"`,
+    /// `"b"`.
+    pub fn new(kind: CoordKind, a: ProcessId, b: ProcessId, c: ProcessId) -> Self {
+        TimedCoordination {
+            kind,
+            a,
+            b,
+            c,
+            go_name: "go".into(),
+            a_action: "a".into(),
+            b_action: "b".into(),
+        }
+    }
+
+    /// The general node at which `a` is performed, given the trigger node
+    /// `σ_C`: `σ_C · A` (or `σ_C` itself when `C = A`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the hop `C → A` is a self-loop for distinct names (cannot
+    /// happen for valid specs).
+    pub fn theta_a(&self, sigma_c: NodeId) -> Result<GeneralNode, CoreError> {
+        if self.a == self.c {
+            Ok(GeneralNode::basic(sigma_c))
+        } else {
+            GeneralNode::chain(sigma_c, &[self.a])
+        }
+    }
+}
+
+impl std::fmt::Display for TimedCoordination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} with A={}, B={}, C={} (trigger '{}')",
+            self.kind, self.a, self.b, self.c, self.go_name
+        )
+    }
+}
+
+/// The outcome of verifying one run against a [`TimedCoordination`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The node at which `C` received the trigger, if it did.
+    pub sigma_c: Option<NodeId>,
+    /// The node at which `a` was performed, if it was.
+    pub a_node: Option<NodeId>,
+    /// `time(a)`, if performed.
+    pub a_time: Option<Time>,
+    /// The node at which `b` was performed, if it was.
+    pub b_node: Option<NodeId>,
+    /// `time(b)`, if performed.
+    pub b_time: Option<Time>,
+    /// Whether the run satisfies the specification.
+    pub ok: bool,
+    /// Human-readable reason when `ok` is false.
+    pub violation: Option<String>,
+    /// Slack over the requirement when both actions happened:
+    /// `t_b − t_a − x` for `Late`, `t_a − t_b − x` for `Early`.
+    pub margin: Option<i64>,
+    /// Whether `b`'s node has `σ_C` in its causal past (Theorem 3 states
+    /// this is necessary; the verifier reports it independently).
+    pub b_heard_go: bool,
+}
+
+/// Verifies a recorded run against the specification (the semantics of
+/// "implements" in paper §2.1):
+///
+/// 1. if the trigger arrived, `a` is performed exactly at `σ_C · A`;
+/// 2. `b` is performed only if `a` is performed;
+/// 3. if both are performed, their times satisfy the [`CoordKind`].
+///
+/// # Errors
+///
+/// Returns [`CoordError::Inconclusive`] when the horizon cuts off `A`'s
+/// action node, making the verdict undefined rather than false.
+pub fn verify(spec: &TimedCoordination, run: &Run) -> Result<Verdict, CoordError> {
+    let sigma_c = run.external_receipt_node(spec.c, &spec.go_name);
+    let a_node = run.action_node(spec.a, &spec.a_action);
+    let b_node = run.action_node(spec.b, &spec.b_action);
+    let a_time = a_node.and_then(|n| run.time(n));
+    let b_time = b_node.and_then(|n| run.time(n));
+    let b_heard_go = match (b_node, sigma_c) {
+        (Some(bn), Some(sc)) => run.past(bn).contains(sc),
+        _ => false,
+    };
+
+    let mut verdict = Verdict {
+        sigma_c,
+        a_node,
+        a_time,
+        b_node,
+        b_time,
+        ok: true,
+        violation: None,
+        margin: None,
+        b_heard_go,
+    };
+    let fail = |v: &mut Verdict, reason: String| {
+        v.ok = false;
+        v.violation.get_or_insert(reason);
+    };
+
+    // 1. A acts unconditionally at σ_C · A.
+    match sigma_c {
+        Some(sc) => {
+            let theta_a = spec.theta_a(sc)?;
+            match theta_a.resolve(run) {
+                Ok(expected) => {
+                    if a_node != Some(expected) {
+                        fail(
+                            &mut verdict,
+                            format!(
+                                "a performed at {a_node:?}, expected {expected} = σ_C · A"
+                            ),
+                        );
+                    }
+                }
+                Err(CoreError::HorizonTooSmall { detail }) => {
+                    if b_node.is_some() {
+                        // b happened but a's node is unrecorded: cannot
+                        // judge the timing.
+                        return Err(CoordError::Inconclusive { detail });
+                    }
+                    // Neither judgeable nor violated: a simply hasn't
+                    // happened yet within the prefix.
+                    if a_node.is_some() {
+                        fail(&mut verdict, "a performed before C's message arrived".into());
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        None => {
+            if a_node.is_some() {
+                fail(&mut verdict, "a performed without a trigger".into());
+            }
+        }
+    }
+
+    // 2–3. b only if a, with the required separation.
+    match (a_time, b_time) {
+        (None, Some(_)) => fail(&mut verdict, "b performed but a was not".into()),
+        (Some(ta), Some(tb)) => {
+            let (required, margin) = match spec.kind {
+                CoordKind::Late { x } => (tb.diff(ta) >= x, tb.diff(ta) - x),
+                CoordKind::Early { x } => (ta.diff(tb) >= x, ta.diff(tb) - x),
+                CoordKind::Window { after, within } => {
+                    let gap = tb.diff(ta);
+                    // Margin: slack to the nearest violated side.
+                    (gap >= after && gap <= within, (gap - after).min(within - gap))
+                }
+            };
+            verdict.margin = Some(margin);
+            if !required {
+                fail(
+                    &mut verdict,
+                    format!(
+                        "{} violated: t_a = {ta}, t_b = {tb} (margin {margin})",
+                        spec.kind
+                    ),
+                );
+            }
+        }
+        _ => {}
+    }
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::builder::RunBuilder;
+    use zigzag_bcm::{Network, Time};
+
+    fn fig1_ctx() -> (zigzag_bcm::Context, ProcessId, ProcessId, ProcessId) {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        (nb.build().unwrap(), c, a, b)
+    }
+
+    /// Hand-builds a fig-1 run where a happens at `ta` and b at `tb`.
+    fn handmade(ta: u64, tb: u64, with_b: bool) -> (TimedCoordination, Run) {
+        let (ctx, c, a, b) = fig1_ctx();
+        let spec = TimedCoordination::new(CoordKind::Late { x: 4 }, a, b, c);
+        let mut rb = RunBuilder::new(ctx, Time::new(40));
+        let nc = rb.add_node(c, Time::new(1)).unwrap();
+        rb.add_external(nc, "go").unwrap();
+        let m_a = rb.send(nc, a, Time::new(ta)).unwrap();
+        let m_b = rb.send(nc, b, Time::new(tb)).unwrap();
+        let na = rb.add_node(a, Time::new(ta)).unwrap();
+        rb.deliver(m_a, na).unwrap();
+        rb.act(na, "a").unwrap();
+        let nb_ = rb.add_node(b, Time::new(tb)).unwrap();
+        rb.deliver(m_b, nb_).unwrap();
+        if with_b {
+            rb.act(nb_, "b").unwrap();
+        }
+        (spec, rb.finish())
+    }
+
+    #[test]
+    fn satisfied_late_spec() {
+        let (spec, run) = handmade(3, 10, true); // gap 7 >= 4
+        let v = verify(&spec, &run).unwrap();
+        assert!(v.ok, "{:?}", v.violation);
+        assert_eq!(v.margin, Some(3));
+        assert!(v.b_heard_go);
+        assert!(v.sigma_c.is_some());
+    }
+
+    #[test]
+    fn violated_late_spec() {
+        let (spec, run) = handmade(6, 9, true); // gap 3 < 4
+        let v = verify(&spec, &run).unwrap();
+        assert!(!v.ok);
+        assert_eq!(v.margin, Some(-1));
+        assert!(v.violation.unwrap().contains("Late"));
+    }
+
+    #[test]
+    fn abstention_is_fine() {
+        let (spec, run) = handmade(3, 10, false);
+        let v = verify(&spec, &run).unwrap();
+        assert!(v.ok);
+        assert_eq!(v.b_node, None);
+        assert_eq!(v.margin, None);
+    }
+
+    #[test]
+    fn early_spec_direction() {
+        let (ctx, c, a, b) = fig1_ctx();
+        // Early: b at least 2 before a. Build b at 9, a at 12.
+        let spec = TimedCoordination::new(CoordKind::Early { x: 2 }, a, b, c);
+        let mut rb = RunBuilder::new(ctx, Time::new(40));
+        let nc = rb.add_node(c, Time::new(7)).unwrap();
+        rb.add_external(nc, "go").unwrap();
+        let m_a = rb.send(nc, a, Time::new(12)).unwrap();
+        let m_b = rb.send(nc, b, Time::new(16)).unwrap();
+        let na = rb.add_node(a, Time::new(12)).unwrap();
+        rb.deliver(m_a, na).unwrap();
+        rb.act(na, "a").unwrap();
+        let nb_ = rb.add_node(b, Time::new(16)).unwrap();
+        rb.deliver(m_b, nb_).unwrap();
+        // b at 16 is *after* a: Early(2) violated if b acts there.
+        rb.act(nb_, "b").unwrap();
+        let run = rb.finish();
+        let v = verify(&spec, &run).unwrap();
+        assert!(!v.ok);
+        assert_eq!(v.margin, Some(12 - 16 - 2));
+    }
+
+    #[test]
+    fn b_without_a_is_a_violation() {
+        let (ctx, c, _a, b) = fig1_ctx();
+        let spec = TimedCoordination::new(CoordKind::Late { x: 0 }, _a, b, c);
+        let mut rb = RunBuilder::new(ctx, Time::new(40));
+        let nc = rb.add_node(c, Time::new(1)).unwrap();
+        rb.add_external(nc, "go").unwrap();
+        let m_b = rb.send(nc, b, Time::new(10)).unwrap();
+        let m_a = rb.send(nc, _a, Time::new(30)).unwrap();
+        let nb_ = rb.add_node(b, Time::new(10)).unwrap();
+        rb.deliver(m_b, nb_).unwrap();
+        rb.act(nb_, "b").unwrap();
+        let na = rb.add_node(_a, Time::new(30)).unwrap();
+        rb.deliver(m_a, na).unwrap(); // a's node exists but no action
+        let run = rb.finish();
+        let v = verify(&spec, &run).unwrap();
+        assert!(!v.ok);
+        // Two violations compound; the first is A failing to act.
+        assert!(v.violation.is_some());
+    }
+
+    #[test]
+    fn quiescent_run_is_vacuously_ok() {
+        let (ctx, c, a, b) = fig1_ctx();
+        let spec = TimedCoordination::new(CoordKind::Late { x: 4 }, a, b, c);
+        let run = RunBuilder::new(ctx, Time::new(10)).finish();
+        let v = verify(&spec, &run).unwrap();
+        assert!(v.ok);
+        assert_eq!(v.sigma_c, None);
+        assert!(!v.b_heard_go);
+    }
+
+    #[test]
+    fn kind_accessors_and_display() {
+        assert_eq!(CoordKind::Early { x: 3 }.x(), 3);
+        assert_eq!(CoordKind::Late { x: -2 }.x(), -2);
+        assert_eq!(CoordKind::Window { after: 1, within: 9 }.x(), 1);
+        assert!(CoordKind::Early { x: 3 }.to_string().contains("Early"));
+        assert!(CoordKind::Window { after: 1, within: 9 }
+            .to_string()
+            .contains("[1,9]"));
+        let (spec, _) = handmade(3, 10, true);
+        assert!(spec.to_string().contains("Late"));
+        // theta_a with C = A degenerates to σ_C.
+        let mut spec2 = spec.clone();
+        spec2.a = spec2.c;
+        let sc = NodeId::new(spec2.c, 1);
+        assert!(spec2.theta_a(sc).unwrap().is_basic());
+    }
+}

@@ -1,0 +1,172 @@
+//! Feasibility-threshold sweeps: the largest separation a strategy can
+//! coordinate on a given scenario family.
+//!
+//! For a fixed context and roles, a strategy's *feasibility threshold* is
+//! the largest `x` at which it still acts (sound strategies act for every
+//! smaller `x` too — knowledge is monotone in `x`). The sweep measures it
+//! empirically across seeds, which is how the experiment binaries find the
+//! fork/zigzag crossover bands.
+
+use zigzag_bcm::scheduler::RandomScheduler;
+use zigzag_bcm::{Context, ProcessId, Time};
+
+use crate::error::CoordError;
+use crate::scenario::{BStrategy, Scenario};
+use crate::spec::{CoordKind, TimedCoordination};
+
+/// The scenario family a sweep runs over: everything but the separation.
+#[derive(Debug, Clone)]
+pub struct SweepFamily {
+    /// The bounded context.
+    pub context: Context,
+    /// Role `A`.
+    pub a: ProcessId,
+    /// Role `B`.
+    pub b: ProcessId,
+    /// Role `C`.
+    pub c: ProcessId,
+    /// Whether the family is `Late` (else `Early`).
+    pub late: bool,
+    /// Trigger time.
+    pub go_time: Time,
+    /// Recording horizon.
+    pub horizon: Time,
+    /// Extra externals (time, process, name).
+    pub externals: Vec<(Time, ProcessId, String)>,
+}
+
+impl SweepFamily {
+    /// Instantiates the scenario at separation `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-validation failures.
+    pub fn at(&self, x: i64) -> Result<Scenario, CoordError> {
+        let kind = if self.late {
+            CoordKind::Late { x }
+        } else {
+            CoordKind::Early { x }
+        };
+        let spec = TimedCoordination::new(kind, self.a, self.b, self.c);
+        let mut sc = Scenario::new(spec, self.context.clone(), self.go_time, self.horizon)?;
+        for (t, p, name) in &self.externals {
+            sc = sc.with_external(*t, *p, name.clone());
+        }
+        Ok(sc)
+    }
+}
+
+/// The outcome of a threshold sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Threshold {
+    /// Largest `x` in the searched range at which the strategy acted in
+    /// every sampled run, or `None` if it never did.
+    pub always_acts: Option<i64>,
+    /// Largest `x` at which it acted in at least one sampled run.
+    pub ever_acts: Option<i64>,
+    /// Specification violations observed anywhere in the sweep (must be 0
+    /// for sound strategies).
+    pub violations: u32,
+}
+
+/// Sweeps `x` over `range` (inclusive), running `seeds` random schedules
+/// per point.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn threshold(
+    family: &SweepFamily,
+    strategy_factory: &dyn Fn() -> Box<dyn BStrategy>,
+    range: std::ops::RangeInclusive<i64>,
+    seeds: u64,
+) -> Result<Threshold, CoordError> {
+    let mut always = None;
+    let mut ever = None;
+    let mut violations = 0u32;
+    for x in range {
+        let sc = family.at(x)?;
+        let mut acted = 0u64;
+        for seed in 0..seeds {
+            let mut strategy = strategy_factory();
+            let (_, v) = sc.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
+            violations += !v.ok as u32;
+            acted += v.b_node.is_some() as u64;
+        }
+        if acted == seeds {
+            always = Some(x);
+        }
+        if acted > 0 {
+            ever = Some(x);
+        }
+    }
+    Ok(Threshold {
+        always_acts: always,
+        ever_acts: ever,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::SimpleForkStrategy;
+    use crate::optimal::OptimalStrategy;
+    use zigzag_bcm::Network;
+
+    fn fig1_family() -> SweepFamily {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        SweepFamily {
+            context: nb.build().unwrap(),
+            a,
+            b,
+            c,
+            late: true,
+            go_time: Time::new(3),
+            horizon: Time::new(80),
+            externals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fig1_threshold_is_the_fork_weight() {
+        let family = fig1_family();
+        let t = threshold(
+            &family,
+            &|| Box::new(OptimalStrategy::new()),
+            0..=8,
+            6,
+        )
+        .unwrap();
+        assert_eq!(t.always_acts, Some(4)); // L_CB − U_CA
+        assert_eq!(t.ever_acts, Some(4));
+        assert_eq!(t.violations, 0);
+        // The fork baseline has the same threshold on a pure-fork topology.
+        let tf = threshold(
+            &family,
+            &|| Box::new(SimpleForkStrategy::default()),
+            0..=8,
+            6,
+        )
+        .unwrap();
+        assert_eq!(tf.always_acts, Some(4));
+    }
+
+    #[test]
+    fn infeasible_families_report_none() {
+        let mut family = fig1_family();
+        family.late = false; // Early with L_CA < U_CB: never feasible for x ≥ 0
+        let t = threshold(&family, &|| Box::new(OptimalStrategy::new()), 0..=4, 4).unwrap();
+        assert_eq!(t.always_acts, None);
+        assert_eq!(t.ever_acts, None);
+        assert_eq!(t.violations, 0);
+        // Scenario instantiation errors propagate.
+        family.go_time = Time::ZERO;
+        assert!(family.at(0).is_err());
+    }
+}

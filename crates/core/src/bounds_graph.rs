@@ -1,0 +1,321 @@
+//! The basic bounds graph `GB(r)` (paper Definition 8) and its local
+//! restriction `GB(r, σ)` (Definition 14).
+//!
+//! Vertices are the basic nodes of the run. Edges encode the timing
+//! constraints the context imposes:
+//!
+//! * `σ --1--> succ(σ)` — successive nodes of a process are ≥ 1 apart;
+//! * `send --L_ij--> recv` — a message takes at least `L_ij`;
+//! * `recv --(−U_ij)--> send` — equivalently, the send happened at most
+//!   `U_ij` before the receive.
+//!
+//! Every path weight is a sound timed-precedence bound between its
+//! endpoints (Lemma 1); the **longest** path is the tight one (proof of
+//! Theorem 2); and every path induces a zigzag pattern of equal weight
+//! (Lemma 5, implemented in [`crate::extract`]).
+
+use zigzag_bcm::run::Past;
+use zigzag_bcm::{MessageId, NodeId, Run};
+
+use crate::error::CoreError;
+use crate::graph::{Edge, LongestPaths, WeightedDigraph};
+
+/// Edge label: a timeline-successor edge (weight 1).
+pub const LABEL_SUCCESSOR: u32 = 0;
+/// Edge label: sender-to-receiver edge (weight `+L`).
+pub const LABEL_SEND: u32 = 1;
+/// Edge label: receiver-back-to-sender edge (weight `−U`).
+pub const LABEL_RECV: u32 = 2;
+
+/// The basic bounds graph of a run (or of a node's causal past).
+#[derive(Debug, Clone)]
+pub struct BoundsGraph {
+    graph: WeightedDigraph<NodeId>,
+    /// Message behind each labelled send/recv edge, parallel to insertion
+    /// order; looked up by the extraction layer via edge labels only, so we
+    /// keep it simple: send/recv edges can be re-derived from endpoints.
+    message_edges: usize,
+}
+
+impl BoundsGraph {
+    /// Builds `GB(r)` over every recorded basic node.
+    pub fn of_run(run: &Run) -> Self {
+        Self::build(run, None)
+    }
+
+    /// Builds the local bounds graph `GB(r, σ)`: the subgraph induced by
+    /// `past(r, σ)` (Definition 14). Only edges with **both** endpoints in
+    /// the past are present.
+    pub fn local(run: &Run, past: &Past) -> Self {
+        Self::build(run, Some(past))
+    }
+
+    fn build(run: &Run, past: Option<&Past>) -> Self {
+        let keep = |n: NodeId| past.map_or(true, |p| p.contains(n));
+        let mut graph = WeightedDigraph::new();
+        let mut message_edges = 0usize;
+
+        for rec in run.nodes() {
+            if keep(rec.id()) {
+                graph.add_vertex(rec.id());
+            }
+        }
+        // (a) successor edges.
+        for p in run.context().network().processes() {
+            let tl = run.timeline(p);
+            for k in 1..tl.len() {
+                let prev = tl[k - 1].id();
+                let cur = tl[k].id();
+                if keep(prev) && keep(cur) {
+                    graph.add_edge(prev, cur, 1, LABEL_SUCCESSOR);
+                }
+            }
+        }
+        // (b) message edges, both directions.
+        let bounds = run.context().bounds();
+        for m in run.messages() {
+            let Some(d) = m.delivery() else { continue };
+            if !(keep(m.src()) && keep(d.node)) {
+                continue;
+            }
+            let cb = bounds
+                .get(m.channel())
+                .expect("validated runs have bounds for every channel");
+            graph.add_edge(m.src(), d.node, cb.lower() as i64, LABEL_SEND);
+            graph.add_edge(d.node, m.src(), -(cb.upper() as i64), LABEL_RECV);
+            message_edges += 2;
+        }
+        BoundsGraph {
+            graph,
+            message_edges,
+        }
+    }
+
+    /// The underlying weighted digraph.
+    pub fn graph(&self) -> &WeightedDigraph<NodeId> {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of edges (successor + 2 per delivered message).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Number of message-derived edges.
+    pub fn message_edge_count(&self) -> usize {
+        self.message_edges
+    }
+
+    /// Longest-path weights from every vertex **to** `sigma` — the map
+    /// `d(·)` of Definition 13. The connected set is the σ-precedence set
+    /// `V_σ` (Definition 12).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` is not a vertex, or on a positive cycle
+    /// (impossible for graphs of legal runs).
+    pub fn longest_to(&self, sigma: NodeId) -> Result<LongestPaths, CoreError> {
+        self.graph.longest_to(&sigma)
+    }
+
+    /// Longest-path weights from `sigma` to every vertex.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BoundsGraph::longest_to`].
+    pub fn longest_from(&self, sigma: NodeId) -> Result<LongestPaths, CoreError> {
+        self.graph.longest_from(&sigma)
+    }
+
+    /// The longest path from `from` to `to`, as `(weight, edges)`;
+    /// `Ok(None)` if no path exists.
+    ///
+    /// By Lemma 1, `from --weight--> to` holds in the run; by the proof of
+    /// Theorem 2 this is the **tight** such bound over all runs with this
+    /// bounds graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either endpoint is not a vertex, or on a positive cycle.
+    pub fn longest_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Option<(i64, Vec<Edge>)>, CoreError> {
+        if !self.graph.contains(&from) || !self.graph.contains(&to) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("{from} or {to} not in bounds graph"),
+            });
+        }
+        let lp = self.graph.longest_from(&from)?;
+        let t = self.graph.index_of(&to).expect("checked above");
+        match lp.weight(t) {
+            Some(w) => Ok(Some((w, lp.path(t).expect("reachable")))),
+            None => Ok(None),
+        }
+    }
+
+    /// The σ-precedence set `V_σ` (Definition 12): all vertices with a path
+    /// to `sigma`, as node ids.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BoundsGraph::longest_to`].
+    pub fn v_sigma(&self, sigma: NodeId) -> Result<Vec<NodeId>, CoreError> {
+        let lp = self.longest_to(sigma)?;
+        Ok(lp.connected().map(|i| *self.graph.vertex(i)).collect())
+    }
+
+    /// Resolves the message behind a send/recv edge (by its endpoints).
+    ///
+    /// For a [`LABEL_SEND`] edge pass `(edge.from, edge.to)`; for a
+    /// [`LABEL_RECV`] edge pass `(edge.to, edge.from)`.
+    pub fn message_between(run: &Run, src: NodeId, dst: NodeId) -> Option<MessageId> {
+        run.node(src)?
+            .sent()
+            .iter()
+            .copied()
+            .find(|&m| run.message(m).delivery().map(|d| d.node) == Some(dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::{EagerScheduler, RandomScheduler};
+    use zigzag_bcm::{Network, ProcessId, SimConfig, Simulator, Time};
+
+    fn two_proc_run(seed: u64, horizon: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn figure6_edge_semantics() {
+        // A single delivered message i#1 -> j#1 creates the two edges of
+        // Figure 6 plus successor edges.
+        let run = two_proc_run(0, 8);
+        let gb = BoundsGraph::of_run(&run);
+        let i1 = NodeId::new(ProcessId::new(0), 1);
+        let j1 = NodeId::new(ProcessId::new(1), 1);
+        let gi = gb.graph();
+        let e_fwd = gi
+            .edges_from(gi.index_of(&i1).unwrap())
+            .iter()
+            .find(|e| *gi.vertex(e.to) == j1 && e.label == LABEL_SEND)
+            .copied()
+            .unwrap();
+        assert_eq!(e_fwd.weight, 2);
+        let e_bwd = gi
+            .edges_from(gi.index_of(&j1).unwrap())
+            .iter()
+            .find(|e| *gi.vertex(e.to) == i1 && e.label == LABEL_RECV)
+            .copied()
+            .unwrap();
+        assert_eq!(e_bwd.weight, -5);
+        assert!(gb.message_edge_count() >= 2);
+        assert_eq!(
+            BoundsGraph::message_between(&run, i1, j1),
+            Some(run.timeline(ProcessId::new(1))[1].receipts()[0].internal().unwrap())
+        );
+    }
+
+    #[test]
+    fn lemma1_path_weights_are_sound() {
+        // Every longest-path weight lower-bounds the actual time gap.
+        for seed in 0..10 {
+            let run = two_proc_run(seed, 40);
+            let gb = BoundsGraph::of_run(&run);
+            let nodes: Vec<NodeId> = run.nodes().map(|r| r.id()).collect();
+            for &a in &nodes {
+                let lp = gb.longest_from(a).unwrap();
+                for &b in &nodes {
+                    if let Some(w) = lp.weight(gb.graph().index_of(&b).unwrap()) {
+                        let gap = run.time(b).unwrap().diff(run.time(a).unwrap());
+                        assert!(
+                            gap >= w,
+                            "seed {seed}: path weight {w} exceeds gap {gap} ({a} -> {b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_graph_is_induced_by_past() {
+        let run = two_proc_run(3, 40);
+        let j2 = NodeId::new(ProcessId::new(1), 2);
+        let past = run.past(j2);
+        let local = BoundsGraph::local(&run, &past);
+        let full = BoundsGraph::of_run(&run);
+        assert!(local.node_count() < full.node_count());
+        assert_eq!(local.node_count(), past.len());
+        // All local vertices are past nodes.
+        for v in local.graph().vertices() {
+            assert!(past.contains(*v));
+        }
+    }
+
+    #[test]
+    fn v_sigma_contains_future_echoes() {
+        // Under FFIP, V_σ contains nodes later than σ (paper §B remark):
+        // receivers of σ's floods have backward edges to σ.
+        let run = two_proc_run(1, 40);
+        let gb = BoundsGraph::of_run(&run);
+        let i1 = NodeId::new(ProcessId::new(0), 1);
+        let vs = gb.v_sigma(i1).unwrap();
+        let t1 = run.time(i1).unwrap();
+        assert!(vs
+            .iter()
+            .any(|n| run.time(*n).unwrap() > t1), "V_σ misses future nodes");
+        assert!(vs.contains(&i1));
+    }
+
+    #[test]
+    fn longest_path_tightness_shape() {
+        // i#1 -> j#1 -> i#2 with eager delivery: longest path from i#1 to
+        // i#2 is L+L = 4; gap with eager scheduling is exactly 4.
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(20)));
+        sim.external(Time::new(1), i, "kick");
+        let run = sim.run(&mut Ffip::new(), &mut EagerScheduler).unwrap();
+        let gb = BoundsGraph::of_run(&run);
+        let i1 = NodeId::new(i, 1);
+        let i2 = NodeId::new(i, 2);
+        let (w, edges) = gb.longest_path(i1, i2).unwrap().unwrap();
+        assert_eq!(w, 4);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(run.time(i2).unwrap().diff(run.time(i1).unwrap()), 4);
+        // Missing endpoints error.
+        assert!(gb.longest_path(i1, NodeId::new(i, 99)).is_err());
+    }
+
+    #[test]
+    fn no_positive_cycles_in_legal_runs() {
+        for seed in 0..10 {
+            let run = two_proc_run(seed, 60);
+            let gb = BoundsGraph::of_run(&run);
+            let i1 = NodeId::new(ProcessId::new(0), 1);
+            assert!(gb.longest_to(i1).is_ok());
+            assert!(gb.longest_from(i1).is_ok());
+        }
+    }
+}

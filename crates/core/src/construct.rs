@@ -1,0 +1,1003 @@
+//! Run constructions (paper Lemma 8 and Definition 24).
+//!
+//! The necessity halves of Theorems 2 and 4 are proved by *building*
+//! alternative runs: given a valid timing function over a bounds graph,
+//! there is a legal run realizing exactly those times. This module provides
+//! three constructions, each returning a [`Run`] that the caller can (and
+//! tests do) certify with [`zigzag_bcm::validate::validate_run`]:
+//!
+//! * [`run_by_timing`] — the generic Lemma 8 construction `r[T]` from a
+//!   valid timing function over a p-closed node set;
+//! * [`slow_run`] — the Theorem 2 witness: every node of the σ-precedence
+//!   set is delayed as much as possible relative to `σ`, making
+//!   longest-path bounds tight;
+//! * [`fast_run`] — the `γ`-fast run `fast_γ^σ(r, θ')` of Definition 24,
+//!   the Theorem 4 witness in which everything reachable from `θ'`'s base
+//!   is squeezed as early as possible.
+//!
+//! # Finite horizons and the frontier
+//!
+//! The paper's runs are infinite, so its basic bounds graph `GB(r)` covers
+//! every delivery. A recorded prefix instead has *in-flight* messages at
+//! the horizon, whose (mandatory, within `U`) future deliveries constrain
+//! how late the recorded nodes may be pushed. [`FrontierGraph`] closes
+//! `GB(r)` under the horizon exactly the way `GE(r, σ)` closes `GB(r, σ)`
+//! under the observer's knowledge horizon (Definition 16): one auxiliary
+//! vertex per process ("the earliest beyond-the-prefix delivery point"),
+//! plus the `E'`/`E''`/`E'''` edge families. Slow runs are tight with
+//! respect to frontier longest paths; for node pairs well inside the
+//! prefix these coincide with plain `GB(r)` longest paths.
+
+use std::collections::BTreeMap;
+
+use zigzag_bcm::builder::RunBuilder;
+use zigzag_bcm::run::Past;
+use zigzag_bcm::{Bounds, NodeId, ProcessId, Run, Time};
+
+use crate::bounds_graph::{BoundsGraph, LABEL_RECV, LABEL_SEND, LABEL_SUCCESSOR};
+use crate::error::CoreError;
+use crate::extended_graph::{ExtVertex, ExtendedGraph, LABEL_AUX_CHAN, LABEL_BOUNDARY, LABEL_UNSEEN};
+use crate::graph::{LongestPaths, WeightedDigraph};
+use crate::node::GeneralNode;
+use crate::timing::{fast_timing, FastTiming, NodeTiming};
+
+/// The horizon-closed bounds graph of a full recorded run: `GB(r)` plus one
+/// frontier vertex `ω_i` per process and the Definition-16 edge families
+/// applied at the recording horizon instead of an observer's past.
+///
+/// * `E'`: `last_i --1--> ω_i` — the unrecorded region of `i`'s timeline
+///   starts strictly after its last recorded node;
+/// * `E''`: `ω_j --(−U_ij)--> σ_i` for every in-flight message from a
+///   recorded node `σ_i` to `j` — it must be delivered within `U_ij`, at or
+///   after `ω_j`;
+/// * `E'''`: `ω_i --(−U_ji)--> ω_j` for every channel `(j, i)` — FFIP
+///   re-floods whatever is delivered beyond the prefix.
+#[derive(Debug, Clone)]
+pub struct FrontierGraph {
+    graph: WeightedDigraph<ExtVertex>,
+}
+
+impl FrontierGraph {
+    /// Builds the frontier graph of `run`.
+    pub fn of_run(run: &Run) -> Self {
+        let net = run.context().network();
+        let bounds = run.context().bounds();
+        let mut graph: WeightedDigraph<ExtVertex> = WeightedDigraph::new();
+
+        for rec in run.nodes() {
+            graph.add_vertex(ExtVertex::Node(rec.id()));
+        }
+        for p in net.processes() {
+            graph.add_vertex(ExtVertex::Aux(p));
+            let tl = run.timeline(p);
+            for k in 1..tl.len() {
+                graph.add_edge(
+                    ExtVertex::Node(tl[k - 1].id()),
+                    ExtVertex::Node(tl[k].id()),
+                    1,
+                    LABEL_SUCCESSOR,
+                );
+            }
+            let last = tl.last().expect("every process has an initial node");
+            graph.add_edge(ExtVertex::Node(last.id()), ExtVertex::Aux(p), 1, LABEL_BOUNDARY);
+        }
+        for m in run.messages() {
+            let cb = bounds
+                .get(m.channel())
+                .expect("recorded messages travel on known channels");
+            match m.delivery() {
+                Some(d) => {
+                    graph.add_edge(
+                        ExtVertex::Node(m.src()),
+                        ExtVertex::Node(d.node),
+                        cb.lower() as i64,
+                        LABEL_SEND,
+                    );
+                    graph.add_edge(
+                        ExtVertex::Node(d.node),
+                        ExtVertex::Node(m.src()),
+                        -(cb.upper() as i64),
+                        LABEL_RECV,
+                    );
+                }
+                None => {
+                    graph.add_edge(
+                        ExtVertex::Aux(m.channel().to),
+                        ExtVertex::Node(m.src()),
+                        -(cb.upper() as i64),
+                        LABEL_UNSEEN,
+                    );
+                }
+            }
+        }
+        for ch in net.channels() {
+            graph.add_edge(
+                ExtVertex::Aux(ch.to),
+                ExtVertex::Aux(ch.from),
+                -(bounds.get(*ch).expect("covered").upper() as i64),
+                LABEL_AUX_CHAN,
+            );
+        }
+        FrontierGraph { graph }
+    }
+
+    /// The underlying weighted digraph.
+    pub fn graph(&self) -> &WeightedDigraph<ExtVertex> {
+        &self.graph
+    }
+
+    /// Longest-path weights from every vertex **to** `sigma` (the tight
+    /// precedence bounds of the finite-prefix model).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` is not a recorded node, or on a positive cycle
+    /// (impossible for graphs of legal runs).
+    pub fn longest_to(&self, sigma: NodeId) -> Result<LongestPaths, CoreError> {
+        self.graph.longest_to(&ExtVertex::Node(sigma))
+    }
+
+    /// The tight bound on `time(to) − time(from)` over all runs sharing
+    /// this prefix structure: the longest `from → to` path weight, or
+    /// `None` if no path constrains the pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node is not recorded, or on a positive cycle.
+    pub fn tight_bound(&self, from: NodeId, to: NodeId) -> Result<Option<i64>, CoreError> {
+        let lp = self.graph.longest_from(&ExtVertex::Node(from))?;
+        Ok(self
+            .graph
+            .index_of(&ExtVertex::Node(to))
+            .and_then(|i| lp.weight(i)))
+    }
+}
+
+/// Everything the prescribed-run engine needs to lay a run out.
+#[derive(Debug)]
+struct Prescription {
+    /// Highest kept node index per process (0 = only the initial node).
+    boundary: Vec<u32>,
+    /// `T(σ')` for every kept non-initial node.
+    times: BTreeMap<NodeId, Time>,
+    /// `T(ω_p)` / `T(ψ_p)`: the earliest time fresh deliveries may land on
+    /// each timeline.
+    frontier: Vec<Time>,
+    /// Definition 24 condition 2: deliveries pinned to the upper bound,
+    /// keyed by `(sending process, sending time, destination)` — the triple
+    /// uniquely identifies a message in the run under construction.
+    chain_upper: BTreeMap<(ProcessId, Time, ProcessId), Time>,
+    /// Record the constructed run up to this time.
+    horizon: Time,
+}
+
+impl Prescription {
+    fn kept(&self, node: NodeId) -> bool {
+        node.index() <= self.boundary[node.proc().index()]
+    }
+}
+
+#[derive(Debug)]
+enum PendingReceipt {
+    External(String),
+    Message(zigzag_bcm::MessageId),
+}
+
+/// Lays out a run according to a prescription, replaying the kept prefix of
+/// `source` at the prescribed times and handling fresh deliveries per the
+/// Definition 24 rules. Fails with [`CoreError::InvalidTiming`] if the
+/// prescription is internally inconsistent (a delivery would fall outside
+/// its channel window or inside a kept prefix).
+fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
+    let ctx = source.context().clone();
+    let net = ctx.network().clone();
+    let bounds = ctx.bounds().clone();
+    let mut rb = RunBuilder::new(ctx, p.horizon);
+
+    let mut queue: BTreeMap<(Time, ProcessId), Vec<PendingReceipt>> = BTreeMap::new();
+
+    // Externals of the source run received at kept nodes, retimed.
+    for e in source.externals() {
+        if !p.kept(e.node()) {
+            continue;
+        }
+        let t = *p.times.get(&e.node()).ok_or_else(|| CoreError::InvalidTiming {
+            detail: format!("kept node {} has no prescribed time", e.node()),
+        })?;
+        if t > p.horizon {
+            continue;
+        }
+        queue
+            .entry((t, e.proc()))
+            .or_default()
+            .push(PendingReceipt::External(e.name().to_string()));
+    }
+
+    while let Some((&(time, proc), _)) = queue.iter().next() {
+        let batch = queue.remove(&(time, proc)).expect("key just observed");
+        let node = rb.add_node(proc, time).map_err(|e| CoreError::InvalidTiming {
+            detail: format!("prescription breaks timeline monotonicity: {e}"),
+        })?;
+        if p.kept(node) {
+            // The kept prefix must reproduce exactly.
+            let expected = p.times.get(&node).copied();
+            if expected != Some(time) {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!(
+                        "kept node {node} materialized at {time}, prescribed {expected:?}"
+                    ),
+                });
+            }
+        }
+        for r in batch {
+            match r {
+                PendingReceipt::External(name) => {
+                    rb.add_external(node, name).map_err(CoreError::Bcm)?;
+                }
+                PendingReceipt::Message(m) => {
+                    rb.deliver(m, node).map_err(CoreError::Bcm)?;
+                }
+            }
+        }
+
+        // FFIP flooding with prescribed delivery times.
+        for &dst in net.out_neighbors(proc) {
+            let cb = bounds
+                .get(zigzag_bcm::Channel::new(proc, dst))
+                .expect("network channels always have bounds");
+            let deliver_at = delivery_time(source, p, node, time, dst, cb.lower());
+            // Internal-consistency checks (Lemma 17 / Lemma 18 guarantees).
+            if deliver_at < time + cb.lower() || deliver_at > time + cb.upper() {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!(
+                        "prescribed delivery of {node} → {dst} at {deliver_at} outside \
+                         [{}, {}]",
+                        time + cb.lower(),
+                        time + cb.upper()
+                    ),
+                });
+            }
+            let m = rb.send(node, dst, deliver_at).map_err(CoreError::Bcm)?;
+            if deliver_at <= p.horizon {
+                queue
+                    .entry((deliver_at, dst))
+                    .or_default()
+                    .push(PendingReceipt::Message(m));
+            }
+        }
+    }
+
+    Ok(rb.finish())
+}
+
+/// The Definition 24 delivery rule (generalized to also serve Lemma 8):
+/// condition 1 (kept-to-kept replay), then condition 2 (pinned-to-upper
+/// chain deliveries), then condition 3 (as early as the frontier allows).
+fn delivery_time(
+    source: &Run,
+    p: &Prescription,
+    src: NodeId,
+    sent_at: Time,
+    dst: ProcessId,
+    lower: u64,
+) -> Time {
+    if p.kept(src) {
+        if let Some(m) = source.message_from_to(src, dst) {
+            if let Some(d) = source.message(m).delivery() {
+                if p.kept(d.node) {
+                    if let Some(&t) = p.times.get(&d.node) {
+                        return t;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(&t) = p.chain_upper.get(&(src.proc(), sent_at, dst)) {
+        return t;
+    }
+    (sent_at + lower).max(p.frontier[dst.index()])
+}
+
+/// Derives per-process boundary indices from an explicit kept-node timing,
+/// checking that the kept set is a per-timeline prefix.
+fn boundaries_of(run: &Run, timing: &NodeTiming) -> Result<Vec<u32>, CoreError> {
+    let n = run.context().network().len();
+    let mut boundary = vec![0u32; n];
+    for node in timing.keys() {
+        if !run.appears(*node) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("timed node {node} does not appear in the source run"),
+            });
+        }
+        let b = &mut boundary[node.proc().index()];
+        *b = (*b).max(node.index());
+    }
+    for (pi, &b) in boundary.iter().enumerate() {
+        for k in 1..=b {
+            let node = NodeId::new(ProcessId::new(pi as u32), k);
+            if !timing.contains_key(&node) {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!(
+                        "kept set is not a per-timeline prefix: {node} missing \
+                         below kept index {b}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(boundary)
+}
+
+/// Minimal feasible frontier times for an explicit timing: `ω_p` is at
+/// least one past the kept boundary, closed under the `E'''` channel
+/// constraints `ω_i <= ω_j + U_ji`, and must not violate any in-flight
+/// upper bound `ω_j <= T(σ_i) + U_ij` (Lemma 8's legality condition at the
+/// horizon).
+fn frontier_for_timing(
+    run: &Run,
+    timing: &NodeTiming,
+    boundary: &[u32],
+) -> Result<Vec<Time>, CoreError> {
+    let net = run.context().network();
+    let bounds = run.context().bounds();
+    let n = net.len();
+    let mut omega: Vec<i64> = (0..n)
+        .map(|pi| {
+            let b = boundary[pi];
+            if b == 0 {
+                1
+            } else {
+                timing
+                    .get(&NodeId::new(ProcessId::new(pi as u32), b))
+                    .map(|t| t.ticks() as i64 + 1)
+                    .unwrap_or(1)
+            }
+        })
+        .collect();
+    // Longest-path (lower-bound) propagation over ω_b >= ω_a − U_ba.
+    for _ in 0..=n {
+        let mut changed = false;
+        for ch in net.channels() {
+            let u = bounds.get(*ch).expect("covered").upper() as i64;
+            // Constraint ω_{ch.to} <= ω_{ch.from} + U, i.e.
+            // ω_{ch.from} >= ω_{ch.to} − U.
+            let need = omega[ch.to.index()] - u;
+            if omega[ch.from.index()] < need {
+                omega[ch.from.index()] = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // In-flight upper bounds: messages from kept nodes whose delivery is
+    // not kept must be deliverable at or after ω of their destination.
+    for m in run.messages() {
+        let src = m.src();
+        if src.index() > boundary[src.proc().index()] {
+            continue;
+        }
+        let kept_delivery = m
+            .delivery()
+            .map(|d| d.node.index() <= boundary[d.node.proc().index()])
+            .unwrap_or(false);
+        if kept_delivery {
+            continue;
+        }
+        let t_src = timing
+            .get(&src)
+            .copied()
+            .map(|t| t.ticks() as i64)
+            .unwrap_or(0);
+        let u = bounds.get(m.channel()).expect("covered").upper() as i64;
+        if omega[m.channel().to.index()] > t_src + u {
+            return Err(CoreError::InvalidTiming {
+                detail: format!(
+                    "timing infeasible at the frontier: message {} from {src} must be \
+                     delivered by {} but {}'s unrecorded region starts at {}",
+                    m.id(),
+                    t_src + u,
+                    m.channel().to,
+                    omega[m.channel().to.index()]
+                ),
+            });
+        }
+    }
+    Ok(omega.into_iter().map(|t| Time::new(t.max(0) as u64)).collect())
+}
+
+/// Constructs the run `r[T]` of Lemma 8 from a valid timing function over a
+/// p-closed, per-timeline-prefix set of nodes of `run`.
+///
+/// The constructed run contains exactly the timed nodes (at their
+/// prescribed times, with the same receipts and node identities as in
+/// `run`), the initial nodes, and whatever fresh over-the-frontier nodes
+/// mandatory deliveries force into the recorded window.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidTiming`] if `timing` violates a `GB(r)` edge
+///   constraint (Definition 10), the kept set is not a per-timeline prefix,
+///   is not p-closed, or an in-flight message cannot be legally delayed
+///   past the kept region;
+/// * [`CoreError::NodeNotInRun`] if a timed node is not recorded.
+pub fn run_by_timing(run: &Run, timing: &NodeTiming) -> Result<Run, CoreError> {
+    let gb = BoundsGraph::of_run(run);
+    crate::timing::check_valid_timing(&gb, timing)?;
+    let boundary = boundaries_of(run, timing)?;
+    // p-closedness: every receipt of a kept node comes from a kept node,
+    // and every delivered message from a kept node lands on a kept node.
+    for m in run.messages() {
+        let Some(d) = m.delivery() else { continue };
+        let src_kept = m.src().index() <= boundary[m.src().proc().index()];
+        let dst_kept = d.node.index() <= boundary[d.node.proc().index()];
+        if src_kept != dst_kept {
+            return Err(CoreError::InvalidTiming {
+                detail: format!(
+                    "kept set is not p-closed: message {} crosses the kept boundary",
+                    m.id()
+                ),
+            });
+        }
+    }
+    let frontier = frontier_for_timing(run, timing, &boundary)?;
+    let horizon = timing.values().copied().max().unwrap_or(Time::ZERO);
+    let p = Prescription {
+        boundary,
+        times: timing.clone(),
+        frontier,
+        chain_upper: BTreeMap::new(),
+        horizon,
+    };
+    prescribed_run(run, &p)
+}
+
+/// The slow run of a node (Theorem 2's tightness witness).
+#[derive(Debug)]
+pub struct SlowRun {
+    /// The constructed run, with every node of the σ-precedence set delayed
+    /// as much as the bounds allow relative to `σ`.
+    pub run: Run,
+    /// The anchor node `σ`.
+    pub sigma: NodeId,
+    /// The realized timing of every kept node.
+    pub timing: NodeTiming,
+    /// `d(σ')`: the frontier-graph longest-path weight from each kept node
+    /// to `σ`. In the slow run, `time(σ) − time(σ') = d(σ')` exactly.
+    pub d: BTreeMap<NodeId, i64>,
+}
+
+/// Constructs the slow run of `sigma` (Definition 13 + Lemma 8): a legal
+/// run with the same structure as `run` over the σ-precedence set, in which
+/// `time(σ) − time(σ')` equals the longest-path weight `d(σ')` for *every*
+/// node `σ'` with a (frontier-graph) path to `σ`. Nodes without such a path
+/// do not appear.
+///
+/// This realizes the proof of Theorem 2: the longest-path bound is tight,
+/// so any supported precedence `σ' --x--> σ` forces `d(σ') >= x`, and by
+/// Lemma 5 a zigzag of that weight exists (see
+/// [`crate::extract::zigzag_from_gb_path`]).
+///
+/// # Errors
+///
+/// Fails if `sigma` does not appear in `run`, or on internal inconsistency
+/// (reported as [`CoreError::InvalidTiming`] — indicates a model bug).
+pub fn slow_run(run: &Run, sigma: NodeId) -> Result<SlowRun, CoreError> {
+    if !run.appears(sigma) {
+        return Err(CoreError::NodeNotInRun {
+            detail: format!("{sigma} does not appear in the run"),
+        });
+    }
+    let fg = FrontierGraph::of_run(run);
+    let lp = fg.longest_to(sigma)?;
+    let g = fg.graph();
+    let n = run.context().network().len();
+    let d_max = lp.max_weight().unwrap_or(0);
+
+    let mut times = NodeTiming::new();
+    let mut d = BTreeMap::new();
+    let mut boundary = vec![0u32; n];
+    let mut frontier: Vec<Option<Time>> = vec![None; n];
+    let mut assigned_max = Time::ZERO;
+    for vi in lp.connected() {
+        let w = lp.weight(vi).expect("connected");
+        let t = Time::new((d_max - w) as u64);
+        assigned_max = assigned_max.max(t);
+        match *g.vertex(vi) {
+            ExtVertex::Node(node) => {
+                d.insert(node, w);
+                if !node.is_initial() {
+                    times.insert(node, t);
+                    let b = &mut boundary[node.proc().index()];
+                    *b = (*b).max(node.index());
+                } else {
+                    // Initial nodes stay at time 0 (paper: V^{r,0}); their
+                    // only outgoing constraint is the +1 successor edge,
+                    // which time 0 always satisfies.
+                    d.insert(node, w);
+                }
+            }
+            ExtVertex::Aux(p) => frontier[p.index()] = Some(t),
+        }
+    }
+    // Frontier vertices with no path to σ are unconstrained from below by
+    // anything that appears; park them after everything assigned. (They can
+    // never be the target of a fresh delivery: cascades only reach
+    // connected frontiers — see DESIGN.md.)
+    let park = assigned_max + 1;
+    let frontier: Vec<Time> = frontier.into_iter().map(|t| t.unwrap_or(park)).collect();
+
+    // The kept set must be a per-timeline prefix (successor edges guarantee
+    // it); double-check cheaply.
+    for (pi, &b) in boundary.iter().enumerate() {
+        for k in 1..=b {
+            let node = NodeId::new(ProcessId::new(pi as u32), k);
+            if !times.contains_key(&node) {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!("σ-precedence set is not prefix-closed at {node}"),
+                });
+            }
+        }
+    }
+
+    let horizon = times.values().copied().max().unwrap_or(Time::ZERO);
+    let p = Prescription {
+        boundary,
+        times: times.clone(),
+        frontier,
+        chain_upper: BTreeMap::new(),
+        horizon,
+    };
+    let constructed = prescribed_run(run, &p)?;
+    Ok(SlowRun {
+        run: constructed,
+        sigma,
+        timing: times,
+        d,
+    })
+}
+
+/// Rewrites `θ = ⟨σ', p⟩` into the equivalent node whose chain never
+/// re-enters `past`: hops whose deliveries the observer has seen are
+/// folded into the base. In every run indistinguishable at the observer
+/// the two forms resolve to the same basic node.
+pub(crate) fn canonicalize_in_past(
+    run: &Run,
+    past: &Past,
+    observer: NodeId,
+    theta: &GeneralNode,
+) -> Result<GeneralNode, CoreError> {
+    if !past.contains(theta.base()) {
+        return Err(CoreError::NotRecognized {
+            observer,
+            detail: format!("base {} of {theta} is outside past(r, σ)", theta.base()),
+        });
+    }
+    let procs = theta.path().procs();
+    let mut cur = theta.base();
+    let mut k = 0usize;
+    while k + 1 < procs.len() {
+        if cur.is_initial() {
+            return Err(CoreError::InitialNode {
+                detail: format!("{theta}: chain leaves initial node {cur}, which never sends"),
+            });
+        }
+        let dst = procs[k + 1];
+        let m = run
+            .message_from_to(cur, dst)
+            .ok_or_else(|| CoreError::NodeNotInRun {
+                detail: format!("{theta}: no channel {} → {dst}", cur.proc()),
+            })?;
+        match run.message(m).delivery() {
+            Some(d) if past.contains(d.node) => {
+                cur = d.node;
+                k += 1;
+            }
+            _ => break,
+        }
+    }
+    if k + 1 == procs.len() && cur.is_initial() {
+        return Err(CoreError::InitialNode {
+            detail: format!("{theta} denotes an initial node (time 0)"),
+        });
+    }
+    GeneralNode::new(
+        cur,
+        zigzag_bcm::NetPath::new(procs[k..].to_vec()).map_err(CoreError::Bcm)?,
+    )
+}
+
+/// The γ-fast run of a σ-recognized node (Definition 24).
+#[derive(Debug)]
+pub struct FastRun {
+    /// The constructed run `fast_γ^σ(r, θ')`.
+    pub run: Run,
+    /// The observer `σ` whose past is preserved (`run ~σ r`).
+    pub sigma: NodeId,
+    /// The γ parameter.
+    pub gamma: u64,
+    /// The fast timing the run realizes on `past(r, σ)`.
+    pub timing: FastTiming,
+    /// `time(θ')` in the constructed run (the anchor's chain runs at upper
+    /// bounds, Definition 24 condition 2).
+    pub theta_time: Time,
+}
+
+/// Walks `theta`'s message chain, recording the Definition 24 condition-2
+/// prescriptions (chain deliveries pinned to channel upper bounds once the
+/// chain leaves the observer's past) and the resulting arrival time.
+fn chain_prescriptions(
+    run: &Run,
+    past: &Past,
+    ft: &FastTiming,
+    theta: &GeneralNode,
+    bounds: &Bounds,
+) -> Result<(BTreeMap<(ProcessId, Time, ProcessId), Time>, Time), CoreError> {
+    let sigma_prime = theta.base();
+    let mut t = ft
+        .node_time(sigma_prime)
+        .ok_or_else(|| CoreError::NotRecognized {
+            observer: past.of(),
+            detail: format!("{sigma_prime} is not in past(r, σ)"),
+        })?;
+    let mut map = BTreeMap::new();
+    let mut inside: Option<NodeId> = Some(sigma_prime);
+    for hop in theta.path().hops() {
+        let u = bounds.get(hop).ok_or_else(|| CoreError::Bcm(
+            zigzag_bcm::BcmError::MissingChannel {
+                from: hop.from,
+                to: hop.to,
+            },
+        ))?;
+        let mut stayed = false;
+        if let Some(node) = inside {
+            let m = run
+                .message_from_to(node, hop.to)
+                .ok_or_else(|| CoreError::NodeNotInRun {
+                    detail: format!(
+                        "no message from {node} to {} (initial node or missing channel)",
+                        hop.to
+                    ),
+                })?;
+            if let Some(d) = run.message(m).delivery() {
+                if past.contains(d.node) {
+                    inside = Some(d.node);
+                    t = ft.node_time(d.node).expect("past nodes are timed");
+                    stayed = true;
+                }
+            }
+        }
+        if !stayed {
+            let next = t + u.upper();
+            map.insert((hop.from, t, hop.to), next);
+            t = next;
+            inside = None;
+        }
+    }
+    Ok((map, t))
+}
+
+/// Constructs the γ-fast run `fast_γ^σ(r, θ')` of Definition 24.
+///
+/// The result is indistinguishable from `run` at `sigma` (its past is
+/// reproduced exactly, at the fast-timing times), `theta`'s chain is pushed
+/// as *late* as the bounds allow (upper-bound deliveries), and every other
+/// beyond-the-past delivery lands as *early* as possible. With `gamma > 0`,
+/// nodes of the past unreachable from `theta`'s base are additionally
+/// pushed `gamma` ticks earlier still — this is how Theorem 4 refutes
+/// knowledge claims about unreachable nodes.
+///
+/// `extra_horizon` extends the recording window past the last prescribed
+/// time (callers resolving another node `θ2` in the result should allow at
+/// least `U(p2)`).
+///
+/// # Errors
+///
+/// Fails if `sigma` does not appear, `theta`'s base is not σ-recognized or
+/// `theta`'s chain cannot exist (initial base), or on internal
+/// inconsistency ([`CoreError::InvalidTiming`] — a model bug).
+pub fn fast_run(
+    run: &Run,
+    sigma: NodeId,
+    theta: &GeneralNode,
+    gamma: u64,
+    extra_horizon: u64,
+) -> Result<FastRun, CoreError> {
+    if !run.appears(sigma) {
+        return Err(CoreError::NodeNotInRun {
+            detail: format!("observer {sigma} does not appear in the run"),
+        });
+    }
+    let ge = ExtendedGraph::new(run, sigma);
+    // Anchor the fast timing at the *canonical* base: the deepest point of
+    // θ's chain the observer has seen. (With a non-canonical anchor,
+    // condition-1 deliveries along the chain prefix would override the
+    // condition-2 upper-bound pinning and the run would not realize the
+    // Theorem 4 extremal gap.)
+    let canonical = canonicalize_in_past(run, ge.past(), sigma, theta)?;
+    let ft = fast_timing(&ge, canonical.base(), gamma)?;
+    let past = ge.past();
+    let bounds = run.context().bounds();
+    let (chain_upper, theta_time) = chain_prescriptions(run, past, &ft, &canonical, bounds)?;
+
+    let n = run.context().network().len();
+    let mut boundary = vec![0u32; n];
+    let mut times = NodeTiming::new();
+    for node in past.iter() {
+        if node.is_initial() {
+            continue;
+        }
+        let t = ft.node_time(node).expect("past nodes are timed");
+        times.insert(node, t);
+        let b = &mut boundary[node.proc().index()];
+        *b = (*b).max(node.index());
+    }
+    let frontier: Vec<Time> = run
+        .context()
+        .network()
+        .processes()
+        .map(|p| ft.aux_time(p).expect("every process has an auxiliary node"))
+        .collect();
+
+    let horizon = ft.max_time().max(theta_time) + extra_horizon;
+    let p = Prescription {
+        boundary,
+        times,
+        frontier,
+        chain_upper,
+        horizon,
+    };
+    let constructed = prescribed_run(run, &p)?;
+    Ok(FastRun {
+        run: constructed,
+        sigma,
+        gamma,
+        timing: ft,
+        theta_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::check_valid_timing;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::RandomScheduler;
+    use zigzag_bcm::validate::{validate_run, Strictness};
+    use zigzag_bcm::{Network, SimConfig, Simulator};
+
+    fn tri_run(seed: u64, horizon: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        let k = b.add_process("k");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        b.add_bidirectional(j, k, 1, 4).unwrap();
+        b.add_bidirectional(i, k, 3, 7).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn frontier_graph_extends_gb() {
+        let run = tri_run(0, 40);
+        let fg = FrontierGraph::of_run(&run);
+        let gb = BoundsGraph::of_run(&run);
+        // Frontier graph has one extra vertex per process.
+        assert_eq!(
+            fg.graph().vertex_count(),
+            gb.node_count() + run.context().network().len()
+        );
+        // Every GB tight bound is at most the frontier tight bound.
+        let i1 = NodeId::new(ProcessId::new(0), 1);
+        let j1 = NodeId::new(ProcessId::new(1), 1);
+        let gb_w = gb.longest_path(i1, j1).unwrap().map(|(w, _)| w);
+        let fg_w = fg.tight_bound(i1, j1).unwrap();
+        match (gb_w, fg_w) {
+            (Some(g), Some(f)) => assert!(f >= g),
+            (Some(_), None) => panic!("frontier graph lost a GB path"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn slow_run_is_legal_and_tight() {
+        for seed in 0..8 {
+            let run = tri_run(seed, 40);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let sr = slow_run(&run, sigma).unwrap();
+            validate_run(&sr.run, Strictness::Strict).unwrap();
+            let t_sigma = sr.run.time(sigma).expect("σ appears in its slow run");
+            // Tightness: time(σ) − time(σ') == d(σ') for every kept node.
+            for (&node, &t) in &sr.timing {
+                assert_eq!(sr.run.time(node), Some(t), "seed {seed}: {node} mis-timed");
+                let gap = t_sigma.diff(t);
+                assert_eq!(gap, sr.d[&node], "seed {seed}: slow run not tight at {node}");
+            }
+            // The slow timing is valid for the *constructed* run's GB too.
+            let gb2 = BoundsGraph::of_run(&sr.run);
+            check_valid_timing(&gb2, &sr.timing).unwrap();
+        }
+    }
+
+    #[test]
+    fn slow_run_preserves_kept_structure() {
+        let run = tri_run(3, 40);
+        let sigma = NodeId::new(ProcessId::new(2), 1);
+        if !run.appears(sigma) {
+            return;
+        }
+        let sr = slow_run(&run, sigma).unwrap();
+        // Kept nodes have the same receipts (same shape) as in the source.
+        for (&node, _) in &sr.timing {
+            let src_receipts = run.node(node).unwrap().receipts().len();
+            let dst_receipts = sr.run.node(node).unwrap().receipts().len();
+            assert_eq!(src_receipts, dst_receipts, "receipt mismatch at {node}");
+        }
+    }
+
+    #[test]
+    fn run_by_timing_replays_actual_times() {
+        // The run's own times over the full node set are a valid timing;
+        // run_by_timing must reproduce a legal run with those times.
+        let run = tri_run(1, 30);
+        let timing: NodeTiming = run
+            .nodes()
+            .filter(|r| !r.id().is_initial())
+            .map(|r| (r.id(), r.time()))
+            .collect();
+        let r2 = run_by_timing(&run, &timing).unwrap();
+        validate_run(&r2, Strictness::Strict).unwrap();
+        for (&node, &t) in &timing {
+            assert_eq!(r2.time(node), Some(t));
+        }
+    }
+
+    #[test]
+    fn run_by_timing_rejects_invalid_timings() {
+        let run = tri_run(1, 30);
+        let mut timing: NodeTiming = run
+            .nodes()
+            .filter(|r| !r.id().is_initial())
+            .map(|r| (r.id(), r.time()))
+            .collect();
+        // Violate a lower bound: receiver at the sender's time.
+        let m = run
+            .messages()
+            .iter()
+            .find(|m| m.is_delivered())
+            .expect("some delivery");
+        timing.insert(m.delivery().unwrap().node, m.sent_at());
+        assert!(matches!(
+            run_by_timing(&run, &timing),
+            Err(CoreError::InvalidTiming { .. })
+        ));
+    }
+
+    #[test]
+    fn run_by_timing_rejects_non_prefix_sets() {
+        let run = tri_run(2, 30);
+        let j2 = NodeId::new(ProcessId::new(1), 2);
+        if !run.appears(j2) {
+            return;
+        }
+        let mut timing = NodeTiming::new();
+        timing.insert(j2, run.time(j2).unwrap()); // j1 missing below it
+        assert!(matches!(
+            run_by_timing(&run, &timing),
+            Err(CoreError::InvalidTiming { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_run_is_legal_and_indistinguishable_at_sigma() {
+        for seed in 0..8 {
+            let run = tri_run(seed, 50);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let past = run.past(sigma);
+            let anchor = past
+                .iter()
+                .find(|n| !n.is_initial() && *n != sigma)
+                .unwrap_or(sigma);
+            let theta = GeneralNode::basic(anchor);
+            let fr = fast_run(&run, sigma, &theta, 0, 20).unwrap();
+            validate_run(&fr.run, Strictness::Strict).unwrap();
+            // σ's past is reproduced node-for-node: same receipts shape.
+            for node in past.iter() {
+                let a = run.node(node).unwrap();
+                let b = fr.run.node(node).expect("past node missing in fast run");
+                assert_eq!(a.receipts().len(), b.receipts().len());
+                if !node.is_initial() {
+                    assert_eq!(
+                        fr.run.time(node),
+                        fr.timing.node_time(node),
+                        "seed {seed}: fast run mis-times {node}"
+                    );
+                }
+            }
+            assert_eq!(fr.theta_time, fr.run.time(anchor).unwrap());
+            assert_eq!(fr.sigma, sigma);
+            assert_eq!(fr.gamma, 0);
+        }
+    }
+
+    #[test]
+    fn fast_run_chain_runs_at_upper_bounds() {
+        let run = tri_run(4, 60);
+        let sigma = NodeId::new(ProcessId::new(1), 3);
+        if !run.appears(sigma) {
+            return;
+        }
+        let i = ProcessId::new(0);
+        let k = ProcessId::new(2);
+        let sigma_i = run.external_receipt_node(i, "kick").unwrap();
+        if !run.past(sigma).contains(sigma_i) {
+            return;
+        }
+        // θ = ⟨σ_i, [i, k]⟩: if the chain leaves the past, its delivery is
+        // pinned to the upper bound U_ik = 7.
+        let theta = GeneralNode::chain(sigma_i, &[k]).unwrap();
+        let fr = fast_run(&run, sigma, &theta, 0, 30).unwrap();
+        validate_run(&fr.run, Strictness::Strict).unwrap();
+        let resolved_t = theta.time_in(&fr.run).unwrap();
+        assert_eq!(resolved_t, fr.theta_time);
+    }
+
+    #[test]
+    fn fast_run_gamma_pushes_unreachable_nodes_early() {
+        // With γ > 0 every unreachable past node sits more than γ before
+        // every reachable one — verified on the constructed run itself.
+        for seed in 0..6 {
+            let run = tri_run(seed, 50);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let anchor = sigma; // reachable from itself
+            let theta = GeneralNode::basic(anchor);
+            let fr = fast_run(&run, sigma, &theta, 9, 10).unwrap();
+            validate_run(&fr.run, Strictness::Strict).unwrap();
+            let past = run.past(sigma);
+            for a in past.iter().filter(|n| !n.is_initial()) {
+                for b in past.iter().filter(|n| !n.is_initial()) {
+                    let (ra, rb) = (
+                        fr.timing.is_reachable(ExtVertex::Node(a)),
+                        fr.timing.is_reachable(ExtVertex::Node(b)),
+                    );
+                    if !ra && rb {
+                        let (ta, tb) = (
+                            fr.run.time(a).unwrap().ticks(),
+                            fr.run.time(b).unwrap().ticks(),
+                        );
+                        assert!(ta + 9 < tb, "seed {seed}: γ separation violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constructions_reject_missing_nodes() {
+        let run = tri_run(0, 30);
+        let ghost = NodeId::new(ProcessId::new(0), 99);
+        assert!(slow_run(&run, ghost).is_err());
+        assert!(fast_run(&run, ghost, &GeneralNode::basic(ghost), 0, 5).is_err());
+        let sigma = NodeId::new(ProcessId::new(1), 1);
+        if run.appears(sigma) {
+            assert!(matches!(
+                fast_run(&run, sigma, &GeneralNode::basic(ghost), 0, 5),
+                Err(CoreError::NotRecognized { .. })
+            ));
+        }
+    }
+}

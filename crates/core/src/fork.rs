@@ -1,0 +1,282 @@
+//! Two-legged forks (paper Definition 5, Figure 3).
+//!
+//! A fork `F = ⟨θ0, θ0·p1, θ0·p2⟩` consists of a base node and two message
+//! chains leaving it: the **head** leg `p1` and the **tail** leg `p2`. Its
+//! weight `wt(F) = L(p1) − U(p2)` lower-bounds how much earlier the tail
+//! occurs than the head: both chains start at the same instant, the head
+//! takes at least `L(p1)`, the tail at most `U(p2)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use zigzag_bcm::{Bounds, NetPath, NodeId, Run};
+
+use crate::error::CoreError;
+use crate::node::GeneralNode;
+
+/// A two-legged fork `F` with `base(F) = θ0`, `head(F) = θ0·p1`,
+/// `tail(F) = θ0·p2`.
+///
+/// Degenerate legs (singleton paths) are allowed and common: a *trivial*
+/// fork `⟨θ, θ, θ⟩` has weight 0 and is used when composing zigzag
+/// patterns (see the proof of Lemma 5).
+///
+/// # Examples
+///
+/// ```
+/// use zigzag_bcm::{NodeId, ProcessId, NetPath};
+/// use zigzag_core::{GeneralNode, TwoLeggedFork};
+/// // Figure 1: base at C, head leg C->B, tail leg C->A.
+/// let c = ProcessId::new(0);
+/// let a = ProcessId::new(1);
+/// let b = ProcessId::new(2);
+/// let base = GeneralNode::basic(NodeId::new(c, 1));
+/// let fork = TwoLeggedFork::new(
+///     base,
+///     NetPath::new(vec![c, b])?, // head: to B
+///     NetPath::new(vec![c, a])?, // tail: to A
+/// )?;
+/// assert_eq!(fork.head().proc(), b);
+/// assert_eq!(fork.tail().proc(), a);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TwoLeggedFork {
+    base: GeneralNode,
+    head_path: NetPath,
+    tail_path: NetPath,
+}
+
+impl TwoLeggedFork {
+    /// Creates a fork from its base and two leg paths (both must start at
+    /// the base's process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFork`] if a leg does not start at the
+    /// base node's process.
+    pub fn new(
+        base: GeneralNode,
+        head_path: NetPath,
+        tail_path: NetPath,
+    ) -> Result<Self, CoreError> {
+        for (name, p) in [("head", &head_path), ("tail", &tail_path)] {
+            if p.first() != base.proc() {
+                return Err(CoreError::MalformedFork {
+                    detail: format!(
+                        "{name} leg {p} does not start at base process {}",
+                        base.proc()
+                    ),
+                });
+            }
+        }
+        Ok(TwoLeggedFork {
+            base,
+            head_path,
+            tail_path,
+        })
+    }
+
+    /// The trivial fork `⟨θ, θ, θ⟩` (both legs empty, weight 0).
+    pub fn trivial(theta: GeneralNode) -> Self {
+        let p = NetPath::singleton(theta.proc());
+        TwoLeggedFork {
+            base: theta,
+            head_path: p.clone(),
+            tail_path: p,
+        }
+    }
+
+    /// `base(F) = θ0`.
+    pub fn base(&self) -> &GeneralNode {
+        &self.base
+    }
+
+    /// The head leg path `p1`.
+    pub fn head_path(&self) -> &NetPath {
+        &self.head_path
+    }
+
+    /// The tail leg path `p2`.
+    pub fn tail_path(&self) -> &NetPath {
+        &self.tail_path
+    }
+
+    /// `head(F) = θ0 · p1` as a general node.
+    pub fn head(&self) -> GeneralNode {
+        self.base
+            .then(&self.head_path)
+            .expect("leg validated at construction")
+    }
+
+    /// `tail(F) = θ0 · p2` as a general node.
+    pub fn tail(&self) -> GeneralNode {
+        self.base
+            .then(&self.tail_path)
+            .expect("leg validated at construction")
+    }
+
+    /// `wt(F) = L(p1) − U(p2)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a leg uses a channel missing from `bounds`.
+    pub fn weight(&self, bounds: &Bounds) -> Result<i64, CoreError> {
+        let l = bounds.path_lower(&self.head_path).map_err(CoreError::Bcm)?;
+        let u = bounds.path_upper(&self.tail_path).map_err(CoreError::Bcm)?;
+        Ok(l as i64 - u as i64)
+    }
+
+    /// Resolves head and tail in `run`, returning `(tail, head)` basic
+    /// nodes — the order matching the guarantee
+    /// `tail --wt(F)--> head`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either chain does not appear in the run.
+    pub fn resolve(&self, run: &Run) -> Result<(NodeId, NodeId), CoreError> {
+        Ok((self.tail().resolve(run)?, self.head().resolve(run)?))
+    }
+
+    /// Checks the fork's guarantee in a specific run: that
+    /// `time(head) − time(tail) >= wt(F)`. Returns the achieved gap.
+    ///
+    /// This is the single-fork case of Theorem 1.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the fork does not appear in the run or its legs use
+    /// missing channels.
+    pub fn check_guarantee(&self, run: &Run) -> Result<i64, CoreError> {
+        let (tail, head) = self.resolve(run)?;
+        let gap = run
+            .time(head)
+            .expect("resolved node appears")
+            .diff(run.time(tail).expect("resolved node appears"));
+        let w = self.weight(run.context().bounds())?;
+        debug_assert!(
+            gap >= w,
+            "fork guarantee violated: gap {gap} < weight {w} — model bug"
+        );
+        Ok(gap)
+    }
+}
+
+impl fmt::Display for TwoLeggedFork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fork(base={}, head={}, tail={})",
+            self.base, self.head_path, self.tail_path
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::{FractionScheduler, RandomScheduler};
+    use zigzag_bcm::{Network, ProcessId, SimConfig, Simulator, Time};
+
+    /// Figure 1 topology: C -> A with [2,5], C -> B with [9,12].
+    fn fig1_run(seed: u64) -> Run {
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        let bb = b.add_process("B");
+        b.add_channel(c, a, 2, 5).unwrap();
+        b.add_channel(c, bb, 9, 12).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(3), c, "go");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    fn fig1_fork() -> TwoLeggedFork {
+        let c = ProcessId::new(0);
+        let a = ProcessId::new(1);
+        let bb = ProcessId::new(2);
+        let base = GeneralNode::basic(NodeId::new(c, 1));
+        TwoLeggedFork::new(
+            base,
+            NetPath::new(vec![c, bb]).unwrap(),
+            NetPath::new(vec![c, a]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weight_is_l_minus_u() {
+        let run = fig1_run(0);
+        let fork = fig1_fork();
+        assert_eq!(fork.weight(run.context().bounds()).unwrap(), 9 - 5);
+    }
+
+    #[test]
+    fn guarantee_holds_across_schedules() {
+        let fork = fig1_fork();
+        for seed in 0..30 {
+            let run = fig1_run(seed);
+            let gap = fork.check_guarantee(&run).unwrap();
+            assert!(gap >= 4, "gap {gap} below fork weight");
+        }
+    }
+
+    #[test]
+    fn trivial_fork_weight_zero() {
+        let run = fig1_run(1);
+        let theta = GeneralNode::basic(NodeId::new(ProcessId::new(0), 1));
+        let f = TwoLeggedFork::trivial(theta.clone());
+        assert_eq!(f.weight(run.context().bounds()).unwrap(), 0);
+        let (t, h) = f.resolve(&run).unwrap();
+        assert_eq!(t, h);
+        assert_eq!(f.base(), &theta);
+        assert_eq!(f.check_guarantee(&run).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_mismatched_legs() {
+        let c = ProcessId::new(0);
+        let a = ProcessId::new(1);
+        let base = GeneralNode::basic(NodeId::new(c, 1));
+        let bad = NetPath::new(vec![a, c]).unwrap();
+        assert!(TwoLeggedFork::new(base.clone(), bad.clone(), NetPath::singleton(c)).is_err());
+        assert!(TwoLeggedFork::new(base, NetPath::singleton(c), bad).is_err());
+    }
+
+    #[test]
+    fn head_tail_accessors() {
+        let f = fig1_fork();
+        assert_eq!(f.head().proc(), ProcessId::new(2));
+        assert_eq!(f.tail().proc(), ProcessId::new(1));
+        assert_eq!(f.head_path().len(), 2);
+        assert_eq!(f.tail_path().len(), 2);
+        assert!(f.to_string().contains("fork(base="));
+    }
+
+    #[test]
+    fn fraction_scheduler_tightness() {
+        // With A's message maximally slow (U) and B's maximally fast (L),
+        // the gap equals the weight exactly — the bound is tight.
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        let bb = b.add_process("B");
+        b.add_channel(c, a, 2, 5).unwrap();
+        b.add_channel(c, bb, 9, 12).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(3), c, "go");
+        // Head (to B) at lower bound, tail (to A) at upper: fraction won't
+        // express per-channel, so use a per-channel scheduler.
+        let mut sched = zigzag_bcm::scheduler::PerChannelScheduler::new(0.0);
+        sched.set_delay(zigzag_bcm::Channel::new(c, a), 5);
+        sched.set_delay(zigzag_bcm::Channel::new(c, bb), 9);
+        let run = sim.run(&mut Ffip::new(), &mut sched).unwrap();
+        let fork = fig1_fork();
+        assert_eq!(fork.check_guarantee(&run).unwrap(), 4);
+        let _ = FractionScheduler::new(0.5);
+    }
+}

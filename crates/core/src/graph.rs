@@ -1,0 +1,461 @@
+//! A weighted directed multigraph with longest-path queries.
+//!
+//! Bounds graphs (paper §5) contain cycles (every delivered message
+//! contributes a forward `+L` edge and a backward `−U` edge) but **no
+//! positive cycles** — a positive cycle would force a node to occur later
+//! than itself. Longest paths are therefore well-defined and computed with
+//! a queue-based Bellman–Ford (SPFA); a positive cycle is reported as
+//! [`CoreError::PositiveCycle`] and indicates corrupted input.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+use crate::error::CoreError;
+
+/// An edge of the graph, with a caller-defined `label` used by the
+/// extraction layer to remember what the edge encodes (successor hop,
+/// message send, message reverse, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source vertex index.
+    pub from: usize,
+    /// Target vertex index.
+    pub to: usize,
+    /// Edge weight (a timing constraint `T(from) + weight <= T(to)`).
+    pub weight: i64,
+    /// Caller-defined tag.
+    pub label: u32,
+}
+
+/// A weighted directed multigraph over vertices of type `V`.
+///
+/// Vertices are interned to dense indices on first use; parallel edges are
+/// allowed (bounds graphs need them: two processes exchanging messages
+/// produce edges of both signs between the same node pair).
+#[derive(Debug, Clone)]
+pub struct WeightedDigraph<V> {
+    index: HashMap<V, usize>,
+    vertices: Vec<V>,
+    out: Vec<Vec<Edge>>,
+    r#in: Vec<Vec<Edge>>,
+    edge_count: usize,
+}
+
+impl<V: Hash + Eq + Clone> Default for WeightedDigraph<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        WeightedDigraph {
+            index: HashMap::new(),
+            vertices: Vec::new(),
+            out: Vec::new(),
+            r#in: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Interns `v`, returning its dense index.
+    pub fn add_vertex(&mut self, v: V) -> usize {
+        if let Some(&i) = self.index.get(&v) {
+            return i;
+        }
+        let i = self.vertices.len();
+        self.index.insert(v.clone(), i);
+        self.vertices.push(v);
+        self.out.push(Vec::new());
+        self.r#in.push(Vec::new());
+        i
+    }
+
+    /// Adds the edge `from --weight--> to` with a label.
+    pub fn add_edge(&mut self, from: V, to: V, weight: i64, label: u32) {
+        let f = self.add_vertex(from);
+        let t = self.add_vertex(to);
+        let e = Edge {
+            from: f,
+            to: t,
+            weight,
+            label,
+        };
+        self.out[f].push(e);
+        self.r#in[t].push(e);
+        self.edge_count += 1;
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The dense index of `v`, if interned.
+    pub fn index_of(&self, v: &V) -> Option<usize> {
+        self.index.get(v).copied()
+    }
+
+    /// The vertex at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn vertex(&self, i: usize) -> &V {
+        &self.vertices[i]
+    }
+
+    /// Whether `v` has been interned.
+    pub fn contains(&self, v: &V) -> bool {
+        self.index.contains_key(v)
+    }
+
+    /// Outgoing edges of vertex index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn edges_from(&self, i: usize) -> &[Edge] {
+        &self.out[i]
+    }
+
+    /// Incoming edges of vertex index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn edges_to(&self, i: usize) -> &[Edge] {
+        &self.r#in[i]
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = &V> + '_ {
+        self.vertices.iter()
+    }
+
+    /// Longest-path weights from `src` to every vertex (`None` =
+    /// unreachable), via SPFA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PositiveCycle`] if a positive cycle is
+    /// reachable from `src`.
+    pub fn longest_from(&self, src: &V) -> Result<LongestPaths, CoreError> {
+        let s = self
+            .index_of(src)
+            .ok_or_else(|| CoreError::InvalidTiming {
+                detail: "longest_from: source vertex not in graph".into(),
+            })?;
+        self.spfa(s, Direction::Forward)
+    }
+
+    /// Longest-path weights from every vertex *to* `dst` (`None` =
+    /// no path), via SPFA on the reversed graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PositiveCycle`] if a positive cycle reaches
+    /// `dst`.
+    pub fn longest_to(&self, dst: &V) -> Result<LongestPaths, CoreError> {
+        let s = self
+            .index_of(dst)
+            .ok_or_else(|| CoreError::InvalidTiming {
+                detail: "longest_to: destination vertex not in graph".into(),
+            })?;
+        self.spfa(s, Direction::Backward)
+    }
+
+    fn spfa(&self, src: usize, dir: Direction) -> Result<LongestPaths, CoreError> {
+        let n = self.vertices.len();
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        let mut pred: Vec<Option<Edge>> = vec![None; n];
+        let mut relax_count: Vec<u32> = vec![0; n];
+        let mut in_queue = vec![false; n];
+        dist[src] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        in_queue[src] = true;
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            let du = dist[u].expect("queued vertices have distances");
+            let edges = match dir {
+                Direction::Forward => &self.out[u],
+                Direction::Backward => &self.r#in[u],
+            };
+            for e in edges {
+                let v = match dir {
+                    Direction::Forward => e.to,
+                    Direction::Backward => e.from,
+                };
+                let cand = du + e.weight;
+                if dist[v].map_or(true, |dv| cand > dv) {
+                    dist[v] = Some(cand);
+                    pred[v] = Some(*e);
+                    relax_count[v] += 1;
+                    if relax_count[v] as usize > n {
+                        return Err(CoreError::PositiveCycle);
+                    }
+                    if !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Ok(LongestPaths {
+            src,
+            dir,
+            dist,
+            pred,
+        })
+    }
+}
+
+impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
+    /// Longest-path weights from `src` via the classic dense Bellman–Ford
+    /// (`|V| − 1` full relaxation rounds plus a detection round).
+    ///
+    /// Functionally identical to [`WeightedDigraph::longest_from`]; kept
+    /// as the ablation baseline for the queue-based SPFA the bounds-graph
+    /// queries use (see the `graphs` benchmark).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PositiveCycle`] if a positive cycle is
+    /// reachable from `src`.
+    pub fn longest_from_dense(&self, src: &V) -> Result<Vec<Option<i64>>, CoreError> {
+        let s = self
+            .index_of(src)
+            .ok_or_else(|| CoreError::InvalidTiming {
+                detail: "longest_from_dense: source vertex not in graph".into(),
+            })?;
+        let n = self.vertices.len();
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        dist[s] = Some(0);
+        let relax = |dist: &mut Vec<Option<i64>>| {
+            let mut changed = false;
+            for edges in &self.out {
+                for e in edges {
+                    let Some(du) = dist[e.from] else { continue };
+                    let cand = du + e.weight;
+                    if dist[e.to].map_or(true, |dv| cand > dv) {
+                        dist[e.to] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            changed
+        };
+        for _ in 1..n.max(1) {
+            if !relax(&mut dist) {
+                return Ok(dist);
+            }
+        }
+        if relax(&mut dist) {
+            return Err(CoreError::PositiveCycle);
+        }
+        Ok(dist)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// The result of a longest-path computation: distances and a predecessor
+/// forest for path reconstruction.
+#[derive(Debug, Clone)]
+pub struct LongestPaths {
+    src: usize,
+    dir: Direction,
+    dist: Vec<Option<i64>>,
+    pred: Vec<Option<Edge>>,
+}
+
+impl LongestPaths {
+    /// The longest-path weight to vertex index `i` (`None` if no path).
+    ///
+    /// For a forward query this is the weight from `src` to `i`; for a
+    /// backward query ([`WeightedDigraph::longest_to`]), from `i` to the
+    /// destination.
+    pub fn weight(&self, i: usize) -> Option<i64> {
+        self.dist.get(i).copied().flatten()
+    }
+
+    /// Whether vertex index `i` is connected to the query root.
+    pub fn reaches(&self, i: usize) -> bool {
+        self.weight(i).is_some()
+    }
+
+    /// The maximum weight over all connected vertices.
+    pub fn max_weight(&self) -> Option<i64> {
+        self.dist.iter().flatten().copied().max()
+    }
+
+    /// The minimum weight over all connected vertices.
+    pub fn min_weight(&self) -> Option<i64> {
+        self.dist.iter().flatten().copied().min()
+    }
+
+    /// Reconstructs the longest path to/from vertex index `i` as an edge
+    /// sequence in walk order (empty for the root itself); `None` if `i`
+    /// is unreachable.
+    pub fn path(&self, i: usize) -> Option<Vec<Edge>> {
+        self.weight(i)?;
+        let mut edges = Vec::new();
+        let mut cur = i;
+        while cur != self.src {
+            let e = self.pred[cur].expect("reachable non-root vertices have predecessors");
+            edges.push(e);
+            cur = match self.dir {
+                Direction::Forward => e.from,
+                Direction::Backward => e.to,
+            };
+        }
+        if self.dir == Direction::Forward {
+            edges.reverse();
+        }
+        Some(edges)
+    }
+
+    /// Indices of all connected vertices.
+    pub fn connected(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedDigraph<&'static str> {
+        // a -> b (2), a -> c (5), b -> d (4), c -> d (−1), d -> a (−100)
+        let mut g = WeightedDigraph::new();
+        g.add_edge("a", "b", 2, 0);
+        g.add_edge("a", "c", 5, 0);
+        g.add_edge("b", "d", 4, 0);
+        g.add_edge("c", "d", -1, 0);
+        g.add_edge("d", "a", -100, 0);
+        g
+    }
+
+    #[test]
+    fn forward_longest_paths() {
+        let g = diamond();
+        let lp = g.longest_from(&"a").unwrap();
+        let idx = |v: &str| g.index_of(&v).unwrap();
+        assert_eq!(lp.weight(idx("a")), Some(0));
+        assert_eq!(lp.weight(idx("b")), Some(2));
+        assert_eq!(lp.weight(idx("c")), Some(5));
+        assert_eq!(lp.weight(idx("d")), Some(6)); // via b
+        let path = lp.path(idx("d")).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(g.vertex(path[0].to), &"b");
+        assert_eq!(lp.max_weight(), Some(6));
+        assert_eq!(lp.min_weight(), Some(0)); // the d->a edge (−100) never improves a
+        assert_eq!(lp.connected().count(), 4);
+        assert!(lp.reaches(idx("d")));
+    }
+
+    #[test]
+    fn backward_longest_paths() {
+        let g = diamond();
+        let lp = g.longest_to(&"d").unwrap();
+        let idx = |v: &str| g.index_of(&v).unwrap();
+        assert_eq!(lp.weight(idx("d")), Some(0));
+        assert_eq!(lp.weight(idx("b")), Some(4));
+        assert_eq!(lp.weight(idx("c")), Some(-1));
+        assert_eq!(lp.weight(idx("a")), Some(6));
+        let path = lp.path(idx("a")).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].from, idx("a"));
+        assert_eq!(path[1].to, idx("d"));
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let mut g = diamond();
+        g.add_vertex("z");
+        let lp = g.longest_from(&"a").unwrap();
+        assert_eq!(lp.weight(g.index_of(&"z").unwrap()), None);
+        assert!(lp.path(g.index_of(&"z").unwrap()).is_none());
+        assert!(!lp.reaches(g.index_of(&"z").unwrap()));
+    }
+
+    #[test]
+    fn positive_cycle_detected() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge("a", "b", 1, 0);
+        g.add_edge("b", "a", 0, 0); // cycle weight +1
+        assert!(matches!(
+            g.longest_from(&"a"),
+            Err(CoreError::PositiveCycle)
+        ));
+        assert!(matches!(g.longest_to(&"a"), Err(CoreError::PositiveCycle)));
+    }
+
+    #[test]
+    fn zero_cycles_are_fine() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge("a", "b", 3, 0);
+        g.add_edge("b", "a", -3, 0);
+        g.add_edge("b", "c", 1, 0);
+        let lp = g.longest_from(&"a").unwrap();
+        assert_eq!(lp.weight(g.index_of(&"c").unwrap()), Some(4));
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge("a", "b", 1, 7);
+        g.add_edge("a", "b", 5, 8);
+        assert_eq!(g.edge_count(), 2);
+        let lp = g.longest_from(&"a").unwrap();
+        let b = g.index_of(&"b").unwrap();
+        assert_eq!(lp.weight(b), Some(5));
+        assert_eq!(lp.path(b).unwrap()[0].label, 8);
+        assert_eq!(g.edges_from(g.index_of(&"a").unwrap()).len(), 2);
+        assert_eq!(g.edges_to(b).len(), 2);
+    }
+
+    #[test]
+    fn dense_bellman_ford_agrees_with_spfa() {
+        let g = diamond();
+        let lp = g.longest_from(&"a").unwrap();
+        let dense = g.longest_from_dense(&"a").unwrap();
+        for i in 0..g.vertex_count() {
+            assert_eq!(lp.weight(i), dense[i]);
+        }
+        // Positive cycles are detected by both.
+        let mut bad = WeightedDigraph::new();
+        bad.add_edge("a", "b", 1, 0);
+        bad.add_edge("b", "a", 0, 0);
+        assert!(matches!(
+            bad.longest_from_dense(&"a"),
+            Err(CoreError::PositiveCycle)
+        ));
+        assert!(g.longest_from_dense(&"nope").is_err());
+    }
+
+    #[test]
+    fn missing_roots_error() {
+        let g = diamond();
+        assert!(g.longest_from(&"nope").is_err());
+        assert!(g.longest_to(&"nope").is_err());
+        assert!(g.contains(&"a"));
+        assert!(!g.contains(&"nope"));
+        assert_eq!(g.vertices().count(), 4);
+        assert_eq!(g.vertex_count(), 4);
+    }
+}

@@ -1,0 +1,740 @@
+//! The knowledge engine: deciding `K_σ(θ1 --x--> θ2)` (Theorem 4).
+//!
+//! A process at basic node `σ` *knows* a timed precedence iff the
+//! precedence holds in **every** run indistinguishable from the current one
+//! at `σ`. Quantifying over that infinite set directly is hopeless; the
+//! proof of Theorem 4 replaces it with a single extremal construction — the
+//! γ-fast run of Definition 24 — plus reachability in the extended bounds
+//! graph `GE(r, σ)`:
+//!
+//! * if `θ2`'s base is **unreachable** from `θ1`'s base in `GE(r, σ)`,
+//!   knowledge fails for *every* `x` (the γ parameter pushes `θ2`
+//!   arbitrarily early in some indistinguishable run);
+//! * otherwise the 0-fast run of `θ1` realizes the **minimal** gap
+//!   `time(θ2) − time(θ1)` over all indistinguishable runs, so
+//!   `K_σ(θ1 --x--> θ2)` holds iff `x <=` that gap ([`KnowledgeEngine::max_x`]).
+//!
+//! Every positive answer comes with a checkable σ-visible zigzag witness of
+//! exactly the max-x weight ([`KnowledgeEngine::witness`], Corollary 1);
+//! every negative answer with a legal indistinguishable run in which the
+//! precedence fails ([`KnowledgeEngine::refute`]).
+
+use std::collections::BTreeMap;
+
+use zigzag_bcm::{NetPath, NodeId, ProcessId, Run, Time};
+
+use crate::construct::{fast_run, FastRun};
+use crate::error::CoreError;
+use crate::extended_graph::{ExtVertex, ExtendedGraph};
+use crate::extract::{anchor_tail, extend_head, zigzag_from_ge_path};
+use crate::fork::TwoLeggedFork;
+use crate::node::GeneralNode;
+use crate::pattern::ZigzagPattern;
+use crate::timing::{fast_timing, FastTiming};
+use crate::visible::VisibleZigzag;
+
+/// How one hop of a node's message chain is delivered in the 0-fast run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FastHop {
+    /// Condition 3, lower bound binding: delivered at `t + L`.
+    Lower,
+    /// Condition 3, frontier binding: delivered at `T(ψ_j)`.
+    Psi,
+    /// Condition 2: the hop coincides with `θ1`'s chain (pinned to `t + U`);
+    /// the payload is the chain position reached.
+    ChainUpper(usize),
+}
+
+/// `θ1`'s chain layout in the fast run: position times and the condition-2
+/// delivery prescriptions.
+#[derive(Debug)]
+struct ChainInfo {
+    /// `(sending process, send time, destination) → (arrival, position)`.
+    map: BTreeMap<(ProcessId, Time, ProcessId), (Time, usize)>,
+    /// Arrival time of the full chain: `time(θ1)` in the fast run.
+    arrival: Time,
+}
+
+/// Decision procedure for knowledge of timed precedence at a basic node,
+/// realizing Theorem 4 and Protocols 1/2.
+///
+/// The engine inspects only `past(r, σ)` and the common-knowledge channel
+/// bounds — exactly the information the paper's model grants a process —
+/// so its answers are legitimate *protocol* decisions, not analyses that
+/// peek at hidden state.
+///
+/// # Examples
+///
+/// ```
+/// # use zigzag_bcm::{Network, SimConfig, Simulator, Time, NodeId};
+/// # use zigzag_bcm::protocols::Ffip;
+/// # use zigzag_bcm::scheduler::EagerScheduler;
+/// use zigzag_core::knowledge::KnowledgeEngine;
+/// use zigzag_core::GeneralNode;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = Network::builder();
+/// # let c = b.add_process("C");
+/// # let a = b.add_process("A");
+/// # let bb = b.add_process("B");
+/// # b.add_channel(c, a, 1, 3)?;
+/// # b.add_channel(c, bb, 7, 9)?;
+/// # let ctx = b.build()?;
+/// # let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+/// # sim.external(Time::new(2), c, "go");
+/// # let run = sim.run(&mut Ffip::new(), &mut EagerScheduler)?;
+/// // Figure 1: once B hears C's message it knows A acted ≥ L_CB − U_CA
+/// // = 4 ticks earlier.
+/// let sigma_c = run.external_receipt_node(c, "go").unwrap();
+/// let theta_b = GeneralNode::chain(sigma_c, &[bb])?; // where B hears C
+/// let theta_a = GeneralNode::chain(sigma_c, &[a])?;  // where A acts
+/// let sigma = theta_b.resolve(&run)?;
+/// let engine = KnowledgeEngine::new(&run, sigma)?;
+/// assert_eq!(engine.max_x(&theta_a, &theta_b)?, Some(4));
+/// assert!(engine.knows(&theta_a, &theta_b, 4)?);
+/// assert!(!engine.knows(&theta_a, &theta_b, 5)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KnowledgeEngine<'r> {
+    run: &'r Run,
+    sigma: NodeId,
+    ge: ExtendedGraph,
+}
+
+impl<'r> KnowledgeEngine<'r> {
+    /// Creates the engine for the observer node `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in `run`.
+    pub fn new(run: &'r Run, sigma: NodeId) -> Result<Self, CoreError> {
+        if !run.appears(sigma) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("observer {sigma} does not appear in the run"),
+            });
+        }
+        Ok(KnowledgeEngine {
+            run,
+            sigma,
+            ge: ExtendedGraph::new(run, sigma),
+        })
+    }
+
+    /// The observer node `σ`.
+    pub fn observer(&self) -> NodeId {
+        self.sigma
+    }
+
+    /// The extended bounds graph `GE(r, σ)` backing the decisions.
+    pub fn ge(&self) -> &ExtendedGraph {
+        &self.ge
+    }
+
+    /// Rewrites `θ = ⟨σ', p⟩` into the equivalent node whose chain never
+    /// re-enters `past(r, σ)`: hops whose deliveries `σ` has seen are
+    /// folded into the base. In every run indistinguishable at `σ` the two
+    /// forms resolve to the same basic node, so knowledge queries are
+    /// invariant under this rewriting.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NotRecognized`] if the base is outside the past;
+    /// * [`CoreError::InitialNode`] if the node is an initial node or its
+    ///   chain leaves one (initial nodes never send, and Theorem 4 excludes
+    ///   `time = 0` nodes);
+    /// * [`CoreError::NodeNotInRun`] if a hop is not a channel.
+    fn canonicalize(&self, theta: &GeneralNode) -> Result<GeneralNode, CoreError> {
+        crate::construct::canonicalize_in_past(self.run, self.ge.past(), self.sigma, theta)
+    }
+
+    /// Lays out a canonical node's chain at upper bounds (Definition 24
+    /// condition 2) starting from its fast-timing base time.
+    fn chain_info(&self, ft: &FastTiming, theta: &GeneralNode) -> Result<ChainInfo, CoreError> {
+        let bounds = self.run.context().bounds();
+        let mut t = ft
+            .node_time(theta.base())
+            .expect("canonical bases lie in the past");
+        let mut map = BTreeMap::new();
+        for (m, hop) in theta.path().hops().enumerate() {
+            let u = bounds
+                .get(hop)
+                .ok_or(CoreError::Bcm(zigzag_bcm::BcmError::MissingChannel {
+                    from: hop.from,
+                    to: hop.to,
+                }))?
+                .upper();
+            let next = t + u;
+            map.insert((hop.from, t, hop.to), (next, m + 1));
+            t = next;
+        }
+        Ok(ChainInfo { map, arrival: t })
+    }
+
+    /// Resolves a canonical node's arrival time in the 0-fast run of `θ1`
+    /// without materializing the run: condition-2 hops follow `θ1`'s
+    /// pinned chain, all other hops land at `max(t + L, T(ψ))`.
+    fn walk(
+        &self,
+        ft: &FastTiming,
+        chain: &ChainInfo,
+        theta2: &GeneralNode,
+    ) -> Result<(Time, Vec<FastHop>), CoreError> {
+        let bounds = self.run.context().bounds();
+        let mut t = ft
+            .node_time(theta2.base())
+            .expect("canonical bases lie in the past");
+        let mut hops = Vec::new();
+        for hop in theta2.path().hops() {
+            let cb = bounds
+                .get(hop)
+                .ok_or(CoreError::Bcm(zigzag_bcm::BcmError::MissingChannel {
+                    from: hop.from,
+                    to: hop.to,
+                }))?;
+            if let Some(&(tn, pos)) = chain.map.get(&(hop.from, t, hop.to)) {
+                t = tn;
+                hops.push(FastHop::ChainUpper(pos));
+            } else {
+                let low = t + cb.lower();
+                let psi = ft.aux_time(hop.to).expect("every process has ψ");
+                if low >= psi {
+                    t = low;
+                    hops.push(FastHop::Lower);
+                } else {
+                    t = psi;
+                    hops.push(FastHop::Psi);
+                }
+            }
+        }
+        Ok((t, hops))
+    }
+
+    /// The exact knowledge threshold: the largest `x` for which
+    /// `K_σ(θ1 --x--> θ2)` holds, or `None` if no `x` is known (Theorem 4's
+    /// unreachable case).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a node's base is not σ-recognized, a node is initial, or a
+    /// chain hop is not a channel.
+    pub fn max_x(&self, theta1: &GeneralNode, theta2: &GeneralNode) -> Result<Option<i64>, CoreError> {
+        let t1c = self.canonicalize(theta1)?;
+        let t2c = self.canonicalize(theta2)?;
+        let ft = fast_timing(&self.ge, t1c.base(), 0)?;
+        if !ft.is_reachable(ExtVertex::Node(t2c.base())) {
+            return Ok(None);
+        }
+        let chain = self.chain_info(&ft, &t1c)?;
+        let (t2, _) = self.walk(&ft, &chain, &t2c)?;
+        Ok(Some(t2.ticks() as i64 - chain.arrival.ticks() as i64))
+    }
+
+    /// Decides `K_σ(θ1 --x--> θ2)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x`].
+    pub fn knows(
+        &self,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+        x: i64,
+    ) -> Result<bool, CoreError> {
+        Ok(self.max_x(theta1, theta2)?.map_or(false, |m| x <= m))
+    }
+
+    /// Produces the σ-visible zigzag witness of Corollary 1: a pattern from
+    /// `θ1` to `θ2` whose weight equals [`KnowledgeEngine::max_x`] exactly.
+    /// Returns `None` when no knowledge holds (unreachable case).
+    ///
+    /// The witness is an independent artifact: re-validating it against the
+    /// run (or any indistinguishable run) via
+    /// [`VisibleZigzag::validate`] certifies the knowledge claim without
+    /// trusting this engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x`], plus internal
+    /// inconsistencies reported as [`CoreError::InvalidTiming`].
+    pub fn witness(
+        &self,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+    ) -> Result<Option<(i64, VisibleZigzag)>, CoreError> {
+        let t1c = self.canonicalize(theta1)?;
+        let t2c = self.canonicalize(theta2)?;
+        let ft = fast_timing(&self.ge, t1c.base(), 0)?;
+        if !ft.is_reachable(ExtVertex::Node(t2c.base())) {
+            return Ok(None);
+        }
+        let chain = self.chain_info(&ft, &t1c)?;
+        let (t2, hops) = self.walk(&ft, &chain, &t2c)?;
+        let max_x = t2.ticks() as i64 - chain.arrival.ticks() as i64;
+
+        let split = hops.iter().rposition(|h| !matches!(h, FastHop::Lower));
+        let pattern = match split {
+            // The whole chain runs at lower bounds: GB/GE path to the base,
+            // head extended along the full chain (Lemma 14 + Lemma 16).
+            None => {
+                let z = self.ge_path_zigzag(t1c.base(), ExtVertex::Node(t2c.base()))?;
+                let z = extend_head(&z, t2c.path())?;
+                anchor_tail(&z, &t1c)?
+            }
+            Some(k) => match hops[k] {
+                FastHop::ChainUpper(pos) => {
+                    // The chains merge (Lemma 13, "type 4"): one fork whose
+                    // tail is θ1's chain suffix and head θ2's.
+                    let base = GeneralNode::new(t1c.base(), t1c.path().prefix(pos + 1))?;
+                    let fork = TwoLeggedFork::new(
+                        base,
+                        t2c.path().suffix(k + 1),
+                        t1c.path().suffix(pos),
+                    )?;
+                    ZigzagPattern::single(fork)
+                }
+                FastHop::Psi => {
+                    // The chain is held back by the frontier of `hop k`'s
+                    // process (Lemma 12/15, "type 3"): boundary fork whose
+                    // tail chains through the ψ trail.
+                    let j = t2c.path().procs()[k + 1];
+                    let lp = self.ge.longest_from(ExtVertex::Node(t1c.base()))?;
+                    let idx = self
+                        .ge
+                        .index_of(ExtVertex::Aux(j))
+                        .expect("every process has ψ");
+                    let edges = lp.path(idx).ok_or_else(|| CoreError::InvalidTiming {
+                        detail: "ψ binding but unreachable — model bug".into(),
+                    })?;
+                    let cut = edges
+                        .iter()
+                        .rposition(|e| matches!(self.ge.graph().vertex(e.to), ExtVertex::Node(_)));
+                    let (prefix, suffix) = match cut {
+                        Some(c) => edges.split_at(c + 1),
+                        None => (&edges[..0], &edges[..]),
+                    };
+                    let z = zigzag_from_ge_path(&self.ge, t1c.base(), prefix)?;
+                    let mut trail: Vec<ProcessId> = suffix
+                        .iter()
+                        .map(|e| self.ge.graph().vertex(e.to).proc())
+                        .collect();
+                    trail.reverse(); // [j, …, l1]
+                    let q = NetPath::new(trail).map_err(CoreError::Bcm)?;
+                    let base = GeneralNode::new(t2c.base(), t2c.path().prefix(k + 2))?;
+                    let top = TwoLeggedFork::new(base, t2c.path().suffix(k + 1), q)?;
+                    let z = z.concat(&ZigzagPattern::single(top))?;
+                    anchor_tail(&z, &t1c)?
+                }
+                FastHop::Lower => unreachable!("split index is a non-Lower hop"),
+            },
+        };
+        Ok(Some((max_x, VisibleZigzag::new(pattern, self.sigma))))
+    }
+
+    /// All-pairs knowledge thresholds over the (non-initial) nodes of
+    /// `past(r, σ)`, restricted to basic-node queries: entry `(a, b)` is
+    /// the largest `x` with `K_σ(a --x--> b)`, or `None` when unreachable.
+    ///
+    /// One SPFA pass per source node — far cheaper than quadratically many
+    /// [`KnowledgeEngine::max_x`] calls. Used by the protocol-analysis
+    /// experiments and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a positive cycle (impossible for graphs of legal runs).
+    pub fn max_x_basic_matrix(
+        &self,
+    ) -> Result<BTreeMap<(NodeId, NodeId), Option<i64>>, CoreError> {
+        let past = self.ge.past();
+        let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
+        let mut out = BTreeMap::new();
+        for &a in &nodes {
+            let lp = self.ge.longest_from(ExtVertex::Node(a))?;
+            for &b in &nodes {
+                let w = self
+                    .ge
+                    .index_of(ExtVertex::Node(b))
+                    .and_then(|i| lp.weight(i));
+                out.insert((a, b), w);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Longest `GE` path between two vertices converted to a zigzag.
+    fn ge_path_zigzag(&self, from: NodeId, to: ExtVertex) -> Result<ZigzagPattern, CoreError> {
+        let lp = self.ge.longest_from(ExtVertex::Node(from))?;
+        let idx = self.ge.index_of(to).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "target vertex missing from GE — model bug".into(),
+        })?;
+        let edges = lp.path(idx).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "reachable target has no path — model bug".into(),
+        })?;
+        zigzag_from_ge_path(&self.ge, from, &edges)
+    }
+
+    /// Constructs the γ-fast run of `θ1` (delegating to
+    /// [`crate::construct::fast_run`]) — the extremal indistinguishable run
+    /// behind the engine's answers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::construct::fast_run`].
+    pub fn fast_run_of(
+        &self,
+        theta1: &GeneralNode,
+        gamma: u64,
+        extra_horizon: u64,
+    ) -> Result<FastRun, CoreError> {
+        fast_run(self.run, self.sigma, theta1, gamma, extra_horizon)
+    }
+
+    /// Produces a *refutation run* for a knowledge claim: a legal run
+    /// indistinguishable from the current one at `σ` in which
+    /// `θ1 --x--> θ2` fails. Returns `None` iff the knowledge actually
+    /// holds (then no such run exists, by Theorem 4).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x`].
+    pub fn refute(
+        &self,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+        x: i64,
+    ) -> Result<Option<FastRun>, CoreError> {
+        let t1c = self.canonicalize(theta1)?;
+        let t2c = self.canonicalize(theta2)?;
+        let bounds = self.run.context().bounds();
+        let u2 = bounds.path_upper(t2c.path()).map_err(CoreError::Bcm)?;
+        let l1 = bounds.path_lower(t1c.path()).map_err(CoreError::Bcm)?;
+        let extra = u2 + bounds.path_upper(t1c.path()).map_err(CoreError::Bcm)? + 2;
+
+        let ft = fast_timing(&self.ge, t1c.base(), 0)?;
+        if ft.is_reachable(ExtVertex::Node(t2c.base())) {
+            let chain = self.chain_info(&ft, &t1c)?;
+            let (t2, _) = self.walk(&ft, &chain, &t2c)?;
+            let m = t2.ticks() as i64 - chain.arrival.ticks() as i64;
+            if x <= m {
+                return Ok(None);
+            }
+            return self.fast_run_of(&t1c, 0, extra).map(Some);
+        }
+        let gamma = (u2 as i64 - l1 as i64 - x).max(0) as u64;
+        self.fast_run_of(&t1c, gamma, extra).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precedence::satisfies;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::{EagerScheduler, RandomScheduler};
+    use zigzag_bcm::validate::{validate_run, Strictness};
+    use zigzag_bcm::{Network, SimConfig, Simulator};
+
+    /// Figure 1 context: C → A `[1,3]`, C → B `[7,9]`.
+    fn fig1_run() -> (Run, ProcessId, ProcessId, ProcessId) {
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        let bb = b.add_process("B");
+        b.add_channel(c, a, 1, 3).unwrap();
+        b.add_channel(c, bb, 7, 9).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(2), c, "go");
+        let run = sim.run(&mut Ffip::new(), &mut EagerScheduler).unwrap();
+        (run, c, a, bb)
+    }
+
+    fn tri_run(seed: u64, horizon: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        let k = b.add_process("k");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        b.add_bidirectional(j, k, 1, 4).unwrap();
+        b.add_bidirectional(i, k, 3, 7).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_fork_knowledge_threshold() {
+        let (run, c, a, bb) = fig1_run();
+        let sigma_c = run.external_receipt_node(c, "go").unwrap();
+        let theta_a = GeneralNode::chain(sigma_c, &[a]).unwrap();
+        let theta_b = GeneralNode::chain(sigma_c, &[bb]).unwrap();
+        let sigma = theta_b.resolve(&run).unwrap();
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        // B knows a --x--> b exactly up to L_CB − U_CA = 4.
+        assert_eq!(engine.max_x(&theta_a, &theta_b).unwrap(), Some(4));
+        assert!(engine.knows(&theta_a, &theta_b, 4).unwrap());
+        assert!(engine.knows(&theta_a, &theta_b, -10).unwrap());
+        assert!(!engine.knows(&theta_a, &theta_b, 5).unwrap());
+        // And the reverse direction: b --x--> a only for x <= U_CB… no:
+        // max_x(b, a) = −L_CB + U_CA = threshold for "b at most that after a".
+        let m = engine.max_x(&theta_b, &theta_a).unwrap().unwrap();
+        assert_eq!(m, -(9 - 1)); // b −(−8)→ a: a at most 8 before… tight.
+    }
+
+    #[test]
+    fn witnesses_match_max_x_exactly() {
+        let (run, c, a, bb) = fig1_run();
+        let sigma_c = run.external_receipt_node(c, "go").unwrap();
+        let theta_a = GeneralNode::chain(sigma_c, &[a]).unwrap();
+        let theta_b = GeneralNode::chain(sigma_c, &[bb]).unwrap();
+        let sigma = theta_b.resolve(&run).unwrap();
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let (m, vz) = engine.witness(&theta_a, &theta_b).unwrap().unwrap();
+        assert_eq!(m, 4);
+        let report = vz.validate(&run).unwrap();
+        assert_eq!(report.weight, m);
+        assert_eq!(report.from, theta_a.resolve(&run).unwrap());
+        assert_eq!(report.to, theta_b.resolve(&run).unwrap());
+    }
+
+    #[test]
+    fn max_x_agrees_with_constructed_fast_run() {
+        // The graph walk and the materialized Definition 24 run agree.
+        for seed in 0..10 {
+            let run = tri_run(seed, 50);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+            let past = run.past(sigma);
+            let anchors: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
+            for &a in &anchors {
+                for &b in &anchors {
+                    let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                    let Some(m) = engine.max_x(&ta, &tb).unwrap() else {
+                        continue;
+                    };
+                    let fr = engine.fast_run_of(&ta, 0, 30).unwrap();
+                    validate_run(&fr.run, Strictness::Strict).unwrap();
+                    let gap = fr.run.time(b).unwrap().diff(fr.run.time(a).unwrap());
+                    assert_eq!(gap, m, "seed {seed}: walk vs fast run at {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_validate_across_random_runs() {
+        let mut validated = 0usize;
+        for seed in 0..8 {
+            let run = tri_run(seed, 60);
+            let sigma = NodeId::new(ProcessId::new(2), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+            let past = run.past(sigma);
+            let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                    let Some((m, vz)) = engine.witness(&ta, &tb).unwrap() else {
+                        continue;
+                    };
+                    match vz.validate(&run) {
+                        Ok(report) => {
+                            assert_eq!(report.weight, m, "seed {seed} {a}->{b}");
+                            validated += 1;
+                        }
+                        Err(CoreError::HorizonTooSmall { .. }) => {}
+                        Err(e) => panic!("seed {seed} {a}->{b}: {e}"),
+                    }
+                }
+            }
+        }
+        assert!(validated > 10, "only {validated} witnesses validated");
+    }
+
+    #[test]
+    fn general_node_queries_and_chain_merging() {
+        let run = tri_run(3, 60);
+        let sigma = NodeId::new(ProcessId::new(1), 3);
+        if !run.appears(sigma) {
+            return;
+        }
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let i1 = run.external_receipt_node(ProcessId::new(0), "kick").unwrap();
+        if !run.past(sigma).contains(i1) {
+            return;
+        }
+        let theta1 = GeneralNode::chain(i1, &[ProcessId::new(2)]).unwrap();
+        // θ2 extends θ1's own chain: knowledge must reflect the shared
+        // prefix (condition-2 merging), and the witness must validate.
+        let theta2 = GeneralNode::chain(i1, &[ProcessId::new(2), ProcessId::new(1)]).unwrap();
+        let m = engine.max_x(&theta1, &theta2).unwrap().unwrap();
+        // θ2 is θ1 plus one hop k → j with bounds [1, 4]: exactly L = 1.
+        assert_eq!(m, 1);
+        let (mw, vz) = engine.witness(&theta1, &theta2).unwrap().unwrap();
+        assert_eq!(mw, m);
+        match vz.validate(&run) {
+            Ok(report) => assert_eq!(report.weight, m),
+            Err(CoreError::HorizonTooSmall { .. }) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn refutations_are_legal_indistinguishable_counterexamples() {
+        for seed in 0..6 {
+            let run = tri_run(seed, 50);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+            let past = run.past(sigma);
+            let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
+            let mut refuted = 0;
+            for &a in &nodes {
+                for &b in &nodes {
+                    let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                    let m = engine.max_x(&ta, &tb).unwrap();
+                    // Query one past the threshold (or an arbitrary x for
+                    // the unreachable case).
+                    let x = m.map_or(0, |m| m + 1);
+                    let fr = engine
+                        .refute(&ta, &tb, x)
+                        .unwrap()
+                        .expect("x above threshold must be refutable");
+                    validate_run(&fr.run, Strictness::Strict).unwrap();
+                    // Indistinguishable at σ: σ appears with its past intact.
+                    assert!(fr.run.appears(sigma));
+                    // The precedence fails in the refutation run.
+                    assert!(
+                        !satisfies(&fr.run, &ta, &tb, x).unwrap(),
+                        "seed {seed}: refutation does not refute {a} --{x}--> {b}"
+                    );
+                    refuted += 1;
+                    // And at or below the threshold, no refutation exists.
+                    if let Some(m) = m {
+                        assert!(engine.refute(&ta, &tb, m).unwrap().is_none());
+                    }
+                }
+            }
+            assert!(refuted > 0, "seed {seed}: nothing refuted");
+        }
+    }
+
+    #[test]
+    fn upper_bound_knowledge_through_receive_edges() {
+        // Even with one-way channels, B's receipt of C's message bounds
+        // A's action from below: a >= b − U_CB + L_CA. The engine reports
+        // exactly that threshold.
+        let (run, c, a, bb) = fig1_run();
+        let sigma_c = run.external_receipt_node(c, "go").unwrap();
+        let theta_a = GeneralNode::chain(sigma_c, &[a]).unwrap();
+        let theta_b = GeneralNode::chain(sigma_c, &[bb]).unwrap();
+        let sigma = theta_b.resolve(&run).unwrap();
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let theta_sigma = GeneralNode::basic(sigma);
+        // max_x = L_CA − U_CB = 1 − 9.
+        assert_eq!(engine.max_x(&theta_sigma, &theta_a).unwrap(), Some(-8));
+        let (m, vz) = engine.witness(&theta_sigma, &theta_a).unwrap().unwrap();
+        assert_eq!(m, -8);
+        let report = vz.validate(&run).unwrap();
+        assert_eq!(report.weight, -8);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_never_known() {
+        // C → B and D → B, with B hearing D strictly before C. From B's
+        // later node there is no constraint path to σ_D: D's action could
+        // have happened arbitrarily early, so B knows *no* lower bound on
+        // time(σ_D) − time(σ) for any x.
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let d = b.add_process("D");
+        let bb = b.add_process("B");
+        b.add_channel(c, bb, 7, 9).unwrap();
+        b.add_channel(d, bb, 2, 4).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(2), c, "go");
+        sim.external(Time::new(1), d, "kick");
+        let run = sim.run(&mut Ffip::new(), &mut EagerScheduler).unwrap();
+        let sigma_d = run.external_receipt_node(d, "kick").unwrap();
+        let sigma_c = run.external_receipt_node(c, "go").unwrap();
+        let sigma = GeneralNode::chain(sigma_c, &[bb]).unwrap().resolve(&run).unwrap();
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let theta_sigma = GeneralNode::basic(sigma);
+        let theta_d = GeneralNode::basic(sigma_d);
+        assert!(run.past(sigma).contains(sigma_d), "B heard D");
+        // σ_D is unreachable from σ in GE(r, σ): no knowledge for any x.
+        assert_eq!(engine.max_x(&theta_sigma, &theta_d).unwrap(), None);
+        assert!(engine.witness(&theta_sigma, &theta_d).unwrap().is_none());
+        assert!(!engine.knows(&theta_sigma, &theta_d, -1000).unwrap());
+        // …and every such claim is refutable with a concrete run.
+        let fr = engine.refute(&theta_sigma, &theta_d, -1000).unwrap().unwrap();
+        validate_run(&fr.run, Strictness::Strict).unwrap();
+        assert!(!satisfies(&fr.run, &theta_sigma, &theta_d, -1000).unwrap());
+        // The reverse direction *is* known: σ_D precedes σ by ≥ L_DB + 1.
+        assert_eq!(engine.max_x(&theta_d, &theta_sigma).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn rejects_unrecognized_and_initial_nodes() {
+        let (run, c, a, bb) = fig1_run();
+        let sigma_c = run.external_receipt_node(c, "go").unwrap();
+        let theta_b = GeneralNode::chain(sigma_c, &[bb]).unwrap();
+        let sigma = theta_b.resolve(&run).unwrap();
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        // A's node is not σ-recognized as a *base* (B never hears from A).
+        let a1 = NodeId::new(a, 1);
+        let theta_a1 = GeneralNode::basic(a1);
+        assert!(matches!(
+            engine.max_x(&theta_a1, &theta_b),
+            Err(CoreError::NotRecognized { .. })
+        ));
+        // Initial nodes are excluded.
+        let init = GeneralNode::basic(NodeId::initial(c));
+        assert!(matches!(
+            engine.max_x(&init, &theta_b),
+            Err(CoreError::InitialNode { .. })
+        ));
+        let init_chain = GeneralNode::chain(NodeId::initial(c), &[a]).unwrap();
+        assert!(matches!(
+            engine.max_x(&init_chain, &theta_b),
+            Err(CoreError::InitialNode { .. })
+        ));
+        // Unknown observer.
+        assert!(KnowledgeEngine::new(&run, NodeId::new(bb, 9)).is_err());
+    }
+
+    #[test]
+    fn knowledge_is_monotone_in_x() {
+        let run = tri_run(1, 50);
+        let sigma = NodeId::new(ProcessId::new(0), 2);
+        if !run.appears(sigma) {
+            return;
+        }
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let past = run.past(sigma);
+        let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                if let Some(m) = engine.max_x(&ta, &tb).unwrap() {
+                    for dx in [-3i64, -1, 0] {
+                        assert!(engine.knows(&ta, &tb, m + dx).unwrap());
+                    }
+                    for dx in [1i64, 2, 10] {
+                        assert!(!engine.knows(&ta, &tb, m + dx).unwrap());
+                    }
+                }
+            }
+        }
+    }
+}

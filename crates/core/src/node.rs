@@ -1,0 +1,317 @@
+//! General nodes `θ = ⟨σ, p⟩` (paper Definitions 3–4).
+//!
+//! A process reasons not only about basic nodes it has seen, but about the
+//! endpoints of message chains leaving them — e.g. "the node at which A
+//! receives C's message", written `σ_C · A`. A [`GeneralNode`] names such a
+//! point; [`GeneralNode::resolve`] maps it to the concrete basic node
+//! `basic(θ, r)` it denotes in a particular run.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use zigzag_bcm::{NetPath, NodeId, ProcessId, Run, Time};
+
+use crate::error::CoreError;
+
+/// A general node `θ = ⟨σ, p⟩`: the basic node that receives the message
+/// chain leaving `σ` along the network path `p` (whose first process is
+/// `σ`'s).
+///
+/// If `p` is a singleton, `θ` denotes `σ` itself. Otherwise the denoted
+/// basic node depends on the run (Definition 4): under FFIP every
+/// non-initial node sends to each out-neighbor, so the chain exists in
+/// every run in which `σ` appears (with enough recorded horizon).
+///
+/// # Examples
+///
+/// ```
+/// use zigzag_bcm::{NodeId, ProcessId};
+/// use zigzag_core::GeneralNode;
+/// let sigma = NodeId::new(ProcessId::new(2), 1); // a node of process C
+/// let theta = GeneralNode::chain(sigma, &[ProcessId::new(0)])?; // σ_C · A
+/// assert_eq!(theta.proc(), ProcessId::new(0));
+/// assert!(!theta.is_basic());
+/// # Ok::<(), zigzag_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GeneralNode {
+    base: NodeId,
+    path: NetPath,
+}
+
+impl GeneralNode {
+    /// The general node `⟨σ, [i]⟩` denoting the basic node `σ` itself.
+    pub fn basic(base: NodeId) -> Self {
+        GeneralNode {
+            base,
+            path: NetPath::singleton(base.proc()),
+        }
+    }
+
+    /// Creates `⟨base, path⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `path` does not start at `base`'s process.
+    pub fn new(base: NodeId, path: NetPath) -> Result<Self, CoreError> {
+        if path.first() != base.proc() {
+            return Err(CoreError::MalformedFork {
+                detail: format!(
+                    "path {path} does not start at the base node's process {}",
+                    base.proc()
+                ),
+            });
+        }
+        Ok(GeneralNode { base, path })
+    }
+
+    /// Creates `⟨base, [base.proc, rest…]⟩` — e.g.
+    /// `GeneralNode::chain(σ_C, &[A])` is the paper's `σ_C · A`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if consecutive processes repeat (self-loop hop).
+    pub fn chain(base: NodeId, rest: &[ProcessId]) -> Result<Self, CoreError> {
+        let mut procs = Vec::with_capacity(rest.len() + 1);
+        procs.push(base.proc());
+        procs.extend_from_slice(rest);
+        let path = NetPath::new(procs).map_err(CoreError::Bcm)?;
+        Ok(GeneralNode { base, path })
+    }
+
+    /// The base basic node `σ`.
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The network path `p`.
+    pub fn path(&self) -> &NetPath {
+        &self.path
+    }
+
+    /// The process at which the node lies (an *i-node* has `proc() == i`).
+    pub fn proc(&self) -> ProcessId {
+        self.path.last()
+    }
+
+    /// Whether the node denotes its base directly (singleton path).
+    pub fn is_basic(&self) -> bool {
+        self.path.is_singleton()
+    }
+
+    /// The node `θq` obtained by extending the chain along `q`
+    /// (paper §2.2: `q` must start at this node's process).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `q` does not start at [`GeneralNode::proc`].
+    pub fn then(&self, q: &NetPath) -> Result<GeneralNode, CoreError> {
+        let path = self.path.compose(q).map_err(CoreError::Bcm)?;
+        Ok(GeneralNode {
+            base: self.base,
+            path,
+        })
+    }
+
+    /// The node `θ · j` obtained by one more hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `j` equals this node's process.
+    pub fn hop(&self, j: ProcessId) -> Result<GeneralNode, CoreError> {
+        let path = self.path.extended(j).map_err(CoreError::Bcm)?;
+        Ok(GeneralNode {
+            base: self.base,
+            path,
+        })
+    }
+
+    /// Resolves `basic(θ, r)` (Definition 4): follows the message chain
+    /// leaving the base along the path, one delivery per hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the base does not appear in `r`, if the chain does not
+    /// exist (initial nodes send no messages; a hop is not a channel), or
+    /// if a delivery lies beyond the recorded horizon
+    /// ([`CoreError::HorizonTooSmall`]).
+    pub fn resolve(&self, run: &Run) -> Result<NodeId, CoreError> {
+        if !run.appears(self.base) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("base {} missing", self.base),
+            });
+        }
+        let mut cur = self.base;
+        for hop in self.path.hops() {
+            debug_assert_eq!(cur.proc(), hop.from);
+            let m = run.message_from_to(cur, hop.to).ok_or_else(|| {
+                CoreError::NodeNotInRun {
+                    detail: format!(
+                        "no message from {cur} to {} (initial node or missing channel)",
+                        hop.to
+                    ),
+                }
+            })?;
+            match run.message(m).delivery() {
+                Some(d) => cur = d.node,
+                None => {
+                    return Err(CoreError::HorizonTooSmall {
+                        detail: format!(
+                            "message {m} from {cur} to {} undelivered at horizon {}",
+                            hop.to,
+                            run.horizon()
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// `time_r(θ) = time_r(basic(θ, r))`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GeneralNode::resolve`].
+    pub fn time_in(&self, run: &Run) -> Result<Time, CoreError> {
+        let basic = self.resolve(run)?;
+        run.time(basic).ok_or_else(|| CoreError::NodeNotInRun {
+            detail: format!("{basic} resolved but missing"),
+        })
+    }
+
+    /// Whether the node appears in `r` (resolvable within the horizon).
+    pub fn appears_in(&self, run: &Run) -> bool {
+        self.resolve(run).is_ok()
+    }
+}
+
+impl From<NodeId> for GeneralNode {
+    fn from(node: NodeId) -> Self {
+        GeneralNode::basic(node)
+    }
+}
+
+impl fmt::Display for GeneralNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_basic() {
+            write!(f, "⟨{}⟩", self.base)
+        } else {
+            write!(f, "⟨{}, {}⟩", self.base, self.path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::EagerScheduler;
+    use zigzag_bcm::{Network, SimConfig, Simulator};
+
+    fn line_run() -> Run {
+        let mut b = Network::builder();
+        let p0 = b.add_process("p0");
+        let p1 = b.add_process("p1");
+        let p2 = b.add_process("p2");
+        b.add_bidirectional(p0, p1, 2, 4).unwrap();
+        b.add_bidirectional(p1, p2, 3, 5).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30)));
+        sim.external(Time::new(1), p0, "kick");
+        sim.run(&mut Ffip::new(), &mut EagerScheduler).unwrap()
+    }
+
+    #[test]
+    fn basic_nodes_resolve_to_themselves() {
+        let run = line_run();
+        let sigma = NodeId::new(ProcessId::new(0), 1);
+        let theta = GeneralNode::basic(sigma);
+        assert!(theta.is_basic());
+        assert_eq!(theta.resolve(&run).unwrap(), sigma);
+        assert_eq!(theta.time_in(&run).unwrap(), Time::new(1));
+        let from: GeneralNode = sigma.into();
+        assert_eq!(from, theta);
+        assert_eq!(theta.to_string(), "⟨p0#1⟩");
+    }
+
+    #[test]
+    fn chains_follow_deliveries() {
+        let run = line_run();
+        let sigma = NodeId::new(ProcessId::new(0), 1); // receives "kick" at t=1
+        let theta = GeneralNode::chain(sigma, &[ProcessId::new(1), ProcessId::new(2)]).unwrap();
+        assert_eq!(theta.proc(), ProcessId::new(2));
+        let basic = theta.resolve(&run).unwrap();
+        assert_eq!(basic.proc(), ProcessId::new(2));
+        // Eager: 1 + L01 + L12 = 1 + 2 + 3.
+        assert_eq!(theta.time_in(&run).unwrap(), Time::new(6));
+        assert!(theta.appears_in(&run));
+        assert!(theta.to_string().contains("p0#1"));
+    }
+
+    #[test]
+    fn composition_operators() {
+        let sigma = NodeId::new(ProcessId::new(0), 1);
+        let theta = GeneralNode::basic(sigma)
+            .hop(ProcessId::new(1))
+            .unwrap()
+            .hop(ProcessId::new(2))
+            .unwrap();
+        let q = NetPath::new(vec![ProcessId::new(2), ProcessId::new(1)]).unwrap();
+        let theta_q = theta.then(&q).unwrap();
+        assert_eq!(theta_q.path().len(), 4);
+        assert_eq!(theta_q.proc(), ProcessId::new(1));
+        // then() with mismatched start fails.
+        let bad = NetPath::new(vec![ProcessId::new(0), ProcessId::new(1)]).unwrap();
+        assert!(theta.then(&bad).is_err());
+        assert!(theta.hop(ProcessId::new(2)).is_err());
+    }
+
+    #[test]
+    fn invalid_constructions() {
+        let sigma = NodeId::new(ProcessId::new(0), 1);
+        let path = NetPath::new(vec![ProcessId::new(1), ProcessId::new(2)]).unwrap();
+        assert!(GeneralNode::new(sigma, path).is_err());
+        assert!(GeneralNode::chain(sigma, &[ProcessId::new(0)]).is_err());
+    }
+
+    #[test]
+    fn unresolvable_chains() {
+        let run = line_run();
+        // Initial nodes never send messages.
+        let init = NodeId::initial(ProcessId::new(0));
+        let theta = GeneralNode::chain(init, &[ProcessId::new(1)]).unwrap();
+        assert!(matches!(
+            theta.resolve(&run),
+            Err(CoreError::NodeNotInRun { .. })
+        ));
+        // Missing base.
+        let ghost = NodeId::new(ProcessId::new(0), 99);
+        assert!(!GeneralNode::basic(ghost).appears_in(&run));
+        // Missing channel p0 -> p2.
+        let sigma = NodeId::new(ProcessId::new(0), 1);
+        let no_chan = GeneralNode::chain(sigma, &[ProcessId::new(2)]).unwrap();
+        assert!(matches!(
+            no_chan.resolve(&run),
+            Err(CoreError::NodeNotInRun { .. })
+        ));
+    }
+
+    #[test]
+    fn horizon_cutoff_detected() {
+        let run = line_run();
+        // A very long ping-pong chain eventually leaves the horizon.
+        let sigma = NodeId::new(ProcessId::new(0), 1);
+        let mut theta = GeneralNode::basic(sigma);
+        let mut err = None;
+        for _ in 0..40 {
+            theta = theta.hop(ProcessId::new(1)).unwrap();
+            theta = theta.hop(ProcessId::new(0)).unwrap();
+            if let Err(e) = theta.resolve(&run) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(CoreError::HorizonTooSmall { .. })));
+    }
+}

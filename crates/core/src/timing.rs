@@ -1,0 +1,417 @@
+//! Timing functions over bounds graphs (paper Definitions 9–13 and 23).
+//!
+//! A *valid timing function* assigns a time to each vertex so that every
+//! edge constraint `T(v1) + w(v1, v2) <= T(v2)` holds; such assignments are
+//! exactly the node timings of legal runs (Lemma 8). Two canonical timings
+//! drive the necessity proofs:
+//!
+//! * the **slow timing** of a node `σ` (Definition 13): every node of the
+//!   σ-precedence set is delayed as much as possible relative to `σ`,
+//!   making longest-path bounds tight (Theorem 2);
+//! * the **fast timing** of a σ-recognized node `θ'` over `GE(r, σ)`
+//!   (Definition 23): everything reachable from `θ'`'s base is squeezed as
+//!   early as possible (and everything unreachable pushed `γ` earlier
+//!   still), realizing the minimal knowledge-consistent gap (Theorem 4).
+
+use std::collections::BTreeMap;
+
+use zigzag_bcm::{NodeId, Time};
+
+use crate::bounds_graph::BoundsGraph;
+use crate::error::CoreError;
+use crate::extended_graph::{ExtVertex, ExtendedGraph};
+
+/// A timing assignment for a subset of the basic nodes of a run.
+pub type NodeTiming = BTreeMap<NodeId, Time>;
+
+/// Checks Definition 10: for every edge of `gb` with both endpoints in the
+/// domain of `t`, `T(v1) + w <= T(v2)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTiming`] naming the first violated edge.
+pub fn check_valid_timing(gb: &BoundsGraph, t: &NodeTiming) -> Result<(), CoreError> {
+    let g = gb.graph();
+    for vi in 0..g.vertex_count() {
+        let from = *g.vertex(vi);
+        let Some(&tf) = t.get(&from) else { continue };
+        for e in g.edges_from(vi) {
+            let to = *g.vertex(e.to);
+            let Some(&tt) = t.get(&to) else { continue };
+            if tf.ticks() as i64 + e.weight > tt.ticks() as i64 {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!(
+                        "edge {from} --{}--> {to} violated: T({from})={tf}, T({to})={tt}",
+                        e.weight
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Definition 11: `set` is precedence-closed w.r.t. `gb` — for every
+/// edge `(v1, v2)` with `v2 ∈ set`, also `v1 ∈ set`.
+pub fn is_p_closed(gb: &BoundsGraph, set: &std::collections::BTreeSet<NodeId>) -> bool {
+    let g = gb.graph();
+    for vi in 0..g.vertex_count() {
+        let to = *g.vertex(vi);
+        if !set.contains(&to) {
+            continue;
+        }
+        for e in g.edges_to(vi) {
+            if !set.contains(g.vertex(e.from)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The slow timing of `sigma` (Definition 13), together with its domain —
+/// the σ-precedence set `V_σ`.
+#[derive(Debug, Clone)]
+pub struct SlowTiming {
+    /// The node everything is delayed relative to.
+    pub sigma: NodeId,
+    /// `D`: the weight of the longest path in `GB(r)` ending at `sigma`.
+    pub d_max: i64,
+    /// `T(σ') = D − d(σ')` for every `σ' ∈ V_σ`.
+    pub timing: NodeTiming,
+}
+
+/// Computes the slow timing function `T^θ_r` of Definition 13 over the
+/// σ-precedence set of `sigma`.
+///
+/// # Errors
+///
+/// Fails if `sigma` is not a vertex of `gb` or on a positive cycle.
+pub fn slow_timing(gb: &BoundsGraph, sigma: NodeId) -> Result<SlowTiming, CoreError> {
+    let lp = gb.longest_to(sigma)?;
+    let d_max = lp.max_weight().unwrap_or(0);
+    let mut timing = NodeTiming::new();
+    for vi in lp.connected() {
+        let node = *gb.graph().vertex(vi);
+        let d = lp.weight(vi).expect("connected");
+        let t = d_max - d;
+        debug_assert!(t >= 0, "slow timing below zero");
+        timing.insert(node, Time::new(t as u64));
+    }
+    Ok(SlowTiming {
+        sigma,
+        d_max,
+        timing,
+    })
+}
+
+/// The fast timing `T_γ[r, σ, θ']` of Definition 23 over `GE(r, σ)`.
+#[derive(Debug, Clone)]
+pub struct FastTiming {
+    /// The γ parameter (how much earlier unreachable nodes are pushed).
+    pub gamma: u64,
+    /// Timing of every vertex of `GE(r, σ)`.
+    values: BTreeMap<ExtVertex, Time>,
+    /// Whether the vertex is reachable from `θ'`'s base in `GE(r, σ)`
+    /// (the sets `V_σ^r(σ')` / `A_σ^r(σ')`).
+    reachable: BTreeMap<ExtVertex, bool>,
+}
+
+impl FastTiming {
+    /// The assigned time of a vertex.
+    pub fn time(&self, v: ExtVertex) -> Option<Time> {
+        self.values.get(&v).copied()
+    }
+
+    /// The assigned time of an original past node.
+    pub fn node_time(&self, n: NodeId) -> Option<Time> {
+        self.time(ExtVertex::Node(n))
+    }
+
+    /// The assigned time of the auxiliary node `ψ_p`.
+    pub fn aux_time(&self, p: zigzag_bcm::ProcessId) -> Option<Time> {
+        self.time(ExtVertex::Aux(p))
+    }
+
+    /// Whether `v` lies in the reachable region `V_σ^r(σ')` / `A_σ^r(σ')`.
+    pub fn is_reachable(&self, v: ExtVertex) -> bool {
+        self.reachable.get(&v).copied().unwrap_or(false)
+    }
+
+    /// The largest assigned time (useful for choosing horizons).
+    pub fn max_time(&self) -> Time {
+        self.values.values().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Iterator over `(vertex, time)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ExtVertex, Time)> + '_ {
+        self.values.iter().map(|(v, t)| (*v, *t))
+    }
+}
+
+/// Computes the γ-fast timing of `sigma_prime` (the base of `θ'`) in
+/// `GE(r, σ)` per Definition 23:
+///
+/// * reachable vertices get `1 + F1 − F2 + γ − D + d(v)`, where `d` is the
+///   longest-path weight from `σ'`;
+/// * unreachable original vertices get `F1 − f(v)`, where `f` is the
+///   longest-path weight to the observer `σ`;
+/// * unreachable auxiliary vertices get `0`.
+///
+/// The result satisfies every `GE` edge constraint (Lemma 17); this is
+/// checked and any internal inconsistency reported as an error.
+///
+/// # Errors
+///
+/// Fails if `sigma_prime` is not a past node of the graph's observer, or on
+/// a positive cycle.
+pub fn fast_timing(
+    ge: &ExtendedGraph,
+    sigma_prime: NodeId,
+    gamma: u64,
+) -> Result<FastTiming, CoreError> {
+    let g = ge.graph();
+    let start = ExtVertex::Node(sigma_prime);
+    if g.index_of(&start).is_none() {
+        return Err(CoreError::NotRecognized {
+            observer: ge.observer(),
+            detail: format!("{sigma_prime} is not in past(r, σ)"),
+        });
+    }
+    let lp_from = ge.longest_from(start)?;
+    let lp_to_sigma = ge.longest_to(ExtVertex::Node(ge.observer()))?;
+
+    // Pass 1: collect d over the reachable region and f over unreachable
+    // originals.
+    let mut f1 = i64::MIN;
+    let mut f2 = i64::MAX;
+    let mut d_min = i64::MAX;
+    let mut any_unreachable = false;
+    for vi in 0..g.vertex_count() {
+        match lp_from.weight(vi) {
+            Some(d) => d_min = d_min.min(d),
+            None => {
+                if let ExtVertex::Node(_) = g.vertex(vi) {
+                    let f =
+                        lp_to_sigma
+                            .weight(vi)
+                            .ok_or_else(|| CoreError::InvalidTiming {
+                                detail: "past node with no path to the observer (corrupt graph)"
+                                    .into(),
+                            })?;
+                    any_unreachable = true;
+                    f1 = f1.max(f);
+                    f2 = f2.min(f);
+                }
+            }
+        }
+    }
+    if !any_unreachable {
+        f1 = 0;
+        f2 = 0;
+    }
+    debug_assert!(d_min <= 0, "d(σ') = 0 so the minimum is at most 0");
+
+    // Pass 2: assign times.
+    let reach_base = 1 + f1 - f2 + gamma as i64 - d_min;
+    let mut values = BTreeMap::new();
+    let mut reachable = BTreeMap::new();
+    for vi in 0..g.vertex_count() {
+        let v = *g.vertex(vi);
+        match lp_from.weight(vi) {
+            Some(d) => {
+                let t = reach_base + d;
+                debug_assert!(t >= 0);
+                values.insert(v, Time::new(t as u64));
+                reachable.insert(v, true);
+            }
+            None => {
+                let t = match v {
+                    ExtVertex::Node(_) => {
+                        let f = lp_to_sigma.weight(vi).expect("checked in pass 1");
+                        f1 - f
+                    }
+                    ExtVertex::Aux(_) => 0,
+                };
+                debug_assert!(t >= 0);
+                values.insert(v, Time::new(t as u64));
+                reachable.insert(v, false);
+            }
+        }
+    }
+    let ft = FastTiming {
+        gamma,
+        values,
+        reachable,
+    };
+
+    // Lemma 17 check: every GE edge constraint holds.
+    for vi in 0..g.vertex_count() {
+        let from = *g.vertex(vi);
+        let tf = ft.time(from).expect("assigned").ticks() as i64;
+        for e in g.edges_from(vi) {
+            let to = *g.vertex(e.to);
+            let tt = ft.time(to).expect("assigned").ticks() as i64;
+            if tf + e.weight > tt {
+                return Err(CoreError::InvalidTiming {
+                    detail: format!(
+                        "fast timing violates {from} --{}--> {to} (T={tf} vs T={tt})",
+                        e.weight
+                    ),
+                });
+            }
+        }
+    }
+    Ok(ft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::RandomScheduler;
+    use zigzag_bcm::{Network, ProcessId, Run, SimConfig, Simulator};
+
+    fn tri_run(seed: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        let k = b.add_process("k");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        b.add_bidirectional(j, k, 1, 4).unwrap();
+        b.add_bidirectional(i, k, 3, 7).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(50)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn actual_times_are_a_valid_timing() {
+        // The run's own times satisfy every GB constraint (Lemma 1's dual).
+        for seed in 0..5 {
+            let run = tri_run(seed);
+            let gb = BoundsGraph::of_run(&run);
+            let t: NodeTiming = run.nodes().map(|r| (r.id(), r.time())).collect();
+            check_valid_timing(&gb, &t).unwrap();
+        }
+    }
+
+    #[test]
+    fn perturbed_times_are_invalid() {
+        let run = tri_run(0);
+        let gb = BoundsGraph::of_run(&run);
+        let mut t: NodeTiming = run.nodes().map(|r| (r.id(), r.time())).collect();
+        // Move one delivered receiver before its sender's lower bound.
+        let m = run
+            .messages()
+            .iter()
+            .find(|m| m.is_delivered())
+            .expect("some delivery");
+        let d = m.delivery().unwrap();
+        t.insert(d.node, m.sent_at());
+        assert!(check_valid_timing(&gb, &t).is_err());
+    }
+
+    #[test]
+    fn v_sigma_is_p_closed() {
+        let run = tri_run(1);
+        let gb = BoundsGraph::of_run(&run);
+        let sigma = NodeId::new(ProcessId::new(1), 1);
+        let vs: BTreeSet<NodeId> = gb.v_sigma(sigma).unwrap().into_iter().collect();
+        assert!(is_p_closed(&gb, &vs));
+        // Removing an interior node breaks p-closedness whenever some
+        // member still has an edge to it.
+        let mut broken = vs.clone();
+        broken.remove(&sigma);
+        let g = gb.graph();
+        let has_member_pointing_at_sigma = (0..g.vertex_count()).any(|vi| {
+            g.edges_from(vi)
+                .iter()
+                .any(|e| *g.vertex(e.to) == sigma && broken.contains(g.vertex(e.from)))
+        });
+        if has_member_pointing_at_sigma {
+            assert!(!is_p_closed(&gb, &broken));
+        }
+    }
+
+    #[test]
+    fn slow_timing_is_valid_and_maximal_at_sigma() {
+        for seed in 0..5 {
+            let run = tri_run(seed);
+            let gb = BoundsGraph::of_run(&run);
+            let sigma = NodeId::new(ProcessId::new(2), 1);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let st = slow_timing(&gb, sigma).unwrap();
+            check_valid_timing(&gb, &st.timing).unwrap();
+            assert_eq!(
+                st.timing.get(&sigma).copied(),
+                Some(Time::new(st.d_max as u64))
+            );
+            // The defining property: T(σ) − T(σ') equals the longest-path
+            // weight d(σ').
+            let lp = gb.longest_to(sigma).unwrap();
+            for (&n, &t) in &st.timing {
+                let d = lp.weight(gb.graph().index_of(&n).unwrap()).unwrap();
+                assert_eq!(st.d_max - d, t.ticks() as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_timing_satisfies_lemma_17() {
+        for seed in 0..5 {
+            let run = tri_run(seed);
+            let sigma = NodeId::new(ProcessId::new(1), 1);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let ge = ExtendedGraph::new(&run, sigma);
+            let sp = run
+                .external_receipt_node(ProcessId::new(0), "kick")
+                .unwrap();
+            if !ge.past().contains(sp) {
+                continue;
+            }
+            for gamma in [0u64, 3, 10] {
+                let ft = fast_timing(&ge, sp, gamma).unwrap();
+                assert!(ft.is_reachable(ExtVertex::Node(sp)));
+                assert!(ft.node_time(sp).is_some());
+                assert!(ft.max_time() >= ft.node_time(sp).unwrap());
+                assert_eq!(ft.gamma, gamma);
+                // Claim 4 of Lemma 17: every unreachable original is more
+                // than γ before every reachable original.
+                for (v, t) in ft.iter() {
+                    if matches!(v, ExtVertex::Node(_)) && !ft.is_reachable(v) {
+                        for (v2, t2) in ft.iter() {
+                            if matches!(v2, ExtVertex::Node(_)) && ft.is_reachable(v2) {
+                                assert!(
+                                    t.ticks() + gamma < t2.ticks(),
+                                    "unreachable {v} at {t} not {gamma}-before {v2} at {t2}"
+                                );
+                            }
+                        }
+                    }
+                }
+                // Aux times are queryable.
+                let _ = ft.aux_time(ProcessId::new(0));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_timing_rejects_foreign_nodes() {
+        let run = tri_run(0);
+        let sigma = NodeId::new(ProcessId::new(1), 1);
+        let ge = ExtendedGraph::new(&run, sigma);
+        let foreign = NodeId::new(ProcessId::new(0), 40);
+        assert!(matches!(
+            fast_timing(&ge, foreign, 0),
+            Err(CoreError::NotRecognized { .. })
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Durative actions (the paper's footnote 3).
+//!
+//! The model treats actions as instantaneous, but §2.1 footnote 3 notes
+//! that an action extending over time can be modeled "as a special channel
+//! from the process to itself, with lower and upper bounds": invocation
+//! and completion are instantaneous events separated by a bounded delay.
+//!
+//! Channels here are between distinct processes, so we realize the
+//! footnote with a dedicated *timer* process per durative action: starting
+//! the action sends to the timer, the timer's echo is the completion. The
+//! pair of channels `worker → timer → worker` with bounds `[L/2, U/2]`
+//! each is exactly the footnote's self-channel with bounds `[L, U]`.
+//!
+//! Scenario: an oven (worker `A`) starts a bake (durative, 10–14 ticks)
+//! when the kitchen controller `C` fires the order. The packing station
+//! `B` must have the box ready (`b`) at least `x` ticks before the bake
+//! *completes* — an `Early` constraint against a **durative** action's
+//! completion event, decided purely from bounds.
+//!
+//! ```text
+//! cargo run --example durative_actions
+//! ```
+
+use zigzag::bcm::protocols::Ffip;
+use zigzag::bcm::scheduler::RandomScheduler;
+use zigzag::bcm::{Network, SimConfig, Simulator, Time};
+use zigzag::core::knowledge::KnowledgeEngine;
+use zigzag::core::GeneralNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // C → A [2,3]: the bake order. A ⇄ T [5,7]: the bake modeled as a
+    // round trip through its timer (duration 10–14 total).
+    // C → B [1,2]: the fast order copy to the packing station.
+    let mut nb = Network::builder();
+    let c = nb.add_process("controller");
+    let a = nb.add_process("oven");
+    let t = nb.add_process("bake-timer");
+    let b = nb.add_process("packing");
+    nb.add_channel(c, a, 2, 3)?;
+    nb.add_channel(a, t, 5, 7)?;
+    nb.add_channel(t, a, 5, 7)?;
+    nb.add_channel(c, b, 1, 2)?;
+    let ctx = nb.build()?;
+
+    let mut sim = Simulator::new(ctx.clone(), SimConfig::with_horizon(Time::new(60)));
+    sim.external(Time::new(4), c, "order");
+    let run = sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(3))?;
+
+    let sigma_c = run.external_receipt_node(c, "order").unwrap();
+    // Invocation: the oven starts baking when the order arrives.
+    let bake_start = GeneralNode::chain(sigma_c, &[a])?;
+    // Completion: the timer echo returns — the footnote-3 self-channel.
+    let bake_done = GeneralNode::chain(sigma_c, &[a, t, a])?;
+    // B's node: where the order copy reaches packing.
+    let theta_b = GeneralNode::chain(sigma_c, &[b])?;
+    let sigma_b = theta_b.resolve(&run)?;
+
+    let t_start = bake_start.time_in(&run)?;
+    let t_done = bake_done.time_in(&run)?;
+    println!("bake starts at t={t_start}, completes at t={t_done} (duration {})", t_done.diff(t_start));
+    assert!((10..=14).contains(&t_done.diff(t_start)));
+
+    // What does packing *know* about the completion event?
+    let engine = KnowledgeEngine::new(&run, sigma_b)?;
+    let headroom = engine.max_x(&theta_b, &bake_done)?.expect("constraint path exists");
+    println!("packing knows: box ready ≥ {headroom} ticks before the bake completes");
+    // Arithmetic: L(C→A) + L(A→T) + L(T→A) − U(C→B) = 2+5+5 − 2 = 10.
+    assert_eq!(headroom, 10);
+
+    // And about the *invocation*? Strictly less, by the bake's minimum
+    // duration — knowledge composes through the durative window.
+    let headroom_start = engine.max_x(&theta_b, &bake_start)?.unwrap();
+    println!("…and ≥ {headroom_start} ticks before the bake even starts");
+    assert_eq!(headroom - headroom_start, 10); // = L(A→T→A), the min duration
+
+    // The guarantee is schedule-independent: verify across 100 corners.
+    let mut worst = i64::MAX;
+    for seed in 0..400 {
+        let mut sim = Simulator::new(ctx.clone(), SimConfig::with_horizon(Time::new(60)));
+        sim.external(Time::new(4), c, "order");
+        let run = sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))?;
+        let gap = bake_done.time_in(&run)?.diff(theta_b.time_in(&run)?);
+        worst = worst.min(gap);
+    }
+    println!("worst observed margin over 400 schedules: {worst} (bound {headroom} is sound)");
+    assert!(worst >= headroom, "knowledge bound violated");
+    assert!(worst <= headroom + 1, "bound far from tight — model bug?");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # zigzag — umbrella crate for the zigzag-causality reproduction
+//!
+//! A reproduction of Dan, Manohar, Moses, *On Using Time Without Clocks via
+//! Zigzag Causality* (PODC 2017). This crate re-exports the three layers of
+//! the workspace:
+//!
+//! * [`bcm`] — the bounded communication model without clocks: networks,
+//!   transmission-time bounds, event-driven processes, the flooding
+//!   full-information protocol, schedulers, discrete-event simulation, run
+//!   recording/validation and space–time diagrams;
+//! * [`core`] — zigzag causality: basic/general nodes, happens-before,
+//!   two-legged forks, zigzag patterns, timed precedence, bounds graphs
+//!   (`GB(r)`, `GB(r,σ)`, `GE(r,σ)`), timing functions and run
+//!   constructions (slow runs, fast runs), σ-visible zigzags and the
+//!   knowledge engine of Theorem 4;
+//! * [`coord`] — the timed-coordination layer: the `Early⟨b →x a⟩` /
+//!   `Late⟨a →x b⟩` problems, the paper's optimal Protocol 2, and the
+//!   asynchronous / simple-fork baselines.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the per-figure reproduction results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zigzag::bcm::{Network, Simulator, SimConfig, Time};
+//! use zigzag::bcm::protocols::Ffip;
+//! use zigzag::bcm::scheduler::RandomScheduler;
+//! use zigzag::core::knowledge::KnowledgeEngine;
+//! use zigzag::core::node::GeneralNode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Figure 1: C sends to A (bounds [2,5]) and to B (bounds [9,12]).
+//! let mut b = Network::builder();
+//! let c = b.add_process("C");
+//! let a = b.add_process("A");
+//! let bb = b.add_process("B");
+//! b.add_channel(c, a, 2, 5)?;
+//! b.add_channel(c, bb, 9, 12)?;
+//! let ctx = b.build()?;
+//!
+//! let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(60)));
+//! sim.external(Time::new(3), c, "go");
+//! let run = sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(1))?;
+//!
+//! // When B receives C's message it *knows* A received it >= 4 earlier.
+//! let sigma_c = run.external_receipt_node(c, "go").unwrap();
+//! let sigma_b = run.timeline(bb)[1].id();
+//! let engine = KnowledgeEngine::new(&run, sigma_b)?;
+//! let theta_a = GeneralNode::chain(sigma_c, &[a])?;
+//! let max_x = engine.max_x(&theta_a, &sigma_b.into())?;
+//! assert_eq!(max_x, Some(9 - 5)); // L_CB - U_CA
+//! # Ok(())
+//! # }
+//! ```
+
+pub use zigzag_bcm as bcm;
+pub use zigzag_coord as coord;
+pub use zigzag_core as core;

@@ -1,0 +1,83 @@
+//! Shared workload generators for the integration suites.
+#![allow(dead_code)] // each integration binary uses a different subset
+
+use proptest::prelude::*;
+use zigzag::bcm::protocols::Ffip;
+use zigzag::bcm::scheduler::RandomScheduler;
+use zigzag::bcm::{Context, Network, ProcessId, Run, SimConfig, Simulator, Time};
+
+/// A randomly generated bounded network plus workload parameters.
+#[derive(Debug, Clone)]
+pub struct RandomWorkload {
+    pub n: usize,
+    /// Extra channels beyond the connectivity ring, as (from, to, L, U).
+    pub extra: Vec<(usize, usize, u64, u64)>,
+    /// Ring bounds per hop.
+    pub ring: Vec<(u64, u64)>,
+    /// External inputs (time, process index).
+    pub externals: Vec<(u64, usize)>,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Recording horizon.
+    pub horizon: u64,
+}
+
+impl RandomWorkload {
+    /// Materializes the context.
+    pub fn context(&self) -> Context {
+        let mut nb = Network::builder();
+        let procs: Vec<ProcessId> = (0..self.n).map(|i| nb.add_process(format!("p{i}"))).collect();
+        for (k, &(l, u)) in self.ring.iter().enumerate() {
+            let from = procs[k];
+            let to = procs[(k + 1) % self.n];
+            nb.add_channel(from, to, l, u).expect("ring bounds valid");
+        }
+        for &(f, t, l, u) in &self.extra {
+            let (f, t) = (f % self.n, t % self.n);
+            if f == t {
+                continue;
+            }
+            // Duplicate channels are rejected by the builder; ignore.
+            let _ = nb.add_channel(procs[f], procs[t], l, u);
+        }
+        nb.build().expect("non-empty network")
+    }
+
+    /// Simulates one recorded run of the workload.
+    pub fn run(&self) -> Run {
+        let ctx = self.context();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(self.horizon)));
+        for &(t, p) in &self.externals {
+            sim.external(Time::new(t.max(1)), ProcessId::new((p % self.n) as u32), "kick");
+        }
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(self.seed))
+            .expect("workloads are well-formed")
+    }
+}
+
+/// Proptest strategy for random workloads (strongly connected via a ring).
+pub fn workloads() -> impl Strategy<Value = RandomWorkload> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            let bounds = (1u64..=4, 0u64..=5).prop_map(|(l, du)| (l, l + du));
+            (
+                Just(n),
+                proptest::collection::vec((0usize..n, 0usize..n, 1u64..=4, 5u64..=9), 0..=4),
+                proptest::collection::vec(bounds, n..=n),
+                proptest::collection::vec((1u64..=6, 0usize..n), 1..=2),
+                any::<u64>(),
+                30u64..=50,
+            )
+        })
+        .prop_map(|(n, extra, ring, externals, seed, horizon)| RandomWorkload {
+            n,
+            extra: extra
+                .into_iter()
+                .map(|(f, t, l, du)| (f, t, l, l + (du - 5)))
+                .collect(),
+            ring,
+            externals,
+            seed,
+            horizon,
+        })
+}

@@ -1,0 +1,193 @@
+//! Cross-crate coordination suites: Theorem 3 (knowledge of
+//! preconditions), protocol soundness under adversarial scheduling, and
+//! the optimal protocol's dominance over the baselines.
+
+mod common;
+
+use common::workloads;
+use proptest::prelude::*;
+use zigzag::bcm::scheduler::{EagerScheduler, FractionScheduler, LazyScheduler, RandomScheduler};
+use zigzag::bcm::{Network, ProcessId, Time};
+use zigzag::coord::{
+    compare_strategies, AsyncChainStrategy, BStrategy, CoordKind, NeverStrategy, OptimalStrategy,
+    RecklessStrategy, Scenario, SimpleForkStrategy, TimedCoordination,
+};
+
+fn fig1_scenario(x: i64, late: bool) -> Scenario {
+    let mut nb = Network::builder();
+    let c = nb.add_process("C");
+    let a = nb.add_process("A");
+    let b = nb.add_process("B");
+    nb.add_channel(c, a, 2, 5).unwrap();
+    nb.add_channel(c, b, 9, 12).unwrap();
+    nb.add_channel(a, b, 1, 4).unwrap();
+    let ctx = nb.build().unwrap();
+    let kind = if late {
+        CoordKind::Late { x }
+    } else {
+        CoordKind::Early { x }
+    };
+    Scenario::new(
+        TimedCoordination::new(kind, a, b, c),
+        ctx,
+        Time::new(3),
+        Time::new(90),
+    )
+    .unwrap()
+}
+
+/// Theorem 3: whenever any sound strategy acts, a message chain from σ_C
+/// reaches its action node (knowledge of preconditions). Checked for
+/// every stock strategy across schedule families.
+#[test]
+fn theorem3_b_never_acts_blind() {
+    for x in [-3i64, 0, 2, 4] {
+        for late in [true, false] {
+            let sc = fig1_scenario(x, late);
+            let strategies: Vec<Box<dyn BStrategy>> = vec![
+                Box::new(OptimalStrategy::new()),
+                Box::new(SimpleForkStrategy::default()),
+                Box::new(AsyncChainStrategy::new()),
+            ];
+            for mut s in strategies {
+                for seed in 0..10u64 {
+                    let (_, verdict) = sc
+                        .run_verified(s.as_mut(), &mut RandomScheduler::seeded(seed))
+                        .unwrap();
+                    assert!(verdict.ok, "{} violated at x={x}: {:?}", s.name(), verdict.violation);
+                    if verdict.b_node.is_some() {
+                        assert!(
+                            verdict.b_heard_go,
+                            "{} acted without hearing the trigger (x={x})",
+                            s.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The verifier and adversarial schedules catch unsound strategies: the
+/// reckless control violates infeasible specs.
+#[test]
+fn adversarial_schedules_catch_reckless_b() {
+    let sc = fig1_scenario(12, true); // above any obtainable guarantee
+    let mut caught = 0;
+    for seed in 0..30u64 {
+        let (_, verdict) = sc
+            .run_verified(&mut RecklessStrategy, &mut RandomScheduler::seeded(seed))
+            .unwrap();
+        caught += !verdict.ok as u32;
+    }
+    assert!(caught > 0, "no schedule caught the reckless strategy");
+    // Lazy/eager extremes too.
+    let (_, v1) = sc.run_verified(&mut RecklessStrategy, &mut LazyScheduler).unwrap();
+    let (_, v2) = sc.run_verified(&mut RecklessStrategy, &mut EagerScheduler).unwrap();
+    assert!(!v1.ok || !v2.ok, "extreme schedules both satisfied x=12");
+}
+
+/// Dominance: whenever the simple-fork baseline acts, the optimal
+/// protocol acts no later; the async baseline never acts earlier than
+/// either on Late specs it can handle.
+#[test]
+fn optimal_dominates_baselines() {
+    for x in [0i64, 2, 4] {
+        let sc = fig1_scenario(x, true);
+        for seed in 0..15u64 {
+            let (_, v_opt) = sc
+                .run_verified(&mut OptimalStrategy::new(), &mut RandomScheduler::seeded(seed))
+                .unwrap();
+            let (_, v_fork) = sc
+                .run_verified(
+                    &mut SimpleForkStrategy::default(),
+                    &mut RandomScheduler::seeded(seed),
+                )
+                .unwrap();
+            let (_, v_async) = sc
+                .run_verified(&mut AsyncChainStrategy, &mut RandomScheduler::seeded(seed))
+                .unwrap();
+            if let Some(tf) = v_fork.b_time {
+                let to = v_opt.b_time.expect("optimal must act whenever fork does");
+                assert!(to <= tf, "x={x} seed {seed}: optimal {to} after fork {tf}");
+            }
+            if let (Some(ta), Some(to)) = (v_async.b_time, v_opt.b_time) {
+                assert!(to <= ta, "x={x} seed {seed}: optimal {to} after async {ta}");
+            }
+        }
+    }
+}
+
+/// The comparison harness agrees with the per-run dominance and reports
+/// zero violations for all sound strategies.
+#[test]
+fn comparison_harness_consistency() {
+    let sc = fig1_scenario(0, true);
+    let table = compare_strategies(&sc, 0..12).unwrap();
+    assert_eq!(table.len(), 4); // optimal, pattern, fork, async
+    for row in &table {
+        assert_eq!(row.violations, 0, "{}", row.strategy);
+    }
+    let by_name = |n: &str| table.iter().find(|r| r.strategy == n).unwrap();
+    let opt = by_name("optimal-zigzag");
+    let fork = by_name("simple-fork");
+    let async_ = by_name("async-chain");
+    assert!(opt.acted >= fork.acted);
+    assert!(opt.acted >= async_.acted);
+    if let (Some(a), Some(b)) = (opt.mean_b_time, async_.mean_b_time) {
+        assert!(a <= b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Protocol soundness fuzz: on random strongly-connected networks with
+    /// random roles and separations, no stock strategy ever violates its
+    /// specification, and abstention is the worst that happens.
+    #[test]
+    fn protocol_soundness_fuzz(
+        w in workloads(),
+        x in -4i64..8,
+        late in any::<bool>(),
+        roles in (0usize..5, 0usize..5),
+    ) {
+        let ctx = w.context();
+        let n = ctx.network().len();
+        let c = ProcessId::new((roles.0 % n) as u32);
+        let b = ProcessId::new((roles.1 % n) as u32);
+        // A = some out-neighbor of C (guaranteed by the ring).
+        let a = ctx.network().out_neighbors(c).first().copied().unwrap();
+        let kind = if late { CoordKind::Late { x } } else { CoordKind::Early { x } };
+        let spec = TimedCoordination::new(kind, a, b, c);
+        let Ok(sc) = Scenario::new(spec, ctx, Time::new(2), Time::new(70)) else {
+            return Ok(()); // degenerate role assignment
+        };
+        let strategies: Vec<Box<dyn BStrategy>> = vec![
+            Box::new(OptimalStrategy::new()),
+            Box::new(SimpleForkStrategy::default()),
+            Box::new(AsyncChainStrategy::new()),
+            Box::new(NeverStrategy),
+        ];
+        for mut s in strategies {
+            for sched_kind in 0..3u8 {
+                let verdict = match sched_kind {
+                    0 => sc.run_verified(s.as_mut(), &mut RandomScheduler::seeded(w.seed)),
+                    1 => sc.run_verified(s.as_mut(), &mut EagerScheduler),
+                    _ => sc.run_verified(s.as_mut(), &mut FractionScheduler::new(0.7)),
+                };
+                match verdict {
+                    Ok((_, v)) => {
+                        prop_assert!(v.ok, "{} violated: {:?}", s.name(), v.violation);
+                        if v.b_node.is_some() {
+                            prop_assert!(v.b_heard_go, "{} acted blind", s.name());
+                        }
+                    }
+                    // Horizon too small to adjudicate: acceptable.
+                    Err(zigzag::coord::CoordError::Inconclusive { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Model-level integration checks: every simulated run is a legal member
+//! of `R(P, γ)`, constructions round-trip, topology builders and diagrams
+//! hold up, and local views are genuinely clockless.
+
+mod common;
+
+use common::workloads;
+use proptest::prelude::*;
+use zigzag::bcm::protocols::Ffip;
+use zigzag::bcm::scheduler::{
+    EagerScheduler, FractionScheduler, LazyScheduler, RandomScheduler,
+};
+use zigzag::bcm::validate::{validate_run, Strictness};
+use zigzag::bcm::{diagram, topology, NodeId, SimConfig, Simulator, Time};
+use zigzag::bcm::ProcessId;
+use zigzag::core::bounds_graph::BoundsGraph;
+use zigzag::core::construct::{run_by_timing, slow_run};
+use zigzag::core::timing::{check_valid_timing, NodeTiming};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every run the simulator produces is strictly legal, and its own
+    /// node times form a valid timing function of its bounds graph.
+    #[test]
+    fn simulated_runs_are_legal(w in workloads()) {
+        let run = w.run();
+        validate_run(&run, Strictness::Strict).unwrap();
+        let gb = BoundsGraph::of_run(&run);
+        let t: NodeTiming = run.nodes().map(|r| (r.id(), r.time())).collect();
+        check_valid_timing(&gb, &t).unwrap();
+    }
+
+    /// Lemma 8 round trip: replaying a run's own timing reproduces every
+    /// node at its original time, and shifting all non-initial nodes one
+    /// tick later stays legal.
+    #[test]
+    fn run_by_timing_round_trip(w in workloads()) {
+        let run = w.run();
+        let timing: NodeTiming = run
+            .nodes()
+            .filter(|r| !r.id().is_initial())
+            .map(|r| (r.id(), r.time()))
+            .collect();
+        if timing.is_empty() {
+            return Ok(());
+        }
+        let r2 = run_by_timing(&run, &timing).unwrap();
+        validate_run(&r2, Strictness::Strict).unwrap();
+        for (&n, &t) in &timing {
+            prop_assert_eq!(r2.time(n), Some(t));
+        }
+        let shifted: NodeTiming = timing
+            .iter()
+            .map(|(&n, &t)| (n, t + 1))
+            .collect();
+        let r3 = run_by_timing(&run, &shifted).unwrap();
+        validate_run(&r3, Strictness::Strict).unwrap();
+    }
+
+    /// The text codec is the identity on every simulated run.
+    #[test]
+    fn codec_round_trip(w in workloads()) {
+        let run = w.run();
+        let text = zigzag::bcm::codec::encode(&run);
+        let back = zigzag::bcm::codec::decode(&text).unwrap();
+        prop_assert_eq!(&run, &back);
+        validate_run(&back, Strictness::Strict).unwrap();
+        // Statistics are preserved too (they are pure functions of the
+        // run); float fields need NaN-aware comparison.
+        let (s1, s2) = (zigzag::bcm::RunStats::of(&run), zigzag::bcm::RunStats::of(&back));
+        prop_assert_eq!(
+            (s1.nodes, s1.messages_sent, s1.messages_delivered, s1.in_flight,
+             s1.externals, s1.makespan, s1.max_timeline),
+            (s2.nodes, s2.messages_sent, s2.messages_delivered, s2.in_flight,
+             s2.externals, s2.makespan, s2.max_timeline)
+        );
+        prop_assert!(s1.mean_latency == s2.mean_latency
+            || (s1.mean_latency.is_nan() && s2.mean_latency.is_nan()));
+        prop_assert!(s1.mean_slack_used == s2.mean_slack_used
+            || (s1.mean_slack_used.is_nan() && s2.mean_slack_used.is_nan()));
+    }
+
+    /// Valid timing functions form a lattice: the pointwise max and min of
+    /// two valid timings (here: the run's own times and the slow timing,
+    /// restricted to a common p-closed domain) are again valid — and the
+    /// max re-materializes as a legal run.
+    #[test]
+    fn valid_timings_form_a_lattice(w in workloads()) {
+        let run = w.run();
+        let Some(sigma) = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|n| !n.is_initial())
+            .last()
+        else { return Ok(()) };
+        let sr = slow_run(&run, sigma).unwrap();
+        let t_slow = &sr.timing;
+        if t_slow.is_empty() {
+            return Ok(());
+        }
+        let t_actual: NodeTiming = t_slow
+            .keys()
+            .map(|&n| (n, run.time(n).expect("kept nodes recorded")))
+            .collect();
+        let gb = BoundsGraph::of_run(&run);
+        check_valid_timing(&gb, &t_actual).unwrap();
+        check_valid_timing(&gb, t_slow).unwrap();
+        let t_max: NodeTiming = t_slow
+            .iter()
+            .map(|(&n, &t)| (n, t.max(t_actual[&n])))
+            .collect();
+        let t_min: NodeTiming = t_slow
+            .iter()
+            .map(|(&n, &t)| (n, t.min(t_actual[&n])))
+            .collect();
+        check_valid_timing(&gb, &t_max).unwrap();
+        check_valid_timing(&gb, &t_min).unwrap();
+        // The max is at least as frontier-feasible as the slow timing:
+        // it materializes as a legal run.
+        match run_by_timing(&run, &t_max) {
+            Ok(r2) => validate_run(&r2, Strictness::Strict).unwrap(),
+            // In-flight feasibility can still bind for the mixed timing.
+            Err(zigzag::core::CoreError::InvalidTiming { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Happens-before is a partial order consistent with time, and pasts
+    /// are downward closed.
+    #[test]
+    fn happens_before_laws(w in workloads()) {
+        let run = w.run();
+        let nodes: Vec<NodeId> = run.nodes().map(|r| r.id()).collect();
+        for &a in nodes.iter().take(8) {
+            prop_assert!(run.happens_before(a, a));
+            for &b in nodes.iter().take(8) {
+                if run.happens_before(a, b) && a != b {
+                    prop_assert!(!run.happens_before(b, a), "cycle {a} {b}");
+                    prop_assert!(run.time(a).unwrap() <= run.time(b).unwrap());
+                }
+            }
+        }
+        let last = *nodes.last().unwrap();
+        let past = run.past(last);
+        for n in past.iter() {
+            let inner = run.past(n);
+            for m in inner.iter() {
+                prop_assert!(past.contains(m), "past not transitive at {m}");
+            }
+        }
+    }
+
+    /// The extreme schedulers bracket every other policy's delivery times.
+    #[test]
+    fn scheduler_bracketing(w in workloads()) {
+        let ctx = w.context();
+        let mk = |sched: &mut dyn zigzag::bcm::Scheduler| {
+            let mut sim = Simulator::new(ctx.clone(), SimConfig::with_horizon(Time::new(w.horizon)));
+            for &(t, p) in &w.externals {
+                sim.external(Time::new(t.max(1)), ProcessId::new((p % w.n) as u32), "kick");
+            }
+            sim.run(&mut Ffip::new(), sched).unwrap()
+        };
+        let eager = mk(&mut EagerScheduler);
+        let lazy = mk(&mut LazyScheduler);
+        let mid = mk(&mut FractionScheduler::new(0.5));
+        // Extreme policies pin every delivery to its window edge; the
+        // fraction policy stays inside the window.
+        let bounds = eager.context().bounds().clone();
+        for m in eager.messages() {
+            let cb = bounds.get(m.channel()).unwrap();
+            prop_assert_eq!(m.scheduled_at(), m.sent_at() + cb.lower());
+        }
+        for m in lazy.messages() {
+            let cb = bounds.get(m.channel()).unwrap();
+            prop_assert_eq!(m.scheduled_at(), m.sent_at() + cb.upper());
+        }
+        for m in mid.messages() {
+            let cb = bounds.get(m.channel()).unwrap();
+            prop_assert!(m.scheduled_at() >= m.sent_at() + cb.lower());
+            prop_assert!(m.scheduled_at() <= m.sent_at() + cb.upper());
+        }
+        validate_run(&eager, Strictness::Strict).unwrap();
+        validate_run(&lazy, Strictness::Strict).unwrap();
+        validate_run(&mid, Strictness::Strict).unwrap();
+    }
+}
+
+#[test]
+fn topology_builders_simulate() {
+    for (name, ctx) in [
+        ("line", topology::line(5, 1, 3).unwrap()),
+        ("ring", topology::ring(5, 1, 3).unwrap()),
+        ("star", topology::star(5, 1, 3).unwrap()),
+        ("complete", topology::complete(4, 2, 4).unwrap()),
+        ("random", topology::random(6, 0.4, 1, 5, 99).unwrap()),
+    ] {
+        let first = topology::first_processes(&ctx, 1)[0];
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(25)));
+        sim.external(Time::new(1), first, "kick");
+        let run = sim
+            .run(&mut Ffip::new(), &mut RandomScheduler::seeded(5))
+            .unwrap();
+        validate_run(&run, Strictness::Strict).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.node_count() > run.context().network().len(), "{name} stayed quiescent");
+    }
+}
+
+#[test]
+fn diagrams_render_every_run_shape() {
+    let ctx = topology::ring(3, 1, 4).unwrap();
+    let p0 = topology::first_processes(&ctx, 1)[0];
+    let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(18)));
+    sim.external(Time::new(1), p0, "kick");
+    let run = sim
+        .run(&mut Ffip::new(), &mut RandomScheduler::seeded(1))
+        .unwrap();
+    let full = diagram::render(&run);
+    assert!(full.contains("p0"));
+    assert!(full.lines().count() >= 3);
+    let window = diagram::render_window(&run, Time::new(5), Time::new(10));
+    assert!(!window.is_empty());
+}
+
+/// The clockless discipline: processes cannot observe absolute time.
+/// Shifting the entire workload later in time (same relative schedule)
+/// produces the *identical* sequence of local states, so any protocol
+/// decision is invariant under the shift.
+#[test]
+fn views_are_clockless() {
+    use zigzag::bcm::process::{Action, Protocol};
+    use zigzag::bcm::View;
+
+    struct Probe {
+        decisions: Vec<(NodeId, usize)>,
+    }
+    impl Protocol for Probe {
+        fn on_event(&mut self, view: &View<'_>) -> Vec<Action> {
+            // All a protocol can observe: receipts, pasts, bounds.
+            self.decisions.push((view.node(), view.past().len()));
+            Vec::new()
+        }
+    }
+
+    let build = |start: u64| {
+        let ctx = topology::line(3, 2, 6).unwrap();
+        let p0 = topology::first_processes(&ctx, 1)[0];
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30 + start)));
+        sim.external(Time::new(start), p0, "kick");
+        let mut probe = Probe { decisions: Vec::new() };
+        let run = sim
+            .run(&mut probe, &mut FractionScheduler::new(0.0))
+            .unwrap();
+        (run, probe.decisions)
+    };
+    let (r1, d1) = build(1);
+    let (r2, d2) = build(5);
+    // Identical local-state evolution…
+    assert_eq!(d1, d2);
+    // …while every (non-initial) node is displaced by exactly the shift.
+    for rec in r1.nodes().filter(|r| !r.id().is_initial()) {
+        assert_eq!(r2.time(rec.id()), Some(rec.time() + 4));
+    }
+    // And the same seed reproduces the same run bit for bit.
+    let (r3, d3) = build(1);
+    assert_eq!(d1, d3);
+    assert_eq!(r1, r3);
+}
