@@ -3,14 +3,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BcmError;
 use crate::net::Channel;
 use crate::path::NetPath;
 
 /// The `[L_ij, U_ij]` bounds of a single channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChannelBounds {
     lower: u64,
     upper: u64,
@@ -62,7 +60,7 @@ impl ChannelBounds {
 /// assert_eq!(bounds.lower(ch), Some(2));
 /// assert_eq!(bounds.upper(ch), Some(5));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Bounds {
     map: BTreeMap<Channel, ChannelBounds>,
 }
@@ -172,8 +170,12 @@ mod tests {
         let mut bounds = Bounds::new();
         bounds.insert(ch(0, 1), ChannelBounds::new(2, 5));
         bounds.insert(ch(1, 2), ChannelBounds::new(3, 7));
-        let p = NetPath::new(vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)])
-            .unwrap();
+        let p = NetPath::new(vec![
+            ProcessId::new(0),
+            ProcessId::new(1),
+            ProcessId::new(2),
+        ])
+        .unwrap();
         assert_eq!(bounds.path_lower(&p).unwrap(), 5);
         assert_eq!(bounds.path_upper(&p).unwrap(), 12);
         let singleton = NetPath::singleton(ProcessId::new(0));

@@ -52,7 +52,7 @@ pub struct RunBuilder {
 
 impl RunBuilder {
     /// Starts from the skeleton run (initial nodes only) of `context`.
-    pub fn new(context: Context, horizon: Time) -> Self {
+    pub fn new(context: impl Into<std::sync::Arc<Context>>, horizon: Time) -> Self {
         RunBuilder {
             run: Run::skeleton(context, horizon),
         }
@@ -235,9 +235,7 @@ mod tests {
         assert!(rb.add_node(ProcessId::new(9), Time::new(1)).is_err());
         let ni = rb.add_node(i, Time::new(2)).unwrap();
         assert!(rb.add_node(i, Time::new(2)).is_err()); // not increasing
-        assert!(rb
-            .add_external(NodeId::initial(i), "bad")
-            .is_err());
+        assert!(rb.add_external(NodeId::initial(i), "bad").is_err());
         assert!(rb.send(ni, ProcessId::new(0), Time::new(3)).is_err()); // self-loop channel missing
         let m = rb.send(ni, ProcessId::new(1), Time::new(3)).unwrap();
         let nj = rb.add_node(ProcessId::new(1), Time::new(3)).unwrap();

@@ -169,11 +169,14 @@ pub fn decode(text: &str) -> Result<Run, BcmError> {
         let kind = it.next().expect("non-empty line");
         let rest: Vec<&str> = it.collect();
         let num = |s: &str| -> Result<u64, BcmError> {
-            s.parse().map_err(|_| bad(line_no, format!("bad number {s:?}")))
+            s.parse()
+                .map_err(|_| bad(line_no, format!("bad number {s:?}")))
         };
         match kind {
             "horizon" => {
-                horizon = Some(num(rest.first().ok_or_else(|| bad(line_no, "missing horizon"))?)?);
+                horizon = Some(num(rest
+                    .first()
+                    .ok_or_else(|| bad(line_no, "missing horizon"))?)?);
             }
             "proc" => {
                 if rest.len() < 2 {
@@ -313,7 +316,10 @@ pub fn decode(text: &str) -> Result<Run, BcmError> {
             for &k in ids {
                 let (id, _, _, dst, sent, scheduled, _) = msgs[k];
                 if sent != time {
-                    return Err(bad(0, format!("msg {id} send time disagrees with its node")));
+                    return Err(bad(
+                        0,
+                        format!("msg {id} send time disagrees with its node"),
+                    ));
                 }
                 let got = rb.send(node, ProcessId::new(dst as u32), Time::new(scheduled))?;
                 if got.index() != id {

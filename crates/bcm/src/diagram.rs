@@ -36,7 +36,7 @@ pub fn render_window(run: &Run, from: Time, to: Time) -> String {
     let _ = write!(out, "{:name_w$} ", "time");
     for col in 0..width {
         let t = from.ticks() + col as u64;
-        if t % 5 == 0 {
+        if t.is_multiple_of(5) {
             let s = t.to_string();
             let _ = write!(out, "{}", s.chars().next().unwrap());
         } else {
@@ -54,20 +54,11 @@ pub fn render_window(run: &Run, from: Time, to: Time) -> String {
             }
             let col = (rec.time() - from) as usize;
             let mut marker = 'o';
-            if rec
-                .receipts()
-                .iter()
-                .any(|r| r.external().is_some())
-            {
+            if rec.receipts().iter().any(|r| r.external().is_some()) {
                 marker = 'E';
             }
             if let Some(a) = rec.actions().first() {
-                marker = a
-                    .name()
-                    .chars()
-                    .next()
-                    .unwrap_or('*')
-                    .to_ascii_uppercase();
+                marker = a.name().chars().next().unwrap_or('*').to_ascii_uppercase();
             }
             row[col] = marker;
         }

@@ -134,9 +134,7 @@ mod tests {
             BcmError::UnknownProcess(ProcessId::new(3)),
             BcmError::SelfLoop(ProcessId::new(0)),
             BcmError::EmptyNetwork,
-            BcmError::IllegalRun {
-                detail: "x".into(),
-            },
+            BcmError::IllegalRun { detail: "x".into() },
         ];
         for e in errors {
             let s = e.to_string();

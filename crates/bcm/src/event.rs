@@ -6,12 +6,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::message::{ExternalId, MessageId};
 
 /// A single receipt observed at a basic node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Receipt {
     /// An internal message arrived on a channel.
     Internal(MessageId),
@@ -48,7 +46,7 @@ impl fmt::Display for Receipt {
 
 /// A named, instantaneous local action performed at a basic node
 /// (e.g. the paper's `a` and `b`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActionRecord {
     name: String,
 }

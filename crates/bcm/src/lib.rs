@@ -19,7 +19,10 @@
 //! * run [`validate`](validate::validate_run)-ion certifying that a run is a
 //!   legal member of `R(P, γ)`,
 //! * causality queries on runs (`happens-before`, `past(r, σ)`, boundary
-//!   nodes) and ASCII space–time [`diagram`]s.
+//!   nodes) and ASCII space–time [`diagram`]s,
+//! * deterministic data-parallel helpers ([`par`]) used by the sweep and
+//!   experiment layers to fan `(parameter, seed)` grids across threads
+//!   with order-preserving results.
 //!
 //! Time is identified with the naturals (`u64` ticks); a process observes
 //! **only** the events delivered to it, never the time — exactly as in the
@@ -61,6 +64,7 @@ pub mod error;
 pub mod event;
 pub mod message;
 pub mod net;
+pub mod par;
 pub mod path;
 pub mod process;
 pub mod protocols;

@@ -3,16 +3,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::net::{Channel, ProcessId};
 use crate::run::NodeId;
 use crate::time::Time;
 
 /// Identifier of an internal message within a [`crate::Run`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MessageId(u32);
 
 impl MessageId {
@@ -34,9 +30,7 @@ impl fmt::Display for MessageId {
 }
 
 /// Identifier of an external input within a [`crate::Run`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ExternalId(u32);
 
 impl ExternalId {
@@ -58,7 +52,7 @@ impl fmt::Display for ExternalId {
 }
 
 /// Where and when a message was delivered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// The receiving basic node.
     pub node: NodeId,
@@ -72,7 +66,7 @@ pub struct Delivery {
 /// sender's complete local history; because a [`crate::Run`] records the
 /// whole execution, that content is implicit — the receiver's view is
 /// exactly the causal past of its receive node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageRecord {
     id: MessageId,
     src: NodeId,
@@ -149,7 +143,7 @@ impl MessageRecord {
 ///
 /// External deliveries are what get the event-driven system moving: the
 /// paper's "go" trigger `µ_go` is an external input to process `C`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExternalRecord {
     id: ExternalId,
     name: String,
@@ -160,7 +154,13 @@ pub struct ExternalRecord {
 
 impl ExternalRecord {
     /// Creates an external-input record. Used by the simulator.
-    pub fn new(id: ExternalId, name: impl Into<String>, proc: ProcessId, time: Time, node: NodeId) -> Self {
+    pub fn new(
+        id: ExternalId,
+        name: impl Into<String>,
+        proc: ProcessId,
+        time: Time,
+        node: NodeId,
+    ) -> Self {
         ExternalRecord {
             id,
             name: name.into(),
@@ -219,7 +219,13 @@ mod tests {
     #[test]
     fn external_record_accessors() {
         let node = NodeId::new(ProcessId::new(2), 1);
-        let e = ExternalRecord::new(ExternalId::new(0), "go", ProcessId::new(2), Time::new(4), node);
+        let e = ExternalRecord::new(
+            ExternalId::new(0),
+            "go",
+            ProcessId::new(2),
+            Time::new(4),
+            node,
+        );
         assert_eq!(e.name(), "go");
         assert_eq!(e.proc(), ProcessId::new(2));
         assert_eq!(e.time(), Time::new(4));

@@ -4,24 +4,22 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bounds::{Bounds, ChannelBounds};
 use crate::error::BcmError;
 
 /// Identifier of a process (`i ∈ Procs = {1, …, n}`, zero-based here).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
     /// Creates a process identifier from a zero-based index.
+    #[inline]
     pub const fn new(index: u32) -> Self {
         ProcessId(index)
     }
 
     /// The zero-based index of this process.
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
@@ -34,7 +32,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// A directed communication channel `(i, j) ∈ Chans`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Channel {
     /// Sending endpoint.
     pub from: ProcessId,
@@ -44,12 +42,14 @@ pub struct Channel {
 
 impl Channel {
     /// Creates the channel `(from, to)`.
+    #[inline]
     pub const fn new(from: ProcessId, to: ProcessId) -> Self {
         Channel { from, to }
     }
 
     /// The reversed channel `(to, from)` (which may or may not exist in a
     /// given network).
+    #[inline]
     pub const fn reversed(self) -> Self {
         Channel {
             from: self.to,
@@ -84,7 +84,7 @@ impl fmt::Display for Channel {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
     names: Vec<String>,
     /// Outgoing adjacency, sorted for determinism.
@@ -172,7 +172,7 @@ impl Network {
 /// every process starts in an empty initial local state. (The paper's
 /// results are per-run; richer initial-state sets would only add
 /// uncertainty orthogonal to the timing analysis.)
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Context {
     net: Network,
     bounds: Bounds,

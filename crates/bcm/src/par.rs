@@ -1,0 +1,135 @@
+//! Deterministic data-parallel helpers for sweep workloads.
+//!
+//! The coordination sweeps and experiment binaries fan independent
+//! `(parameter, seed)` grid points across threads. The build environment
+//! has no `rayon`, so this module provides the one primitive those
+//! callers need — an **order-preserving** parallel map over a slice —
+//! built on `std::thread::scope`. Results are written into their input's
+//! slot, so the output is byte-identical to the serial
+//! `items.iter().map(f).collect()` regardless of scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by [`par_map`]: the machine's available
+/// parallelism, overridable (e.g. for reproducible benchmarks) via the
+/// `ZIGZAG_THREADS` environment variable; `1` disables threading.
+pub fn thread_count() -> usize {
+    if let Some(n) = std::env::var("ZIGZAG_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// output: `par_map(items, f)` returns exactly what
+/// `items.iter().map(f).collect::<Vec<_>>()` would.
+///
+/// Work is distributed by atomic work-stealing over item indices, so
+/// heterogeneous per-item costs (e.g. larger `x` values simulating longer
+/// runs) balance across workers while the output order stays fixed.
+///
+/// Panics in `f` are propagated to the caller after all workers stop.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`1` = run serially on the
+/// calling thread). `par_map` delegates here with [`thread_count`]
+/// workers; tests and callers embedded in wider parallelism pin the count
+/// themselves.
+pub fn par_map_with<T: Sync, R: Send>(
+    workers: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, value) in batches.drain(..).flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        // Pin 4 workers so the threaded path is exercised even on a
+        // single-CPU machine (where thread_count() falls back to 1).
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map_with(4, &items, |&x| x * x);
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, serial);
+        assert_eq!(par_map(&items, |&x| x * x), serial);
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+        assert_eq!(par_map_with(0, &[7], |&x| x + 1), vec![8]); // clamps to 1
+    }
+
+    #[test]
+    fn unbalanced_work_still_ordered() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_with(4, &items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let items: Vec<u64> = (0..8).collect();
+        let _ = par_map_with(4, &items, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -4,8 +4,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BcmError;
 use crate::net::{Channel, Network, ProcessId};
 
@@ -25,7 +23,7 @@ use crate::net::{Channel, Network, ProcessId};
 /// assert_eq!(pq.hops().count(), 2);
 /// # Ok::<(), zigzag_bcm::BcmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetPath {
     procs: Vec<ProcessId>,
 }
@@ -137,7 +135,10 @@ impl NetPath {
     ///
     /// Panics if `k == 0` or `k > self.len()`.
     pub fn prefix(&self, k: usize) -> NetPath {
-        assert!(k >= 1 && k <= self.procs.len(), "prefix length out of range");
+        assert!(
+            k >= 1 && k <= self.procs.len(),
+            "prefix length out of range"
+        );
         NetPath {
             procs: self.procs[..k].to_vec(),
         }
@@ -219,7 +220,10 @@ mod tests {
         assert!(p(&[0, 1]).compose(&p(&[2, 3])).is_err());
         // Composing with a singleton is the identity.
         let q = p(&[0, 1]);
-        assert_eq!(q.compose(&NetPath::singleton(ProcessId::new(1))).unwrap(), q);
+        assert_eq!(
+            q.compose(&NetPath::singleton(ProcessId::new(1))).unwrap(),
+            q
+        );
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl ScriptedActions {
         ext: impl Into<String>,
         action: impl Into<String>,
     ) -> &mut Self {
-        self.on_external
-            .insert((proc, ext.into()), action.into());
+        self.on_external.insert((proc, ext.into()), action.into());
         self
     }
 

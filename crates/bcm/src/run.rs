@@ -9,8 +9,6 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BcmError;
 use crate::event::{ActionRecord, Receipt};
 use crate::message::{ExternalId, ExternalRecord, MessageId, MessageRecord};
@@ -24,9 +22,7 @@ use crate::time::Time;
 /// repeats, so `(process, index)` is in one-to-one correspondence with the
 /// paper's `(process, local state)` pairs. Index `0` is the *initial node*
 /// (time 0, empty history).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId {
     proc: ProcessId,
     index: u32,
@@ -45,11 +41,13 @@ impl NodeId {
 
     /// The process whose timeline this node lies on (an *i-node* has
     /// `proc() == i`).
+    #[inline]
     pub const fn proc(self) -> ProcessId {
         self.proc
     }
 
     /// Zero-based position on the process timeline.
+    #[inline]
     pub const fn index(self) -> u32 {
         self.index
     }
@@ -67,7 +65,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Everything observed at (and performed by) one basic node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeRecord {
     id: NodeId,
     time: Time,
@@ -171,9 +169,10 @@ impl Past {
     /// Iterator over all boundary nodes (one per process with any node in
     /// the past), in process order.
     pub fn boundaries(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.latest.iter().enumerate().filter_map(|(i, k)| {
-            k.map(|k| NodeId::new(ProcessId::new(i as u32), k))
-        })
+        self.latest
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.map(|k| NodeId::new(ProcessId::new(i as u32), k)))
     }
 
     /// Iterator over every node in the past, in (process, index) order.
@@ -199,9 +198,13 @@ impl Past {
 }
 
 /// A recorded run prefix of the system `R(P, γ)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The context is held behind an [`std::sync::Arc`]: many runs of one workload (sweep
+/// grids, seed batteries, fast-run constructions) share a single context
+/// allocation instead of deep-copying the network per run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Run {
-    context: Context,
+    context: std::sync::Arc<Context>,
     timelines: Vec<Vec<NodeRecord>>,
     messages: Vec<MessageRecord>,
     externals: Vec<ExternalRecord>,
@@ -211,7 +214,11 @@ pub struct Run {
 impl Run {
     /// Creates an empty run skeleton: every process has exactly its initial
     /// node at time 0. Used by the simulator and run constructions.
-    pub fn skeleton(context: Context, horizon: Time) -> Self {
+    ///
+    /// Accepts either an owned [`Context`] or a shared
+    /// `Arc<Context>`.
+    pub fn skeleton(context: impl Into<std::sync::Arc<Context>>, horizon: Time) -> Self {
+        let context = context.into();
         let n = context.network().len();
         let timelines = (0..n)
             .map(|i| {
@@ -233,6 +240,11 @@ impl Run {
     /// The bounded context `γ` this run belongs to.
     pub fn context(&self) -> &Context {
         &self.context
+    }
+
+    /// The context as a cheaply clonable shared handle.
+    pub fn context_arc(&self) -> std::sync::Arc<Context> {
+        self.context.clone()
     }
 
     /// The recorded horizon: all node times are `<= horizon`.

@@ -338,7 +338,9 @@ mod tests {
         let ctx = b.build().unwrap();
         let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30)));
         sim.external(Time::new(1), i, "kick");
-        let original = sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(9)).unwrap();
+        let original = sim
+            .run(&mut Ffip::new(), &mut RandomScheduler::seeded(9))
+            .unwrap();
         let mut replay = ReplayScheduler::from_run(&original);
         let again = sim.run(&mut Ffip::new(), &mut replay).unwrap();
         assert_eq!(original, again);

@@ -68,16 +68,18 @@ struct Batch {
 /// ```
 #[derive(Debug)]
 pub struct Simulator {
-    context: Context,
+    context: std::sync::Arc<Context>,
     config: SimConfig,
     externals: Vec<(Time, ProcessId, String)>,
 }
 
 impl Simulator {
-    /// Creates a simulator for `context`.
-    pub fn new(context: Context, config: SimConfig) -> Self {
+    /// Creates a simulator for `context` (owned, or shared as an
+    /// `Arc<Context>` so batch workloads don't deep-copy the network per
+    /// simulator).
+    pub fn new(context: impl Into<std::sync::Arc<Context>>, config: SimConfig) -> Self {
         Simulator {
-            context,
+            context: context.into(),
             config,
             externals: Vec::new(),
         }
@@ -164,16 +166,13 @@ impl Simulator {
                 protocol.on_event(&view)
             };
             for a in actions {
-                run.node_mut(node).push_action(crate::event::ActionRecord::new(a.into_name()));
+                run.node_mut(node)
+                    .push_action(crate::event::ActionRecord::new(a.into_name()));
             }
 
             // FFIP flooding: send full-information messages to all
             // out-neighbors.
-            let neighbors: Vec<ProcessId> = self
-                .context
-                .network()
-                .out_neighbors(proc)
-                .to_vec();
+            let neighbors: Vec<ProcessId> = self.context.network().out_neighbors(proc).to_vec();
             for dst in neighbors {
                 let channel = Channel::new(proc, dst);
                 let bounds = self

@@ -6,13 +6,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::run::Run;
 use crate::time::Time;
 
 /// Aggregated statistics of one recorded run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total basic nodes (including initial nodes).
     pub nodes: usize,
@@ -54,11 +52,7 @@ impl RunStats {
                 slack_samples += 1;
             }
         }
-        let makespan = run
-            .nodes()
-            .map(|r| r.time())
-            .max()
-            .unwrap_or(Time::ZERO);
+        let makespan = run.nodes().map(|r| r.time()).max().unwrap_or(Time::ZERO);
         let max_timeline = run
             .context()
             .network()
@@ -86,6 +80,20 @@ impl RunStats {
             max_timeline,
         }
     }
+}
+
+/// Mean of an `i64` sample (`NaN` when empty). Shared by the experiment
+/// harnesses summarizing per-seed measurements.
+pub fn mean(xs: &[i64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<i64>() as f64 / xs.len() as f64
+}
+
+/// Minimum of an `i64` sample (`i64::MAX` when empty).
+pub fn min(xs: &[i64]) -> i64 {
+    xs.iter().copied().min().unwrap_or(i64::MAX)
 }
 
 impl fmt::Display for RunStats {

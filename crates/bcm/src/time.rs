@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the global timeline (`m ∈ N` in the paper).
 ///
 /// `Time` is a newtype over `u64` ticks. Differences between times are
@@ -23,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t, Time::new(8));
 /// assert_eq!(t.diff(Time::new(10)), -2);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {
@@ -33,11 +29,13 @@ impl Time {
     pub const ZERO: Time = Time(0);
 
     /// Creates a time point at `ticks`.
+    #[inline]
     pub const fn new(ticks: u64) -> Self {
         Time(ticks)
     }
 
     /// Returns the number of ticks since time zero.
+    #[inline]
     pub const fn ticks(self) -> u64 {
         self.0
     }
@@ -48,6 +46,7 @@ impl Time {
     /// use zigzag_bcm::Time;
     /// assert_eq!(Time::new(3).diff(Time::new(7)), -4);
     /// ```
+    #[inline]
     pub fn diff(self, other: Time) -> i64 {
         self.0 as i64 - other.0 as i64
     }
@@ -59,6 +58,7 @@ impl Time {
     /// assert_eq!(Time::new(3).offset(-10), Time::ZERO);
     /// assert_eq!(Time::new(3).offset(4), Time::new(7));
     /// ```
+    #[inline]
     pub fn offset(self, delta: i64) -> Time {
         if delta >= 0 {
             Time(self.0.saturating_add(delta as u64))
@@ -68,11 +68,13 @@ impl Time {
     }
 
     /// The immediately following tick.
+    #[inline]
     pub fn next(self) -> Time {
         Time(self.0 + 1)
     }
 
     /// Whether this is time zero (the initial global state).
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -85,12 +87,14 @@ impl fmt::Display for Time {
 }
 
 impl From<u64> for Time {
+    #[inline]
     fn from(ticks: u64) -> Self {
         Time(ticks)
     }
 }
 
 impl From<Time> for u64 {
+    #[inline]
     fn from(t: Time) -> Self {
         t.0
     }
@@ -98,12 +102,14 @@ impl From<Time> for u64 {
 
 impl Add<u64> for Time {
     type Output = Time;
+    #[inline]
     fn add(self, rhs: u64) -> Time {
         Time(self.0 + rhs)
     }
 }
 
 impl AddAssign<u64> for Time {
+    #[inline]
     fn add_assign(&mut self, rhs: u64) {
         self.0 += rhs;
     }
@@ -111,6 +117,7 @@ impl AddAssign<u64> for Time {
 
 impl Sub<Time> for Time {
     type Output = i64;
+    #[inline]
     fn sub(self, rhs: Time) -> i64 {
         self.diff(rhs)
     }

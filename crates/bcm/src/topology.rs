@@ -101,10 +101,7 @@ pub fn random(
     let ids = b.add_processes(n);
     let mut have = std::collections::BTreeSet::new();
     for k in 0..n {
-        for (from, to) in [
-            (ids[k], ids[(k + 1) % n]),
-            (ids[(k + 1) % n], ids[k]),
-        ] {
+        for (from, to) in [(ids[k], ids[(k + 1) % n]), (ids[(k + 1) % n], ids[k])] {
             let l = rng.gen_range(1..=max_lower);
             let u = l + rng.gen_range(0..=max_slack);
             b.add_channel(from, to, l, u)?;

@@ -77,9 +77,7 @@ pub fn validate_run(run: &Run, strictness: Strictness) -> Result<(), BcmError> {
                 if !rec.time().is_zero() {
                     return Err(illegal(format!("initial node of {p} not at time 0")));
                 }
-                if !rec.receipts().is_empty()
-                    || !rec.sent().is_empty()
-                    || !rec.actions().is_empty()
+                if !rec.receipts().is_empty() || !rec.sent().is_empty() || !rec.actions().is_empty()
                 {
                     return Err(illegal(format!(
                         "initial node of {p} has receipts/sends/actions"
@@ -105,7 +103,10 @@ pub fn validate_run(run: &Run, strictness: Strictness) -> Result<(), BcmError> {
     // 2. Message records.
     for (k, m) in run.messages().iter().enumerate() {
         if m.id().index() != k {
-            return Err(illegal(format!("message id {} at table position {k}", m.id())));
+            return Err(illegal(format!(
+                "message id {} at table position {k}",
+                m.id()
+            )));
         }
         let ch = m.channel();
         let cb = bounds
@@ -197,7 +198,10 @@ pub fn validate_run(run: &Run, strictness: Strictness) -> Result<(), BcmError> {
             match receipt {
                 Receipt::Internal(m) => {
                     if m.index() >= run.messages().len() {
-                        return Err(illegal(format!("receipt of unknown message at {}", rec.id())));
+                        return Err(illegal(format!(
+                            "receipt of unknown message at {}",
+                            rec.id()
+                        )));
                     }
                     let mr = run.message(*m);
                     match mr.delivery() {
@@ -219,7 +223,9 @@ pub fn validate_run(run: &Run, strictness: Strictness) -> Result<(), BcmError> {
                         )));
                     }
                     let er = run.external(*e);
-                    if er.node() != rec.id() || er.time() != rec.time() || er.proc() != rec.id().proc()
+                    if er.node() != rec.id()
+                        || er.time() != rec.time()
+                        || er.proc() != rec.id().proc()
                     {
                         return Err(illegal(format!(
                             "external {} record inconsistent at {}",
@@ -262,6 +268,24 @@ pub fn validate_run(run: &Run, strictness: Strictness) -> Result<(), BcmError> {
     }
 
     Ok(())
+}
+
+#[cfg(test)]
+impl crate::run::NodeRecord {
+    fn set_time_for_test(&mut self, t: Time) {
+        // Test-only tampering helper; reconstruct through public parts.
+        let mut fresh = crate::run::NodeRecord::new(self.id(), t);
+        for r in self.receipts() {
+            fresh.push_receipt(*r);
+        }
+        for m in self.sent() {
+            fresh.push_sent(*m);
+        }
+        for a in self.actions() {
+            fresh.push_action(a.clone());
+        }
+        *self = fresh;
+    }
 }
 
 #[cfg(test)]
@@ -308,7 +332,8 @@ mod tests {
             .find_map(|m| m.delivery().map(|d| d.node))
             .unwrap();
         let t = run.time(victim).unwrap();
-        run.node_mut(victim_mut_id(victim)).set_time_for_test(t + 1000);
+        run.node_mut(victim_mut_id(victim))
+            .set_time_for_test(t + 1000);
         assert!(validate_run(&run, Strictness::Strict).is_err());
     }
 
@@ -347,23 +372,5 @@ mod tests {
         run2.set_horizon(Time::new(40));
         assert!(validate_run(&run2, Strictness::Strict).is_err());
         validate_run(&run2, Strictness::Prefix).unwrap();
-    }
-}
-
-#[cfg(test)]
-impl crate::run::NodeRecord {
-    fn set_time_for_test(&mut self, t: Time) {
-        // Test-only tampering helper; reconstruct through public parts.
-        let mut fresh = crate::run::NodeRecord::new(self.id(), t);
-        for r in self.receipts() {
-            fresh.push_receipt(*r);
-        }
-        for m in self.sent() {
-            fresh.push_sent(*m);
-        }
-        for a in self.actions() {
-            fresh.push_action(a.clone());
-        }
-        *self = fresh;
     }
 }

@@ -205,7 +205,7 @@ mod tests {
         // c's sends are visible from a (they are part of c's history).
         let sent = view_a1.sent_by(sigma_c).unwrap();
         assert_eq!(sent.len(), 2); // to a and to b
-        // But the delivery of c's message to b is not in a1's past.
+                                   // But the delivery of c's message to b is not in a1's past.
         let (m_cb, _) = sent.iter().find(|(_, d)| *d == b).copied().unwrap();
         assert!(view_a1.delivery_of(m_cb).is_none());
         assert!(!view_a1.already_acted("a"));

@@ -2,8 +2,8 @@
 //! and longest-path queries, scaling in run size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use zigzag_bench::{kicked_run, scaled_context};
 use zigzag_bcm::ProcessId;
+use zigzag_bench::{kicked_run, scaled_context};
 use zigzag_core::bounds_graph::BoundsGraph;
 use zigzag_core::construct::FrontierGraph;
 use zigzag_core::extended_graph::{ExtVertex, ExtendedGraph};
@@ -13,7 +13,12 @@ fn graph_construction(c: &mut Criterion) {
     for n in [4usize, 8, 16] {
         let ctx = scaled_context(n, 0.3, 7);
         let run = kicked_run(&ctx, ProcessId::new(0), 1, 60, 3);
-        let sigma = run.nodes().map(|r| r.id()).filter(|k| !k.is_initial()).last().unwrap();
+        let sigma = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|k| !k.is_initial())
+            .last()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("GB", n), &run, |b, run| {
             b.iter(|| BoundsGraph::of_run(run));
         });
@@ -32,7 +37,12 @@ fn longest_paths(c: &mut Criterion) {
     for n in [4usize, 8, 16] {
         let ctx = scaled_context(n, 0.3, 7);
         let run = kicked_run(&ctx, ProcessId::new(0), 1, 60, 3);
-        let sigma = run.nodes().map(|r| r.id()).filter(|k| !k.is_initial()).last().unwrap();
+        let sigma = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|k| !k.is_initial())
+            .last()
+            .unwrap();
         let gb = BoundsGraph::of_run(&run);
         let ge = ExtendedGraph::new(&run, sigma);
         group.bench_with_input(BenchmarkId::new("GB-to-sigma", n), &gb, |b, gb| {

@@ -17,19 +17,25 @@ fn protocol_latency(c: &mut Criterion) {
     let scenario = Scenario::new(spec, ctx, Time::new(2), Time::new(120))
         .unwrap()
         .with_external(Time::new(25), e, "kick_e");
-    let strategies: Vec<(&str, Box<dyn Fn() -> Box<dyn BStrategy>>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn BStrategy>>;
+    let strategies: Vec<(&str, Factory)> = vec![
         ("optimal", Box::new(|| Box::new(OptimalStrategy::new()))),
         ("fork", Box::new(|| Box::new(SimpleForkStrategy::default()))),
         ("async", Box::new(|| Box::new(AsyncChainStrategy::new()))),
         ("never", Box::new(|| Box::new(NeverStrategy))),
     ];
     for (name, make) in strategies {
-        group.bench_with_input(BenchmarkId::new("fig2b-run", name), &scenario, |bench, sc| {
-            bench.iter(|| {
-                let mut s = make();
-                sc.run_verified(s.as_mut(), &mut RandomScheduler::seeded(3)).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig2b-run", name),
+            &scenario,
+            |bench, sc| {
+                bench.iter(|| {
+                    let mut s = make();
+                    sc.run_verified(s.as_mut(), &mut RandomScheduler::seeded(3))
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

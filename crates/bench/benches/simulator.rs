@@ -2,8 +2,8 @@
 //! size, density, and horizon.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use zigzag_bench::{kicked_run, scaled_context};
 use zigzag_bcm::ProcessId;
+use zigzag_bench::{kicked_run, scaled_context};
 
 fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");

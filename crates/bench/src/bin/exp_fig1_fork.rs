@@ -7,9 +7,9 @@
 //! bound is achieved (tight); `B` coordinates with **zero** A↔B
 //! communication exactly for `x <= L_CB − U_CA`.
 
-use zigzag_bench::{fig1_context, kicked_run, mean, min, print_header, print_row};
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::Time;
+use zigzag_bench::{fig1_context, kicked_run, mean, min, print_header, print_row};
 use zigzag_coord::{CoordKind, OptimalStrategy, Scenario, TimedCoordination};
 use zigzag_core::knowledge::KnowledgeEngine;
 use zigzag_core::GeneralNode;
@@ -21,7 +21,14 @@ fn main() {
     let widths = [6, 8, 9, 9, 10, 12];
     print_header(
         &widths,
-        &["L_CB", "w", "min gap", "mean gap", "max-x at B", "acts at x=w"],
+        &[
+            "L_CB",
+            "w",
+            "min gap",
+            "mean gap",
+            "max-x at B",
+            "acts at x=w",
+        ],
     );
     for lb in [3u64, 5, 7, 9, 11, 13] {
         let (ctx, c, a, b) = fig1_context(2, 5, lb, lb + 3);
@@ -49,7 +56,10 @@ fn main() {
         let mut violated = 0u32;
         for seed in 0..20 {
             let (_, v) = scenario
-                .run_verified(&mut OptimalStrategy::new(), &mut RandomScheduler::seeded(seed))
+                .run_verified(
+                    &mut OptimalStrategy::new(),
+                    &mut RandomScheduler::seeded(seed),
+                )
                 .unwrap();
             acted += v.b_node.is_some() as u32;
             violated += !v.ok as u32;

@@ -79,7 +79,7 @@ fn main() {
                 format!("{:.1}", mean(&gaps)),
             ],
         );
-        assert!(min(&weights) >= budget + 1, "separation tick missing");
+        assert!(min(&weights) > budget, "separation tick missing");
     }
     println!("\nSeries shape: min gap > budget in every zigzag run; the realized");
     println!("weight is budget + S(Z) with S(Z) >= 1 (the separation at D).");

@@ -29,7 +29,10 @@ fn main() {
             let mut violated = 0u32;
             for seed in 0..SEEDS {
                 let (_, v) = scenario
-                    .run_verified(&mut OptimalStrategy::new(), &mut RandomScheduler::seeded(seed))
+                    .run_verified(
+                        &mut OptimalStrategy::new(),
+                        &mut RandomScheduler::seeded(seed),
+                    )
                     .unwrap();
                 acted += v.b_node.is_some() as u32;
                 violated += !v.ok as u32;

@@ -4,8 +4,8 @@
 //! in the induced local graph `GB(r, σ)` — i.e. knowledge derived from
 //! *unseen deliveries* and frontier reasoning.
 
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_bcm::{NodeId, ProcessId};
+use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_core::bounds_graph::BoundsGraph;
 use zigzag_core::extended_graph::{ExtVertex, ExtendedGraph};
 
@@ -26,45 +26,45 @@ fn main() {
             let run = kicked_run(&ctx, ProcessId::new(0), 2, 40, seed);
             // Observers at several depths: early observers have small
             // pasts and many in-flight messages — where GE shines.
-            let mut by_time: Vec<NodeId> =
-                run.nodes().map(|r| r.id()).filter(|k| !k.is_initial()).collect();
+            let mut by_time: Vec<NodeId> = run
+                .nodes()
+                .map(|r| r.id())
+                .filter(|k| !k.is_initial())
+                .collect();
             by_time.sort_by_key(|k| run.time(*k));
             let picks: Vec<NodeId> = [1, 2, 4]
                 .iter()
                 .filter_map(|&q| by_time.get(by_time.len() * q / 8).copied())
                 .collect();
             for sigma in picks {
-            let past = run.past(sigma);
-            let local = BoundsGraph::local(&run, &past);
-            let ge = ExtendedGraph::new(&run, sigma);
-            let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).take(8).collect();
-            for &x in &nodes {
-                let lp_local = local.longest_from(x).unwrap();
-                let lp_ge = ge.longest_from(ExtVertex::Node(x)).unwrap();
-                for &y in &nodes {
-                    if x == y {
-                        continue;
-                    }
-                    pairs += 1;
-                    let wl = local
-                        .graph()
-                        .index_of(&y)
-                        .and_then(|i| lp_local.weight(i));
-                    let wg = ge
-                        .index_of(ExtVertex::Node(y))
-                        .and_then(|i| lp_ge.weight(i));
-                    match (wl, wg) {
-                        (Some(l), Some(g)) if g > l => stronger += 1,
-                        (Some(l), Some(g)) => {
-                            assert!(g == l, "GE weaker than its subgraph?!");
-                            equal += 1;
+                let past = run.past(sigma);
+                let local = BoundsGraph::local(&run, &past);
+                let ge = ExtendedGraph::new(&run, sigma);
+                let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).take(8).collect();
+                for &x in &nodes {
+                    let lp_local = local.longest_from(x).unwrap();
+                    let lp_ge = ge.longest_from(ExtVertex::Node(x)).unwrap();
+                    for &y in &nodes {
+                        if x == y {
+                            continue;
                         }
-                        (None, Some(_)) => ge_only += 1,
-                        (Some(_), None) => panic!("GE lost a local path"),
-                        (None, None) => {}
+                        pairs += 1;
+                        let wl = local.graph().index_of(&y).and_then(|i| lp_local.weight(i));
+                        let wg = ge
+                            .index_of(ExtVertex::Node(y))
+                            .and_then(|i| lp_ge.weight(i));
+                        match (wl, wg) {
+                            (Some(l), Some(g)) if g > l => stronger += 1,
+                            (Some(l), Some(g)) => {
+                                assert!(g == l, "GE weaker than its subgraph?!");
+                                equal += 1;
+                            }
+                            (None, Some(_)) => ge_only += 1,
+                            (Some(_), None) => panic!("GE lost a local path"),
+                            (None, None) => {}
+                        }
                     }
                 }
-            }
             }
         }
         print_row(

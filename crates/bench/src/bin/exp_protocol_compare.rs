@@ -7,7 +7,7 @@
 //! zigzag acts strictly beyond the fork's ceiling on Figure 2b; the async
 //! baseline, when it can act at all, acts latest.
 
-use crossbeam::thread;
+use zigzag_bcm::par::par_map;
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::Time;
 use zigzag_bench::{fig1_context, fig2_context, print_header, print_row};
@@ -19,43 +19,37 @@ use zigzag_coord::{
 const SEEDS: u64 = 40;
 
 fn sweep(scenario: &Scenario, make: &(dyn Fn() -> Box<dyn BStrategy> + Sync)) -> (u32, f64, u32) {
-    let chunks: Vec<(u32, u64, u32)> = thread::scope(|s| {
-        let handles: Vec<_> = (0..4u64)
-            .map(|chunk| {
-                s.spawn(move |_| {
-                    let mut acted = 0u32;
-                    let mut time_sum = 0u64;
-                    let mut violations = 0u32;
-                    let mut strategy = make();
-                    for seed in (chunk * SEEDS / 4)..((chunk + 1) * SEEDS / 4) {
-                        let (_, v) = scenario
-                            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
-                            .expect("scenario runs");
-                        violations += !v.ok as u32;
-                        if let Some(t) = v.b_time {
-                            acted += 1;
-                            time_sum += t.ticks();
-                        }
-                    }
-                    (acted, time_sum, violations)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-    let acted: u32 = chunks.iter().map(|c| c.0).sum();
-    let time_sum: u64 = chunks.iter().map(|c| c.1).sum();
-    let violations: u32 = chunks.iter().map(|c| c.2).sum();
-    let mean = if acted > 0 { time_sum as f64 / acted as f64 } else { f64::NAN };
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    let outcomes = par_map(&seeds, |&seed| {
+        let mut strategy = make();
+        let (_, v) = scenario
+            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
+            .expect("scenario runs");
+        (v.b_time, !v.ok as u32)
+    });
+    let acted = outcomes.iter().filter(|(t, _)| t.is_some()).count() as u32;
+    let time_sum: u64 = outcomes
+        .iter()
+        .filter_map(|(t, _)| t.map(|t| t.ticks()))
+        .sum();
+    let violations: u32 = outcomes.iter().map(|(_, v)| v).sum();
+    let mean = if acted > 0 {
+        time_sum as f64 / acted as f64
+    } else {
+        f64::NAN
+    };
     (acted, mean, violations)
 }
 
 fn report(title: &str, scenarios: &[(i64, Scenario)]) {
     println!("{title}");
     let widths = [4, 20, 20, 20];
-    print_header(&widths, &["x", "optimal-zigzag", "simple-fork", "async-chain"]);
-    let strategies: Vec<(&str, Box<dyn Fn() -> Box<dyn BStrategy> + Sync>)> = vec![
+    print_header(
+        &widths,
+        &["x", "optimal-zigzag", "simple-fork", "async-chain"],
+    );
+    type Factory = Box<dyn Fn() -> Box<dyn BStrategy> + Sync>;
+    let strategies: Vec<(&str, Factory)> = vec![
         ("optimal", Box::new(|| Box::new(OptimalStrategy::new()))),
         ("fork", Box::new(|| Box::new(SimpleForkStrategy::default()))),
         ("async", Box::new(|| Box::new(AsyncChainStrategy::new()))),
@@ -77,7 +71,10 @@ fn report(title: &str, scenarios: &[(i64, Scenario)]) {
 }
 
 fn main() {
-    println!("E9 — earliest safe action: optimal vs baselines ({SEEDS} seeds, 4 threads)\n");
+    println!(
+        "E9 — earliest safe action: optimal vs baselines ({SEEDS} seeds, {} threads)\n",
+        zigzag_bcm::par::thread_count()
+    );
 
     // Figure 1 workload (fork weight 4; A→B chain for the async baseline).
     let fig1: Vec<(i64, Scenario)> = [-2i64, 0, 2, 4, 5]
@@ -94,7 +91,10 @@ fn main() {
                 (nb.build().unwrap(), c, a, b)
             };
             let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-            (x, Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap())
+            (
+                x,
+                Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
+            )
         })
         .collect();
     report("Figure 1 topology — Late⟨a --x--> b⟩:", &fig1);
@@ -111,7 +111,10 @@ fn main() {
             (x, sc)
         })
         .collect();
-    report("Figure 2b topology — Late⟨a --x--> b⟩ (fork ceiling 4, zigzag 6):", &fig2b);
+    report(
+        "Figure 2b topology — Late⟨a --x--> b⟩ (fork ceiling 4, zigzag 6):",
+        &fig2b,
+    );
 
     // Early coordination (Figure 1 with reversed bound asymmetry).
     let early: Vec<(i64, Scenario)> = [2i64, 6, 8, 9]
@@ -119,10 +122,16 @@ fn main() {
         .map(|x| {
             let (ctx, c, a, b) = fig1_context(10, 12, 1, 2);
             let spec = TimedCoordination::new(CoordKind::Early { x }, a, b, c);
-            (x, Scenario::new(spec, ctx, Time::new(2), Time::new(90)).unwrap())
+            (
+                x,
+                Scenario::new(spec, ctx, Time::new(2), Time::new(90)).unwrap(),
+            )
         })
         .collect();
-    report("Early⟨b --x--> a⟩ — C→A [10,12], C→B [1,2] (threshold 8):", &early);
+    report(
+        "Early⟨b --x--> a⟩ — C→A [10,12], C→B [1,2] (threshold 8):",
+        &early,
+    );
 
     // Window coordination (two-sided): the fig-1 knowledge band is
     // [L_CB − U_CA, U_CB − L_CA] = [4, 10]; only windows covering it work.
@@ -130,15 +139,25 @@ fn main() {
         .into_iter()
         .map(|(lo, hi)| {
             let (ctx, c, a, b) = fig1_context(2, 5, 9, 12);
-            let spec =
-                TimedCoordination::new(CoordKind::Window { after: lo, within: hi }, a, b, c);
+            let spec = TimedCoordination::new(
+                CoordKind::Window {
+                    after: lo,
+                    within: hi,
+                },
+                a,
+                b,
+                c,
+            );
             (
                 lo * 100 + hi, // display key
                 Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
             )
         })
         .collect();
-    report("Window⟨a --[lo,hi]--> b⟩ — rows keyed lo·100+hi (band [4,10]):", &window);
+    report(
+        "Window⟨a --[lo,hi]--> b⟩ — rows keyed lo·100+hi (band [4,10]):",
+        &window,
+    );
 
     println!("Crossovers: fork == zigzag where single forks suffice; zigzag alone");
     println!("covers the (fork ceiling, zigzag ceiling] band; async acts latest and");

@@ -3,8 +3,8 @@
 //! node pairs and reports the distribution of `gap − weight` slack: the
 //! minimum must be ≥ 0 in every run (Theorem 1), with 0 achieved (tight).
 
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_bcm::{NodeId, ProcessId};
+use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_core::bounds_graph::BoundsGraph;
 use zigzag_core::extract::zigzag_from_gb_path;
 use zigzag_core::CoreError;
@@ -14,7 +14,14 @@ fn main() {
     let widths = [6, 9, 10, 10, 10, 11];
     print_header(
         &widths,
-        &["procs", "runs", "patterns", "min slack", "max slack", "violations"],
+        &[
+            "procs",
+            "runs",
+            "patterns",
+            "min slack",
+            "max slack",
+            "violations",
+        ],
     );
     for n in [3usize, 5, 8, 12] {
         let mut patterns = 0u64;
@@ -67,7 +74,10 @@ fn main() {
             ],
         );
         assert_eq!(violations, 0, "Theorem 1 violated at n={n}");
-        assert_eq!(min_slack, 0, "longest-path certificates should be tight somewhere");
+        assert_eq!(
+            min_slack, 0,
+            "longest-path certificates should be tight somewhere"
+        );
     }
     println!("\nSeries shape: zero violations at every scale; minimum slack 0");
     println!("(some pair always realizes its certificate exactly).");

@@ -4,9 +4,9 @@
 //! exactly — the construction at the heart of the Theorem 2 proof — and
 //! that the slow run is a certified-legal member of `R(P, γ)`.
 
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_bcm::validate::{validate_run, Strictness};
 use zigzag_bcm::ProcessId;
+use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_core::construct::slow_run;
 use zigzag_core::extract::zigzag_for_pair;
 
@@ -15,7 +15,14 @@ fn main() {
     let widths = [6, 9, 11, 11, 12, 12];
     print_header(
         &widths,
-        &["procs", "runs", "kept nodes", "tight @", "GB matches", "legal runs"],
+        &[
+            "procs",
+            "runs",
+            "kept nodes",
+            "tight @",
+            "GB matches",
+            "legal runs",
+        ],
     );
     for n in [3usize, 5, 8] {
         let mut kept_total = 0usize;

@@ -16,7 +16,10 @@ use zigzag_coord::{
 fn main() {
     println!("E10 / Theorem 3 — knowledge-of-preconditions fuzz\n");
     let widths = [15, 8, 8, 12, 12];
-    print_header(&widths, &["strategy", "runs", "acted", "blind acts", "violations"]);
+    print_header(
+        &widths,
+        &["strategy", "runs", "acted", "blind acts", "violations"],
+    );
     let mut rng = StdRng::seed_from_u64(2017);
     let mut configs = Vec::new();
     for _ in 0..40 {
@@ -27,7 +30,8 @@ fn main() {
         configs.push((n, seed, x, late));
     }
 
-    let strategies: Vec<(Box<dyn Fn() -> Box<dyn BStrategy>>, bool)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn BStrategy>>;
+    let strategies: Vec<(Factory, bool)> = vec![
         (Box::new(|| Box::new(OptimalStrategy::new())), true),
         (Box::new(|| Box::new(SimpleForkStrategy::default())), true),
         (Box::new(|| Box::new(AsyncChainStrategy::new())), true),
@@ -44,7 +48,11 @@ fn main() {
             let c = ProcessId::new(0);
             let a = ctx.network().out_neighbors(c)[0];
             let b = ProcessId::new((n - 1) as u32);
-            let kind = if late { CoordKind::Late { x } } else { CoordKind::Early { x } };
+            let kind = if late {
+                CoordKind::Late { x }
+            } else {
+                CoordKind::Early { x }
+            };
             let spec = TimedCoordination::new(kind, a, b, c);
             let Ok(sc) = Scenario::new(spec, ctx, Time::new(2), Time::new(60)) else {
                 continue;

@@ -6,9 +6,9 @@
 //! * negative side — the claim at `max-x + 1` (or any x when unreachable)
 //!   is refuted by a certified-legal run indistinguishable at σ.
 
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_bcm::validate::{validate_run, Strictness};
 use zigzag_bcm::{NodeId, ProcessId};
+use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
 use zigzag_core::knowledge::KnowledgeEngine;
 use zigzag_core::precedence::satisfies;
 use zigzag_core::{CoreError, GeneralNode};
@@ -18,10 +18,18 @@ fn main() {
     let widths = [6, 8, 10, 12, 12, 11];
     print_header(
         &widths,
-        &["procs", "pairs", "known", "witness ok", "refuted ok", "unreachable"],
+        &[
+            "procs",
+            "pairs",
+            "known",
+            "witness ok",
+            "refuted ok",
+            "unreachable",
+        ],
     );
     for n in [3usize, 5, 8] {
-        let (mut pairs, mut known, mut wit_ok, mut ref_ok, mut unreach) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut pairs, mut known, mut wit_ok, mut ref_ok, mut unreach) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         let mut wit_seen = 0u64;
         for seed in 0..8u64 {
             let ctx = scaled_context(n, 0.4, seed + 900);
@@ -62,7 +70,10 @@ fn main() {
                     }
                     // Refute one past the threshold.
                     let x_claim = m.map_or(-3, |m| m + 1);
-                    let fr = engine.refute(&tx, &ty, x_claim).unwrap().expect("refutable");
+                    let fr = engine
+                        .refute(&tx, &ty, x_claim)
+                        .unwrap()
+                        .expect("refutable");
                     validate_run(&fr.run, Strictness::Strict).expect("refutation legal");
                     if !satisfies(&fr.run, &tx, &ty, x_claim).unwrap() {
                         ref_ok += 1;

@@ -7,31 +7,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use zigzag_bcm::protocols::Ffip;
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::{Context, Network, ProcessId, Run, SimConfig, Simulator, Time};
 
 /// The Figure 1 context with parametric bounds: `C → A [la, ua]`,
-/// `C → B [lb, ub]`. Returns `(ctx, c, a, b)`.
+/// `C → B [lb, ub]`. Returns `(ctx, c, a, b)`; the context is shared so
+/// seed batteries don't copy the network per run.
 pub fn fig1_context(
     la: u64,
     ua: u64,
     lb: u64,
     ub: u64,
-) -> (Context, ProcessId, ProcessId, ProcessId) {
+) -> (Arc<Context>, ProcessId, ProcessId, ProcessId) {
     let mut nb = Network::builder();
     let c = nb.add_process("C");
     let a = nb.add_process("A");
     let b = nb.add_process("B");
     nb.add_channel(c, a, la, ua).expect("valid bounds");
     nb.add_channel(c, b, lb, ub).expect("valid bounds");
-    (nb.build().expect("non-empty"), c, a, b)
+    (nb.build().expect("non-empty").into(), c, a, b)
 }
 
 /// The Figure 2 / 2b context with the paper's bound pattern. Returns
 /// `(ctx, [a, b, c, d, e])`; `with_report` adds the `D → B` channel that
 /// makes the zigzag visible at `B`.
-pub fn fig2_context(with_report: bool) -> (Context, [ProcessId; 5]) {
+pub fn fig2_context(with_report: bool) -> (Arc<Context>, [ProcessId; 5]) {
     let mut nb = Network::builder();
     let a = nb.add_process("A");
     let b = nb.add_process("B");
@@ -45,12 +48,13 @@ pub fn fig2_context(with_report: bool) -> (Context, [ProcessId; 5]) {
     if with_report {
         nb.add_channel(d, b, 1, 5).expect("valid");
     }
-    (nb.build().expect("non-empty"), [a, b, c, d, e])
+    (nb.build().expect("non-empty").into(), [a, b, c, d, e])
 }
 
 /// Simulates a single-trigger workload under a seeded random schedule.
-pub fn kicked_run(ctx: &Context, kick_to: ProcessId, at: u64, horizon: u64, seed: u64) -> Run {
-    let mut sim = Simulator::new(ctx.clone(), SimConfig::with_horizon(Time::new(horizon)));
+/// The context is shared with the produced run (no deep copy).
+pub fn kicked_run(ctx: &Arc<Context>, kick_to: ProcessId, at: u64, horizon: u64, seed: u64) -> Run {
+    let mut sim = Simulator::new(Arc::clone(ctx), SimConfig::with_horizon(Time::new(horizon)));
     sim.external(Time::new(at), kick_to, "kick");
     sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
         .expect("well-formed workload")
@@ -58,8 +62,10 @@ pub fn kicked_run(ctx: &Context, kick_to: ProcessId, at: u64, horizon: u64, seed
 
 /// A strongly connected random context of `n` processes (ring plus random
 /// chords), for scaling sweeps.
-pub fn scaled_context(n: usize, density: f64, seed: u64) -> Context {
-    zigzag_bcm::topology::random(n, density, 1, 6, seed).expect("valid topology parameters")
+pub fn scaled_context(n: usize, density: f64, seed: u64) -> Arc<Context> {
+    zigzag_bcm::topology::random(n, density, 1, 6, seed)
+        .expect("valid topology parameters")
+        .into()
 }
 
 /// Prints a Markdown-style table row, padding each cell to its column.
@@ -82,18 +88,8 @@ pub fn print_header(widths: &[usize], names: &[&str]) {
     println!("|-{}-|", line.join("-|-"));
 }
 
-/// Mean of an i64 sample.
-pub fn mean(xs: &[i64]) -> f64 {
-    if xs.is_empty() {
-        return f64::NAN;
-    }
-    xs.iter().sum::<i64>() as f64 / xs.len() as f64
-}
-
-/// Minimum of an i64 sample (`i64::MAX` when empty).
-pub fn min(xs: &[i64]) -> i64 {
-    xs.iter().copied().min().unwrap_or(i64::MAX)
-}
+// Sample summaries shared with the simulation layer's run statistics.
+pub use zigzag_bcm::stats::{mean, min};
 
 #[cfg(test)]
 mod tests {

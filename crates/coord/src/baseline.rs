@@ -173,8 +173,7 @@ impl SimpleForkStrategy {
                 CoordKind::Early { x } => l_ca as i64 - up as i64 >= x,
                 // Both fork inequalities at once.
                 CoordKind::Window { after, within } => {
-                    lp as i64 - u_ca as i64 >= after
-                        && up as i64 - l_ca as i64 <= within
+                    lp as i64 - u_ca as i64 >= after && up as i64 - l_ca as i64 <= within
                 }
             };
             if ok {
@@ -251,7 +250,7 @@ mod tests {
         // the A → B chain lower bound.
         let ta = verdict.a_time.unwrap();
         let tb = run.time(b_node).unwrap();
-        assert!(tb.ticks() >= ta.ticks() + 1);
+        assert!(tb.ticks() > ta.ticks());
         // The optimal protocol acts at the same time or earlier.
         let (_, v_opt) = sc
             .run_verified(&mut OptimalStrategy, &mut EagerScheduler)

@@ -4,7 +4,6 @@
 //! (and whether) each one acted, whether the specification held, and the
 //! action-time advantage over the asynchronous baseline.
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::Time;
 
@@ -14,7 +13,7 @@ use crate::optimal::{OptimalStrategy, PatternStrategy};
 use crate::scenario::{BStrategy, Scenario};
 
 /// One strategy's outcome in one run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrategyOutcome {
     /// Strategy display name.
     pub strategy: String,
@@ -27,7 +26,7 @@ pub struct StrategyOutcome {
 }
 
 /// Aggregate of one strategy across many seeds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategySummary {
     /// Strategy display name.
     pub strategy: String,
@@ -41,8 +40,11 @@ pub struct StrategySummary {
     pub runs: usize,
 }
 
-/// Runs one scenario under each stock strategy (optimal, simple-fork,
-/// async-chain) across `seeds` random schedules and summarizes.
+/// Runs one scenario under each stock strategy (optimal, pattern,
+/// simple-fork, async-chain) across `seeds` random schedules and
+/// summarizes. The `strategy × seed` grid runs in parallel
+/// ([`zigzag_bcm::par::par_map`]); aggregation happens in grid order, so
+/// the summaries are identical to the serial loop's.
 ///
 /// # Errors
 ///
@@ -51,35 +53,47 @@ pub fn compare_strategies(
     scenario: &Scenario,
     seeds: std::ops::Range<u64>,
 ) -> Result<Vec<StrategySummary>, CoordError> {
-    let mut summaries = Vec::new();
-    let strategies: Vec<Box<dyn Fn() -> Box<dyn BStrategy>>> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn BStrategy> + Sync>;
+    let strategies: Vec<Factory> = vec![
         Box::new(|| Box::new(OptimalStrategy::new())),
         Box::new(|| Box::new(PatternStrategy::new())),
         Box::new(|| Box::new(SimpleForkStrategy::default())),
         Box::new(|| Box::new(AsyncChainStrategy::new())),
     ];
-    for make in &strategies {
+    let seeds: Vec<u64> = seeds.collect();
+    let grid: Vec<(usize, u64)> = (0..strategies.len())
+        .flat_map(|si| seeds.iter().map(move |&seed| (si, seed)))
+        .collect();
+    let outcomes = zigzag_bcm::par::par_map(&grid, |&(si, seed)| {
+        let mut strategy = strategies[si]();
+        let name = strategy.name();
+        scenario
+            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
+            .map(|(_, v)| (name, v.ok, v.b_time))
+    });
+
+    let mut summaries = Vec::new();
+    let mut remaining = outcomes.into_iter();
+    for _ in &strategies {
         let mut acted = 0usize;
         let mut violations = 0usize;
         let mut time_sum = 0u64;
         let mut runs = 0usize;
-        let mut name = String::new();
-        for seed in seeds.clone() {
-            let mut strategy = make();
-            name = strategy.name().to_string();
-            let (_, verdict) =
-                scenario.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
+        let mut name = "";
+        for _ in &seeds {
+            let (n, ok, b_time) = remaining.next().expect("one outcome per grid point")?;
+            name = n;
             runs += 1;
-            if !verdict.ok {
+            if !ok {
                 violations += 1;
             }
-            if let Some(t) = verdict.b_time {
+            if let Some(t) = b_time {
                 acted += 1;
                 time_sum += t.ticks();
             }
         }
         summaries.push(StrategySummary {
-            strategy: name,
+            strategy: name.to_string(),
             acted,
             violations,
             mean_b_time: (acted > 0).then(|| time_sum as f64 / acted as f64),
@@ -116,8 +130,14 @@ mod tests {
         // Everyone can act at x = 0 here; the optimal strategy acts no
         // later (on average) than the async baseline, which must wait for
         // a message chain from A.
-        let opt = table.iter().find(|r| r.strategy == "optimal-zigzag").unwrap();
-        let pat = table.iter().find(|r| r.strategy == "pattern-zigzag").unwrap();
+        let opt = table
+            .iter()
+            .find(|r| r.strategy == "optimal-zigzag")
+            .unwrap();
+        let pat = table
+            .iter()
+            .find(|r| r.strategy == "pattern-zigzag")
+            .unwrap();
         let async_ = table.iter().find(|r| r.strategy == "async-chain").unwrap();
         assert!(opt.acted == 8 && async_.acted == 8);
         assert!(opt.mean_b_time.unwrap() <= async_.mean_b_time.unwrap());

@@ -94,15 +94,14 @@ impl BStrategy for PatternStrategy {
         };
         let theta_b = GeneralNode::basic(sigma);
         let ok = |w: Option<(i64, zigzag_core::VisibleZigzag)>, x: i64| {
-            w.map_or(false, |(weight, _)| weight >= x)
+            w.is_some_and(|(weight, _)| weight >= x)
         };
         let witness = match spec.kind {
             CoordKind::Late { x } => engine.witness(&theta_a, &theta_b).map(|w| ok(w, x)),
             CoordKind::Early { x } => engine.witness(&theta_b, &theta_a).map(|w| ok(w, x)),
             CoordKind::Window { after, within } => {
                 engine.witness(&theta_a, &theta_b).and_then(|lo| {
-                    Ok(ok(lo, after)
-                        && ok(engine.witness(&theta_b, &theta_a)?, -within))
+                    Ok(ok(lo, after) && ok(engine.witness(&theta_b, &theta_a)?, -within))
                 })
             }
         };
@@ -229,13 +228,16 @@ mod tests {
         nb.add_channel(c, b, 9, 12).unwrap();
         let ctx = nb.build().unwrap();
         for (lo, hi, expect_act) in [
-            (4i64, 10i64, true),  // exactly the knowledge band
-            (0, 20, true),        // slack on both sides
-            (5, 20, false),       // lower side too demanding
-            (4, 9, false),        // upper side too demanding
+            (4i64, 10i64, true), // exactly the knowledge band
+            (0, 20, true),       // slack on both sides
+            (5, 20, false),      // lower side too demanding
+            (4, 9, false),       // upper side too demanding
         ] {
             let spec = TimedCoordination::new(
-                CoordKind::Window { after: lo, within: hi },
+                CoordKind::Window {
+                    after: lo,
+                    within: hi,
+                },
                 a,
                 b,
                 c,
@@ -260,7 +262,10 @@ mod tests {
         }
         // The fork baseline handles the direct-channel window too.
         let spec = TimedCoordination::new(
-            CoordKind::Window { after: 4, within: 10 },
+            CoordKind::Window {
+                after: 4,
+                within: 10,
+            },
             a,
             b,
             c,

@@ -34,7 +34,7 @@ pub trait BStrategy {
 #[derive(Debug, Clone)]
 pub struct Scenario {
     spec: TimedCoordination,
-    context: Context,
+    context: std::sync::Arc<Context>,
     go_time: Time,
     horizon: Time,
     extra_externals: Vec<(Time, zigzag_bcm::ProcessId, String)>,
@@ -45,15 +45,20 @@ impl Scenario {
     /// exists (unless `C = A`) and all roles name processes of the
     /// network.
     ///
+    /// The context may be owned or shared (`Arc<Context>`); sweeps
+    /// instantiate one scenario per grid point against a single shared
+    /// context.
+    ///
     /// # Errors
     ///
     /// Returns [`CoordError::BadScenario`] on a malformed setup.
     pub fn new(
         spec: TimedCoordination,
-        context: Context,
+        context: impl Into<std::sync::Arc<Context>>,
         go_time: Time,
         horizon: Time,
     ) -> Result<Self, CoordError> {
+        let context = context.into();
         let net = context.network();
         for (role, p) in [("A", spec.a), ("B", spec.b), ("C", spec.c)] {
             if !net.contains(p) {
@@ -112,7 +117,10 @@ impl Scenario {
         strategy: &mut dyn BStrategy,
         scheduler: &mut dyn Scheduler,
     ) -> Result<Run, CoordError> {
-        let mut sim = Simulator::new(self.context.clone(), SimConfig::with_horizon(self.horizon));
+        let mut sim = Simulator::new(
+            std::sync::Arc::clone(&self.context),
+            SimConfig::with_horizon(self.horizon),
+        );
         sim.external(self.go_time, self.spec.c, self.spec.go_name.clone());
         for (t, p, name) in &self.extra_externals {
             sim.external(*t, *p, name.clone());
@@ -288,7 +296,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations > 0, "verifier never caught the reckless strategy");
+        assert!(
+            violations > 0,
+            "verifier never caught the reckless strategy"
+        );
     }
 
     #[test]

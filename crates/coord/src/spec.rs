@@ -1,14 +1,13 @@
 //! Timed-coordination specifications (paper Definition 1) and their
 //! verification against recorded runs.
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::{NodeId, ProcessId, Run, Time};
 use zigzag_core::{CoreError, GeneralNode};
 
 use crate::error::CoordError;
 
 /// Which of the two Definition 1 problems is being solved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoordKind {
     /// `Early⟨b --x--> a⟩`: `B` performs `b` at least `x` time units
     /// *before* `a`.
@@ -60,7 +59,7 @@ impl std::fmt::Display for CoordKind {
 /// that `C` sends when the spontaneous external input `go_name` arrives;
 /// `B` should perform `b` only if `a` is performed, and only at a time
 /// consistent with [`CoordKind`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedCoordination {
     /// The problem variant and separation.
     pub kind: CoordKind,
@@ -122,7 +121,7 @@ impl std::fmt::Display for TimedCoordination {
 }
 
 /// The outcome of verifying one run against a [`TimedCoordination`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verdict {
     /// The node at which `C` received the trigger, if it did.
     pub sigma_c: Option<NodeId>,
@@ -193,9 +192,7 @@ pub fn verify(spec: &TimedCoordination, run: &Run) -> Result<Verdict, CoordError
                     if a_node != Some(expected) {
                         fail(
                             &mut verdict,
-                            format!(
-                                "a performed at {a_node:?}, expected {expected} = σ_C · A"
-                            ),
+                            format!("a performed at {a_node:?}, expected {expected} = σ_C · A"),
                         );
                     }
                 }
@@ -208,7 +205,10 @@ pub fn verify(spec: &TimedCoordination, run: &Run) -> Result<Verdict, CoordError
                     // Neither judgeable nor violated: a simply hasn't
                     // happened yet within the prefix.
                     if a_node.is_some() {
-                        fail(&mut verdict, "a performed before C's message arrived".into());
+                        fail(
+                            &mut verdict,
+                            "a performed before C's message arrived".into(),
+                        );
                     }
                 }
                 Err(e) => return Err(e.into()),
@@ -231,7 +231,10 @@ pub fn verify(spec: &TimedCoordination, run: &Run) -> Result<Verdict, CoordError
                 CoordKind::Window { after, within } => {
                     let gap = tb.diff(ta);
                     // Margin: slack to the nearest violated side.
-                    (gap >= after && gap <= within, (gap - after).min(within - gap))
+                    (
+                        gap >= after && gap <= within,
+                        (gap - after).min(within - gap),
+                    )
                 }
             };
             verdict.margin = Some(margin);
@@ -373,11 +376,21 @@ mod tests {
     fn kind_accessors_and_display() {
         assert_eq!(CoordKind::Early { x: 3 }.x(), 3);
         assert_eq!(CoordKind::Late { x: -2 }.x(), -2);
-        assert_eq!(CoordKind::Window { after: 1, within: 9 }.x(), 1);
+        assert_eq!(
+            CoordKind::Window {
+                after: 1,
+                within: 9
+            }
+            .x(),
+            1
+        );
         assert!(CoordKind::Early { x: 3 }.to_string().contains("Early"));
-        assert!(CoordKind::Window { after: 1, within: 9 }
-            .to_string()
-            .contains("[1,9]"));
+        assert!(CoordKind::Window {
+            after: 1,
+            within: 9
+        }
+        .to_string()
+        .contains("[1,9]"));
         let (spec, _) = handmade(3, 10, true);
         assert!(spec.to_string().contains("Late"));
         // theta_a with C = A degenerates to σ_C.

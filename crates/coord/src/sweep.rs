@@ -6,7 +6,14 @@
 //! smaller `x` too — knowledge is monotone in `x`). The sweep measures it
 //! empirically across seeds, which is how the experiment binaries find the
 //! fork/zigzag crossover bands.
+//!
+//! Every `(x, seed)` grid point is an independent simulation, so
+//! [`threshold`] fans the grid across threads
+//! ([`zigzag_bcm::par::par_map`]) and folds the per-point outcomes back
+//! in grid order — the result is **identical** to the serial sweep,
+//! regardless of thread count or scheduling.
 
+use zigzag_bcm::par::par_map;
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::{Context, ProcessId, Time};
 
@@ -17,8 +24,8 @@ use crate::spec::{CoordKind, TimedCoordination};
 /// The scenario family a sweep runs over: everything but the separation.
 #[derive(Debug, Clone)]
 pub struct SweepFamily {
-    /// The bounded context.
-    pub context: Context,
+    /// The bounded context, shared (not copied) by every grid point.
+    pub context: std::sync::Arc<Context>,
     /// Role `A`.
     pub a: ProcessId,
     /// Role `B`.
@@ -48,7 +55,12 @@ impl SweepFamily {
             CoordKind::Early { x }
         };
         let spec = TimedCoordination::new(kind, self.a, self.b, self.c);
-        let mut sc = Scenario::new(spec, self.context.clone(), self.go_time, self.horizon)?;
+        let mut sc = Scenario::new(
+            spec,
+            std::sync::Arc::clone(&self.context),
+            self.go_time,
+            self.horizon,
+        )?;
         for (t, p, name) in &self.externals {
             sc = sc.with_external(*t, *p, name.clone());
         }
@@ -70,34 +82,52 @@ pub struct Threshold {
 }
 
 /// Sweeps `x` over `range` (inclusive), running `seeds` random schedules
-/// per point.
+/// per point. The `x × seeds` grid runs in parallel; the fold back into a
+/// [`Threshold`] happens in grid order, so the result is identical to the
+/// serial sweep.
 ///
 /// # Errors
 ///
 /// Propagates scenario errors.
 pub fn threshold(
     family: &SweepFamily,
-    strategy_factory: &dyn Fn() -> Box<dyn BStrategy>,
+    strategy_factory: &(dyn Fn() -> Box<dyn BStrategy> + Sync),
     range: std::ops::RangeInclusive<i64>,
     seeds: u64,
 ) -> Result<Threshold, CoordError> {
+    // Instantiate scenarios serially (cheap, and validation errors keep
+    // their serial reporting order)...
+    let scenarios: Vec<(i64, Scenario)> = range
+        .map(|x| family.at(x).map(|sc| (x, sc)))
+        .collect::<Result<_, _>>()?;
+    // ...then fan the full grid out.
+    let grid: Vec<(usize, u64)> = (0..scenarios.len())
+        .flat_map(|xi| (0..seeds).map(move |seed| (xi, seed)))
+        .collect();
+    let outcomes = par_map(&grid, |&(xi, seed)| {
+        let mut strategy = strategy_factory();
+        scenarios[xi]
+            .1
+            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
+            .map(|(_, v)| (v.b_node.is_some(), v.ok))
+    });
+
     let mut always = None;
     let mut ever = None;
     let mut violations = 0u32;
-    for x in range {
-        let sc = family.at(x)?;
+    let mut remaining = outcomes.into_iter();
+    for (x, _) in &scenarios {
         let mut acted = 0u64;
-        for seed in 0..seeds {
-            let mut strategy = strategy_factory();
-            let (_, v) = sc.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
-            violations += !v.ok as u32;
-            acted += v.b_node.is_some() as u64;
+        for _ in 0..seeds {
+            let (acts, ok) = remaining.next().expect("one outcome per grid point")?;
+            violations += !ok as u32;
+            acted += acts as u64;
         }
         if acted == seeds {
-            always = Some(x);
+            always = Some(*x);
         }
         if acted > 0 {
-            ever = Some(x);
+            ever = Some(*x);
         }
     }
     Ok(Threshold {
@@ -122,7 +152,7 @@ mod tests {
         nb.add_channel(c, a, 2, 5).unwrap();
         nb.add_channel(c, b, 9, 12).unwrap();
         SweepFamily {
-            context: nb.build().unwrap(),
+            context: nb.build().unwrap().into(),
             a,
             b,
             c,
@@ -136,13 +166,7 @@ mod tests {
     #[test]
     fn fig1_threshold_is_the_fork_weight() {
         let family = fig1_family();
-        let t = threshold(
-            &family,
-            &|| Box::new(OptimalStrategy::new()),
-            0..=8,
-            6,
-        )
-        .unwrap();
+        let t = threshold(&family, &|| Box::new(OptimalStrategy::new()), 0..=8, 6).unwrap();
         assert_eq!(t.always_acts, Some(4)); // L_CB − U_CA
         assert_eq!(t.ever_acts, Some(4));
         assert_eq!(t.violations, 0);
@@ -155,6 +179,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tf.always_acts, Some(4));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_reference() {
+        // The fan-out must be invisible: fold the same grid serially and
+        // compare every field.
+        let family = fig1_family();
+        let (range, seeds) = (0i64..=6, 5u64);
+        let factory: &(dyn Fn() -> Box<dyn BStrategy> + Sync) =
+            &|| Box::new(OptimalStrategy::new());
+        let parallel = threshold(&family, factory, range.clone(), seeds).unwrap();
+
+        let mut always = None;
+        let mut ever = None;
+        let mut violations = 0u32;
+        for x in range {
+            let sc = family.at(x).unwrap();
+            let mut acted = 0u64;
+            for seed in 0..seeds {
+                let mut s = factory();
+                let (_, v) = sc
+                    .run_verified(s.as_mut(), &mut RandomScheduler::seeded(seed))
+                    .unwrap();
+                violations += !v.ok as u32;
+                acted += v.b_node.is_some() as u64;
+            }
+            if acted == seeds {
+                always = Some(x);
+            }
+            if acted > 0 {
+                ever = Some(x);
+            }
+        }
+        assert_eq!(
+            parallel,
+            Threshold {
+                always_acts: always,
+                ever_acts: ever,
+                violations
+            }
+        );
     }
 
     #[test]

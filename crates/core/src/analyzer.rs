@@ -1,0 +1,257 @@
+//! Run-level shared analysis: one [`RunAnalyzer`] per recorded run,
+//! amortizing everything that does not depend on the observer.
+//!
+//! The Theorem 4 decision procedure is observer-scoped: a
+//! [`KnowledgeEngine`] answers queries *at* one basic node `σ`. But a
+//! protocol analysis, a sweep, or a serving layer asks about **many**
+//! observers of the **same** run, and the seed behavior — rebuilding
+//! `GE(r, σ)` and re-resolving every recorded message per observer, plus a
+//! fresh SPFA per query — pays the full price every time. The analyzer
+//! splits the work by scope:
+//!
+//! * **per run** (shared here): the message table resolved against the
+//!   channel bounds ([`MessageIndex`]), and the global basic bounds graph
+//!   `GB(r)` ([`BoundsGraph`]), each built once on first use;
+//! * **per observer** (cached here): the derived [`KnowledgeEngine`],
+//!   constructed once per `σ` and shared via [`Arc`];
+//! * **per query** (cached inside the engine): canonical rewrites, fast
+//!   timings, chain layouts, and memoized SPFA results.
+//!
+//! ```
+//! # use zigzag_bcm::{Network, SimConfig, Simulator, Time, NodeId, ProcessId};
+//! # use zigzag_bcm::protocols::Ffip;
+//! # use zigzag_bcm::scheduler::EagerScheduler;
+//! use zigzag_core::analyzer::RunAnalyzer;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = Network::builder();
+//! # let i = b.add_process("i");
+//! # let j = b.add_process("j");
+//! # b.add_bidirectional(i, j, 2, 5)?;
+//! # let ctx = b.build()?;
+//! # let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30)));
+//! # sim.external(Time::new(1), i, "kick");
+//! # let run = sim.run(&mut Ffip::new(), &mut EagerScheduler)?;
+//! let analyzer = RunAnalyzer::new(&run);
+//! // Engines for two observers share the run-level analysis...
+//! let e1 = analyzer.engine(NodeId::new(i, 2))?;
+//! let e2 = analyzer.engine(NodeId::new(j, 1))?;
+//! // ...and asking for the same observer again returns the same engine.
+//! assert!(std::sync::Arc::ptr_eq(&e1, &analyzer.engine(NodeId::new(i, 2))?));
+//! # let _ = e2;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use zigzag_bcm::{NodeId, Run};
+
+use crate::bounds_graph::BoundsGraph;
+use crate::error::CoreError;
+use crate::extended_graph::{ExtendedGraph, MessageIndex};
+use crate::knowledge::KnowledgeEngine;
+use crate::node::GeneralNode;
+
+/// Shared-analysis facade over one recorded run; see the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct RunAnalyzer<'r> {
+    run: &'r Run,
+    messages: OnceLock<MessageIndex>,
+    gb: OnceLock<Arc<BoundsGraph>>,
+    engines: Mutex<HashMap<NodeId, Arc<KnowledgeEngine<'r>>>>,
+}
+
+impl<'r> RunAnalyzer<'r> {
+    /// Wraps `run`. All analysis state is built lazily on first use.
+    pub fn new(run: &'r Run) -> Self {
+        RunAnalyzer {
+            run,
+            messages: OnceLock::new(),
+            gb: OnceLock::new(),
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The run under analysis.
+    pub fn run(&self) -> &'r Run {
+        self.run
+    }
+
+    /// The per-run message table, resolved once and shared by every
+    /// derived `GE(r, σ)`.
+    pub fn message_index(&self) -> &MessageIndex {
+        self.messages.get_or_init(|| MessageIndex::of_run(self.run))
+    }
+
+    /// The global basic bounds graph `GB(r)`, built once per run. Its
+    /// longest-path queries are memoized per source, so run-wide
+    /// precedence analyses (tight bounds, `V_σ` sets) share traversals.
+    pub fn bounds_graph(&self) -> Arc<BoundsGraph> {
+        self.gb
+            .get_or_init(|| Arc::new(BoundsGraph::of_run(self.run)))
+            .clone()
+    }
+
+    /// The knowledge engine observing at `sigma`, built on first request
+    /// and shared afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in the run.
+    pub fn engine(&self, sigma: NodeId) -> Result<Arc<KnowledgeEngine<'r>>, CoreError> {
+        if let Some(hit) = self.engines.lock().expect("engine cache lock").get(&sigma) {
+            return Ok(hit.clone());
+        }
+        if !self.run.appears(sigma) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("observer {sigma} does not appear in the run"),
+            });
+        }
+        let ge = ExtendedGraph::with_index(self.run, sigma, self.message_index());
+        let engine = Arc::new(KnowledgeEngine::with_graph(self.run, sigma, ge));
+        // If a concurrent caller won the race, hand back *their* engine so
+        // every caller shares one query cache (and one Arc identity).
+        Ok(self
+            .engines
+            .lock()
+            .expect("engine cache lock")
+            .entry(sigma)
+            .or_insert(engine)
+            .clone())
+    }
+
+    /// Number of observer engines derived so far.
+    pub fn engine_count(&self) -> usize {
+        self.engines.lock().expect("engine cache lock").len()
+    }
+
+    /// Convenience: `K_σ(θ1 --x--> θ2)`'s exact threshold at observer
+    /// `sigma`, through the shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x`].
+    pub fn max_x(
+        &self,
+        sigma: NodeId,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+    ) -> Result<Option<i64>, CoreError> {
+        self.engine(sigma)?.max_x(theta1, theta2)
+    }
+
+    /// Convenience: batched thresholds at one observer (see
+    /// [`KnowledgeEngine::max_x_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x_batch`].
+    pub fn max_x_batch(
+        &self,
+        sigma: NodeId,
+        queries: &[(GeneralNode, GeneralNode)],
+    ) -> Result<Vec<Option<i64>>, CoreError> {
+        self.engine(sigma)?.max_x_batch(queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::RandomScheduler;
+    use zigzag_bcm::{Network, ProcessId, SimConfig, Simulator, Time};
+
+    fn tri_run(seed: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        let k = b.add_process("k");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        b.add_bidirectional(j, k, 1, 4).unwrap();
+        b.add_bidirectional(i, k, 3, 7).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(50)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn derived_engines_agree_with_standalone() {
+        for seed in 0..4 {
+            let run = tri_run(seed);
+            let analyzer = RunAnalyzer::new(&run);
+            let observers: Vec<NodeId> = run
+                .nodes()
+                .map(|r| r.id())
+                .filter(|n| !n.is_initial())
+                .collect();
+            for &sigma in observers.iter().take(4) {
+                let shared = analyzer.engine(sigma).unwrap();
+                let standalone = KnowledgeEngine::new(&run, sigma).unwrap();
+                assert_eq!(
+                    shared.max_x_basic_matrix().unwrap(),
+                    standalone.max_x_basic_matrix().unwrap(),
+                    "seed {seed}, observer {sigma}: shared-analysis path diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_are_shared_per_observer() {
+        let run = tri_run(1);
+        let analyzer = RunAnalyzer::new(&run);
+        let sigma = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|n| !n.is_initial())
+            .last()
+            .unwrap();
+        let a = analyzer.engine(sigma).unwrap();
+        let b = analyzer.engine(sigma).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "engine was rebuilt for the same observer"
+        );
+        assert_eq!(analyzer.engine_count(), 1);
+        assert_eq!(analyzer.run().node_count(), run.node_count());
+        // GB(r) is shared too.
+        assert!(Arc::ptr_eq(
+            &analyzer.bounds_graph(),
+            &analyzer.bounds_graph()
+        ));
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let run = tri_run(2);
+        let analyzer = RunAnalyzer::new(&run);
+        let sigma = NodeId::new(ProcessId::new(1), 2);
+        if !run.appears(sigma) {
+            return;
+        }
+        let engine = analyzer.engine(sigma).unwrap();
+        let nodes: Vec<NodeId> = run.past(sigma).iter().filter(|n| !n.is_initial()).collect();
+        let queries: Vec<(GeneralNode, GeneralNode)> = nodes
+            .iter()
+            .flat_map(|&a| nodes.iter().map(move |&b| (a.into(), b.into())))
+            .collect();
+        let batched = analyzer.max_x_batch(sigma, &queries).unwrap();
+        for ((ta, tb), got) in queries.iter().zip(&batched) {
+            assert_eq!(*got, engine.max_x(ta, tb).unwrap());
+            assert_eq!(*got, analyzer.max_x(sigma, ta, tb).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_observers_error() {
+        let run = tri_run(0);
+        let analyzer = RunAnalyzer::new(&run);
+        assert!(analyzer.engine(NodeId::new(ProcessId::new(0), 99)).is_err());
+        assert_eq!(analyzer.engine_count(), 0);
+    }
+}

@@ -51,7 +51,7 @@ impl BoundsGraph {
     }
 
     fn build(run: &Run, past: Option<&Past>) -> Self {
-        let keep = |n: NodeId| past.map_or(true, |p| p.contains(n));
+        let keep = |n: NodeId| past.is_none_or(|p| p.contains(n));
         let mut graph = WeightedDigraph::new();
         let mut message_edges = 0usize;
 
@@ -229,7 +229,11 @@ mod tests {
         assert!(gb.message_edge_count() >= 2);
         assert_eq!(
             BoundsGraph::message_between(&run, i1, j1),
-            Some(run.timeline(ProcessId::new(1))[1].receipts()[0].internal().unwrap())
+            Some(
+                run.timeline(ProcessId::new(1))[1].receipts()[0]
+                    .internal()
+                    .unwrap()
+            )
         );
     }
 
@@ -279,9 +283,10 @@ mod tests {
         let i1 = NodeId::new(ProcessId::new(0), 1);
         let vs = gb.v_sigma(i1).unwrap();
         let t1 = run.time(i1).unwrap();
-        assert!(vs
-            .iter()
-            .any(|n| run.time(*n).unwrap() > t1), "V_σ misses future nodes");
+        assert!(
+            vs.iter().any(|n| run.time(*n).unwrap() > t1),
+            "V_σ misses future nodes"
+        );
         assert!(vs.contains(&i1));
     }
 

@@ -36,7 +36,9 @@ use zigzag_bcm::{Bounds, NodeId, ProcessId, Run, Time};
 
 use crate::bounds_graph::{BoundsGraph, LABEL_RECV, LABEL_SEND, LABEL_SUCCESSOR};
 use crate::error::CoreError;
-use crate::extended_graph::{ExtVertex, ExtendedGraph, LABEL_AUX_CHAN, LABEL_BOUNDARY, LABEL_UNSEEN};
+use crate::extended_graph::{
+    ExtVertex, ExtendedGraph, LABEL_AUX_CHAN, LABEL_BOUNDARY, LABEL_UNSEEN,
+};
 use crate::graph::{LongestPaths, WeightedDigraph};
 use crate::node::GeneralNode;
 use crate::timing::{fast_timing, FastTiming, NodeTiming};
@@ -79,7 +81,12 @@ impl FrontierGraph {
                 );
             }
             let last = tl.last().expect("every process has an initial node");
-            graph.add_edge(ExtVertex::Node(last.id()), ExtVertex::Aux(p), 1, LABEL_BOUNDARY);
+            graph.add_edge(
+                ExtVertex::Node(last.id()),
+                ExtVertex::Aux(p),
+                1,
+                LABEL_BOUNDARY,
+            );
         }
         for m in run.messages() {
             let cb = bounds
@@ -189,7 +196,7 @@ enum PendingReceipt {
 /// prescription is internally inconsistent (a delivery would fall outside
 /// its channel window or inside a kept prefix).
 fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
-    let ctx = source.context().clone();
+    let ctx = source.context_arc();
     let net = ctx.network().clone();
     let bounds = ctx.bounds().clone();
     let mut rb = RunBuilder::new(ctx, p.horizon);
@@ -201,9 +208,12 @@ fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
         if !p.kept(e.node()) {
             continue;
         }
-        let t = *p.times.get(&e.node()).ok_or_else(|| CoreError::InvalidTiming {
-            detail: format!("kept node {} has no prescribed time", e.node()),
-        })?;
+        let t = *p
+            .times
+            .get(&e.node())
+            .ok_or_else(|| CoreError::InvalidTiming {
+                detail: format!("kept node {} has no prescribed time", e.node()),
+            })?;
         if t > p.horizon {
             continue;
         }
@@ -215,9 +225,11 @@ fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
 
     while let Some((&(time, proc), _)) = queue.iter().next() {
         let batch = queue.remove(&(time, proc)).expect("key just observed");
-        let node = rb.add_node(proc, time).map_err(|e| CoreError::InvalidTiming {
-            detail: format!("prescription breaks timeline monotonicity: {e}"),
-        })?;
+        let node = rb
+            .add_node(proc, time)
+            .map_err(|e| CoreError::InvalidTiming {
+                detail: format!("prescription breaks timeline monotonicity: {e}"),
+            })?;
         if p.kept(node) {
             // The kept prefix must reproduce exactly.
             let expected = p.times.get(&node).copied();
@@ -404,7 +416,10 @@ fn frontier_for_timing(
             });
         }
     }
-    Ok(omega.into_iter().map(|t| Time::new(t.max(0) as u64)).collect())
+    Ok(omega
+        .into_iter()
+        .map(|t| Time::new(t.max(0) as u64))
+        .collect())
 }
 
 /// Constructs the run `r[T]` of Lemma 8 from a valid timing function over a
@@ -627,13 +642,16 @@ pub struct FastRun {
 /// Walks `theta`'s message chain, recording the Definition 24 condition-2
 /// prescriptions (chain deliveries pinned to channel upper bounds once the
 /// chain leaves the observer's past) and the resulting arrival time.
+/// Condition-2 delivery pins keyed by `(sender, send time, destination)`.
+type ChainPins = BTreeMap<(ProcessId, Time, ProcessId), Time>;
+
 fn chain_prescriptions(
     run: &Run,
     past: &Past,
     ft: &FastTiming,
     theta: &GeneralNode,
     bounds: &Bounds,
-) -> Result<(BTreeMap<(ProcessId, Time, ProcessId), Time>, Time), CoreError> {
+) -> Result<(ChainPins, Time), CoreError> {
     let sigma_prime = theta.base();
     let mut t = ft
         .node_time(sigma_prime)
@@ -644,12 +662,12 @@ fn chain_prescriptions(
     let mut map = BTreeMap::new();
     let mut inside: Option<NodeId> = Some(sigma_prime);
     for hop in theta.path().hops() {
-        let u = bounds.get(hop).ok_or_else(|| CoreError::Bcm(
-            zigzag_bcm::BcmError::MissingChannel {
+        let u = bounds
+            .get(hop)
+            .ok_or(CoreError::Bcm(zigzag_bcm::BcmError::MissingChannel {
                 from: hop.from,
                 to: hop.to,
-            },
-        ))?;
+            }))?;
         let mut stayed = false;
         if let Some(node) = inside {
             let m = run
@@ -819,7 +837,10 @@ mod tests {
             for (&node, &t) in &sr.timing {
                 assert_eq!(sr.run.time(node), Some(t), "seed {seed}: {node} mis-timed");
                 let gap = t_sigma.diff(t);
-                assert_eq!(gap, sr.d[&node], "seed {seed}: slow run not tight at {node}");
+                assert_eq!(
+                    gap, sr.d[&node],
+                    "seed {seed}: slow run not tight at {node}"
+                );
             }
             // The slow timing is valid for the *constructed* run's GB too.
             let gb2 = BoundsGraph::of_run(&sr.run);
@@ -836,7 +857,7 @@ mod tests {
         }
         let sr = slow_run(&run, sigma).unwrap();
         // Kept nodes have the same receipts (same shape) as in the source.
-        for (&node, _) in &sr.timing {
+        for &node in sr.timing.keys() {
             let src_receipts = run.node(node).unwrap().receipts().len();
             let dst_receipts = sr.run.node(node).unwrap().receipts().len();
             assert_eq!(src_receipts, dst_receipts, "receipt mismatch at {node}");

@@ -20,7 +20,9 @@ use std::fmt::Write as _;
 use zigzag_bcm::{Network, Run};
 
 use crate::bounds_graph::{BoundsGraph, LABEL_RECV, LABEL_SEND, LABEL_SUCCESSOR};
-use crate::extended_graph::{ExtVertex, ExtendedGraph, LABEL_AUX_CHAN, LABEL_BOUNDARY, LABEL_UNSEEN};
+use crate::extended_graph::{
+    ExtVertex, ExtendedGraph, LABEL_AUX_CHAN, LABEL_BOUNDARY, LABEL_UNSEEN,
+};
 
 fn style(label: u32) -> &'static str {
     match label {
@@ -62,7 +64,11 @@ pub fn bounds_graph_dot(gb: &BoundsGraph, run: &Run) -> String {
     let g = gb.graph();
     for p in run.context().network().processes() {
         let _ = writeln!(out, "  subgraph cluster_p{} {{", p.index());
-        let _ = writeln!(out, "    label=\"{}\"; color=gray80;", run.context().network().name(p));
+        let _ = writeln!(
+            out,
+            "    label=\"{}\"; color=gray80;",
+            run.context().network().name(p)
+        );
         for rec in run.timeline(p) {
             if g.contains(&rec.id()) {
                 let _ = writeln!(

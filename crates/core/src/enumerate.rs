@@ -98,12 +98,13 @@ fn all_forks(run: &Run, limits: EnumLimits) -> Vec<ResolvedFork> {
                 else {
                     continue;
                 };
-                let (Ok(tail), Ok(head)) =
-                    (fork.tail().resolve(run), fork.head().resolve(run))
+                let (Ok(tail), Ok(head)) = (fork.tail().resolve(run), fork.head().resolve(run))
                 else {
                     continue;
                 };
-                let Ok(weight) = fork.weight(bounds) else { continue };
+                let Ok(weight) = fork.weight(bounds) else {
+                    continue;
+                };
                 out.push(ResolvedFork {
                     fork,
                     tail,
@@ -173,7 +174,7 @@ pub fn best_zigzag(
     ) {
         *explored += 1;
         let last = &s.forks[*chain.last().expect("chain non-empty")];
-        if last.head == s.to && best.as_ref().map_or(true, |(_, w)| weight > *w) {
+        if last.head == s.to && best.as_ref().is_none_or(|(_, w)| weight > *w) {
             *best = Some((chain.clone(), weight));
         }
         if chain.len() >= s.limits.max_forks {
@@ -343,8 +344,14 @@ mod tests {
             .unwrap();
         let sigma_c = run.external_receipt_node(c, "go_c").unwrap();
         let sigma_e = run.external_receipt_node(e, "go_e").unwrap();
-        let node_a = GeneralNode::chain(sigma_c, &[a]).unwrap().resolve(&run).unwrap();
-        let node_b = GeneralNode::chain(sigma_e, &[b]).unwrap().resolve(&run).unwrap();
+        let node_a = GeneralNode::chain(sigma_c, &[a])
+            .unwrap()
+            .resolve(&run)
+            .unwrap();
+        let node_b = GeneralNode::chain(sigma_e, &[b])
+            .unwrap()
+            .resolve(&run)
+            .unwrap();
         let limits = EnumLimits::default();
         let best = best_zigzag(&run, node_a, node_b, limits)
             .unwrap()
@@ -356,7 +363,7 @@ mod tests {
             None => {}
             Some((_, w)) => assert!(w < best.weight),
         }
-        assert!(best.weight >= -3 + 6 - 2 + 4 + 1);
+        assert!(best.weight > -3 + 6 - 2 + 4);
         // The Figure 2a pattern has two forks; the search may do even
         // better by inserting trivial forks that harvest extra separation
         // ticks at strictly-ordered junctions.

@@ -18,6 +18,7 @@
 //!   re-flooded.
 
 use std::fmt;
+use std::sync::Arc;
 
 use zigzag_bcm::run::Past;
 use zigzag_bcm::{NodeId, ProcessId, Run};
@@ -78,6 +79,61 @@ impl fmt::Display for ExtVertex {
     }
 }
 
+/// One recorded message, pre-resolved against the channel bounds: the
+/// run-level half of `GE` construction that is identical for every
+/// observer. Built once per run by [`MessageIndex::of_run`] and shared by
+/// [`ExtendedGraph::with_index`] across all σ.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageEdge {
+    /// The sending node.
+    pub src: NodeId,
+    /// The delivery node, if the message was delivered within the horizon.
+    pub dst: Option<NodeId>,
+    /// The receiving process.
+    pub to: ProcessId,
+    /// Channel lower bound `L`, as an edge weight.
+    pub lower: i64,
+    /// Channel upper bound `U` (negated on reverse edges).
+    pub upper: i64,
+}
+
+/// The per-run message table shared by every `GE(r, σ)` derivation: one
+/// pass over `run.messages()` resolving delivery nodes and channel bounds,
+/// instead of one pass (plus a bounds lookup per message) per observer.
+#[derive(Debug, Clone, Default)]
+pub struct MessageIndex {
+    edges: Vec<MessageEdge>,
+}
+
+impl MessageIndex {
+    /// Resolves every recorded message of `run` once.
+    pub fn of_run(run: &Run) -> Self {
+        let bounds = run.context().bounds();
+        let edges = run
+            .messages()
+            .iter()
+            .map(|m| {
+                let cb = bounds
+                    .get(m.channel())
+                    .expect("validated runs have bounds for every channel");
+                MessageEdge {
+                    src: m.src(),
+                    dst: m.delivery().map(|d| d.node),
+                    to: m.channel().to,
+                    lower: cb.lower() as i64,
+                    upper: cb.upper() as i64,
+                }
+            })
+            .collect();
+        MessageIndex { edges }
+    }
+
+    /// The resolved messages, in recording order.
+    pub fn edges(&self) -> &[MessageEdge] {
+        &self.edges
+    }
+}
+
 /// The extended local bounds graph `GE(r, σ)`.
 #[derive(Debug, Clone)]
 pub struct ExtendedGraph {
@@ -93,6 +149,17 @@ impl ExtendedGraph {
     ///
     /// Panics if `sigma` does not appear in `run`.
     pub fn new(run: &Run, sigma: NodeId) -> Self {
+        Self::with_index(run, sigma, &MessageIndex::of_run(run))
+    }
+
+    /// Builds `GE(r, σ)` reusing a per-run [`MessageIndex`], so deriving
+    /// engines for many observers of the same run shares the message
+    /// resolution work (see [`crate::analyzer::RunAnalyzer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` does not appear in `run`.
+    pub fn with_index(run: &Run, sigma: NodeId, messages: &MessageIndex) -> Self {
         let past = run.past(sigma);
         let net = run.context().network();
         let bounds = run.context().bounds();
@@ -130,36 +197,30 @@ impl ExtendedGraph {
 
         // Message edges: within-past pairs get GB edges; sends whose
         // delivery σ has not seen get E'' edges.
-        for m in run.messages() {
-            if !past.contains(m.src()) {
+        for m in messages.edges() {
+            if !past.contains(m.src) {
                 continue;
             }
-            let cb = bounds
-                .get(m.channel())
-                .expect("validated runs have bounds for every channel");
-            let seen_delivery = m
-                .delivery()
-                .map(|d| past.contains(d.node))
-                .unwrap_or(false);
+            let seen_delivery = m.dst.map(|d| past.contains(d)).unwrap_or(false);
             if seen_delivery {
-                let d = m.delivery().expect("checked");
+                let d = m.dst.expect("checked");
                 graph.add_edge(
-                    ExtVertex::Node(m.src()),
-                    ExtVertex::Node(d.node),
-                    cb.lower() as i64,
+                    ExtVertex::Node(m.src),
+                    ExtVertex::Node(d),
+                    m.lower,
                     LABEL_SEND,
                 );
                 graph.add_edge(
-                    ExtVertex::Node(d.node),
-                    ExtVertex::Node(m.src()),
-                    -(cb.upper() as i64),
+                    ExtVertex::Node(d),
+                    ExtVertex::Node(m.src),
+                    -m.upper,
                     LABEL_RECV,
                 );
             } else {
                 graph.add_edge(
-                    ExtVertex::Aux(m.channel().to),
-                    ExtVertex::Node(m.src()),
-                    -(cb.upper() as i64),
+                    ExtVertex::Aux(m.to),
+                    ExtVertex::Node(m.src),
+                    -m.upper,
                     LABEL_UNSEEN,
                 );
             }
@@ -213,6 +274,25 @@ impl ExtendedGraph {
     /// Fails if `v` is not a vertex, or on a positive cycle.
     pub fn longest_to(&self, v: ExtVertex) -> Result<LongestPaths, CoreError> {
         self.graph.longest_to(&v)
+    }
+
+    /// Memoized [`ExtendedGraph::longest_from`]: repeated queries against
+    /// the (immutable) graph share one SPFA per source.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExtendedGraph::longest_from`].
+    pub fn longest_from_cached(&self, v: ExtVertex) -> Result<Arc<LongestPaths>, CoreError> {
+        self.graph.longest_from_cached(&v)
+    }
+
+    /// Memoized [`ExtendedGraph::longest_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExtendedGraph::longest_to`].
+    pub fn longest_to_cached(&self, v: ExtVertex) -> Result<Arc<LongestPaths>, CoreError> {
+        self.graph.longest_to_cached(&v)
     }
 
     /// Dense index of a vertex, if present.
@@ -321,7 +401,7 @@ mod tests {
                 let lp = ge.longest_from(ExtVertex::Node(boundary)).unwrap();
                 let w = lp.weight(g.index_of(&sender).unwrap()).unwrap();
                 // At least the two-edge path boundary -> ψ -> sender.
-                assert!(w >= 1 + e.weight);
+                assert!(w > e.weight);
                 checked = true;
             }
         }

@@ -73,7 +73,10 @@ fn zigzag_from_steps(end: NodeId, steps: &[PathStep]) -> Result<ZigzagPattern, C
                 // currently resolves to the sender; the message lands at
                 // `from`.
                 let front = forks.remove(0);
-                let tail = front.tail_path().extended(from.proc()).map_err(CoreError::Bcm)?;
+                let tail = front
+                    .tail_path()
+                    .extended(from.proc())
+                    .map_err(CoreError::Bcm)?;
                 forks.insert(
                     0,
                     TwoLeggedFork::new(front.base().clone(), front.head_path().clone(), tail)?,
@@ -278,11 +281,13 @@ pub fn zigzag_from_ge_path(
     edges: &[Edge],
 ) -> Result<ZigzagPattern, CoreError> {
     let end = match edges.last() {
-        Some(e) => vertex_node(ge.graph(), e.to)
-            .node()
-            .ok_or_else(|| CoreError::MalformedPattern {
-                detail: "GE path for zigzag extraction must end at a basic node".into(),
-            })?,
+        Some(e) => {
+            vertex_node(ge.graph(), e.to)
+                .node()
+                .ok_or_else(|| CoreError::MalformedPattern {
+                    detail: "GE path for zigzag extraction must end at a basic node".into(),
+                })?
+        }
         None => from,
     };
     let steps = ge_steps(ge, edges)?;

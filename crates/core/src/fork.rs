@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::{Bounds, NetPath, NodeId, Run};
 
 use crate::error::CoreError;
@@ -40,7 +39,7 @@ use crate::node::GeneralNode;
 /// assert_eq!(fork.tail().proc(), a);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TwoLeggedFork {
     base: GeneralNode,
     head_path: NetPath,

@@ -6,9 +6,32 @@
 //! than itself. Longest paths are therefore well-defined and computed with
 //! a queue-based Bellman–Ford (SPFA); a positive cycle is reported as
 //! [`CoreError::PositiveCycle`] and indicates corrupted input.
+//!
+//! # Shared analysis
+//!
+//! Causal-order queries are the hot path of the knowledge engine: a single
+//! `max_x`/`witness`/`refute` round trips over the same graph many times,
+//! and batched queries (all-pairs matrices, protocol sweeps) revisit the
+//! same sources. Two layers amortize that cost:
+//!
+//! * a **frozen CSR form** ([`CsrTopology`]) — forward and reverse
+//!   adjacency as one flat `Vec<Edge>` plus offsets, built once per graph
+//!   generation, that SPFA scans instead of the per-vertex `Vec`s (better
+//!   locality, no per-vertex indirection);
+//! * a **longest-path cache** — every SPFA result is memoized per
+//!   `(source, direction)` and shared as an [`Arc`], so repeated queries
+//!   against an unmodified graph are O(1) after first touch
+//!   ([`WeightedDigraph::longest_from_cached`] /
+//!   [`WeightedDigraph::longest_to_cached`]).
+//!
+//! Both are invalidated automatically when the graph mutates
+//! ([`WeightedDigraph::add_vertex`] / [`WeightedDigraph::add_edge`]), and
+//! both live behind a [`Mutex`] so graphs (and the engines built on them)
+//! stay `Send + Sync` for the parallel sweep layer.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::sync::{Arc, Mutex};
 
 use crate::error::CoreError;
 
@@ -27,18 +50,115 @@ pub struct Edge {
     pub label: u32,
 }
 
+/// The frozen compressed-sparse-row form of a [`WeightedDigraph`]:
+/// forward and reverse adjacency as flat edge arrays plus offsets.
+///
+/// Built once per graph generation ([`WeightedDigraph::csr`]) and shared
+/// by every SPFA over that generation. Scanning `edges[off[u]..off[u+1]]`
+/// touches one contiguous allocation instead of chasing a `Vec` per
+/// vertex.
+#[derive(Debug, Clone)]
+pub struct CsrTopology {
+    fwd_off: Vec<u32>,
+    fwd: Vec<Edge>,
+    rev_off: Vec<u32>,
+    rev: Vec<Edge>,
+}
+
+impl CsrTopology {
+    fn build(out: &[Vec<Edge>], incoming: &[Vec<Edge>]) -> Self {
+        fn pack(adj: &[Vec<Edge>]) -> (Vec<u32>, Vec<Edge>) {
+            let total: usize = adj.iter().map(Vec::len).sum();
+            let mut off = Vec::with_capacity(adj.len() + 1);
+            let mut flat = Vec::with_capacity(total);
+            off.push(0u32);
+            for edges in adj {
+                flat.extend_from_slice(edges);
+                off.push(flat.len() as u32);
+            }
+            (off, flat)
+        }
+        let (fwd_off, fwd) = pack(out);
+        let (rev_off, rev) = pack(incoming);
+        CsrTopology {
+            fwd_off,
+            fwd,
+            rev_off,
+            rev,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.fwd_off.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Outgoing edges of vertex index `u`, as one contiguous slice.
+    #[inline]
+    pub fn out_edges(&self, u: usize) -> &[Edge] {
+        &self.fwd[self.fwd_off[u] as usize..self.fwd_off[u + 1] as usize]
+    }
+
+    /// Incoming edges of vertex index `u`, as one contiguous slice.
+    #[inline]
+    pub fn in_edges(&self, u: usize) -> &[Edge] {
+        &self.rev[self.rev_off[u] as usize..self.rev_off[u + 1] as usize]
+    }
+}
+
+/// Memoized analysis state of one graph generation: the CSR form plus all
+/// SPFA results computed so far, keyed by `(source, direction)`.
+#[derive(Debug, Default)]
+struct AnalysisCache {
+    csr: Option<Arc<CsrTopology>>,
+    paths: HashMap<(usize, Direction), Arc<LongestPaths>>,
+}
+
 /// A weighted directed multigraph over vertices of type `V`.
 ///
 /// Vertices are interned to dense indices on first use; parallel edges are
 /// allowed (bounds graphs need them: two processes exchanging messages
 /// produce edges of both signs between the same node pair).
-#[derive(Debug, Clone)]
+///
+/// Longest-path queries are memoized: see the [module docs](self) and
+/// [`WeightedDigraph::longest_from_cached`].
+#[derive(Debug)]
 pub struct WeightedDigraph<V> {
     index: HashMap<V, usize>,
     vertices: Vec<V>,
     out: Vec<Vec<Edge>>,
     r#in: Vec<Vec<Edge>>,
     edge_count: usize,
+    cache: Mutex<AnalysisCache>,
+}
+
+impl<V: Clone> Clone for WeightedDigraph<V> {
+    fn clone(&self) -> Self {
+        // Cached Arcs describe the same topology; sharing them is safe and
+        // keeps a clone-then-query pattern warm.
+        let shared = {
+            let cache = self.cache.lock().expect("cache lock");
+            AnalysisCache {
+                csr: cache.csr.clone(),
+                paths: cache.paths.clone(),
+            }
+        };
+        WeightedDigraph {
+            index: self.index.clone(),
+            vertices: self.vertices.clone(),
+            out: self.out.clone(),
+            r#in: self.r#in.clone(),
+            edge_count: self.edge_count,
+            cache: Mutex::new(shared),
+        }
+    }
 }
 
 impl<V: Hash + Eq + Clone> Default for WeightedDigraph<V> {
@@ -56,7 +176,15 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
             out: Vec::new(),
             r#in: Vec::new(),
             edge_count: 0,
+            cache: Mutex::new(AnalysisCache::default()),
         }
+    }
+
+    /// Drops all memoized analysis; called on every mutation.
+    fn invalidate(&mut self) {
+        let cache = self.cache.get_mut().expect("cache lock");
+        cache.csr = None;
+        cache.paths.clear();
     }
 
     /// Interns `v`, returning its dense index.
@@ -64,6 +192,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         if let Some(&i) = self.index.get(&v) {
             return i;
         }
+        self.invalidate();
         let i = self.vertices.len();
         self.index.insert(v.clone(), i);
         self.vertices.push(v);
@@ -76,6 +205,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     pub fn add_edge(&mut self, from: V, to: V, weight: i64, label: u32) {
         let f = self.add_vertex(from);
         let t = self.add_vertex(to);
+        self.invalidate();
         let e = Edge {
             from: f,
             to: t,
@@ -85,6 +215,16 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         self.out[f].push(e);
         self.r#in[t].push(e);
         self.edge_count += 1;
+    }
+
+    /// The frozen CSR form of the current graph generation, built on first
+    /// use and shared until the next mutation.
+    pub fn csr(&self) -> Arc<CsrTopology> {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache
+            .csr
+            .get_or_insert_with(|| Arc::new(CsrTopology::build(&self.out, &self.r#in)))
+            .clone()
     }
 
     /// Number of vertices.
@@ -140,81 +280,137 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     }
 
     /// Longest-path weights from `src` to every vertex (`None` =
-    /// unreachable), via SPFA.
+    /// unreachable), via a fresh SPFA over the frozen CSR form.
+    ///
+    /// Each call traverses afresh — it neither consults nor populates the
+    /// per-source result memo, so one-shot callers pay exactly one SPFA
+    /// and retain no result. (The frozen [`CsrTopology`] the traversal
+    /// runs over *is* built and retained on first use, shared by every
+    /// query until the graph mutates.) On hot paths that revisit sources,
+    /// prefer [`WeightedDigraph::longest_from_cached`], which shares one
+    /// memoized traversal across repeated queries.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::PositiveCycle`] if a positive cycle is
     /// reachable from `src`.
     pub fn longest_from(&self, src: &V) -> Result<LongestPaths, CoreError> {
-        let s = self
-            .index_of(src)
-            .ok_or_else(|| CoreError::InvalidTiming {
-                detail: "longest_from: source vertex not in graph".into(),
-            })?;
-        self.spfa(s, Direction::Forward)
+        let s = self.index_of(src).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "longest_from: source vertex not in graph".into(),
+        })?;
+        spfa(&self.csr(), s, Direction::Forward)
     }
 
     /// Longest-path weights from every vertex *to* `dst` (`None` =
-    /// no path), via SPFA on the reversed graph.
+    /// no path), via a fresh SPFA on the reversed CSR adjacency; see
+    /// [`WeightedDigraph::longest_from`] for the cached/uncached contract.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::PositiveCycle`] if a positive cycle reaches
     /// `dst`.
     pub fn longest_to(&self, dst: &V) -> Result<LongestPaths, CoreError> {
-        let s = self
-            .index_of(dst)
-            .ok_or_else(|| CoreError::InvalidTiming {
-                detail: "longest_to: destination vertex not in graph".into(),
-            })?;
-        self.spfa(s, Direction::Backward)
+        let s = self.index_of(dst).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "longest_to: destination vertex not in graph".into(),
+        })?;
+        spfa(&self.csr(), s, Direction::Backward)
     }
 
-    fn spfa(&self, src: usize, dir: Direction) -> Result<LongestPaths, CoreError> {
-        let n = self.vertices.len();
-        let mut dist: Vec<Option<i64>> = vec![None; n];
-        let mut pred: Vec<Option<Edge>> = vec![None; n];
-        let mut relax_count: Vec<u32> = vec![0; n];
-        let mut in_queue = vec![false; n];
-        dist[src] = Some(0);
-        let mut queue = VecDeque::new();
-        queue.push_back(src);
-        in_queue[src] = true;
-        while let Some(u) = queue.pop_front() {
-            in_queue[u] = false;
-            let du = dist[u].expect("queued vertices have distances");
-            let edges = match dir {
-                Direction::Forward => &self.out[u],
-                Direction::Backward => &self.r#in[u],
+    /// Memoized [`WeightedDigraph::longest_from`]: the first query per
+    /// source runs SPFA, every later query on the unmodified graph returns
+    /// the shared result in O(1).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightedDigraph::longest_from`].
+    pub fn longest_from_cached(&self, src: &V) -> Result<Arc<LongestPaths>, CoreError> {
+        let s = self.index_of(src).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "longest_from: source vertex not in graph".into(),
+        })?;
+        self.cached_spfa(s, Direction::Forward)
+    }
+
+    /// Memoized [`WeightedDigraph::longest_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightedDigraph::longest_to`].
+    pub fn longest_to_cached(&self, dst: &V) -> Result<Arc<LongestPaths>, CoreError> {
+        let s = self.index_of(dst).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "longest_to: destination vertex not in graph".into(),
+        })?;
+        self.cached_spfa(s, Direction::Backward)
+    }
+
+    fn cached_spfa(&self, src: usize, dir: Direction) -> Result<Arc<LongestPaths>, CoreError> {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .paths
+            .get(&(src, dir))
+        {
+            return Ok(hit.clone());
+        }
+        // Run the traversal outside the lock: concurrent first touches may
+        // duplicate work but never block each other.
+        let csr = self.csr();
+        let lp = Arc::new(spfa(&csr, src, dir)?);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .paths
+            .entry((src, dir))
+            .or_insert_with(|| lp.clone());
+        Ok(lp)
+    }
+}
+
+/// Queue-based Bellman–Ford (SPFA) for longest paths over a frozen CSR,
+/// with positive-cycle detection via per-vertex relaxation counting.
+fn spfa(csr: &CsrTopology, src: usize, dir: Direction) -> Result<LongestPaths, CoreError> {
+    let n = csr.vertex_count();
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    let mut pred: Vec<Option<Edge>> = vec![None; n];
+    let mut relax_count: Vec<u32> = vec![0; n];
+    let mut in_queue = vec![false; n];
+    dist[src] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    in_queue[src] = true;
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        let du = dist[u].expect("queued vertices have distances");
+        let edges = match dir {
+            Direction::Forward => csr.out_edges(u),
+            Direction::Backward => csr.in_edges(u),
+        };
+        for e in edges {
+            let v = match dir {
+                Direction::Forward => e.to,
+                Direction::Backward => e.from,
             };
-            for e in edges {
-                let v = match dir {
-                    Direction::Forward => e.to,
-                    Direction::Backward => e.from,
-                };
-                let cand = du + e.weight;
-                if dist[v].map_or(true, |dv| cand > dv) {
-                    dist[v] = Some(cand);
-                    pred[v] = Some(*e);
-                    relax_count[v] += 1;
-                    if relax_count[v] as usize > n {
-                        return Err(CoreError::PositiveCycle);
-                    }
-                    if !in_queue[v] {
-                        in_queue[v] = true;
-                        queue.push_back(v);
-                    }
+            let cand = du + e.weight;
+            if dist[v].is_none_or(|dv| cand > dv) {
+                dist[v] = Some(cand);
+                pred[v] = Some(*e);
+                relax_count[v] += 1;
+                if relax_count[v] as usize > n {
+                    return Err(CoreError::PositiveCycle);
+                }
+                if !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
                 }
             }
         }
-        Ok(LongestPaths {
-            src,
-            dir,
-            dist,
-            pred,
-        })
     }
+    Ok(LongestPaths {
+        src,
+        dir,
+        dist,
+        pred,
+    })
 }
 
 impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
@@ -230,11 +426,9 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     /// Returns [`CoreError::PositiveCycle`] if a positive cycle is
     /// reachable from `src`.
     pub fn longest_from_dense(&self, src: &V) -> Result<Vec<Option<i64>>, CoreError> {
-        let s = self
-            .index_of(src)
-            .ok_or_else(|| CoreError::InvalidTiming {
-                detail: "longest_from_dense: source vertex not in graph".into(),
-            })?;
+        let s = self.index_of(src).ok_or_else(|| CoreError::InvalidTiming {
+            detail: "longest_from_dense: source vertex not in graph".into(),
+        })?;
         let n = self.vertices.len();
         let mut dist: Vec<Option<i64>> = vec![None; n];
         dist[s] = Some(0);
@@ -244,7 +438,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
                 for e in edges {
                     let Some(du) = dist[e.from] else { continue };
                     let cand = du + e.weight;
-                    if dist[e.to].map_or(true, |dv| cand > dv) {
+                    if dist[e.to].is_none_or(|dv| cand > dv) {
                         dist[e.to] = Some(cand);
                         changed = true;
                     }
@@ -264,7 +458,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Direction {
     Forward,
     Backward,
@@ -434,8 +628,8 @@ mod tests {
         let g = diamond();
         let lp = g.longest_from(&"a").unwrap();
         let dense = g.longest_from_dense(&"a").unwrap();
-        for i in 0..g.vertex_count() {
-            assert_eq!(lp.weight(i), dense[i]);
+        for (i, d) in dense.iter().enumerate() {
+            assert_eq!(lp.weight(i), *d);
         }
         // Positive cycles are detected by both.
         let mut bad = WeightedDigraph::new();
@@ -446,6 +640,48 @@ mod tests {
             Err(CoreError::PositiveCycle)
         ));
         assert!(g.longest_from_dense(&"nope").is_err());
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = diamond();
+        let csr = g.csr();
+        assert_eq!(csr.vertex_count(), g.vertex_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for i in 0..g.vertex_count() {
+            assert_eq!(csr.out_edges(i), g.edges_from(i));
+            assert_eq!(csr.in_edges(i), g.edges_to(i));
+        }
+        // The frozen form is shared until the graph mutates.
+        assert!(Arc::ptr_eq(&csr, &g.csr()));
+    }
+
+    #[test]
+    fn cached_queries_share_one_traversal() {
+        let mut g = diamond();
+        let a1 = g.longest_from_cached(&"a").unwrap();
+        let a2 = g.longest_from_cached(&"a").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "second query re-ran SPFA");
+        let b1 = g.longest_to_cached(&"d").unwrap();
+        let b2 = g.longest_to_cached(&"d").unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2));
+        // Forward and backward caches are distinct entries.
+        assert_eq!(a1.weight(g.index_of(&"d").unwrap()), Some(6));
+        assert_eq!(b1.weight(g.index_of(&"a").unwrap()), Some(6));
+        // Mutation invalidates: the next query sees the new edge.
+        g.add_edge("a", "d", 100, 9);
+        let a3 = g.longest_from_cached(&"a").unwrap();
+        assert!(!Arc::ptr_eq(&a1, &a3), "mutation did not invalidate");
+        assert_eq!(a3.weight(g.index_of(&"d").unwrap()), Some(100));
+    }
+
+    #[test]
+    fn clones_share_warm_caches() {
+        let g = diamond();
+        let warm = g.longest_from_cached(&"a").unwrap();
+        let clone = g.clone();
+        let from_clone = clone.longest_from_cached(&"a").unwrap();
+        assert!(Arc::ptr_eq(&warm, &from_clone), "clone lost the warm cache");
     }
 
     #[test]

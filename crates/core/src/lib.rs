@@ -10,7 +10,8 @@
 //!   their weights (Definitions 5–6);
 //! * [`precedence`] — the timed-precedence relation `θ --x--> θ'`;
 //! * [`graph`] — a weighted digraph with longest-path computation
-//!   (Bellman–Ford; bounds graphs have no positive cycles);
+//!   (queue-based Bellman–Ford over a frozen CSR form; bounds graphs have
+//!   no positive cycles) and per-source memoization of results;
 //! * [`bounds_graph`] — the basic bounds graph `GB(r)` and its local
 //!   restriction `GB(r, σ)` (Definitions 8, 14);
 //! * [`extended_graph`] — the extended local bounds graph `GE(r, σ)` with
@@ -26,8 +27,11 @@
 //!   patterns (Lemma 5) and `GE` constraint-paths into σ-visible zigzags
 //!   (Lemmas 10–16);
 //! * [`knowledge`] — the decision procedure for `K_σ(θ1 --x--> θ2)`
-//!   realizing Theorem 4, with exact max-`x` queries and checkable
-//!   witnesses;
+//!   realizing Theorem 4, with exact max-`x` queries (single and batched)
+//!   and checkable witnesses, memoizing shared traversals across queries;
+//! * [`analyzer`] — run-level shared analysis: build the per-run state
+//!   (message table, `GB(r)`) once and derive per-observer
+//!   [`knowledge::KnowledgeEngine`]s from it;
 //! * [`enumerate`] — exhaustive fork/zigzag enumeration on small runs,
 //!   cross-checking the longest-path certificates by brute force;
 //! * [`dot`] — Graphviz exports reproducing the paper's Figure 6–8
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyzer;
 pub mod bounds_graph;
 pub mod construct;
 pub mod dot;
@@ -60,9 +65,10 @@ pub mod precedence;
 pub mod timing;
 pub mod visible;
 
+pub use analyzer::RunAnalyzer;
 pub use error::CoreError;
 pub use fork::TwoLeggedFork;
 pub use knowledge::KnowledgeEngine;
-pub use visible::VisibleZigzag;
 pub use node::GeneralNode;
 pub use pattern::ZigzagPattern;
+pub use visible::VisibleZigzag;

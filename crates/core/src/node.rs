@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::{NetPath, NodeId, ProcessId, Run, Time};
 
 use crate::error::CoreError;
@@ -33,7 +32,7 @@ use crate::error::CoreError;
 /// assert!(!theta.is_basic());
 /// # Ok::<(), zigzag_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GeneralNode {
     base: NodeId,
     path: NetPath,
@@ -144,14 +143,14 @@ impl GeneralNode {
         let mut cur = self.base;
         for hop in self.path.hops() {
             debug_assert_eq!(cur.proc(), hop.from);
-            let m = run.message_from_to(cur, hop.to).ok_or_else(|| {
-                CoreError::NodeNotInRun {
+            let m = run
+                .message_from_to(cur, hop.to)
+                .ok_or_else(|| CoreError::NodeNotInRun {
                     detail: format!(
                         "no message from {cur} to {} (initial node or missing channel)",
                         hop.to
                     ),
-                }
-            })?;
+                })?;
             match run.message(m).delivery() {
                 Some(d) => cur = d.node,
                 None => {

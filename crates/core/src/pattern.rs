@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::{Bounds, NodeId, Run};
 
 use crate::error::CoreError;
@@ -23,13 +22,13 @@ use crate::node::GeneralNode;
 ///
 /// Whether adjacent forks are joined depends on the run, so the weight is
 /// computed by [`ZigzagPattern::validate`], which returns a [`ZigzagReport`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ZigzagPattern {
     forks: Vec<TwoLeggedFork>,
 }
 
 /// The result of validating a zigzag pattern in a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZigzagReport {
     /// `basic(tail(F_1), r)` — the *from* endpoint.
     pub from: NodeId,

@@ -4,14 +4,13 @@
 //! `x` may be negative: `θ --(-y)--> θ'` states that `θ'` occurs at most
 //! `y` units *before* `θ` — i.e. an upper bound on how much later `θ` is.
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::Run;
 
 use crate::error::CoreError;
 use crate::node::GeneralNode;
 
 /// A timed-precedence statement `from --x--> to`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Precedence {
     /// The earlier node `θ`.
     pub from: GeneralNode,

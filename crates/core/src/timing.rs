@@ -178,8 +178,8 @@ pub fn fast_timing(
             detail: format!("{sigma_prime} is not in past(r, σ)"),
         });
     }
-    let lp_from = ge.longest_from(start)?;
-    let lp_to_sigma = ge.longest_to(ExtVertex::Node(ge.observer()))?;
+    let lp_from = ge.longest_from_cached(start)?;
+    let lp_to_sigma = ge.longest_to_cached(ExtVertex::Node(ge.observer()))?;
 
     // Pass 1: collect d over the reachable region and f over unreachable
     // originals.
@@ -192,13 +192,11 @@ pub fn fast_timing(
             Some(d) => d_min = d_min.min(d),
             None => {
                 if let ExtVertex::Node(_) = g.vertex(vi) {
-                    let f =
-                        lp_to_sigma
-                            .weight(vi)
-                            .ok_or_else(|| CoreError::InvalidTiming {
-                                detail: "past node with no path to the observer (corrupt graph)"
-                                    .into(),
-                            })?;
+                    let f = lp_to_sigma
+                        .weight(vi)
+                        .ok_or_else(|| CoreError::InvalidTiming {
+                            detail: "past node with no path to the observer (corrupt graph)".into(),
+                        })?;
                     any_unreachable = true;
                     f1 = f1.max(f);
                     f2 = f2.min(f);

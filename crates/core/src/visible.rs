@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use zigzag_bcm::{NodeId, Run};
 
 use crate::error::CoreError;
@@ -63,7 +62,7 @@ use crate::pattern::{ZigzagPattern, ZigzagReport};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VisibleZigzag {
     pattern: ZigzagPattern,
     observer: NodeId,
@@ -261,9 +260,7 @@ mod tests {
             .timeline(f.b)
             .iter()
             .map(|r| r.id())
-            .find(|n| {
-                !n.is_initial() && !run.past(*n).contains(NodeId::new(f.d, 1))
-            });
+            .find(|n| !n.is_initial() && !run.past(*n).contains(NodeId::new(f.d, 1)));
         let Some(sigma) = sigma_b1 else { return };
         let vz = VisibleZigzag::new(z, sigma);
         assert!(matches!(

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = sim.run(&mut Ffip::new(), &mut corner)?;
 
     println!("── launch wavefront ───────────────────────────────────────");
-    println!("{}", diagram::render_window(&run, Time::new(0), Time::new(20)));
+    println!(
+        "{}",
+        diagram::render_window(&run, Time::new(0), Time::new(20))
+    );
 
     // The latch closes when the arbiter's grant arrives. How much hold
     // margin after the bus settled does it *know* it has?
@@ -69,7 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  fork arithmetic: L(ctl→arb→ltc) − U(ctl→drv) = (5+4) − 3 = 6");
     assert_eq!(hold, 6);
 
-    let (w, witness) = engine.witness(&bus_settles, &grant_arrives)?.expect("witness");
+    let (w, witness) = engine
+        .witness(&bus_settles, &grant_arrives)?
+        .expect("witness");
     let report = witness.validate(&run)?;
     println!(
         "timing-closure witness: zigzag weight {w}, observed slack {} at this corner",

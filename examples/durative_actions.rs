@@ -57,12 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t_start = bake_start.time_in(&run)?;
     let t_done = bake_done.time_in(&run)?;
-    println!("bake starts at t={t_start}, completes at t={t_done} (duration {})", t_done.diff(t_start));
+    println!(
+        "bake starts at t={t_start}, completes at t={t_done} (duration {})",
+        t_done.diff(t_start)
+    );
     assert!((10..=14).contains(&t_done.diff(t_start)));
 
     // What does packing *know* about the completion event?
     let engine = KnowledgeEngine::new(&run, sigma_b)?;
-    let headroom = engine.max_x(&theta_b, &bake_done)?.expect("constraint path exists");
+    let headroom = engine
+        .max_x(&theta_b, &bake_done)?
+        .expect("constraint path exists");
     println!("packing knows: box ready ≥ {headroom} ticks before the bake completes");
     // Arithmetic: L(C→A) + L(A→T) + L(T→A) − U(C→B) = 2+5+5 − 2 = 10.
     assert_eq!(headroom, 10);

@@ -57,12 +57,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::new(spec, ctx, Time::new(3), Time::new(60))?;
     let mut acted = 0;
     for seed in 0..10 {
-        let (run, verdict) =
-            scenario.run_verified(&mut OptimalStrategy::new(), &mut RandomScheduler::seeded(seed))?;
-        assert!(verdict.ok, "specification violated: {:?}", verdict.violation);
+        let (run, verdict) = scenario.run_verified(
+            &mut OptimalStrategy::new(),
+            &mut RandomScheduler::seeded(seed),
+        )?;
+        assert!(
+            verdict.ok,
+            "specification violated: {:?}",
+            verdict.violation
+        );
         if let (Some(ta), Some(tb)) = (verdict.a_time, verdict.b_time) {
             acted += 1;
-            println!("seed {seed}: a at t={ta}, b at t={tb} (margin {})", verdict.margin.unwrap());
+            println!(
+                "seed {seed}: a at t={ta}, b at t={tb} (margin {})",
+                verdict.margin.unwrap()
+            );
         }
         let _ = run;
     }

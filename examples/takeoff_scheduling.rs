@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("zigzag budget (Eq. 1): −U_CA + L_CD − U_ED + L_EB = −3+6−2+4 = 5 (+1 separation)");
     println!("best simple fork (C→D→B): L − U_CA = 7 − 3 = 4\n");
 
-    println!("{:>3} | {:^18} | {:^18}", "x", "optimal-zigzag", "simple-fork");
+    println!(
+        "{:>3} | {:^18} | {:^18}",
+        "x", "optimal-zigzag", "simple-fork"
+    );
     println!("{:->3}-+-{:-^18}-+-{:-^18}", "", "", "");
     for x in [2i64, 4, 5, 6, 7] {
         let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
@@ -61,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut violations = 0u32;
             let mut first_takeoff: Option<u64> = None;
             for seed in 0..20 {
-                let (_, verdict) = scenario
-                    .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
+                let (_, verdict) =
+                    scenario.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
                 violations += !verdict.ok as u32;
                 if let Some(t) = verdict.b_time {
                     acted += 1;

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("single-lane section: express from A, freight from B");
     println!("telegraph D→A [10,14]; fibre D→B [1,2]\n");
-    println!("{:>3} | {:^16} | {:^16} | {:^16}", "x", "optimal-zigzag", "simple-fork", "async-chain");
+    println!(
+        "{:>3} | {:^16} | {:^16} | {:^16}",
+        "x", "optimal-zigzag", "simple-fork", "async-chain"
+    );
     println!("{:->3}-+-{:-^16}-+-{:-^16}-+-{:-^16}", "", "", "", "");
 
     // Clearance sweep: the freight needs x ticks of head start.
@@ -57,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut acted = 0u32;
             let mut violations = 0u32;
             for seed in 0..20 {
-                let (_, verdict) = scenario
-                    .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
+                let (_, verdict) =
+                    scenario.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
                 acted += verdict.b_node.is_some() as u32;
                 violations += !verdict.ok as u32;
             }
@@ -68,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (_, v) => format!("UNSAFE ({v} viol.)"),
             });
         }
-        println!("{x:>3} | {:^16} | {:^16} | {:^16}", cells[0], cells[1], cells[2]);
+        println!(
+            "{x:>3} | {:^16} | {:^16} | {:^16}",
+            cells[0], cells[1], cells[2]
+        );
     }
 
     println!("\nThe zigzag/fork strategies dispatch the freight for any clearance");

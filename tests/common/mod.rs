@@ -26,7 +26,9 @@ impl RandomWorkload {
     /// Materializes the context.
     pub fn context(&self) -> Context {
         let mut nb = Network::builder();
-        let procs: Vec<ProcessId> = (0..self.n).map(|i| nb.add_process(format!("p{i}"))).collect();
+        let procs: Vec<ProcessId> = (0..self.n)
+            .map(|i| nb.add_process(format!("p{i}")))
+            .collect();
         for (k, &(l, u)) in self.ring.iter().enumerate() {
             let from = procs[k];
             let to = procs[(k + 1) % self.n];
@@ -48,7 +50,11 @@ impl RandomWorkload {
         let ctx = self.context();
         let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(self.horizon)));
         for &(t, p) in &self.externals {
-            sim.external(Time::new(t.max(1)), ProcessId::new((p % self.n) as u32), "kick");
+            sim.external(
+                Time::new(t.max(1)),
+                ProcessId::new((p % self.n) as u32),
+                "kick",
+            );
         }
         sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(self.seed))
             .expect("workloads are well-formed")
@@ -69,15 +75,17 @@ pub fn workloads() -> impl Strategy<Value = RandomWorkload> {
                 30u64..=50,
             )
         })
-        .prop_map(|(n, extra, ring, externals, seed, horizon)| RandomWorkload {
-            n,
-            extra: extra
-                .into_iter()
-                .map(|(f, t, l, du)| (f, t, l, l + (du - 5)))
-                .collect(),
-            ring,
-            externals,
-            seed,
-            horizon,
-        })
+        .prop_map(
+            |(n, extra, ring, externals, seed, horizon)| RandomWorkload {
+                n,
+                extra: extra
+                    .into_iter()
+                    .map(|(f, t, l, du)| (f, t, l, l + (du - 5)))
+                    .collect(),
+                ring,
+                externals,
+                seed,
+                horizon,
+            },
+        )
 }

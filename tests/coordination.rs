@@ -54,7 +54,12 @@ fn theorem3_b_never_acts_blind() {
                     let (_, verdict) = sc
                         .run_verified(s.as_mut(), &mut RandomScheduler::seeded(seed))
                         .unwrap();
-                    assert!(verdict.ok, "{} violated at x={x}: {:?}", s.name(), verdict.violation);
+                    assert!(
+                        verdict.ok,
+                        "{} violated at x={x}: {:?}",
+                        s.name(),
+                        verdict.violation
+                    );
                     if verdict.b_node.is_some() {
                         assert!(
                             verdict.b_heard_go,
@@ -82,8 +87,12 @@ fn adversarial_schedules_catch_reckless_b() {
     }
     assert!(caught > 0, "no schedule caught the reckless strategy");
     // Lazy/eager extremes too.
-    let (_, v1) = sc.run_verified(&mut RecklessStrategy, &mut LazyScheduler).unwrap();
-    let (_, v2) = sc.run_verified(&mut RecklessStrategy, &mut EagerScheduler).unwrap();
+    let (_, v1) = sc
+        .run_verified(&mut RecklessStrategy, &mut LazyScheduler)
+        .unwrap();
+    let (_, v2) = sc
+        .run_verified(&mut RecklessStrategy, &mut EagerScheduler)
+        .unwrap();
     assert!(!v1.ok || !v2.ok, "extreme schedules both satisfied x=12");
 }
 
@@ -96,7 +105,10 @@ fn optimal_dominates_baselines() {
         let sc = fig1_scenario(x, true);
         for seed in 0..15u64 {
             let (_, v_opt) = sc
-                .run_verified(&mut OptimalStrategy::new(), &mut RandomScheduler::seeded(seed))
+                .run_verified(
+                    &mut OptimalStrategy::new(),
+                    &mut RandomScheduler::seeded(seed),
+                )
                 .unwrap();
             let (_, v_fork) = sc
                 .run_verified(

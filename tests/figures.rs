@@ -33,8 +33,14 @@ fn figure1_simple_fork() {
             .run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
             .unwrap();
         let sigma_c = run.external_receipt_node(c, "go").unwrap();
-        let ta = GeneralNode::chain(sigma_c, &[a]).unwrap().time_in(&run).unwrap();
-        let tb = GeneralNode::chain(sigma_c, &[b]).unwrap().time_in(&run).unwrap();
+        let ta = GeneralNode::chain(sigma_c, &[a])
+            .unwrap()
+            .time_in(&run)
+            .unwrap();
+        let tb = GeneralNode::chain(sigma_c, &[b])
+            .unwrap()
+            .time_in(&run)
+            .unwrap();
         assert!(
             tb.diff(ta) >= x,
             "seed {seed}: fork guarantee broken (gap {})",
@@ -214,7 +220,10 @@ fn figure3_long_legged_fork() {
         let run = sim
             .run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
             .unwrap();
-        assert_eq!(fork.weight(run.context().bounds()).unwrap(), (5 + 6) - (2 + 3));
+        assert_eq!(
+            fork.weight(run.context().bounds()).unwrap(),
+            (5 + 6) - (2 + 3)
+        );
         let gap = fork.check_guarantee(&run).unwrap();
         assert!(gap >= 6, "seed {seed}: fork gap {gap}");
     }
@@ -267,23 +276,30 @@ fn figure7_bounds_graph_path() {
     validate_run(&run, Strictness::Strict).unwrap();
 
     let sigma_c = run.external_receipt_node(f.c, "go_c").unwrap();
-    let sigma_a = GeneralNode::chain(sigma_c, &[f.a]).unwrap().resolve(&run).unwrap();
-    let sigma_b = GeneralNode::chain(
-        run.external_receipt_node(f.e, "go_e").unwrap(),
-        &[f.b],
-    )
-    .unwrap()
-    .resolve(&run)
-    .unwrap();
+    let sigma_a = GeneralNode::chain(sigma_c, &[f.a])
+        .unwrap()
+        .resolve(&run)
+        .unwrap();
+    let sigma_b = GeneralNode::chain(run.external_receipt_node(f.e, "go_e").unwrap(), &[f.b])
+        .unwrap()
+        .resolve(&run)
+        .unwrap();
     let gb = BoundsGraph::of_run(&run);
-    let (w, edges) = gb.longest_path(sigma_a, sigma_b).unwrap().expect("Fig 7 path");
+    let (w, edges) = gb
+        .longest_path(sigma_a, sigma_b)
+        .unwrap()
+        .expect("Fig 7 path");
     // The path composes −U_CA, +L_CD, (+1 at D), −U_ED, +L_EB at least.
     assert!(w >= -3 + 6 + 1 - 2 + 4, "path weight {w}");
     assert!(!edges.is_empty());
     // The slow run of σ_B realizes the tight frontier bound.
     let sr = slow_run(&run, sigma_b).unwrap();
     validate_run(&sr.run, Strictness::Strict).unwrap();
-    let gap = sr.run.time(sigma_b).unwrap().diff(sr.run.time(sigma_a).unwrap());
+    let gap = sr
+        .run
+        .time(sigma_b)
+        .unwrap()
+        .diff(sr.run.time(sigma_a).unwrap());
     assert_eq!(gap, sr.d[&sigma_a]);
     assert!(gap >= w);
 }
@@ -309,7 +325,9 @@ fn figure8_unseen_delivery_constraint() {
     let run = sim.run(&mut Ffip::new(), &mut sched).unwrap();
     let sigma_i1 = run.external_receipt_node(i, "kick_i").unwrap();
     let sigma_j1 = run.external_receipt_node(j, "kick_j").unwrap();
-    let sigma = run.node_at(i, Time::new(5)).expect("j's flood arrives at 5");
+    let sigma = run
+        .node_at(i, Time::new(5))
+        .expect("j's flood arrives at 5");
     let past = run.past(sigma);
     assert!(past.contains(sigma_j1) && !past.contains(NodeId::new(j, 2)));
 
@@ -345,7 +363,10 @@ fn figures4_5_witness_shape() {
     }
     let engine = KnowledgeEngine::new(&run, sigma).unwrap();
     let theta_a = GeneralNode::chain(sigma_c, &[f.a]).unwrap();
-    let Some((_, vz)) = engine.witness(&theta_a, &GeneralNode::basic(sigma)).unwrap() else {
+    let Some((_, vz)) = engine
+        .witness(&theta_a, &GeneralNode::basic(sigma))
+        .unwrap()
+    else {
         return;
     };
     vz.check_visibility(&run).unwrap();

@@ -7,12 +7,10 @@ mod common;
 use common::workloads;
 use proptest::prelude::*;
 use zigzag::bcm::protocols::Ffip;
-use zigzag::bcm::scheduler::{
-    EagerScheduler, FractionScheduler, LazyScheduler, RandomScheduler,
-};
+use zigzag::bcm::scheduler::{EagerScheduler, FractionScheduler, LazyScheduler, RandomScheduler};
 use zigzag::bcm::validate::{validate_run, Strictness};
-use zigzag::bcm::{diagram, topology, NodeId, SimConfig, Simulator, Time};
 use zigzag::bcm::ProcessId;
+use zigzag::bcm::{diagram, topology, NodeId, SimConfig, Simulator, Time};
 use zigzag::core::bounds_graph::BoundsGraph;
 use zigzag::core::construct::{run_by_timing, slow_run};
 use zigzag::core::timing::{check_valid_timing, NodeTiming};
@@ -203,7 +201,10 @@ fn topology_builders_simulate() {
             .run(&mut Ffip::new(), &mut RandomScheduler::seeded(5))
             .unwrap();
         validate_run(&run, Strictness::Strict).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(run.node_count() > run.context().network().len(), "{name} stayed quiescent");
+        assert!(
+            run.node_count() > run.context().network().len(),
+            "{name} stayed quiescent"
+        );
     }
 }
 
@@ -248,7 +249,9 @@ fn views_are_clockless() {
         let p0 = topology::first_processes(&ctx, 1)[0];
         let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(30 + start)));
         sim.external(Time::new(start), p0, "kick");
-        let mut probe = Probe { decisions: Vec::new() };
+        let mut probe = Probe {
+            decisions: Vec::new(),
+        };
         let run = sim
             .run(&mut probe, &mut FractionScheduler::new(0.0))
             .unwrap();

@@ -1,0 +1,346 @@
+//! Offline shim for the subset of the Criterion benchmarking API this
+//! workspace uses (`Criterion`, benchmark groups, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros).
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched; this shim keeps the `benches/` sources
+//! idiomatic while providing an honest (if statistically simpler)
+//! wall-clock measurement: per benchmark it calibrates a batch size to a
+//! minimum measurable duration, takes several timed samples, and reports
+//! the **median** ns/iteration.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_JSON=<path>` — write machine-readable results as a JSON
+//!   array of `{"name", "ns_per_iter", "samples"}` objects (used by CI to
+//!   produce `BENCH_pr1.json`). Each bench binary **overwrites** the
+//!   file, so point different bench targets at different paths;
+//! * `CRITERION_SAMPLE_MS` — target milliseconds per sample batch
+//!   (default 10);
+//! * `CRITERION_SAMPLES` — samples per benchmark (default 11).
+//!
+//! `cargo bench -- <filter>` filters benchmarks by substring, and
+//! `cargo test --benches` (which passes `--test`) runs every benchmark
+//! for a single iteration as a smoke test, like real Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted and ignored by the shim's reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the whole
+    /// batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+/// The shim's measurement configuration and result sink.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_ms: u64,
+    samples: usize,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            sample_ms: std::env::var("CRITERION_SAMPLE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10),
+            samples: std::env::var("CRITERION_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(11),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments (`cargo bench`
+    /// passes `--bench` plus an optional substring filter; `--test`
+    /// selects single-iteration smoke mode).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Whether `name` passes the command-line filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        if !self.selected(&name) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+        // Calibrate: double the batch until it takes >= sample_ms.
+        let target = Duration::from_millis(self.sample_ms);
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 40 {
+                break;
+            }
+            // Jump close to the target, at least doubling.
+            let scale = target.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9);
+            iters = (iters.saturating_mul(2)).max((iters as f64 * scale) as u64);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        println!("{name:<50} {:>14}/iter (x{iters})", format_ns(median));
+        self.records.push(Record {
+            name,
+            ns_per_iter: median,
+            samples: per_iter.len(),
+        });
+    }
+
+    /// Prints the closing summary and writes `CRITERION_JSON` if set.
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (k, r) in self.records.iter().enumerate() {
+                let sep = if k + 1 == self.records.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"samples\": {}}}{sep}\n",
+                    r.name.replace('"', "'"),
+                    r.ns_per_iter,
+                    r.samples
+                ));
+            }
+            out.push_str("]\n");
+            match OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)
+            {
+                Ok(mut fh) => {
+                    let _ = fh.write_all(out.as_bytes());
+                }
+                Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a plain closure within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            sample_ms: 1,
+            samples: 3,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>());
+        });
+        group.finish();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records.iter().all(|r| r.ns_per_iter >= 0.0));
+        assert!(c.records[0].name.contains("g/sum/4"));
+        assert!(c.selected("anything"));
+        c.filter = Some("noop".into());
+        assert!(!c.selected("g/sum/4"));
+        let id = BenchmarkId::from_parameter(7);
+        assert_eq!(id.name, "7");
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no network access, so instead of the real
+//! `rand` crate the workspace vendors this minimal, dependency-free
+//! implementation: a [`StdRng`](rngs::StdRng) backed by xoshiro256**
+//! (seeded through SplitMix64, as the reference generator recommends), and
+//! the [`Rng`] / [`SeedableRng`] trait surface used by the schedulers,
+//! topologies and experiment binaries.
+//!
+//! Streams are **deterministic in the seed** — the property every consumer
+//! in this workspace actually relies on — but are *not* bit-compatible
+//! with the upstream `rand::rngs::StdRng` (which is ChaCha12 and makes no
+//! cross-version stability promise anyway).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exports of the concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A generator seedable from integer material, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core entropy source: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a uniform value of `T` over its full domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`, which must be non-empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped into `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable uniformly over their whole domain (the shim's analogue
+/// of `rand::distributions::Standard`).
+pub trait Standard {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable uniformly (the shim's analogue of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, n)` via Lemire's multiply-shift with rejection —
+/// exact (unbiased) and branch-light.
+fn uniform_below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Uniform `u64` in `[lo, hi]` (inclusive).
+fn uniform_incl<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "cannot sample from an empty range");
+    let span = hi - lo;
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    lo + uniform_below(rng, span + 1)
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                uniform_incl(rng, self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                uniform_incl(rng, *self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let lo = (self.start as i64 as u64).wrapping_add(1 << 63);
+                let hi = (self.end as i64 as u64).wrapping_add(1 << 63) - 1;
+                (uniform_incl(rng, lo, hi).wrapping_sub(1 << 63)) as i64 as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let lo = (*self.start() as i64 as u64).wrapping_add(1 << 63);
+                let hi = (*self.end() as i64 as u64).wrapping_add(1 << 63);
+                (uniform_incl(rng, lo, hi).wrapping_sub(1 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+/// The workspace's standard generator: xoshiro256** with SplitMix64
+/// seeding. Deterministic in the seed, `Clone` + `Debug` like the real
+/// `StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion (Vigna), the reference seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** (Blackman & Vigna).
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..=9);
+            assert!((3..=9).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let u = rng.gen_range(0usize..4);
+            assert!(u < 4);
+        }
+        // Degenerate one-point ranges work.
+        assert_eq!(rng.gen_range(4u64..=4), 4);
+        assert_eq!(rng.gen_range(-2i64..=-2), -2);
+    }
+
+    #[test]
+    fn bool_and_float_behave() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let mut heads = 0;
+        for _ in 0..1000 {
+            if rng.gen_bool(0.5) {
+                heads += 1;
+            }
+            let f: f64 = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((300..700).contains(&heads), "suspicious coin: {heads}/1000");
+    }
+}
