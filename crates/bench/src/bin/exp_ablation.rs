@@ -1,168 +1,9 @@
-//! Ablation: certificate families and graph algorithms.
-//!
-//! 1. **Certificate families** — for random node pairs, the best
-//!    single-fork certificate (Figure 1 folklore) vs the best bounded
-//!    zigzag (exhaustive, Definition 6) vs the bounds-graph longest path
-//!    (the Theorem 2 optimum). Quantifies how much of the optimum each
-//!    family captures — the paper's case that zigzags are a *strictly*
-//!    richer and ultimately complete family.
-//! 2. **Longest-path algorithm** — dense Bellman–Ford vs queue-based SPFA
-//!    over the frozen CSR vs the memoized cached-CSR path (warm hits):
-//!    identical answers, very different work.
+//! Ablation: certificate families and longest-path algorithms — see
+//! [`zigzag_bench::experiments::ablation`].
 
-use std::time::Instant;
-
-use zigzag_bcm::{NodeId, ProcessId};
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
-use zigzag_core::bounds_graph::BoundsGraph;
-use zigzag_core::enumerate::{best_single_fork, best_zigzag, EnumLimits};
+use zigzag_bench::experiments::{ablation, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("Ablation A — certificate families (random 4-process networks)\n");
-    let widths = [6, 8, 14, 14, 14];
-    print_header(
-        &widths,
-        &[
-            "seed",
-            "pairs",
-            "fork = opt",
-            "zigzag = opt",
-            "zigzag > fork",
-        ],
-    );
-    let limits = EnumLimits {
-        max_leg_len: 3,
-        max_forks: 3,
-    };
-    let mut total_pairs = 0u32;
-    let mut fork_opt = 0u32;
-    let mut zz_opt = 0u32;
-    let mut zz_beats_fork = 0u32;
-    for seed in 0..6u64 {
-        let ctx = scaled_context(4, 0.45, seed + 40);
-        let run = kicked_run(&ctx, ProcessId::new(0), 2, 22, seed);
-        let gb = BoundsGraph::of_run(&run);
-        let nodes: Vec<NodeId> = run
-            .nodes()
-            .map(|r| r.id())
-            .filter(|n| !n.is_initial())
-            .take(6)
-            .collect();
-        let (mut pairs, mut f_opt, mut z_opt, mut z_gt_f) = (0u32, 0u32, 0u32, 0u32);
-        for &a in &nodes {
-            for &b in &nodes {
-                let Some((opt, _)) = gb.longest_path(a, b).unwrap() else {
-                    continue;
-                };
-                let Some(zz) = best_zigzag(&run, a, b, limits).unwrap() else {
-                    continue;
-                };
-                assert!(zz.weight <= opt, "enumerated zigzag beats longest path");
-                pairs += 1;
-                let fork = best_single_fork(&run, a, b, limits).map(|(_, w)| w);
-                if fork == Some(opt) {
-                    f_opt += 1;
-                }
-                if zz.weight == opt {
-                    z_opt += 1;
-                }
-                if fork.is_none_or(|f| zz.weight > f) {
-                    z_gt_f += 1;
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                seed.to_string(),
-                pairs.to_string(),
-                format!("{f_opt}/{pairs}"),
-                format!("{z_opt}/{pairs}"),
-                format!("{z_gt_f}/{pairs}"),
-            ],
-        );
-        total_pairs += pairs;
-        fork_opt += f_opt;
-        zz_opt += z_opt;
-        zz_beats_fork += z_gt_f;
-    }
-    assert!(
-        zz_opt > fork_opt,
-        "zigzags should capture more optima than forks"
-    );
-    assert!(zz_beats_fork > 0);
-    println!(
-        "\nTotals: forks optimal {fork_opt}/{total_pairs}, bounded zigzags optimal \
-         {zz_opt}/{total_pairs}, zigzag strictly beats fork {zz_beats_fork}/{total_pairs}."
-    );
-    println!("Unbounded zigzags are complete (Theorem 2); the gap that remains is");
-    println!("purely the enumeration bound (legs ≤ 3, forks ≤ 3).\n");
-
-    println!("Ablation B — dense Bellman–Ford vs queue SPFA vs cached CSR\n");
-    let widths = [6, 9, 9, 12, 12, 14, 10];
-    print_header(
-        &widths,
-        &[
-            "procs",
-            "vertices",
-            "edges",
-            "dense (µs)",
-            "SPFA (µs)",
-            "cached (ns)",
-            "agree",
-        ],
-    );
-    for n in [4usize, 8, 16, 24] {
-        let ctx = scaled_context(n, 0.3, 7);
-        let run = kicked_run(&ctx, ProcessId::new(0), 1, 60, 3);
-        let gb = BoundsGraph::of_run(&run);
-        let sigma = run
-            .nodes()
-            .map(|r| r.id())
-            .filter(|k| !k.is_initial())
-            .last()
-            .unwrap();
-        // Each timed closure reports mean time per call over >= 20ms.
-        fn time_loop<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-            let t0 = Instant::now();
-            let mut reps = 0u32;
-            let last = loop {
-                let v = f();
-                reps += 1;
-                if t0.elapsed().as_millis() > 20 {
-                    break v;
-                }
-            };
-            (last, t0.elapsed().as_nanos() as f64 / reps as f64)
-        }
-        // Dense Bellman–Ford: |V|−1 full relaxation rounds.
-        let (dense, dense_ns) = time_loop(|| gb.graph().longest_from_dense(&sigma).unwrap());
-        // Queue SPFA over the frozen CSR, always a fresh traversal.
-        let (lp, spfa_ns) = time_loop(|| gb.graph().longest_from(&sigma).unwrap());
-        // Cached CSR: the memoized path, warm after the first touch.
-        gb.graph().longest_from_cached(&sigma).unwrap();
-        let (cached, cached_ns) = time_loop(|| gb.graph().longest_from_cached(&sigma).unwrap());
-        let mut agree = true;
-        for (i, d) in dense.iter().enumerate() {
-            if lp.weight(i) != *d || cached.weight(i) != *d {
-                agree = false;
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                n.to_string(),
-                gb.node_count().to_string(),
-                gb.edge_count().to_string(),
-                format!("{:.0}", dense_ns / 1e3),
-                format!("{:.0}", spfa_ns / 1e3),
-                format!("{cached_ns:.0}"),
-                agree.to_string(),
-            ],
-        );
-        assert!(agree, "dense, SPFA and cached CSR must agree");
-    }
-    println!("\nIdentical answers; SPFA does strictly less work than dense on these");
-    println!("sparse, mostly-DAG-like bounds graphs, and the memoized CSR path");
-    println!("answers warm repeats in constant time — the shared-analysis design.");
+    harness::run_main(ablation::experiment(Profile::Full));
 }

@@ -1,83 +1,9 @@
-//! E1 (Figure 1): the simple fork. Sweeps the fork weight
-//! `L_CB − U_CA` and reports, per weight, the worst observed gap
-//! `t_b − t_a` over random schedules, the knowledge threshold at `B`, and
-//! whether the optimal protocol acts at `x = weight`.
-//!
-//! Expected shape (paper §1): the gap never falls below the weight; the
-//! bound is achieved (tight); `B` coordinates with **zero** A↔B
-//! communication exactly for `x <= L_CB − U_CA`.
+//! E1 (Figure 1): the simple fork — see
+//! [`zigzag_bench::experiments::fig1_fork`].
 
-use zigzag_bcm::scheduler::RandomScheduler;
-use zigzag_bcm::Time;
-use zigzag_bench::{fig1_context, kicked_run, mean, min, print_header, print_row};
-use zigzag_coord::{CoordKind, OptimalStrategy, Scenario, TimedCoordination};
-use zigzag_core::knowledge::KnowledgeEngine;
-use zigzag_core::GeneralNode;
+use zigzag_bench::experiments::{fig1_fork, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    const SEEDS: u64 = 60;
-    println!("E1 / Figure 1 — simple-fork coordination, C→A [2,5], C→B [lb, lb+3]");
-    println!("fork weight w = L_CB − U_CA; B must guarantee a --w--> b\n");
-    let widths = [6, 8, 9, 9, 10, 12];
-    print_header(
-        &widths,
-        &[
-            "L_CB",
-            "w",
-            "min gap",
-            "mean gap",
-            "max-x at B",
-            "acts at x=w",
-        ],
-    );
-    for lb in [3u64, 5, 7, 9, 11, 13] {
-        let (ctx, c, a, b) = fig1_context(2, 5, lb, lb + 3);
-        let w = lb as i64 - 5;
-        let mut gaps = Vec::new();
-        let mut max_x_seen = None;
-        for seed in 0..SEEDS {
-            let run = kicked_run(&ctx, c, 3, 60, seed);
-            let sigma_c = run.external_receipt_node(c, "kick").unwrap();
-            let theta_a = GeneralNode::chain(sigma_c, &[a]).unwrap();
-            let theta_b = GeneralNode::chain(sigma_c, &[b]).unwrap();
-            let ta = theta_a.time_in(&run).unwrap();
-            let tb = theta_b.time_in(&run).unwrap();
-            gaps.push(tb.diff(ta));
-            if seed == 0 {
-                let sigma_b = theta_b.resolve(&run).unwrap();
-                let engine = KnowledgeEngine::new(&run, sigma_b).unwrap();
-                max_x_seen = engine.max_x(&theta_a, &theta_b).unwrap();
-            }
-        }
-        // Protocol check at x = w.
-        let spec = TimedCoordination::new(CoordKind::Late { x: w }, a, b, c);
-        let scenario = Scenario::new(spec, ctx, Time::new(3), Time::new(80)).unwrap();
-        let mut acted = 0u32;
-        let mut violated = 0u32;
-        for seed in 0..20 {
-            let (_, v) = scenario
-                .run_verified(
-                    &mut OptimalStrategy::new(),
-                    &mut RandomScheduler::seeded(seed),
-                )
-                .unwrap();
-            acted += v.b_node.is_some() as u32;
-            violated += !v.ok as u32;
-        }
-        assert_eq!(violated, 0, "soundness violated");
-        print_row(
-            &widths,
-            &[
-                lb.to_string(),
-                w.to_string(),
-                min(&gaps).to_string(),
-                format!("{:.1}", mean(&gaps)),
-                max_x_seen.map_or("—".into(), |m| m.to_string()),
-                format!("{acted}/20"),
-            ],
-        );
-        assert!(min(&gaps) >= w, "fork guarantee violated at lb={lb}");
-        assert_eq!(max_x_seen, Some(w), "knowledge threshold off at lb={lb}");
-    }
-    println!("\nSeries shape: min gap == w (tight) and B acts at exactly x = w.");
+    harness::run_main(fig1_fork::experiment(Profile::Full));
 }

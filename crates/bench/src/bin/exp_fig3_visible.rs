@@ -1,52 +1,9 @@
-//! E3 (Figure 2b): visibility makes the zigzag usable. With the `D → B`
-//! report channel `B` can *know* the Eq. (1) precedence and act; without
-//! it, the same pattern exists in the run but `B` never even hears the
-//! trigger. Reports, per x, how often the optimal protocol acts in each
-//! configuration.
-//!
-//! Expected shape: identical abstention without the report; action up to
-//! the zigzag threshold with it.
+//! E3 (Figure 2b): visibility makes the zigzag usable — see
+//! [`zigzag_bench::experiments::fig3_visible`].
 
-use zigzag_bcm::scheduler::RandomScheduler;
-use zigzag_bcm::Time;
-use zigzag_bench::{fig2_context, print_header, print_row};
-use zigzag_coord::{CoordKind, OptimalStrategy, Scenario, TimedCoordination};
+use zigzag_bench::experiments::{fig3_visible, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    const SEEDS: u64 = 30;
-    println!("E3 / Figure 2b — σ-visibility: acting requires the D→B report\n");
-    let widths = [4, 18, 18];
-    print_header(&widths, &["x", "with D→B report", "without report"]);
-    for x in [2i64, 4, 5, 6, 7, 8] {
-        let mut cells = vec![x.to_string()];
-        for with_report in [true, false] {
-            let (ctx, [a, b, c, _d, e]) = fig2_context(with_report);
-            let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-            let scenario = Scenario::new(spec, ctx, Time::new(2), Time::new(120))
-                .unwrap()
-                .with_external(Time::new(25), e, "kick_e");
-            let mut acted = 0u32;
-            let mut violated = 0u32;
-            for seed in 0..SEEDS {
-                let (_, v) = scenario
-                    .run_verified(
-                        &mut OptimalStrategy::new(),
-                        &mut RandomScheduler::seeded(seed),
-                    )
-                    .unwrap();
-                acted += v.b_node.is_some() as u32;
-                violated += !v.ok as u32;
-            }
-            assert_eq!(violated, 0, "optimal protocol violated the spec");
-            cells.push(if acted == 0 {
-                "abstains".to_string()
-            } else {
-                format!("acts {acted}/{SEEDS}")
-            });
-        }
-        print_row(&widths, &cells);
-    }
-    println!("\nSeries shape: without the dashed report chain B cannot detect the");
-    println!("pattern (Theorem 3/4) and abstains at every x; with it B acts up to");
-    println!("the Eq. (1)+separation threshold (6) and abstains beyond.");
+    harness::run_main(fig3_visible::experiment(Profile::Full));
 }

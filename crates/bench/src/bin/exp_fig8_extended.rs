@@ -1,88 +1,9 @@
-//! E7 (Figure 8 / §5.1): the extended bounds graph captures knowledge the
-//! local graph misses. For random observers, counts the node pairs whose
-//! best precedence certificate in `GE(r, σ)` strictly beats the best path
-//! in the induced local graph `GB(r, σ)` — i.e. knowledge derived from
-//! *unseen deliveries* and frontier reasoning.
+//! E7 (Figure 8 / §5.1): the extended bounds graph vs the local graph —
+//! see [`zigzag_bench::experiments::fig8_extended`].
 
-use zigzag_bcm::{NodeId, ProcessId};
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
-use zigzag_core::bounds_graph::BoundsGraph;
-use zigzag_core::extended_graph::{ExtVertex, ExtendedGraph};
+use zigzag_bench::experiments::{fig8_extended, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("E7 / Figure 8 — GE(r, σ) vs the induced local graph GB(r, σ)\n");
-    let widths = [6, 9, 11, 12, 12];
-    print_header(
-        &widths,
-        &["procs", "pairs", "GB == GE", "GE strictly+", "GE-only"],
-    );
-    for n in [3usize, 5, 8] {
-        let mut equal = 0u64;
-        let mut stronger = 0u64;
-        let mut ge_only = 0u64;
-        let mut pairs = 0u64;
-        for seed in 0..10u64 {
-            let ctx = scaled_context(n, 0.4, seed + 500);
-            let run = kicked_run(&ctx, ProcessId::new(0), 2, 40, seed);
-            // Observers at several depths: early observers have small
-            // pasts and many in-flight messages — where GE shines.
-            let mut by_time: Vec<NodeId> = run
-                .nodes()
-                .map(|r| r.id())
-                .filter(|k| !k.is_initial())
-                .collect();
-            by_time.sort_by_key(|k| run.time(*k));
-            let picks: Vec<NodeId> = [1, 2, 4]
-                .iter()
-                .filter_map(|&q| by_time.get(by_time.len() * q / 8).copied())
-                .collect();
-            for sigma in picks {
-                let past = run.past(sigma);
-                let local = BoundsGraph::local(&run, &past);
-                let ge = ExtendedGraph::new(&run, sigma);
-                let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).take(8).collect();
-                for &x in &nodes {
-                    let lp_local = local.longest_from(x).unwrap();
-                    let lp_ge = ge.longest_from(ExtVertex::Node(x)).unwrap();
-                    for &y in &nodes {
-                        if x == y {
-                            continue;
-                        }
-                        pairs += 1;
-                        let wl = local.graph().index_of(&y).and_then(|i| lp_local.weight(i));
-                        let wg = ge
-                            .index_of(ExtVertex::Node(y))
-                            .and_then(|i| lp_ge.weight(i));
-                        match (wl, wg) {
-                            (Some(l), Some(g)) if g > l => stronger += 1,
-                            (Some(l), Some(g)) => {
-                                assert!(g == l, "GE weaker than its subgraph?!");
-                                equal += 1;
-                            }
-                            (None, Some(_)) => ge_only += 1,
-                            (Some(_), None) => panic!("GE lost a local path"),
-                            (None, None) => {}
-                        }
-                    }
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                n.to_string(),
-                pairs.to_string(),
-                equal.to_string(),
-                stronger.to_string(),
-                ge_only.to_string(),
-            ],
-        );
-        assert!(
-            stronger + ge_only > 0,
-            "the extension never mattered at n={n} — suspicious"
-        );
-    }
-    println!("\nSeries shape: GE never loses information (no 'GB-only' column can");
-    println!("exist) and regularly adds strictly stronger certificates — the");
-    println!("§5.1 '1 − U_ij from an unseen delivery' effect at scale.");
+    harness::run_main(fig8_extended::experiment(Profile::Full));
 }

@@ -1,165 +1,9 @@
-//! E9 (§1 headline): how much earlier can B act? Sweeps the separation
-//! `x` on the Figure 1 and Figure 2b workloads and compares the optimal
-//! zigzag protocol against the simple-fork and asynchronous baselines:
-//! action rate and mean action time. Seeds are swept in parallel.
-//!
-//! Expected shape: zigzag ≡ fork on fork-only topologies (Figure 1);
-//! zigzag acts strictly beyond the fork's ceiling on Figure 2b; the async
-//! baseline, when it can act at all, acts latest.
+//! E9 (§1 headline): optimal vs baseline strategies — see
+//! [`zigzag_bench::experiments::protocol_compare`].
 
-use zigzag_bcm::par::par_map;
-use zigzag_bcm::scheduler::RandomScheduler;
-use zigzag_bcm::Time;
-use zigzag_bench::{fig1_context, fig2_context, print_header, print_row};
-use zigzag_coord::{
-    AsyncChainStrategy, BStrategy, CoordKind, OptimalStrategy, Scenario, SimpleForkStrategy,
-    TimedCoordination,
-};
-
-const SEEDS: u64 = 40;
-
-fn sweep(scenario: &Scenario, make: &(dyn Fn() -> Box<dyn BStrategy> + Sync)) -> (u32, f64, u32) {
-    let seeds: Vec<u64> = (0..SEEDS).collect();
-    let outcomes = par_map(&seeds, |&seed| {
-        let mut strategy = make();
-        let (_, v) = scenario
-            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
-            .expect("scenario runs");
-        (v.b_time, !v.ok as u32)
-    });
-    let acted = outcomes.iter().filter(|(t, _)| t.is_some()).count() as u32;
-    let time_sum: u64 = outcomes
-        .iter()
-        .filter_map(|(t, _)| t.map(|t| t.ticks()))
-        .sum();
-    let violations: u32 = outcomes.iter().map(|(_, v)| v).sum();
-    let mean = if acted > 0 {
-        time_sum as f64 / acted as f64
-    } else {
-        f64::NAN
-    };
-    (acted, mean, violations)
-}
-
-fn report(title: &str, scenarios: &[(i64, Scenario)]) {
-    println!("{title}");
-    let widths = [4, 20, 20, 20];
-    print_header(
-        &widths,
-        &["x", "optimal-zigzag", "simple-fork", "async-chain"],
-    );
-    type Factory = Box<dyn Fn() -> Box<dyn BStrategy> + Sync>;
-    let strategies: Vec<(&str, Factory)> = vec![
-        ("optimal", Box::new(|| Box::new(OptimalStrategy::new()))),
-        ("fork", Box::new(|| Box::new(SimpleForkStrategy::default()))),
-        ("async", Box::new(|| Box::new(AsyncChainStrategy::new()))),
-    ];
-    for (x, scenario) in scenarios {
-        let mut cells = vec![x.to_string()];
-        for (_, make) in &strategies {
-            let (acted, mean, violations) = sweep(scenario, make.as_ref());
-            assert_eq!(violations, 0, "baseline violated its spec");
-            cells.push(if acted == 0 {
-                "abstains".into()
-            } else {
-                format!("{acted}/{SEEDS} @ t̄={mean:.1}")
-            });
-        }
-        print_row(&widths, &cells);
-    }
-    println!();
-}
+use zigzag_bench::experiments::{protocol_compare, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!(
-        "E9 — earliest safe action: optimal vs baselines ({SEEDS} seeds, {} threads)\n",
-        zigzag_bcm::par::thread_count()
-    );
-
-    // Figure 1 workload (fork weight 4; A→B chain for the async baseline).
-    let fig1: Vec<(i64, Scenario)> = [-2i64, 0, 2, 4, 5]
-        .into_iter()
-        .map(|x| {
-            let (ctx, c, a, b) = {
-                let mut nb = zigzag_bcm::Network::builder();
-                let c = nb.add_process("C");
-                let a = nb.add_process("A");
-                let b = nb.add_process("B");
-                nb.add_channel(c, a, 2, 5).unwrap();
-                nb.add_channel(c, b, 9, 12).unwrap();
-                nb.add_channel(a, b, 1, 4).unwrap();
-                (nb.build().unwrap(), c, a, b)
-            };
-            let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-            (
-                x,
-                Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
-            )
-        })
-        .collect();
-    report("Figure 1 topology — Late⟨a --x--> b⟩:", &fig1);
-
-    // Figure 2b workload (fork ceiling 4, zigzag ceiling 6).
-    let fig2b: Vec<(i64, Scenario)> = [2i64, 4, 5, 6, 7]
-        .into_iter()
-        .map(|x| {
-            let (ctx, [a, b, c, _d, e]) = fig2_context(true);
-            let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-            let sc = Scenario::new(spec, ctx, Time::new(2), Time::new(130))
-                .unwrap()
-                .with_external(Time::new(25), e, "kick_e");
-            (x, sc)
-        })
-        .collect();
-    report(
-        "Figure 2b topology — Late⟨a --x--> b⟩ (fork ceiling 4, zigzag 6):",
-        &fig2b,
-    );
-
-    // Early coordination (Figure 1 with reversed bound asymmetry).
-    let early: Vec<(i64, Scenario)> = [2i64, 6, 8, 9]
-        .into_iter()
-        .map(|x| {
-            let (ctx, c, a, b) = fig1_context(10, 12, 1, 2);
-            let spec = TimedCoordination::new(CoordKind::Early { x }, a, b, c);
-            (
-                x,
-                Scenario::new(spec, ctx, Time::new(2), Time::new(90)).unwrap(),
-            )
-        })
-        .collect();
-    report(
-        "Early⟨b --x--> a⟩ — C→A [10,12], C→B [1,2] (threshold 8):",
-        &early,
-    );
-
-    // Window coordination (two-sided): the fig-1 knowledge band is
-    // [L_CB − U_CA, U_CB − L_CA] = [4, 10]; only windows covering it work.
-    let window: Vec<(i64, Scenario)> = [(4i64, 10i64), (0, 20), (5, 20), (4, 9)]
-        .into_iter()
-        .map(|(lo, hi)| {
-            let (ctx, c, a, b) = fig1_context(2, 5, 9, 12);
-            let spec = TimedCoordination::new(
-                CoordKind::Window {
-                    after: lo,
-                    within: hi,
-                },
-                a,
-                b,
-                c,
-            );
-            (
-                lo * 100 + hi, // display key
-                Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
-            )
-        })
-        .collect();
-    report(
-        "Window⟨a --[lo,hi]--> b⟩ — rows keyed lo·100+hi (band [4,10]):",
-        &window,
-    );
-
-    println!("Crossovers: fork == zigzag where single forks suffice; zigzag alone");
-    println!("covers the (fork ceiling, zigzag ceiling] band; async acts latest and");
-    println!("only for Late x <= 0.");
+    harness::run_main(protocol_compare::experiment(Profile::Full));
 }

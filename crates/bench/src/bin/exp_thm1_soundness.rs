@@ -1,84 +1,9 @@
-//! E4 (Figure 3 / Theorem 1): zigzag sufficiency at scale. On random
-//! strongly-connected networks, enumerates GB-path-derived zigzags between
-//! node pairs and reports the distribution of `gap − weight` slack: the
-//! minimum must be ≥ 0 in every run (Theorem 1), with 0 achieved (tight).
+//! E4 (Figure 3 / Theorem 1): zigzag sufficiency at scale — see
+//! [`zigzag_bench::experiments::thm1_soundness`].
 
-use zigzag_bcm::{NodeId, ProcessId};
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
-use zigzag_core::bounds_graph::BoundsGraph;
-use zigzag_core::extract::zigzag_from_gb_path;
-use zigzag_core::CoreError;
+use zigzag_bench::experiments::{thm1_soundness, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("E4 / Theorem 1 — zigzag soundness on random networks\n");
-    let widths = [6, 9, 10, 10, 10, 11];
-    print_header(
-        &widths,
-        &[
-            "procs",
-            "runs",
-            "patterns",
-            "min slack",
-            "max slack",
-            "violations",
-        ],
-    );
-    for n in [3usize, 5, 8, 12] {
-        let mut patterns = 0u64;
-        let mut min_slack = i64::MAX;
-        let mut max_slack = i64::MIN;
-        let mut violations = 0u64;
-        let mut runs = 0u64;
-        for seed in 0..12u64 {
-            let ctx = scaled_context(n, 0.35, seed);
-            let run = kicked_run(&ctx, ProcessId::new(0), 2, 45, seed);
-            runs += 1;
-            let gb = BoundsGraph::of_run(&run);
-            let nodes: Vec<NodeId> = run
-                .nodes()
-                .map(|r| r.id())
-                .filter(|k| !k.is_initial())
-                .take(10)
-                .collect();
-            for &x in &nodes {
-                for &y in &nodes {
-                    let Some((w, edges)) = gb.longest_path(x, y).unwrap() else {
-                        continue;
-                    };
-                    let z = zigzag_from_gb_path(&gb, x, &edges).unwrap();
-                    match z.validate(&run) {
-                        Ok(report) => {
-                            patterns += 1;
-                            let slack = report.gap - report.weight;
-                            min_slack = min_slack.min(slack);
-                            max_slack = max_slack.max(slack);
-                            if slack < 0 || report.weight != w {
-                                violations += 1;
-                            }
-                        }
-                        Err(CoreError::HorizonTooSmall { .. }) => {}
-                        Err(e) => panic!("extraction failed: {e}"),
-                    }
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                n.to_string(),
-                runs.to_string(),
-                patterns.to_string(),
-                min_slack.to_string(),
-                max_slack.to_string(),
-                violations.to_string(),
-            ],
-        );
-        assert_eq!(violations, 0, "Theorem 1 violated at n={n}");
-        assert_eq!(
-            min_slack, 0,
-            "longest-path certificates should be tight somewhere"
-        );
-    }
-    println!("\nSeries shape: zero violations at every scale; minimum slack 0");
-    println!("(some pair always realizes its certificate exactly).");
+    harness::run_main(thm1_soundness::experiment(Profile::Full));
 }

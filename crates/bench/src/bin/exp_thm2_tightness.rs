@@ -1,83 +1,9 @@
-//! E5 (Figure 7 / Theorem 2): zigzag necessity via slow-run tightness. For
-//! random networks, builds the slow run of a late node σ and checks that
-//! every node of the σ-precedence set realizes its longest-path bound
-//! exactly — the construction at the heart of the Theorem 2 proof — and
-//! that the slow run is a certified-legal member of `R(P, γ)`.
+//! E5 (Figure 7 / Theorem 2): slow-run tightness — see
+//! [`zigzag_bench::experiments::thm2_tightness`].
 
-use zigzag_bcm::validate::{validate_run, Strictness};
-use zigzag_bcm::ProcessId;
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
-use zigzag_core::construct::slow_run;
-use zigzag_core::extract::zigzag_for_pair;
+use zigzag_bench::experiments::{thm2_tightness, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("E5 / Theorem 2 — slow-run tightness on random networks\n");
-    let widths = [6, 9, 11, 11, 12, 12];
-    print_header(
-        &widths,
-        &[
-            "procs",
-            "runs",
-            "kept nodes",
-            "tight @",
-            "GB matches",
-            "legal runs",
-        ],
-    );
-    for n in [3usize, 5, 8] {
-        let mut kept_total = 0usize;
-        let mut tight = 0usize;
-        let mut gb_match = 0usize;
-        let mut gb_checked = 0usize;
-        let mut legal = 0usize;
-        let mut runs = 0usize;
-        for seed in 0..10u64 {
-            let ctx = scaled_context(n, 0.4, seed + 100);
-            let run = kicked_run(&ctx, ProcessId::new(0), 2, 40, seed);
-            let Some(sigma) = run
-                .nodes()
-                .map(|r| r.id())
-                .filter(|k| !k.is_initial())
-                .last()
-            else {
-                continue;
-            };
-            runs += 1;
-            let sr = slow_run(&run, sigma).expect("slow run constructs");
-            if validate_run(&sr.run, Strictness::Strict).is_ok() {
-                legal += 1;
-            }
-            let t_sigma = sr.run.time(sigma).unwrap();
-            for (&node, &t) in &sr.timing {
-                kept_total += 1;
-                if t_sigma.diff(t) == sr.d[&node] {
-                    tight += 1;
-                }
-                // Lemma 5: the GB zigzag certificate is sound, and for
-                // interior pairs equals the frontier-tight value.
-                if let Some((w, _)) = zigzag_for_pair(&run, node, sigma).unwrap() {
-                    gb_checked += 1;
-                    if w <= sr.d[&node] {
-                        gb_match += 1;
-                    }
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                n.to_string(),
-                runs.to_string(),
-                kept_total.to_string(),
-                format!("{tight}/{kept_total}"),
-                format!("{gb_match}/{gb_checked}"),
-                format!("{legal}/{runs}"),
-            ],
-        );
-        assert_eq!(tight, kept_total, "slow run not tight at n={n}");
-        assert_eq!(gb_match, gb_checked, "GB certificate unsound at n={n}");
-        assert_eq!(legal, runs, "illegal slow run at n={n}");
-    }
-    println!("\nSeries shape: every kept node achieves its longest-path bound");
-    println!("exactly, in a run the model validator certifies as legal.");
+    harness::run_main(thm2_tightness::experiment(Profile::Full));
 }

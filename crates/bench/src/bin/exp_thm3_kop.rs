@@ -1,97 +1,9 @@
-//! E10 (Theorem 3): knowledge of preconditions. Adversarial schedule
-//! fuzzing over random networks and roles: sound strategies never violate
-//! a spec and never act without a message chain from the trigger node;
-//! the reckless control is caught by the verifier.
+//! E10 (Theorem 3): knowledge-of-preconditions fuzz — see
+//! [`zigzag_bench::experiments::thm3_kop`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use zigzag_bcm::scheduler::{EagerScheduler, LazyScheduler, RandomScheduler};
-use zigzag_bcm::{ProcessId, Time};
-use zigzag_bench::{print_header, print_row, scaled_context};
-use zigzag_coord::{
-    AsyncChainStrategy, BStrategy, CoordKind, OptimalStrategy, RecklessStrategy, Scenario,
-    SimpleForkStrategy, TimedCoordination,
-};
+use zigzag_bench::experiments::{thm3_kop, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("E10 / Theorem 3 — knowledge-of-preconditions fuzz\n");
-    let widths = [15, 8, 8, 12, 12];
-    print_header(
-        &widths,
-        &["strategy", "runs", "acted", "blind acts", "violations"],
-    );
-    let mut rng = StdRng::seed_from_u64(2017);
-    let mut configs = Vec::new();
-    for _ in 0..40 {
-        let n = rng.gen_range(3..=6);
-        let seed = rng.gen::<u64>();
-        let x = rng.gen_range(-3i64..6);
-        let late = rng.gen_bool(0.5);
-        configs.push((n, seed, x, late));
-    }
-
-    type Factory = Box<dyn Fn() -> Box<dyn BStrategy>>;
-    let strategies: Vec<(Factory, bool)> = vec![
-        (Box::new(|| Box::new(OptimalStrategy::new())), true),
-        (Box::new(|| Box::new(SimpleForkStrategy::default())), true),
-        (Box::new(|| Box::new(AsyncChainStrategy::new())), true),
-        (Box::new(|| Box::new(RecklessStrategy)), false),
-    ];
-    for (make, sound) in &strategies {
-        let mut runs = 0u32;
-        let mut acted = 0u32;
-        let mut blind = 0u32;
-        let mut violations = 0u32;
-        let mut name = String::new();
-        for &(n, seed, x, late) in &configs {
-            let ctx = scaled_context(n, 0.35, seed);
-            let c = ProcessId::new(0);
-            let a = ctx.network().out_neighbors(c)[0];
-            let b = ProcessId::new((n - 1) as u32);
-            let kind = if late {
-                CoordKind::Late { x }
-            } else {
-                CoordKind::Early { x }
-            };
-            let spec = TimedCoordination::new(kind, a, b, c);
-            let Ok(sc) = Scenario::new(spec, ctx, Time::new(2), Time::new(60)) else {
-                continue;
-            };
-            for sched in 0..3u8 {
-                let mut strategy = make();
-                name = strategy.name().to_string();
-                let result = match sched {
-                    0 => sc.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed)),
-                    1 => sc.run_verified(strategy.as_mut(), &mut EagerScheduler),
-                    _ => sc.run_verified(strategy.as_mut(), &mut LazyScheduler),
-                };
-                let Ok((_, v)) = result else { continue };
-                runs += 1;
-                violations += !v.ok as u32;
-                if v.b_node.is_some() {
-                    acted += 1;
-                    blind += !v.b_heard_go as u32;
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                name,
-                runs.to_string(),
-                acted.to_string(),
-                blind.to_string(),
-                violations.to_string(),
-            ],
-        );
-        if *sound {
-            assert_eq!(violations, 0, "sound strategy violated a spec");
-            assert_eq!(blind, 0, "sound strategy acted without hearing the trigger");
-        } else {
-            assert!(violations > 0, "the adversarial harness caught nothing");
-        }
-    }
-    println!("\nSeries shape: zero violations and zero blind actions for every");
-    println!("sound strategy (Theorem 3); the reckless control is caught, showing");
-    println!("the harness has teeth.");
+    harness::run_main(thm3_kop::experiment(Profile::Full));
 }

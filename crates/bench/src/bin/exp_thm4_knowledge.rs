@@ -1,101 +1,9 @@
-//! E8 (Figures 4–5 / Theorem 4): the knowledge characterization. On
-//! random networks, for every σ-recognized node pair:
-//!
-//! * positive side — the max-x answer is witnessed by a σ-visible zigzag
-//!   of exactly that weight, which re-validates in the run;
-//! * negative side — the claim at `max-x + 1` (or any x when unreachable)
-//!   is refuted by a certified-legal run indistinguishable at σ.
+//! E8 (Figures 4–5 / Theorem 4): the knowledge characterization — see
+//! [`zigzag_bench::experiments::thm4_knowledge`].
 
-use zigzag_bcm::validate::{validate_run, Strictness};
-use zigzag_bcm::{NodeId, ProcessId};
-use zigzag_bench::{kicked_run, print_header, print_row, scaled_context};
-use zigzag_core::knowledge::KnowledgeEngine;
-use zigzag_core::precedence::satisfies;
-use zigzag_core::{CoreError, GeneralNode};
+use zigzag_bench::experiments::{thm4_knowledge, Profile};
+use zigzag_bench::harness;
 
 fn main() {
-    println!("E8 / Theorem 4 — knowledge ⇔ σ-visible zigzag, mechanically\n");
-    let widths = [6, 8, 10, 12, 12, 11];
-    print_header(
-        &widths,
-        &[
-            "procs",
-            "pairs",
-            "known",
-            "witness ok",
-            "refuted ok",
-            "unreachable",
-        ],
-    );
-    for n in [3usize, 5, 8] {
-        let (mut pairs, mut known, mut wit_ok, mut ref_ok, mut unreach) =
-            (0u64, 0u64, 0u64, 0u64, 0u64);
-        let mut wit_seen = 0u64;
-        for seed in 0..8u64 {
-            let ctx = scaled_context(n, 0.4, seed + 900);
-            let run = kicked_run(&ctx, ProcessId::new(0), 2, 45, seed);
-            let Some(sigma) = run
-                .nodes()
-                .map(|r| r.id())
-                .filter(|k| !k.is_initial())
-                .last()
-            else {
-                continue;
-            };
-            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
-            let past = run.past(sigma);
-            let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).take(6).collect();
-            for &x in &nodes {
-                for &y in &nodes {
-                    pairs += 1;
-                    let (tx, ty) = (GeneralNode::basic(x), GeneralNode::basic(y));
-                    let m = engine.max_x(&tx, &ty).unwrap();
-                    match m {
-                        Some(m) => {
-                            known += 1;
-                            let (w, vz) = engine.witness(&tx, &ty).unwrap().expect("witness");
-                            assert_eq!(w, m);
-                            match vz.validate(&run) {
-                                Ok(report) => {
-                                    wit_seen += 1;
-                                    if report.weight == m {
-                                        wit_ok += 1;
-                                    }
-                                }
-                                Err(CoreError::HorizonTooSmall { .. }) => {}
-                                Err(e) => panic!("witness invalid: {e}"),
-                            }
-                        }
-                        None => unreach += 1,
-                    }
-                    // Refute one past the threshold.
-                    let x_claim = m.map_or(-3, |m| m + 1);
-                    let fr = engine
-                        .refute(&tx, &ty, x_claim)
-                        .unwrap()
-                        .expect("refutable");
-                    validate_run(&fr.run, Strictness::Strict).expect("refutation legal");
-                    if !satisfies(&fr.run, &tx, &ty, x_claim).unwrap() {
-                        ref_ok += 1;
-                    }
-                }
-            }
-        }
-        print_row(
-            &widths,
-            &[
-                n.to_string(),
-                pairs.to_string(),
-                known.to_string(),
-                format!("{wit_ok}/{wit_seen}"),
-                format!("{ref_ok}/{pairs}"),
-                unreach.to_string(),
-            ],
-        );
-        assert_eq!(wit_ok, wit_seen, "witness weight mismatch at n={n}");
-        assert_eq!(ref_ok, pairs, "unrefuted over-claim at n={n}");
-    }
-    println!("\nSeries shape: every knowledge claim is certified by an");
-    println!("independently validated witness; every over-claim is refuted by a");
-    println!("legal indistinguishable run. This is Theorem 4, mechanized.");
+    harness::run_main(thm4_knowledge::experiment(Profile::Full));
 }

@@ -1,0 +1,230 @@
+//! Ablation: certificate families and graph algorithms.
+//!
+//! 1. **Certificate families** — for random node pairs, the best
+//!    single-fork certificate (Figure 1 folklore) vs the best bounded
+//!    zigzag (exhaustive, Definition 6) vs the bounds-graph longest path
+//!    (the Theorem 2 optimum). Quantifies how much of the optimum each
+//!    family captures — the paper's case that zigzags are a *strictly*
+//!    richer and ultimately complete family.
+//! 2. **Longest-path algorithm** — dense Bellman–Ford vs queue-based SPFA
+//!    over the frozen CSR vs the memoized cached-CSR path (warm hits):
+//!    identical answers, very different work. The timing columns are
+//!    wall-clock and only rendered at [`Profile::Full`]; the smoke
+//!    profile checks agreement alone so its report stays deterministic.
+
+use std::time::Instant;
+
+use zigzag_bcm::{NodeId, ProcessId};
+use zigzag_core::bounds_graph::BoundsGraph;
+use zigzag_core::enumerate::{best_single_fork, best_zigzag, EnumLimits};
+
+use super::Profile;
+use crate::harness::{CellOutput, Experiment, Section};
+use crate::{format_header, format_row, kicked_run, scaled_context};
+
+const WIDTHS_A: [usize; 5] = [6, 8, 14, 14, 14];
+const WIDTHS_B_FULL: [usize; 7] = [6, 9, 9, 12, 12, 14, 10];
+const WIDTHS_B_SMOKE: [usize; 4] = [6, 9, 9, 10];
+
+fn families_section(p: Profile) -> Section {
+    let seeds: u64 = p.pick(6, 2);
+    // The zigzag enumeration is exponential in its limits; the smoke
+    // profile trims the horizon, pair count and fork budget so the tier
+    // stays debug-build fast while the fork-vs-zigzag ordering survives.
+    let horizon = p.pick(22u64, 16);
+    let pair_nodes = p.pick(6usize, 5);
+    let limits = EnumLimits {
+        max_leg_len: 3,
+        max_forks: p.pick(3, 2),
+    };
+    let mut section = Section::new(format!(
+        "Ablation A — certificate families (random 4-process networks)\n\n{}",
+        format_header(
+            &WIDTHS_A,
+            &[
+                "seed",
+                "pairs",
+                "fork = opt",
+                "zigzag = opt",
+                "zigzag > fork",
+            ],
+        ),
+    ));
+    for seed in 0..seeds {
+        section = section.cell(move || {
+            let ctx = scaled_context(4, 0.45, seed + 40);
+            let run = kicked_run(&ctx, ProcessId::new(0), 2, horizon, seed);
+            let gb = BoundsGraph::of_run(&run);
+            let nodes: Vec<NodeId> = run
+                .nodes()
+                .map(|r| r.id())
+                .filter(|n| !n.is_initial())
+                .take(pair_nodes)
+                .collect();
+            let (mut pairs, mut f_opt, mut z_opt, mut z_gt_f) = (0i64, 0i64, 0i64, 0i64);
+            for &a in &nodes {
+                for &b in &nodes {
+                    let Some((opt, _)) = gb.longest_path(a, b).unwrap() else {
+                        continue;
+                    };
+                    let Some(zz) = best_zigzag(&run, a, b, limits).unwrap() else {
+                        continue;
+                    };
+                    assert!(zz.weight <= opt, "enumerated zigzag beats longest path");
+                    pairs += 1;
+                    let fork = best_single_fork(&run, a, b, limits).map(|(_, w)| w);
+                    if fork == Some(opt) {
+                        f_opt += 1;
+                    }
+                    if zz.weight == opt {
+                        z_opt += 1;
+                    }
+                    if fork.is_none_or(|f| zz.weight > f) {
+                        z_gt_f += 1;
+                    }
+                }
+            }
+            CellOutput::with_metrics(
+                format_row(
+                    &WIDTHS_A,
+                    &[
+                        seed.to_string(),
+                        pairs.to_string(),
+                        format!("{f_opt}/{pairs}"),
+                        format!("{z_opt}/{pairs}"),
+                        format!("{z_gt_f}/{pairs}"),
+                    ],
+                ),
+                vec![pairs, f_opt, z_opt, z_gt_f],
+            )
+        });
+    }
+    section.footer(move |cells| {
+        let total = |k: usize| -> i64 { cells.iter().map(|c| c.metrics[k]).sum() };
+        let (total_pairs, fork_opt, zz_opt, zz_beats_fork) =
+            (total(0), total(1), total(2), total(3));
+        assert!(
+            zz_opt > fork_opt,
+            "zigzags should capture more optima than forks"
+        );
+        assert!(zz_beats_fork > 0);
+        format!(
+            "\nTotals: forks optimal {fork_opt}/{total_pairs}, bounded zigzags optimal \
+             {zz_opt}/{total_pairs}, zigzag strictly beats fork {zz_beats_fork}/{total_pairs}.\n\
+             Unbounded zigzags are complete (Theorem 2); the gap that remains is\n\
+             purely the enumeration bound (legs ≤ {}, forks ≤ {}).\n\n",
+            limits.max_leg_len, limits.max_forks
+        )
+    })
+}
+
+fn algorithms_section(p: Profile) -> Section {
+    let ns: Vec<usize> = p.pick(vec![4, 8, 16, 24], vec![4, 8]);
+    let header = if p.is_smoke() {
+        format_header(&WIDTHS_B_SMOKE, &["procs", "vertices", "edges", "agree"])
+    } else {
+        format_header(
+            &WIDTHS_B_FULL,
+            &[
+                "procs",
+                "vertices",
+                "edges",
+                "dense (µs)",
+                "SPFA (µs)",
+                "cached (ns)",
+                "agree",
+            ],
+        )
+    };
+    let mut section = Section::new(format!(
+        "Ablation B — dense Bellman–Ford vs queue SPFA vs cached CSR\n\n{header}"
+    ));
+    for n in ns {
+        section = section.cell(move || {
+            let ctx = scaled_context(n, 0.3, 7);
+            let run = kicked_run(&ctx, ProcessId::new(0), 1, 60, 3);
+            let gb = BoundsGraph::of_run(&run);
+            let sigma = run
+                .nodes()
+                .map(|r| r.id())
+                .filter(|k| !k.is_initial())
+                .last()
+                .unwrap();
+            if p.is_smoke() {
+                // Deterministic profile: agreement only, no wall clocks.
+                let dense = gb.graph().longest_from_dense(&sigma).unwrap();
+                let lp = gb.graph().longest_from(&sigma).unwrap();
+                let cached = gb.graph().longest_from_cached(&sigma).unwrap();
+                let agree = dense
+                    .iter()
+                    .enumerate()
+                    .all(|(i, d)| lp.weight(i) == *d && cached.weight(i) == *d);
+                assert!(agree, "dense, SPFA and cached CSR must agree");
+                return CellOutput::text(format_row(
+                    &WIDTHS_B_SMOKE,
+                    &[
+                        n.to_string(),
+                        gb.node_count().to_string(),
+                        gb.edge_count().to_string(),
+                        agree.to_string(),
+                    ],
+                ));
+            }
+            // Each timed closure reports mean time per call over >= 20ms.
+            fn time_loop<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+                let t0 = Instant::now();
+                let mut reps = 0u32;
+                let last = loop {
+                    let v = f();
+                    reps += 1;
+                    if t0.elapsed().as_millis() > 20 {
+                        break v;
+                    }
+                };
+                (last, t0.elapsed().as_nanos() as f64 / reps as f64)
+            }
+            // Dense Bellman–Ford: |V|−1 full relaxation rounds.
+            let (dense, dense_ns) = time_loop(|| gb.graph().longest_from_dense(&sigma).unwrap());
+            // Queue SPFA over the frozen CSR, always a fresh traversal.
+            let (lp, spfa_ns) = time_loop(|| gb.graph().longest_from(&sigma).unwrap());
+            // Cached CSR: the memoized path, warm after the first touch.
+            gb.graph().longest_from_cached(&sigma).unwrap();
+            let (cached, cached_ns) = time_loop(|| gb.graph().longest_from_cached(&sigma).unwrap());
+            let mut agree = true;
+            for (i, d) in dense.iter().enumerate() {
+                if lp.weight(i) != *d || cached.weight(i) != *d {
+                    agree = false;
+                }
+            }
+            assert!(agree, "dense, SPFA and cached CSR must agree");
+            CellOutput::text(format_row(
+                &WIDTHS_B_FULL,
+                &[
+                    n.to_string(),
+                    gb.node_count().to_string(),
+                    gb.edge_count().to_string(),
+                    format!("{:.0}", dense_ns / 1e3),
+                    format!("{:.0}", spfa_ns / 1e3),
+                    format!("{cached_ns:.0}"),
+                    agree.to_string(),
+                ],
+            ))
+        });
+    }
+    section
+        .serial() // wall-clock cells must not share the CPU with siblings
+        .footer(|_| {
+            "\nIdentical answers; SPFA does strictly less work than dense on these\n\
+             sparse, mostly-DAG-like bounds graphs, and the memoized CSR path\n\
+             answers warm repeats in constant time — the shared-analysis design.\n"
+                .into()
+        })
+}
+
+/// Builds the ablation family: certificate families + longest-path
+/// algorithm comparison.
+pub fn experiment(p: Profile) -> Experiment {
+    Experiment::new("ablation")
+        .section(families_section(p))
+        .section(algorithms_section(p))
+}

@@ -1,0 +1,95 @@
+//! E1 (Figure 1): the simple fork. Sweeps the fork weight
+//! `L_CB − U_CA` and reports, per weight, the worst observed gap
+//! `t_b − t_a` over random schedules, the knowledge threshold at `B`, and
+//! whether the optimal protocol acts at `x = weight`.
+//!
+//! Expected shape (paper §1): the gap never falls below the weight; the
+//! bound is achieved (tight); `B` coordinates with **zero** A↔B
+//! communication exactly for `x <= L_CB − U_CA`.
+
+use zigzag_bcm::Time;
+use zigzag_coord::{
+    Battery, CoordKind, OptimalStrategy, Scenario, StrategyFactory, TimedCoordination,
+};
+use zigzag_core::knowledge::KnowledgeEngine;
+use zigzag_core::GeneralNode;
+
+use super::Profile;
+use crate::harness::{CellOutput, Experiment, Section};
+use crate::{fig1_context, format_header, format_row, kicked_run, mean, min};
+
+const WIDTHS: [usize; 6] = [6, 8, 9, 9, 10, 12];
+
+/// Builds the E1 family: one cell per `L_CB` setting.
+pub fn experiment(p: Profile) -> Experiment {
+    let seeds = p.pick(60u64, 10);
+    let proto_seeds = p.pick(20u64, 6);
+    let lbs: Vec<u64> = p.pick(vec![3, 5, 7, 9, 11, 13], vec![3, 9, 13]);
+    let mut section = Section::new(format!(
+        "E1 / Figure 1 — simple-fork coordination, C→A [2,5], C→B [lb, lb+3]\n\
+         fork weight w = L_CB − U_CA; B must guarantee a --w--> b\n\n{}",
+        format_header(
+            &WIDTHS,
+            &[
+                "L_CB",
+                "w",
+                "min gap",
+                "mean gap",
+                "max-x at B",
+                "acts at x=w"
+            ],
+        ),
+    ));
+    for lb in lbs {
+        section = section.cell(move || {
+            let (ctx, c, a, b) = fig1_context(2, 5, lb, lb + 3);
+            let w = lb as i64 - 5;
+            let mut gaps = Vec::new();
+            let mut max_x_seen = None;
+            for seed in 0..seeds {
+                let run = kicked_run(&ctx, c, 3, 60, seed);
+                let sigma_c = run.external_receipt_node(c, "kick").unwrap();
+                let theta_a = GeneralNode::chain(sigma_c, &[a]).unwrap();
+                let theta_b = GeneralNode::chain(sigma_c, &[b]).unwrap();
+                let ta = theta_a.time_in(&run).unwrap();
+                let tb = theta_b.time_in(&run).unwrap();
+                gaps.push(tb.diff(ta));
+                if seed == 0 {
+                    let sigma_b = theta_b.resolve(&run).unwrap();
+                    let engine = KnowledgeEngine::new(&run, sigma_b).unwrap();
+                    max_x_seen = engine.max_x(&theta_a, &theta_b).unwrap();
+                }
+            }
+            // Protocol check at x = w, as a scenario battery.
+            let spec = TimedCoordination::new(CoordKind::Late { x: w }, a, b, c);
+            let scenario = Scenario::new(spec, ctx, Time::new(3), Time::new(80)).unwrap();
+            let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+            let out = Battery {
+                scenario,
+                strategy: optimal,
+                seeds: 0..proto_seeds,
+            }
+            .run_serial()
+            .unwrap();
+            assert_eq!(out.violations, 0, "soundness violated");
+            assert!(min(&gaps) >= w, "fork guarantee violated at lb={lb}");
+            assert_eq!(max_x_seen, Some(w), "knowledge threshold off at lb={lb}");
+            CellOutput::text(format_row(
+                &WIDTHS,
+                &[
+                    lb.to_string(),
+                    w.to_string(),
+                    min(&gaps).to_string(),
+                    format!("{:.1}", mean(&gaps)),
+                    max_x_seen.map_or("—".into(), |m| m.to_string()),
+                    format!("{}/{proto_seeds}", out.acted),
+                ],
+            ))
+        });
+    }
+    Experiment::new("fig1_fork").section(
+        section.footer(|_| {
+            "\nSeries shape: min gap == w (tight) and B acts at exactly x = w.\n".into()
+        }),
+    )
+}

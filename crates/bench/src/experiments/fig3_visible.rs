@@ -1,0 +1,62 @@
+//! E3 (Figure 2b): visibility makes the zigzag usable. With the `D → B`
+//! report channel `B` can *know* the Eq. (1) precedence and act; without
+//! it, the same pattern exists in the run but `B` never even hears the
+//! trigger. Reports, per x, how often the optimal protocol acts in each
+//! configuration.
+//!
+//! Expected shape: identical abstention without the report; action up to
+//! the zigzag threshold with it.
+
+use zigzag_bcm::Time;
+use zigzag_coord::{
+    Battery, CoordKind, OptimalStrategy, Scenario, StrategyFactory, TimedCoordination,
+};
+
+use super::Profile;
+use crate::harness::{CellOutput, Experiment, Section};
+use crate::{fig2_context, format_header, format_row};
+
+const WIDTHS: [usize; 3] = [4, 18, 18];
+
+/// Builds the E3 family: one cell per separation `x`.
+pub fn experiment(p: Profile) -> Experiment {
+    let seeds = p.pick(30u64, 8);
+    let xs: Vec<i64> = p.pick(vec![2, 4, 5, 6, 7, 8], vec![2, 6, 8]);
+    let mut section = Section::new(format!(
+        "E3 / Figure 2b — σ-visibility: acting requires the D→B report\n\n{}",
+        format_header(&WIDTHS, &["x", "with D→B report", "without report"]),
+    ));
+    for x in xs {
+        section = section.cell(move || {
+            let mut cells = vec![x.to_string()];
+            for with_report in [true, false] {
+                let (ctx, [a, b, c, _d, e]) = fig2_context(with_report);
+                let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+                let scenario = Scenario::new(spec, ctx, Time::new(2), Time::new(120))
+                    .unwrap()
+                    .with_external(Time::new(25), e, "kick_e");
+                let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+                let out = Battery {
+                    scenario,
+                    strategy: optimal,
+                    seeds: 0..seeds,
+                }
+                .run_serial()
+                .unwrap();
+                assert_eq!(out.violations, 0, "optimal protocol violated the spec");
+                cells.push(if out.acted == 0 {
+                    "abstains".to_string()
+                } else {
+                    format!("acts {}/{seeds}", out.acted)
+                });
+            }
+            CellOutput::text(format_row(&WIDTHS, &cells))
+        });
+    }
+    Experiment::new("fig3_visible").section(section.footer(|_| {
+        "\nSeries shape: without the dashed report chain B cannot detect the\n\
+         pattern (Theorem 3/4) and abstains at every x; with it B acts up to\n\
+         the Eq. (1)+separation threshold (6) and abstains beyond.\n"
+            .into()
+    }))
+}

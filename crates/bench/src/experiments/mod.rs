@@ -1,0 +1,67 @@
+//! The experiment families behind the `exp_*` binaries, as library code.
+//!
+//! Each module builds one [`Experiment`] — the declarative form of one
+//! binary's scenario family: a parameter sweep whose points are
+//! independent [`crate::harness::Section`] cells, fanned across threads
+//! by the [`crate::harness::ExperimentHarness`]. The binaries are
+//! one-line wrappers over [`Profile::Full`]; the golden-snapshot and
+//! determinism suites (and the `family` benchmark) drive the same code at
+//! [`Profile::Smoke`].
+
+pub mod ablation;
+pub mod fig1_fork;
+pub mod fig2_zigzag;
+pub mod fig3_visible;
+pub mod fig8_extended;
+pub mod protocol_compare;
+pub mod thm1_soundness;
+pub mod thm2_tightness;
+pub mod thm3_kop;
+pub mod thm4_knowledge;
+
+use crate::harness::Experiment;
+
+/// Which configuration of an experiment family to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The full configuration the `exp_*` binaries run. May include
+    /// wall-clock measurements (the ablation's timing columns), so its
+    /// report text is *not* byte-deterministic.
+    Full,
+    /// A small fixed-seed configuration for the golden-snapshot,
+    /// determinism and smoke tiers: fewer parameter points and seeds, and
+    /// **no wall-clock text** — the rendered report is byte-deterministic
+    /// across machines, runs, and worker counts.
+    Smoke,
+}
+
+impl Profile {
+    /// Whether this is the smoke configuration.
+    pub fn is_smoke(self) -> bool {
+        matches!(self, Profile::Smoke)
+    }
+
+    /// Picks the profile-appropriate value.
+    pub fn pick<T>(self, full: T, smoke: T) -> T {
+        match self {
+            Profile::Full => full,
+            Profile::Smoke => smoke,
+        }
+    }
+}
+
+/// Every experiment family at the given profile, in binary order.
+pub fn all(p: Profile) -> Vec<Experiment> {
+    vec![
+        fig1_fork::experiment(p),
+        fig2_zigzag::experiment(p),
+        fig3_visible::experiment(p),
+        fig8_extended::experiment(p),
+        thm1_soundness::experiment(p),
+        thm2_tightness::experiment(p),
+        thm3_kop::experiment(p),
+        thm4_knowledge::experiment(p),
+        protocol_compare::experiment(p),
+        ablation::experiment(p),
+    ]
+}

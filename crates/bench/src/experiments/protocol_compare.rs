@@ -1,0 +1,174 @@
+//! E9 (§1 headline): how much earlier can B act? Sweeps the separation
+//! `x` on the Figure 1 and Figure 2b workloads and compares the optimal
+//! zigzag protocol against the simple-fork and asynchronous baselines:
+//! action rate and mean action time. Each `(workload, x)` row is an
+//! independent harness cell, so whole rows fan across threads.
+//!
+//! Expected shape: zigzag ≡ fork on fork-only topologies (Figure 1);
+//! zigzag acts strictly beyond the fork's ceiling on Figure 2b; the async
+//! baseline, when it can act at all, acts latest.
+
+use zigzag_bcm::Time;
+use zigzag_coord::{
+    AsyncChainStrategy, Battery, CoordKind, OptimalStrategy, Scenario, SimpleForkStrategy,
+    StrategyFactory, TimedCoordination,
+};
+
+use super::Profile;
+use crate::harness::{CellOutput, Experiment, Section};
+use crate::{fig1_context, fig2_context, format_header, format_row};
+
+const WIDTHS: [usize; 4] = [4, 20, 20, 20];
+
+fn sweep_row(label: &str, scenario: &Scenario, seeds: u64) -> CellOutput {
+    let mut cells = vec![label.to_string()];
+    let factories: [StrategyFactory<'_>; 3] = [
+        &|| Box::new(OptimalStrategy::new()),
+        &|| Box::new(SimpleForkStrategy::default()),
+        &|| Box::new(AsyncChainStrategy::new()),
+    ];
+    for make in factories {
+        let out = Battery {
+            scenario: scenario.clone(),
+            strategy: make,
+            seeds: 0..seeds,
+        }
+        .run_serial()
+        .unwrap();
+        assert_eq!(out.violations, 0, "baseline violated its spec");
+        cells.push(match out.mean_b_time() {
+            None => "abstains".into(),
+            Some(mean) => format!("{}/{seeds} @ t̄={mean:.1}", out.acted),
+        });
+    }
+    CellOutput::text(format_row(&WIDTHS, &cells))
+}
+
+fn section_for(title: &str, rows: Vec<(String, Scenario)>, seeds: u64) -> Section {
+    let mut s = Section::new(format!(
+        "{title}\n{}",
+        format_header(
+            &WIDTHS,
+            &["x", "optimal-zigzag", "simple-fork", "async-chain"],
+        ),
+    ));
+    for (label, sc) in rows {
+        s = s.cell(move || sweep_row(&label, &sc, seeds));
+    }
+    s.footer(|_| "\n".into())
+}
+
+/// Builds the E9 family: four workload sections, one cell per row.
+pub fn experiment(p: Profile) -> Experiment {
+    let seeds = p.pick(40u64, 6);
+
+    // Figure 1 workload (fork weight 4; A→B chain for the async baseline).
+    let fig1_xs: Vec<i64> = p.pick(vec![-2, 0, 2, 4, 5], vec![-2, 4, 5]);
+    let fig1: Vec<(String, Scenario)> = fig1_xs
+        .into_iter()
+        .map(|x| {
+            let (ctx, c, a, b) = {
+                let mut nb = zigzag_bcm::Network::builder();
+                let c = nb.add_process("C");
+                let a = nb.add_process("A");
+                let b = nb.add_process("B");
+                nb.add_channel(c, a, 2, 5).unwrap();
+                nb.add_channel(c, b, 9, 12).unwrap();
+                nb.add_channel(a, b, 1, 4).unwrap();
+                (nb.build().unwrap(), c, a, b)
+            };
+            let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+            (
+                x.to_string(),
+                Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
+            )
+        })
+        .collect();
+
+    // Figure 2b workload (fork ceiling 4, zigzag ceiling 6).
+    let fig2b_xs: Vec<i64> = p.pick(vec![2, 4, 5, 6, 7], vec![4, 6, 7]);
+    let fig2b: Vec<(String, Scenario)> = fig2b_xs
+        .into_iter()
+        .map(|x| {
+            let (ctx, [a, b, c, _d, e]) = fig2_context(true);
+            let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+            let sc = Scenario::new(spec, ctx, Time::new(2), Time::new(130))
+                .unwrap()
+                .with_external(Time::new(25), e, "kick_e");
+            (x.to_string(), sc)
+        })
+        .collect();
+
+    // Early coordination (Figure 1 with reversed bound asymmetry).
+    let early_xs: Vec<i64> = p.pick(vec![2, 6, 8, 9], vec![2, 8, 9]);
+    let early: Vec<(String, Scenario)> = early_xs
+        .into_iter()
+        .map(|x| {
+            let (ctx, c, a, b) = fig1_context(10, 12, 1, 2);
+            let spec = TimedCoordination::new(CoordKind::Early { x }, a, b, c);
+            (
+                x.to_string(),
+                Scenario::new(spec, ctx, Time::new(2), Time::new(90)).unwrap(),
+            )
+        })
+        .collect();
+
+    // Window coordination (two-sided): the fig-1 knowledge band is
+    // [L_CB − U_CA, U_CB − L_CA] = [4, 10]; only windows covering it work.
+    let windows: Vec<(i64, i64)> = p.pick(
+        vec![(4, 10), (0, 20), (5, 20), (4, 9)],
+        vec![(4, 10), (4, 9)],
+    );
+    let window: Vec<(String, Scenario)> = windows
+        .into_iter()
+        .map(|(lo, hi)| {
+            let (ctx, c, a, b) = fig1_context(2, 5, 9, 12);
+            let spec = TimedCoordination::new(
+                CoordKind::Window {
+                    after: lo,
+                    within: hi,
+                },
+                a,
+                b,
+                c,
+            );
+            (
+                (lo * 100 + hi).to_string(), // display key
+                Scenario::new(spec, ctx, Time::new(3), Time::new(90)).unwrap(),
+            )
+        })
+        .collect();
+
+    Experiment::new("protocol_compare")
+        .section(section_for(
+            &format!(
+                "E9 — earliest safe action: optimal vs baselines ({seeds} seeds)\n\n\
+                 Figure 1 topology — Late⟨a --x--> b⟩:"
+            ),
+            fig1,
+            seeds,
+        ))
+        .section(section_for(
+            "Figure 2b topology — Late⟨a --x--> b⟩ (fork ceiling 4, zigzag 6):",
+            fig2b,
+            seeds,
+        ))
+        .section(section_for(
+            "Early⟨b --x--> a⟩ — C→A [10,12], C→B [1,2] (threshold 8):",
+            early,
+            seeds,
+        ))
+        .section(
+            section_for(
+                "Window⟨a --[lo,hi]--> b⟩ — rows keyed lo·100+hi (band [4,10]):",
+                window,
+                seeds,
+            )
+            .footer(|_| {
+                "\nCrossovers: fork == zigzag where single forks suffice; zigzag alone\n\
+                 covers the (fork ceiling, zigzag ceiling] band; async acts latest and\n\
+                 only for Late x <= 0.\n"
+                    .into()
+            }),
+        )
+}

@@ -1,0 +1,115 @@
+//! E10 (Theorem 3): knowledge of preconditions. Adversarial schedule
+//! fuzzing over random networks and roles: sound strategies never violate
+//! a spec and never act without a message chain from the trigger node;
+//! the reckless control is caught by the verifier.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zigzag_bcm::scheduler::{EagerScheduler, LazyScheduler, RandomScheduler};
+use zigzag_bcm::{ProcessId, Time};
+use zigzag_coord::{
+    AsyncChainStrategy, BStrategy, CoordKind, OptimalStrategy, RecklessStrategy, Scenario,
+    SimpleForkStrategy, TimedCoordination,
+};
+
+use super::Profile;
+use crate::harness::{CellOutput, Experiment, Section};
+use crate::{format_header, format_row, scaled_context};
+
+const WIDTHS: [usize; 5] = [15, 8, 8, 12, 12];
+
+fn make_strategy(idx: usize) -> Box<dyn BStrategy> {
+    match idx {
+        0 => Box::new(OptimalStrategy::new()),
+        1 => Box::new(SimpleForkStrategy::default()),
+        2 => Box::new(AsyncChainStrategy::new()),
+        _ => Box::new(RecklessStrategy),
+    }
+}
+
+/// Builds the E10 family: one cell per strategy, over a shared fuzzed
+/// configuration battery.
+pub fn experiment(p: Profile) -> Experiment {
+    let config_count = p.pick(40usize, 14);
+    let mut rng = StdRng::seed_from_u64(2017);
+    let mut configs = Vec::new();
+    for _ in 0..config_count {
+        let n = rng.gen_range(3..=6);
+        let seed = rng.gen::<u64>();
+        let x = rng.gen_range(-3i64..6);
+        let late = rng.gen_bool(0.5);
+        configs.push((n, seed, x, late));
+    }
+
+    let mut section = Section::new(format!(
+        "E10 / Theorem 3 — knowledge-of-preconditions fuzz\n\n{}",
+        format_header(
+            &WIDTHS,
+            &["strategy", "runs", "acted", "blind acts", "violations"],
+        ),
+    ));
+    for idx in 0..4usize {
+        let configs = configs.clone();
+        let sound = idx != 3;
+        section = section.cell(move || {
+            let mut runs = 0u32;
+            let mut acted = 0u32;
+            let mut blind = 0u32;
+            let mut violations = 0u32;
+            let mut name = String::new();
+            for &(n, seed, x, late) in &configs {
+                let ctx = scaled_context(n, 0.35, seed);
+                let c = ProcessId::new(0);
+                let a = ctx.network().out_neighbors(c)[0];
+                let b = ProcessId::new((n - 1) as u32);
+                let kind = if late {
+                    CoordKind::Late { x }
+                } else {
+                    CoordKind::Early { x }
+                };
+                let spec = TimedCoordination::new(kind, a, b, c);
+                let Ok(sc) = Scenario::new(spec, ctx, Time::new(2), Time::new(60)) else {
+                    continue;
+                };
+                for sched in 0..3u8 {
+                    let mut strategy = make_strategy(idx);
+                    name = strategy.name().to_string();
+                    let result = match sched {
+                        0 => sc.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed)),
+                        1 => sc.run_verified(strategy.as_mut(), &mut EagerScheduler),
+                        _ => sc.run_verified(strategy.as_mut(), &mut LazyScheduler),
+                    };
+                    let Ok((_, v)) = result else { continue };
+                    runs += 1;
+                    violations += !v.ok as u32;
+                    if v.b_node.is_some() {
+                        acted += 1;
+                        blind += !v.b_heard_go as u32;
+                    }
+                }
+            }
+            if sound {
+                assert_eq!(violations, 0, "sound strategy violated a spec");
+                assert_eq!(blind, 0, "sound strategy acted without hearing the trigger");
+            } else {
+                assert!(violations > 0, "the adversarial harness caught nothing");
+            }
+            CellOutput::text(format_row(
+                &WIDTHS,
+                &[
+                    name,
+                    runs.to_string(),
+                    acted.to_string(),
+                    blind.to_string(),
+                    violations.to_string(),
+                ],
+            ))
+        });
+    }
+    Experiment::new("thm3_kop").section(section.footer(|_| {
+        "\nSeries shape: zero violations and zero blind actions for every\n\
+         sound strategy (Theorem 3); the reckless control is caught, showing\n\
+         the harness has teeth.\n"
+            .into()
+    }))
+}

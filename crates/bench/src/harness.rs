@@ -1,0 +1,326 @@
+//! The scenario-family experiment harness.
+//!
+//! Every `exp_*` binary is a family of **independent cells** — one table
+//! row (or row block) per parameter point, each simulating its own runs
+//! and asserting its own paper claims. Historically the binaries looped
+//! over those cells serially, so only the *inner* `x × seeds` grids (via
+//! [`zigzag_bcm::par::par_map`] in the coordination layer) saw threads.
+//! This harness lifts the outer loops into data:
+//!
+//! * a [`Section`] is a preamble (title + table header), a list of cell
+//!   closures, and an optional footer that folds the cells' metrics;
+//! * an [`Experiment`] is a named list of sections;
+//! * an [`ExperimentHarness`] renders any number of experiments by
+//!   flattening **all** their cells into one slice and fanning it through
+//!   [`zigzag_bcm::par::par_map_with`] — whole families execute across
+//!   threads, not just one sweep's inner grid.
+//!
+//! Reassembly is purely positional and footers run serially afterwards,
+//! so [`ExperimentHarness::render_with`] returns a **byte-identical**
+//! report for any worker count — the differential guarantee the golden
+//! and determinism suites pin down. Cell assertions (the experiments'
+//! paper-claim checks) panic inside the fan-out and are propagated to the
+//! caller by `par_map`, so the harness keeps the binaries' teeth.
+
+use zigzag_bcm::par::{par_map_with, thread_count};
+
+/// What one cell contributes to the report: a block of text (typically
+/// one table row, trailing newline included) plus numeric metrics for
+/// cross-cell footers.
+#[derive(Debug, Clone, Default)]
+pub struct CellOutput {
+    /// Rendered report text.
+    pub text: String,
+    /// Numeric payload folded by the section footer (meaning is
+    /// section-specific).
+    pub metrics: Vec<i64>,
+}
+
+impl CellOutput {
+    /// A text-only cell output.
+    pub fn text(text: impl Into<String>) -> Self {
+        CellOutput {
+            text: text.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// A cell output with metrics for the section footer.
+    pub fn with_metrics(text: impl Into<String>, metrics: Vec<i64>) -> Self {
+        CellOutput {
+            text: text.into(),
+            metrics,
+        }
+    }
+}
+
+impl From<String> for CellOutput {
+    fn from(text: String) -> Self {
+        CellOutput::text(text)
+    }
+}
+
+type CellFn = Box<dyn Fn() -> CellOutput + Send + Sync>;
+type FooterFn = Box<dyn Fn(&[CellOutput]) -> String + Send + Sync>;
+
+/// One table (or block) of an experiment: preamble, independent cells,
+/// optional footer over the collected cell outputs.
+pub struct Section {
+    preamble: String,
+    cells: Vec<CellFn>,
+    footer: Option<FooterFn>,
+    serial: bool,
+}
+
+impl Section {
+    /// Creates a section whose preamble (title and table header, with its
+    /// own newlines) precedes the cell rows.
+    pub fn new(preamble: impl Into<String>) -> Self {
+        Section {
+            preamble: preamble.into(),
+            cells: Vec::new(),
+            footer: None,
+            serial: false,
+        }
+    }
+
+    /// Marks the section's cells to run serially on the reassembly pass,
+    /// *after* the parallel fan-out has drained — for cells that take
+    /// wall-clock measurements and must not share the CPU with sibling
+    /// cells. Output position is unchanged.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Appends an independent cell.
+    pub fn cell(mut self, f: impl Fn() -> CellOutput + Send + Sync + 'static) -> Self {
+        self.cells.push(Box::new(f));
+        self
+    }
+
+    /// Sets the footer: runs serially after every cell of the section has
+    /// completed, sees all cell outputs in order, may assert cross-cell
+    /// invariants, and its return value is appended to the report.
+    pub fn footer(mut self, f: impl Fn(&[CellOutput]) -> String + Send + Sync + 'static) -> Self {
+        self.footer = Some(Box::new(f));
+        self
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl std::fmt::Debug for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Section")
+            .field("cells", &self.cells.len())
+            .field("footer", &self.footer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A named scenario family: the declarative form of one `exp_*` binary.
+#[derive(Debug)]
+pub struct Experiment {
+    name: &'static str,
+    sections: Vec<Section>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment.
+    pub fn new(name: &'static str) -> Self {
+        Experiment {
+            name,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn section(mut self, s: Section) -> Self {
+        self.sections.push(s);
+        self
+    }
+
+    /// The experiment's name (used for golden-file paths).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total cells across sections.
+    pub fn cell_count(&self) -> usize {
+        self.sections.iter().map(Section::cell_count).sum()
+    }
+
+    /// Renders just this experiment (see [`ExperimentHarness::render`]).
+    pub fn render(self) -> String {
+        ExperimentHarness::new().experiment(self).render()
+    }
+}
+
+/// Executes experiments with family-level parallelism; see the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct ExperimentHarness {
+    experiments: Vec<Experiment>,
+}
+
+impl ExperimentHarness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        ExperimentHarness::default()
+    }
+
+    /// Adds an experiment.
+    pub fn experiment(mut self, e: Experiment) -> Self {
+        self.experiments.push(e);
+        self
+    }
+
+    /// Adds many experiments.
+    pub fn experiments(mut self, es: impl IntoIterator<Item = Experiment>) -> Self {
+        self.experiments.extend(es);
+        self
+    }
+
+    /// Total cells across all experiments.
+    pub fn cell_count(&self) -> usize {
+        self.experiments.iter().map(Experiment::cell_count).sum()
+    }
+
+    /// Renders the full report using the default worker count
+    /// ([`thread_count`]; `ZIGZAG_THREADS` overrides).
+    pub fn render(&self) -> String {
+        self.render_with(thread_count())
+    }
+
+    /// Renders the full report with an explicit worker count. The output
+    /// is byte-identical for every `workers` value: all cells across all
+    /// experiments fan out as one order-preserving parallel map, and
+    /// reassembly is positional.
+    pub fn render_with(&self, workers: usize) -> String {
+        let cells: Vec<&CellFn> = self
+            .experiments
+            .iter()
+            .flat_map(|e| {
+                e.sections
+                    .iter()
+                    .filter(|s| !s.serial)
+                    .flat_map(|s| s.cells.iter())
+            })
+            .collect();
+        let mut outputs = par_map_with(workers, &cells, |c| c()).into_iter();
+
+        let mut report = String::new();
+        for e in &self.experiments {
+            for s in &e.sections {
+                report.push_str(&s.preamble);
+                let collected: Vec<CellOutput> = if s.serial {
+                    // Measured after the fan-out has drained, one cell at
+                    // a time — no sibling contention on the wall clock.
+                    s.cells.iter().map(|c| c()).collect()
+                } else {
+                    s.cells
+                        .iter()
+                        .map(|_| outputs.next().expect("one output per cell"))
+                        .collect()
+                };
+                for out in &collected {
+                    report.push_str(&out.text);
+                }
+                if let Some(footer) = &s.footer {
+                    report.push_str(&footer(&collected));
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Binary entry point: renders one experiment with the default worker
+/// count and prints it. Every `exp_*` binary is this one line.
+pub fn run_main(experiment: Experiment) {
+    print!("{}", experiment.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn toy(counter: Arc<AtomicUsize>) -> Experiment {
+        let mut section = Section::new("title\n");
+        for i in 0..7u32 {
+            let counter = counter.clone();
+            section = section.cell(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                CellOutput::with_metrics(format!("row {i}\n"), vec![i as i64])
+            });
+        }
+        Experiment::new("toy").section(section.footer(|cells| {
+            let sum: i64 = cells.iter().flat_map(|c| c.metrics.iter()).sum();
+            format!("sum {sum}\n")
+        }))
+    }
+
+    #[test]
+    fn render_is_worker_count_invariant() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let h = ExperimentHarness::new()
+            .experiment(toy(c.clone()))
+            .experiment(toy(c.clone()));
+        assert_eq!(h.cell_count(), 14);
+        let serial = h.render_with(1);
+        let parallel = h.render_with(8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, h.render());
+        assert_eq!(c.load(Ordering::Relaxed), 14 * 3, "cells ran per render");
+        assert!(serial.starts_with("title\nrow 0\n"));
+        assert!(serial.contains("sum 21\n"));
+    }
+
+    #[test]
+    fn empty_sections_and_harnesses_render() {
+        let h = ExperimentHarness::new();
+        assert_eq!(h.render(), "");
+        let e = Experiment::new("empty").section(Section::new("p\n"));
+        assert_eq!(e.name(), "empty");
+        assert_eq!(e.cell_count(), 0);
+        assert_eq!(e.render(), "p\n");
+        let o = CellOutput::text("x");
+        assert_eq!(o.text, "x");
+        let from: CellOutput = String::from("y").into();
+        assert!(from.metrics.is_empty());
+    }
+
+    #[test]
+    fn serial_sections_render_in_place() {
+        let order: Arc<std::sync::Mutex<Vec<u32>>> = Arc::default();
+        let (o1, o2) = (order.clone(), order.clone());
+        let e = Experiment::new("mixed")
+            .section(Section::new("timed\n").serial().cell(move || {
+                o1.lock().unwrap().push(1);
+                CellOutput::text("slow row\n")
+            }))
+            .section(Section::new("fast\n").cell(move || {
+                o2.lock().unwrap().push(2);
+                CellOutput::text("fast row\n")
+            }));
+        let h = ExperimentHarness::new().experiment(e);
+        assert_eq!(h.render_with(4), "timed\nslow row\nfast\nfast row\n");
+        // The serial cell ran after the fan-out drained, yet its output
+        // keeps its declared position.
+        assert_eq!(*order.lock().unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell assertion")]
+    fn cell_panics_propagate() {
+        let e =
+            Experiment::new("panics").section(Section::new("").cell(|| panic!("cell assertion")));
+        let _ = ExperimentHarness::new().experiment(e).render_with(4);
+    }
+}

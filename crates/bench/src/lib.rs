@@ -7,6 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod harness;
+
 use std::sync::Arc;
 
 use zigzag_bcm::protocols::Ffip;
@@ -68,24 +71,36 @@ pub fn scaled_context(n: usize, density: f64, seed: u64) -> Arc<Context> {
         .into()
 }
 
-/// Prints a Markdown-style table row, padding each cell to its column.
-pub fn print_row(widths: &[usize], cells: &[String]) {
+/// Formats a Markdown-style table row (trailing newline included),
+/// padding each cell to its column.
+pub fn format_row(widths: &[usize], cells: &[String]) -> String {
     let line: Vec<String> = widths
         .iter()
         .zip(cells)
         .map(|(w, c)| format!("{c:>w$}"))
         .collect();
-    println!("| {} |", line.join(" | "));
+    format!("| {} |\n", line.join(" | "))
 }
 
-/// Prints a table header plus separator.
-pub fn print_header(widths: &[usize], names: &[&str]) {
-    print_row(
+/// Formats a table header plus separator (two lines, newlines included).
+pub fn format_header(widths: &[usize], names: &[&str]) -> String {
+    let mut out = format_row(
         widths,
         &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
     );
     let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("|-{}-|", line.join("-|-"));
+    out.push_str(&format!("|-{}-|\n", line.join("-|-")));
+    out
+}
+
+/// Prints a Markdown-style table row, padding each cell to its column.
+pub fn print_row(widths: &[usize], cells: &[String]) {
+    print!("{}", format_row(widths, cells));
+}
+
+/// Prints a table header plus separator.
+pub fn print_header(widths: &[usize], names: &[&str]) {
+    print!("{}", format_header(widths, names));
 }
 
 // Sample summaries shared with the simulation layer's run statistics.

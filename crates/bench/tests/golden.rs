@@ -1,0 +1,108 @@
+//! Golden-snapshot and determinism tiers for the experiment harness.
+//!
+//! Every experiment family renders at [`Profile::Smoke`] — a small
+//! fixed-seed configuration with no wall-clock text, so the report is
+//! byte-deterministic — and is compared against a committed golden file
+//! under `tests/golden/`. Regenerate after an intentional change with:
+//!
+//! ```text
+//! ZIGZAG_BLESS=1 cargo test -p zigzag-bench --test golden
+//! ```
+//!
+//! The determinism tier renders the **full harness** (all families, all
+//! cells) at worker counts 1 and 8 and requires byte-identical output —
+//! the family-level extension of the coordination layer's serial-fold
+//! regression. `render_with(n)` is exactly the code path a
+//! `ZIGZAG_THREADS=n` environment selects.
+
+use std::fs;
+use std::path::PathBuf;
+
+use zigzag_bench::experiments::{self, Profile};
+use zigzag_bench::harness::ExperimentHarness;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn bless_requested() -> bool {
+    std::env::var("ZIGZAG_BLESS").is_ok_and(|v| v == "1")
+}
+
+fn check_golden(name: &str, report: &str) {
+    let path = golden_path(name);
+    if bless_requested() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, report).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             ZIGZAG_BLESS=1 cargo test -p zigzag-bench --test golden",
+            path.display()
+        )
+    });
+    assert!(
+        report == expected,
+        "{name} diverged from its golden file {}.\n\
+         If the change is intentional, regenerate with ZIGZAG_BLESS=1.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{report}",
+        path.display()
+    );
+}
+
+macro_rules! golden_tests {
+    ($($name:ident),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            let exp = experiments::$name::experiment(Profile::Smoke);
+            let name = exp.name();
+            check_golden(name, &exp.render());
+        }
+    )+};
+}
+
+golden_tests!(
+    fig1_fork,
+    fig2_zigzag,
+    fig3_visible,
+    fig8_extended,
+    thm1_soundness,
+    thm2_tightness,
+    thm3_kop,
+    thm4_knowledge,
+    protocol_compare,
+    ablation,
+);
+
+/// Family-level determinism: the whole harness — every family, every
+/// cell, one fused parallel map — renders byte-identically at 1 and 8
+/// workers (the `ZIGZAG_THREADS=1` vs `ZIGZAG_THREADS=8` contract), and
+/// equals the concatenation of the per-family golden reports.
+#[test]
+fn harness_output_is_worker_count_invariant() {
+    let harness = ExperimentHarness::new().experiments(experiments::all(Profile::Smoke));
+    assert!(harness.cell_count() > 20, "families lost their cells");
+    let serial = harness.render_with(1);
+    let parallel = harness.render_with(8);
+    assert!(
+        serial == parallel,
+        "family-parallel harness output diverged from the serial fold"
+    );
+    if !bless_requested() {
+        let concatenated: String = experiments::all(Profile::Smoke)
+            .into_iter()
+            .map(|e| {
+                fs::read_to_string(golden_path(e.name())).expect("golden files exist (bless first)")
+            })
+            .collect();
+        assert!(
+            serial == concatenated,
+            "harness report is not the concatenation of the family reports"
+        );
+    }
+}

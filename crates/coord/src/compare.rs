@@ -4,11 +4,11 @@
 //! (and whether) each one acted, whether the specification held, and the
 //! action-time advantage over the asynchronous baseline.
 
-use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::Time;
 
 use crate::baseline::{AsyncChainStrategy, SimpleForkStrategy};
 use crate::error::CoordError;
+use crate::family::Battery;
 use crate::optimal::{OptimalStrategy, PatternStrategy};
 use crate::scenario::{BStrategy, Scenario};
 
@@ -42,9 +42,10 @@ pub struct StrategySummary {
 
 /// Runs one scenario under each stock strategy (optimal, pattern,
 /// simple-fork, async-chain) across `seeds` random schedules and
-/// summarizes. The `strategy × seed` grid runs in parallel
-/// ([`zigzag_bcm::par::par_map`]); aggregation happens in grid order, so
-/// the summaries are identical to the serial loop's.
+/// summarizes. The strategies become one battery each and the whole
+/// `strategy × seed` grid runs as a fused parallel map
+/// ([`crate::family::run_batteries`]); the fold happens in grid order,
+/// so the summaries are identical to the serial loop's.
 ///
 /// # Errors
 ///
@@ -60,47 +61,26 @@ pub fn compare_strategies(
         Box::new(|| Box::new(SimpleForkStrategy::default())),
         Box::new(|| Box::new(AsyncChainStrategy::new())),
     ];
-    let seeds: Vec<u64> = seeds.collect();
-    let grid: Vec<(usize, u64)> = (0..strategies.len())
-        .flat_map(|si| seeds.iter().map(move |&seed| (si, seed)))
+    let batteries: Vec<Battery<'_>> = strategies
+        .iter()
+        .map(|make| Battery {
+            scenario: scenario.clone(),
+            strategy: make.as_ref(),
+            seeds: seeds.clone(),
+        })
         .collect();
-    let outcomes = zigzag_bcm::par::par_map(&grid, |&(si, seed)| {
-        let mut strategy = strategies[si]();
-        let name = strategy.name();
-        scenario
-            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
-            .map(|(_, v)| (name, v.ok, v.b_time))
-    });
-
-    let mut summaries = Vec::new();
-    let mut remaining = outcomes.into_iter();
-    for _ in &strategies {
-        let mut acted = 0usize;
-        let mut violations = 0usize;
-        let mut time_sum = 0u64;
-        let mut runs = 0usize;
-        let mut name = "";
-        for _ in &seeds {
-            let (n, ok, b_time) = remaining.next().expect("one outcome per grid point")?;
-            name = n;
-            runs += 1;
-            if !ok {
-                violations += 1;
-            }
-            if let Some(t) = b_time {
-                acted += 1;
-                time_sum += t.ticks();
-            }
-        }
-        summaries.push(StrategySummary {
-            strategy: name.to_string(),
-            acted,
-            violations,
-            mean_b_time: (acted > 0).then(|| time_sum as f64 / acted as f64),
-            runs,
-        });
-    }
-    Ok(summaries)
+    let outcomes = crate::family::run_batteries(&batteries)?;
+    Ok(strategies
+        .iter()
+        .zip(outcomes)
+        .map(|(make, out)| StrategySummary {
+            strategy: make().name().to_string(),
+            acted: out.acted as usize,
+            violations: out.violations as usize,
+            mean_b_time: out.mean_b_time(),
+            runs: out.runs as usize,
+        })
+        .collect())
 }
 
 #[cfg(test)]

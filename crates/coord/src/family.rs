@@ -1,0 +1,340 @@
+//! Scenario-family execution: fan **whole experiment families** across
+//! threads, not just one sweep's inner grid.
+//!
+//! [`crate::sweep::threshold`] and [`crate::compare_strategies`] fan a
+//! single call's `x × seeds` (or `strategy × seeds`) grid; the experiment
+//! binaries' *outer* loops — one sweep per channel-bound setting, one
+//! comparison per topology — historically ran serially around them. This
+//! module lifts those outer loops into data:
+//!
+//! * a [`Battery`] is one independent scenario workload (scenario ×
+//!   strategy × seeded random schedules) with a deterministic fold into a
+//!   [`BatteryOutcome`];
+//! * [`run_batteries`] executes many batteries as **one fused
+//!   `battery × seed` grid** through [`zigzag_bcm::par::par_map`], folding
+//!   each battery's outcomes back in grid order — the result vector is
+//!   identical to mapping [`Battery::run_serial`] over the slice, for any
+//!   worker count;
+//! * [`ThresholdJob`] / [`thresholds`] do the same for feasibility sweeps:
+//!   many [`SweepFamily`] jobs become one `job × x × seeds` grid, and each
+//!   job's fold reuses the exact code path of [`crate::sweep::threshold`],
+//!   so the fused execution is bit-identical to the serial sequence of
+//!   sweeps.
+//!
+//! Scenarios share their [`zigzag_bcm::Context`] via `Arc`, so a family of
+//! hundreds of grid points clones no network or bounds tables.
+
+use std::ops::{Range, RangeInclusive};
+
+use zigzag_bcm::par::{par_map_with, thread_count};
+use zigzag_bcm::scheduler::RandomScheduler;
+
+use crate::error::CoordError;
+use crate::scenario::{BStrategy, Scenario};
+use crate::spec::Verdict;
+use crate::sweep::{self, SweepFamily, Threshold};
+
+/// A thread-shareable strategy constructor (each grid point instantiates
+/// its own strategy, so stateful strategies never alias across runs).
+pub type StrategyFactory<'a> = &'a (dyn Fn() -> Box<dyn BStrategy> + Sync);
+
+/// One independent scenario workload: a scenario run under a strategy
+/// across a range of seeded random schedules.
+pub struct Battery<'a> {
+    /// The scenario (its context is `Arc`-shared, not copied per run).
+    pub scenario: Scenario,
+    /// Constructor for the strategy `B` consults.
+    pub strategy: StrategyFactory<'a>,
+    /// Seeds for [`RandomScheduler`], one run each.
+    pub seeds: Range<u64>,
+}
+
+impl std::fmt::Debug for Battery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Battery")
+            .field("scenario", &self.scenario.spec())
+            .field("seeds", &self.seeds)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The deterministic fold of one battery's verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatteryOutcome {
+    /// Total runs executed.
+    pub runs: u32,
+    /// Runs in which `b` was performed.
+    pub acted: u32,
+    /// Runs violating the specification (0 for sound strategies).
+    pub violations: u32,
+    /// Sum of `time(b)` ticks over the runs that acted.
+    pub b_time_sum: u64,
+}
+
+impl BatteryOutcome {
+    fn absorb(&mut self, v: &Verdict) {
+        self.runs += 1;
+        self.violations += !v.ok as u32;
+        if let Some(t) = v.b_time {
+            self.acted += 1;
+            self.b_time_sum += t.ticks();
+        }
+    }
+
+    /// Mean `time(b)` over the runs that acted, if any.
+    pub fn mean_b_time(&self) -> Option<f64> {
+        (self.acted > 0).then(|| self.b_time_sum as f64 / self.acted as f64)
+    }
+}
+
+impl Battery<'_> {
+    /// Runs the battery serially on the calling thread — the reference
+    /// fold the parallel path is checked against, and what harness cells
+    /// embedded in a wider fan-out use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/verification errors.
+    pub fn run_serial(&self) -> Result<BatteryOutcome, CoordError> {
+        let mut out = BatteryOutcome::default();
+        for seed in self.seeds.clone() {
+            let mut strategy = (self.strategy)();
+            let (_, v) = self
+                .scenario
+                .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
+            out.absorb(&v);
+        }
+        Ok(out)
+    }
+}
+
+/// Runs many batteries as one fused `battery × seed` grid across the
+/// default worker count ([`thread_count`], `ZIGZAG_THREADS` to override).
+///
+/// The outcome vector is **identical** to
+/// `batteries.iter().map(Battery::run_serial)` regardless of worker count
+/// or scheduling: every grid point is an independent simulation and the
+/// fold consumes outcomes in grid order.
+///
+/// # Errors
+///
+/// Propagates the first (in grid order) simulator/verification error.
+pub fn run_batteries(batteries: &[Battery]) -> Result<Vec<BatteryOutcome>, CoordError> {
+    run_batteries_with(thread_count(), batteries)
+}
+
+/// [`run_batteries`] with an explicit worker count (`1` = serial on the
+/// calling thread); used by determinism tests and callers embedded in
+/// wider parallelism.
+///
+/// # Errors
+///
+/// Propagates the first (in grid order) simulator/verification error.
+pub fn run_batteries_with(
+    workers: usize,
+    batteries: &[Battery],
+) -> Result<Vec<BatteryOutcome>, CoordError> {
+    let grid: Vec<(usize, u64)> = batteries
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.seeds.clone().map(move |seed| (bi, seed)))
+        .collect();
+    let outcomes = par_map_with(workers, &grid, |&(bi, seed)| {
+        let b = &batteries[bi];
+        let mut strategy = (b.strategy)();
+        b.scenario
+            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
+            .map(|(_, v)| v)
+    });
+    let mut remaining = outcomes.into_iter();
+    batteries
+        .iter()
+        .map(|b| {
+            let mut out = BatteryOutcome::default();
+            for _ in b.seeds.clone() {
+                out.absorb(&remaining.next().expect("one outcome per grid point")?);
+            }
+            Ok(out)
+        })
+        .collect()
+}
+
+/// One feasibility-threshold sweep of a scenario family — the unit the
+/// fused [`thresholds`] grid is built from.
+pub struct ThresholdJob<'a> {
+    /// The family to sweep.
+    pub family: SweepFamily,
+    /// Strategy constructor.
+    pub strategy: StrategyFactory<'a>,
+    /// Inclusive separation range to sweep.
+    pub range: RangeInclusive<i64>,
+    /// Random-schedule seeds per grid point.
+    pub seeds: u64,
+}
+
+/// Runs many threshold sweeps as one fused `job × x × seeds` grid.
+///
+/// Scenario instantiation stays serial and in job order (validation
+/// errors report exactly as the serial sequence would), and each job's
+/// fold is the same code [`crate::sweep::threshold`] runs — the results
+/// are bit-identical to `jobs.iter().map(|j| threshold(…))`.
+///
+/// # Errors
+///
+/// Propagates scenario-validation errors (in job order, before anything
+/// runs), then the first simulator error in grid order.
+pub fn thresholds(jobs: &[ThresholdJob]) -> Result<Vec<Threshold>, CoordError> {
+    thresholds_with(thread_count(), jobs)
+}
+
+/// [`thresholds`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`thresholds`].
+pub fn thresholds_with(
+    workers: usize,
+    jobs: &[ThresholdJob],
+) -> Result<Vec<Threshold>, CoordError> {
+    let scenarios: Vec<Vec<(i64, Scenario)>> = jobs
+        .iter()
+        .map(|j| sweep::instantiate(&j.family, j.range.clone()))
+        .collect::<Result<_, _>>()?;
+    let grid: Vec<(usize, usize, u64)> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(ji, j)| {
+            (0..scenarios[ji].len())
+                .flat_map(move |xi| (0..j.seeds).map(move |seed| (ji, xi, seed)))
+        })
+        .collect();
+    let outcomes = par_map_with(workers, &grid, |&(ji, xi, seed)| {
+        let mut strategy = (jobs[ji].strategy)();
+        scenarios[ji][xi]
+            .1
+            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
+            .map(|(_, v)| (v.b_node.is_some(), v.ok))
+    });
+    let mut remaining = outcomes.into_iter();
+    jobs.iter()
+        .zip(&scenarios)
+        .map(|(j, scs)| sweep::fold(scs, j.seeds, &mut remaining))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::SimpleForkStrategy;
+    use crate::optimal::OptimalStrategy;
+    use crate::sweep::threshold;
+    use zigzag_bcm::{Network, Time};
+
+    fn fig1_family(lb: u64) -> SweepFamily {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, lb, lb + 3).unwrap();
+        SweepFamily {
+            context: nb.build().unwrap().into(),
+            a,
+            b,
+            c,
+            late: true,
+            go_time: Time::new(3),
+            horizon: Time::new(70),
+            externals: Vec::new(),
+        }
+    }
+
+    fn battery(x: i64, lb: u64, strategy: StrategyFactory<'_>, seeds: Range<u64>) -> Battery<'_> {
+        let family = fig1_family(lb);
+        Battery {
+            scenario: family.at(x).unwrap(),
+            strategy,
+            seeds,
+        }
+    }
+
+    #[test]
+    fn fused_batteries_match_serial_fold_at_any_worker_count() {
+        let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+        let fork: StrategyFactory<'_> = &|| Box::new(SimpleForkStrategy::default());
+        let batteries: Vec<Battery<'_>> = vec![
+            battery(4, 9, optimal, 0..6),
+            battery(5, 9, optimal, 0..5),
+            battery(0, 3, fork, 2..9),
+            battery(-2, 3, optimal, 0..4),
+        ];
+        let serial: Vec<BatteryOutcome> =
+            batteries.iter().map(|b| b.run_serial().unwrap()).collect();
+        for workers in [1usize, 2, 8] {
+            let fused = run_batteries_with(workers, &batteries).unwrap();
+            assert_eq!(fused, serial, "{workers} workers diverged from serial");
+        }
+        assert_eq!(run_batteries(&batteries).unwrap(), serial);
+        // Shape sanity: the feasible fig-1 battery acts everywhere.
+        assert_eq!(serial[0].acted, serial[0].runs);
+        assert_eq!(serial[0].violations, 0);
+        assert!(serial[0].mean_b_time().is_some());
+        assert_eq!(serial[1].acted, 0, "x above the fork weight must abstain");
+        assert_eq!(serial[1].mean_b_time(), None);
+    }
+
+    #[test]
+    fn fused_thresholds_match_per_family_sweeps() {
+        let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+        let jobs: Vec<ThresholdJob<'_>> = [3u64, 7, 9, 11]
+            .into_iter()
+            .map(|lb| ThresholdJob {
+                family: fig1_family(lb),
+                strategy: optimal,
+                range: 0..=8,
+                seeds: 4,
+            })
+            .collect();
+        let fused = thresholds(&jobs).unwrap();
+        let fused1 = thresholds_with(1, &jobs).unwrap();
+        assert_eq!(fused, fused1, "worker count changed threshold results");
+        for (job, got) in jobs.iter().zip(&fused) {
+            let reference =
+                threshold(&job.family, job.strategy, job.range.clone(), job.seeds).unwrap();
+            assert_eq!(*got, reference, "fused grid diverged from serial sweep");
+        }
+        // The fig-1 thresholds are the fork weights L_CB − U_CA, clamped
+        // to the swept range.
+        let expect: Vec<Option<i64>> = vec![None, Some(2), Some(4), Some(6)];
+        assert_eq!(
+            fused.iter().map(|t| t.always_acts).collect::<Vec<_>>(),
+            expect
+        );
+    }
+
+    #[test]
+    fn battery_errors_propagate_in_grid_order() {
+        let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+        // An empty seed range is fine (zero runs), not an error.
+        let empty = battery(4, 9, optimal, 3..3);
+        let out = run_batteries(&[empty]).unwrap();
+        assert_eq!(out[0], BatteryOutcome::default());
+        // Debug formatting is available for diagnostics.
+        let b = battery(4, 9, optimal, 0..1);
+        assert!(format!("{b:?}").contains("Battery"));
+    }
+
+    #[test]
+    fn threshold_job_validation_errors_surface_before_running() {
+        let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+        let mut family = fig1_family(9);
+        family.go_time = Time::ZERO; // invalid: trigger at time 0
+        let jobs = vec![ThresholdJob {
+            family,
+            strategy: optimal,
+            range: 0..=2,
+            seeds: 2,
+        }];
+        assert!(thresholds(&jobs).is_err());
+    }
+}

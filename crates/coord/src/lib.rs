@@ -16,7 +16,10 @@
 //!   the simple-fork strategy (Figure 1), which zigzag causality strictly
 //!   generalizes;
 //! * [`compare`] — quantitative comparisons across strategies and
-//!   schedules (how much earlier can `B` act?).
+//!   schedules (how much earlier can `B` act?);
+//! * [`family`] — scenario-family batch execution: whole experiment
+//!   families ([`Battery`] grids, [`ThresholdJob`] sweeps) fused into one
+//!   parallel grid with folds bit-identical to the serial sequence.
 //!
 //! ## Example
 //!
@@ -52,6 +55,7 @@
 pub mod baseline;
 pub mod compare;
 pub mod error;
+pub mod family;
 pub mod optimal;
 pub mod scenario;
 pub mod spec;
@@ -60,6 +64,9 @@ pub mod sweep;
 pub use baseline::{AsyncChainStrategy, SimpleForkStrategy};
 pub use compare::{compare_strategies, StrategySummary};
 pub use error::CoordError;
+pub use family::{
+    run_batteries, thresholds, Battery, BatteryOutcome, StrategyFactory, ThresholdJob,
+};
 pub use optimal::{OptimalStrategy, PatternStrategy};
 pub use scenario::{BStrategy, NeverStrategy, RecklessStrategy, Scenario};
 pub use spec::{verify, CoordKind, TimedCoordination, Verdict};

@@ -8,13 +8,11 @@
 //! fork/zigzag crossover bands.
 //!
 //! Every `(x, seed)` grid point is an independent simulation, so
-//! [`threshold`] fans the grid across threads
-//! ([`zigzag_bcm::par::par_map`]) and folds the per-point outcomes back
-//! in grid order — the result is **identical** to the serial sweep,
+//! [`threshold`] fans the grid across threads (as a single-job
+//! [`crate::family::thresholds`] batch) and folds the per-point outcomes
+//! back in grid order — the result is **identical** to the serial sweep,
 //! regardless of thread count or scheduling.
 
-use zigzag_bcm::par::par_map;
-use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::{Context, ProcessId, Time};
 
 use crate::error::CoordError;
@@ -95,31 +93,43 @@ pub fn threshold(
     range: std::ops::RangeInclusive<i64>,
     seeds: u64,
 ) -> Result<Threshold, CoordError> {
-    // Instantiate scenarios serially (cheap, and validation errors keep
-    // their serial reporting order)...
-    let scenarios: Vec<(i64, Scenario)> = range
-        .map(|x| family.at(x).map(|sc| (x, sc)))
-        .collect::<Result<_, _>>()?;
-    // ...then fan the full grid out.
-    let grid: Vec<(usize, u64)> = (0..scenarios.len())
-        .flat_map(|xi| (0..seeds).map(move |seed| (xi, seed)))
-        .collect();
-    let outcomes = par_map(&grid, |&(xi, seed)| {
-        let mut strategy = strategy_factory();
-        scenarios[xi]
-            .1
-            .run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))
-            .map(|(_, v)| (v.b_node.is_some(), v.ok))
-    });
+    // One single-job fused grid: the family layer owns the fan-out, so
+    // the one-sweep and many-sweep paths cannot drift apart.
+    let jobs = [crate::family::ThresholdJob {
+        family: family.clone(),
+        strategy: strategy_factory,
+        range,
+        seeds,
+    }];
+    let mut out = crate::family::thresholds(&jobs)?;
+    Ok(out.pop().expect("one result per job"))
+}
 
+/// Instantiates the scenario per grid point of `range`, in order, so
+/// validation errors keep their serial reporting position.
+pub(crate) fn instantiate(
+    family: &SweepFamily,
+    range: std::ops::RangeInclusive<i64>,
+) -> Result<Vec<(i64, Scenario)>, CoordError> {
+    range.map(|x| family.at(x).map(|sc| (x, sc))).collect()
+}
+
+/// Folds per-grid-point `(acted, ok)` outcomes — consumed in grid order —
+/// back into a [`Threshold`]. Shared by the single-family sweep above and
+/// the fused family-grid path ([`crate::family::thresholds`]), which is
+/// what makes the two bit-identical by construction.
+pub(crate) fn fold(
+    scenarios: &[(i64, Scenario)],
+    seeds: u64,
+    outcomes: &mut impl Iterator<Item = Result<(bool, bool), CoordError>>,
+) -> Result<Threshold, CoordError> {
     let mut always = None;
     let mut ever = None;
     let mut violations = 0u32;
-    let mut remaining = outcomes.into_iter();
-    for (x, _) in &scenarios {
+    for (x, _) in scenarios {
         let mut acted = 0u64;
         for _ in 0..seeds {
-            let (acts, ok) = remaining.next().expect("one outcome per grid point")?;
+            let (acts, ok) = outcomes.next().expect("one outcome per grid point")?;
             violations += !ok as u32;
             acted += acts as u64;
         }
@@ -142,6 +152,7 @@ mod tests {
     use super::*;
     use crate::baseline::SimpleForkStrategy;
     use crate::optimal::OptimalStrategy;
+    use zigzag_bcm::scheduler::RandomScheduler;
     use zigzag_bcm::Network;
 
     fn fig1_family() -> SweepFamily {

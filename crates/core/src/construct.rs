@@ -728,16 +728,53 @@ pub fn fast_run(
         });
     }
     let ge = ExtendedGraph::new(run, sigma);
+    fast_run_with(run, &ge, theta, gamma, extra_horizon)
+}
+
+/// [`fast_run`] against an already-built `GE(r, σ)` — the shared-analysis
+/// path. [`crate::knowledge::KnowledgeEngine::fast_run_of`] and
+/// [`crate::knowledge::KnowledgeEngine::refute`] call through here (with
+/// their memoized canonicalization and fast timings), so constructing the
+/// extremal run no longer re-materializes the extended graph per call.
+///
+/// # Errors
+///
+/// Same conditions as [`fast_run`].
+pub fn fast_run_with(
+    run: &Run,
+    ge: &ExtendedGraph,
+    theta: &GeneralNode,
+    gamma: u64,
+    extra_horizon: u64,
+) -> Result<FastRun, CoreError> {
     // Anchor the fast timing at the *canonical* base: the deepest point of
     // θ's chain the observer has seen. (With a non-canonical anchor,
     // condition-1 deliveries along the chain prefix would override the
     // condition-2 upper-bound pinning and the run would not realize the
     // Theorem 4 extremal gap.)
-    let canonical = canonicalize_in_past(run, ge.past(), sigma, theta)?;
-    let ft = fast_timing(&ge, canonical.base(), gamma)?;
+    let canonical = canonicalize_in_past(run, ge.past(), ge.observer(), theta)?;
+    let ft = fast_timing(ge, canonical.base(), gamma)?;
+    fast_run_from_timing(run, ge, &canonical, ft, extra_horizon)
+}
+
+/// Assembles the γ-fast run from pre-resolved parts: the canonical anchor
+/// and its (possibly cached) fast timing. `canonical` must be the
+/// [`canonicalize_in_past`] rewriting of the anchor and `ft` the fast
+/// timing of its base over `ge` — the knowledge engine supplies both from
+/// its per-query caches. Takes `ft` by value so the free-function path
+/// moves its freshly built timing into the result instead of cloning.
+pub(crate) fn fast_run_from_timing(
+    run: &Run,
+    ge: &ExtendedGraph,
+    canonical: &GeneralNode,
+    ft: FastTiming,
+    extra_horizon: u64,
+) -> Result<FastRun, CoreError> {
+    let sigma = ge.observer();
+    let gamma = ft.gamma;
     let past = ge.past();
     let bounds = run.context().bounds();
-    let (chain_upper, theta_time) = chain_prescriptions(run, past, &ft, &canonical, bounds)?;
+    let (chain_upper, theta_time) = chain_prescriptions(run, past, &ft, canonical, bounds)?;
 
     let n = run.context().network().len();
     let mut boundary = vec![0u32; n];

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use zigzag_bcm::{NetPath, NodeId, ProcessId, Run, Time};
 
-use crate::construct::{fast_run, FastRun};
+use crate::construct::FastRun;
 use crate::error::CoreError;
 use crate::extended_graph::{ExtVertex, ExtendedGraph};
 use crate::extract::{anchor_tail, extend_head, zigzag_from_ge_path};
@@ -67,6 +67,87 @@ struct QueryCache {
     /// Keyed by `(canonical θ1, γ)`: the layout is computed under the
     /// γ-fast timing of θ1's base, so γ must be part of the identity.
     chains: Mutex<HashMap<(GeneralNode, u64), Arc<ChainInfo>>>,
+}
+
+/// The dense all-pairs knowledge-threshold matrix of
+/// [`KnowledgeEngine::max_x_basic_matrix`]: one flat row-major allocation
+/// over the non-initial nodes of `past(r, σ)` in ascending [`NodeId`]
+/// order. Cell `(a, b)` holds the largest `x` with `K_σ(a --x--> b)`, or
+/// `None` when `b` is unreachable from `a` in `GE(r, σ)`.
+///
+/// Batch consumers index by position ([`MaxXMatrix::at`]) or by node
+/// ([`MaxXMatrix::get`], a binary search — no per-cell map walk, no
+/// per-call tree allocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxXMatrix {
+    nodes: Vec<NodeId>,
+    /// Row-major: `data[i * n + j]` = threshold for `nodes[i] → nodes[j]`.
+    data: Vec<Option<i64>>,
+}
+
+impl MaxXMatrix {
+    /// The row/column nodes, in ascending order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of rows (= columns).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the matrix is empty (an observer whose past holds only
+    /// initial nodes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The dense row/column position of `node`, if present.
+    pub fn index_of(&self, node: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&node).ok()
+    }
+
+    /// Cell by dense position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn at(&self, i: usize, j: usize) -> Option<i64> {
+        assert!(
+            i < self.len() && j < self.len(),
+            "matrix index out of range"
+        );
+        self.data[i * self.nodes.len() + j]
+    }
+
+    /// Cell by node pair: `Some(threshold)` if both nodes are in the
+    /// matrix, `None` otherwise. The inner `Option` is the threshold
+    /// (`None` = unreachable, no `x` is known).
+    pub fn get(&self, a: NodeId, b: NodeId) -> Option<Option<i64>> {
+        let (i, j) = (self.index_of(a)?, self.index_of(b)?);
+        Some(self.data[i * self.nodes.len() + j])
+    }
+
+    /// Iterates every cell as `(a, b, threshold)`, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, Option<i64>)> + '_ {
+        let n = self.nodes.len();
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (self.nodes[k / n], self.nodes[k % n], v))
+    }
+}
+
+impl std::ops::Index<(NodeId, NodeId)> for MaxXMatrix {
+    type Output = Option<i64>;
+
+    fn index(&self, (a, b): (NodeId, NodeId)) -> &Self::Output {
+        let (i, j) = (
+            self.index_of(a).expect("row node not in matrix"),
+            self.index_of(b).expect("column node not in matrix"),
+        );
+        &self.data[i * self.nodes.len() + j]
+    }
 }
 
 /// Decision procedure for knowledge of timed precedence at a basic node,
@@ -446,28 +527,34 @@ impl<'r> KnowledgeEngine<'r> {
     /// the largest `x` with `K_σ(a --x--> b)`, or `None` when unreachable.
     ///
     /// One SPFA pass per source node — far cheaper than quadratically many
-    /// [`KnowledgeEngine::max_x`] calls. Used by the protocol-analysis
+    /// [`KnowledgeEngine::max_x`] calls — and the result is a dense
+    /// node-indexed [`MaxXMatrix`] (one flat allocation, O(1) cell reads)
+    /// rather than a per-call `BTreeMap`. Used by the protocol-analysis
     /// experiments and benchmarks.
     ///
     /// # Errors
     ///
     /// Fails on a positive cycle (impossible for graphs of legal runs).
-    pub fn max_x_basic_matrix(&self) -> Result<BTreeMap<(NodeId, NodeId), Option<i64>>, CoreError> {
+    pub fn max_x_basic_matrix(&self) -> Result<MaxXMatrix, CoreError> {
         let past = self.ge.past();
+        // Past iteration is in (process, index) order — ascending NodeId —
+        // so MaxXMatrix lookups can binary-search.
         let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
         // Resolve each column's dense index once instead of per cell.
-        let cols: Vec<(NodeId, Option<usize>)> = nodes
+        let cols: Vec<Option<usize>> = nodes
             .iter()
-            .map(|&b| (b, self.ge.index_of(ExtVertex::Node(b))))
+            .map(|&b| self.ge.index_of(ExtVertex::Node(b)))
             .collect();
-        let mut out = BTreeMap::new();
-        for &a in &nodes {
+        let n = nodes.len();
+        let mut data = vec![None; n * n];
+        for (i, &a) in nodes.iter().enumerate() {
             let lp = self.ge.longest_from_cached(ExtVertex::Node(a))?;
-            for &(b, bi) in &cols {
-                out.insert((a, b), bi.and_then(|i| lp.weight(i)));
+            let row = &mut data[i * n..(i + 1) * n];
+            for (cell, &bi) in row.iter_mut().zip(&cols) {
+                *cell = bi.and_then(|i| lp.weight(i));
             }
         }
-        Ok(out)
+        Ok(MaxXMatrix { nodes, data })
     }
 
     /// Longest `GE` path between two vertices converted to a zigzag.
@@ -485,9 +572,14 @@ impl<'r> KnowledgeEngine<'r> {
         zigzag_from_ge_path(&self.ge, from, &edges)
     }
 
-    /// Constructs the γ-fast run of `θ1` (delegating to
-    /// [`crate::construct::fast_run`]) — the extremal indistinguishable run
-    /// behind the engine's answers.
+    /// Constructs the γ-fast run of `θ1` — the extremal indistinguishable
+    /// run behind the engine's answers.
+    ///
+    /// Unlike the free function [`crate::construct::fast_run`], this path
+    /// shares the engine's `GE(r, σ)` and its memoized canonical rewrites
+    /// and fast timings, so repeated constructions (`refute` sweeps,
+    /// protocol analyses) pay neither the graph rebuild nor the SPFA pair
+    /// again.
     ///
     /// # Errors
     ///
@@ -498,7 +590,17 @@ impl<'r> KnowledgeEngine<'r> {
         gamma: u64,
         extra_horizon: u64,
     ) -> Result<FastRun, CoreError> {
-        fast_run(self.run, self.sigma, theta1, gamma, extra_horizon)
+        let canonical = self.canonicalize(theta1)?;
+        let ft = self.timing(canonical.base(), gamma)?;
+        // The clone pulls the memoized timing out of the shared cache; the
+        // construction consumes it.
+        crate::construct::fast_run_from_timing(
+            self.run,
+            &self.ge,
+            &canonical,
+            (*ft).clone(),
+            extra_horizon,
+        )
     }
 
     /// Produces a *refutation run* for a knowledge claim: a legal run
@@ -870,6 +972,80 @@ mod tests {
                     "seed {seed} {ta}->{tb} (warm)"
                 );
                 assert_eq!(batched[k], cold, "seed {seed} {ta}->{tb} (batch)");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matrix_matches_pairwise_and_indexes() {
+        let run = tri_run(2, 50);
+        let sigma = NodeId::new(ProcessId::new(1), 2);
+        if !run.appears(sigma) {
+            return;
+        }
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        let m = engine.max_x_basic_matrix().unwrap();
+        assert!(!m.is_empty());
+        assert_eq!(m.nodes().len(), m.len());
+        assert!(
+            m.nodes().windows(2).all(|w| w[0] < w[1]),
+            "matrix nodes not in ascending order"
+        );
+        let mut cells = 0usize;
+        for (a, b, v) in m.iter() {
+            let pairwise = engine
+                .max_x(&GeneralNode::basic(a), &GeneralNode::basic(b))
+                .unwrap();
+            assert_eq!(v, pairwise, "matrix disagrees with max_x at {a}->{b}");
+            assert_eq!(m.get(a, b), Some(v));
+            assert_eq!(m[(a, b)], v);
+            let (i, j) = (m.index_of(a).unwrap(), m.index_of(b).unwrap());
+            assert_eq!(m.at(i, j), v);
+            cells += 1;
+        }
+        assert_eq!(cells, m.len() * m.len());
+        // Nodes outside the matrix answer None, not panic.
+        assert_eq!(m.get(NodeId::new(ProcessId::new(0), 99), sigma), None);
+        assert_eq!(m.index_of(NodeId::new(ProcessId::new(0), 99)), None);
+    }
+
+    #[test]
+    fn shared_ge_fast_run_matches_free_construction() {
+        // The engine path (shared GE + cached canonicalization/timings)
+        // must construct byte-for-byte the same extremal run as the free
+        // function that rebuilds everything per call.
+        use crate::construct::fast_run;
+        for seed in 0..4 {
+            let run = tri_run(seed, 50);
+            let sigma = NodeId::new(ProcessId::new(1), 2);
+            if !run.appears(sigma) {
+                continue;
+            }
+            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+            let anchors: Vec<NodeId> = run.past(sigma).iter().filter(|n| !n.is_initial()).collect();
+            for &a in &anchors {
+                for gamma in [0u64, 5] {
+                    let theta = GeneralNode::basic(a);
+                    // Twice through the engine: the second construction is
+                    // served entirely from warm caches.
+                    let warm1 = engine.fast_run_of(&theta, gamma, 20).unwrap();
+                    let warm2 = engine.fast_run_of(&theta, gamma, 20).unwrap();
+                    let free = fast_run(&run, sigma, &theta, gamma, 20).unwrap();
+                    for fr in [&warm1, &warm2] {
+                        assert_eq!(fr.sigma, free.sigma);
+                        assert_eq!(fr.gamma, free.gamma);
+                        assert_eq!(fr.theta_time, free.theta_time);
+                        assert_eq!(fr.run.node_count(), free.run.node_count());
+                        for rec in free.run.nodes() {
+                            assert_eq!(
+                                fr.run.time(rec.id()),
+                                Some(rec.time()),
+                                "seed {seed}: engine fast run diverged at {}",
+                                rec.id()
+                            );
+                        }
+                    }
+                }
             }
         }
     }

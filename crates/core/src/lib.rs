@@ -68,7 +68,7 @@ pub mod visible;
 pub use analyzer::RunAnalyzer;
 pub use error::CoreError;
 pub use fork::TwoLeggedFork;
-pub use knowledge::KnowledgeEngine;
+pub use knowledge::{KnowledgeEngine, MaxXMatrix};
 pub use node::GeneralNode;
 pub use pattern::ZigzagPattern;
 pub use visible::VisibleZigzag;

@@ -1,0 +1,298 @@
+//! The differential test oracle: a naive, allocation-heavy reference
+//! implementation of the Theorem 4 decision procedure, cross-checked
+//! against the optimized [`KnowledgeEngine`] on proptest-generated random
+//! topologies and schedules.
+//!
+//! The reference rebuilds `GE(r, σ)` straight from Definition 16 into
+//! `BTreeMap` adjacency (no CSR, no interning), runs a textbook dense
+//! Bellman–Ford per source (no SPFA, no memoization, fresh maps per
+//! call), and answers basic-node `max_x` queries as plain longest-path
+//! weights. Anything the engine amortizes — shared `GE`, cached SPFA,
+//! the dense all-pairs matrix, the GE-sharing `fast_run_of`/`refute`
+//! path — must produce *exactly* these answers:
+//!
+//! * `max_x`/`knows` per pair, warm and cold;
+//! * `max_x_basic_matrix` cell-for-cell;
+//! * the materialized 0-fast run's realized gap per reachable pair;
+//! * `refute`: `None` iff the claim is within the threshold, and returned
+//!   counterexample runs validate and actually violate the claim.
+//!
+//! Two proptest blocks × (128 + 96) cases ≥ the 200-random-case floor;
+//! every case is a fresh `(topology, schedule)` pair.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+use zigzag::bcm::protocols::Ffip;
+use zigzag::bcm::scheduler::RandomScheduler;
+use zigzag::bcm::validate::{validate_run, Strictness};
+use zigzag::bcm::{topology, NodeId, ProcessId, Run, SimConfig, Simulator, Time};
+use zigzag::core::extended_graph::ExtVertex;
+use zigzag::core::knowledge::KnowledgeEngine;
+use zigzag::core::precedence::satisfies;
+use zigzag::core::GeneralNode;
+
+/// The naive Definition 16 graph: `BTreeMap` adjacency, one entry per
+/// vertex, no dense indices, rebuilt from scratch per observer.
+struct NaiveGe {
+    vertices: BTreeSet<ExtVertex>,
+    edges: BTreeMap<ExtVertex, Vec<(ExtVertex, i64)>>,
+}
+
+fn naive_ge(run: &Run, sigma: NodeId) -> NaiveGe {
+    let past = run.past(sigma);
+    let net = run.context().network();
+    let bounds = run.context().bounds();
+    let mut vertices: BTreeSet<ExtVertex> = BTreeSet::new();
+    let mut edges: BTreeMap<ExtVertex, Vec<(ExtVertex, i64)>> = BTreeMap::new();
+    let add = |edges: &mut BTreeMap<ExtVertex, Vec<(ExtVertex, i64)>>,
+               from: ExtVertex,
+               to: ExtVertex,
+               w: i64| {
+        edges.entry(from).or_default().push((to, w));
+    };
+
+    for n in past.iter() {
+        vertices.insert(ExtVertex::Node(n));
+    }
+    for p in net.processes() {
+        vertices.insert(ExtVertex::Aux(p));
+        // Successor edges within the past, then E' boundary → ψ_p.
+        if let Some(boundary) = past.boundary(p) {
+            for k in 1..=boundary.index() {
+                add(
+                    &mut edges,
+                    ExtVertex::Node(NodeId::new(p, k - 1)),
+                    ExtVertex::Node(NodeId::new(p, k)),
+                    1,
+                );
+            }
+            add(&mut edges, ExtVertex::Node(boundary), ExtVertex::Aux(p), 1);
+        }
+    }
+    // Message edges: within-past pairs get ±bound edges; sends whose
+    // delivery σ has not seen get E'' edges from ψ of the receiver.
+    for m in run.messages() {
+        if !past.contains(m.src()) {
+            continue;
+        }
+        let cb = bounds.get(m.channel()).expect("bounds cover channels");
+        let seen = m.delivery().map(|d| past.contains(d.node)).unwrap_or(false);
+        if seen {
+            let d = m.delivery().expect("checked").node;
+            add(
+                &mut edges,
+                ExtVertex::Node(m.src()),
+                ExtVertex::Node(d),
+                cb.lower() as i64,
+            );
+            add(
+                &mut edges,
+                ExtVertex::Node(d),
+                ExtVertex::Node(m.src()),
+                -(cb.upper() as i64),
+            );
+        } else {
+            add(
+                &mut edges,
+                ExtVertex::Aux(m.channel().to),
+                ExtVertex::Node(m.src()),
+                -(cb.upper() as i64),
+            );
+        }
+    }
+    // E''' edges between auxiliary vertices: (ψ_i, ψ_j) for (j, i) ∈ Chans.
+    for ch in net.channels() {
+        add(
+            &mut edges,
+            ExtVertex::Aux(ch.to),
+            ExtVertex::Aux(ch.from),
+            -(bounds.get(*ch).expect("covered").upper() as i64),
+        );
+    }
+    NaiveGe { vertices, edges }
+}
+
+/// Textbook dense Bellman–Ford for longest paths: `|V| − 1` full rounds
+/// over the whole edge multiset, distances in a fresh `BTreeMap`.
+fn naive_longest_from(ge: &NaiveGe, src: ExtVertex) -> BTreeMap<ExtVertex, i64> {
+    let mut dist: BTreeMap<ExtVertex, i64> = BTreeMap::new();
+    dist.insert(src, 0);
+    for _ in 1..ge.vertices.len().max(1) {
+        let mut changed = false;
+        for (from, outs) in &ge.edges {
+            let Some(&df) = dist.get(from) else { continue };
+            for &(to, w) in outs {
+                let cand = df + w;
+                if dist.get(&to).is_none_or(|&dt| cand > dt) {
+                    dist.insert(to, cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// The reference answer: `max_x(a, b)` for basic σ-recognized nodes is
+/// the longest-path weight `a → b` in `GE(r, σ)`, `None` if unreachable.
+fn naive_max_x_table(
+    run: &Run,
+    sigma: NodeId,
+    nodes: &[NodeId],
+) -> BTreeMap<(NodeId, NodeId), Option<i64>> {
+    let ge = naive_ge(run, sigma);
+    let mut out = BTreeMap::new();
+    for &a in nodes {
+        let dist = naive_longest_from(&ge, ExtVertex::Node(a));
+        for &b in nodes {
+            out.insert((a, b), dist.get(&ExtVertex::Node(b)).copied());
+        }
+    }
+    out
+}
+
+fn random_run(n: usize, density: u8, topo_seed: u64, sched_seed: u64, horizon: u64) -> Run {
+    let ctx = topology::random(n, density as f64 / 10.0, 1, 6, topo_seed).unwrap();
+    let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+    sim.external(Time::new(1), ProcessId::new(0), "kick");
+    sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(sched_seed))
+        .unwrap()
+}
+
+fn observers(run: &Run) -> Vec<NodeId> {
+    // The deepest node (largest past) plus the shallowest non-initial one
+    // (smallest past, most in-flight messages) — both regimes matter.
+    let non_initial: Vec<NodeId> = run
+        .nodes()
+        .map(|r| r.id())
+        .filter(|k| !k.is_initial())
+        .collect();
+    let mut picks = Vec::new();
+    if let Some(&last) = non_initial.last() {
+        picks.push(last);
+    }
+    if let Some(&first) = non_initial.first() {
+        if Some(first) != picks.first().copied() {
+            picks.push(first);
+        }
+    }
+    picks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Engine answers — pointwise, matrix, and knows — equal the naive
+    /// reference on random (topology, schedule) cases.
+    #[test]
+    fn engine_matches_naive_reference(
+        n in 3usize..7,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+    ) {
+        let run = random_run(n, density, topo_seed, sched_seed, 22);
+        for sigma in observers(&run) {
+            let past = run.past(sigma);
+            let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).collect();
+            let reference = naive_max_x_table(&run, sigma, &nodes);
+            let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+            let matrix = engine.max_x_basic_matrix().unwrap();
+            prop_assert_eq!(matrix.len(), nodes.len());
+            for &a in &nodes {
+                for &b in &nodes {
+                    let want = reference[&(a, b)];
+                    let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                    // Warm engine (first touch fills the caches)...
+                    let got = engine.max_x(&ta, &tb).unwrap();
+                    prop_assert_eq!(got, want, "max_x({}, {}) diverged", a, b);
+                    // ...and again from the caches.
+                    prop_assert_eq!(engine.max_x(&ta, &tb).unwrap(), want);
+                    // The dense matrix agrees cell-for-cell.
+                    prop_assert_eq!(matrix[(a, b)], want, "matrix({}, {})", a, b);
+                    // knows is the threshold predicate.
+                    if let Some(m) = want {
+                        prop_assert!(engine.knows(&ta, &tb, m).unwrap());
+                        prop_assert!(engine.knows(&ta, &tb, m - 2).unwrap());
+                        prop_assert!(!engine.knows(&ta, &tb, m + 1).unwrap());
+                    } else {
+                        prop_assert!(!engine.knows(&ta, &tb, -1_000).unwrap());
+                    }
+                }
+            }
+            // A cold engine (fresh caches) answers identically on a sample.
+            if let (Some(&a), Some(&b)) = (nodes.first(), nodes.last()) {
+                let cold = KnowledgeEngine::new(&run, sigma).unwrap();
+                prop_assert_eq!(
+                    cold.max_x(&GeneralNode::basic(a), &GeneralNode::basic(b)).unwrap(),
+                    reference[&(a, b)]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine-shared constructions agree with the naive reference:
+    /// the materialized 0-fast run realizes exactly the naive longest-path
+    /// gap, and `refute` is a decision procedure for the naive threshold.
+    #[test]
+    fn constructions_match_naive_reference(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+    ) {
+        let run = random_run(n, density, topo_seed, sched_seed, 20);
+        let Some(&sigma) = observers(&run).first() else { return Ok(()) };
+        let past = run.past(sigma);
+        let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).collect();
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let reference = naive_max_x_table(&run, sigma, &nodes);
+        let engine = KnowledgeEngine::new(&run, sigma).unwrap();
+        // Sample anchor: the observer itself plus the earliest node.
+        let anchors = [nodes[0], sigma];
+        for &a in &anchors {
+            let ta = GeneralNode::basic(a);
+            let fr = engine.fast_run_of(&ta, 0, 25).unwrap();
+            validate_run(&fr.run, Strictness::Strict).unwrap();
+            prop_assert!(fr.run.appears(sigma), "fast run lost the observer");
+            for &b in &nodes {
+                let Some(want) = reference[&(a, b)] else { continue };
+                let gap = fr.run.time(b).unwrap().diff(fr.run.time(a).unwrap());
+                prop_assert_eq!(
+                    gap, want,
+                    "0-fast run of {} realizes gap {} to {}, naive says {}",
+                    a, gap, b, want
+                );
+            }
+            // Refutation tier, on a bounded sample per case.
+            for &b in nodes.iter().take(3) {
+                let tb = GeneralNode::basic(b);
+                let m = reference[&(a, b)];
+                let x_over = m.map_or(-5, |m| m + 1);
+                let fr = engine.refute(&ta, &tb, x_over).unwrap();
+                let fr = fr.expect("claims above the naive threshold must be refutable");
+                validate_run(&fr.run, Strictness::Strict).unwrap();
+                prop_assert!(
+                    !satisfies(&fr.run, &ta, &tb, x_over).unwrap(),
+                    "refutation run does not refute {} --{}--> {}", a, x_over, b
+                );
+                if let Some(m) = m {
+                    prop_assert!(
+                        engine.refute(&ta, &tb, m).unwrap().is_none(),
+                        "engine refuted a claim the naive oracle certifies"
+                    );
+                }
+            }
+        }
+    }
+}

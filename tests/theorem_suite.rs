@@ -268,7 +268,7 @@ proptest! {
                 let pairwise = engine
                     .max_x(&GeneralNode::basic(a), &GeneralNode::basic(b))
                     .unwrap();
-                prop_assert_eq!(matrix[&(a, b)], pairwise,
+                prop_assert_eq!(matrix[(a, b)], pairwise,
                     "matrix disagrees with pairwise at {}->{}", a, b);
             }
         }
