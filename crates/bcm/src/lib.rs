@@ -20,6 +20,9 @@
 //!   legal member of `R(P, γ)`,
 //! * causality queries on runs (`happens-before`, `past(r, σ)`, boundary
 //!   nodes) and ASCII space–time [`diagram`]s,
+//! * event [`stream`]s: replay recorded runs as ordered event feeds and
+//!   grow runs append-only — the input of the incremental knowledge
+//!   engine (`zigzag_core::incremental`),
 //! * deterministic data-parallel helpers ([`par`]) used by the sweep and
 //!   experiment layers to fan `(parameter, seed)` grids across threads
 //!   with order-preserving results.
@@ -72,6 +75,7 @@ pub mod run;
 pub mod scheduler;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod time;
 pub mod topology;
 pub mod validate;
@@ -88,5 +92,6 @@ pub use run::{NodeId, NodeRecord, Run};
 pub use scheduler::Scheduler;
 pub use sim::{SimConfig, Simulator};
 pub use stats::RunStats;
+pub use stream::{ReceiptEvent, RunCursor, RunEvent, SendEvent, StreamingRun};
 pub use time::Time;
 pub use view::View;

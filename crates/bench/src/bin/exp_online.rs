@@ -1,0 +1,9 @@
+//! Online tier: the incremental streaming engine vs batch rebuilds — see
+//! [`zigzag_bench::experiments::online`].
+
+use zigzag_bench::experiments::{online, Profile};
+use zigzag_bench::harness;
+
+fn main() {
+    harness::run_main(online::experiment(Profile::Full));
+}

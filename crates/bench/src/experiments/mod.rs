@@ -13,6 +13,7 @@ pub mod fig1_fork;
 pub mod fig2_zigzag;
 pub mod fig3_visible;
 pub mod fig8_extended;
+pub mod online;
 pub mod protocol_compare;
 pub mod thm1_soundness;
 pub mod thm2_tightness;
@@ -63,5 +64,6 @@ pub fn all(p: Profile) -> Vec<Experiment> {
         thm4_knowledge::experiment(p),
         protocol_compare::experiment(p),
         ablation::experiment(p),
+        online::experiment(p),
     ]
 }

@@ -10,8 +10,8 @@
 
 use zigzag_bcm::Time;
 use zigzag_coord::{
-    AsyncChainStrategy, Battery, CoordKind, OptimalStrategy, Scenario, SimpleForkStrategy,
-    StrategyFactory, TimedCoordination,
+    compare_grid_with, AsyncChainStrategy, CompareJob, CoordKind, OptimalStrategy, Scenario,
+    SimpleForkStrategy, StrategyFactory, TimedCoordination,
 };
 
 use super::Profile;
@@ -27,14 +27,19 @@ fn sweep_row(label: &str, scenario: &Scenario, seeds: u64) -> CellOutput {
         &|| Box::new(SimpleForkStrategy::default()),
         &|| Box::new(AsyncChainStrategy::new()),
     ];
-    for make in factories {
-        let out = Battery {
-            scenario: scenario.clone(),
-            strategy: make,
-            seeds: 0..seeds,
-        }
-        .run_serial()
-        .unwrap();
+    // One fused heterogeneous-strategy job — the same batch API (and the
+    // same fold) `compare_strategies` uses. Worker count 1: the harness
+    // already fans rows across threads; the fold is count-invariant.
+    let job = CompareJob {
+        scenario: scenario.clone(),
+        strategies: factories.to_vec(),
+        seeds: 0..seeds,
+    };
+    let row = compare_grid_with(1, std::slice::from_ref(&job))
+        .unwrap()
+        .pop()
+        .expect("one row per job");
+    for out in row {
         assert_eq!(out.violations, 0, "baseline violated its spec");
         cells.push(match out.mean_b_time() {
             None => "abstains".into(),

@@ -77,6 +77,7 @@ golden_tests!(
     thm4_knowledge,
     protocol_compare,
     ablation,
+    online,
 );
 
 /// Family-level determinism: the whole harness — every family, every

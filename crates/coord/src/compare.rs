@@ -8,7 +8,7 @@ use zigzag_bcm::Time;
 
 use crate::baseline::{AsyncChainStrategy, SimpleForkStrategy};
 use crate::error::CoordError;
-use crate::family::Battery;
+use crate::family::CompareJob;
 use crate::optimal::{OptimalStrategy, PatternStrategy};
 use crate::scenario::{BStrategy, Scenario};
 
@@ -42,10 +42,11 @@ pub struct StrategySummary {
 
 /// Runs one scenario under each stock strategy (optimal, pattern,
 /// simple-fork, async-chain) across `seeds` random schedules and
-/// summarizes. The strategies become one battery each and the whole
-/// `strategy × seed` grid runs as a fused parallel map
-/// ([`crate::family::run_batteries`]); the fold happens in grid order,
-/// so the summaries are identical to the serial loop's.
+/// summarizes. A one-job [`crate::family::compare_grid`] batch: the
+/// whole `strategy × seed` table runs as a single fused parallel grid
+/// and the fold happens in grid order, so the summaries are identical to
+/// the serial loop's — and to any wider E9 table built from the same
+/// batch API.
 ///
 /// # Errors
 ///
@@ -61,15 +62,13 @@ pub fn compare_strategies(
         Box::new(|| Box::new(SimpleForkStrategy::default())),
         Box::new(|| Box::new(AsyncChainStrategy::new())),
     ];
-    let batteries: Vec<Battery<'_>> = strategies
-        .iter()
-        .map(|make| Battery {
-            scenario: scenario.clone(),
-            strategy: make.as_ref(),
-            seeds: seeds.clone(),
-        })
-        .collect();
-    let outcomes = crate::family::run_batteries(&batteries)?;
+    let job = CompareJob {
+        scenario: scenario.clone(),
+        strategies: strategies.iter().map(|make| make.as_ref() as _).collect(),
+        seeds,
+    };
+    let mut rows = crate::family::compare_grid(std::slice::from_ref(&job))?;
+    let outcomes = rows.pop().expect("one row per job");
     Ok(strategies
         .iter()
         .zip(outcomes)

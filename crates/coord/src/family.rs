@@ -159,6 +159,66 @@ pub fn run_batteries_with(
         .collect()
 }
 
+/// One scenario evaluated under several strategies at once — a row of the
+/// E9 protocol-comparison table, and the heterogeneous-strategy analogue
+/// of a [`Battery`].
+pub struct CompareJob<'a> {
+    /// The scenario every strategy runs (context `Arc`-shared per run).
+    pub scenario: Scenario,
+    /// The strategies to compare, in reporting order.
+    pub strategies: Vec<StrategyFactory<'a>>,
+    /// Seeds for [`RandomScheduler`], one run per `(strategy, seed)`.
+    pub seeds: Range<u64>,
+}
+
+/// Runs many heterogeneous strategy grids as **one** fused
+/// `job × strategy × seed` battery grid: every `(scenario, strategy)`
+/// pair becomes a [`Battery`] and the whole table fans through
+/// [`run_batteries`]'s single fold. Result `[j][s]` is strategy `s` of
+/// job `j` — identical to running each battery serially, for any worker
+/// count. [`crate::compare_strategies`] and the E9 experiment rows are
+/// both thin wrappers over this, so the one-row and many-row paths
+/// cannot drift apart.
+///
+/// # Errors
+///
+/// Propagates the first (in grid order) simulator/verification error.
+pub fn compare_grid(jobs: &[CompareJob]) -> Result<Vec<Vec<BatteryOutcome>>, CoordError> {
+    compare_grid_with(thread_count(), jobs)
+}
+
+/// [`compare_grid`] with an explicit worker count (`1` = serial on the
+/// calling thread).
+///
+/// # Errors
+///
+/// Same conditions as [`compare_grid`].
+pub fn compare_grid_with(
+    workers: usize,
+    jobs: &[CompareJob],
+) -> Result<Vec<Vec<BatteryOutcome>>, CoordError> {
+    let batteries: Vec<Battery> = jobs
+        .iter()
+        .flat_map(|j| {
+            j.strategies.iter().map(|&strategy| Battery {
+                scenario: j.scenario.clone(),
+                strategy,
+                seeds: j.seeds.clone(),
+            })
+        })
+        .collect();
+    let mut outcomes = run_batteries_with(workers, &batteries)?.into_iter();
+    Ok(jobs
+        .iter()
+        .map(|j| {
+            j.strategies
+                .iter()
+                .map(|_| outcomes.next().expect("one outcome per battery"))
+                .collect()
+        })
+        .collect())
+}
+
 /// One feasibility-threshold sweep of a scenario family — the unit the
 /// fused [`thresholds`] grid is built from.
 pub struct ThresholdJob<'a> {
@@ -310,6 +370,39 @@ mod tests {
             fused.iter().map(|t| t.always_acts).collect::<Vec<_>>(),
             expect
         );
+    }
+
+    #[test]
+    fn fused_compare_grid_matches_per_battery_folds() {
+        let optimal: StrategyFactory<'_> = &|| Box::new(OptimalStrategy::new());
+        let fork: StrategyFactory<'_> = &|| Box::new(SimpleForkStrategy::default());
+        let jobs: Vec<CompareJob<'_>> = [(4i64, 9u64), (5, 9), (0, 3)]
+            .into_iter()
+            .map(|(x, lb)| CompareJob {
+                scenario: fig1_family(lb).at(x).unwrap(),
+                strategies: vec![optimal, fork],
+                seeds: 0..5,
+            })
+            .collect();
+        let fused = compare_grid(&jobs).unwrap();
+        let fused1 = compare_grid_with(1, &jobs).unwrap();
+        assert_eq!(fused, fused1, "worker count changed comparison results");
+        for (job, row) in jobs.iter().zip(&fused) {
+            assert_eq!(row.len(), job.strategies.len());
+            for (&strategy, got) in job.strategies.iter().zip(row) {
+                let reference = Battery {
+                    scenario: job.scenario.clone(),
+                    strategy,
+                    seeds: job.seeds.clone(),
+                }
+                .run_serial()
+                .unwrap();
+                assert_eq!(*got, reference, "fused compare diverged from serial");
+            }
+        }
+        // Shape: at the fork weight both act; above it both abstain.
+        assert_eq!(fused[0][0].acted, fused[0][0].runs);
+        assert_eq!(fused[1][0].acted, 0);
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //! * [`compare`] — quantitative comparisons across strategies and
 //!   schedules (how much earlier can `B` act?);
 //! * [`family`] — scenario-family batch execution: whole experiment
-//!   families ([`Battery`] grids, [`ThresholdJob`] sweeps) fused into one
-//!   parallel grid with folds bit-identical to the serial sequence.
+//!   families ([`Battery`] grids, [`ThresholdJob`] sweeps, heterogeneous
+//!   [`CompareJob`] strategy tables) fused into one parallel grid with
+//!   folds bit-identical to the serial sequence;
+//! * [`stream`] — the online form: replay a schedule as an event feed
+//!   through the incremental knowledge engine and report, after every
+//!   event, whether `B` already knows enough to act.
 //!
 //! ## Example
 //!
@@ -59,15 +63,18 @@ pub mod family;
 pub mod optimal;
 pub mod scenario;
 pub mod spec;
+pub mod stream;
 pub mod sweep;
 
 pub use baseline::{AsyncChainStrategy, SimpleForkStrategy};
 pub use compare::{compare_strategies, StrategySummary};
 pub use error::CoordError;
 pub use family::{
-    run_batteries, thresholds, Battery, BatteryOutcome, StrategyFactory, ThresholdJob,
+    compare_grid, compare_grid_with, run_batteries, thresholds, Battery, BatteryOutcome,
+    CompareJob, StrategyFactory, ThresholdJob,
 };
 pub use optimal::{OptimalStrategy, PatternStrategy};
 pub use scenario::{BStrategy, NeverStrategy, RecklessStrategy, Scenario};
 pub use spec::{verify, CoordKind, TimedCoordination, Verdict};
+pub use stream::{StepReport, StreamDriver};
 pub use sweep::{threshold, SweepFamily, Threshold};

@@ -9,10 +9,30 @@
 
 use zigzag_bcm::View;
 use zigzag_core::knowledge::KnowledgeEngine;
-use zigzag_core::GeneralNode;
+use zigzag_core::{CoreError, GeneralNode};
 
 use crate::scenario::BStrategy;
 use crate::spec::{CoordKind, TimedCoordination};
+
+/// The Protocol 1 knowledge decision for `kind`: which precedence must be
+/// known, with which sign conventions. Shared by [`OptimalStrategy`] and
+/// the streaming driver ([`crate::stream::StreamDriver`]) so the two
+/// evaluation paths cannot drift apart.
+pub(crate) fn knows_required(
+    engine: &KnowledgeEngine<'_>,
+    kind: CoordKind,
+    theta_a: &GeneralNode,
+    theta_b: &GeneralNode,
+) -> Result<bool, CoreError> {
+    match kind {
+        CoordKind::Late { x } => engine.knows(theta_a, theta_b, x),
+        CoordKind::Early { x } => engine.knows(theta_b, theta_a, x),
+        // Both sides: t_b − t_a >= after and t_a − t_b >= −within.
+        CoordKind::Window { after, within } => engine
+            .knows(theta_a, theta_b, after)
+            .and_then(|lo| Ok(lo && engine.knows(theta_b, theta_a, -within)?)),
+    }
+}
 
 /// Protocol 2: act iff `K_σ(σ_C·A --x--> σ)` (Late) or
 /// `K_σ(σ --x--> σ_C·A)` (Early).
@@ -45,15 +65,7 @@ impl BStrategy for OptimalStrategy {
             return false;
         };
         let theta_b = GeneralNode::basic(sigma);
-        let known = match spec.kind {
-            CoordKind::Late { x } => engine.knows(&theta_a, &theta_b, x),
-            CoordKind::Early { x } => engine.knows(&theta_b, &theta_a, x),
-            // Both sides: t_b − t_a >= after and t_a − t_b >= −within.
-            CoordKind::Window { after, within } => engine
-                .knows(&theta_a, &theta_b, after)
-                .and_then(|lo| Ok(lo && engine.knows(&theta_b, &theta_a, -within)?)),
-        };
-        known.unwrap_or(false)
+        knows_required(&engine, spec.kind, &theta_a, &theta_b).unwrap_or(false)
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,261 @@
+//! The streaming scenario driver: timed coordination evaluated *online*.
+//!
+//! The batch harness ([`crate::scenario::Scenario`]) records a complete
+//! run and only then asks whether `B` could act. This module drives the
+//! same Definition 1 analysis the way the paper describes it happening —
+//! as the run unfolds: a recorded schedule is replayed as an event feed
+//! ([`zigzag_bcm::RunCursor`]) through an incremental knowledge engine
+//! ([`zigzag_core::incremental::IncrementalEngine`]), and after **every**
+//! appended event the driver reports whether `B`, standing at its newest
+//! node, already knows the required timed precedence. The earliest such
+//! node is exactly where Protocol 2 fires.
+//!
+//! Because the incremental engine answers byte-identically to a batch
+//! engine on every prefix, the per-event verdicts are the protocol's real
+//! decisions, not approximations. One semantic note: the driver evaluates
+//! a node's knowledge on the prefix *including* the node's own FFIP sends
+//! (the paper's `GE(r, σ)`, where σ's sends exist the moment σ does); a
+//! strategy probed mid-simulation sees its node before the sends are
+//! recorded. Extra (unseen-send) edges can only raise thresholds, so on
+//! topologies where `B` has outgoing channels the streaming verdict may
+//! hold at a node where the in-simulation probe still abstains — never
+//! the reverse. Where `B` has no outgoing channels (Figures 1 and 2b)
+//! the two coincide exactly.
+
+use std::sync::Arc;
+
+use zigzag_bcm::stream::RunEvent;
+use zigzag_bcm::{Context, NodeId, Run, RunCursor, Time};
+use zigzag_core::incremental::IncrementalEngine;
+use zigzag_core::GeneralNode;
+
+use crate::error::CoordError;
+use crate::spec::TimedCoordination;
+
+/// What one appended event meant for the coordination problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// The node the event created.
+    pub node: NodeId,
+    /// Its time.
+    pub time: Time,
+    /// `Some(decision)` when the node is a `B`-node: whether `B` knows
+    /// the spec's precedence right there; `None` for non-`B` nodes.
+    pub b_knows: Option<bool>,
+}
+
+/// Replays schedules as event feeds and answers the coordination question
+/// after every event; see the [module docs](self).
+#[derive(Debug)]
+pub struct StreamDriver {
+    spec: TimedCoordination,
+    engine: IncrementalEngine,
+    sigma_c: Option<NodeId>,
+    first_known: Option<NodeId>,
+}
+
+impl StreamDriver {
+    /// Starts a driver for `spec` over an empty stream.
+    pub fn new(spec: TimedCoordination, context: Arc<Context>, horizon: Time) -> Self {
+        StreamDriver {
+            spec,
+            engine: IncrementalEngine::new(context, horizon),
+            sigma_c: None,
+            first_known: None,
+        }
+    }
+
+    /// The specification being evaluated.
+    pub fn spec(&self) -> &TimedCoordination {
+        &self.spec
+    }
+
+    /// The underlying incremental engine (and through it, the grown run).
+    pub fn engine(&self) -> &IncrementalEngine {
+        &self.engine
+    }
+
+    /// The earliest `B`-node at which the required knowledge held, if it
+    /// has — where Protocol 2 performs `b`.
+    pub fn first_known(&self) -> Option<NodeId> {
+        self.first_known
+    }
+
+    /// The trigger node `σ_C`, once it has streamed past.
+    pub fn sigma_c(&self) -> Option<NodeId> {
+        self.sigma_c
+    }
+
+    /// Appends one event and evaluates `B`'s knowledge if the event is a
+    /// `B`-node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the event is inconsistent with the grown prefix.
+    pub fn step(&mut self, ev: &RunEvent) -> Result<StepReport, CoordError> {
+        let node = self.engine.append_event(ev)?;
+        if self.sigma_c.is_none() {
+            self.sigma_c = self
+                .engine
+                .run()
+                .external_receipt_node(self.spec.c, &self.spec.go_name);
+        }
+        let b_knows = (node.proc() == self.spec.b)
+            .then(|| self.decide_at(node))
+            .transpose()?;
+        if b_knows == Some(true) && self.first_known.is_none() {
+            self.first_known = Some(node);
+        }
+        Ok(StepReport {
+            node,
+            time: ev.time,
+            b_knows,
+        })
+    }
+
+    /// Protocol 2's decision at `sigma` on the current prefix: act iff
+    /// the spec's precedence is known. Mirrors
+    /// [`crate::optimal::OptimalStrategy`], through the incremental
+    /// engine's warm observer state.
+    fn decide_at(&self, sigma: NodeId) -> Result<bool, CoordError> {
+        let Some(sigma_c) = self.sigma_c else {
+            return Ok(false); // no trigger yet: nothing to know
+        };
+        let engine = self.engine.engine(sigma)?;
+        let Ok(theta_a) = self.spec.theta_a(sigma_c) else {
+            return Ok(false);
+        };
+        let theta_b = GeneralNode::basic(sigma);
+        // An unrecognized or initial anchor means the evidence simply is
+        // not there: abstain, exactly like the in-protocol strategy (the
+        // decision itself is the shared Protocol 1 helper).
+        Ok(
+            crate::optimal::knows_required(&engine, self.spec.kind, &theta_a, &theta_b)
+                .unwrap_or(false),
+        )
+    }
+
+    /// Replays a whole recorded run through a fresh driver, returning the
+    /// per-event reports and the driver (holding the grown engine and the
+    /// earliest-knowledge verdict).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded run is internally inconsistent.
+    pub fn replay(
+        spec: TimedCoordination,
+        run: &Run,
+    ) -> Result<(Vec<StepReport>, Self), CoordError> {
+        let mut driver = Self::new(spec, run.context_arc(), run.horizon());
+        let mut cursor = RunCursor::new(run);
+        let mut reports = Vec::with_capacity(cursor.remaining());
+        while let Some(ev) = cursor.next_event() {
+            reports.push(driver.step(&ev)?);
+        }
+        Ok((reports, driver))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::OptimalStrategy;
+    use crate::scenario::Scenario;
+    use crate::spec::CoordKind;
+    use zigzag_bcm::scheduler::{EagerScheduler, RandomScheduler};
+    use zigzag_bcm::Network;
+    use zigzag_core::KnowledgeEngine;
+
+    /// Figure 1: C → A `[2,5]`, C → B `[9,12]` (fork weight 4); B has no
+    /// outgoing channels, so the streaming verdict and the in-simulation
+    /// strategy coincide exactly.
+    fn fig1(x: i64) -> Scenario {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        let ctx = nb.build().unwrap();
+        let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+        Scenario::new(spec, ctx, Time::new(3), Time::new(80)).unwrap()
+    }
+
+    #[test]
+    fn streaming_decision_matches_the_batch_protocol() {
+        for (x, seeds) in [(4i64, 0..8u64), (5, 0..4)] {
+            let sc = fig1(x);
+            for seed in seeds {
+                let (run, verdict) = sc
+                    .run_verified(&mut OptimalStrategy, &mut RandomScheduler::seeded(seed))
+                    .unwrap();
+                let (reports, driver) = StreamDriver::replay(sc.spec().clone(), &run).unwrap();
+                assert_eq!(
+                    driver.first_known(),
+                    verdict.b_node,
+                    "x={x} seed {seed}: online decision diverged from the protocol"
+                );
+                assert_eq!(reports.len(), run.node_count() - 3);
+                // Every B verdict is a genuine prefix decision: replaying
+                // the prefix through a batch engine gives the same bit.
+                assert!(reports
+                    .iter()
+                    .all(|r| (r.node.proc() == sc.spec().b) == r.b_knows.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn online_knowledge_fires_at_the_go_receipt_under_eager_delivery() {
+        let sc = fig1(4);
+        let (run, _) = sc
+            .run_verified(&mut OptimalStrategy, &mut EagerScheduler)
+            .unwrap();
+        let (reports, driver) = StreamDriver::replay(sc.spec().clone(), &run).unwrap();
+        // B hears C at 3 + 9 = 12 and knows immediately.
+        let first = driver.first_known().expect("feasible at the fork weight");
+        assert_eq!(run.time(first), Some(Time::new(12)));
+        assert_eq!(
+            driver.sigma_c(),
+            run.external_receipt_node(sc.spec().c, "go")
+        );
+        // Before that node, every B verdict is false; after, true.
+        for r in &reports {
+            if let Some(knows) = r.b_knows {
+                assert_eq!(knows, r.time >= Time::new(12), "verdict flip at {}", r.node);
+            }
+        }
+        // The driver's grown run is the recorded run.
+        assert_eq!(driver.engine().run(), &run);
+    }
+
+    #[test]
+    fn verdicts_match_batch_engines_on_every_prefix() {
+        let sc = fig1(4);
+        let (run, _) = sc
+            .run_verified(&mut OptimalStrategy, &mut RandomScheduler::seeded(3))
+            .unwrap();
+        let spec = sc.spec().clone();
+        let mut driver = StreamDriver::new(spec.clone(), run.context_arc(), run.horizon());
+        let mut cursor = RunCursor::new(&run);
+        while let Some(ev) = cursor.next_event() {
+            let report = driver.step(&ev).unwrap();
+            let Some(knows) = report.b_knows else {
+                continue;
+            };
+            let Some(sigma_c) = driver.sigma_c() else {
+                assert!(!knows);
+                continue;
+            };
+            let batch = KnowledgeEngine::new(driver.engine().run(), report.node).unwrap();
+            let want = batch
+                .knows(
+                    &spec.theta_a(sigma_c).unwrap(),
+                    &GeneralNode::basic(report.node),
+                    spec.kind.x(),
+                )
+                .unwrap_or(false);
+            assert_eq!(knows, want, "online verdict diverged at {}", report.node);
+        }
+    }
+}

@@ -17,6 +17,13 @@
 //! * **per query** (cached inside the engine): canonical rewrites, fast
 //!   timings, chain layouts, and memoized SPFA results.
 //!
+//! The analyzer is the *batch* facade: it wraps a complete, immutable
+//! recorded run. When the run is still growing — events arriving one at
+//! a time — use [`crate::incremental::IncrementalEngine`] instead, which
+//! maintains the same shared state under appends (delta-updated message
+//! index and `GB(r)`, append-stable observer engines) and answers
+//! identically to this analyzer on every prefix.
+//!
 //! ```
 //! # use zigzag_bcm::{Network, SimConfig, Simulator, Time, NodeId, ProcessId};
 //! # use zigzag_bcm::protocols::Ffip;

@@ -91,6 +91,53 @@ impl BoundsGraph {
         }
     }
 
+    /// The empty-run graph `GB` of a freshly started stream: one vertex
+    /// per initial node, no edges. Grown node-by-node with
+    /// [`BoundsGraph::append_node`]; at every prefix the grown graph has
+    /// the same vertices, edges and longest paths as
+    /// [`BoundsGraph::of_run`] on that prefix.
+    pub fn skeleton(run: &Run) -> Self {
+        let mut graph = WeightedDigraph::new();
+        for p in run.context().network().processes() {
+            graph.add_vertex(NodeId::initial(p));
+        }
+        BoundsGraph {
+            graph,
+            message_edges: 0,
+        }
+    }
+
+    /// Appends one just-recorded node of `run` to the grown graph: its
+    /// vertex, the successor edge from its timeline predecessor, and the
+    /// `±` edge pair of every message delivered *at* the node. Because
+    /// `GB(r)` only ever gains vertices and edges as a run extends, this
+    /// is a monotone delta — the graph's memoized longest-path results
+    /// survive and delta-relax (see [`crate::graph`]).
+    ///
+    /// Must be called once per non-initial node, in recording order, with
+    /// the node (and its receipts) already present in `run`.
+    pub fn append_node(&mut self, run: &Run, node: NodeId) {
+        self.graph.add_vertex(node);
+        let prev = NodeId::new(node.proc(), node.index() - 1);
+        self.graph.add_edge(prev, node, 1, LABEL_SUCCESSOR);
+        let bounds = run.context().bounds();
+        let rec = run.node(node).expect("appended nodes are recorded");
+        for receipt in rec.receipts() {
+            let Some(m) = receipt.internal() else {
+                continue;
+            };
+            let mr = run.message(m);
+            let cb = bounds
+                .get(mr.channel())
+                .expect("validated runs have bounds for every channel");
+            self.graph
+                .add_edge(mr.src(), node, cb.lower() as i64, LABEL_SEND);
+            self.graph
+                .add_edge(node, mr.src(), -(cb.upper() as i64), LABEL_RECV);
+            self.message_edges += 2;
+        }
+    }
+
     /// The underlying weighted digraph.
     pub fn graph(&self) -> &WeightedDigraph<NodeId> {
         &self.graph
@@ -130,6 +177,34 @@ impl BoundsGraph {
     /// Same conditions as [`BoundsGraph::longest_to`].
     pub fn longest_from(&self, sigma: NodeId) -> Result<LongestPaths, CoreError> {
         self.graph.longest_from(&sigma)
+    }
+
+    /// Memoized [`BoundsGraph::longest_to`]: repeated queries share one
+    /// traversal, and on a graph grown with [`BoundsGraph::append_node`]
+    /// a stale result is delta-relaxed over just the appended edges
+    /// instead of recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BoundsGraph::longest_to`].
+    pub fn longest_to_cached(
+        &self,
+        sigma: NodeId,
+    ) -> Result<std::sync::Arc<LongestPaths>, CoreError> {
+        self.graph.longest_to_cached(&sigma)
+    }
+
+    /// Memoized [`BoundsGraph::longest_from`]; see
+    /// [`BoundsGraph::longest_to_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BoundsGraph::longest_from`].
+    pub fn longest_from_cached(
+        &self,
+        sigma: NodeId,
+    ) -> Result<std::sync::Arc<LongestPaths>, CoreError> {
+        self.graph.longest_from_cached(&sigma)
     }
 
     /// The longest path from `from` to `to`, as `(weight, edges)`;
@@ -311,6 +386,45 @@ mod tests {
         assert_eq!(run.time(i2).unwrap().diff(run.time(i1).unwrap()), 4);
         // Missing endpoints error.
         assert!(gb.longest_path(i1, NodeId::new(i, 99)).is_err());
+    }
+
+    #[test]
+    fn grown_graph_matches_batch_rebuild_at_every_prefix() {
+        use zigzag_bcm::{RunCursor, StreamingRun};
+        for seed in 0..4 {
+            let run = two_proc_run(seed, 30);
+            let mut cursor = RunCursor::new(&run);
+            let mut stream = StreamingRun::new(run.context_arc(), run.horizon());
+            let mut grown = BoundsGraph::skeleton(stream.run());
+            // Keep warm cached queries alive across appends so every
+            // append exercises the delta-relaxation path.
+            let i1 = NodeId::new(ProcessId::new(0), 1);
+            while let Some(ev) = cursor.next_event() {
+                let node = stream.append(&ev).unwrap();
+                grown.append_node(stream.run(), node);
+                let batch = BoundsGraph::of_run(stream.run());
+                assert_eq!(grown.node_count(), batch.node_count());
+                assert_eq!(grown.edge_count(), batch.edge_count());
+                assert_eq!(grown.message_edge_count(), batch.message_edge_count());
+                if !stream.run().appears(i1) {
+                    continue;
+                }
+                let warm = grown.longest_to_cached(i1).unwrap();
+                let cold = batch.longest_to(i1).unwrap();
+                for rec in stream.run().nodes() {
+                    let (gi, bi) = (
+                        grown.graph().index_of(&rec.id()).unwrap(),
+                        batch.graph().index_of(&rec.id()).unwrap(),
+                    );
+                    assert_eq!(
+                        warm.weight(gi),
+                        cold.weight(bi),
+                        "seed {seed}: grown GB diverged at {} after {node}",
+                        rec.id()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@
 //! respect to frontier longest paths; for node pairs well inside the
 //! prefix these coincide with plain `GB(r)` longest paths.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use zigzag_bcm::builder::RunBuilder;
 use zigzag_bcm::run::Past;
@@ -184,24 +185,89 @@ impl Prescription {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum PendingReceipt {
     External(String),
     Message(zigzag_bcm::MessageId),
 }
 
+/// One pending delivery of the layout engine's queue: min-ordered by
+/// `(time, proc, seq)`, so draining equal `(time, proc)` heads
+/// reproduces exactly the batch a `(time, proc)`-keyed map would have
+/// accumulated (`seq` is the insertion number).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct QueueItem {
+    time: Time,
+    proc: ProcessId,
+    seq: u32,
+    receipt: PendingReceipt,
+}
+
+/// Reusable scratch for [`prescribed_run`]'s delivery queue.
+///
+/// The layout engine runs once per constructed run — and the knowledge
+/// engine constructs runs in batches (`refute` sweeps, fast-run
+/// batteries), historically reallocating the whole queue each time. An
+/// arena threaded through the construction
+/// ([`crate::knowledge::KnowledgeEngine::fast_run_of`] holds one per
+/// observer) recycles the queue storage across calls; the first call
+/// sizes it, later calls allocate nothing for queue bookkeeping.
+#[derive(Debug, Default)]
+pub struct RunArena {
+    /// Recycled backing storage of the delivery-queue heap.
+    heap: Vec<Reverse<QueueItem>>,
+}
+
+impl RunArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        RunArena::default()
+    }
+}
+
 /// Lays out a run according to a prescription, replaying the kept prefix of
 /// `source` at the prescribed times and handling fresh deliveries per the
-/// Definition 24 rules. Fails with [`CoreError::InvalidTiming`] if the
+/// Definition 24 rules. Queue storage is recycled through `arena` (see
+/// [`RunArena`]). Fails with [`CoreError::InvalidTiming`] if the
 /// prescription is internally inconsistent (a delivery would fall outside
 /// its channel window or inside a kept prefix).
-fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
+fn prescribed_run(source: &Run, p: &Prescription, arena: &mut RunArena) -> Result<Run, CoreError> {
+    let mut queue: BinaryHeap<Reverse<QueueItem>> =
+        BinaryHeap::from(std::mem::take(&mut arena.heap));
+    queue.clear();
+    let result = prescribed_run_with_queue(source, p, &mut queue);
+    // Hand the heap storage back on every path — error returns (routine
+    // for refutation probing) must not cost the arena its capacity.
+    queue.clear();
+    arena.heap = queue.into_vec();
+    result
+}
+
+fn prescribed_run_with_queue(
+    source: &Run,
+    p: &Prescription,
+    queue: &mut BinaryHeap<Reverse<QueueItem>>,
+) -> Result<Run, CoreError> {
     let ctx = source.context_arc();
-    let net = ctx.network().clone();
-    let bounds = ctx.bounds().clone();
+    // A second Arc handle keeps the network/bounds borrowable while the
+    // builder owns the first — no per-call deep copy of either table.
+    let shared = ctx.clone();
+    let (net, bounds) = (shared.network(), shared.bounds());
     let mut rb = RunBuilder::new(ctx, p.horizon);
 
-    let mut queue: BTreeMap<(Time, ProcessId), Vec<PendingReceipt>> = BTreeMap::new();
+    let mut seq = 0u32;
+    let mut push = |queue: &mut BinaryHeap<Reverse<QueueItem>>,
+                    time: Time,
+                    proc: ProcessId,
+                    receipt: PendingReceipt| {
+        queue.push(Reverse(QueueItem {
+            time,
+            proc,
+            seq,
+            receipt,
+        }));
+        seq += 1;
+    };
 
     // Externals of the source run received at kept nodes, retimed.
     for e in source.externals() {
@@ -217,14 +283,16 @@ fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
         if t > p.horizon {
             continue;
         }
-        queue
-            .entry((t, e.proc()))
-            .or_default()
-            .push(PendingReceipt::External(e.name().to_string()));
+        push(
+            queue,
+            t,
+            e.proc(),
+            PendingReceipt::External(e.name().to_string()),
+        );
     }
 
-    while let Some((&(time, proc), _)) = queue.iter().next() {
-        let batch = queue.remove(&(time, proc)).expect("key just observed");
+    while let Some(Reverse(head)) = queue.peek() {
+        let (time, proc) = (head.time, head.proc);
         let node = rb
             .add_node(proc, time)
             .map_err(|e| CoreError::InvalidTiming {
@@ -241,8 +309,13 @@ fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
                 });
             }
         }
-        for r in batch {
-            match r {
+        // Drain the whole (time, proc) batch in insertion order.
+        while queue
+            .peek()
+            .is_some_and(|Reverse(it)| it.time == time && it.proc == proc)
+        {
+            let Reverse(item) = queue.pop().expect("peeked");
+            match item.receipt {
                 PendingReceipt::External(name) => {
                     rb.add_external(node, name).map_err(CoreError::Bcm)?;
                 }
@@ -271,10 +344,7 @@ fn prescribed_run(source: &Run, p: &Prescription) -> Result<Run, CoreError> {
             }
             let m = rb.send(node, dst, deliver_at).map_err(CoreError::Bcm)?;
             if deliver_at <= p.horizon {
-                queue
-                    .entry((deliver_at, dst))
-                    .or_default()
-                    .push(PendingReceipt::Message(m));
+                push(queue, deliver_at, dst, PendingReceipt::Message(m));
             }
         }
     }
@@ -465,7 +535,7 @@ pub fn run_by_timing(run: &Run, timing: &NodeTiming) -> Result<Run, CoreError> {
         chain_upper: BTreeMap::new(),
         horizon,
     };
-    prescribed_run(run, &p)
+    prescribed_run(run, &p, &mut RunArena::new())
 }
 
 /// The slow run of a node (Theorem 2's tightness witness).
@@ -564,7 +634,7 @@ pub fn slow_run(run: &Run, sigma: NodeId) -> Result<SlowRun, CoreError> {
         chain_upper: BTreeMap::new(),
         horizon,
     };
-    let constructed = prescribed_run(run, &p)?;
+    let constructed = prescribed_run(run, &p, &mut RunArena::new())?;
     Ok(SlowRun {
         run: constructed,
         sigma,
@@ -754,21 +824,24 @@ pub fn fast_run_with(
     // Theorem 4 extremal gap.)
     let canonical = canonicalize_in_past(run, ge.past(), ge.observer(), theta)?;
     let ft = fast_timing(ge, canonical.base(), gamma)?;
-    fast_run_from_timing(run, ge, &canonical, ft, extra_horizon)
+    fast_run_from_timing(run, ge, &canonical, ft, extra_horizon, &mut RunArena::new())
 }
 
 /// Assembles the γ-fast run from pre-resolved parts: the canonical anchor
 /// and its (possibly cached) fast timing. `canonical` must be the
 /// [`canonicalize_in_past`] rewriting of the anchor and `ft` the fast
 /// timing of its base over `ge` — the knowledge engine supplies both from
-/// its per-query caches. Takes `ft` by value so the free-function path
-/// moves its freshly built timing into the result instead of cloning.
+/// its per-query caches, along with its per-observer [`RunArena`] so
+/// repeated constructions recycle the delivery-queue storage. Takes `ft`
+/// by value so the free-function path moves its freshly built timing into
+/// the result instead of cloning.
 pub(crate) fn fast_run_from_timing(
     run: &Run,
     ge: &ExtendedGraph,
     canonical: &GeneralNode,
     ft: FastTiming,
     extra_horizon: u64,
+    arena: &mut RunArena,
 ) -> Result<FastRun, CoreError> {
     let sigma = ge.observer();
     let gamma = ft.gamma;
@@ -803,7 +876,7 @@ pub(crate) fn fast_run_from_timing(
         chain_upper,
         horizon,
     };
-    let constructed = prescribed_run(run, &p)?;
+    let constructed = prescribed_run(run, &p, arena)?;
     Ok(FastRun {
         run: constructed,
         sigma,

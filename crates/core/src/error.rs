@@ -55,6 +55,13 @@ pub enum CoreError {
         /// Explanation of what fell off the prefix.
         detail: String,
     },
+    /// An incremental engine refused to operate after a failed append
+    /// left its grown run and derived analyses possibly out of sync; the
+    /// engine must be discarded and rebuilt from a consistent feed.
+    Poisoned {
+        /// The failure that poisoned the engine.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +84,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidTiming { detail } => write!(f, "invalid timing function: {detail}"),
             CoreError::HorizonTooSmall { detail } => write!(f, "horizon too small: {detail}"),
+            CoreError::Poisoned { detail } => {
+                write!(
+                    f,
+                    "incremental engine poisoned by a failed append: {detail}"
+                )
+            }
         }
     }
 }
@@ -116,6 +129,7 @@ mod tests {
             CoreError::InitialNode { detail: "x".into() },
             CoreError::InvalidTiming { detail: "x".into() },
             CoreError::HorizonTooSmall { detail: "x".into() },
+            CoreError::Poisoned { detail: "x".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -108,24 +108,54 @@ pub struct MessageIndex {
 impl MessageIndex {
     /// Resolves every recorded message of `run` once.
     pub fn of_run(run: &Run) -> Self {
+        let mut index = MessageIndex::default();
+        index.append_from(run);
+        index
+    }
+
+    /// Delta-resolves the messages `run` recorded since this index was
+    /// last brought up to date — the append-only path of
+    /// [`crate::incremental::IncrementalEngine`]: each event appends only
+    /// its own sends (O(new), nothing already indexed is touched).
+    ///
+    /// A message indexed while in flight must be [`MessageIndex::settle`]d
+    /// when its delivery is recorded; an index grown that way alongside a
+    /// prefix is identical to `of_run(prefix)`.
+    pub fn append_from(&mut self, run: &Run) {
         let bounds = run.context().bounds();
-        let edges = run
-            .messages()
-            .iter()
-            .map(|m| {
-                let cb = bounds
-                    .get(m.channel())
-                    .expect("validated runs have bounds for every channel");
-                MessageEdge {
-                    src: m.src(),
-                    dst: m.delivery().map(|d| d.node),
-                    to: m.channel().to,
-                    lower: cb.lower() as i64,
-                    upper: cb.upper() as i64,
-                }
-            })
-            .collect();
-        MessageIndex { edges }
+        for m in &run.messages()[self.edges.len()..] {
+            let cb = bounds
+                .get(m.channel())
+                .expect("validated runs have bounds for every channel");
+            self.edges.push(MessageEdge {
+                src: m.src(),
+                dst: m.delivery().map(|d| d.node),
+                to: m.channel().to,
+                lower: cb.lower() as i64,
+                upper: cb.upper() as i64,
+            });
+        }
+    }
+
+    /// Records that indexed message `m` has been delivered: an O(1) field
+    /// update, called by the incremental layer as delivery receipts
+    /// arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not indexed yet.
+    pub fn settle(&mut self, m: zigzag_bcm::MessageId, dst: NodeId) {
+        self.edges[m.index()].dst = Some(dst);
+    }
+
+    /// Number of resolved messages.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
     }
 
     /// The resolved messages, in recording order.

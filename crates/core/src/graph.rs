@@ -24,10 +24,23 @@
 //!   ([`WeightedDigraph::longest_from_cached`] /
 //!   [`WeightedDigraph::longest_to_cached`]).
 //!
-//! Both are invalidated automatically when the graph mutates
-//! ([`WeightedDigraph::add_vertex`] / [`WeightedDigraph::add_edge`]), and
-//! both live behind a [`Mutex`] so graphs (and the engines built on them)
-//! stay `Send + Sync` for the parallel sweep layer.
+//! Both layers survive mutation **monotonically**: the only mutations the
+//! graph supports are additions ([`WeightedDigraph::add_vertex`] /
+//! [`WeightedDigraph::add_edge`]), and adding vertices or edges can only
+//! *raise* longest-path weights — every old path still exists, new edges
+//! merely offer new ones. So instead of dropping memoized results on
+//! mutation, the graph logs the edges appended since each result was
+//! computed and **delta-relaxes** a stale result on its next query: the
+//! new edges seed an incremental SPFA that cascades forward from exactly
+//! the vertices they improve (the frontier), leaving the converged bulk
+//! of the old result untouched. The frozen CSR is rebuilt lazily per
+//! generation; delta cascades walk the live adjacency directly, since
+//! they touch few vertices. This is what makes append-only consumers
+//! (`crate::incremental`) pay per-append cost proportional to the change,
+//! not the graph.
+//!
+//! Everything lives behind a [`Mutex`] so graphs (and the engines built
+//! on them) stay `Send + Sync` for the parallel sweep layer.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -113,12 +126,31 @@ impl CsrTopology {
     }
 }
 
-/// Memoized analysis state of one graph generation: the CSR form plus all
-/// SPFA results computed so far, keyed by `(source, direction)`.
+/// One memoized SPFA result, tagged with the graph generation it is
+/// current at: results from older generations are delta-relaxed forward
+/// instead of recomputed (see the [module docs](self)).
+#[derive(Debug, Clone)]
+struct CachedPaths {
+    /// Vertex count the result is current at.
+    vertices: usize,
+    /// Edge count the result is current at.
+    edges: usize,
+    lp: Arc<LongestPaths>,
+}
+
+/// Memoized analysis state: the CSR form of the latest generation plus all
+/// SPFA results computed so far, keyed by `(source, direction)`, plus the
+/// append log that lets stale results catch up incrementally.
 #[derive(Debug, Default)]
 struct AnalysisCache {
     csr: Option<Arc<CsrTopology>>,
-    paths: HashMap<(usize, Direction), Arc<LongestPaths>>,
+    paths: HashMap<(usize, Direction), CachedPaths>,
+    /// Edges appended since `log_base`, in insertion order. Maintained
+    /// only while memoized results exist (reset whenever `paths` is
+    /// empty), so pure construction phases log nothing.
+    log: Vec<Edge>,
+    /// Edge count at the start of `log`.
+    log_base: usize,
 }
 
 /// A weighted directed multigraph over vertices of type `V`.
@@ -148,6 +180,8 @@ impl<V: Clone> Clone for WeightedDigraph<V> {
             AnalysisCache {
                 csr: cache.csr.clone(),
                 paths: cache.paths.clone(),
+                log: cache.log.clone(),
+                log_base: cache.log_base,
             }
         };
         WeightedDigraph {
@@ -180,32 +214,45 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         }
     }
 
-    /// Drops all memoized analysis; called on every mutation.
-    fn invalidate(&mut self) {
+    /// Records a mutation: the CSR freezes a generation and is rebuilt
+    /// lazily; memoized SPFA results are *kept* and the appended edge (if
+    /// any) is logged so they can delta-relax on their next query.
+    fn note_mutation(&mut self, appended: Option<Edge>) {
+        let edge_count = self.edge_count;
         let cache = self.cache.get_mut().expect("cache lock");
         cache.csr = None;
-        cache.paths.clear();
+        if cache.paths.is_empty() {
+            // Nothing to catch up: restart the log here so construction
+            // phases (thousands of adds before any query) log nothing.
+            cache.log.clear();
+            cache.log_base = edge_count;
+        } else if let Some(e) = appended {
+            cache.log.push(e);
+        }
     }
 
-    /// Interns `v`, returning its dense index.
+    /// Interns `v`, returning its dense index. Memoized longest-path
+    /// results survive (a fresh vertex is unreachable until an edge
+    /// arrives) and are resized on their next query.
     pub fn add_vertex(&mut self, v: V) -> usize {
         if let Some(&i) = self.index.get(&v) {
             return i;
         }
-        self.invalidate();
         let i = self.vertices.len();
         self.index.insert(v.clone(), i);
         self.vertices.push(v);
         self.out.push(Vec::new());
         self.r#in.push(Vec::new());
+        self.note_mutation(None);
         i
     }
 
-    /// Adds the edge `from --weight--> to` with a label.
+    /// Adds the edge `from --weight--> to` with a label. Memoized
+    /// longest-path results survive and delta-relax over the new edge on
+    /// their next query (see the [module docs](self)).
     pub fn add_edge(&mut self, from: V, to: V, weight: i64, label: u32) {
         let f = self.add_vertex(from);
         let t = self.add_vertex(to);
-        self.invalidate();
         let e = Edge {
             from: f,
             to: t,
@@ -215,6 +262,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         self.out[f].push(e);
         self.r#in[t].push(e);
         self.edge_count += 1;
+        self.note_mutation(Some(e));
     }
 
     /// The frozen CSR form of the current graph generation, built on first
@@ -343,26 +391,121 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     }
 
     fn cached_spfa(&self, src: usize, dir: Direction) -> Result<Arc<LongestPaths>, CoreError> {
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .paths
-            .get(&(src, dir))
-        {
-            return Ok(hit.clone());
-        }
+        let (vcount, ecount) = (self.vertices.len(), self.edge_count);
+        // Current hits return immediately; stale hits pull the edges
+        // appended since their generation out of the log.
+        let stale = {
+            let cache = self.cache.lock().expect("cache lock");
+            match cache.paths.get(&(src, dir)) {
+                Some(hit) if hit.vertices == vcount && hit.edges == ecount => {
+                    return Ok(hit.lp.clone());
+                }
+                // The log begins no later than any surviving entry's
+                // generation (entries are cleared with the log); guard
+                // anyway and fall back to a fresh traversal.
+                Some(hit) if hit.edges >= cache.log_base => {
+                    let delta = cache.log[hit.edges - cache.log_base..].to_vec();
+                    Some((hit.lp.clone(), delta))
+                }
+                _ => None,
+            }
+        };
         // Run the traversal outside the lock: concurrent first touches may
         // duplicate work but never block each other.
-        let csr = self.csr();
-        let lp = Arc::new(spfa(&csr, src, dir)?);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .paths
-            .entry((src, dir))
-            .or_insert_with(|| lp.clone());
+        let lp = match stale {
+            Some((old, delta)) => Arc::new(self.spfa_delta(&old, &delta, dir)?),
+            None => {
+                let csr = self.csr();
+                Arc::new(spfa(&csr, src, dir)?)
+            }
+        };
+        self.cache.lock().expect("cache lock").paths.insert(
+            (src, dir),
+            CachedPaths {
+                vertices: vcount,
+                edges: ecount,
+                lp: lp.clone(),
+            },
+        );
         Ok(lp)
+    }
+
+    /// Incremental SPFA: catches a converged longest-path result up with
+    /// the edges appended since it was computed. The new edges seed the
+    /// queue with exactly the vertices they improve; the cascade then
+    /// walks the live adjacency (which already contains old and new
+    /// edges), so the converged bulk of `old` is never revisited.
+    ///
+    /// Correct because mutations are append-only: every path `old`
+    /// accounted for still exists, so its weights are valid lower bounds,
+    /// and any strictly better path uses at least one new edge — which is
+    /// exactly what gets seeded.
+    fn spfa_delta(
+        &self,
+        old: &LongestPaths,
+        new_edges: &[Edge],
+        dir: Direction,
+    ) -> Result<LongestPaths, CoreError> {
+        let n = self.vertices.len();
+        let mut dist = old.dist.clone();
+        dist.resize(n, None);
+        let mut pred = old.pred.clone();
+        pred.resize(n, None);
+        let mut relax_count: Vec<u32> = vec![0; n];
+        let mut in_queue = vec![false; n];
+        let mut queue = VecDeque::new();
+        let endpoints = |e: &Edge| match dir {
+            Direction::Forward => (e.from, e.to),
+            Direction::Backward => (e.to, e.from),
+        };
+        let relax = |e: &Edge,
+                     dist: &mut Vec<Option<i64>>,
+                     pred: &mut Vec<Option<Edge>>|
+         -> Option<usize> {
+            let (u, v) = endpoints(e);
+            let du = dist[u]?;
+            let cand = du + e.weight;
+            if dist[v].is_none_or(|dv| cand > dv) {
+                dist[v] = Some(cand);
+                pred[v] = Some(*e);
+                return Some(v);
+            }
+            None
+        };
+        for e in new_edges {
+            if let Some(v) = relax(e, &mut dist, &mut pred) {
+                relax_count[v] += 1;
+                if !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            let edges = match dir {
+                Direction::Forward => &self.out[u],
+                Direction::Backward => &self.r#in[u],
+            };
+            for e in edges {
+                if let Some(v) = relax(e, &mut dist, &mut pred) {
+                    relax_count[v] += 1;
+                    if relax_count[v] as usize > n {
+                        return Err(CoreError::PositiveCycle);
+                    }
+                    if !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Ok(LongestPaths {
+            src: old.src,
+            dir,
+            dist,
+            pred,
+        })
     }
 }
 
@@ -682,6 +825,101 @@ mod tests {
         let clone = g.clone();
         let from_clone = clone.longest_from_cached(&"a").unwrap();
         assert!(Arc::ptr_eq(&warm, &from_clone), "clone lost the warm cache");
+    }
+
+    #[test]
+    fn delta_relaxed_caches_equal_fresh_traversals() {
+        // Grow a graph edge by edge with warm caches alive the whole time;
+        // after every append the delta-relaxed results must equal what a
+        // freshly built graph computes from scratch, for every source and
+        // both directions.
+        let additions: Vec<(&str, &str, i64)> = vec![
+            ("a", "b", 2),
+            ("b", "c", -1),
+            ("c", "a", -5),
+            ("a", "c", 4),
+            ("c", "d", 3),
+            ("d", "b", -2),
+            ("e", "a", -6),
+            ("d", "e", -4),
+            ("b", "e", 0),
+        ];
+        let mut grown: WeightedDigraph<&str> = WeightedDigraph::new();
+        grown.add_edge("a", "b", 2, 0);
+        // Warm several sources so every later append must delta-relax.
+        let _ = grown.longest_from_cached(&"a").unwrap();
+        let _ = grown.longest_to_cached(&"b").unwrap();
+        for k in 1..additions.len() {
+            let (f, t, w) = additions[k];
+            grown.add_edge(f, t, w, 0);
+            let mut fresh: WeightedDigraph<&str> = WeightedDigraph::new();
+            for &(f, t, w) in &additions[..=k] {
+                fresh.add_edge(f, t, w, 0);
+            }
+            for src in ["a", "b", "c", "d", "e"] {
+                if !fresh.contains(&src) {
+                    continue;
+                }
+                let warm_fwd = grown.longest_from_cached(&src).unwrap();
+                let warm_bwd = grown.longest_to_cached(&src).unwrap();
+                let cold_fwd = fresh.longest_from(&src).unwrap();
+                let cold_bwd = fresh.longest_to(&src).unwrap();
+                for v in ["a", "b", "c", "d", "e"] {
+                    let (gi, fi) = match (grown.index_of(&v), fresh.index_of(&v)) {
+                        (Some(gi), Some(fi)) => (gi, fi),
+                        _ => continue,
+                    };
+                    assert_eq!(
+                        warm_fwd.weight(gi),
+                        cold_fwd.weight(fi),
+                        "delta fwd diverged at step {k}, {src} -> {v}"
+                    );
+                    assert_eq!(
+                        warm_bwd.weight(gi),
+                        cold_bwd.weight(fi),
+                        "delta bwd diverged at step {k}, {v} -> {src}"
+                    );
+                    // Reconstructed paths realize the reported weights.
+                    if let Some(w) = warm_fwd.weight(gi) {
+                        let path = warm_fwd.path(gi).unwrap();
+                        assert_eq!(path.iter().map(|e| e.weight).sum::<i64>(), w);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_relaxation_detects_late_positive_cycles() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge("a", "b", 1, 0);
+        g.add_edge("b", "c", 1, 0);
+        let warm = g.longest_from_cached(&"a").unwrap();
+        assert_eq!(warm.weight(g.index_of(&"c").unwrap()), Some(2));
+        // The closing edge creates a positive cycle reachable from "a":
+        // the delta pass must report it, not spin.
+        g.add_edge("c", "a", 0, 0);
+        assert!(matches!(
+            g.longest_from_cached(&"a"),
+            Err(CoreError::PositiveCycle)
+        ));
+    }
+
+    #[test]
+    fn new_vertices_extend_cached_results() {
+        let mut g = diamond();
+        let warm = g.longest_from_cached(&"a").unwrap();
+        g.add_vertex("z");
+        // Still answerable; z is unreachable until an edge arrives.
+        let after = g.longest_from_cached(&"a").unwrap();
+        assert_eq!(after.weight(g.index_of(&"z").unwrap()), None);
+        g.add_edge("d", "z", 3, 0);
+        let connected = g.longest_from_cached(&"a").unwrap();
+        assert_eq!(connected.weight(g.index_of(&"z").unwrap()), Some(9));
+        assert_eq!(
+            warm.weight(g.index_of(&"d").unwrap()),
+            connected.weight(g.index_of(&"d").unwrap())
+        );
     }
 
     #[test]

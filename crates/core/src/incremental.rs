@@ -1,0 +1,503 @@
+//! The incremental streaming knowledge engine: append events, delta-update
+//! the causal analyses, answer queries online.
+//!
+//! The paper's central claim is that processes extract timing knowledge
+//! *as a run unfolds* — zigzag causality lets a node know facts about
+//! remote events long before any full-run transcript exists. The batch
+//! pipeline ([`crate::analyzer::RunAnalyzer`] over a complete
+//! [`Run`]) inverts that: any change to the run means rebuilding the
+//! message index, the bounds graphs and every derived engine from
+//! scratch. [`IncrementalEngine`] is the append-only form: a run is grown
+//! one [`RunEvent`] at a time ([`IncrementalEngine::append_event`] /
+//! [`IncrementalEngine::append_batch`]) and every analysis layer is
+//! **delta-updated** — after each append, `max_x` / `knows` /
+//! `max_x_basic_matrix` / `fast_run_of` answer exactly as a freshly built
+//! batch engine on the same prefix would (the prefix-differential oracle
+//! in `tests/oracle.rs` pins this byte-for-byte).
+//!
+//! # The delta-relaxation invariant
+//!
+//! Two structural facts make per-append cost proportional to the change
+//! rather than to the run, and both are load-bearing for correctness:
+//!
+//! 1. **Monotone growth of the global graphs.** Appending an event only
+//!    *adds* — a vertex and successor edge to `GB(r)`, a `±` edge pair
+//!    per delivery, a row to the [`MessageIndex`]. Nothing is removed or
+//!    re-weighted, so every memoized longest-path result remains a valid
+//!    lower bound and any strictly better path must use a new edge. The
+//!    graph layer therefore keeps its memoized SPFA results across
+//!    appends and *delta-relaxes* a stale result forward from exactly the
+//!    new edges' endpoints (the frontier) on its next query — an
+//!    incremental SPFA over the frozen-CSR generation plus the appended
+//!    overlay (see [`crate::graph`]), instead of invalidate-and-rebuild.
+//!
+//! 2. **Observer stability.** `past(r, σ)` is determined the moment σ's
+//!    receipts are delivered, and a message sent inside that past whose
+//!    delivery σ has not seen can only be delivered at a node *outside*
+//!    the past — so the "seen delivery" classification behind the
+//!    `E''`-edges of `GE(r, σ)` (Definition 16) never changes as the run
+//!    extends. `GE(r, σ)`, its SPFA memos, canonical rewrites, fast
+//!    timings and chain layouts are all fixed at σ's creation: the engine
+//!    builds each observer's state **once**, keeps it warm in a cache,
+//!    and serves every later query from it with zero invalidation.
+//!
+//! Together: appends touch O(event) state, queries at known observers hit
+//! warm caches, and the only per-observer cost is the one-time state
+//! build on first query — orders of magnitude below the per-event
+//! rebuild the batch pipeline would pay (measured in `benches/online.rs`,
+//! recorded in `BENCH_pr3.json`).
+//!
+//! # Example
+//!
+//! ```
+//! # use zigzag_bcm::{Network, SimConfig, Simulator, Time, NodeId, RunCursor};
+//! # use zigzag_bcm::protocols::Ffip;
+//! # use zigzag_bcm::scheduler::EagerScheduler;
+//! use zigzag_core::incremental::IncrementalEngine;
+//! use zigzag_core::knowledge::KnowledgeEngine;
+//! use zigzag_core::GeneralNode;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = Network::builder();
+//! # let c = b.add_process("C");
+//! # let a = b.add_process("A");
+//! # let bb = b.add_process("B");
+//! # b.add_channel(c, a, 1, 3)?;
+//! # b.add_channel(c, bb, 7, 9)?;
+//! # let ctx = b.build()?;
+//! # let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+//! # sim.external(Time::new(2), c, "go");
+//! # let run = sim.run(&mut Ffip::new(), &mut EagerScheduler)?;
+//! // Feed a recorded schedule event-by-event; answers stay current.
+//! let mut cursor = RunCursor::new(&run);
+//! let mut engine = IncrementalEngine::new(run.context_arc(), run.horizon());
+//! while let Some(ev) = cursor.next_event() {
+//!     let node = engine.append_event(&ev)?;
+//!     // Query at the node that just arose — same answer a fresh batch
+//!     // engine on this prefix would give.
+//!     let here = GeneralNode::basic(node);
+//!     let _ = engine.engine(node)?.max_x(&here, &here)?;
+//! }
+//! // Figure 1's knowledge threshold, online:
+//! let sigma_c = engine.run().external_receipt_node(c, "go").unwrap();
+//! let theta_a = GeneralNode::chain(sigma_c, &[a])?;
+//! let theta_b = GeneralNode::chain(sigma_c, &[bb])?;
+//! let sigma = theta_b.resolve(engine.run())?;
+//! assert_eq!(engine.max_x(sigma, &theta_a, &theta_b)?, Some(4));
+//! let batch = KnowledgeEngine::new(engine.run(), sigma)?;
+//! assert_eq!(batch.max_x(&theta_a, &theta_b)?, Some(4));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use zigzag_bcm::stream::{ReceiptEvent, RunEvent};
+use zigzag_bcm::{Context, NodeId, Run, RunCursor, StreamingRun, Time};
+
+use crate::bounds_graph::BoundsGraph;
+use crate::construct::FastRun;
+use crate::error::CoreError;
+use crate::extended_graph::MessageIndex;
+use crate::knowledge::{KnowledgeEngine, MaxXMatrix, ObserverState};
+use crate::node::GeneralNode;
+
+/// The append-only streaming form of the knowledge pipeline; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    stream: StreamingRun,
+    /// Delta-appended per-run message table (shared by every derived
+    /// observer state).
+    messages: MessageIndex,
+    /// The global basic bounds graph `GB(r)`, grown monotonically; its
+    /// memoized longest paths delta-relax across appends.
+    gb: BoundsGraph,
+    /// One lazily built, append-stable analysis state per queried
+    /// observer.
+    observers: Mutex<HashMap<NodeId, Arc<ObserverState>>>,
+    /// Set when an append failed partway: the grown run may hold a
+    /// partially applied node the derived analyses never saw, so every
+    /// further operation is refused with [`CoreError::Poisoned`].
+    poison: Option<String>,
+}
+
+impl IncrementalEngine {
+    /// Starts an empty stream over `context` (initial nodes only),
+    /// recording up to `horizon`.
+    pub fn new(context: impl Into<Arc<Context>>, horizon: Time) -> Self {
+        let stream = StreamingRun::new(context, horizon);
+        let gb = BoundsGraph::skeleton(stream.run());
+        IncrementalEngine {
+            stream,
+            messages: MessageIndex::default(),
+            gb,
+            observers: Mutex::new(HashMap::new()),
+            poison: None,
+        }
+    }
+
+    /// Whether a failed append has poisoned the engine (see
+    /// [`IncrementalEngine::append_event`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    fn check_poison(&self) -> Result<(), CoreError> {
+        match &self.poison {
+            Some(detail) => Err(CoreError::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Convenience: streams an already-recorded run through a fresh
+    /// engine (the replay path — equivalent to appending every event of
+    /// [`RunCursor::new`]`(run)` in order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded run is internally inconsistent.
+    pub fn ingest(run: &Run) -> Result<Self, CoreError> {
+        let mut engine = Self::new(run.context_arc(), run.horizon());
+        let mut cursor = RunCursor::new(run);
+        while let Some(ev) = cursor.next_event() {
+            engine.append_event(&ev)?;
+        }
+        Ok(engine)
+    }
+
+    /// Appends one event: grows the run by its node, settles the
+    /// deliveries it observes, indexes the messages it sends, and extends
+    /// `GB(r)` — all O(event). Derived observer states are *not*
+    /// invalidated (they cannot go stale; see the [module docs](self)).
+    /// Returns the created node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the event is inconsistent with the grown prefix
+    /// (non-increasing time, unknown process/channel, delivery of an
+    /// unknown or already-delivered message). A failed append may leave a
+    /// partially applied node in the grown run, so it **poisons** the
+    /// engine: every later append or query returns
+    /// [`CoreError::Poisoned`], and the engine must be rebuilt from a
+    /// consistent feed.
+    pub fn append_event(&mut self, ev: &RunEvent) -> Result<NodeId, CoreError> {
+        self.check_poison()?;
+        let node = match self.stream.append(ev) {
+            Ok(node) => node,
+            Err(e) => {
+                self.poison = Some(e.to_string());
+                return Err(CoreError::Bcm(e));
+            }
+        };
+        for r in &ev.receipts {
+            if let ReceiptEvent::Message(m) = r {
+                self.messages.settle(*m, node);
+            }
+        }
+        self.messages.append_from(self.stream.run());
+        self.gb.append_node(self.stream.run(), node);
+        Ok(node)
+    }
+
+    /// Appends a batch of events in order, returning the created nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first inconsistent event; like
+    /// [`IncrementalEngine::append_event`], that failure poisons the
+    /// engine (the events before it stay applied, but no further
+    /// operation is served).
+    pub fn append_batch<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a RunEvent>,
+    ) -> Result<Vec<NodeId>, CoreError> {
+        events.into_iter().map(|ev| self.append_event(ev)).collect()
+    }
+
+    /// The run as grown so far — a genuine [`Run`] prefix, usable by any
+    /// batch analysis without cloning. (On a poisoned engine this is the
+    /// raw, possibly partially-applied run; queries are refused but the
+    /// data stays inspectable for diagnostics.)
+    pub fn run(&self) -> &Run {
+        self.stream.run()
+    }
+
+    /// Number of events appended.
+    pub fn event_count(&self) -> usize {
+        self.stream.event_count()
+    }
+
+    /// The delta-appended per-run message table.
+    pub fn message_index(&self) -> &MessageIndex {
+        &self.messages
+    }
+
+    /// The global basic bounds graph `GB(r)` of the grown prefix. Its
+    /// `longest_*_cached` queries delta-relax across appends instead of
+    /// recomputing.
+    pub fn bounds_graph(&self) -> &BoundsGraph {
+        &self.gb
+    }
+
+    /// The tight bound on `time(to) − time(from)` supported by the grown
+    /// prefix's `GB(r)` — the streaming form of
+    /// [`BoundsGraph::longest_path`], served from the delta-relaxed
+    /// per-source memo.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `from` is not a recorded node, on a positive cycle
+    /// (impossible for legal feeds), or on a poisoned engine.
+    pub fn tight_bound(&self, from: NodeId, to: NodeId) -> Result<Option<i64>, CoreError> {
+        self.check_poison()?;
+        let lp = self.gb.longest_from_cached(from)?;
+        Ok(self.gb.graph().index_of(&to).and_then(|i| lp.weight(i)))
+    }
+
+    /// Number of observer states built so far.
+    pub fn observer_count(&self) -> usize {
+        self.observers.lock().expect("observer cache lock").len()
+    }
+
+    /// The knowledge engine observing at `sigma`, wrapped around the
+    /// current prefix. The observer-scoped analysis (graph, SPFA memos,
+    /// rewrite/timing/chain caches, construction arena) is built on first
+    /// request and reused verbatim after every later append.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` has not (yet) appeared in the stream, or on a
+    /// poisoned engine.
+    pub fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, CoreError> {
+        self.check_poison()?;
+        let state = {
+            let mut cache = self.observers.lock().expect("observer cache lock");
+            match cache.get(&sigma) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let built = Arc::new(ObserverState::build(
+                        self.stream.run(),
+                        sigma,
+                        &self.messages,
+                    )?);
+                    cache.insert(sigma, built.clone());
+                    built
+                }
+            }
+        };
+        Ok(KnowledgeEngine::with_state(self.stream.run(), state))
+    }
+
+    /// Convenience: the exact knowledge threshold `max_x` at observer
+    /// `sigma` on the current prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x`] plus an unknown
+    /// observer.
+    pub fn max_x(
+        &self,
+        sigma: NodeId,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+    ) -> Result<Option<i64>, CoreError> {
+        self.engine(sigma)?.max_x(theta1, theta2)
+    }
+
+    /// Convenience: decides `K_σ(θ1 --x--> θ2)` on the current prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IncrementalEngine::max_x`].
+    pub fn knows(
+        &self,
+        sigma: NodeId,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+        x: i64,
+    ) -> Result<bool, CoreError> {
+        self.engine(sigma)?.knows(theta1, theta2, x)
+    }
+
+    /// Convenience: the dense all-pairs threshold matrix at `sigma` on
+    /// the current prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::max_x_basic_matrix`] plus an
+    /// unknown observer.
+    pub fn max_x_basic_matrix(&self, sigma: NodeId) -> Result<MaxXMatrix, CoreError> {
+        self.engine(sigma)?.max_x_basic_matrix()
+    }
+
+    /// Convenience: constructs the γ-fast run of `theta` at observer
+    /// `sigma` against the current prefix, reusing the observer's warm
+    /// canonicalization, timing and arena state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnowledgeEngine::fast_run_of`] plus an
+    /// unknown observer.
+    pub fn fast_run_of(
+        &self,
+        sigma: NodeId,
+        theta: &GeneralNode,
+        gamma: u64,
+        extra_horizon: u64,
+    ) -> Result<FastRun, CoreError> {
+        self.engine(sigma)?.fast_run_of(theta, gamma, extra_horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::RandomScheduler;
+    use zigzag_bcm::{Network, ProcessId, SimConfig, Simulator};
+
+    fn tri_run(seed: u64, horizon: u64) -> Run {
+        let mut b = Network::builder();
+        let i = b.add_process("i");
+        let j = b.add_process("j");
+        let k = b.add_process("k");
+        b.add_bidirectional(i, j, 2, 5).unwrap();
+        b.add_bidirectional(j, k, 1, 4).unwrap();
+        b.add_bidirectional(i, k, 3, 7).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+        sim.external(Time::new(1), i, "kick");
+        sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn every_prefix_answers_like_a_fresh_batch_engine() {
+        for seed in 0..4 {
+            let run = tri_run(seed, 28);
+            let mut cursor = RunCursor::new(&run);
+            let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+            while let Some(ev) = cursor.next_event() {
+                let node = inc.append_event(&ev).unwrap();
+                // The appended node is always a legal observer, and its
+                // matrix matches the batch engine on the same prefix.
+                let online = inc.max_x_basic_matrix(node).unwrap();
+                let batch = KnowledgeEngine::new(inc.run(), node)
+                    .unwrap()
+                    .max_x_basic_matrix()
+                    .unwrap();
+                assert_eq!(online, batch, "seed {seed}: diverged at {node}");
+            }
+            assert_eq!(inc.run(), &run, "seed {seed}: grown run diverged");
+            assert_eq!(inc.event_count(), run.node_count() - 3);
+        }
+    }
+
+    #[test]
+    fn observer_states_survive_appends_and_stay_exact() {
+        let run = tri_run(1, 40);
+        let events = RunCursor::new(&run).collect_events();
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        let split = events.len() / 2;
+        let mut early_nodes = Vec::new();
+        for ev in &events[..split] {
+            early_nodes.push(inc.append_event(ev).unwrap());
+        }
+        // Build (and warm) an early observer's state, answering once.
+        let sigma = *early_nodes.last().unwrap();
+        let before = inc.max_x_basic_matrix(sigma).unwrap();
+        assert_eq!(inc.observer_count(), 1);
+        // Grow the run; the state is reused, not rebuilt, and the answers
+        // still match a scratch batch engine on the longer prefix.
+        for ev in &events[split..] {
+            inc.append_event(ev).unwrap();
+        }
+        assert_eq!(inc.observer_count(), 1);
+        let after = inc.max_x_basic_matrix(sigma).unwrap();
+        assert_eq!(before, after, "append changed a fixed observer's answers");
+        let batch = KnowledgeEngine::new(inc.run(), sigma)
+            .unwrap()
+            .max_x_basic_matrix()
+            .unwrap();
+        assert_eq!(after, batch);
+        // Fast runs through the warm state equal the free construction.
+        let theta = GeneralNode::basic(sigma);
+        let online = inc.fast_run_of(sigma, &theta, 0, 15).unwrap();
+        let free = crate::construct::fast_run(inc.run(), sigma, &theta, 0, 15).unwrap();
+        assert_eq!(online.theta_time, free.theta_time);
+        assert_eq!(online.run.node_count(), free.run.node_count());
+        for rec in free.run.nodes() {
+            assert_eq!(online.run.time(rec.id()), Some(rec.time()));
+        }
+    }
+
+    #[test]
+    fn tight_bounds_delta_relax_across_appends() {
+        let run = tri_run(2, 35);
+        let events = RunCursor::new(&run).collect_events();
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        let i1 = NodeId::new(ProcessId::new(0), 1);
+        for ev in &events {
+            let node = inc.append_event(ev).unwrap();
+            if !inc.run().appears(i1) {
+                continue;
+            }
+            // Keep the cached source warm so each append delta-relaxes.
+            let got = inc.tight_bound(i1, node).unwrap();
+            let batch = BoundsGraph::of_run(inc.run());
+            let want = batch.longest_path(i1, node).unwrap().map(|(w, _)| w);
+            assert_eq!(got, want, "delta GB bound diverged at {node}");
+        }
+    }
+
+    #[test]
+    fn unknown_observers_and_bad_events_error() {
+        let run = tri_run(0, 25);
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        assert!(inc.engine(NodeId::new(ProcessId::new(0), 1)).is_err());
+        assert_eq!(inc.observer_count(), 0);
+        // An event delivering a message nobody sent is rejected — and the
+        // failure poisons the engine (the run may hold a half-applied
+        // node the analyses never saw), so everything after it is refused
+        // rather than silently desynchronized.
+        let bad = RunEvent {
+            proc: ProcessId::new(0),
+            time: Time::new(3),
+            receipts: vec![ReceiptEvent::Message(zigzag_bcm::MessageId::new(4))],
+            sends: Vec::new(),
+            actions: Vec::new(),
+        };
+        assert!(!inc.is_poisoned());
+        assert!(matches!(inc.append_event(&bad), Err(CoreError::Bcm(_))));
+        assert!(inc.is_poisoned());
+        let good = RunEvent {
+            proc: ProcessId::new(0),
+            time: Time::new(9),
+            receipts: Vec::new(),
+            sends: Vec::new(),
+            actions: Vec::new(),
+        };
+        assert!(matches!(
+            inc.append_event(&good),
+            Err(CoreError::Poisoned { .. })
+        ));
+        let half_applied = zigzag_bcm::NodeId::new(ProcessId::new(0), 1);
+        assert!(matches!(
+            inc.engine(half_applied),
+            Err(CoreError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            inc.tight_bound(half_applied, half_applied),
+            Err(CoreError::Poisoned { .. })
+        ));
+        // Ingest replays a whole run in one call.
+        let inc = IncrementalEngine::ingest(&run).unwrap();
+        assert_eq!(inc.run(), &run);
+        assert!(inc.message_index().len() == run.messages().len());
+        assert!(!inc.message_index().is_empty());
+        assert_eq!(inc.bounds_graph().node_count(), run.node_count());
+    }
+}

@@ -69,6 +69,61 @@ struct QueryCache {
     chains: Mutex<HashMap<(GeneralNode, u64), Arc<ChainInfo>>>,
 }
 
+/// Everything observer-scoped the decision procedure derives from a run:
+/// `GE(r, σ)`, the memoized query caches, and the construction arena.
+///
+/// Split out of [`KnowledgeEngine`] so append-only consumers can keep it
+/// alive across run growth: by the *observer-stability invariant*
+/// (documented at [`crate::incremental`]), nothing in here changes when
+/// events are appended to the run — `past(r, σ)` is fixed at σ's
+/// creation, and a message sent inside that past whose delivery σ has
+/// not seen can only be delivered at a node outside the past. A state
+/// built on any prefix containing σ therefore answers every later query
+/// exactly as a state rebuilt from scratch would.
+#[derive(Debug)]
+pub(crate) struct ObserverState {
+    sigma: NodeId,
+    ge: ExtendedGraph,
+    cache: QueryCache,
+    /// Delivery-queue scratch recycled across `fast_run_of`/`refute`
+    /// constructions at this observer.
+    arena: Mutex<crate::construct::RunArena>,
+}
+
+impl ObserverState {
+    /// Assembles the state around an already-built `GE(r, σ)`.
+    pub(crate) fn new(sigma: NodeId, ge: ExtendedGraph) -> Self {
+        ObserverState {
+            sigma,
+            ge,
+            cache: QueryCache::default(),
+            arena: Mutex::new(crate::construct::RunArena::new()),
+        }
+    }
+
+    /// Builds the state for observer `sigma` on `run`, sharing a per-run
+    /// [`MessageIndex`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in `run`.
+    pub(crate) fn build(
+        run: &Run,
+        sigma: NodeId,
+        index: &crate::extended_graph::MessageIndex,
+    ) -> Result<Self, CoreError> {
+        if !run.appears(sigma) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("observer {sigma} does not appear in the run"),
+            });
+        }
+        Ok(Self::new(
+            sigma,
+            ExtendedGraph::with_index(run, sigma, index),
+        ))
+    }
+}
+
 /// The dense all-pairs knowledge-threshold matrix of
 /// [`KnowledgeEngine::max_x_basic_matrix`]: one flat row-major allocation
 /// over the non-initial nodes of `past(r, σ)` in ascending [`NodeId`]
@@ -193,9 +248,10 @@ impl std::ops::Index<(NodeId, NodeId)> for MaxXMatrix {
 #[derive(Debug)]
 pub struct KnowledgeEngine<'r> {
     run: &'r Run,
-    sigma: NodeId,
-    ge: ExtendedGraph,
-    cache: QueryCache,
+    /// The observer-scoped analysis, shareable across engine views: the
+    /// incremental layer keeps one state per observer alive while the run
+    /// grows and wraps it around the current prefix per query.
+    state: Arc<ObserverState>,
 }
 
 impl<'r> KnowledgeEngine<'r> {
@@ -203,7 +259,9 @@ impl<'r> KnowledgeEngine<'r> {
     ///
     /// Building many engines over the same run? Derive them from a
     /// [`crate::analyzer::RunAnalyzer`] instead, which shares the run-level
-    /// analysis across observers.
+    /// analysis across observers. Growing the run event-by-event? Use a
+    /// [`crate::incremental::IncrementalEngine`], which keeps observer
+    /// states warm across appends.
     ///
     /// # Errors
     ///
@@ -220,22 +278,24 @@ impl<'r> KnowledgeEngine<'r> {
     /// Assembles an engine around an already-built `GE(r, σ)` (the
     /// [`crate::analyzer::RunAnalyzer`] shared-analysis path).
     pub(crate) fn with_graph(run: &'r Run, sigma: NodeId, ge: ExtendedGraph) -> Self {
-        KnowledgeEngine {
-            run,
-            sigma,
-            ge,
-            cache: QueryCache::default(),
-        }
+        Self::with_state(run, Arc::new(ObserverState::new(sigma, ge)))
+    }
+
+    /// Wraps a (possibly long-lived) observer state around a run — the
+    /// append-only path: `run` must contain the prefix the state was
+    /// built on.
+    pub(crate) fn with_state(run: &'r Run, state: Arc<ObserverState>) -> Self {
+        KnowledgeEngine { run, state }
     }
 
     /// The observer node `σ`.
     pub fn observer(&self) -> NodeId {
-        self.sigma
+        self.state.sigma
     }
 
     /// The extended bounds graph `GE(r, σ)` backing the decisions.
     pub fn ge(&self) -> &ExtendedGraph {
-        &self.ge
+        &self.state.ge
     }
 
     /// Rewrites `θ = ⟨σ', p⟩` into the equivalent node whose chain never
@@ -253,6 +313,7 @@ impl<'r> KnowledgeEngine<'r> {
     /// * [`CoreError::NodeNotInRun`] if a hop is not a channel.
     fn canonicalize(&self, theta: &GeneralNode) -> Result<GeneralNode, CoreError> {
         if let Some(hit) = self
+            .state
             .cache
             .canonical
             .lock()
@@ -261,9 +322,14 @@ impl<'r> KnowledgeEngine<'r> {
         {
             return Ok(hit.clone());
         }
-        let canonical =
-            crate::construct::canonicalize_in_past(self.run, self.ge.past(), self.sigma, theta)?;
-        self.cache
+        let canonical = crate::construct::canonicalize_in_past(
+            self.run,
+            self.state.ge.past(),
+            self.state.sigma,
+            theta,
+        )?;
+        self.state
+            .cache
             .canonical
             .lock()
             .expect("canonical cache lock")
@@ -275,6 +341,7 @@ impl<'r> KnowledgeEngine<'r> {
     /// traversals per distinct `(base, γ)` for the lifetime of the engine.
     fn timing(&self, base: NodeId, gamma: u64) -> Result<Arc<FastTiming>, CoreError> {
         if let Some(hit) = self
+            .state
             .cache
             .timings
             .lock()
@@ -283,8 +350,9 @@ impl<'r> KnowledgeEngine<'r> {
         {
             return Ok(hit.clone());
         }
-        let ft = Arc::new(fast_timing(&self.ge, base, gamma)?);
-        self.cache
+        let ft = Arc::new(fast_timing(&self.state.ge, base, gamma)?);
+        self.state
+            .cache
             .timings
             .lock()
             .expect("timing cache lock")
@@ -301,6 +369,7 @@ impl<'r> KnowledgeEngine<'r> {
     ) -> Result<Arc<ChainInfo>, CoreError> {
         let key = (theta.clone(), ft.gamma);
         if let Some(hit) = self
+            .state
             .cache
             .chains
             .lock()
@@ -310,7 +379,8 @@ impl<'r> KnowledgeEngine<'r> {
             return Ok(hit.clone());
         }
         let chain = Arc::new(self.chain_info(ft, theta)?);
-        self.cache
+        self.state
+            .cache
             .chains
             .lock()
             .expect("chain cache lock")
@@ -489,25 +559,29 @@ impl<'r> KnowledgeEngine<'r> {
                     // process (Lemma 12/15, "type 3"): boundary fork whose
                     // tail chains through the ψ trail.
                     let j = t2c.path().procs()[k + 1];
-                    let lp = self.ge.longest_from_cached(ExtVertex::Node(t1c.base()))?;
+                    let lp = self
+                        .state
+                        .ge
+                        .longest_from_cached(ExtVertex::Node(t1c.base()))?;
                     let idx = self
+                        .state
                         .ge
                         .index_of(ExtVertex::Aux(j))
                         .expect("every process has ψ");
                     let edges = lp.path(idx).ok_or_else(|| CoreError::InvalidTiming {
                         detail: "ψ binding but unreachable — model bug".into(),
                     })?;
-                    let cut = edges
-                        .iter()
-                        .rposition(|e| matches!(self.ge.graph().vertex(e.to), ExtVertex::Node(_)));
+                    let cut = edges.iter().rposition(|e| {
+                        matches!(self.state.ge.graph().vertex(e.to), ExtVertex::Node(_))
+                    });
                     let (prefix, suffix) = match cut {
                         Some(c) => edges.split_at(c + 1),
                         None => (&edges[..0], &edges[..]),
                     };
-                    let z = zigzag_from_ge_path(&self.ge, t1c.base(), prefix)?;
+                    let z = zigzag_from_ge_path(&self.state.ge, t1c.base(), prefix)?;
                     let mut trail: Vec<ProcessId> = suffix
                         .iter()
-                        .map(|e| self.ge.graph().vertex(e.to).proc())
+                        .map(|e| self.state.ge.graph().vertex(e.to).proc())
                         .collect();
                     trail.reverse(); // [j, …, l1]
                     let q = NetPath::new(trail).map_err(CoreError::Bcm)?;
@@ -519,7 +593,7 @@ impl<'r> KnowledgeEngine<'r> {
                 FastHop::Lower => unreachable!("split index is a non-Lower hop"),
             },
         };
-        Ok(Some((max_x, VisibleZigzag::new(pattern, self.sigma))))
+        Ok(Some((max_x, VisibleZigzag::new(pattern, self.state.sigma))))
     }
 
     /// All-pairs knowledge thresholds over the (non-initial) nodes of
@@ -536,19 +610,19 @@ impl<'r> KnowledgeEngine<'r> {
     ///
     /// Fails on a positive cycle (impossible for graphs of legal runs).
     pub fn max_x_basic_matrix(&self) -> Result<MaxXMatrix, CoreError> {
-        let past = self.ge.past();
+        let past = self.state.ge.past();
         // Past iteration is in (process, index) order — ascending NodeId —
         // so MaxXMatrix lookups can binary-search.
         let nodes: Vec<NodeId> = past.iter().filter(|n| !n.is_initial()).collect();
         // Resolve each column's dense index once instead of per cell.
         let cols: Vec<Option<usize>> = nodes
             .iter()
-            .map(|&b| self.ge.index_of(ExtVertex::Node(b)))
+            .map(|&b| self.state.ge.index_of(ExtVertex::Node(b)))
             .collect();
         let n = nodes.len();
         let mut data = vec![None; n * n];
         for (i, &a) in nodes.iter().enumerate() {
-            let lp = self.ge.longest_from_cached(ExtVertex::Node(a))?;
+            let lp = self.state.ge.longest_from_cached(ExtVertex::Node(a))?;
             let row = &mut data[i * n..(i + 1) * n];
             for (cell, &bi) in row.iter_mut().zip(&cols) {
                 *cell = bi.and_then(|i| lp.weight(i));
@@ -559,8 +633,9 @@ impl<'r> KnowledgeEngine<'r> {
 
     /// Longest `GE` path between two vertices converted to a zigzag.
     fn ge_path_zigzag(&self, from: NodeId, to: ExtVertex) -> Result<ZigzagPattern, CoreError> {
-        let lp = self.ge.longest_from_cached(ExtVertex::Node(from))?;
+        let lp = self.state.ge.longest_from_cached(ExtVertex::Node(from))?;
         let idx = self
+            .state
             .ge
             .index_of(to)
             .ok_or_else(|| CoreError::InvalidTiming {
@@ -569,7 +644,7 @@ impl<'r> KnowledgeEngine<'r> {
         let edges = lp.path(idx).ok_or_else(|| CoreError::InvalidTiming {
             detail: "reachable target has no path — model bug".into(),
         })?;
-        zigzag_from_ge_path(&self.ge, from, &edges)
+        zigzag_from_ge_path(&self.state.ge, from, &edges)
     }
 
     /// Constructs the γ-fast run of `θ1` — the extremal indistinguishable
@@ -593,14 +668,21 @@ impl<'r> KnowledgeEngine<'r> {
         let canonical = self.canonicalize(theta1)?;
         let ft = self.timing(canonical.base(), gamma)?;
         // The clone pulls the memoized timing out of the shared cache; the
-        // construction consumes it.
-        crate::construct::fast_run_from_timing(
+        // construction consumes it. The observer's arena recycles the
+        // delivery-queue storage across constructions; it is taken out of
+        // the lock for the construction's duration so concurrent callers
+        // never serialize on it (a racing call just uses a fresh arena).
+        let mut arena = std::mem::take(&mut *self.state.arena.lock().expect("arena lock"));
+        let result = crate::construct::fast_run_from_timing(
             self.run,
-            &self.ge,
+            &self.state.ge,
             &canonical,
             (*ft).clone(),
             extra_horizon,
-        )
+            &mut arena,
+        );
+        *self.state.arena.lock().expect("arena lock") = arena;
+        result
     }
 
     /// Produces a *refutation run* for a knowledge claim: a legal run

@@ -32,6 +32,11 @@
 //! * [`analyzer`] — run-level shared analysis: build the per-run state
 //!   (message table, `GB(r)`) once and derive per-observer
 //!   [`knowledge::KnowledgeEngine`]s from it;
+//! * [`incremental`] — the append-only streaming form: grow a run
+//!   event-by-event, delta-update the message index, `GB(r)` and the
+//!   memoized longest paths, and keep every queried observer's analysis
+//!   warm across appends (byte-identical to the batch engine at every
+//!   prefix);
 //! * [`enumerate`] — exhaustive fork/zigzag enumeration on small runs,
 //!   cross-checking the longest-path certificates by brute force;
 //! * [`dot`] — Graphviz exports reproducing the paper's Figure 6–8
@@ -58,6 +63,7 @@ pub mod extended_graph;
 pub mod extract;
 pub mod fork;
 pub mod graph;
+pub mod incremental;
 pub mod knowledge;
 pub mod node;
 pub mod pattern;
@@ -68,6 +74,7 @@ pub mod visible;
 pub use analyzer::RunAnalyzer;
 pub use error::CoreError;
 pub use fork::TwoLeggedFork;
+pub use incremental::IncrementalEngine;
 pub use knowledge::{KnowledgeEngine, MaxXMatrix};
 pub use node::GeneralNode;
 pub use pattern::ZigzagPattern;

@@ -17,8 +17,16 @@
 //! * `refute`: `None` iff the claim is within the threshold, and returned
 //!   counterexample runs validate and actually violate the claim.
 //!
-//! Two proptest blocks × (128 + 96) cases ≥ the 200-random-case floor;
-//! every case is a fresh `(topology, schedule)` pair.
+//! A third, **prefix-differential** block streams each run through the
+//! incremental engine and holds it to the batch answers after *every*
+//! append: `max_x` / `knows` / `max_x_basic_matrix` byte-for-byte on a
+//! fresh `KnowledgeEngine` over the same prefix, `GB(r)` tight bounds
+//! against a scratch `BoundsGraph`, and exact reconstruction of the
+//! source run once the feed drains.
+//!
+//! Three proptest blocks × (128 + 96 + 100) cases ≥ the 200-random-case
+//! floor (and the 100-case prefix floor); every case is a fresh
+//! `(topology, schedule)` pair.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -26,8 +34,10 @@ use proptest::prelude::*;
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::validate::{validate_run, Strictness};
-use zigzag::bcm::{topology, NodeId, ProcessId, Run, SimConfig, Simulator, Time};
+use zigzag::bcm::{topology, NodeId, ProcessId, Run, RunCursor, SimConfig, Simulator, Time};
+use zigzag::core::bounds_graph::BoundsGraph;
 use zigzag::core::extended_graph::ExtVertex;
+use zigzag::core::incremental::IncrementalEngine;
 use zigzag::core::knowledge::KnowledgeEngine;
 use zigzag::core::precedence::satisfies;
 use zigzag::core::GeneralNode;
@@ -233,6 +243,72 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Prefix-differential tier: stream random runs event-by-event and
+    /// hold the incremental engine to the batch answers at EVERY prefix.
+    #[test]
+    fn incremental_engine_matches_batch_on_every_prefix(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+    ) {
+        let run = random_run(n, density, topo_seed, sched_seed, 14);
+        let mut cursor = RunCursor::new(&run);
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        // A persistent observer picked as soon as one exists: its state is
+        // built once and must stay exact across all later appends.
+        let mut tracked: Option<NodeId> = None;
+        while let Some(ev) = cursor.next_event() {
+            let node = inc.append_event(&ev).unwrap();
+            let tracked_sigma = *tracked.get_or_insert(node);
+            let prefix = inc.run();
+
+            // The appended node's all-pairs matrix, byte-for-byte.
+            let online = inc.max_x_basic_matrix(node).unwrap();
+            let batch = KnowledgeEngine::new(prefix, node).unwrap();
+            prop_assert_eq!(&online, &batch.max_x_basic_matrix().unwrap(),
+                "matrix diverged at {}", node);
+
+            // The long-lived observer: sampled max_x/knows against a
+            // fresh batch engine on the same prefix.
+            let cold = KnowledgeEngine::new(prefix, tracked_sigma).unwrap();
+            let warm = inc.engine(tracked_sigma).unwrap();
+            let nodes: Vec<NodeId> = prefix
+                .past(tracked_sigma)
+                .iter()
+                .filter(|k| !k.is_initial())
+                .collect();
+            for &a in nodes.iter().take(3) {
+                for &b in nodes.iter().rev().take(3) {
+                    let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                    let want = cold.max_x(&ta, &tb).unwrap();
+                    prop_assert_eq!(warm.max_x(&ta, &tb).unwrap(), want,
+                        "max_x({}, {}) diverged at observer {}", a, b, tracked_sigma);
+                    prop_assert_eq!(
+                        inc.knows(tracked_sigma, &ta, &tb, want.unwrap_or(0)).unwrap(),
+                        cold.knows(&ta, &tb, want.unwrap_or(0)).unwrap()
+                    );
+                }
+            }
+
+            // Global GB(r) tight bounds, delta-relaxed vs from-scratch.
+            let scratch = BoundsGraph::of_run(prefix);
+            let want = scratch
+                .longest_path(tracked_sigma, node)
+                .unwrap()
+                .map(|(w, _)| w);
+            prop_assert_eq!(inc.tight_bound(tracked_sigma, node).unwrap(), want,
+                "GB tight bound diverged at {}", node);
+        }
+        // The drained feed reconstructed the recorded run exactly.
+        prop_assert_eq!(inc.run(), &run);
+        prop_assert_eq!(inc.event_count(), run.node_count() - n);
     }
 }
 
