@@ -1,0 +1,99 @@
+//! Session configuration: cache policy, probe semantics, coordination
+//! spec.
+//!
+//! Three previously-internal scaling knobs become explicit API here:
+//!
+//! * the **LRU bound** on per-observer analysis states — a serving
+//!   deployment querying millions of observers per stream must not hold
+//!   one warm `ObserverState` per observer forever;
+//! * **append-log compaction** — the graph layer keeps a catch-up log of
+//!   appended edges while memoized longest-path results exist; a very
+//!   long stream carries O(edges) log memory unless it is periodically
+//!   settled and reclaimed;
+//! * **probe semantics** — whether coordination decisions at a node see
+//!   the node's own FFIP sends (see
+//!   [`zigzag_coord::stream::ProbeSemantics`]).
+//!
+//! All three are policies, not semantics: any configuration answers every
+//! query byte-identically to the unbounded default (pinned by the LRU and
+//! compaction tests); the knobs trade memory against rebuild cost only.
+
+use zigzag_coord::{ProbeSemantics, TimedCoordination};
+
+/// Bounded-cache policy for a session; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CachePolicy {
+    /// Maximum number of per-observer analysis states kept warm
+    /// (`None` = unbounded, the default; `Some(0)` disables retention —
+    /// states are built per query and dropped). Eviction is
+    /// least-recently-used; an evicted observer's next query rebuilds a
+    /// state that answers byte-identically.
+    pub max_observers: Option<usize>,
+    /// Compact the stream's graph append-log every this many appends
+    /// (`None` = never, the default). Compaction settles the memoized
+    /// longest-path results and reclaims the log; answers are unaffected.
+    pub compact_every: Option<u64>,
+}
+
+impl CachePolicy {
+    /// The unbounded default (everything kept warm, no compaction) — the
+    /// pre-facade engine behavior.
+    pub fn unbounded() -> Self {
+        CachePolicy::default()
+    }
+
+    /// Bounds the observer-state cache (builder style).
+    pub fn max_observers(mut self, cap: usize) -> Self {
+        self.max_observers = Some(cap);
+        self
+    }
+
+    /// Enables periodic append-log compaction (builder style).
+    pub fn compact_every(mut self, appends: u64) -> Self {
+        self.compact_every = Some(appends.max(1));
+        self
+    }
+}
+
+/// Per-session configuration carried by every [`crate::ZigzagService`]
+/// session handle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionConfig {
+    /// The cache policy (LRU bound + compaction cadence).
+    pub cache: CachePolicy,
+    /// Probe semantics for coordination decisions. The default,
+    /// [`ProbeSemantics::IncludeOwnSends`], is the paper's `GE(r, σ)`
+    /// (maximal sound evidence); `ExcludeOwnSends` reproduces the
+    /// in-simulation probe exactly on every topology.
+    pub probe: ProbeSemantics,
+    /// The timed-coordination spec evaluated by
+    /// [`crate::Query::CoordDecision`] (`None` = coordination queries are
+    /// refused with [`crate::Error::NoSpec`]).
+    pub spec: Option<TimedCoordination>,
+}
+
+impl SessionConfig {
+    /// The default configuration: unbounded caches, include-own-sends
+    /// probe, no coordination spec.
+    pub fn new() -> Self {
+        SessionConfig::default()
+    }
+
+    /// Sets the cache policy (builder style).
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the probe semantics (builder style).
+    pub fn probe(mut self, probe: ProbeSemantics) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Attaches a coordination spec (builder style).
+    pub fn spec(mut self, spec: TimedCoordination) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+}

@@ -1,0 +1,141 @@
+//! The facade's single error type.
+//!
+//! Callers of [`crate::ZigzagService`] match one `Error` instead of three
+//! layer errors. Conversion is non-lossy: every wrapped layer error is
+//! kept whole and exposed through [`std::error::Error::source`], so a
+//! caller (or a log formatter walking the chain) sees exactly the failure
+//! the layer reported.
+
+use std::fmt;
+
+use zigzag_bcm::BcmError;
+use zigzag_coord::CoordError;
+use zigzag_core::CoreError;
+
+use crate::service::SessionId;
+
+/// Errors produced by the `zigzag::api` facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying model-layer error (network, simulation, run
+    /// recording, codec).
+    Bcm(BcmError),
+    /// An underlying causality-layer error (knowledge engine, graphs,
+    /// constructions, incremental pipeline).
+    Core(CoreError),
+    /// An underlying coordination-layer error (specs, scenarios,
+    /// streaming decisions).
+    Coord(CoordError),
+    /// The session id does not name an open session.
+    UnknownSession {
+        /// The offending id.
+        id: SessionId,
+    },
+    /// The query needs a live stream but the session is a batch session.
+    NotStreaming {
+        /// The offending id.
+        id: SessionId,
+    },
+    /// A `CoordDecision` query was dispatched to a session whose
+    /// [`crate::SessionConfig`] carries no coordination spec.
+    NoSpec,
+    /// A wire document could not be decoded.
+    Wire {
+        /// 1-based line at which decoding failed (0 when unknown).
+        line: usize,
+        /// Explanation of the malformation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Bcm(e) => write!(f, "model layer: {e}"),
+            Error::Core(e) => write!(f, "causality layer: {e}"),
+            Error::Coord(e) => write!(f, "coordination layer: {e}"),
+            Error::UnknownSession { id } => write!(f, "unknown session {id}"),
+            Error::NotStreaming { id } => {
+                write!(f, "session {id} is a batch session; cannot append events")
+            }
+            Error::NoSpec => write!(
+                f,
+                "coordination decision requested on a session configured without a spec"
+            ),
+            Error::Wire { line, detail } => write!(f, "wire: line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Bcm(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Coord(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BcmError> for Error {
+    fn from(e: BcmError) -> Self {
+        Error::Bcm(e)
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<CoordError> for Error {
+    fn from(e: CoordError) -> Self {
+        Error::Coord(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source_chains_are_non_lossy() {
+        let bcm: Error = BcmError::EmptyNetwork.into();
+        assert!(bcm.to_string().contains("model layer"));
+        assert!(bcm.source().is_some());
+
+        let core: Error = CoreError::PositiveCycle.into();
+        assert!(core.source().is_some());
+        // The wrapped error is kept whole, not re-rendered.
+        assert_eq!(
+            core.source().unwrap().to_string(),
+            CoreError::PositiveCycle.to_string()
+        );
+
+        // A two-deep chain stays walkable: Coord wraps Core wraps nothing.
+        let coord: Error = CoordError::Core(CoreError::PositiveCycle).into();
+        let inner = coord.source().unwrap();
+        assert!(inner.source().is_some(), "inner chain was flattened");
+
+        for e in [
+            Error::UnknownSession {
+                id: SessionId::from_raw(7),
+            },
+            Error::NotStreaming {
+                id: SessionId::from_raw(7),
+            },
+            Error::NoSpec,
+            Error::Wire {
+                line: 3,
+                detail: "x".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! # zigzag-api — the unified service facade
+//!
+//! The single public entry point over the zigzag-causality engines: a
+//! [`ZigzagService`] owns typed [`Session`]s — **batch** sessions over
+//! complete recorded runs and **stream** sessions over live event feeds —
+//! and answers one serializable [`Query`] family through one
+//! [`ZigzagService::dispatch`] code path. The paper's Theorem 4 reduces
+//! every knowledge question to this closed family (thresholds, the
+//! knowledge predicate, witnesses, fast-run refutations, tight bounds,
+//! the Protocol 2 coordination decision), which is exactly the shape of a
+//! typed request/response serving API.
+//!
+//! Sessions carry an explicit [`SessionConfig`]:
+//!
+//! * [`CachePolicy`] — an LRU bound on warm per-observer analysis states
+//!   plus periodic mid-stream append-log compaction (memory knobs for
+//!   serving deployments; answers are byte-identical under any policy);
+//! * [`ProbeSemantics`] — whether coordination decisions at a node see
+//!   the node's own FFIP sends;
+//! * an optional [`TimedCoordination`] spec enabling
+//!   [`Query::CoordDecision`].
+//!
+//! Every answer is byte-identical to the corresponding direct engine call
+//! (`KnowledgeEngine`, `IncrementalEngine`, `coord`) on both session
+//! shapes and at every stream prefix — pinned by the differential oracle.
+//! [`wire`] gives queries and responses a stable line-oriented text
+//! encoding (reusing the `zigzag-run v1` codec for embedded runs) for
+//! future networked serving.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zigzag_api::{Query, Response, SessionConfig, ZigzagService};
+//! use zigzag_bcm::protocols::Ffip;
+//! use zigzag_bcm::scheduler::EagerScheduler;
+//! use zigzag_bcm::{Network, RunCursor, SimConfig, Simulator, Time};
+//! use zigzag_core::GeneralNode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Figure 1: C → A [1,3], C → B [7,9].
+//! let mut b = Network::builder();
+//! let c = b.add_process("C");
+//! let a = b.add_process("A");
+//! let bb = b.add_process("B");
+//! b.add_channel(c, a, 1, 3)?;
+//! b.add_channel(c, bb, 7, 9)?;
+//! let ctx = b.build()?;
+//! let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+//! sim.external(Time::new(2), c, "go");
+//! let run = sim.run(&mut Ffip::new(), &mut EagerScheduler)?;
+//!
+//! let service = ZigzagService::new();
+//!
+//! // Batch session over the recorded run...
+//! let batch = service.open_batch(run.clone(), SessionConfig::new());
+//! let sigma_c = run.external_receipt_node(c, "go").unwrap();
+//! let theta_a = GeneralNode::chain(sigma_c, &[a])?;
+//! let theta_b = GeneralNode::chain(sigma_c, &[bb])?;
+//! let sigma = theta_b.resolve(&run)?;
+//! let q = Query::MaxX { sigma, theta1: theta_a, theta2: theta_b };
+//! assert_eq!(service.dispatch(batch, &q)?, Response::MaxX(Some(4)));
+//!
+//! // ...and a stream session fed the same schedule event-by-event
+//! // answers identically at the full prefix.
+//! let stream = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
+//! let mut cursor = RunCursor::new(&run);
+//! while let Some(ev) = cursor.next_event() {
+//!     service.append(stream, &ev)?;
+//! }
+//! assert_eq!(service.dispatch(stream, &q)?, Response::MaxX(Some(4)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod query;
+pub mod service;
+pub mod session;
+pub mod wire;
+
+pub use config::{CachePolicy, SessionConfig};
+pub use error::Error;
+pub use query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
+pub use service::{SessionId, ZigzagService};
+pub use session::{AppendReport, BatchSession, Session, SessionBackend, StreamSession};
+
+// Re-exported so facade callers configure sessions without importing the
+// coordination crate directly.
+pub use zigzag_coord::{CoordKind, ProbeSemantics, TimedCoordination};

@@ -1,0 +1,195 @@
+//! The front door: a [`ZigzagService`] owning sessions and routing
+//! queries.
+//!
+//! The service is the single public entry point the ROADMAP's serving
+//! system builds on: callers open typed sessions (batch runs or live
+//! streams), append events, and dispatch [`Query`]s — no hand-wiring of
+//! `Simulator` / `RunAnalyzer` / `KnowledgeEngine` / `IncrementalEngine`
+//! / `StreamDriver` lifetimes. Every later scaling layer (sharded
+//! services, async front ends, networked serving over the wire encoding)
+//! is a deployment of this surface.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use zigzag_bcm::stream::RunEvent;
+use zigzag_bcm::{Context, Run, RunCursor, Time};
+
+use crate::config::SessionConfig;
+use crate::error::Error;
+use crate::query::{Query, Response};
+use crate::session::{AppendReport, BatchSession, Session, StreamSession};
+
+/// An opaque handle naming one open session of a [`ZigzagService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Reconstructs a handle from its raw value (wire decoding, logs).
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw value (wire encoding, logs).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The unified service facade; see the [module docs](self) and the
+/// crate-level example.
+///
+/// The session table's own lock is held only for handle resolution
+/// (lookup/insert/remove) — never across query evaluation or appends.
+/// Each session synchronizes individually (see [`crate::session`]'s
+/// locking notes), so slow work on one session does not block another.
+#[derive(Debug, Default)]
+pub struct ZigzagService {
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next: AtomicU64,
+}
+
+impl ZigzagService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        ZigzagService::default()
+    }
+
+    fn insert(&self, session: Session) -> SessionId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .insert(id, Arc::new(session));
+        SessionId(id)
+    }
+
+    /// Resolves a handle to its session, holding the table lock only for
+    /// the lookup.
+    fn session(&self, id: SessionId) -> Result<Arc<Session>, Error> {
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .get(&id.0)
+            .cloned()
+            .ok_or(Error::UnknownSession { id })
+    }
+
+    /// Opens a batch session over a complete recorded run.
+    pub fn open_batch(&self, run: Run, config: SessionConfig) -> SessionId {
+        self.insert(Session::Batch(BatchSession::new(run, config)))
+    }
+
+    /// Opens a stream session over an empty stream on `context`,
+    /// recording up to `horizon`. Feed it with
+    /// [`ZigzagService::append`].
+    pub fn open_stream(
+        &self,
+        context: Arc<Context>,
+        horizon: Time,
+        config: SessionConfig,
+    ) -> SessionId {
+        self.insert(Session::Stream(StreamSession::new(
+            context, horizon, config,
+        )))
+    }
+
+    /// Opens a stream session and replays a recorded run into it event by
+    /// event — the facade form of `IncrementalEngine::ingest` /
+    /// `StreamDriver::replay`, returning the session and the per-event
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded run is internally inconsistent.
+    pub fn open_replay(
+        &self,
+        run: &Run,
+        config: SessionConfig,
+    ) -> Result<(SessionId, Vec<AppendReport>), Error> {
+        let session = StreamSession::new(run.context_arc(), run.horizon(), config);
+        let mut cursor = RunCursor::new(run);
+        let mut reports = Vec::with_capacity(cursor.remaining());
+        while let Some(ev) = cursor.next_event() {
+            reports.push(session.append(&ev)?);
+        }
+        Ok((self.insert(Session::Stream(session)), reports))
+    }
+
+    /// Appends one event to a stream session. Only that session's own
+    /// write lock is taken; queries on other sessions proceed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or batch sessions, or if the event is
+    /// inconsistent with the grown prefix (which poisons the session's
+    /// engine, as `IncrementalEngine::append_event` documents).
+    pub fn append(&self, id: SessionId, ev: &RunEvent) -> Result<AppendReport, Error> {
+        match &*self.session(id)? {
+            Session::Batch(_) => Err(Error::NotStreaming { id }),
+            Session::Stream(s) => s.append(ev),
+        }
+    }
+
+    /// Answers one query (or a whole [`Query::QueryBatch`]) against a
+    /// session — *the* code path every caller shares, byte-identical to
+    /// the corresponding direct engine calls (pinned by the differential
+    /// oracle). Evaluation happens outside the session table's lock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown sessions or on the underlying engine error of the
+    /// failing query.
+    pub fn dispatch(&self, id: SessionId, query: &Query) -> Result<Response, Error> {
+        self.session(id)?.dispatch(query)
+    }
+
+    /// Runs `f` over a session's run (batch) or grown prefix (stream)
+    /// without cloning it. The closure must not call back into the
+    /// *same stream* session (it holds that session's read lock); calls
+    /// on other sessions — or on the same *batch* session — are fine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown sessions.
+    pub fn with_run<T>(&self, id: SessionId, f: impl FnOnce(&Run) -> T) -> Result<T, Error> {
+        Ok(self.session(id)?.with_run(f))
+    }
+
+    /// Number of observer states a session currently holds warm — the
+    /// quantity bounded by [`crate::CachePolicy::max_observers`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown sessions.
+    pub fn observer_count(&self, id: SessionId) -> Result<usize, Error> {
+        Ok(self.session(id)?.observer_count())
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session table lock").len()
+    }
+
+    /// Closes a session, releasing its state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown sessions.
+    pub fn close(&self, id: SessionId) -> Result<(), Error> {
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(Error::UnknownSession { id })
+    }
+}

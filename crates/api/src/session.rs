@@ -1,0 +1,451 @@
+//! Typed session handles unifying batch runs and live streams.
+//!
+//! A [`Session`] is the facade's unit of state: either a **batch**
+//! session wrapping a complete recorded [`Run`] (the owned form of
+//! `zigzag_core::analyzer::RunAnalyzer`'s shared-analysis scheme — one
+//! message index, one `GB(r)`, one cached `ObserverState` per queried
+//! observer), or a **stream** session wrapping an
+//! [`IncrementalEngine`] (optionally driven by a
+//! [`zigzag_coord::StreamDriver`] when the config carries a coordination
+//! spec) that grows one [`RunEvent`] at a time.
+//!
+//! Both shapes answer the same [`Query`] family through the same
+//! [`SessionBackend`] trait, so a caller — or the bench harness — cannot
+//! tell them apart except by whether [`StreamSession::append`] applies.
+//! Byte-identity of every answer with the corresponding direct engine
+//! call is pinned by the differential oracle (`tests/oracle.rs`).
+//!
+//! # Locking
+//!
+//! Sessions synchronize **individually**, never through a shared lock:
+//! batch sessions answer queries from `&self` (their interior caches
+//! carry their own fine-grained locks), and a stream session guards its
+//! growing engine with one `RwLock` — queries share read access,
+//! appends take the write side. One slow query on one session never
+//! blocks traffic on another. The only re-entrancy hazard left is a
+//! [`crate::ZigzagService::with_run`] closure calling back into the
+//! *same stream* session (read-read recursion on its `RwLock`), which
+//! the method docs forbid.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
+
+use zigzag_bcm::stream::RunEvent;
+use zigzag_bcm::{Context, NodeId, Run, Time};
+use zigzag_coord::StreamDriver;
+use zigzag_core::bounds_graph::BoundsGraph;
+use zigzag_core::extended_graph::MessageIndex;
+use zigzag_core::incremental::IncrementalEngine;
+use zigzag_core::knowledge::{ObserverCache, ObserverState};
+use zigzag_core::KnowledgeEngine;
+
+use crate::config::SessionConfig;
+use crate::error::Error;
+use crate::query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
+
+/// What one appended event meant for a stream session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// The node the event created.
+    pub node: NodeId,
+    /// Its time.
+    pub time: Time,
+    /// For sessions with a coordination spec: `Some(decision)` when the
+    /// node belongs to `B` (whether `B` knows enough to act right there),
+    /// `None` otherwise. Always `None` without a spec.
+    pub b_knows: Option<bool>,
+}
+
+/// The engine surface a [`Query`] dispatch needs — the one trait both
+/// session shapes implement, so single calls, batches and the bench
+/// harness share a single dispatch code path.
+pub trait SessionBackend {
+    /// The run (for batch sessions) or the grown prefix (for streams).
+    fn run(&self) -> &Run;
+
+    /// The knowledge engine observing at `sigma`, served from the
+    /// session's observer-state cache under its [`CachePolicy`]
+    /// (built on miss, LRU-evicted on overflow).
+    ///
+    /// [`CachePolicy`]: crate::CachePolicy
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in the run/prefix.
+    fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, Error>;
+
+    /// The tight bound on `time(to) − time(from)` supported by `GB(r)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `from` is not a recorded node.
+    fn tight_bound(&self, from: NodeId, to: NodeId) -> Result<Option<i64>, Error>;
+
+    /// Protocol 2's verdict for the session's configured spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::NoSpec`] when the session has no spec.
+    fn coord_decision(&self) -> Result<CoordReport, Error>;
+
+    /// Number of observer states currently held warm (the quantity the
+    /// cache policy bounds).
+    fn observer_count(&self) -> usize;
+}
+
+/// Answers one query against any backend — *the* dispatch code path.
+pub(crate) fn dispatch_on<B: SessionBackend + ?Sized>(
+    backend: &B,
+    query: &Query,
+) -> Result<Response, Error> {
+    match query {
+        Query::MaxX {
+            sigma,
+            theta1,
+            theta2,
+        } => Ok(Response::MaxX(
+            backend.engine(*sigma)?.max_x(theta1, theta2)?,
+        )),
+        Query::Knows {
+            sigma,
+            theta1,
+            theta2,
+            x,
+        } => Ok(Response::Knows(
+            backend.engine(*sigma)?.knows(theta1, theta2, *x)?,
+        )),
+        Query::Witness {
+            sigma,
+            theta1,
+            theta2,
+        } => Ok(Response::Witness(
+            backend
+                .engine(*sigma)?
+                .witness(theta1, theta2)?
+                .map(|(weight, vz)| WitnessReport {
+                    weight,
+                    pattern: vz.to_string(),
+                }),
+        )),
+        Query::MaxXMatrix { sigma } => Ok(Response::MaxXMatrix(
+            backend.engine(*sigma)?.max_x_basic_matrix()?,
+        )),
+        Query::TightBound { from, to } => {
+            Ok(Response::TightBound(backend.tight_bound(*from, *to)?))
+        }
+        Query::FastRun {
+            sigma,
+            theta,
+            gamma,
+            extra_horizon,
+        } => {
+            let fr = backend
+                .engine(*sigma)?
+                .fast_run_of(theta, *gamma, *extra_horizon)?;
+            Ok(Response::FastRun(FastRunReport {
+                sigma: fr.sigma,
+                gamma: fr.gamma,
+                theta_time: fr.theta_time,
+                run: fr.run,
+            }))
+        }
+        Query::CoordDecision => Ok(Response::CoordDecision(backend.coord_decision()?)),
+        Query::QueryBatch(queries) => queries
+            .iter()
+            .map(|q| dispatch_on(backend, q))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Response::ResponseBatch),
+    }
+}
+
+/// A batch session: the owned, facade-side form of the
+/// `RunAnalyzer` shared-analysis scheme over one complete recorded run,
+/// with the observer cache bounded by the session's [`CachePolicy`].
+///
+/// [`CachePolicy`]: crate::CachePolicy
+#[derive(Debug)]
+pub struct BatchSession {
+    run: Run,
+    config: SessionConfig,
+    /// Per-run message table, resolved once and shared by every derived
+    /// `GE(r, σ)` and every coordination decision.
+    messages: OnceLock<MessageIndex>,
+    /// The global basic bounds graph `GB(r)`, built once per session.
+    gb: OnceLock<BoundsGraph>,
+    /// The coordination verdict, computed once: the run and config are
+    /// immutable, so `CoordDecision` is a constant of the session.
+    coord: OnceLock<Result<CoordReport, Error>>,
+    observers: Mutex<ObserverCache>,
+}
+
+impl BatchSession {
+    /// Opens a session over a complete recorded run.
+    pub fn new(run: Run, config: SessionConfig) -> Self {
+        let cap = config.cache.max_observers;
+        BatchSession {
+            run,
+            config,
+            messages: OnceLock::new(),
+            gb: OnceLock::new(),
+            coord: OnceLock::new(),
+            observers: Mutex::new(ObserverCache::new(cap)),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    fn messages(&self) -> &MessageIndex {
+        self.messages
+            .get_or_init(|| MessageIndex::of_run(&self.run))
+    }
+
+    fn gb(&self) -> &BoundsGraph {
+        self.gb.get_or_init(|| BoundsGraph::of_run(&self.run))
+    }
+}
+
+impl SessionBackend for BatchSession {
+    fn run(&self) -> &Run {
+        &self.run
+    }
+
+    fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, Error> {
+        let state = self
+            .observers
+            .lock()
+            .expect("observer cache lock")
+            .get_or_build(sigma, || {
+                ObserverState::build(&self.run, sigma, self.messages())
+            })?;
+        Ok(KnowledgeEngine::with_state(&self.run, state))
+    }
+
+    fn tight_bound(&self, from: NodeId, to: NodeId) -> Result<Option<i64>, Error> {
+        // Mirrors IncrementalEngine::tight_bound (memoized per-source
+        // SPFA + O(1) target lookup) so the two session shapes share the
+        // same answer path.
+        let gb = self.gb();
+        let lp = gb.longest_from_cached(from)?;
+        Ok(gb.graph().index_of(&to).and_then(|i| lp.weight(i)))
+    }
+
+    fn coord_decision(&self) -> Result<CoordReport, Error> {
+        // The run and spec never change, so the verdict is computed once
+        // per session (each per-node decision builds its own probe-scoped
+        // GE, which is not worth paying per poll); the per-run message
+        // table is decision-invariant and shared across the per-node
+        // decisions of that one computation.
+        self.coord
+            .get_or_init(|| {
+                let spec = self.config.spec.as_ref().ok_or(Error::NoSpec)?;
+                let (first_known, sigma_c) = zigzag_coord::first_knowledge_indexed(
+                    spec,
+                    &self.run,
+                    self.config.probe,
+                    self.messages(),
+                )?;
+                Ok(CoordReport {
+                    first_known,
+                    sigma_c,
+                })
+            })
+            .clone()
+    }
+
+    fn observer_count(&self) -> usize {
+        self.observers.lock().expect("observer cache lock").len()
+    }
+}
+
+/// The stream session's engine, with or without a coordination driver.
+#[derive(Debug)]
+enum StreamInner {
+    /// No spec configured: the bare incremental engine.
+    Plain(IncrementalEngine),
+    /// Spec configured: a [`StreamDriver`] evaluating Protocol 2 online
+    /// after every append, wrapping (and owning) the engine.
+    Coord(StreamDriver),
+}
+
+impl StreamInner {
+    fn engine(&self) -> &IncrementalEngine {
+        match self {
+            StreamInner::Plain(engine) => engine,
+            StreamInner::Coord(driver) => driver.engine(),
+        }
+    }
+}
+
+impl SessionBackend for StreamInner {
+    fn run(&self) -> &Run {
+        self.engine().run()
+    }
+
+    fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, Error> {
+        Ok(StreamInner::engine(self).engine(sigma)?)
+    }
+
+    fn tight_bound(&self, from: NodeId, to: NodeId) -> Result<Option<i64>, Error> {
+        Ok(StreamInner::engine(self).tight_bound(from, to)?)
+    }
+
+    fn coord_decision(&self) -> Result<CoordReport, Error> {
+        match self {
+            StreamInner::Plain(_) => Err(Error::NoSpec),
+            StreamInner::Coord(driver) => Ok(CoordReport {
+                first_known: driver.first_known(),
+                sigma_c: driver.sigma_c(),
+            }),
+        }
+    }
+
+    fn observer_count(&self) -> usize {
+        self.engine().observer_count()
+    }
+}
+
+/// A stream session: a live, append-only run wrapped around an
+/// [`IncrementalEngine`] (plus a [`StreamDriver`] when a coordination
+/// spec is configured), under the session's [`CachePolicy`]. The engine
+/// sits behind a session-local `RwLock`: queries share read access,
+/// appends take the write side — no cross-session lock exists.
+///
+/// [`CachePolicy`]: crate::CachePolicy
+#[derive(Debug)]
+pub struct StreamSession {
+    inner: RwLock<StreamInner>,
+    config: SessionConfig,
+    appends: AtomicU64,
+}
+
+impl StreamSession {
+    /// Opens a session over an empty stream on `context`, recording up to
+    /// `horizon`.
+    pub fn new(context: Arc<Context>, horizon: Time, config: SessionConfig) -> Self {
+        let mut engine = IncrementalEngine::new(context, horizon);
+        engine.set_observer_cap(config.cache.max_observers);
+        let inner = match &config.spec {
+            Some(spec) => StreamInner::Coord(
+                StreamDriver::over(spec.clone(), engine).with_probe(config.probe),
+            ),
+            None => StreamInner::Plain(engine),
+        };
+        StreamSession {
+            inner: RwLock::new(inner),
+            config,
+            appends: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, StreamInner> {
+        self.inner.read().expect("stream session lock")
+    }
+
+    /// Runs `f` over the underlying incremental engine (shared read
+    /// access: concurrent queries proceed, appends wait).
+    pub fn with_engine<T>(&self, f: impl FnOnce(&IncrementalEngine) -> T) -> T {
+        f(self.read().engine())
+    }
+
+    /// Number of events appended so far.
+    pub fn event_count(&self) -> usize {
+        self.with_engine(IncrementalEngine::event_count)
+    }
+
+    /// Appends one event, evaluating the coordination decision when a
+    /// spec is configured, and running the cache policy's periodic
+    /// append-log compaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the event is inconsistent with the grown prefix; the
+    /// failure poisons the underlying engine (every later operation is
+    /// refused) exactly as [`IncrementalEngine::append_event`] documents.
+    pub fn append(&self, ev: &RunEvent) -> Result<AppendReport, Error> {
+        let mut inner = self.inner.write().expect("stream session lock");
+        let report = match &mut *inner {
+            StreamInner::Plain(engine) => {
+                let node = engine.append_event(ev)?;
+                AppendReport {
+                    node,
+                    time: ev.time,
+                    b_knows: None,
+                }
+            }
+            StreamInner::Coord(driver) => {
+                let step = driver.step(ev)?;
+                AppendReport {
+                    node: step.node,
+                    time: step.time,
+                    b_knows: step.b_knows,
+                }
+            }
+        };
+        let appends = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(every) = self.config.cache.compact_every {
+            if appends.is_multiple_of(every) {
+                inner.engine().compact()?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Answers one query on the current prefix (shared read access).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying engine error for the failing query.
+    pub fn dispatch(&self, query: &Query) -> Result<Response, Error> {
+        dispatch_on(&*self.read(), query)
+    }
+}
+
+/// One open session of a [`crate::ZigzagService`]: batch or stream,
+/// behind the shared [`SessionBackend`] query surface.
+#[derive(Debug)]
+pub enum Session {
+    /// A batch session over a complete recorded run.
+    Batch(BatchSession),
+    /// A live stream session.
+    Stream(StreamSession),
+}
+
+impl Session {
+    /// Runs `f` over the run (batch) or grown prefix (stream) without
+    /// cloning it. The closure must not call back into the same stream
+    /// session (it holds the session's read lock).
+    pub fn with_run<T>(&self, f: impl FnOnce(&Run) -> T) -> T {
+        match self {
+            Session::Batch(s) => f(&s.run),
+            Session::Stream(s) => f(s.read().run()),
+        }
+    }
+
+    /// Number of observer states currently held warm.
+    pub fn observer_count(&self) -> usize {
+        match self {
+            Session::Batch(s) => s.observer_count(),
+            Session::Stream(s) => s.with_engine(IncrementalEngine::observer_count),
+        }
+    }
+
+    /// Answers one query; see [`crate::ZigzagService::dispatch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying engine error for the failing query.
+    pub fn dispatch(&self, query: &Query) -> Result<Response, Error> {
+        match self {
+            Session::Batch(s) => dispatch_on(s, query),
+            Session::Stream(s) => s.dispatch(query),
+        }
+    }
+}

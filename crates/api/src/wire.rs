@@ -1,0 +1,733 @@
+//! A stable, dependency-free wire encoding for [`Query`] / [`Response`].
+//!
+//! Future networked serving needs requests and answers that survive a
+//! byte pipe. Like the run codec (`zigzag_bcm::codec`, which this module
+//! reuses verbatim for the runs embedded in fast-run responses), the
+//! format is line-oriented text that diffs well and carries a version
+//! header:
+//!
+//! ```text
+//! zigzag-query v1
+//! knows 1 2 2 1 2 2 1 1 2 2 1 1 0 4
+//! ```
+//!
+//! General nodes are encoded as `⟨proc, index, path-len, path…⟩`; option
+//! values as `.` for `None`. Round-tripping is lossless: decoding an
+//! encoded query (or response) yields a value equal to the original, and
+//! dispatching a decoded query returns the identical response (pinned by
+//! a property test in `tests/service.rs`).
+
+use std::fmt::Write as _;
+
+use zigzag_bcm::{codec, NetPath, NodeId, ProcessId, Time};
+use zigzag_core::{GeneralNode, MaxXMatrix};
+
+use crate::error::Error;
+use crate::query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
+
+const QUERY_HEADER: &str = "zigzag-query v1";
+const RESPONSE_HEADER: &str = "zigzag-response v1";
+
+/// Maximum `batch` nesting depth accepted by the decoders. Decoding
+/// recurses per nesting level, so an unbounded depth would let a small
+/// hostile document (`batch 1\n` repeated) overflow the stack; genuine
+/// clients batch flat or near-flat.
+const MAX_BATCH_DEPTH: usize = 16;
+
+fn bad(line: usize, detail: impl Into<String>) -> Error {
+    Error::Wire {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn push_node(out: &mut String, n: NodeId) {
+    let _ = write!(out, " {} {}", n.proc().index(), n.index());
+}
+
+fn push_theta(out: &mut String, theta: &GeneralNode) {
+    push_node(out, theta.base());
+    let procs = theta.path().procs();
+    let _ = write!(out, " {}", procs.len());
+    for p in procs {
+        let _ = write!(out, " {}", p.index());
+    }
+}
+
+fn push_opt(out: &mut String, v: Option<i64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, " {v}");
+        }
+        None => out.push_str(" ."),
+    }
+}
+
+fn push_opt_node(out: &mut String, n: Option<NodeId>) {
+    match n {
+        Some(n) => push_node(out, n),
+        None => out.push_str(" ."),
+    }
+}
+
+fn encode_query_into(out: &mut String, q: &Query) {
+    match q {
+        Query::MaxX {
+            sigma,
+            theta1,
+            theta2,
+        } => {
+            out.push_str("maxx");
+            push_node(out, *sigma);
+            push_theta(out, theta1);
+            push_theta(out, theta2);
+            out.push('\n');
+        }
+        Query::Knows {
+            sigma,
+            theta1,
+            theta2,
+            x,
+        } => {
+            out.push_str("knows");
+            push_node(out, *sigma);
+            push_theta(out, theta1);
+            push_theta(out, theta2);
+            let _ = writeln!(out, " {x}");
+        }
+        Query::Witness {
+            sigma,
+            theta1,
+            theta2,
+        } => {
+            out.push_str("witness");
+            push_node(out, *sigma);
+            push_theta(out, theta1);
+            push_theta(out, theta2);
+            out.push('\n');
+        }
+        Query::MaxXMatrix { sigma } => {
+            out.push_str("matrix");
+            push_node(out, *sigma);
+            out.push('\n');
+        }
+        Query::TightBound { from, to } => {
+            out.push_str("tight");
+            push_node(out, *from);
+            push_node(out, *to);
+            out.push('\n');
+        }
+        Query::FastRun {
+            sigma,
+            theta,
+            gamma,
+            extra_horizon,
+        } => {
+            out.push_str("fastrun");
+            push_node(out, *sigma);
+            push_theta(out, theta);
+            let _ = writeln!(out, " {gamma} {extra_horizon}");
+        }
+        Query::CoordDecision => out.push_str("coord\n"),
+        Query::QueryBatch(queries) => {
+            let _ = writeln!(out, "batch {}", queries.len());
+            for q in queries {
+                encode_query_into(out, q);
+            }
+        }
+    }
+}
+
+/// Encodes a query into the `zigzag-query v1` text format.
+pub fn encode_query(q: &Query) -> String {
+    let mut out = String::new();
+    out.push_str(QUERY_HEADER);
+    out.push('\n');
+    encode_query_into(&mut out, q);
+    out
+}
+
+fn encode_response_into(out: &mut String, r: &Response) {
+    match r {
+        Response::MaxX(v) => {
+            out.push_str("maxx");
+            push_opt(out, *v);
+            out.push('\n');
+        }
+        Response::Knows(b) => {
+            let _ = writeln!(out, "knows {b}");
+        }
+        Response::Witness(None) => out.push_str("witness .\n"),
+        Response::Witness(Some(WitnessReport { weight, pattern })) => {
+            let _ = writeln!(out, "witness {weight} {pattern}");
+        }
+        Response::MaxXMatrix(m) => {
+            let _ = writeln!(out, "matrix {}", m.len());
+            out.push_str("mnodes");
+            for &n in m.nodes() {
+                push_node(out, n);
+            }
+            out.push('\n');
+            for i in 0..m.len() {
+                out.push_str("mrow");
+                for j in 0..m.len() {
+                    push_opt(out, m.at(i, j));
+                }
+                out.push('\n');
+            }
+        }
+        Response::TightBound(v) => {
+            out.push_str("tight");
+            push_opt(out, *v);
+            out.push('\n');
+        }
+        Response::FastRun(FastRunReport {
+            sigma,
+            gamma,
+            theta_time,
+            run,
+        }) => {
+            out.push_str("fastrun");
+            push_node(out, *sigma);
+            let _ = writeln!(out, " {gamma} {}", theta_time.ticks());
+            // The embedded run reuses the zigzag-run v1 codec verbatim.
+            let encoded = codec::encode(run);
+            let lines: Vec<&str> = encoded.lines().collect();
+            let _ = writeln!(out, "runlines {}", lines.len());
+            for l in lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+        Response::CoordDecision(CoordReport {
+            first_known,
+            sigma_c,
+        }) => {
+            out.push_str("coord");
+            push_opt_node(out, *first_known);
+            push_opt_node(out, *sigma_c);
+            out.push('\n');
+        }
+        Response::ResponseBatch(responses) => {
+            let _ = writeln!(out, "batch {}", responses.len());
+            for r in responses {
+                encode_response_into(out, r);
+            }
+        }
+    }
+}
+
+/// Encodes a response into the `zigzag-response v1` text format.
+pub fn encode_response(r: &Response) -> String {
+    let mut out = String::new();
+    out.push_str(RESPONSE_HEADER);
+    out.push('\n');
+    encode_response_into(&mut out, r);
+    out
+}
+
+/// A cursor over the document's lines, tracking position for errors.
+struct Lines<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
+    }
+
+    fn line_no(&self) -> usize {
+        self.pos
+    }
+
+    fn remaining(&self) -> usize {
+        self.lines.len() - self.pos
+    }
+
+    /// Validates a count field that promises `n` further lines: a
+    /// malformed document must produce [`Error::Wire`], never a
+    /// pre-allocation of attacker-controlled size.
+    fn expect_lines(&self, n: usize, what: &str) -> Result<usize, Error> {
+        if n > self.remaining() {
+            return Err(bad(
+                self.pos,
+                format!(
+                    "{what} promises {n} lines but only {} remain",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(n)
+    }
+
+    fn next(&mut self) -> Result<&'a str, Error> {
+        let line = self
+            .lines
+            .get(self.pos)
+            .ok_or_else(|| bad(self.pos, "unexpected end of document"))?;
+        self.pos += 1;
+        Ok(line)
+    }
+}
+
+/// A token cursor over one line.
+struct Tokens<'a> {
+    it: std::str::SplitWhitespace<'a>,
+    line_no: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        Tokens {
+            it: line.split_whitespace(),
+            line_no,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, Error> {
+        self.it
+            .next()
+            .ok_or_else(|| bad(self.line_no, "missing token"))
+    }
+
+    fn num<T: std::str::FromStr>(&mut self) -> Result<T, Error> {
+        let tok = self.next()?;
+        tok.parse()
+            .map_err(|_| bad(self.line_no, format!("bad number {tok:?}")))
+    }
+
+    fn node(&mut self) -> Result<NodeId, Error> {
+        let p: u32 = self.num()?;
+        let i: u32 = self.num()?;
+        Ok(NodeId::new(ProcessId::new(p), i))
+    }
+
+    fn opt(&mut self) -> Result<Option<i64>, Error> {
+        let tok = self.next()?;
+        if tok == "." {
+            return Ok(None);
+        }
+        tok.parse()
+            .map(Some)
+            .map_err(|_| bad(self.line_no, format!("bad value {tok:?}")))
+    }
+
+    fn opt_node(&mut self) -> Result<Option<NodeId>, Error> {
+        let tok = self.next()?;
+        if tok == "." {
+            return Ok(None);
+        }
+        let p: u32 = tok
+            .parse()
+            .map_err(|_| bad(self.line_no, format!("bad process {tok:?}")))?;
+        let i: u32 = self.num()?;
+        Ok(Some(NodeId::new(ProcessId::new(p), i)))
+    }
+
+    fn theta(&mut self) -> Result<GeneralNode, Error> {
+        let base = self.node()?;
+        let n: usize = self.num()?;
+        // The n path tokens must already be on this line; reject the
+        // count before allocating for it.
+        if n > self.it.clone().count() {
+            return Err(bad(self.line_no, format!("path promises {n} hops")));
+        }
+        let mut procs = Vec::with_capacity(n);
+        for _ in 0..n {
+            procs.push(ProcessId::new(self.num()?));
+        }
+        let path = NetPath::new(procs)
+            .map_err(|e| bad(self.line_no, format!("bad general-node path: {e}")))?;
+        GeneralNode::new(base, path)
+            .map_err(|e| bad(self.line_no, format!("bad general node: {e}")))
+    }
+
+    fn done(&mut self) -> Result<(), Error> {
+        match self.it.next() {
+            Some(tok) => Err(bad(self.line_no, format!("trailing token {tok:?}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+fn decode_query_from(lines: &mut Lines<'_>, depth: usize) -> Result<Query, Error> {
+    let line = lines.next()?;
+    let no = lines.line_no();
+    let mut t = Tokens::new(line, no);
+    let kind = t.next()?;
+    let q = match kind {
+        "maxx" => Query::MaxX {
+            sigma: t.node()?,
+            theta1: t.theta()?,
+            theta2: t.theta()?,
+        },
+        "knows" => Query::Knows {
+            sigma: t.node()?,
+            theta1: t.theta()?,
+            theta2: t.theta()?,
+            x: t.num()?,
+        },
+        "witness" => Query::Witness {
+            sigma: t.node()?,
+            theta1: t.theta()?,
+            theta2: t.theta()?,
+        },
+        "matrix" => Query::MaxXMatrix { sigma: t.node()? },
+        "tight" => Query::TightBound {
+            from: t.node()?,
+            to: t.node()?,
+        },
+        "fastrun" => Query::FastRun {
+            sigma: t.node()?,
+            theta: t.theta()?,
+            gamma: t.num()?,
+            extra_horizon: t.num()?,
+        },
+        "coord" => Query::CoordDecision,
+        "batch" => {
+            if depth >= MAX_BATCH_DEPTH {
+                return Err(bad(no, format!("batch nesting exceeds {MAX_BATCH_DEPTH}")));
+            }
+            let k = lines.expect_lines(t.num()?, "query batch")?;
+            t.done()?;
+            let mut queries = Vec::with_capacity(k);
+            for _ in 0..k {
+                queries.push(decode_query_from(lines, depth + 1)?);
+            }
+            return Ok(Query::QueryBatch(queries));
+        }
+        other => return Err(bad(no, format!("unknown query {other:?}"))),
+    };
+    t.done()?;
+    Ok(q)
+}
+
+/// Decodes a `zigzag-query v1` document.
+///
+/// # Errors
+///
+/// Returns [`Error::Wire`] on malformed input.
+pub fn decode_query(text: &str) -> Result<Query, Error> {
+    let mut lines = Lines::new(text);
+    let header = lines.next()?;
+    if header.trim() != QUERY_HEADER {
+        return Err(bad(1, format!("bad header {header:?}")));
+    }
+    let q = decode_query_from(&mut lines, 0)?;
+    match lines.next() {
+        Err(_) => Ok(q),
+        Ok(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
+    }
+}
+
+fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response, Error> {
+    let line = lines.next()?;
+    let no = lines.line_no();
+    let mut t = Tokens::new(line, no);
+    let kind = t.next()?;
+    match kind {
+        "maxx" => {
+            let v = t.opt()?;
+            t.done()?;
+            Ok(Response::MaxX(v))
+        }
+        "knows" => {
+            let tok = t.next()?;
+            let b = match tok {
+                "true" => true,
+                "false" => false,
+                other => return Err(bad(no, format!("bad bool {other:?}"))),
+            };
+            t.done()?;
+            Ok(Response::Knows(b))
+        }
+        "witness" => {
+            let tok = t.next()?;
+            if tok == "." {
+                t.done()?;
+                return Ok(Response::Witness(None));
+            }
+            let weight: i64 = tok
+                .parse()
+                .map_err(|_| bad(no, format!("bad weight {tok:?}")))?;
+            // The pattern is the remainder of the line, verbatim (it may
+            // contain spaces): everything after "witness <weight> ".
+            let prefix = format!("witness {weight} ");
+            let pattern = line
+                .strip_prefix(&prefix)
+                .ok_or_else(|| bad(no, "missing witness pattern"))?
+                .to_string();
+            Ok(Response::Witness(Some(WitnessReport { weight, pattern })))
+        }
+        "matrix" => {
+            // n rows plus the mnodes line must follow.
+            let n = lines.expect_lines(t.num::<usize>()?.saturating_add(1), "matrix")? - 1;
+            t.done()?;
+            let nline = lines.next()?;
+            let nno = lines.line_no();
+            let mut nt = Tokens::new(nline, nno);
+            if nt.next()? != "mnodes" {
+                return Err(bad(nno, "expected mnodes"));
+            }
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(nt.node()?);
+            }
+            nt.done()?;
+            // Sized by the document as it is read, not by the promised
+            // n² (which a malicious count could inflate quadratically).
+            let mut data = Vec::new();
+            for _ in 0..n {
+                let rline = lines.next()?;
+                let rno = lines.line_no();
+                let mut rt = Tokens::new(rline, rno);
+                if rt.next()? != "mrow" {
+                    return Err(bad(rno, "expected mrow"));
+                }
+                for _ in 0..n {
+                    data.push(rt.opt()?);
+                }
+                rt.done()?;
+            }
+            MaxXMatrix::from_parts(nodes, data)
+                .map(Response::MaxXMatrix)
+                .map_err(|e| bad(nno, format!("bad matrix: {e}")))
+        }
+        "tight" => {
+            let v = t.opt()?;
+            t.done()?;
+            Ok(Response::TightBound(v))
+        }
+        "fastrun" => {
+            let sigma = t.node()?;
+            let gamma: u64 = t.num()?;
+            let theta_time = Time::new(t.num()?);
+            t.done()?;
+            let kline = lines.next()?;
+            let kno = lines.line_no();
+            let mut kt = Tokens::new(kline, kno);
+            if kt.next()? != "runlines" {
+                return Err(bad(kno, "expected runlines"));
+            }
+            let k = lines.expect_lines(kt.num()?, "embedded run")?;
+            kt.done()?;
+            let mut encoded = String::new();
+            for _ in 0..k {
+                encoded.push_str(lines.next()?);
+                encoded.push('\n');
+            }
+            let run = codec::decode(&encoded)
+                .map_err(|e| bad(lines.line_no(), format!("embedded run: {e}")))?;
+            Ok(Response::FastRun(FastRunReport {
+                sigma,
+                gamma,
+                theta_time,
+                run,
+            }))
+        }
+        "coord" => {
+            let first_known = t.opt_node()?;
+            let sigma_c = t.opt_node()?;
+            t.done()?;
+            Ok(Response::CoordDecision(CoordReport {
+                first_known,
+                sigma_c,
+            }))
+        }
+        "batch" => {
+            if depth >= MAX_BATCH_DEPTH {
+                return Err(bad(no, format!("batch nesting exceeds {MAX_BATCH_DEPTH}")));
+            }
+            let k = lines.expect_lines(t.num()?, "response batch")?;
+            t.done()?;
+            let mut responses = Vec::with_capacity(k);
+            for _ in 0..k {
+                responses.push(decode_response_from(lines, depth + 1)?);
+            }
+            Ok(Response::ResponseBatch(responses))
+        }
+        other => Err(bad(no, format!("unknown response {other:?}"))),
+    }
+}
+
+/// Decodes a `zigzag-response v1` document.
+///
+/// # Errors
+///
+/// Returns [`Error::Wire`] on malformed input.
+pub fn decode_response(text: &str) -> Result<Response, Error> {
+    let mut lines = Lines::new(text);
+    let header = lines.next()?;
+    if header.trim() != RESPONSE_HEADER {
+        return Err(bad(1, format!("bad header {header:?}")));
+    }
+    let r = decode_response_from(&mut lines, 0)?;
+    match lines.next() {
+        Err(_) => Ok(r),
+        Ok(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zigzag_bcm::ProcessId;
+
+    fn node(p: u32, i: u32) -> NodeId {
+        NodeId::new(ProcessId::new(p), i)
+    }
+
+    fn theta(p: u32, i: u32, rest: &[u32]) -> GeneralNode {
+        let rest: Vec<ProcessId> = rest.iter().map(|&r| ProcessId::new(r)).collect();
+        GeneralNode::chain(node(p, i), &rest).unwrap()
+    }
+
+    #[test]
+    fn queries_round_trip() {
+        let queries = vec![
+            Query::MaxX {
+                sigma: node(1, 2),
+                theta1: theta(0, 1, &[2]),
+                theta2: theta(1, 2, &[]),
+            },
+            Query::Knows {
+                sigma: node(1, 2),
+                theta1: theta(0, 1, &[2, 1]),
+                theta2: theta(1, 2, &[]),
+                x: -7,
+            },
+            Query::Witness {
+                sigma: node(2, 1),
+                theta1: theta(0, 1, &[]),
+                theta2: theta(2, 1, &[]),
+            },
+            Query::MaxXMatrix { sigma: node(0, 3) },
+            Query::TightBound {
+                from: node(0, 1),
+                to: node(2, 4),
+            },
+            Query::FastRun {
+                sigma: node(1, 1),
+                theta: theta(1, 1, &[0]),
+                gamma: 5,
+                extra_horizon: 20,
+            },
+            Query::CoordDecision,
+        ];
+        for q in &queries {
+            let text = encode_query(q);
+            assert_eq!(&decode_query(&text).unwrap(), q, "{text}");
+        }
+        // Batches nest the same line format.
+        let batch = Query::QueryBatch(queries);
+        let text = encode_query(&batch);
+        assert_eq!(decode_query(&text).unwrap(), batch);
+    }
+
+    #[test]
+    fn simple_responses_round_trip() {
+        let responses = vec![
+            Response::MaxX(Some(-4)),
+            Response::MaxX(None),
+            Response::Knows(true),
+            Response::Knows(false),
+            Response::Witness(None),
+            Response::Witness(Some(WitnessReport {
+                weight: 3,
+                pattern: "zigzag[1 fork(s): …] visible at p1#2".into(),
+            })),
+            Response::TightBound(Some(9)),
+            Response::TightBound(None),
+            Response::CoordDecision(CoordReport {
+                first_known: Some(node(2, 1)),
+                sigma_c: None,
+            }),
+            Response::MaxXMatrix(
+                MaxXMatrix::from_parts(
+                    vec![node(0, 1), node(1, 1)],
+                    vec![Some(0), Some(3), None, Some(0)],
+                )
+                .unwrap(),
+            ),
+        ];
+        for r in &responses {
+            let text = encode_response(r);
+            assert_eq!(&decode_response(&text).unwrap(), r, "{text}");
+        }
+        let batch = Response::ResponseBatch(responses);
+        let text = encode_response(&batch);
+        assert_eq!(decode_response(&text).unwrap(), batch);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(decode_query("").is_err());
+        assert!(decode_query("nope").is_err());
+        assert!(decode_query("zigzag-query v1\n").is_err());
+        assert!(decode_query("zigzag-query v1\nbogus 1\n").is_err());
+        assert!(decode_query("zigzag-query v1\nmaxx 1\n").is_err());
+        assert!(decode_query("zigzag-query v1\ncoord\ncoord\n").is_err());
+        assert!(decode_query("zigzag-query v1\ncoord extra\n").is_err());
+        assert!(decode_response("zigzag-response v1\nknows maybe\n").is_err());
+        assert!(decode_response("zigzag-response v1\nmatrix 1\nmnodes 0 1\n").is_err());
+        assert!(decode_response("zigzag-response v1\nfastrun 0 1 0 5\nrunlines 1\nx\n").is_err());
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_without_allocation() {
+        // Counts far beyond the document must come back as wire errors,
+        // not capacity panics or giant allocations.
+        let huge = u64::MAX;
+        for doc in [
+            format!("zigzag-query v1\nbatch {huge}\n"),
+            format!("zigzag-query v1\nmatrix 0 1\nbatch {huge}\n"),
+            format!("zigzag-query v1\nmaxx 0 1 0 1 {huge} 0 1 1 1\n"),
+            format!("zigzag-query v1\nfastrun 0 1 0 1 {huge} 0 1 2\n"),
+        ] {
+            assert!(
+                matches!(decode_query(&doc), Err(crate::Error::Wire { .. })),
+                "{doc}"
+            );
+        }
+        for doc in [
+            format!("zigzag-response v1\nbatch {huge}\n"),
+            format!("zigzag-response v1\nmatrix {huge}\nmnodes\n"),
+            format!("zigzag-response v1\nfastrun 0 1 0 5\nrunlines {huge}\n"),
+        ] {
+            assert!(
+                matches!(decode_response(&doc), Err(crate::Error::Wire { .. })),
+                "{doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_batch_nesting_is_rejected_not_a_stack_overflow() {
+        // A small document nesting `batch 1` hundreds of thousands deep
+        // must come back as a wire error, not recurse the decoder off the
+        // stack.
+        let deep_query = format!("zigzag-query v1\n{}coord\n", "batch 1\n".repeat(500_000));
+        assert!(matches!(
+            decode_query(&deep_query),
+            Err(crate::Error::Wire { .. })
+        ));
+        let deep_response = format!(
+            "zigzag-response v1\n{}knows true\n",
+            "batch 1\n".repeat(500_000)
+        );
+        assert!(matches!(
+            decode_response(&deep_response),
+            Err(crate::Error::Wire { .. })
+        ));
+        // Nesting at the limit still decodes.
+        let ok = format!(
+            "zigzag-query v1\n{}coord\n",
+            "batch 1\n".repeat(MAX_BATCH_DEPTH)
+        );
+        assert!(decode_query(&ok).is_ok());
+    }
+}

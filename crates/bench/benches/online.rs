@@ -5,10 +5,12 @@
 //! tracking `K_σ(θ_a → σ)` as evidence arrives) plus a global `GB(r)`
 //! tight bound to the newest node. Two implementations of that loop:
 //!
-//! * `online/append-delta/n` — [`IncrementalEngine`]: the message index
-//!   and `GB(r)` are delta-updated per event, the observer's analysis is
-//!   built once and kept warm, and the `GB` longest paths delta-relax
-//!   forward from each append (incremental SPFA).
+//! * `online/append-delta/n` — the serving path as deployed: a
+//!   [`ZigzagService`] stream session, events appended and every query
+//!   dispatched through the facade's [`Query`] family (backed by the
+//!   delta-updating `IncrementalEngine` — the facade adds one session
+//!   lookup and one enum dispatch per query, which this bench keeps
+//!   honest against the CI gate).
 //! * `online/append-rebuild/n` — the seed pipeline's behavior: any change
 //!   invalidates everything, so every event pays a fresh
 //!   [`KnowledgeEngine`] (graph + SPFA) and a fresh [`BoundsGraph`] on
@@ -27,12 +29,12 @@
 //! Run with `CRITERION_JSON=BENCH_pr3.json cargo bench --bench online`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zigzag_api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag_bcm::stream::RunEvent;
 use zigzag_bcm::{NodeId, ProcessId, Run, RunCursor, StreamingRun};
 use zigzag_bench::{kicked_run, scaled_context};
 use zigzag_core::bounds_graph::BoundsGraph;
 use zigzag_core::construct::fast_run;
-use zigzag_core::incremental::IncrementalEngine;
 use zigzag_core::knowledge::KnowledgeEngine;
 use zigzag_core::GeneralNode;
 
@@ -68,21 +70,40 @@ fn feed(n: usize, horizon: u64) -> Feed {
     }
 }
 
-/// The streaming loop, delta form: returns the answer stream (for the
-/// equality assertion) so the compiler cannot elide the queries.
+/// The streaming loop, facade form: a stream session fed event-by-event,
+/// every standing query dispatched through `ZigzagService::dispatch` as a
+/// `QueryBatch`. Returns the answer stream (for the equality assertion)
+/// so the compiler cannot elide the queries.
 fn serve_delta(f: &Feed) -> Vec<(Option<i64>, Option<i64>)> {
-    let mut inc = IncrementalEngine::new(f.run.context_arc(), f.run.horizon());
+    let service = ZigzagService::new();
+    let session = service.open_stream(f.run.context_arc(), f.run.horizon(), SessionConfig::new());
     let theta_a = GeneralNode::basic(f.anchor);
     let theta_s = GeneralNode::basic(f.sigma);
     let mut answers = Vec::with_capacity(f.events.len());
     for (k, ev) in f.events.iter().enumerate() {
-        let node = inc.append_event(ev).expect("legal feed");
+        let report = service.append(session, ev).expect("legal feed");
         if k < f.sigma_at {
             continue;
         }
-        let m = inc.max_x(f.sigma, &theta_a, &theta_s).expect("recognized");
-        let b = inc.tight_bound(f.anchor, node).expect("anchor recorded");
-        answers.push((m, b));
+        let batch = Query::QueryBatch(vec![
+            Query::MaxX {
+                sigma: f.sigma,
+                theta1: theta_a.clone(),
+                theta2: theta_s.clone(),
+            },
+            Query::TightBound {
+                from: f.anchor,
+                to: report.node,
+            },
+        ]);
+        let Response::ResponseBatch(rs) = service.dispatch(session, &batch).expect("recognized")
+        else {
+            unreachable!("batch queries return batch responses");
+        };
+        let (Response::MaxX(m), Response::TightBound(b)) = (&rs[0], &rs[1]) else {
+            unreachable!("positionally aligned responses");
+        };
+        answers.push((*m, *b));
     }
     answers
 }

@@ -1,27 +1,30 @@
-//! O (PR 3): the incremental streaming engine, exercised online.
+//! O (PR 3, facade since PR 4): the incremental streaming engine,
+//! exercised online **through `zigzag_api::ZigzagService`** — the same
+//! dispatch code path production callers use.
 //!
 //! Three claims, each checked per cell (so the binary has teeth and the
 //! golden snapshot pins the numbers):
 //!
 //! * **O1 — prefix-differential equality**: feeding a recorded schedule
-//!   event-by-event through [`IncrementalEngine`], the all-pairs
-//!   threshold matrix at every appended node equals a freshly built
-//!   batch [`KnowledgeEngine`] on the same prefix, cell for cell;
+//!   event-by-event into a facade stream session, the all-pairs
+//!   threshold matrix dispatched at every appended node equals a freshly
+//!   built batch [`KnowledgeEngine`] on the same prefix, cell for cell;
 //! * **O2 — online coordination**: replaying Figure 1 schedules through
-//!   the [`StreamDriver`], the earliest event at which `B`'s knowledge
-//!   holds is exactly the node where the batch Protocol 2 acted;
-//! * **O3 — delta-relaxed global bounds**: the grown `GB(r)`'s memoized
-//!   tight bounds, delta-relaxed across appends, equal a from-scratch
-//!   `BoundsGraph` per prefix.
+//!   a spec-configured stream session, the earliest event at which `B`'s
+//!   knowledge holds (`Query::CoordDecision`) is exactly the node where
+//!   the batch Protocol 2 acted;
+//! * **O3 — delta-relaxed global bounds**: the session's dispatched
+//!   `TightBound` answers, delta-relaxed across appends, equal a
+//!   from-scratch [`BoundsGraph`] per prefix.
 //!
 //! All report text is byte-deterministic in both profiles (counts and
 //! times only — wall-clock comparisons live in `benches/online.rs`).
 
+use zigzag_api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag_bcm::scheduler::RandomScheduler;
 use zigzag_bcm::{ProcessId, RunCursor, Time};
-use zigzag_coord::{CoordKind, OptimalStrategy, Scenario, StreamDriver, TimedCoordination};
+use zigzag_coord::{CoordKind, OptimalStrategy, Scenario, TimedCoordination};
 use zigzag_core::bounds_graph::BoundsGraph;
-use zigzag_core::incremental::IncrementalEngine;
 use zigzag_core::knowledge::KnowledgeEngine;
 
 use super::Profile;
@@ -30,27 +33,43 @@ use crate::{format_header, format_row, kicked_run, scaled_context};
 
 const O1_WIDTHS: [usize; 5] = [3, 8, 7, 10, 10];
 
-/// One O1 row: stream a random-topology schedule and check the matrix at
-/// every appended node against a scratch batch engine.
+/// One O1 row: stream a random-topology schedule into a facade session
+/// and check the dispatched matrix at every appended node against a
+/// scratch batch engine.
 fn o1_row(n: usize, seed: u64, horizon: u64) -> CellOutput {
     let ctx = scaled_context(n, 0.3, seed);
     let run = kicked_run(&ctx, ProcessId::new(0), 1, horizon, seed);
     let mut cursor = RunCursor::new(&run);
-    let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+    let service = ZigzagService::new();
+    let session = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
     let mut events = 0usize;
     let mut cells = 0usize;
     while let Some(ev) = cursor.next_event() {
-        let node = inc.append_event(&ev).expect("legal feed");
-        let online = inc.max_x_basic_matrix(node).expect("observer exists");
-        let batch = KnowledgeEngine::new(inc.run(), node)
+        let node = service.append(session, &ev).expect("legal feed").node;
+        let Response::MaxXMatrix(online) = service
+            .dispatch(session, &Query::MaxXMatrix { sigma: node })
             .expect("observer exists")
-            .max_x_basic_matrix()
-            .expect("legal prefix");
+        else {
+            unreachable!("matrix queries return matrices");
+        };
+        let batch = service
+            .with_run(session, |prefix| {
+                KnowledgeEngine::new(prefix, node)
+                    .expect("observer exists")
+                    .max_x_basic_matrix()
+                    .expect("legal prefix")
+            })
+            .expect("open session");
         assert_eq!(online, batch, "streaming matrix diverged at {node}");
         events += 1;
         cells += online.len() * online.len();
     }
-    assert_eq!(inc.run(), &run, "grown run is not the recorded run");
+    assert!(
+        service
+            .with_run(session, |grown| grown == &run)
+            .expect("open session"),
+        "grown run is not the recorded run"
+    );
     CellOutput::with_metrics(
         format_row(
             &O1_WIDTHS,
@@ -68,18 +87,27 @@ fn o1_row(n: usize, seed: u64, horizon: u64) -> CellOutput {
 
 const O2_WIDTHS: [usize; 5] = [4, 6, 12, 12, 9];
 
-/// One O2 row: batch protocol decision vs streaming first-knowledge.
+/// One O2 row: batch protocol decision vs streaming first-knowledge,
+/// replayed through a spec-configured facade session.
 fn o2_row(x: i64, seed: u64) -> CellOutput {
     let (ctx, c, a, b) = crate::fig1_context(2, 5, 9, 12);
     let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-    let sc = Scenario::new(spec, ctx, Time::new(3), Time::new(80)).unwrap();
+    let sc = Scenario::new(spec.clone(), ctx, Time::new(3), Time::new(80)).unwrap();
     let (run, verdict) = sc
         .run_verified(&mut OptimalStrategy, &mut RandomScheduler::seeded(seed))
         .expect("legal scenario");
-    let (reports, driver) = StreamDriver::replay(sc.spec().clone(), &run).expect("legal replay");
+    let service = ZigzagService::new();
+    let (session, reports) = service
+        .open_replay(&run, SessionConfig::new().spec(spec))
+        .expect("legal replay");
+    let Response::CoordDecision(coord) = service
+        .dispatch(session, &Query::CoordDecision)
+        .expect("spec configured")
+    else {
+        unreachable!("coordination queries return coordination reports");
+    };
     assert_eq!(
-        driver.first_known(),
-        verdict.b_node,
+        coord.first_known, verdict.b_node,
         "x={x} seed {seed}: online decision diverged from the batch protocol"
     );
     let show = |t: Option<Time>| t.map_or("abstains".to_string(), |t| t.to_string());
@@ -89,7 +117,7 @@ fn o2_row(x: i64, seed: u64) -> CellOutput {
             &[
                 x.to_string(),
                 format!("s{seed}"),
-                show(driver.first_known().and_then(|n| run.time(n))),
+                show(coord.first_known.and_then(|n| run.time(n))),
                 show(verdict.b_time),
                 "agree".into(),
             ],
@@ -100,26 +128,47 @@ fn o2_row(x: i64, seed: u64) -> CellOutput {
 
 const O3_WIDTHS: [usize; 4] = [3, 8, 7, 10];
 
-/// One O3 row: delta-relaxed GB tight bounds vs scratch rebuilds.
+/// One O3 row: delta-relaxed GB tight bounds (dispatched through the
+/// facade) vs scratch rebuilds.
 fn o3_row(n: usize, seed: u64, horizon: u64) -> CellOutput {
     let ctx = scaled_context(n, 0.4, seed + 100);
     let run = kicked_run(&ctx, ProcessId::new(0), 1, horizon, seed);
     let mut cursor = RunCursor::new(&run);
-    let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+    let service = ZigzagService::new();
+    let session = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
     let anchor = zigzag_bcm::NodeId::new(ProcessId::new(0), 1);
     let mut checks = 0usize;
     while let Some(ev) = cursor.next_event() {
-        let node = inc.append_event(&ev).expect("legal feed");
-        if !inc.run().appears(anchor) {
+        let node = service.append(session, &ev).expect("legal feed").node;
+        let (recorded, want) = service
+            .with_run(session, |prefix| {
+                let recorded = prefix.appears(anchor);
+                let want = recorded.then(|| {
+                    BoundsGraph::of_run(prefix)
+                        .longest_path(anchor, node)
+                        .expect("anchor recorded")
+                        .map(|(w, _)| w)
+                });
+                (recorded, want)
+            })
+            .expect("open session");
+        if !recorded {
             continue;
         }
         // The cached source stays warm, so each append delta-relaxes.
-        let got = inc.tight_bound(anchor, node).expect("anchor recorded");
-        let want = BoundsGraph::of_run(inc.run())
-            .longest_path(anchor, node)
+        let Response::TightBound(got) = service
+            .dispatch(
+                session,
+                &Query::TightBound {
+                    from: anchor,
+                    to: node,
+                },
+            )
             .expect("anchor recorded")
-            .map(|(w, _)| w);
-        assert_eq!(got, want, "delta GB bound diverged at {node}");
+        else {
+            unreachable!("tight-bound queries return tight bounds");
+        };
+        assert_eq!(Some(got), want, "delta GB bound diverged at {node}");
         checks += 1;
     }
     CellOutput::with_metrics(

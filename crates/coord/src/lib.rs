@@ -73,8 +73,11 @@ pub use family::{
     compare_grid, compare_grid_with, run_batteries, thresholds, Battery, BatteryOutcome,
     CompareJob, StrategyFactory, ThresholdJob,
 };
-pub use optimal::{OptimalStrategy, PatternStrategy};
+pub use optimal::{knows_required, OptimalStrategy, PatternStrategy};
 pub use scenario::{BStrategy, NeverStrategy, RecklessStrategy, Scenario};
 pub use spec::{verify, CoordKind, TimedCoordination, Verdict};
-pub use stream::{StepReport, StreamDriver};
+pub use stream::{
+    decide_at, decide_at_indexed, first_knowledge, first_knowledge_indexed, ProbeSemantics,
+    StepReport, StreamDriver,
+};
 pub use sweep::{threshold, SweepFamily, Threshold};

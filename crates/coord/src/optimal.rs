@@ -15,10 +15,15 @@ use crate::scenario::BStrategy;
 use crate::spec::{CoordKind, TimedCoordination};
 
 /// The Protocol 1 knowledge decision for `kind`: which precedence must be
-/// known, with which sign conventions. Shared by [`OptimalStrategy`] and
-/// the streaming driver ([`crate::stream::StreamDriver`]) so the two
-/// evaluation paths cannot drift apart.
-pub(crate) fn knows_required(
+/// known, with which sign conventions. Shared by [`OptimalStrategy`], the
+/// streaming driver ([`crate::stream::StreamDriver`]) and the service
+/// facade's `CoordDecision` query so the evaluation paths cannot drift
+/// apart.
+///
+/// # Errors
+///
+/// Same conditions as [`KnowledgeEngine::knows`].
+pub fn knows_required(
     engine: &KnowledgeEngine<'_>,
     kind: CoordKind,
     theta_a: &GeneralNode,

@@ -12,25 +12,175 @@
 //!
 //! Because the incremental engine answers byte-identically to a batch
 //! engine on every prefix, the per-event verdicts are the protocol's real
-//! decisions, not approximations. One semantic note: the driver evaluates
-//! a node's knowledge on the prefix *including* the node's own FFIP sends
-//! (the paper's `GE(r, σ)`, where σ's sends exist the moment σ does); a
-//! strategy probed mid-simulation sees its node before the sends are
-//! recorded. Extra (unseen-send) edges can only raise thresholds, so on
-//! topologies where `B` has outgoing channels the streaming verdict may
-//! hold at a node where the in-simulation probe still abstains — never
-//! the reverse. Where `B` has no outgoing channels (Figures 1 and 2b)
-//! the two coincide exactly.
+//! decisions, not approximations. What "the prefix" contains at the
+//! deciding node is a genuine semantic choice, pinned by
+//! [`ProbeSemantics`]:
+//!
+//! * [`ProbeSemantics::IncludeOwnSends`] (the default) evaluates a node's
+//!   knowledge on the prefix *including* the node's own FFIP sends — the
+//!   paper's `GE(r, σ)`, where σ's sends exist the moment σ does. Extra
+//!   (unseen-send) edges can only raise thresholds, so on topologies
+//!   where `B` has outgoing channels this verdict may hold at a node
+//!   where an in-simulation probe still abstains — never the reverse.
+//! * [`ProbeSemantics::ExcludeOwnSends`] evaluates on the prefix
+//!   *without* the deciding node's own sends — exactly what a strategy
+//!   probed mid-simulation sees (its node exists, its sends are not yet
+//!   recorded), making the streaming verdict protocol-equivalent on
+//!   *every* topology.
+//!
+//! Where `B` has no outgoing channels (Figures 1 and 2b) the two modes
+//! coincide exactly; both are sound either way, since extra own-send
+//! evidence is evidence `B` legitimately has.
 
 use std::sync::Arc;
 
 use zigzag_bcm::stream::RunEvent;
 use zigzag_bcm::{Context, NodeId, Run, RunCursor, Time};
 use zigzag_core::incremental::IncrementalEngine;
-use zigzag_core::GeneralNode;
+use zigzag_core::knowledge::ObserverState;
+use zigzag_core::{GeneralNode, KnowledgeEngine};
 
 use crate::error::CoordError;
 use crate::spec::TimedCoordination;
+
+/// Which prefix a coordination decision at node σ is evaluated on; see
+/// the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbeSemantics {
+    /// Decide on the prefix including σ's own FFIP sends (the paper's
+    /// `GE(r, σ)`). The default: maximal sound evidence, may fire earlier
+    /// than an in-simulation probe where `B` has outgoing channels.
+    #[default]
+    IncludeOwnSends,
+    /// Decide on the prefix excluding σ's own sends — the in-simulation
+    /// probe's view; protocol-equivalent on every topology.
+    ExcludeOwnSends,
+}
+
+/// The Protocol 2 decision at `sigma` under the given probe semantics, on
+/// any run containing `sigma` — the batch form shared by the streaming
+/// driver and the service facade's `CoordDecision` query. Returns `false`
+/// (abstain) when the trigger is absent or the required evidence is not
+/// σ-recognized, exactly like the in-protocol strategy.
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies (`sigma` not in `run`).
+pub fn decide_at(
+    spec: &TimedCoordination,
+    run: &Run,
+    sigma: NodeId,
+    probe: ProbeSemantics,
+) -> Result<bool, CoordError> {
+    decide_at_indexed(
+        spec,
+        run,
+        sigma,
+        probe,
+        &zigzag_core::extended_graph::MessageIndex::of_run(run),
+    )
+}
+
+/// [`decide_at`] against a caller-supplied per-run [`MessageIndex`] —
+/// the index is decision-invariant, so batteries of decisions over one
+/// run (see [`first_knowledge`], or a facade session with a cached
+/// index) should resolve the message table once and share it.
+///
+/// [`MessageIndex`]: zigzag_core::extended_graph::MessageIndex
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies (`sigma` not in `run`).
+pub fn decide_at_indexed(
+    spec: &TimedCoordination,
+    run: &Run,
+    sigma: NodeId,
+    probe: ProbeSemantics,
+    index: &zigzag_core::extended_graph::MessageIndex,
+) -> Result<bool, CoordError> {
+    let Some(sigma_c) = run.external_receipt_node(spec.c, &spec.go_name) else {
+        return Ok(false);
+    };
+    let state = match probe {
+        ProbeSemantics::IncludeOwnSends => ObserverState::build(run, sigma, index)?,
+        ProbeSemantics::ExcludeOwnSends => {
+            ObserverState::build_excluding_own_sends(run, sigma, index)?
+        }
+    };
+    let engine = KnowledgeEngine::with_state(run, Arc::new(state));
+    decide_with(spec, &engine, sigma_c, sigma)
+}
+
+/// The shared decision core: `B` acts at `sigma` iff the spec's
+/// precedence is known there (Protocol 1's knowledge test, via
+/// [`crate::optimal::knows_required`]).
+fn decide_with(
+    spec: &TimedCoordination,
+    engine: &KnowledgeEngine<'_>,
+    sigma_c: NodeId,
+    sigma: NodeId,
+) -> Result<bool, CoordError> {
+    let Ok(theta_a) = spec.theta_a(sigma_c) else {
+        return Ok(false);
+    };
+    let theta_b = GeneralNode::basic(sigma);
+    // An unrecognized or initial anchor means the evidence simply is not
+    // there: abstain, exactly like the in-protocol strategy.
+    Ok(crate::optimal::knows_required(engine, spec.kind, &theta_a, &theta_b).unwrap_or(false))
+}
+
+/// The batch form of the streaming driver's verdict: the earliest
+/// `B`-node of `run` at which the spec's precedence is known under
+/// `probe`, plus the trigger node. By observer stability (each node's
+/// decision depends only on its own past), this equals the
+/// [`StreamDriver`]'s `first_known` after replaying `run` with the same
+/// probe semantics — and under [`ProbeSemantics::ExcludeOwnSends`] it
+/// equals the in-simulation Protocol 2 action node on every topology.
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies in `run`.
+pub fn first_knowledge(
+    spec: &TimedCoordination,
+    run: &Run,
+    probe: ProbeSemantics,
+) -> Result<(Option<NodeId>, Option<NodeId>), CoordError> {
+    first_knowledge_indexed(
+        spec,
+        run,
+        probe,
+        &zigzag_core::extended_graph::MessageIndex::of_run(run),
+    )
+}
+
+/// [`first_knowledge`] against a caller-supplied per-run
+/// [`MessageIndex`] (resolved once, shared by every per-node decision).
+///
+/// [`MessageIndex`]: zigzag_core::extended_graph::MessageIndex
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies in `run`.
+pub fn first_knowledge_indexed(
+    spec: &TimedCoordination,
+    run: &Run,
+    probe: ProbeSemantics,
+    index: &zigzag_core::extended_graph::MessageIndex,
+) -> Result<(Option<NodeId>, Option<NodeId>), CoordError> {
+    let sigma_c = run.external_receipt_node(spec.c, &spec.go_name);
+    if sigma_c.is_none() {
+        return Ok((None, None));
+    }
+    for rec in run.timeline(spec.b) {
+        if rec.id().is_initial() {
+            continue;
+        }
+        if decide_at_indexed(spec, run, rec.id(), probe, index)? {
+            return Ok((Some(rec.id()), sigma_c));
+        }
+    }
+    Ok((None, sigma_c))
+}
 
 /// What one appended event meant for the coordination problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,19 +200,41 @@ pub struct StepReport {
 pub struct StreamDriver {
     spec: TimedCoordination,
     engine: IncrementalEngine,
+    probe: ProbeSemantics,
     sigma_c: Option<NodeId>,
     first_known: Option<NodeId>,
 }
 
 impl StreamDriver {
-    /// Starts a driver for `spec` over an empty stream.
+    /// Starts a driver for `spec` over an empty stream, deciding with the
+    /// default [`ProbeSemantics::IncludeOwnSends`].
     pub fn new(spec: TimedCoordination, context: Arc<Context>, horizon: Time) -> Self {
+        Self::over(spec, IncrementalEngine::new(context, horizon))
+    }
+
+    /// Wraps a driver around an already-configured (but still empty)
+    /// incremental engine — the facade path, where cache policy is set on
+    /// the engine before streaming begins.
+    pub fn over(spec: TimedCoordination, engine: IncrementalEngine) -> Self {
         StreamDriver {
             spec,
-            engine: IncrementalEngine::new(context, horizon),
+            engine,
+            probe: ProbeSemantics::default(),
             sigma_c: None,
             first_known: None,
         }
+    }
+
+    /// Selects the probe semantics (builder style); see the
+    /// [module docs](self).
+    pub fn with_probe(mut self, probe: ProbeSemantics) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// The probe semantics decisions are evaluated under.
+    pub fn probe(&self) -> ProbeSemantics {
+        self.probe
     }
 
     /// The specification being evaluated.
@@ -115,24 +287,30 @@ impl StreamDriver {
 
     /// Protocol 2's decision at `sigma` on the current prefix: act iff
     /// the spec's precedence is known. Mirrors
-    /// [`crate::optimal::OptimalStrategy`], through the incremental
-    /// engine's warm observer state.
+    /// [`crate::optimal::OptimalStrategy`] — through the incremental
+    /// engine's warm observer state under `IncludeOwnSends`, or through a
+    /// per-decision own-sends-excluded state under `ExcludeOwnSends`
+    /// (that state depends on which node is deciding, so it is not worth
+    /// caching).
     fn decide_at(&self, sigma: NodeId) -> Result<bool, CoordError> {
         let Some(sigma_c) = self.sigma_c else {
             return Ok(false); // no trigger yet: nothing to know
         };
-        let engine = self.engine.engine(sigma)?;
-        let Ok(theta_a) = self.spec.theta_a(sigma_c) else {
-            return Ok(false);
-        };
-        let theta_b = GeneralNode::basic(sigma);
-        // An unrecognized or initial anchor means the evidence simply is
-        // not there: abstain, exactly like the in-protocol strategy (the
-        // decision itself is the shared Protocol 1 helper).
-        Ok(
-            crate::optimal::knows_required(&engine, self.spec.kind, &theta_a, &theta_b)
-                .unwrap_or(false),
-        )
+        match self.probe {
+            ProbeSemantics::IncludeOwnSends => {
+                let engine = self.engine.engine(sigma)?;
+                decide_with(&self.spec, &engine, sigma_c, sigma)
+            }
+            ProbeSemantics::ExcludeOwnSends => {
+                let state = ObserverState::build_excluding_own_sends(
+                    self.engine.run(),
+                    sigma,
+                    self.engine.message_index(),
+                )?;
+                let engine = KnowledgeEngine::with_state(self.engine.run(), Arc::new(state));
+                decide_with(&self.spec, &engine, sigma_c, sigma)
+            }
+        }
     }
 
     /// Replays a whole recorded run through a fresh driver, returning the
@@ -146,7 +324,20 @@ impl StreamDriver {
         spec: TimedCoordination,
         run: &Run,
     ) -> Result<(Vec<StepReport>, Self), CoordError> {
-        let mut driver = Self::new(spec, run.context_arc(), run.horizon());
+        Self::replay_with(spec, run, ProbeSemantics::default())
+    }
+
+    /// [`StreamDriver::replay`] under explicit probe semantics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded run is internally inconsistent.
+    pub fn replay_with(
+        spec: TimedCoordination,
+        run: &Run,
+        probe: ProbeSemantics,
+    ) -> Result<(Vec<StepReport>, Self), CoordError> {
+        let mut driver = Self::new(spec, run.context_arc(), run.horizon()).with_probe(probe);
         let mut cursor = RunCursor::new(run);
         let mut reports = Vec::with_capacity(cursor.remaining());
         while let Some(ev) = cursor.next_event() {
@@ -227,6 +418,108 @@ mod tests {
         }
         // The driver's grown run is the recorded run.
         assert_eq!(driver.engine().run(), &run);
+    }
+
+    /// A topology where `B` has outgoing channels (including a B ⇄ D
+    /// cycle): the regime where the two probe semantics can diverge.
+    fn feedback_scenario(x: i64, l_bd: u64, u_bd: u64) -> Scenario {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        let d = nb.add_process("D");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        nb.add_channel(c, d, 1, 2).unwrap();
+        nb.add_channel(b, d, l_bd, u_bd).unwrap();
+        nb.add_channel(d, b, 1, 3).unwrap();
+        let ctx = nb.build().unwrap();
+        let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+        Scenario::new(spec, ctx, Time::new(3), Time::new(60)).unwrap()
+    }
+
+    #[test]
+    fn probe_semantics_pin_protocol_equivalence_with_outgoing_channels() {
+        // The currently-open ROADMAP divergence, pinned both ways:
+        //
+        // * ExcludeOwnSends replays are protocol-equivalent — the
+        //   streaming verdict fires exactly where the in-simulation
+        //   Protocol 2 strategy acted — on every topology, including ones
+        //   where B has outgoing channels;
+        // * IncludeOwnSends verdicts are pointwise monotone above them
+        //   (extra own-send edges only ever add knowledge), so the
+        //   default can fire earlier but never later;
+        // * both replay modes agree with the batch `first_knowledge`
+        //   helper on the same run.
+        for (x, l_bd, u_bd) in [(4i64, 1u64, 1u64), (4, 1, 9), (5, 1, 1), (0, 2, 4)] {
+            let sc = feedback_scenario(x, l_bd, u_bd);
+            for seed in 0..6 {
+                let (run, verdict) = sc
+                    .run_verified(&mut OptimalStrategy, &mut RandomScheduler::seeded(seed))
+                    .unwrap();
+                let spec = sc.spec().clone();
+
+                let (ex_reports, ex) =
+                    StreamDriver::replay_with(spec.clone(), &run, ProbeSemantics::ExcludeOwnSends)
+                        .unwrap();
+                assert_eq!(ex.probe(), ProbeSemantics::ExcludeOwnSends);
+                assert_eq!(
+                    ex.first_known(),
+                    verdict.b_node,
+                    "x={x} [{l_bd},{u_bd}] seed {seed}: exclude-mode replay \
+                     diverged from the in-simulation protocol"
+                );
+
+                let (in_reports, inc) =
+                    StreamDriver::replay_with(spec.clone(), &run, ProbeSemantics::IncludeOwnSends)
+                        .unwrap();
+                // Pointwise monotonicity: wherever the probe view knows,
+                // the full view knows too.
+                for (e, i) in ex_reports.iter().zip(&in_reports) {
+                    assert_eq!(e.node, i.node);
+                    if e.b_knows == Some(true) {
+                        assert_eq!(
+                            i.b_knows,
+                            Some(true),
+                            "x={x} seed {seed}: default semantics lost knowledge at {}",
+                            e.node
+                        );
+                    }
+                }
+                // Hence the default verdict is never later.
+                match (inc.first_known(), ex.first_known()) {
+                    (Some(fi), Some(fe)) => {
+                        assert!(run.time(fi).unwrap() <= run.time(fe).unwrap())
+                    }
+                    (None, Some(fe)) => {
+                        panic!("x={x} seed {seed}: default semantics missed the verdict at {fe}")
+                    }
+                    _ => {}
+                }
+
+                // The batch helper agrees with both replay modes.
+                for (probe, driver) in [
+                    (ProbeSemantics::ExcludeOwnSends, &ex),
+                    (ProbeSemantics::IncludeOwnSends, &inc),
+                ] {
+                    let (first, sigma_c) = first_knowledge(&spec, &run, probe).unwrap();
+                    assert_eq!(first, driver.first_known(), "x={x} seed {seed} {probe:?}");
+                    assert_eq!(sigma_c, driver.sigma_c());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_probe_semantics_is_include_own_sends() {
+        let sc = fig1(4);
+        let driver = StreamDriver::new(
+            sc.spec().clone(),
+            Arc::new(sc.context().clone()),
+            Time::new(60),
+        );
+        assert_eq!(driver.probe(), ProbeSemantics::IncludeOwnSends);
+        assert_eq!(ProbeSemantics::default(), ProbeSemantics::IncludeOwnSends);
     }
 
     #[test]

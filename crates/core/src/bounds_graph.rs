@@ -143,6 +143,24 @@ impl BoundsGraph {
         &self.graph
     }
 
+    /// Number of appended edges held in the underlying graph's catch-up
+    /// log (see [`WeightedDigraph::append_log_len`]).
+    pub fn append_log_len(&self) -> usize {
+        self.graph.append_log_len()
+    }
+
+    /// Settles every memoized longest-path result and reclaims the
+    /// catch-up log (see [`WeightedDigraph::compact`]); answers are
+    /// unaffected. Returns the number of log entries reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PositiveCycle`] if settling detects one
+    /// (impossible for graphs of legal runs).
+    pub fn compact(&self) -> Result<usize, CoreError> {
+        self.graph.compact()
+    }
+
     /// Number of vertices.
     pub fn node_count(&self) -> usize {
         self.graph.vertex_count()

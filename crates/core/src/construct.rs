@@ -203,7 +203,7 @@ struct QueueItem {
     receipt: PendingReceipt,
 }
 
-/// Reusable scratch for [`prescribed_run`]'s delivery queue.
+/// Reusable scratch for the run-construction delivery queue.
 ///
 /// The layout engine runs once per constructed run — and the knowledge
 /// engine constructs runs in batches (`refute` sweeps, fast-run

@@ -190,6 +190,25 @@ impl ExtendedGraph {
     ///
     /// Panics if `sigma` does not appear in `run`.
     pub fn with_index(run: &Run, sigma: NodeId, messages: &MessageIndex) -> Self {
+        Self::with_index_excluding(run, sigma, messages, None)
+    }
+
+    /// [`ExtendedGraph::with_index`], optionally skipping every message
+    /// sent at `exclude_src`. Passing `Some(σ)` builds the graph a
+    /// strategy probed mid-simulation sees — the node exists but its own
+    /// FFIP sends are not yet recorded, so their unseen-delivery `E''`
+    /// edges are absent (the `ExcludeOwnSends` probe semantics of
+    /// `zigzag_coord::stream`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` does not appear in `run`.
+    pub fn with_index_excluding(
+        run: &Run,
+        sigma: NodeId,
+        messages: &MessageIndex,
+        exclude_src: Option<NodeId>,
+    ) -> Self {
         let past = run.past(sigma);
         let net = run.context().network();
         let bounds = run.context().bounds();
@@ -228,7 +247,7 @@ impl ExtendedGraph {
         // Message edges: within-past pairs get GB edges; sends whose
         // delivery σ has not seen get E'' edges.
         for m in messages.edges() {
-            if !past.contains(m.src) {
+            if !past.contains(m.src) || Some(m.src) == exclude_src {
                 continue;
             }
             let seen_delivery = m.dst.map(|d| past.contains(d)).unwrap_or(false);

@@ -390,6 +390,58 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         self.cached_spfa(s, Direction::Backward)
     }
 
+    /// Number of appended edges currently held in the catch-up log.
+    ///
+    /// The log is retained only while memoized SPFA results exist; on a
+    /// very long append-only stream with warm caches it can grow to one
+    /// extra copy of the adjacency. [`WeightedDigraph::compact`] reclaims
+    /// it mid-stream.
+    pub fn append_log_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").log.len()
+    }
+
+    /// Settles every memoized SPFA result (delta-relaxing stale ones over
+    /// the appended edges) and then drops the catch-up log: after this
+    /// call every cached result is current and
+    /// [`WeightedDigraph::append_log_len`] is 0. Returns the number of log
+    /// entries reclaimed.
+    ///
+    /// Answers are unaffected — settling runs exactly the delta
+    /// relaxation the next query would have run lazily; compaction merely
+    /// releases memory the settled results no longer need. Intended as a
+    /// mid-stream maintenance hook for append-only consumers (see
+    /// [`crate::incremental::IncrementalEngine::compact`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PositiveCycle`] if settling a cached result
+    /// detects one (impossible for graphs of legal runs).
+    pub fn compact(&self) -> Result<usize, CoreError> {
+        // Collect the stale keys first, then settle each outside the lock
+        // (cached_spfa re-locks internally).
+        let (vcount, ecount) = (self.vertices.len(), self.edge_count);
+        let stale: Vec<(usize, Direction)> = {
+            let cache = self.cache.lock().expect("cache lock");
+            cache
+                .paths
+                .iter()
+                .filter(|(_, hit)| hit.vertices != vcount || hit.edges != ecount)
+                .map(|(&key, _)| key)
+                .collect()
+        };
+        for (src, dir) in stale {
+            self.cached_spfa(src, dir)?;
+        }
+        let mut cache = self.cache.lock().expect("cache lock");
+        // Settling may have raced with nothing (no mutation is possible
+        // under &self), so every entry is now current and the whole log
+        // is reclaimable.
+        let dropped = cache.log.len();
+        cache.log.clear();
+        cache.log_base = ecount;
+        Ok(dropped)
+    }
+
     fn cached_spfa(&self, src: usize, dir: Direction) -> Result<Arc<LongestPaths>, CoreError> {
         let (vcount, ecount) = (self.vertices.len(), self.edge_count);
         // Current hits return immediately; stale hits pull the edges
@@ -920,6 +972,36 @@ mod tests {
             warm.weight(g.index_of(&"d").unwrap()),
             connected.weight(g.index_of(&"d").unwrap())
         );
+    }
+
+    #[test]
+    fn compaction_reclaims_the_log_and_keeps_answers() {
+        let mut g: WeightedDigraph<&str> = WeightedDigraph::new();
+        g.add_edge("a", "b", 2, 0);
+        // Warm two sources so later appends are logged.
+        let _ = g.longest_from_cached(&"a").unwrap();
+        let _ = g.longest_to_cached(&"b").unwrap();
+        g.add_edge("b", "c", 3, 0);
+        g.add_edge("a", "c", 1, 0);
+        assert_eq!(g.append_log_len(), 2);
+        let dropped = g.compact().unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(g.append_log_len(), 0);
+        // Settled results answer exactly like a fresh traversal.
+        let warm = g.longest_from_cached(&"a").unwrap();
+        let cold = g.longest_from(&"a").unwrap();
+        for v in ["a", "b", "c"] {
+            let i = g.index_of(&v).unwrap();
+            assert_eq!(warm.weight(i), cold.weight(i));
+        }
+        // Appends after compaction still delta-relax correctly.
+        g.add_edge("c", "d", 4, 0);
+        assert_eq!(g.append_log_len(), 1);
+        let after = g.longest_from_cached(&"a").unwrap();
+        assert_eq!(after.weight(g.index_of(&"d").unwrap()), Some(9));
+        assert_eq!(g.compact().unwrap(), 1);
+        // Compacting an empty-log graph is a no-op.
+        assert_eq!(g.compact().unwrap(), 0);
     }
 
     #[test]

@@ -89,7 +89,6 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use zigzag_bcm::stream::{ReceiptEvent, RunEvent};
@@ -99,7 +98,7 @@ use crate::bounds_graph::BoundsGraph;
 use crate::construct::FastRun;
 use crate::error::CoreError;
 use crate::extended_graph::MessageIndex;
-use crate::knowledge::{KnowledgeEngine, MaxXMatrix, ObserverState};
+use crate::knowledge::{KnowledgeEngine, MaxXMatrix, ObserverCache, ObserverState};
 use crate::node::GeneralNode;
 
 /// The append-only streaming form of the knowledge pipeline; see the
@@ -114,8 +113,9 @@ pub struct IncrementalEngine {
     /// memoized longest paths delta-relax across appends.
     gb: BoundsGraph,
     /// One lazily built, append-stable analysis state per queried
-    /// observer.
-    observers: Mutex<HashMap<NodeId, Arc<ObserverState>>>,
+    /// observer, optionally LRU-bounded (see
+    /// [`IncrementalEngine::set_observer_cap`]).
+    observers: Mutex<ObserverCache>,
     /// Set when an append failed partway: the grown run may hold a
     /// partially applied node the derived analyses never saw, so every
     /// further operation is refused with [`CoreError::Poisoned`].
@@ -132,9 +132,49 @@ impl IncrementalEngine {
             stream,
             messages: MessageIndex::default(),
             gb,
-            observers: Mutex::new(HashMap::new()),
+            observers: Mutex::new(ObserverCache::new(None)),
             poison: None,
         }
+    }
+
+    /// Bounds the observer-state cache to at most `cap` states, evicting
+    /// least-recently-used states on overflow (`None` = unbounded, the
+    /// default). Eviction is sound: a re-queried observer's state is
+    /// rebuilt warm and answers byte-identically (observer stability —
+    /// see [`ObserverCache`]).
+    pub fn set_observer_cap(&mut self, cap: Option<usize>) {
+        self.observers
+            .lock()
+            .expect("observer cache lock")
+            .set_cap(cap);
+    }
+
+    /// Total observer states evicted so far under the LRU bound.
+    pub fn observer_evictions(&self) -> u64 {
+        self.observers
+            .lock()
+            .expect("observer cache lock")
+            .evictions()
+    }
+
+    /// Mid-stream maintenance: settles `GB(r)`'s memoized longest-path
+    /// results and reclaims the graph layer's append log (which otherwise
+    /// carries O(edges) memory — roughly one extra copy of the adjacency
+    /// — for as long as warm caches exist on a long stream). Answers are
+    /// unaffected. Returns the number of log entries reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a poisoned engine, or on a positive cycle (impossible for
+    /// legal feeds).
+    pub fn compact(&self) -> Result<usize, CoreError> {
+        self.check_poison()?;
+        self.gb.compact()
+    }
+
+    /// Number of appended edges currently held in `GB(r)`'s catch-up log.
+    pub fn append_log_len(&self) -> usize {
+        self.gb.append_log_len()
     }
 
     /// Whether a failed append has poisoned the engine (see
@@ -265,7 +305,9 @@ impl IncrementalEngine {
     /// The knowledge engine observing at `sigma`, wrapped around the
     /// current prefix. The observer-scoped analysis (graph, SPFA memos,
     /// rewrite/timing/chain caches, construction arena) is built on first
-    /// request and reused verbatim after every later append.
+    /// request and reused verbatim after every later append (until
+    /// LRU-evicted, if a cap is set — a rebuilt state answers
+    /// identically).
     ///
     /// # Errors
     ///
@@ -273,21 +315,13 @@ impl IncrementalEngine {
     /// poisoned engine.
     pub fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, CoreError> {
         self.check_poison()?;
-        let state = {
-            let mut cache = self.observers.lock().expect("observer cache lock");
-            match cache.get(&sigma) {
-                Some(hit) => hit.clone(),
-                None => {
-                    let built = Arc::new(ObserverState::build(
-                        self.stream.run(),
-                        sigma,
-                        &self.messages,
-                    )?);
-                    cache.insert(sigma, built.clone());
-                    built
-                }
-            }
-        };
+        let state = self
+            .observers
+            .lock()
+            .expect("observer cache lock")
+            .get_or_build(sigma, || {
+                ObserverState::build(self.stream.run(), sigma, &self.messages)
+            })?;
         Ok(KnowledgeEngine::with_state(self.stream.run(), state))
     }
 
@@ -450,6 +484,80 @@ mod tests {
             let batch = BoundsGraph::of_run(inc.run());
             let want = batch.longest_path(i1, node).unwrap().map(|(w, _)| w);
             assert_eq!(got, want, "delta GB bound diverged at {node}");
+        }
+    }
+
+    #[test]
+    fn lru_bound_caps_states_and_rebuilds_identically() {
+        let run = tri_run(3, 40);
+        let events = RunCursor::new(&run).collect_events();
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        inc.set_observer_cap(Some(2));
+        let mut nodes = Vec::new();
+        for ev in &events {
+            nodes.push(inc.append_event(ev).unwrap());
+        }
+        // Query many observers; the cache never holds more than 2 states.
+        let mut first_answers = Vec::new();
+        for &sigma in &nodes {
+            first_answers.push(inc.max_x_basic_matrix(sigma).unwrap());
+            assert!(inc.observer_count() <= 2, "cap violated at {sigma}");
+        }
+        assert!(inc.observer_evictions() > 0, "nothing was ever evicted");
+        // Re-querying an evicted observer rebuilds a state that answers
+        // byte-identically to the evicted one and to a scratch engine.
+        for (&sigma, before) in nodes.iter().zip(&first_answers) {
+            let again = inc.max_x_basic_matrix(sigma).unwrap();
+            assert_eq!(&again, before, "rebuilt state diverged at {sigma}");
+            let batch = KnowledgeEngine::new(inc.run(), sigma)
+                .unwrap()
+                .max_x_basic_matrix()
+                .unwrap();
+            assert_eq!(again, batch);
+            assert!(inc.observer_count() <= 2);
+        }
+        // cap 0 disables retention entirely; answers are unaffected.
+        inc.set_observer_cap(Some(0));
+        assert_eq!(inc.observer_count(), 0);
+        let sigma = *nodes.last().unwrap();
+        assert_eq!(
+            inc.max_x_basic_matrix(sigma).unwrap(),
+            first_answers[nodes.len() - 1]
+        );
+        assert_eq!(inc.observer_count(), 0);
+    }
+
+    #[test]
+    fn compaction_reclaims_the_append_log_without_changing_answers() {
+        let run = tri_run(0, 40);
+        let events = RunCursor::new(&run).collect_events();
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        let i1 = NodeId::new(ProcessId::new(0), 1);
+        let mut compacted = 0usize;
+        for (k, ev) in events.iter().enumerate() {
+            let node = inc.append_event(ev).unwrap();
+            if !inc.run().appears(i1) {
+                continue;
+            }
+            // Keep the memoized source warm so the log actually grows...
+            let got = inc.tight_bound(i1, node).unwrap();
+            let want = BoundsGraph::of_run(inc.run())
+                .longest_path(i1, node)
+                .unwrap()
+                .map(|(w, _)| w);
+            assert_eq!(got, want);
+            // ...and compact mid-stream every third append.
+            if k % 3 == 2 {
+                compacted += inc.compact().unwrap();
+                assert_eq!(inc.append_log_len(), 0);
+            }
+        }
+        assert!(compacted > 0, "compaction never reclaimed anything");
+        // Post-compaction, every answer still equals a scratch rebuild.
+        let scratch = BoundsGraph::of_run(inc.run());
+        for rec in run.nodes() {
+            let want = scratch.longest_path(i1, rec.id()).unwrap().map(|(w, _)| w);
+            assert_eq!(inc.tight_bound(i1, rec.id()).unwrap(), want);
         }
     }
 

@@ -79,9 +79,11 @@ struct QueryCache {
 /// creation, and a message sent inside that past whose delivery σ has
 /// not seen can only be delivered at a node outside the past. A state
 /// built on any prefix containing σ therefore answers every later query
-/// exactly as a state rebuilt from scratch would.
+/// exactly as a state rebuilt from scratch would — which is also what
+/// makes LRU *eviction* sound ([`ObserverCache`]): a dropped state
+/// rebuilt later answers byte-identically.
 #[derive(Debug)]
-pub(crate) struct ObserverState {
+pub struct ObserverState {
     sigma: NodeId,
     ge: ExtendedGraph,
     cache: QueryCache,
@@ -92,7 +94,7 @@ pub(crate) struct ObserverState {
 
 impl ObserverState {
     /// Assembles the state around an already-built `GE(r, σ)`.
-    pub(crate) fn new(sigma: NodeId, ge: ExtendedGraph) -> Self {
+    pub fn new(sigma: NodeId, ge: ExtendedGraph) -> Self {
         ObserverState {
             sigma,
             ge,
@@ -102,12 +104,12 @@ impl ObserverState {
     }
 
     /// Builds the state for observer `sigma` on `run`, sharing a per-run
-    /// [`MessageIndex`].
+    /// [`crate::extended_graph::MessageIndex`].
     ///
     /// # Errors
     ///
     /// Fails if `sigma` does not appear in `run`.
-    pub(crate) fn build(
+    pub fn build(
         run: &Run,
         sigma: NodeId,
         index: &crate::extended_graph::MessageIndex,
@@ -121,6 +123,146 @@ impl ObserverState {
             sigma,
             ExtendedGraph::with_index(run, sigma, index),
         ))
+    }
+
+    /// Builds the state for observer `sigma` with `sigma`'s **own sends
+    /// excluded** from `GE(r, σ)` — the `ExcludeOwnSends` probe semantics
+    /// of `zigzag_coord::stream::ProbeSemantics`: the graph a strategy
+    /// probed mid-simulation sees, where the node exists but its FFIP
+    /// sends are not yet recorded.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in `run`.
+    pub fn build_excluding_own_sends(
+        run: &Run,
+        sigma: NodeId,
+        index: &crate::extended_graph::MessageIndex,
+    ) -> Result<Self, CoreError> {
+        if !run.appears(sigma) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("observer {sigma} does not appear in the run"),
+            });
+        }
+        Ok(Self::new(
+            sigma,
+            ExtendedGraph::with_index_excluding(run, sigma, index, Some(sigma)),
+        ))
+    }
+
+    /// The observer node `σ` the state was built for.
+    pub fn observer(&self) -> NodeId {
+        self.sigma
+    }
+}
+
+/// A bounded, least-recently-used cache of [`ObserverState`]s — the
+/// serving-layer form of the per-observer caches in
+/// [`crate::analyzer::RunAnalyzer`] and
+/// [`crate::incremental::IncrementalEngine`].
+///
+/// Unbounded per-observer caching is right for analyses that revisit a
+/// handful of observers, but a deployment answering queries at millions
+/// of observers per stream needs a cap: `ObserverCache` keeps at most
+/// `cap` states, evicting the least recently used on overflow. Eviction
+/// never changes an answer — by the observer-stability invariant (see
+/// [`ObserverState`]) a rebuilt state is byte-identical to the evicted
+/// one — it only trades the rebuild cost back in.
+#[derive(Debug)]
+pub struct ObserverCache {
+    /// `None` = unbounded (the pre-policy behavior). `Some(0)` disables
+    /// retention entirely: states are built per request and never stored.
+    cap: Option<usize>,
+    tick: u64,
+    map: HashMap<NodeId, (Arc<ObserverState>, u64)>,
+    /// Recency index: tick → observer, kept in lockstep with `map` so
+    /// eviction pops the oldest tick in O(log n) instead of scanning the
+    /// whole map per miss (ticks are unique, so this is a faithful LRU
+    /// order).
+    recency: BTreeMap<u64, NodeId>,
+    evictions: u64,
+}
+
+impl ObserverCache {
+    /// Creates a cache holding at most `cap` states (`None` = unbounded).
+    pub fn new(cap: Option<usize>) -> Self {
+        ObserverCache {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// The configured bound.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Re-bounds the cache, evicting least-recently-used states
+    /// immediately if the new bound is tighter than the current
+    /// population.
+    pub fn set_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.enforce();
+    }
+
+    /// Number of states currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total number of states evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The state for `sigma`, built with `build` on a miss. On a hit the
+    /// entry's recency is refreshed; on a miss the built state is
+    /// retained (evicting the least recently used entry if the bound
+    /// would overflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error on a miss.
+    pub fn get_or_build(
+        &mut self,
+        sigma: NodeId,
+        build: impl FnOnce() -> Result<ObserverState, CoreError>,
+    ) -> Result<Arc<ObserverState>, CoreError> {
+        self.tick += 1;
+        if let Some((state, used)) = self.map.get_mut(&sigma) {
+            self.recency.remove(used);
+            *used = self.tick;
+            self.recency.insert(self.tick, sigma);
+            return Ok(state.clone());
+        }
+        let built = Arc::new(build()?);
+        if self.cap == Some(0) {
+            return Ok(built); // retention disabled: never stored
+        }
+        self.map.insert(sigma, (built.clone(), self.tick));
+        self.recency.insert(self.tick, sigma);
+        self.enforce();
+        Ok(built)
+    }
+
+    fn enforce(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.map.len() > cap {
+            let (_, lru) = self
+                .recency
+                .pop_first()
+                .expect("recency tracks every retained state");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -141,6 +283,28 @@ pub struct MaxXMatrix {
 }
 
 impl MaxXMatrix {
+    /// Reassembles a matrix from its parts — the inverse of reading
+    /// [`MaxXMatrix::nodes`] and row-major cells out of
+    /// [`MaxXMatrix::iter`], used by wire decoders.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data` is not `nodes.len()²` cells or `nodes` is not
+    /// strictly ascending.
+    pub fn from_parts(nodes: Vec<NodeId>, data: Vec<Option<i64>>) -> Result<Self, CoreError> {
+        if data.len() != nodes.len() * nodes.len() {
+            return Err(CoreError::InvalidTiming {
+                detail: format!("matrix needs {}² cells, got {}", nodes.len(), data.len()),
+            });
+        }
+        if nodes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::InvalidTiming {
+                detail: "matrix nodes must be strictly ascending".into(),
+            });
+        }
+        Ok(MaxXMatrix { nodes, data })
+    }
+
     /// The row/column nodes, in ascending order.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
@@ -282,9 +446,11 @@ impl<'r> KnowledgeEngine<'r> {
     }
 
     /// Wraps a (possibly long-lived) observer state around a run — the
-    /// append-only path: `run` must contain the prefix the state was
-    /// built on.
-    pub(crate) fn with_state(run: &'r Run, state: Arc<ObserverState>) -> Self {
+    /// append-only path used by [`crate::incremental::IncrementalEngine`]
+    /// and the service facade's session caches: `run` must contain the
+    /// prefix the state was built on (sound by the observer-stability
+    /// invariant documented at [`ObserverState`]).
+    pub fn with_state(run: &'r Run, state: Arc<ObserverState>) -> Self {
         KnowledgeEngine { run, state }
     }
 

@@ -19,10 +19,10 @@
 //! cargo run --example async_circuit
 //! ```
 
+use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::{PerChannelScheduler, RandomScheduler};
 use zigzag::bcm::{diagram, Channel, Network, SimConfig, Simulator, Time};
-use zigzag::core::knowledge::KnowledgeEngine;
 use zigzag::core::GeneralNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,21 +64,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grant_arrives = GeneralNode::chain(sigma_launch, &[arb, ltc])?;
     let sigma_latch = grant_arrives.resolve(&run)?;
 
-    let engine = KnowledgeEngine::new(&run, sigma_latch)?;
-    let hold = engine
-        .max_x(&bus_settles, &grant_arrives)?
-        .expect("constraint path exists");
+    let service = ZigzagService::new();
+    let session = service.open_batch(run.clone(), SessionConfig::new());
+    let Response::MaxX(Some(hold)) = service.dispatch(
+        session,
+        &Query::MaxX {
+            sigma: sigma_latch,
+            theta1: bus_settles.clone(),
+            theta2: grant_arrives.clone(),
+        },
+    )?
+    else {
+        panic!("constraint path exists");
+    };
     println!("guaranteed hold margin at the latch: {hold} gate delays");
     println!("  fork arithmetic: L(ctl→arb→ltc) − U(ctl→drv) = (5+4) − 3 = 6");
     assert_eq!(hold, 6);
 
-    let (w, witness) = engine
-        .witness(&bus_settles, &grant_arrives)?
-        .expect("witness");
-    let report = witness.validate(&run)?;
+    let Response::Witness(Some(witness)) = service.dispatch(
+        session,
+        &Query::Witness {
+            sigma: sigma_latch,
+            theta1: bus_settles.clone(),
+            theta2: grant_arrives.clone(),
+        },
+    )?
+    else {
+        panic!("positive thresholds carry witnesses");
+    };
+    assert_eq!(witness.weight, hold);
     println!(
-        "timing-closure witness: zigzag weight {w}, observed slack {} at this corner",
-        report.gap
+        "timing-closure witness: zigzag weight {} — {}",
+        witness.weight, witness.pattern
     );
 
     // Monte-Carlo across delay corners: the guarantee never breaks.

@@ -21,10 +21,10 @@
 //! cargo run --example durative_actions
 //! ```
 
+use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::{Network, SimConfig, Simulator, Time};
-use zigzag::core::knowledge::KnowledgeEngine;
 use zigzag::core::GeneralNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -63,18 +63,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!((10..=14).contains(&t_done.diff(t_start)));
 
-    // What does packing *know* about the completion event?
-    let engine = KnowledgeEngine::new(&run, sigma_b)?;
-    let headroom = engine
-        .max_x(&theta_b, &bake_done)?
-        .expect("constraint path exists");
+    // What does packing *know* about the completion event? Both queries
+    // go through one service dispatch (they share the session's warm
+    // observer state).
+    let service = ZigzagService::new();
+    let session = service.open_batch(run.clone(), SessionConfig::new());
+    let answers = service.dispatch(
+        session,
+        &Query::QueryBatch(vec![
+            Query::MaxX {
+                sigma: sigma_b,
+                theta1: theta_b.clone(),
+                theta2: bake_done.clone(),
+            },
+            Query::MaxX {
+                sigma: sigma_b,
+                theta1: theta_b.clone(),
+                theta2: bake_start.clone(),
+            },
+        ]),
+    )?;
+    let Response::ResponseBatch(answers) = answers else {
+        unreachable!("batch queries return batch responses");
+    };
+    let Response::MaxX(Some(headroom)) = answers[0] else {
+        panic!("constraint path exists");
+    };
     println!("packing knows: box ready ≥ {headroom} ticks before the bake completes");
     // Arithmetic: L(C→A) + L(A→T) + L(T→A) − U(C→B) = 2+5+5 − 2 = 10.
     assert_eq!(headroom, 10);
 
     // And about the *invocation*? Strictly less, by the bake's minimum
     // duration — knowledge composes through the durative window.
-    let headroom_start = engine.max_x(&theta_b, &bake_start)?.unwrap();
+    let Response::MaxX(Some(headroom_start)) = answers[1] else {
+        panic!("constraint path exists");
+    };
     println!("…and ≥ {headroom_start} ticks before the bake even starts");
     assert_eq!(headroom - headroom_start, 10); // = L(A→T→A), the min duration
 

@@ -1,18 +1,22 @@
-//! Quickstart: the Figure 1 scenario end to end.
+//! Quickstart: the Figure 1 scenario end to end, through `zigzag::api`.
 //!
 //! Builds the three-process network of the paper's Figure 1, simulates it,
-//! asks the knowledge engine what `B` can deduce, extracts the zigzag
-//! witness, and runs the optimal Late-coordination protocol.
+//! opens a batch session on the service facade, asks what `B` can deduce
+//! (threshold + zigzag witness), and runs the optimal Late-coordination
+//! protocol — checking the facade's `CoordDecision` verdict against the
+//! in-simulation protocol on every schedule.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
+use zigzag::api::{
+    CoordKind, ProbeSemantics, Query, Response, SessionConfig, TimedCoordination, ZigzagService,
+};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::{diagram, Network, SimConfig, Simulator, Time};
-use zigzag::coord::{CoordKind, OptimalStrategy, Scenario, TimedCoordination};
-use zigzag::core::knowledge::KnowledgeEngine;
+use zigzag::coord::{OptimalStrategy, Scenario};
 use zigzag::core::GeneralNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,26 +39,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", diagram::render(&run));
 
     // ── What does B know when C's message arrives? ─────────────────────
+    // One service, one batch session, one dispatch for both questions.
+    let service = ZigzagService::new();
+    let session = service.open_batch(run.clone(), SessionConfig::new());
+
     let sigma_c = run.external_receipt_node(c, "go").expect("go arrived");
     let theta_a = GeneralNode::chain(sigma_c, &[a])?; // where A acts
     let theta_b = GeneralNode::chain(sigma_c, &[b])?; // where B hears C
     let sigma_b = theta_b.resolve(&run)?;
 
-    let engine = KnowledgeEngine::new(&run, sigma_b)?;
-    let max_x = engine.max_x(&theta_a, &theta_b)?.expect("reachable");
+    let answers = service.dispatch(
+        session,
+        &Query::QueryBatch(vec![
+            Query::MaxX {
+                sigma: sigma_b,
+                theta1: theta_a.clone(),
+                theta2: theta_b.clone(),
+            },
+            Query::Witness {
+                sigma: sigma_b,
+                theta1: theta_a,
+                theta2: theta_b,
+            },
+        ]),
+    )?;
+    let Response::ResponseBatch(answers) = answers else {
+        unreachable!("batch queries return batch responses");
+    };
+    let Response::MaxX(Some(max_x)) = answers[0] else {
+        panic!("threshold must be reachable in Figure 1");
+    };
     println!("B's knowledge threshold: a --x--> b holds for every x <= {max_x}");
     println!("  (the fork weight L_CB − U_CA = 9 − 5 = 4)");
-
-    let (w, witness) = engine.witness(&theta_a, &theta_b)?.expect("witness");
-    let report = witness.validate(&run)?;
+    let Response::Witness(Some(witness)) = &answers[1] else {
+        panic!("positive thresholds carry witnesses");
+    };
     println!(
-        "σ-visible zigzag witness: weight {w}, realized gap {} (Theorem 1: gap >= weight)",
+        "σ-visible zigzag witness: weight {} — {}",
+        witness.weight, witness.pattern
+    );
+    assert_eq!(witness.weight, max_x);
+    // The structured certificate lives on the engine layer: revalidate
+    // it against the run (Theorem 1: realized gap >= witness weight) and
+    // check it is the very witness the facade rendered.
+    let engine = zigzag::core::knowledge::KnowledgeEngine::new(&run, sigma_b)?;
+    let (w, vz) = engine
+        .witness(
+            &GeneralNode::chain(sigma_c, &[a])?,
+            &GeneralNode::chain(sigma_c, &[b])?,
+        )?
+        .expect("witness");
+    let report = vz.validate(&run)?;
+    assert!(report.gap >= w, "Theorem 1 violated");
+    assert_eq!(
+        (w, vz.to_string()),
+        (witness.weight, witness.pattern.clone())
+    );
+    println!(
+        "witness revalidated against the run: realized gap {} >= {w}",
         report.gap
     );
 
     // ── Run the optimal Late⟨a --4--> b⟩ protocol across schedules ─────
     let spec = TimedCoordination::new(CoordKind::Late { x: 4 }, a, b, c);
-    let scenario = Scenario::new(spec, ctx, Time::new(3), Time::new(60))?;
+    let scenario = Scenario::new(spec.clone(), ctx, Time::new(3), Time::new(60))?;
     let mut acted = 0;
     for seed in 0..10 {
         let (run, verdict) = scenario.run_verified(
@@ -66,6 +114,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "specification violated: {:?}",
             verdict.violation
         );
+        // The facade's coordination verdict on the recorded run agrees
+        // with the in-simulation protocol exactly (B has no outgoing
+        // channels here, so both probe semantics coincide).
+        let coord_session = service.open_batch(
+            run.clone(),
+            SessionConfig::new()
+                .spec(spec.clone())
+                .probe(ProbeSemantics::ExcludeOwnSends),
+        );
+        let Response::CoordDecision(report) =
+            service.dispatch(coord_session, &Query::CoordDecision)?
+        else {
+            unreachable!()
+        };
+        assert_eq!(report.first_known, verdict.b_node);
+        service.close(coord_session)?;
+
         if let (Some(ta), Some(tb)) = (verdict.a_time, verdict.b_time) {
             acted += 1;
             println!(
@@ -73,7 +138,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 verdict.margin.unwrap()
             );
         }
-        let _ = run;
     }
     println!("B acted in {acted}/10 runs — always safely, never waiting for A.");
     Ok(())

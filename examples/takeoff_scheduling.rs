@@ -14,6 +14,7 @@
 //! cargo run --example takeoff_scheduling
 //! ```
 
+use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::{Network, Time};
 use zigzag::coord::{
@@ -49,9 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "x", "optimal-zigzag", "simple-fork"
     );
     println!("{:->3}-+-{:-^18}-+-{:-^18}", "", "", "");
+    // The facade re-decides every optimal run from its transcript; B has
+    // no outgoing channels in Figure 2b, so the default probe semantics
+    // already coincide with the in-simulation protocol.
+    let service = ZigzagService::new();
     for x in [2i64, 4, 5, 6, 7] {
         let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
-        let scenario = Scenario::new(spec, ctx.clone(), Time::new(2), Time::new(120))?
+        let scenario = Scenario::new(spec.clone(), ctx.clone(), Time::new(2), Time::new(120))?
             // E is sparked spontaneously, well after C, so D hears C first.
             .with_external(Time::new(25), e, "carrier-ping");
         let mut cells = Vec::new();
@@ -59,14 +64,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Box::new(OptimalStrategy::new()),
             Box::new(SimpleForkStrategy::default()),
         ];
-        for mut strategy in strategies {
+        for (k, mut strategy) in strategies.into_iter().enumerate() {
             let mut acted = 0u32;
             let mut violations = 0u32;
             let mut first_takeoff: Option<u64> = None;
             for seed in 0..20 {
-                let (_, verdict) =
+                let (run, verdict) =
                     scenario.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
                 violations += !verdict.ok as u32;
+                if k == 0 {
+                    let session = service.open_batch(run, SessionConfig::new().spec(spec.clone()));
+                    let Response::CoordDecision(report) =
+                        service.dispatch(session, &Query::CoordDecision)?
+                    else {
+                        unreachable!()
+                    };
+                    assert_eq!(report.first_known, verdict.b_node);
+                    service.close(session)?;
+                }
                 if let Some(t) = verdict.b_time {
                     acted += 1;
                     let t = t.ticks();

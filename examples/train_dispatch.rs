@@ -15,6 +15,7 @@
 //! cargo run --example train_dispatch
 //! ```
 
+use zigzag::api::{ProbeSemantics, Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::{Network, Time};
 use zigzag::coord::{
@@ -45,25 +46,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:->3}-+-{:-^16}-+-{:-^16}-+-{:-^16}", "", "", "", "");
 
+    // The facade re-decides every optimal-strategy run from the recorded
+    // transcript. Station B has an outgoing channel (B → A), so the probe
+    // semantics matter: ExcludeOwnSends reproduces the in-simulation
+    // protocol decision exactly.
+    let service = ZigzagService::new();
+
     // Clearance sweep: the freight needs x ticks of head start.
     // Feasibility threshold: L_DA − U_DB = 10 − 2 = 8.
     for x in [2i64, 4, 6, 8, 9, 10] {
         let spec = TimedCoordination::new(CoordKind::Early { x }, a, b, d);
-        let scenario = Scenario::new(spec, ctx.clone(), Time::new(5), Time::new(80))?;
+        let scenario = Scenario::new(spec.clone(), ctx.clone(), Time::new(5), Time::new(80))?;
         let mut cells = Vec::new();
         let strategies: Vec<Box<dyn BStrategy>> = vec![
             Box::new(OptimalStrategy::new()),
             Box::new(SimpleForkStrategy::default()),
             Box::new(AsyncChainStrategy::new()),
         ];
-        for mut strategy in strategies {
+        for (k, mut strategy) in strategies.into_iter().enumerate() {
             let mut acted = 0u32;
             let mut violations = 0u32;
             for seed in 0..20 {
-                let (_, verdict) =
+                let (run, verdict) =
                     scenario.run_verified(strategy.as_mut(), &mut RandomScheduler::seeded(seed))?;
                 acted += verdict.b_node.is_some() as u32;
                 violations += !verdict.ok as u32;
+                if k == 0 {
+                    let session = service.open_batch(
+                        run,
+                        SessionConfig::new()
+                            .spec(spec.clone())
+                            .probe(ProbeSemantics::ExcludeOwnSends),
+                    );
+                    let Response::CoordDecision(report) =
+                        service.dispatch(session, &Query::CoordDecision)?
+                    else {
+                        unreachable!()
+                    };
+                    assert_eq!(
+                        report.first_known, verdict.b_node,
+                        "facade verdict diverged from the dispatched protocol"
+                    );
+                    service.close(session)?;
+                }
             }
             cells.push(match (acted, violations) {
                 (0, 0) => "abstains".to_string(),
@@ -80,5 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nThe zigzag/fork strategies dispatch the freight for any clearance");
     println!("x <= 8 = L(D→A) − U(D→B); the asynchronous strategy can never send");
     println!("a train *before* an event it has not yet heard about.");
+    println!("(Every optimal verdict above was re-derived through the service");
+    println!("facade's CoordDecision query — identical on all 120 runs.)");
     Ok(())
 }

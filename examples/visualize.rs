@@ -12,6 +12,7 @@
 use std::fs;
 use std::path::Path;
 
+use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::{diagram, Network, SimConfig, Simulator, Time};
@@ -67,5 +68,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ge.graph().edge_count(),
     );
     println!("render with: dot -Tsvg target/figures/ge.dot -o ge.svg");
+
+    // The same GE powers the service facade's knowledge answers: the
+    // all-pairs threshold matrix at σ summarizes what B knows here.
+    let service = ZigzagService::new();
+    let session = service.open_batch(run.clone(), SessionConfig::new());
+    let Response::MaxXMatrix(matrix) = service.dispatch(session, &Query::MaxXMatrix { sigma })?
+    else {
+        unreachable!()
+    };
+    let known = matrix.iter().filter(|(_, _, v)| v.is_some()).count();
+    println!(
+        "knowledge at {sigma}: {}×{} threshold matrix, {known} reachable pairs",
+        matrix.len(),
+        matrix.len(),
+    );
     Ok(())
 }

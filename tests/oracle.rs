@@ -24,6 +24,14 @@
 //! against a scratch `BoundsGraph`, and exact reconstruction of the
 //! source run once the feed drains.
 //!
+//! Since the `zigzag::api` facade landed, the first and third blocks
+//! additionally route every comparison through
+//! `ZigzagService::dispatch` — a batch session alongside the direct
+//! batch engine, and a stream session alongside the direct incremental
+//! engine, checked at **every** prefix — so the facade's one shared
+//! dispatch path is pinned byte-identical to the direct calls on the
+//! same oracle case set.
+//!
 //! Three proptest blocks × (128 + 96 + 100) cases ≥ the 200-random-case
 //! floor (and the 100-case prefix floor); every case is a fresh
 //! `(topology, schedule)` pair.
@@ -31,6 +39,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use proptest::prelude::*;
+use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::validate::{validate_run, Strictness};
@@ -206,6 +215,8 @@ proptest! {
         sched_seed in 0u64..10_000,
     ) {
         let run = random_run(n, density, topo_seed, sched_seed, 22);
+        let service = ZigzagService::new();
+        let session = service.open_batch(run.clone(), SessionConfig::new());
         for sigma in observers(&run) {
             let past = run.past(sigma);
             let nodes: Vec<NodeId> = past.iter().filter(|k| !k.is_initial()).collect();
@@ -213,6 +224,15 @@ proptest! {
             let engine = KnowledgeEngine::new(&run, sigma).unwrap();
             let matrix = engine.max_x_basic_matrix().unwrap();
             prop_assert_eq!(matrix.len(), nodes.len());
+            // The facade's batch session dispatches the same matrix,
+            // byte-for-byte.
+            let Response::MaxXMatrix(served) = service
+                .dispatch(session, &Query::MaxXMatrix { sigma })
+                .unwrap()
+            else {
+                unreachable!("matrix queries return matrices");
+            };
+            prop_assert_eq!(&served, &matrix, "dispatched matrix diverged at {}", sigma);
             for &a in &nodes {
                 for &b in &nodes {
                     let want = reference[&(a, b)];
@@ -234,13 +254,33 @@ proptest! {
                     }
                 }
             }
-            // A cold engine (fresh caches) answers identically on a sample.
+            // A cold engine (fresh caches) answers identically on a sample,
+            // and so does the facade — max_x, knows and a QueryBatch (the
+            // batched path is the same code path, positionally aligned).
             if let (Some(&a), Some(&b)) = (nodes.first(), nodes.last()) {
                 let cold = KnowledgeEngine::new(&run, sigma).unwrap();
-                prop_assert_eq!(
-                    cold.max_x(&GeneralNode::basic(a), &GeneralNode::basic(b)).unwrap(),
-                    reference[&(a, b)]
-                );
+                let (ta, tb) = (GeneralNode::basic(a), GeneralNode::basic(b));
+                prop_assert_eq!(cold.max_x(&ta, &tb).unwrap(), reference[&(a, b)]);
+                let x = reference[&(a, b)].unwrap_or(0);
+                let batch = Query::QueryBatch(vec![
+                    Query::MaxX {
+                        sigma,
+                        theta1: ta.clone(),
+                        theta2: tb.clone(),
+                    },
+                    Query::Knows {
+                        sigma,
+                        theta1: ta.clone(),
+                        theta2: tb.clone(),
+                        x,
+                    },
+                ]);
+                let Response::ResponseBatch(rs) = service.dispatch(session, &batch).unwrap()
+                else {
+                    unreachable!("batch queries return batch responses");
+                };
+                prop_assert_eq!(&rs[0], &Response::MaxX(reference[&(a, b)]));
+                prop_assert_eq!(&rs[1], &Response::Knows(engine.knows(&ta, &tb, x).unwrap()));
             }
         }
     }
@@ -261,19 +301,33 @@ proptest! {
         let run = random_run(n, density, topo_seed, sched_seed, 14);
         let mut cursor = RunCursor::new(&run);
         let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        // The same feed drives a facade stream session in lockstep; every
+        // dispatched answer must equal the direct engine call at every
+        // prefix.
+        let service = ZigzagService::new();
+        let session = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
         // A persistent observer picked as soon as one exists: its state is
         // built once and must stay exact across all later appends.
         let mut tracked: Option<NodeId> = None;
         while let Some(ev) = cursor.next_event() {
             let node = inc.append_event(&ev).unwrap();
+            prop_assert_eq!(service.append(session, &ev).unwrap().node, node);
             let tracked_sigma = *tracked.get_or_insert(node);
             let prefix = inc.run();
 
-            // The appended node's all-pairs matrix, byte-for-byte.
+            // The appended node's all-pairs matrix, byte-for-byte —
+            // direct, batch-engine, and dispatched forms.
             let online = inc.max_x_basic_matrix(node).unwrap();
             let batch = KnowledgeEngine::new(prefix, node).unwrap();
             prop_assert_eq!(&online, &batch.max_x_basic_matrix().unwrap(),
                 "matrix diverged at {}", node);
+            let Response::MaxXMatrix(served) = service
+                .dispatch(session, &Query::MaxXMatrix { sigma: node })
+                .unwrap()
+            else {
+                unreachable!("matrix queries return matrices");
+            };
+            prop_assert_eq!(&served, &online, "dispatched matrix diverged at {}", node);
 
             // The long-lived observer: sampled max_x/knows against a
             // fresh batch engine on the same prefix.
@@ -294,10 +348,23 @@ proptest! {
                         inc.knows(tracked_sigma, &ta, &tb, want.unwrap_or(0)).unwrap(),
                         cold.knows(&ta, &tb, want.unwrap_or(0)).unwrap()
                     );
+                    // The stream session serves the identical threshold.
+                    prop_assert_eq!(
+                        service
+                            .dispatch(session, &Query::MaxX {
+                                sigma: tracked_sigma,
+                                theta1: ta,
+                                theta2: tb,
+                            })
+                            .unwrap(),
+                        Response::MaxX(want),
+                        "dispatched max_x diverged at {}", node
+                    );
                 }
             }
 
-            // Global GB(r) tight bounds, delta-relaxed vs from-scratch.
+            // Global GB(r) tight bounds, delta-relaxed vs from-scratch vs
+            // dispatched.
             let scratch = BoundsGraph::of_run(prefix);
             let want = scratch
                 .longest_path(tracked_sigma, node)
@@ -305,10 +372,41 @@ proptest! {
                 .map(|(w, _)| w);
             prop_assert_eq!(inc.tight_bound(tracked_sigma, node).unwrap(), want,
                 "GB tight bound diverged at {}", node);
+            prop_assert_eq!(
+                service
+                    .dispatch(session, &Query::TightBound {
+                        from: tracked_sigma,
+                        to: node,
+                    })
+                    .unwrap(),
+                Response::TightBound(want),
+                "dispatched tight bound diverged at {}", node
+            );
         }
-        // The drained feed reconstructed the recorded run exactly.
+        // The drained feed reconstructed the recorded run exactly, in
+        // both the direct engine and the facade session.
         prop_assert_eq!(inc.run(), &run);
         prop_assert_eq!(inc.event_count(), run.node_count() - n);
+        prop_assert!(service.with_run(session, |grown| grown == &run).unwrap());
+
+        // A batch session over the full run answers every sampled query
+        // exactly like the fully-grown stream session.
+        if let Some(sigma) = tracked {
+            let batch_session = service.open_batch(run.clone(), SessionConfig::new());
+            for q in [
+                Query::MaxXMatrix { sigma },
+                Query::TightBound {
+                    from: sigma,
+                    to: sigma,
+                },
+            ] {
+                prop_assert_eq!(
+                    service.dispatch(batch_session, &q).unwrap(),
+                    service.dispatch(session, &q).unwrap(),
+                    "batch and stream sessions diverged on {:?}", q
+                );
+            }
+        }
     }
 }
 

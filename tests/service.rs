@@ -1,0 +1,295 @@
+//! Facade-level behavior tests: cache policies (LRU bound + warm
+//! rebuild, mid-stream compaction), session lifecycle and error surface,
+//! and the wire encoding's round-trip guarantee (encode → decode →
+//! identical dispatch result) as a property test over random runs.
+
+use proptest::prelude::*;
+use zigzag::api::{
+    wire, CachePolicy, CoordKind, Error, Query, Response, SessionConfig, TimedCoordination,
+    ZigzagService,
+};
+use zigzag::bcm::protocols::Ffip;
+use zigzag::bcm::scheduler::RandomScheduler;
+use zigzag::bcm::{topology, NodeId, ProcessId, Run, RunCursor, SimConfig, Simulator, Time};
+use zigzag::core::GeneralNode;
+
+fn tri_run(seed: u64, horizon: u64) -> Run {
+    let mut b = zigzag::bcm::Network::builder();
+    let i = b.add_process("i");
+    let j = b.add_process("j");
+    let k = b.add_process("k");
+    b.add_bidirectional(i, j, 2, 5).unwrap();
+    b.add_bidirectional(j, k, 1, 4).unwrap();
+    b.add_bidirectional(i, k, 3, 7).unwrap();
+    let ctx = b.build().unwrap();
+    let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(horizon)));
+    sim.external(Time::new(1), i, "kick");
+    sim.run(&mut Ffip::new(), &mut RandomScheduler::seeded(seed))
+        .unwrap()
+}
+
+/// With the LRU bound set to k, a streaming session never holds more
+/// than k observer states — asserted after every query — and an evicted
+/// observer's next query rebuilds a state that answers byte-identically.
+#[test]
+fn lru_bounded_stream_session_caps_states_and_rebuilds_identically() {
+    const K: usize = 2;
+    let run = tri_run(3, 40);
+    let service = ZigzagService::new();
+    let bounded = service.open_stream(
+        run.context_arc(),
+        run.horizon(),
+        SessionConfig::new().cache(CachePolicy::unbounded().max_observers(K)),
+    );
+    // An unbounded twin answers in lockstep: the policy must never change
+    // an answer.
+    let unbounded = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
+
+    let mut cursor = RunCursor::new(&run);
+    let mut nodes = Vec::new();
+    while let Some(ev) = cursor.next_event() {
+        nodes.push(service.append(bounded, &ev).unwrap().node);
+        service.append(unbounded, &ev).unwrap();
+    }
+    assert!(nodes.len() > K, "need more observers than the bound");
+
+    let mut first = Vec::new();
+    for &sigma in &nodes {
+        let q = Query::MaxXMatrix { sigma };
+        first.push(service.dispatch(bounded, &q).unwrap());
+        assert!(
+            service.observer_count(bounded).unwrap() <= K,
+            "bounded session exceeded {K} observer states at {sigma}"
+        );
+        assert_eq!(
+            first.last().unwrap(),
+            &service.dispatch(unbounded, &q).unwrap(),
+            "LRU policy changed an answer at {sigma}"
+        );
+    }
+    // The unbounded twin kept everything; the bounded one evicted.
+    assert_eq!(service.observer_count(unbounded).unwrap(), nodes.len());
+    // Revisit every observer (most were evicted): answers identical.
+    for (&sigma, before) in nodes.iter().zip(&first) {
+        let again = service
+            .dispatch(bounded, &Query::MaxXMatrix { sigma })
+            .unwrap();
+        assert_eq!(&again, before, "warm rebuild diverged at {sigma}");
+        assert!(service.observer_count(bounded).unwrap() <= K);
+    }
+}
+
+/// Batch sessions honor the same LRU bound.
+#[test]
+fn lru_bounded_batch_session_caps_states() {
+    let run = tri_run(1, 40);
+    let service = ZigzagService::new();
+    let session = service.open_batch(
+        run.clone(),
+        SessionConfig::new().cache(CachePolicy::unbounded().max_observers(1)),
+    );
+    let nodes: Vec<NodeId> = run
+        .nodes()
+        .map(|r| r.id())
+        .filter(|n| !n.is_initial())
+        .collect();
+    let mut answers = Vec::new();
+    for &sigma in &nodes {
+        answers.push(
+            service
+                .dispatch(session, &Query::MaxXMatrix { sigma })
+                .unwrap(),
+        );
+        assert_eq!(service.observer_count(session).unwrap(), 1);
+    }
+    for (&sigma, before) in nodes.iter().zip(&answers) {
+        assert_eq!(
+            &service
+                .dispatch(session, &Query::MaxXMatrix { sigma })
+                .unwrap(),
+            before
+        );
+    }
+}
+
+/// Mid-stream append-log compaction reclaims the log without changing
+/// any answer.
+#[test]
+fn compaction_policy_reclaims_log_and_preserves_answers() {
+    let run = tri_run(0, 45);
+    let service = ZigzagService::new();
+    let compacted = service.open_stream(
+        run.context_arc(),
+        run.horizon(),
+        SessionConfig::new().cache(CachePolicy::unbounded().compact_every(3)),
+    );
+    let plain = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
+    let anchor = NodeId::new(ProcessId::new(0), 1);
+    let mut cursor = RunCursor::new(&run);
+    while let Some(ev) = cursor.next_event() {
+        let node = service.append(compacted, &ev).unwrap().node;
+        service.append(plain, &ev).unwrap();
+        if !service.with_run(compacted, |r| r.appears(anchor)).unwrap() {
+            continue;
+        }
+        // Tight-bound queries keep the memoized SPFA warm, so the append
+        // log would grow without the policy; answers must stay equal.
+        let q = Query::TightBound {
+            from: anchor,
+            to: node,
+        };
+        assert_eq!(
+            service.dispatch(compacted, &q).unwrap(),
+            service.dispatch(plain, &q).unwrap(),
+            "compaction changed an answer at {node}"
+        );
+    }
+}
+
+/// The facade's error surface: unknown sessions, batch appends, missing
+/// specs.
+#[test]
+fn session_lifecycle_and_error_surface() {
+    let run = tri_run(2, 30);
+    let service = ZigzagService::new();
+    let id = service.open_batch(run.clone(), SessionConfig::new());
+    assert_eq!(service.session_count(), 1);
+
+    // Appending to a batch session is refused.
+    let ev = RunCursor::new(&run).next_event().unwrap();
+    assert!(matches!(
+        service.append(id, &ev),
+        Err(Error::NotStreaming { .. })
+    ));
+    // Coordination queries need a spec.
+    assert!(matches!(
+        service.dispatch(id, &Query::CoordDecision),
+        Err(Error::NoSpec)
+    ));
+    let stream = service.open_stream(run.context_arc(), run.horizon(), SessionConfig::new());
+    assert!(matches!(
+        service.dispatch(stream, &Query::CoordDecision),
+        Err(Error::NoSpec)
+    ));
+    // Closing invalidates the handle.
+    service.close(id).unwrap();
+    assert!(matches!(
+        service.dispatch(id, &Query::CoordDecision),
+        Err(Error::UnknownSession { .. })
+    ));
+    assert!(matches!(
+        service.close(id),
+        Err(Error::UnknownSession { .. })
+    ));
+    assert_eq!(service.session_count(), 1);
+
+    // Underlying engine errors surface through the facade with their
+    // layer error intact (non-lossy source chain).
+    let missing = NodeId::new(ProcessId::new(0), 99);
+    let err = service
+        .dispatch(stream, &Query::MaxXMatrix { sigma: missing })
+        .unwrap_err();
+    assert!(matches!(err, Error::Core(_)));
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+/// Streaming coordination through the facade agrees with the batch
+/// session's `CoordDecision` on the same run (replayed Figure 1).
+#[test]
+fn coordination_decisions_agree_across_session_shapes() {
+    let mut nb = zigzag::bcm::Network::builder();
+    let c = nb.add_process("C");
+    let a = nb.add_process("A");
+    let b = nb.add_process("B");
+    nb.add_channel(c, a, 2, 5).unwrap();
+    nb.add_channel(c, b, 9, 12).unwrap();
+    let ctx = nb.build().unwrap();
+    let spec = TimedCoordination::new(CoordKind::Late { x: 4 }, a, b, c);
+    for seed in 0..4 {
+        let sc =
+            zigzag::coord::Scenario::new(spec.clone(), ctx.clone(), Time::new(3), Time::new(80))
+                .unwrap();
+        let (run, verdict) = sc
+            .run_verified(
+                &mut zigzag::coord::OptimalStrategy,
+                &mut RandomScheduler::seeded(seed),
+            )
+            .unwrap();
+        let service = ZigzagService::new();
+        let config = SessionConfig::new().spec(spec.clone());
+        let (stream, reports) = service.open_replay(&run, config.clone()).unwrap();
+        let batch = service.open_batch(run.clone(), config);
+        let on = service.dispatch(stream, &Query::CoordDecision).unwrap();
+        let off = service.dispatch(batch, &Query::CoordDecision).unwrap();
+        assert_eq!(on, off, "seed {seed}: session shapes diverged");
+        let Response::CoordDecision(report) = on else {
+            unreachable!()
+        };
+        // Figure 1: B has no outgoing channels, so both probe semantics
+        // coincide with the in-simulation protocol.
+        assert_eq!(report.first_known, verdict.b_node, "seed {seed}");
+        assert_eq!(reports.len(), run.node_count() - 3);
+    }
+}
+
+fn observers_of(run: &Run) -> Vec<NodeId> {
+    run.nodes()
+        .map(|r| r.id())
+        .filter(|n| !n.is_initial())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wire round-trip: every query survives encode → decode unchanged
+    /// and the decoded query dispatches to the identical response; every
+    /// response (fast runs and matrices included) survives encode →
+    /// decode unchanged.
+    #[test]
+    fn wire_round_trip_preserves_queries_and_dispatch_results(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+    ) {
+        let ctx = topology::random(n, density as f64 / 10.0, 1, 6, topo_seed).unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(18)));
+        sim.external(Time::new(1), ProcessId::new(0), "kick");
+        let run = sim
+            .run(&mut Ffip::new(), &mut RandomScheduler::seeded(sched_seed))
+            .unwrap();
+        let nodes = observers_of(&run);
+        let Some(&sigma) = nodes.last() else { return Ok(()) };
+        let anchor = nodes[0];
+        let (ta, tb) = (GeneralNode::basic(anchor), GeneralNode::basic(sigma));
+
+        let queries = vec![
+            Query::MaxX { sigma, theta1: ta.clone(), theta2: tb.clone() },
+            Query::Knows { sigma, theta1: ta.clone(), theta2: tb.clone(), x: -3 },
+            Query::Witness { sigma, theta1: ta.clone(), theta2: tb.clone() },
+            Query::MaxXMatrix { sigma },
+            Query::TightBound { from: anchor, to: sigma },
+            Query::FastRun { sigma, theta: tb.clone(), gamma: 1, extra_horizon: 12 },
+            Query::QueryBatch(vec![
+                Query::MaxX { sigma, theta1: ta.clone(), theta2: tb.clone() },
+                Query::TightBound { from: anchor, to: sigma },
+            ]),
+        ];
+
+        let service = ZigzagService::new();
+        let session = service.open_batch(run.clone(), SessionConfig::new());
+        for q in &queries {
+            // The query itself round-trips...
+            let decoded = wire::decode_query(&wire::encode_query(q)).unwrap();
+            prop_assert_eq!(&decoded, q);
+            // ...and the decoded form dispatches to the identical result.
+            let direct = service.dispatch(session, q).unwrap();
+            let via_wire = service.dispatch(session, &decoded).unwrap();
+            prop_assert_eq!(&via_wire, &direct, "wire dispatch diverged");
+            // The response round-trips too (fast runs reuse the run codec).
+            let back = wire::decode_response(&wire::encode_response(&direct)).unwrap();
+            prop_assert_eq!(&back, &direct, "response round trip changed the answer");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so instead of the real
 //! `rand` crate the workspace vendors this minimal, dependency-free
-//! implementation: a [`StdRng`](rngs::StdRng) backed by xoshiro256**
+//! implementation: a [`rngs::StdRng`] backed by xoshiro256**
 //! (seeded through SplitMix64, as the reference generator recommends), and
 //! the [`Rng`] / [`SeedableRng`] trait surface used by the schedulers,
 //! topologies and experiment binaries.
