@@ -24,8 +24,12 @@
 //! (`KnowledgeEngine`, `IncrementalEngine`, `coord`) on both session
 //! shapes and at every stream prefix — pinned by the differential oracle.
 //! [`wire`] gives queries and responses a stable line-oriented text
-//! encoding (reusing the `zigzag-run v1` codec for embedded runs) for
-//! future networked serving.
+//! encoding (reusing the `zigzag-run v1` codec for embedded runs), and
+//! [`serve`] runs the high-throughput form: the session table is sharded
+//! ([`ZigzagService::sharded`]), and [`serve::serve`] fans wire-encoded
+//! request frames across N worker threads, each owning its shards — no
+//! cross-worker locking, per-session arrival order, responses
+//! byte-identical to the serial loop at any worker count.
 //!
 //! ## Example
 //!
@@ -79,6 +83,7 @@
 pub mod config;
 pub mod error;
 pub mod query;
+pub mod serve;
 pub mod service;
 pub mod session;
 pub mod wire;

@@ -1,0 +1,402 @@
+//! The sharded wire-serving loop: N workers, each owning a slice of the
+//! session table, dispatching [`crate::wire`] frames.
+//!
+//! [`crate::ZigzagService`] answers queries synchronously for one caller.
+//! This module is the throughput layer the ROADMAP's serving system runs
+//! on: a batch of **request frames** — each a [`wire`]-encoded query
+//! addressed to a session — is fanned across `workers` threads such that
+//! every frame is handled by the worker *owning* its session's shard
+//! (`shard_of(session) % workers`). Consequences, by construction rather
+//! than by locking discipline:
+//!
+//! * **no cross-worker locking on the steady path** — a shard's handle
+//!   map is only ever touched by its owning worker during the loop, so
+//!   its mutex never contends, and dispatch itself runs on the resolved
+//!   [`Session`] outside any table lock;
+//! * **per-session arrival order** — all frames of one session land on
+//!   one worker, which processes its frames in arrival order; responses
+//!   are written back into the arrival-order slot of the output, so each
+//!   session sees its answers in exactly the order it asked;
+//! * **pipelining** — a worker resolves each session through its shard's
+//!   lock **once** per loop (memoized thereafter), so a stream of frames
+//!   — and every query inside a [`crate::Query::QueryBatch`] frame — on
+//!   the same session pays one shard-local lock acquisition, not one per
+//!   query.
+//!
+//! Byte-identity is the contract: for a fixed frame batch against a fixed
+//! session table, [`serve`] returns the same `Vec<String>` at **every**
+//! worker count — equal to the serial loop decoding, dispatching and
+//! re-encoding one frame at a time (pinned at worker counts 1/2/8 by the
+//! differential oracle in `tests/oracle.rs`). Frames that fail to decode,
+//! or whose dispatch fails, produce a deterministic `zigzag-error v1`
+//! document in their slot; the loop never panics on hostile input.
+//!
+//! # Frame format
+//!
+//! ```text
+//! zigzag-frame v1
+//! session 3
+//! zigzag-query v1
+//! maxx 1 2 0 1 1 2 1 2 0
+//! ```
+//!
+//! — the frame header, the target session's raw handle, then a complete
+//! [`wire::encode_query`] document. Responses are plain
+//! [`wire::encode_response`] documents; failures are
+//! [`encode_error`] documents. Round-tripping is lossless
+//! ([`decode_frame`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Error;
+use crate::query::Query;
+use crate::service::{SessionId, ZigzagService};
+use crate::session::Session;
+use crate::wire;
+
+/// Header line of a request frame.
+const FRAME_HEADER: &str = "zigzag-frame v1";
+/// Header line of an error response document.
+const ERROR_HEADER: &str = "zigzag-error v1";
+
+/// Writer-based form of [`encode_frame`]; see [`wire::encode_query_to`]
+/// for the writer-based encoder convention.
+///
+/// # Errors
+///
+/// Propagates `out`'s write error (encoding itself cannot fail).
+pub fn encode_frame_to<W: fmt::Write>(out: &mut W, session: SessionId, q: &Query) -> fmt::Result {
+    writeln!(out, "{FRAME_HEADER}")?;
+    writeln!(out, "session {}", session.raw())?;
+    wire::encode_query_to(out, q)
+}
+
+/// Encodes a request frame: `q` addressed to `session`, in the
+/// `zigzag-frame v1` text format (see the [module docs](self)).
+pub fn encode_frame(session: SessionId, q: &Query) -> String {
+    let mut out = String::new();
+    encode_frame_to(&mut out, session, q).expect("writing to a String is infallible");
+    out
+}
+
+/// Number of frame header lines preceding the embedded query document.
+const FRAME_HEADER_LINES: usize = 2;
+
+/// Re-anchors a wire error raised while decoding the embedded query
+/// document from body-relative to frame-relative line numbers (the two
+/// frame header lines precede the body), so every error a frame
+/// produces points at the actual offending frame line.
+fn offset_body_error(e: Error) -> Error {
+    match e {
+        Error::Wire { line, detail } => Error::Wire {
+            line: line + FRAME_HEADER_LINES,
+            detail,
+        },
+        other => other,
+    }
+}
+
+/// Decodes a `zigzag-frame v1` document into its target session and
+/// query — the inverse of [`encode_frame`].
+///
+/// # Errors
+///
+/// Returns [`Error::Wire`] on malformed input, with line numbers
+/// relative to the whole frame.
+pub fn decode_frame(text: &str) -> Result<(SessionId, Query), Error> {
+    let (session, body) = split_frame(text)?;
+    let query = wire::decode_query(body).map_err(offset_body_error)?;
+    Ok((session, query))
+}
+
+/// Writer-based form of [`encode_error`].
+///
+/// # Errors
+///
+/// Propagates `out`'s write error (encoding itself cannot fail).
+pub fn encode_error_to<W: fmt::Write>(out: &mut W, e: &Error) -> fmt::Result {
+    writeln!(out, "{ERROR_HEADER}")?;
+    writeln!(out, "{e}")
+}
+
+/// Encodes a failed frame's answer: the `zigzag-error v1` document
+/// carrying the error's display text. Deterministic for a given error,
+/// so error slots participate in the serving loop's byte-identity
+/// contract like any response.
+pub fn encode_error(e: &Error) -> String {
+    let mut out = String::new();
+    encode_error_to(&mut out, e).expect("writing to a String is infallible");
+    out
+}
+
+/// Whether a serving-loop output slot holds an `zigzag-error v1`
+/// document (as opposed to a `zigzag-response v1` answer).
+pub fn is_error_document(text: &str) -> bool {
+    text.lines()
+        .next()
+        .is_some_and(|l| l.trim() == ERROR_HEADER)
+}
+
+/// Splits a frame into its target session and the embedded query
+/// document, validating the two header lines only — the cheap routing
+/// parse; the query body is decoded later, on the owning worker.
+fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
+    let bad = |line: usize, detail: String| Error::Wire { line, detail };
+    let mut rest = text;
+    let mut take_line = |line_no: usize| -> Result<&str, Error> {
+        let end = rest
+            .find('\n')
+            .ok_or_else(|| bad(line_no, "unexpected end of frame".into()))?;
+        let line = &rest[..end];
+        rest = &rest[end + 1..];
+        Ok(line)
+    };
+    let header = take_line(1)?;
+    if header.trim() != FRAME_HEADER {
+        return Err(bad(1, format!("bad frame header {header:?}")));
+    }
+    let session_line = take_line(2)?;
+    let mut toks = session_line.split_whitespace();
+    if toks.next() != Some("session") {
+        return Err(bad(
+            2,
+            format!("expected session line, got {session_line:?}"),
+        ));
+    }
+    let raw = toks
+        .next()
+        .ok_or_else(|| bad(2, "missing session handle".into()))?;
+    let raw: u64 = raw
+        .parse()
+        .map_err(|_| bad(2, format!("bad session handle {raw:?}")))?;
+    if let Some(extra) = toks.next() {
+        return Err(bad(2, format!("trailing token {extra:?}")));
+    }
+    Ok((SessionId::from_raw(raw), rest))
+}
+
+/// Answers one frame: decode, resolve (through `memo`, so one session is
+/// looked up through its shard's lock at most once per loop), dispatch,
+/// encode — *the* per-frame code path shared by the serial loop and
+/// every worker, which is what makes [`serve`] worker-count-invariant.
+fn respond(service: &ZigzagService, frame: &str, memo: &mut HashMap<u64, Arc<Session>>) -> String {
+    let answer = split_frame(frame).and_then(|(id, body)| {
+        let query = wire::decode_query(body).map_err(offset_body_error)?;
+        let session = match memo.get(&id.raw()) {
+            Some(session) => Arc::clone(session),
+            None => {
+                let session = service.session(id)?;
+                memo.insert(id.raw(), Arc::clone(&session));
+                session
+            }
+        };
+        session.dispatch(&query)
+    });
+    match answer {
+        Ok(response) => {
+            let mut out = String::new();
+            wire::encode_response_to(&mut out, &response)
+                .expect("writing to a String is infallible");
+            out
+        }
+        Err(e) => encode_error(&e),
+    }
+}
+
+/// The worker a frame belongs to: the owner of its session's shard. A
+/// frame whose session line cannot even be parsed has no shard; worker 0
+/// answers it (with the wire error), keeping the assignment total and
+/// deterministic.
+fn owner_of(service: &ZigzagService, frame: &str, workers: usize) -> usize {
+    match split_frame(frame) {
+        Ok((id, _)) => service.shard_of(id) % workers,
+        Err(_) => 0,
+    }
+}
+
+/// Serves a batch of request frames with `workers` threads (clamped to
+/// at least 1), returning one response document per frame, **in arrival
+/// order** — see the [module docs](self) for the sharding, ordering and
+/// byte-identity contract. The session table is treated as fixed for the
+/// duration of the call: concurrent `open`/`close` from other threads
+/// may race individual lookups (exactly as they would against the serial
+/// loop run at the same moment).
+pub fn serve<S: AsRef<str> + Sync>(
+    service: &ZigzagService,
+    frames: &[S],
+    workers: usize,
+) -> Vec<String> {
+    let workers = workers.max(1).min(frames.len().max(1));
+    if workers <= 1 {
+        let mut memo = HashMap::new();
+        return frames
+            .iter()
+            .map(|f| respond(service, f.as_ref(), &mut memo))
+            .collect();
+    }
+    // Route once on the calling thread (one header parse per frame),
+    // then let each worker index the owner table instead of re-parsing
+    // every frame per worker.
+    let owners: Vec<usize> = frames
+        .iter()
+        .map(|f| owner_of(service, f.as_ref(), workers))
+        .collect();
+    let owners = &owners;
+    let mut batches: Vec<Vec<(usize, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut memo = HashMap::new();
+                    frames
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| owners[*i] == w)
+                        .map(|(i, f)| (i, respond(service, f.as_ref(), &mut memo)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<String>> = Vec::with_capacity(frames.len());
+    slots.resize_with(frames.len(), || None);
+    for batch in &mut batches {
+        for (i, out) in batch.drain(..) {
+            slots[i] = Some(out);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every frame is owned by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SessionConfig;
+    use crate::query::Response;
+    use zigzag_bcm::protocols::Ffip;
+    use zigzag_bcm::scheduler::EagerScheduler;
+    use zigzag_bcm::{Network, Run, SimConfig, Simulator, Time};
+    use zigzag_core::GeneralNode;
+
+    fn fig1_run() -> Run {
+        let mut b = Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        let bb = b.add_process("B");
+        b.add_channel(c, a, 1, 3).unwrap();
+        b.add_channel(c, bb, 7, 9).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim = Simulator::new(ctx, SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(2), c, "go");
+        sim.run(&mut Ffip::new(), &mut EagerScheduler).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_malformed_documents() {
+        let sigma = zigzag_bcm::NodeId::new(zigzag_bcm::ProcessId::new(1), 2);
+        let q = Query::MaxXMatrix { sigma };
+        let id = SessionId::from_raw(7);
+        let text = encode_frame(id, &q);
+        assert_eq!(decode_frame(&text).unwrap(), (id, q.clone()));
+        // Writer-based encoding is byte-identical.
+        let mut streamed = String::new();
+        encode_frame_to(&mut streamed, id, &q).unwrap();
+        assert_eq!(streamed, text);
+
+        for bad in [
+            "",
+            "zigzag-frame v1",
+            "zigzag-frame v1\n",
+            "nope\nsession 1\nzigzag-query v1\ncoord\n",
+            "zigzag-frame v1\nsession\nzigzag-query v1\ncoord\n",
+            "zigzag-frame v1\nsession x\nzigzag-query v1\ncoord\n",
+            "zigzag-frame v1\nsession 1 2\nzigzag-query v1\ncoord\n",
+            "zigzag-frame v1\nsession 1\nbogus\ncoord\n",
+        ] {
+            assert!(
+                matches!(decode_frame(bad), Err(Error::Wire { .. })),
+                "{bad:?}"
+            );
+        }
+        // Body-decode failures report frame-relative line numbers: the
+        // bad wire header sits on frame line 3 (after the two frame
+        // header lines), not on "line 1" of the embedded document.
+        let err = decode_frame("zigzag-frame v1\nsession 1\nbogus\ncoord\n").unwrap_err();
+        assert!(
+            matches!(err, Error::Wire { line: 3, .. }),
+            "body error not re-anchored: {err}"
+        );
+    }
+
+    #[test]
+    fn serve_matches_the_serial_loop_and_flags_errors_in_place() {
+        let run = fig1_run();
+        let service = ZigzagService::sharded(4);
+        let nodes: Vec<_> = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|n| !n.is_initial())
+            .collect();
+        let sessions: Vec<_> = (0..3)
+            .map(|_| service.open_batch(run.clone(), SessionConfig::new()))
+            .collect();
+        let mut frames = Vec::new();
+        for (k, &sigma) in nodes.iter().enumerate() {
+            let id = sessions[k % sessions.len()];
+            frames.push(encode_frame(id, &Query::MaxXMatrix { sigma }));
+            frames.push(encode_frame(
+                id,
+                &Query::QueryBatch(vec![
+                    Query::MaxX {
+                        sigma,
+                        theta1: GeneralNode::basic(nodes[0]),
+                        theta2: GeneralNode::basic(sigma),
+                    },
+                    Query::TightBound {
+                        from: nodes[0],
+                        to: sigma,
+                    },
+                ]),
+            ));
+        }
+        // An unknown session and an undecodable frame: deterministic
+        // error documents in their arrival slots, not panics.
+        frames.push(encode_frame(
+            SessionId::from_raw(999),
+            &Query::CoordDecision,
+        ));
+        frames.push("zigzag-frame v1\nsession zero\n".to_string());
+
+        let serial = serve(&service, &frames, 1);
+        assert_eq!(serial.len(), frames.len());
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                serve(&service, &frames, workers),
+                serial,
+                "workers={workers}"
+            );
+        }
+        // The error slots are flagged as such; the rest decode as
+        // responses equal to direct dispatch.
+        assert!(is_error_document(&serial[serial.len() - 2]));
+        assert!(is_error_document(&serial[serial.len() - 1]));
+        let (id, q) = decode_frame(&frames[0]).unwrap();
+        let direct = service.dispatch(id, &q).unwrap();
+        assert!(!is_error_document(&serial[0]));
+        assert_eq!(wire::decode_response(&serial[0]).unwrap(), direct);
+        let Response::MaxXMatrix(_) = direct else {
+            panic!("matrix queries return matrices");
+        };
+    }
+}

@@ -44,38 +44,88 @@ impl fmt::Display for SessionId {
     }
 }
 
+/// Default number of session-table shards; see [`ZigzagService::sharded`].
+const DEFAULT_SHARDS: usize = 16;
+
+/// One shard of the session table: a slice of the handle space with its
+/// own lock, so handle resolution on one shard never contends with
+/// another — and so the [`crate::serve`] workers can each *own* a set of
+/// shards outright.
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+}
+
 /// The unified service facade; see the [module docs](self) and the
 /// crate-level example.
 ///
-/// The session table's own lock is held only for handle resolution
-/// (lookup/insert/remove) — never across query evaluation or appends.
-/// Each session synchronizes individually (see [`crate::session`]'s
-/// locking notes), so slow work on one session does not block another.
-#[derive(Debug, Default)]
+/// The session table is **sharded**: handles map to shards by
+/// `id % shard_count` ([`ZigzagService::shard_of`]), and each shard's own
+/// lock is held only for handle resolution (lookup/insert/remove) —
+/// never across query evaluation or appends. Each session synchronizes
+/// individually (see [`crate::session`]'s locking notes), so slow work on
+/// one session does not block another, and traffic on different shards
+/// does not even share a resolution lock. The sharding is invisible to
+/// answers: every dispatch is byte-identical at any shard count (the
+/// shards only partition the handle map).
+#[derive(Debug)]
 pub struct ZigzagService {
-    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    shards: Box<[Shard]>,
     next: AtomicU64,
 }
 
+impl Default for ZigzagService {
+    fn default() -> Self {
+        ZigzagService::sharded(DEFAULT_SHARDS)
+    }
+}
+
 impl ZigzagService {
-    /// Creates an empty service.
+    /// Creates an empty service with the default shard count.
     pub fn new() -> Self {
         ZigzagService::default()
     }
 
+    /// Creates an empty service whose session table is split into
+    /// `shards` independently locked shards (clamped to at least 1).
+    /// Handles are dealt round-robin across shards, so a shard owns every
+    /// `shards`-th session — the partition [`crate::serve`]'s worker
+    /// threads dispatch over without cross-worker locking.
+    pub fn sharded(shards: usize) -> Self {
+        let mut table = Vec::new();
+        table.resize_with(shards.max(1), Shard::default);
+        ZigzagService {
+            shards: table.into_boxed_slice(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of session-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `id` — stable for the life of the service:
+    /// `id.raw() % shard_count`.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        (id.0 % self.shards.len() as u64) as usize
+    }
+
     fn insert(&self, session: Session) -> SessionId {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.sessions
+        self.shards[(id % self.shards.len() as u64) as usize]
+            .sessions
             .lock()
             .expect("session table lock")
             .insert(id, Arc::new(session));
         SessionId(id)
     }
 
-    /// Resolves a handle to its session, holding the table lock only for
-    /// the lookup.
-    fn session(&self, id: SessionId) -> Result<Arc<Session>, Error> {
-        self.sessions
+    /// Resolves a handle to its session, holding only the owning shard's
+    /// lock, and only for the lookup.
+    pub(crate) fn session(&self, id: SessionId) -> Result<Arc<Session>, Error> {
+        self.shards[self.shard_of(id)]
+            .sessions
             .lock()
             .expect("session table lock")
             .get(&id.0)
@@ -174,9 +224,12 @@ impl ZigzagService {
         Ok(self.session(id)?.observer_count())
     }
 
-    /// Number of open sessions.
+    /// Number of open sessions (summed across shards).
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().expect("session table lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.sessions.lock().expect("session table lock").len())
+            .sum()
     }
 
     /// Closes a session, releasing its state.
@@ -185,7 +238,8 @@ impl ZigzagService {
     ///
     /// Fails on unknown sessions.
     pub fn close(&self, id: SessionId) -> Result<(), Error> {
-        self.sessions
+        self.shards[self.shard_of(id)]
+            .sessions
             .lock()
             .expect("session table lock")
             .remove(&id.0)

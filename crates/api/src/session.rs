@@ -234,18 +234,27 @@ impl SessionBackend for BatchSession {
 
     fn coord_decision(&self) -> Result<CoordReport, Error> {
         // The run and spec never change, so the verdict is computed once
-        // per session (each per-node decision builds its own probe-scoped
-        // GE, which is not worth paying per poll); the per-run message
-        // table is decision-invariant and shared across the per-node
-        // decisions of that one computation.
+        // per session; the per-run message table is decision-invariant
+        // and shared. Under the include probe the per-node decision
+        // states are exactly the full-mode states knowledge queries use,
+        // so they are retained in the session's observer cache for
+        // reuse; under the exclude probe the verdict (computed exactly
+        // once) is the only consumer of those states, and retaining them
+        // would evict warm full-mode states for nothing — so they are
+        // built fresh and dropped.
         self.coord
             .get_or_init(|| {
                 let spec = self.config.spec.as_ref().ok_or(Error::NoSpec)?;
-                let (first_known, sigma_c) = zigzag_coord::first_knowledge_indexed(
+                let cache = match self.config.probe {
+                    zigzag_coord::ProbeSemantics::IncludeOwnSends => Some(&self.observers),
+                    zigzag_coord::ProbeSemantics::ExcludeOwnSends => None,
+                };
+                let (first_known, sigma_c) = zigzag_coord::first_knowledge_cached(
                     spec,
                     &self.run,
                     self.config.probe,
                     self.messages(),
+                    cache,
                 )?;
                 Ok(CoordReport {
                     first_known,

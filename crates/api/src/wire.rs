@@ -17,7 +17,7 @@
 //! dispatching a decoded query returns the identical response (pinned by
 //! a property test in `tests/service.rs`).
 
-use std::fmt::Write as _;
+use std::fmt;
 
 use zigzag_bcm::{codec, NetPath, NodeId, ProcessId, Time};
 use zigzag_core::{GeneralNode, MaxXMatrix};
@@ -41,47 +41,46 @@ fn bad(line: usize, detail: impl Into<String>) -> Error {
     }
 }
 
-fn push_node(out: &mut String, n: NodeId) {
-    let _ = write!(out, " {} {}", n.proc().index(), n.index());
+fn push_node<W: fmt::Write>(out: &mut W, n: NodeId) -> fmt::Result {
+    write!(out, " {} {}", n.proc().index(), n.index())
 }
 
-fn push_theta(out: &mut String, theta: &GeneralNode) {
-    push_node(out, theta.base());
+fn push_theta<W: fmt::Write>(out: &mut W, theta: &GeneralNode) -> fmt::Result {
+    push_node(out, theta.base())?;
     let procs = theta.path().procs();
-    let _ = write!(out, " {}", procs.len());
+    write!(out, " {}", procs.len())?;
     for p in procs {
-        let _ = write!(out, " {}", p.index());
+        write!(out, " {}", p.index())?;
     }
+    Ok(())
 }
 
-fn push_opt(out: &mut String, v: Option<i64>) {
+fn push_opt<W: fmt::Write>(out: &mut W, v: Option<i64>) -> fmt::Result {
     match v {
-        Some(v) => {
-            let _ = write!(out, " {v}");
-        }
-        None => out.push_str(" ."),
+        Some(v) => write!(out, " {v}"),
+        None => out.write_str(" ."),
     }
 }
 
-fn push_opt_node(out: &mut String, n: Option<NodeId>) {
+fn push_opt_node<W: fmt::Write>(out: &mut W, n: Option<NodeId>) -> fmt::Result {
     match n {
         Some(n) => push_node(out, n),
-        None => out.push_str(" ."),
+        None => out.write_str(" ."),
     }
 }
 
-fn encode_query_into(out: &mut String, q: &Query) {
+fn encode_query_into<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
     match q {
         Query::MaxX {
             sigma,
             theta1,
             theta2,
         } => {
-            out.push_str("maxx");
-            push_node(out, *sigma);
-            push_theta(out, theta1);
-            push_theta(out, theta2);
-            out.push('\n');
+            out.write_str("maxx")?;
+            push_node(out, *sigma)?;
+            push_theta(out, theta1)?;
+            push_theta(out, theta2)?;
+            out.write_str("\n")
         }
         Query::Knows {
             sigma,
@@ -89,33 +88,33 @@ fn encode_query_into(out: &mut String, q: &Query) {
             theta2,
             x,
         } => {
-            out.push_str("knows");
-            push_node(out, *sigma);
-            push_theta(out, theta1);
-            push_theta(out, theta2);
-            let _ = writeln!(out, " {x}");
+            out.write_str("knows")?;
+            push_node(out, *sigma)?;
+            push_theta(out, theta1)?;
+            push_theta(out, theta2)?;
+            writeln!(out, " {x}")
         }
         Query::Witness {
             sigma,
             theta1,
             theta2,
         } => {
-            out.push_str("witness");
-            push_node(out, *sigma);
-            push_theta(out, theta1);
-            push_theta(out, theta2);
-            out.push('\n');
+            out.write_str("witness")?;
+            push_node(out, *sigma)?;
+            push_theta(out, theta1)?;
+            push_theta(out, theta2)?;
+            out.write_str("\n")
         }
         Query::MaxXMatrix { sigma } => {
-            out.push_str("matrix");
-            push_node(out, *sigma);
-            out.push('\n');
+            out.write_str("matrix")?;
+            push_node(out, *sigma)?;
+            out.write_str("\n")
         }
         Query::TightBound { from, to } => {
-            out.push_str("tight");
-            push_node(out, *from);
-            push_node(out, *to);
-            out.push('\n');
+            out.write_str("tight")?;
+            push_node(out, *from)?;
+            push_node(out, *to)?;
+            out.write_str("\n")
         }
         Query::FastRun {
             sigma,
@@ -123,63 +122,76 @@ fn encode_query_into(out: &mut String, q: &Query) {
             gamma,
             extra_horizon,
         } => {
-            out.push_str("fastrun");
-            push_node(out, *sigma);
-            push_theta(out, theta);
-            let _ = writeln!(out, " {gamma} {extra_horizon}");
+            out.write_str("fastrun")?;
+            push_node(out, *sigma)?;
+            push_theta(out, theta)?;
+            writeln!(out, " {gamma} {extra_horizon}")
         }
-        Query::CoordDecision => out.push_str("coord\n"),
+        Query::CoordDecision => out.write_str("coord\n"),
         Query::QueryBatch(queries) => {
-            let _ = writeln!(out, "batch {}", queries.len());
+            writeln!(out, "batch {}", queries.len())?;
             for q in queries {
-                encode_query_into(out, q);
+                encode_query_into(out, q)?;
             }
+            Ok(())
         }
     }
+}
+
+/// Writer-based form of [`encode_query`]: streams the `zigzag-query v1`
+/// document (header included) into `out` — byte-identical to the
+/// `String`-returning encoder, without allocating an intermediate
+/// `String` (the serving loop appends directly onto its response
+/// buffers; pinned by a property test in `tests/service.rs`).
+///
+/// # Errors
+///
+/// Propagates `out`'s write error (encoding itself cannot fail).
+pub fn encode_query_to<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
+    out.write_str(QUERY_HEADER)?;
+    out.write_str("\n")?;
+    encode_query_into(out, q)
 }
 
 /// Encodes a query into the `zigzag-query v1` text format.
 pub fn encode_query(q: &Query) -> String {
     let mut out = String::new();
-    out.push_str(QUERY_HEADER);
-    out.push('\n');
-    encode_query_into(&mut out, q);
+    encode_query_to(&mut out, q).expect("writing to a String is infallible");
     out
 }
 
-fn encode_response_into(out: &mut String, r: &Response) {
+fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result {
     match r {
         Response::MaxX(v) => {
-            out.push_str("maxx");
-            push_opt(out, *v);
-            out.push('\n');
+            out.write_str("maxx")?;
+            push_opt(out, *v)?;
+            out.write_str("\n")
         }
-        Response::Knows(b) => {
-            let _ = writeln!(out, "knows {b}");
-        }
-        Response::Witness(None) => out.push_str("witness .\n"),
+        Response::Knows(b) => writeln!(out, "knows {b}"),
+        Response::Witness(None) => out.write_str("witness .\n"),
         Response::Witness(Some(WitnessReport { weight, pattern })) => {
-            let _ = writeln!(out, "witness {weight} {pattern}");
+            writeln!(out, "witness {weight} {pattern}")
         }
         Response::MaxXMatrix(m) => {
-            let _ = writeln!(out, "matrix {}", m.len());
-            out.push_str("mnodes");
+            writeln!(out, "matrix {}", m.len())?;
+            out.write_str("mnodes")?;
             for &n in m.nodes() {
-                push_node(out, n);
+                push_node(out, n)?;
             }
-            out.push('\n');
+            out.write_str("\n")?;
             for i in 0..m.len() {
-                out.push_str("mrow");
+                out.write_str("mrow")?;
                 for j in 0..m.len() {
-                    push_opt(out, m.at(i, j));
+                    push_opt(out, m.at(i, j))?;
                 }
-                out.push('\n');
+                out.write_str("\n")?;
             }
+            Ok(())
         }
         Response::TightBound(v) => {
-            out.push_str("tight");
-            push_opt(out, *v);
-            out.push('\n');
+            out.write_str("tight")?;
+            push_opt(out, *v)?;
+            out.write_str("\n")
         }
         Response::FastRun(FastRunReport {
             sigma,
@@ -187,42 +199,56 @@ fn encode_response_into(out: &mut String, r: &Response) {
             theta_time,
             run,
         }) => {
-            out.push_str("fastrun");
-            push_node(out, *sigma);
-            let _ = writeln!(out, " {gamma} {}", theta_time.ticks());
+            out.write_str("fastrun")?;
+            push_node(out, *sigma)?;
+            writeln!(out, " {gamma} {}", theta_time.ticks())?;
             // The embedded run reuses the zigzag-run v1 codec verbatim.
             let encoded = codec::encode(run);
-            let lines: Vec<&str> = encoded.lines().collect();
-            let _ = writeln!(out, "runlines {}", lines.len());
-            for l in lines {
-                out.push_str(l);
-                out.push('\n');
+            writeln!(out, "runlines {}", encoded.lines().count())?;
+            for l in encoded.lines() {
+                out.write_str(l)?;
+                out.write_str("\n")?;
             }
+            Ok(())
         }
         Response::CoordDecision(CoordReport {
             first_known,
             sigma_c,
         }) => {
-            out.push_str("coord");
-            push_opt_node(out, *first_known);
-            push_opt_node(out, *sigma_c);
-            out.push('\n');
+            out.write_str("coord")?;
+            push_opt_node(out, *first_known)?;
+            push_opt_node(out, *sigma_c)?;
+            out.write_str("\n")
         }
         Response::ResponseBatch(responses) => {
-            let _ = writeln!(out, "batch {}", responses.len());
+            writeln!(out, "batch {}", responses.len())?;
             for r in responses {
-                encode_response_into(out, r);
+                encode_response_into(out, r)?;
             }
+            Ok(())
         }
     }
+}
+
+/// Writer-based form of [`encode_response`]: streams the
+/// `zigzag-response v1` document (header included) into `out` —
+/// byte-identical to the `String`-returning encoder, without allocating
+/// an intermediate `String` per response (the [`crate::serve`] loop's hot
+/// write path; pinned by a property test in `tests/service.rs`).
+///
+/// # Errors
+///
+/// Propagates `out`'s write error (encoding itself cannot fail).
+pub fn encode_response_to<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result {
+    out.write_str(RESPONSE_HEADER)?;
+    out.write_str("\n")?;
+    encode_response_into(out, r)
 }
 
 /// Encodes a response into the `zigzag-response v1` text format.
 pub fn encode_response(r: &Response) -> String {
     let mut out = String::new();
-    out.push_str(RESPONSE_HEADER);
-    out.push('\n');
-    encode_response_into(&mut out, r);
+    encode_response_to(&mut out, r).expect("writing to a String is infallible");
     out
 }
 

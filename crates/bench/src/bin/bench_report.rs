@@ -1,0 +1,241 @@
+//! `bench_report` — renders every committed `BENCH_pr*.json` into one
+//! benchmark-trajectory table.
+//!
+//! Each PR commits the medians its bench run recorded (the criterion
+//! shim's `CRITERION_JSON` output: a JSON array of
+//! `{"name", "ns_per_iter", "samples"}` objects). This binary
+//! schema-checks every file — unknown or missing fields, wrong types and
+//! malformed JSON are hard errors, so a drifting writer cannot silently
+//! produce an unreadable trajectory — and prints one merged table, file
+//! by file, row order preserved.
+//!
+//! ```text
+//! bench_report [FILE...]      # default: ./BENCH_pr*.json, sorted
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One schema-checked benchmark record.
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    samples: u64,
+}
+
+/// A minimal JSON cursor for exactly the shim's output shape: an array
+/// of flat objects with string keys and string/number values. Anything
+/// else is a schema error (by design — see the module docs).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                want as char,
+                self.pos,
+                other.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// A JSON string without escapes — bench names never need them; a
+    /// backslash is a schema error rather than a silent misread.
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => break,
+                Some(b'\\') => return Err(format!("escape in string at byte {}", self.pos)),
+                Some(_) => self.pos += 1,
+                None => return Err("unterminated string".into()),
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("invalid utf-8 in string: {e}"))?
+            .to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+        text.parse()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+/// Parses and schema-checks one `BENCH_pr*.json` document.
+fn parse(text: &str) -> Result<Vec<Record>, String> {
+    let mut c = Cursor::new(text);
+    let mut records = Vec::new();
+    c.eat(b'[')?;
+    if c.peek() == Some(b']') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.eat(b'{')?;
+            let (mut name, mut ns, mut samples) = (None, None, None);
+            loop {
+                let key = c.string()?;
+                c.eat(b':')?;
+                match key.as_str() {
+                    "name" => name = Some(c.string()?),
+                    "ns_per_iter" => ns = Some(c.number()?),
+                    "samples" => {
+                        let v = c.number()?;
+                        if v.fract() != 0.0 || v < 0.0 {
+                            return Err(format!("samples must be a non-negative integer, got {v}"));
+                        }
+                        samples = Some(v as u64);
+                    }
+                    other => return Err(format!("unknown field {other:?}")),
+                }
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b'}') => {
+                        c.pos += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+            records.push(Record {
+                name: name.ok_or("record missing \"name\"")?,
+                ns_per_iter: ns.ok_or("record missing \"ns_per_iter\"")?,
+                samples: samples.ok_or("record missing \"samples\"")?,
+            });
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b']') => {
+                    c.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(format!("trailing content at byte {}", c.pos));
+    }
+    Ok(records)
+}
+
+/// `12345678.9 ns` → `"12,345,679"` (rounded, thousands-grouped).
+fn group_ns(ns: f64) -> String {
+    let whole = ns.round().max(0.0) as u64;
+    let digits = whole.to_string();
+    let mut out = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+fn default_files() -> std::io::Result<Vec<String>> {
+    let mut files: Vec<String> = std::fs::read_dir(".")?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_pr") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files = if args.is_empty() {
+        match default_files() {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("bench_report: cannot scan working directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("bench_report: no BENCH_pr*.json files found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "| file | benchmark | ns/iter | samples |");
+    let _ = writeln!(out, "|------|-----------|--------:|--------:|");
+    let mut rows = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_report: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let records = match parse(&text) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_report: {file}: schema error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in &records {
+            let _ = writeln!(
+                out,
+                "| {file} | {} | {} | {} |",
+                r.name,
+                group_ns(r.ns_per_iter),
+                r.samples
+            );
+        }
+        rows += records.len();
+    }
+    print!("{out}");
+    eprintln!("bench_report: {rows} rows from {} files", files.len());
+    ExitCode::SUCCESS
+}

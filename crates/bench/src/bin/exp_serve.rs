@@ -1,0 +1,9 @@
+//! Serving tier: sharded wire dispatch + warm exclude-mode coordination
+//! — see [`zigzag_bench::experiments::serve`].
+
+use zigzag_bench::experiments::{serve, Profile};
+use zigzag_bench::harness;
+
+fn main() {
+    harness::run_main(serve::experiment(Profile::Full));
+}

@@ -15,6 +15,7 @@ pub mod fig3_visible;
 pub mod fig8_extended;
 pub mod online;
 pub mod protocol_compare;
+pub mod serve;
 pub mod thm1_soundness;
 pub mod thm2_tightness;
 pub mod thm3_kop;
@@ -65,5 +66,6 @@ pub fn all(p: Profile) -> Vec<Experiment> {
         protocol_compare::experiment(p),
         ablation::experiment(p),
         online::experiment(p),
+        serve::experiment(p),
     ]
 }

@@ -78,6 +78,7 @@ golden_tests!(
     protocol_compare,
     ablation,
     online,
+    serve,
 );
 
 /// Family-level determinism: the whole harness — every family, every

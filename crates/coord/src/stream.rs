@@ -32,12 +32,13 @@
 //! coincide exactly; both are sound either way, since extra own-send
 //! evidence is evidence `B` legitimately has.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use zigzag_bcm::stream::RunEvent;
 use zigzag_bcm::{Context, NodeId, Run, RunCursor, Time};
+use zigzag_core::extended_graph::MessageIndex;
 use zigzag_core::incremental::IncrementalEngine;
-use zigzag_core::knowledge::ObserverState;
+use zigzag_core::knowledge::{ObserverCache, ObserverMode, ObserverState};
 use zigzag_core::{GeneralNode, KnowledgeEngine};
 
 use crate::error::CoordError;
@@ -55,6 +56,44 @@ pub enum ProbeSemantics {
     /// Decide on the prefix excluding σ's own sends — the in-simulation
     /// probe's view; protocol-equivalent on every topology.
     ExcludeOwnSends,
+}
+
+impl ProbeSemantics {
+    /// The [`ObserverMode`] whose `GE(r, σ)` this probe decides on — the
+    /// bridge into the core layer's mode-keyed observer-state caches.
+    pub fn mode(self) -> ObserverMode {
+        match self {
+            ProbeSemantics::IncludeOwnSends => ObserverMode::Full,
+            ProbeSemantics::ExcludeOwnSends => ObserverMode::ExcludeOwnSends,
+        }
+    }
+}
+
+/// The one decision-state construction site: the knowledge engine a
+/// coordination decision at `sigma` runs on, under `probe`, optionally
+/// served from (and retained in) a mode-keyed [`ObserverCache`]. Every
+/// batch decision helper and the service facade route through here, so
+/// cached and uncached decisions share one code path — byte-identical by
+/// the observer-stability invariant (states of either mode never go
+/// stale; see `zigzag_core::incremental`).
+fn probe_engine<'r>(
+    run: &'r Run,
+    sigma: NodeId,
+    probe: ProbeSemantics,
+    index: &MessageIndex,
+    cache: Option<&Mutex<ObserverCache>>,
+) -> Result<KnowledgeEngine<'r>, CoordError> {
+    let mode = probe.mode();
+    let state = match cache {
+        Some(cache) => cache
+            .lock()
+            .expect("decision state cache lock")
+            .get_or_build_mode(sigma, mode, || {
+                ObserverState::build_mode(run, sigma, index, mode)
+            })?,
+        None => Arc::new(ObserverState::build_mode(run, sigma, index, mode)?),
+    };
+    Ok(KnowledgeEngine::with_state(run, state))
 }
 
 /// The Protocol 2 decision at `sigma` under the given probe semantics, on
@@ -98,16 +137,33 @@ pub fn decide_at_indexed(
     probe: ProbeSemantics,
     index: &zigzag_core::extended_graph::MessageIndex,
 ) -> Result<bool, CoordError> {
+    decide_at_cached(spec, run, sigma, probe, index, None)
+}
+
+/// [`decide_at_indexed`] with an optional caller-held decision-state
+/// cache: `Some(cache)` serves (and retains) the per-node
+/// [`ObserverState`] — full or own-sends-excluded, keyed by mode — from
+/// the cache instead of rebuilding it, which is what a serving layer
+/// issuing `CoordDecision` at high rate wants. Retention is sound and
+/// byte-identical by observer stability (both modes — see
+/// `zigzag_core::incremental`); `None` builds fresh, the one-shot batch
+/// behavior.
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies (`sigma` not in `run`).
+pub fn decide_at_cached(
+    spec: &TimedCoordination,
+    run: &Run,
+    sigma: NodeId,
+    probe: ProbeSemantics,
+    index: &MessageIndex,
+    cache: Option<&Mutex<ObserverCache>>,
+) -> Result<bool, CoordError> {
     let Some(sigma_c) = run.external_receipt_node(spec.c, &spec.go_name) else {
         return Ok(false);
     };
-    let state = match probe {
-        ProbeSemantics::IncludeOwnSends => ObserverState::build(run, sigma, index)?,
-        ProbeSemantics::ExcludeOwnSends => {
-            ObserverState::build_excluding_own_sends(run, sigma, index)?
-        }
-    };
-    let engine = KnowledgeEngine::with_state(run, Arc::new(state));
+    let engine = probe_engine(run, sigma, probe, index, cache)?;
     decide_with(spec, &engine, sigma_c, sigma)
 }
 
@@ -167,6 +223,26 @@ pub fn first_knowledge_indexed(
     probe: ProbeSemantics,
     index: &zigzag_core::extended_graph::MessageIndex,
 ) -> Result<(Option<NodeId>, Option<NodeId>), CoordError> {
+    first_knowledge_cached(spec, run, probe, index, None)
+}
+
+/// [`first_knowledge_indexed`] with an optional caller-held
+/// decision-state cache (see [`decide_at_cached`]): each `B`-node's
+/// decision state is served warm instead of rebuilt, so a session
+/// answering repeated `CoordDecision` queries — or interleaving them with
+/// knowledge queries at the same observers — pays each state's
+/// construction once.
+///
+/// # Errors
+///
+/// Fails only on model-level inconsistencies in `run`.
+pub fn first_knowledge_cached(
+    spec: &TimedCoordination,
+    run: &Run,
+    probe: ProbeSemantics,
+    index: &MessageIndex,
+    cache: Option<&Mutex<ObserverCache>>,
+) -> Result<(Option<NodeId>, Option<NodeId>), CoordError> {
     let sigma_c = run.external_receipt_node(spec.c, &spec.go_name);
     if sigma_c.is_none() {
         return Ok((None, None));
@@ -175,7 +251,7 @@ pub fn first_knowledge_indexed(
         if rec.id().is_initial() {
             continue;
         }
-        if decide_at_indexed(spec, run, rec.id(), probe, index)? {
+        if decide_at_cached(spec, run, rec.id(), probe, index, cache)? {
             return Ok((Some(rec.id()), sigma_c));
         }
     }
@@ -288,29 +364,17 @@ impl StreamDriver {
     /// Protocol 2's decision at `sigma` on the current prefix: act iff
     /// the spec's precedence is known. Mirrors
     /// [`crate::optimal::OptimalStrategy`] — through the incremental
-    /// engine's warm observer state under `IncludeOwnSends`, or through a
-    /// per-decision own-sends-excluded state under `ExcludeOwnSends`
-    /// (that state depends on which node is deciding, so it is not worth
-    /// caching).
+    /// engine's warm observer state, in **both** probe semantics: the
+    /// own-sends-excluded state is as append-stable as the full one (see
+    /// `zigzag_core::incremental`), so `ExcludeOwnSends` decisions run on
+    /// [`IncrementalEngine::engine_mode`]'s cached exclude-mode state
+    /// instead of rebuilding `GE(r, σ)` minus σ's sends per decision.
     fn decide_at(&self, sigma: NodeId) -> Result<bool, CoordError> {
         let Some(sigma_c) = self.sigma_c else {
             return Ok(false); // no trigger yet: nothing to know
         };
-        match self.probe {
-            ProbeSemantics::IncludeOwnSends => {
-                let engine = self.engine.engine(sigma)?;
-                decide_with(&self.spec, &engine, sigma_c, sigma)
-            }
-            ProbeSemantics::ExcludeOwnSends => {
-                let state = ObserverState::build_excluding_own_sends(
-                    self.engine.run(),
-                    sigma,
-                    self.engine.message_index(),
-                )?;
-                let engine = KnowledgeEngine::with_state(self.engine.run(), Arc::new(state));
-                decide_with(&self.spec, &engine, sigma_c, sigma)
-            }
-        }
+        let engine = self.engine.engine_mode(sigma, self.probe.mode())?;
+        decide_with(&self.spec, &engine, sigma_c, sigma)
     }
 
     /// Replays a whole recorded run through a fresh driver, returning the

@@ -200,6 +200,15 @@ impl ExtendedGraph {
     /// edges are absent (the `ExcludeOwnSends` probe semantics of
     /// `zigzag_coord::stream`).
     ///
+    /// Like the full graph, the excluded form is **append-stable**: the
+    /// skipped messages are exactly those recorded by σ's own event, a
+    /// set fixed at σ's creation, and by causality none of them can ever
+    /// be delivered inside `past(r, σ)` — so the graph built here on any
+    /// prefix containing σ equals the graph built on any extension.
+    /// Serving layers may therefore build it once per `(run, σ)` and keep
+    /// it warm (see `zigzag_core::incremental`'s exclude-mode cache)
+    /// instead of paying this construction per decision.
+    ///
     /// # Panics
     ///
     /// Panics if `sigma` does not appear in `run`.

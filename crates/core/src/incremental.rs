@@ -41,6 +41,19 @@
 //!    builds each observer's state **once**, keeps it warm in a cache,
 //!    and serves every later query from it with zero invalidation.
 //!
+//!    The invariant extends verbatim to the **own-sends-excluded** states
+//!    behind `ExcludeOwnSends` coordination probes
+//!    ([`IncrementalEngine::engine_excluding_own_sends`]): the excluded
+//!    edge set — the `E''` edges of messages whose source *is* σ — is
+//!    fixed the moment σ's event (which records its sends) is appended,
+//!    and by causality none of those messages can be delivered inside
+//!    `past(r, σ)` on any extension, so no excluded edge ever needs to
+//!    reappear in another family. The exclude-mode graph is therefore as
+//!    append-stable as the full one, and the engine keeps **both** modes
+//!    of a queried observer warm in the same LRU cache (keyed by
+//!    [`ObserverMode`]) — eliminating the per-decision-node
+//!    `ExtendedGraph` rebuild the batch coordination helpers pay.
+//!
 //! Together: appends touch O(event) state, queries at known observers hit
 //! warm caches, and the only per-observer cost is the one-time state
 //! build on first query — orders of magnitude below the per-event
@@ -98,7 +111,7 @@ use crate::bounds_graph::BoundsGraph;
 use crate::construct::FastRun;
 use crate::error::CoreError;
 use crate::extended_graph::MessageIndex;
-use crate::knowledge::{KnowledgeEngine, MaxXMatrix, ObserverCache, ObserverState};
+use crate::knowledge::{KnowledgeEngine, MaxXMatrix, ObserverCache, ObserverMode, ObserverState};
 use crate::node::GeneralNode;
 
 /// The append-only streaming form of the knowledge pipeline; see the
@@ -314,15 +327,54 @@ impl IncrementalEngine {
     /// Fails if `sigma` has not (yet) appeared in the stream, or on a
     /// poisoned engine.
     pub fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, CoreError> {
+        self.engine_mode(sigma, ObserverMode::Full)
+    }
+
+    /// [`IncrementalEngine::engine`] under an explicit [`ObserverMode`]:
+    /// the one cached acquisition path for both the full `GE(r, σ)` and
+    /// the own-sends-excluded probe view. States of either mode are built
+    /// on first request, kept warm across appends (sound for both modes —
+    /// see the [module docs](self)), and share the LRU bound.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` has not (yet) appeared in the stream, or on a
+    /// poisoned engine.
+    pub fn engine_mode(
+        &self,
+        sigma: NodeId,
+        mode: ObserverMode,
+    ) -> Result<KnowledgeEngine<'_>, CoreError> {
         self.check_poison()?;
         let state = self
             .observers
             .lock()
             .expect("observer cache lock")
-            .get_or_build(sigma, || {
-                ObserverState::build(self.stream.run(), sigma, &self.messages)
+            .get_or_build_mode(sigma, mode, || {
+                ObserverState::build_mode(self.stream.run(), sigma, &self.messages, mode)
             })?;
         Ok(KnowledgeEngine::with_state(self.stream.run(), state))
+    }
+
+    /// The **warm exclude-mode decision engine** at `sigma`: the
+    /// knowledge engine over `GE(r, σ)` minus σ's own sends — what an
+    /// in-simulation probe at σ sees — built once per `(stream, σ)` and
+    /// served from the same warm cache as the full-mode states
+    /// (shorthand for [`IncrementalEngine::engine_mode`] at
+    /// [`ObserverMode::ExcludeOwnSends`]). This is the serving path of
+    /// `ExcludeOwnSends` coordination decisions; the prefix-differential
+    /// oracle pins it byte-identical to a fresh
+    /// `ObserverState::build_excluding_own_sends` after every append.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` has not (yet) appeared in the stream, or on a
+    /// poisoned engine.
+    pub fn engine_excluding_own_sends(
+        &self,
+        sigma: NodeId,
+    ) -> Result<KnowledgeEngine<'_>, CoreError> {
+        self.engine_mode(sigma, ObserverMode::ExcludeOwnSends)
     }
 
     /// Convenience: the exact knowledge threshold `max_x` at observer

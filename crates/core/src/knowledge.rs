@@ -69,6 +69,21 @@ struct QueryCache {
     chains: Mutex<HashMap<(GeneralNode, u64), Arc<ChainInfo>>>,
 }
 
+/// Which edge set an [`ObserverState`]'s `GE(r, σ)` carries — the second
+/// key dimension of [`ObserverCache`], so full and own-sends-excluded
+/// states of the same observer coexist warm without colliding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObserverMode {
+    /// The paper's full `GE(r, σ)`: σ's own FFIP sends contribute their
+    /// unseen-delivery `E''` edges ([`ObserverState::build`]).
+    #[default]
+    Full,
+    /// σ's own sends excluded
+    /// ([`ObserverState::build_excluding_own_sends`]): the in-simulation
+    /// probe view behind `zigzag_coord`'s `ExcludeOwnSends` semantics.
+    ExcludeOwnSends,
+}
+
 /// Everything observer-scoped the decision procedure derives from a run:
 /// `GE(r, σ)`, the memoized query caches, and the construction arena.
 ///
@@ -77,14 +92,26 @@ struct QueryCache {
 /// (documented at [`crate::incremental`]), nothing in here changes when
 /// events are appended to the run — `past(r, σ)` is fixed at σ's
 /// creation, and a message sent inside that past whose delivery σ has
-/// not seen can only be delivered at a node outside the past. A state
+/// not seen can only be delivered at a node *outside* the past. A state
 /// built on any prefix containing σ therefore answers every later query
 /// exactly as a state rebuilt from scratch would — which is also what
 /// makes LRU *eviction* sound ([`ObserverCache`]): a dropped state
 /// rebuilt later answers byte-identically.
+///
+/// The invariant covers **both** [`ObserverMode`]s. The own-sends-
+/// excluded graph is the full `GE(r, σ)` minus the `E''` edges of σ's own
+/// sends, and that excluded set is itself append-stable: σ's sends are
+/// recorded with σ's own event, so the set of messages with source σ is
+/// fixed the moment σ exists, and (by causality) none of their deliveries
+/// can land inside `past(r, σ)` on any extension. An exclude-mode state
+/// built on any prefix containing σ is therefore exactly the state a
+/// fresh [`ObserverState::build_excluding_own_sends`] on any longer
+/// prefix would produce — the soundness argument behind the warm
+/// exclude-mode decision cache of `IncrementalEngine`.
 #[derive(Debug)]
 pub struct ObserverState {
     sigma: NodeId,
+    mode: ObserverMode,
     ge: ExtendedGraph,
     cache: QueryCache,
     /// Delivery-queue scratch recycled across `fast_run_of`/`refute`
@@ -93,14 +120,47 @@ pub struct ObserverState {
 }
 
 impl ObserverState {
-    /// Assembles the state around an already-built `GE(r, σ)`.
+    /// Assembles the state around an already-built `GE(r, σ)` (full
+    /// [`ObserverMode`]).
     pub fn new(sigma: NodeId, ge: ExtendedGraph) -> Self {
         ObserverState {
             sigma,
+            mode: ObserverMode::Full,
             ge,
             cache: QueryCache::default(),
             arena: Mutex::new(crate::construct::RunArena::new()),
         }
+    }
+
+    /// Builds the state for observer `sigma` on `run` under `mode`,
+    /// sharing a per-run [`crate::extended_graph::MessageIndex`] — the
+    /// one construction site behind [`ObserverState::build`] and
+    /// [`ObserverState::build_excluding_own_sends`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` does not appear in `run`.
+    pub fn build_mode(
+        run: &Run,
+        sigma: NodeId,
+        index: &crate::extended_graph::MessageIndex,
+        mode: ObserverMode,
+    ) -> Result<Self, CoreError> {
+        if !run.appears(sigma) {
+            return Err(CoreError::NodeNotInRun {
+                detail: format!("observer {sigma} does not appear in the run"),
+            });
+        }
+        let exclude = match mode {
+            ObserverMode::Full => None,
+            ObserverMode::ExcludeOwnSends => Some(sigma),
+        };
+        let mut state = Self::new(
+            sigma,
+            ExtendedGraph::with_index_excluding(run, sigma, index, exclude),
+        );
+        state.mode = mode;
+        Ok(state)
     }
 
     /// Builds the state for observer `sigma` on `run`, sharing a per-run
@@ -114,15 +174,7 @@ impl ObserverState {
         sigma: NodeId,
         index: &crate::extended_graph::MessageIndex,
     ) -> Result<Self, CoreError> {
-        if !run.appears(sigma) {
-            return Err(CoreError::NodeNotInRun {
-                detail: format!("observer {sigma} does not appear in the run"),
-            });
-        }
-        Ok(Self::new(
-            sigma,
-            ExtendedGraph::with_index(run, sigma, index),
-        ))
+        Self::build_mode(run, sigma, index, ObserverMode::Full)
     }
 
     /// Builds the state for observer `sigma` with `sigma`'s **own sends
@@ -139,20 +191,17 @@ impl ObserverState {
         sigma: NodeId,
         index: &crate::extended_graph::MessageIndex,
     ) -> Result<Self, CoreError> {
-        if !run.appears(sigma) {
-            return Err(CoreError::NodeNotInRun {
-                detail: format!("observer {sigma} does not appear in the run"),
-            });
-        }
-        Ok(Self::new(
-            sigma,
-            ExtendedGraph::with_index_excluding(run, sigma, index, Some(sigma)),
-        ))
+        Self::build_mode(run, sigma, index, ObserverMode::ExcludeOwnSends)
     }
 
     /// The observer node `σ` the state was built for.
     pub fn observer(&self) -> NodeId {
         self.sigma
+    }
+
+    /// Which [`ObserverMode`] the state's graph carries.
+    pub fn mode(&self) -> ObserverMode {
+        self.mode
     }
 }
 
@@ -174,12 +223,12 @@ pub struct ObserverCache {
     /// retention entirely: states are built per request and never stored.
     cap: Option<usize>,
     tick: u64,
-    map: HashMap<NodeId, (Arc<ObserverState>, u64)>,
-    /// Recency index: tick → observer, kept in lockstep with `map` so
+    map: HashMap<(NodeId, ObserverMode), (Arc<ObserverState>, u64)>,
+    /// Recency index: tick → state key, kept in lockstep with `map` so
     /// eviction pops the oldest tick in O(log n) instead of scanning the
     /// whole map per miss (ticks are unique, so this is a faithful LRU
     /// order).
-    recency: BTreeMap<u64, NodeId>,
+    recency: BTreeMap<u64, (NodeId, ObserverMode)>,
     evictions: u64,
 }
 
@@ -223,10 +272,9 @@ impl ObserverCache {
         self.evictions
     }
 
-    /// The state for `sigma`, built with `build` on a miss. On a hit the
-    /// entry's recency is refreshed; on a miss the built state is
-    /// retained (evicting the least recently used entry if the bound
-    /// would overflow).
+    /// The full-mode state for `sigma`, built with `build` on a miss —
+    /// shorthand for [`ObserverCache::get_or_build_mode`] at
+    /// [`ObserverMode::Full`].
     ///
     /// # Errors
     ///
@@ -236,19 +284,39 @@ impl ObserverCache {
         sigma: NodeId,
         build: impl FnOnce() -> Result<ObserverState, CoreError>,
     ) -> Result<Arc<ObserverState>, CoreError> {
+        self.get_or_build_mode(sigma, ObserverMode::Full, build)
+    }
+
+    /// The state for `(sigma, mode)`, built with `build` on a miss. On a
+    /// hit the entry's recency is refreshed; on a miss the built state is
+    /// retained (evicting the least recently used entry if the bound
+    /// would overflow). Full and exclude-mode states of the same observer
+    /// are distinct entries sharing one LRU order and one bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error on a miss.
+    pub fn get_or_build_mode(
+        &mut self,
+        sigma: NodeId,
+        mode: ObserverMode,
+        build: impl FnOnce() -> Result<ObserverState, CoreError>,
+    ) -> Result<Arc<ObserverState>, CoreError> {
         self.tick += 1;
-        if let Some((state, used)) = self.map.get_mut(&sigma) {
+        let key = (sigma, mode);
+        if let Some((state, used)) = self.map.get_mut(&key) {
             self.recency.remove(used);
             *used = self.tick;
-            self.recency.insert(self.tick, sigma);
+            self.recency.insert(self.tick, key);
             return Ok(state.clone());
         }
         let built = Arc::new(build()?);
+        debug_assert_eq!(built.mode(), mode, "cached state built in another mode");
         if self.cap == Some(0) {
             return Ok(built); // retention disabled: never stored
         }
-        self.map.insert(sigma, (built.clone(), self.tick));
-        self.recency.insert(self.tick, sigma);
+        self.map.insert(key, (built.clone(), self.tick));
+        self.recency.insert(self.tick, key);
         self.enforce();
         Ok(built)
     }

@@ -75,7 +75,7 @@ pub use analyzer::RunAnalyzer;
 pub use error::CoreError;
 pub use fork::TwoLeggedFork;
 pub use incremental::IncrementalEngine;
-pub use knowledge::{KnowledgeEngine, MaxXMatrix, ObserverCache, ObserverState};
+pub use knowledge::{KnowledgeEngine, MaxXMatrix, ObserverCache, ObserverMode, ObserverState};
 pub use node::GeneralNode;
 pub use pattern::ZigzagPattern;
 pub use visible::VisibleZigzag;

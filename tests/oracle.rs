@@ -32,22 +32,41 @@
 //! dispatch path is pinned byte-identical to the direct calls on the
 //! same oracle case set.
 //!
-//! Three proptest blocks × (128 + 96 + 100) cases ≥ the 200-random-case
-//! floor (and the 100-case prefix floor); every case is a fresh
-//! `(topology, schedule)` pair.
+//! Since the sharded serving layer landed (PR 5), two more tiers pin the
+//! throughput path:
+//!
+//! * **sharded dispatch**: [`zigzag::api::serve::serve`] over random
+//!   session mixes (batch + replayed stream sessions on sharded tables)
+//!   must return responses byte-identical to the serial
+//!   decode-dispatch-encode loop at worker counts 1, 2 and 8 — error
+//!   documents included;
+//! * **warm exclude-mode decision state**: the incremental engine's
+//!   cached own-sends-excluded observer states
+//!   (`engine_excluding_own_sends`) must answer exactly like a fresh
+//!   `ObserverState::build_excluding_own_sends` on the same prefix after
+//!   **every** append — for the newest node and for a long-lived
+//!   observer whose warm state crosses many appends — and the streaming
+//!   driver's warm exclude-mode Protocol 2 decisions must equal fresh
+//!   per-prefix rebuilds on a feedback (B-with-outgoing-channels)
+//!   topology.
+//!
+//! Five proptest blocks × (128 + 96 + 100 + 64 + 32) cases ≥ the
+//! 200-random-case floor (and the 100-case prefix floor); every case is
+//! a fresh `(topology, schedule)` pair.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use proptest::prelude::*;
-use zigzag::api::{Query, Response, SessionConfig, ZigzagService};
+use zigzag::api::{serve, wire, Query, Response, SessionConfig, ZigzagService};
 use zigzag::bcm::protocols::Ffip;
 use zigzag::bcm::scheduler::RandomScheduler;
 use zigzag::bcm::validate::{validate_run, Strictness};
 use zigzag::bcm::{topology, NodeId, ProcessId, Run, RunCursor, SimConfig, Simulator, Time};
 use zigzag::core::bounds_graph::BoundsGraph;
-use zigzag::core::extended_graph::ExtVertex;
+use zigzag::core::extended_graph::{ExtVertex, MessageIndex};
 use zigzag::core::incremental::IncrementalEngine;
-use zigzag::core::knowledge::KnowledgeEngine;
+use zigzag::core::knowledge::{KnowledgeEngine, ObserverState};
 use zigzag::core::precedence::satisfies;
 use zigzag::core::GeneralNode;
 
@@ -467,6 +486,212 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Warm exclude-mode tier: the incremental engine's cached
+    /// own-sends-excluded observer states equal fresh
+    /// `build_excluding_own_sends` states after EVERY append — at the
+    /// newest node (state built this instant) and at a long-lived
+    /// observer (state built many appends ago and never invalidated).
+    /// Random strongly-connected topologies mean every observer has
+    /// outgoing channels, the regime where the two modes differ.
+    #[test]
+    fn warm_exclude_mode_states_match_fresh_builds_on_every_prefix(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+    ) {
+        let run = random_run(n, density, topo_seed, sched_seed, 13);
+        let mut cursor = RunCursor::new(&run);
+        let mut inc = IncrementalEngine::new(run.context_arc(), run.horizon());
+        let mut tracked: Option<NodeId> = None;
+        while let Some(ev) = cursor.next_event() {
+            let node = inc.append_event(&ev).unwrap();
+            let tracked_sigma = *tracked.get_or_insert(node);
+            let prefix = inc.run();
+            let fresh_index = MessageIndex::of_run(prefix);
+            for sigma in [node, tracked_sigma] {
+                let warm = inc.engine_excluding_own_sends(sigma).unwrap();
+                let fresh_state =
+                    ObserverState::build_excluding_own_sends(prefix, sigma, &fresh_index)
+                        .unwrap();
+                let fresh = KnowledgeEngine::with_state(prefix, Arc::new(fresh_state));
+                prop_assert_eq!(
+                    warm.max_x_basic_matrix().unwrap(),
+                    fresh.max_x_basic_matrix().unwrap(),
+                    "warm exclude-mode state diverged from a fresh build at {} (prefix of {})",
+                    sigma,
+                    node
+                );
+                // Both modes stay warm side by side without crosstalk:
+                // the full-mode state still equals its fresh build too.
+                let full_state = ObserverState::build(prefix, sigma, &fresh_index).unwrap();
+                let full = KnowledgeEngine::with_state(prefix, Arc::new(full_state));
+                prop_assert_eq!(
+                    inc.engine(sigma).unwrap().max_x_basic_matrix().unwrap(),
+                    full.max_x_basic_matrix().unwrap(),
+                    "full-mode state diverged beside the exclude-mode cache at {}",
+                    sigma
+                );
+            }
+        }
+        prop_assert_eq!(inc.run(), &run);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded serving tier: `serve::serve` over a random session mix
+    /// (sharded table, batch + replayed-stream sessions, hostile frames
+    /// included) is byte-identical to the serial
+    /// decode → dispatch → encode loop at worker counts 1, 2 and 8.
+    #[test]
+    fn sharded_serve_is_byte_identical_to_serial_dispatch(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+        shards in 1usize..6,
+    ) {
+        let run = random_run(n, density, topo_seed, sched_seed, 16);
+        let service = ZigzagService::sharded(shards);
+        prop_assert_eq!(service.shard_count(), shards);
+        let batch_a = service.open_batch(run.clone(), SessionConfig::new());
+        let (stream, _) = service.open_replay(&run, SessionConfig::new()).unwrap();
+        let batch_b = service.open_batch(run.clone(), SessionConfig::new());
+        let sessions = [batch_a, stream, batch_b];
+
+        let nodes: Vec<NodeId> = run
+            .nodes()
+            .map(|r| r.id())
+            .filter(|k| !k.is_initial())
+            .collect();
+        let mut frames: Vec<String> = Vec::new();
+        for (k, &sigma) in nodes.iter().enumerate() {
+            let id = sessions[k % sessions.len()];
+            frames.push(serve::encode_frame(id, &Query::MaxXMatrix { sigma }));
+            frames.push(serve::encode_frame(
+                id,
+                &Query::QueryBatch(vec![
+                    Query::MaxX {
+                        sigma,
+                        theta1: GeneralNode::basic(nodes[0]),
+                        theta2: GeneralNode::basic(sigma),
+                    },
+                    Query::TightBound {
+                        from: nodes[0],
+                        to: sigma,
+                    },
+                ]),
+            ));
+            // A deterministic failure (no spec configured) every few
+            // frames: error documents obey the same identity contract.
+            if k % 3 == 0 {
+                frames.push(serve::encode_frame(id, &Query::CoordDecision));
+            }
+        }
+        frames.push(serve::encode_frame(
+            zigzag::api::SessionId::from_raw(9_999),
+            &Query::MaxXMatrix { sigma: nodes[0] },
+        ));
+        frames.push("zigzag-frame v1\nsession ?\n".to_string());
+
+        // The reference: one frame at a time, decoded, dispatched through
+        // the ordinary single-caller path, re-encoded.
+        let reference: Vec<String> = frames
+            .iter()
+            .map(|f| match serve::decode_frame(f) {
+                Ok((id, q)) => match service.dispatch(id, &q) {
+                    Ok(r) => wire::encode_response(&r),
+                    Err(e) => serve::encode_error(&e),
+                },
+                Err(e) => serve::encode_error(&e),
+            })
+            .collect();
+        for workers in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &serve::serve(&service, &frames, workers),
+                &reference,
+                "sharded serving diverged at shards={} workers={}",
+                shards,
+                workers
+            );
+        }
+    }
+}
+
+/// Warm exclude-mode Protocol 2 decisions on a feedback topology (B has
+/// outgoing channels, including a B ⇄ D cycle — the regime where
+/// exclude-mode differs from the paper's full `GE(r, σ)`): after every
+/// append, the streaming driver's cached decision equals a fresh
+/// `decide_at` (rebuilding the `MessageIndex` and the own-sends-excluded
+/// graph from scratch) on the same prefix, and the final verdict equals
+/// the in-simulation protocol and the batch helper.
+#[test]
+fn warm_exclude_decisions_on_feedback_topology_match_fresh_builds() {
+    use zigzag::bcm::Network;
+    use zigzag::coord::{
+        decide_at, first_knowledge, CoordKind, OptimalStrategy, ProbeSemantics, Scenario,
+        StreamDriver, TimedCoordination,
+    };
+
+    for (x, l_bd, u_bd) in [(4i64, 1u64, 1u64), (4, 1, 9), (5, 1, 1)] {
+        let mut nb = Network::builder();
+        let c = nb.add_process("C");
+        let a = nb.add_process("A");
+        let b = nb.add_process("B");
+        let d = nb.add_process("D");
+        nb.add_channel(c, a, 2, 5).unwrap();
+        nb.add_channel(c, b, 9, 12).unwrap();
+        nb.add_channel(c, d, 1, 2).unwrap();
+        nb.add_channel(b, d, l_bd, u_bd).unwrap();
+        nb.add_channel(d, b, 1, 3).unwrap();
+        let ctx = nb.build().unwrap();
+        let spec = TimedCoordination::new(CoordKind::Late { x }, a, b, c);
+        let sc = Scenario::new(spec.clone(), ctx, Time::new(3), Time::new(45)).unwrap();
+        for seed in 0..4 {
+            let (run, verdict) = sc
+                .run_verified(&mut OptimalStrategy, &mut RandomScheduler::seeded(seed))
+                .unwrap();
+            let mut driver = StreamDriver::new(spec.clone(), run.context_arc(), run.horizon())
+                .with_probe(ProbeSemantics::ExcludeOwnSends);
+            let mut cursor = RunCursor::new(&run);
+            let mut decisions = 0usize;
+            while let Some(ev) = cursor.next_event() {
+                let report = driver.step(&ev).unwrap();
+                let Some(knows) = report.b_knows else {
+                    continue;
+                };
+                let fresh = decide_at(
+                    &spec,
+                    driver.engine().run(),
+                    report.node,
+                    ProbeSemantics::ExcludeOwnSends,
+                )
+                .unwrap();
+                assert_eq!(
+                    knows, fresh,
+                    "x={x} [{l_bd},{u_bd}] seed {seed}: warm exclude decision \
+                     diverged from the fresh rebuild at {}",
+                    report.node
+                );
+                decisions += 1;
+            }
+            assert!(decisions > 0, "no B decisions exercised");
+            // The warm verdict is the protocol's: equal to the
+            // in-simulation action node and to the batch helper.
+            assert_eq!(driver.first_known(), verdict.b_node, "x={x} seed {seed}");
+            let (first, sigma_c) =
+                first_knowledge(&spec, &run, ProbeSemantics::ExcludeOwnSends).unwrap();
+            assert_eq!(first, driver.first_known());
+            assert_eq!(sigma_c, driver.sigma_c());
         }
     }
 }

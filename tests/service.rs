@@ -1,11 +1,17 @@
 //! Facade-level behavior tests: cache policies (LRU bound + warm
 //! rebuild, mid-stream compaction), session lifecycle and error surface,
-//! and the wire encoding's round-trip guarantee (encode → decode →
-//! identical dispatch result) as a property test over random runs.
+//! a concurrency stress test holding interleaved multi-threaded traffic
+//! to the serial replay, and the wire encoding's round-trip guarantee
+//! (encode → decode → identical dispatch result, writer-based encoders
+//! byte-identical to the `String`-returning ones) as a property test
+//! over random runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use proptest::prelude::*;
 use zigzag::api::{
-    wire, CachePolicy, CoordKind, Error, Query, Response, SessionConfig, TimedCoordination,
+    serve, wire, CachePolicy, CoordKind, Error, Query, Response, SessionConfig, TimedCoordination,
     ZigzagService,
 };
 use zigzag::bcm::protocols::Ffip;
@@ -239,6 +245,138 @@ fn observers_of(run: &Run) -> Vec<NodeId> {
         .collect()
 }
 
+/// The concurrency stress tier: interleaved queries + appends fired at
+/// one `ZigzagService` from many threads must each equal the serial
+/// replay — the per-session-lock claim of the facade, exercised
+/// genuinely multi-threaded.
+///
+/// Two stream sessions grow concurrently (one appender thread each, so
+/// each session's feed stays ordered) while three query threads hammer
+/// both sessions with observer-anchored queries at racing prefixes. By
+/// observer stability, every such answer — including engine errors for
+/// unrecognized anchors — is prefix-independent once the observer
+/// exists, so each recorded `(session, query) → result` must equal a
+/// fresh serial service that appended everything first.
+#[test]
+fn concurrent_queries_and_appends_match_serial_replay() {
+    let runs = [tri_run(5, 45), tri_run(8, 45)];
+    let events: Vec<Vec<_>> = runs
+        .iter()
+        .map(|r| RunCursor::new(r).collect_events())
+        .collect();
+    let service = ZigzagService::new();
+    let sessions: Vec<_> = runs
+        .iter()
+        .map(|r| service.open_stream(r.context_arc(), r.horizon(), SessionConfig::new()))
+        .collect();
+
+    // Appended-node logs, shared with the query threads.
+    let appended: Vec<Mutex<Vec<NodeId>>> = runs.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let done = AtomicBool::new(false);
+    type Recorded = (usize, Query, Result<Response, Error>);
+
+    let recorded: Vec<Recorded> = std::thread::scope(|scope| {
+        for (i, events) in events.iter().enumerate() {
+            let (service, session, log) = (&service, sessions[i], &appended[i]);
+            scope.spawn(move || {
+                for ev in events {
+                    let node = service.append(session, ev).expect("legal feed").node;
+                    log.lock().unwrap().push(node);
+                }
+            });
+        }
+        let queriers: Vec<_> = (0..3)
+            .map(|w| {
+                let (service, sessions, appended, done) = (&service, &sessions, &appended, &done);
+                scope.spawn(move || {
+                    let mut recorded: Vec<Recorded> = Vec::new();
+                    let mut k = w;
+                    loop {
+                        // Flag read before the query: each thread keeps
+                        // querying while the appenders race, and issues a
+                        // floor of queries overall so the fully-grown
+                        // prefix is covered even when the feeds drain
+                        // quickly.
+                        let drained = done.load(Ordering::Acquire) && recorded.len() >= 40;
+                        if drained {
+                            break;
+                        }
+                        let i = k % sessions.len();
+                        let nodes = appended[i].lock().unwrap().clone();
+                        if nodes.is_empty() {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let sigma = nodes[k % nodes.len()];
+                        let anchor = nodes[k / 2 % nodes.len()];
+                        let query = match k % 3 {
+                            0 => Query::MaxXMatrix { sigma },
+                            1 => Query::MaxX {
+                                sigma,
+                                theta1: GeneralNode::basic(anchor),
+                                theta2: GeneralNode::basic(sigma),
+                            },
+                            _ => Query::QueryBatch(vec![
+                                Query::Knows {
+                                    sigma,
+                                    theta1: GeneralNode::basic(anchor),
+                                    theta2: GeneralNode::basic(sigma),
+                                    x: -2,
+                                },
+                                Query::MaxXMatrix { sigma },
+                            ]),
+                        };
+                        let result = service.dispatch(sessions[i], &query);
+                        recorded.push((i, query, result));
+                        k += 1;
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        // The appender handles: scope joins them automatically, but the
+        // done flag must flip only after both feeds drain — join
+        // explicitly by watching the logs.
+        while appended
+            .iter()
+            .zip(&events)
+            .any(|(log, evs)| log.lock().unwrap().len() < evs.len())
+        {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        queriers
+            .into_iter()
+            .flat_map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    });
+    assert!(
+        recorded.len() > 50,
+        "stress test recorded too little traffic ({})",
+        recorded.len()
+    );
+
+    // Serial replay: append everything first, then re-ask every recorded
+    // query — responses (and errors) must be identical.
+    let serial = ZigzagService::new();
+    let serial_sessions: Vec<_> = runs
+        .iter()
+        .map(|r| serial.open_stream(r.context_arc(), r.horizon(), SessionConfig::new()))
+        .collect();
+    for (i, events) in events.iter().enumerate() {
+        for ev in events {
+            serial.append(serial_sessions[i], ev).unwrap();
+        }
+    }
+    for (i, query, result) in &recorded {
+        assert_eq!(
+            &serial.dispatch(serial_sessions[*i], query),
+            result,
+            "concurrent answer diverged from the serial replay on {query:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -281,15 +419,28 @@ proptest! {
         let session = service.open_batch(run.clone(), SessionConfig::new());
         for q in &queries {
             // The query itself round-trips...
-            let decoded = wire::decode_query(&wire::encode_query(q)).unwrap();
+            let encoded = wire::encode_query(q);
+            let decoded = wire::decode_query(&encoded).unwrap();
             prop_assert_eq!(&decoded, q);
+            // ...the writer-based encoder streams the identical bytes...
+            let mut streamed = String::new();
+            wire::encode_query_to(&mut streamed, q).unwrap();
+            prop_assert_eq!(&streamed, &encoded, "encode_query_to diverged");
             // ...and the decoded form dispatches to the identical result.
             let direct = service.dispatch(session, q).unwrap();
             let via_wire = service.dispatch(session, &decoded).unwrap();
             prop_assert_eq!(&via_wire, &direct, "wire dispatch diverged");
-            // The response round-trips too (fast runs reuse the run codec).
-            let back = wire::decode_response(&wire::encode_response(&direct)).unwrap();
+            // The response round-trips too (fast runs reuse the run
+            // codec), and its writer-based encoder is byte-identical.
+            let encoded = wire::encode_response(&direct);
+            let back = wire::decode_response(&encoded).unwrap();
             prop_assert_eq!(&back, &direct, "response round trip changed the answer");
+            let mut streamed = String::new();
+            wire::encode_response_to(&mut streamed, &direct).unwrap();
+            prop_assert_eq!(&streamed, &encoded, "encode_response_to diverged");
+            // Serving frames wrap the same documents losslessly.
+            let frame = serve::encode_frame(session, q);
+            prop_assert_eq!(serve::decode_frame(&frame).unwrap(), (session, q.clone()));
         }
     }
 }
