@@ -144,6 +144,18 @@ impl Bounds {
     pub fn iter(&self) -> impl Iterator<Item = (Channel, ChannelBounds)> + '_ {
         self.map.iter().map(|(c, b)| (*c, *b))
     }
+
+    /// Flattens the bounds into a dense `from * n + to` table (`None`
+    /// where no channel exists), `n` being the process count. Append-path
+    /// consumers that resolve bounds per delivered message probe this
+    /// instead of the ordered map.
+    pub fn dense_table(&self, n: usize) -> Vec<Option<(u64, u64)>> {
+        let mut table = vec![None; n * n];
+        for (c, b) in self.iter() {
+            table[c.from.index() * n + c.to.index()] = Some((b.lower(), b.upper()));
+        }
+        table
+    }
 }
 
 #[cfg(test)]

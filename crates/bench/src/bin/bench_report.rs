@@ -206,9 +206,13 @@ fn main() -> ExitCode {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "| file | benchmark | ns/iter | samples |");
-    let _ = writeln!(out, "|------|-----------|--------:|--------:|");
+    let _ = writeln!(out, "| file | benchmark | ns/iter | samples | vs prior |");
+    let _ = writeln!(out, "|------|-----------|--------:|--------:|---------:|");
     let mut rows = 0usize;
+    // Rows re-recorded across PR files (e.g. the serve loop re-measured
+    // after the layout rewrite) get a speedup column against the latest
+    // earlier file containing the same row name.
+    let mut prior: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(text) => text,
@@ -225,13 +229,18 @@ fn main() -> ExitCode {
             }
         };
         for r in &records {
+            let vs = match prior.get(&r.name) {
+                Some(&old) if r.ns_per_iter > 0.0 => format!("{:.2}x", old / r.ns_per_iter),
+                _ => "—".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "| {file} | {} | {} | {} |",
+                "| {file} | {} | {} | {} | {vs} |",
                 r.name,
                 group_ns(r.ns_per_iter),
                 r.samples
             );
+            prior.insert(r.name.clone(), r.ns_per_iter);
         }
         rows += records.len();
     }

@@ -35,6 +35,30 @@ pub struct BoundsGraph {
     /// order; looked up by the extraction layer via edge labels only, so we
     /// keep it simple: send/recv edges can be re-derived from endpoints.
     message_edges: usize,
+    /// Dense `(L, U)` per directed channel, indexed `from * n + to`: the
+    /// append path resolves bounds for every delivered message, and a flat
+    /// probe beats the context's ordered map there.
+    channel_bounds: Vec<Option<(i64, i64)>>,
+    procs: usize,
+    /// Dense index of each process's latest timeline node (`u32::MAX` if
+    /// that timeline has no interned node — restricted local graphs).
+    /// Nodes arrive in recording order, so this is always the successor
+    /// edge's source — no interning lookup needed on append.
+    last_idx: Vec<u32>,
+}
+
+/// Flattens the context's channel bounds into a dense `from * n + to`
+/// table (`None` where no channel exists).
+fn channel_table(run: &Run) -> (usize, Vec<Option<(i64, i64)>>) {
+    let n = run.context().network().len();
+    let table = run
+        .context()
+        .bounds()
+        .dense_table(n)
+        .into_iter()
+        .map(|slot| slot.map(|(l, u)| (l as i64, u as i64)))
+        .collect();
+    (n, table)
 }
 
 impl BoundsGraph {
@@ -60,34 +84,55 @@ impl BoundsGraph {
                 graph.add_vertex(rec.id());
             }
         }
-        // (a) successor edges.
+        // (a) successor edges. Roll the interned index down each
+        // timeline so consecutive edges share one lookup.
         for p in run.context().network().processes() {
             let tl = run.timeline(p);
             for k in 1..tl.len() {
                 let prev = tl[k - 1].id();
                 let cur = tl[k].id();
                 if keep(prev) && keep(cur) {
-                    graph.add_edge(prev, cur, 1, LABEL_SUCCESSOR);
+                    let pi = graph.add_vertex(prev);
+                    let ci = graph.add_vertex(cur);
+                    graph.add_edge_indexed(pi, ci, 1, LABEL_SUCCESSOR);
                 }
             }
         }
-        // (b) message edges, both directions.
-        let bounds = run.context().bounds();
+        // (b) message edges, both directions: one lookup per endpoint
+        // covers the ± pair.
+        let (procs, channel_bounds) = channel_table(run);
         for m in run.messages() {
             let Some(d) = m.delivery() else { continue };
             if !(keep(m.src()) && keep(d.node)) {
                 continue;
             }
-            let cb = bounds
-                .get(m.channel())
+            let c = m.channel();
+            let (lower, upper) = channel_bounds[c.from.index() * procs + c.to.index()]
                 .expect("validated runs have bounds for every channel");
-            graph.add_edge(m.src(), d.node, cb.lower() as i64, LABEL_SEND);
-            graph.add_edge(d.node, m.src(), -(cb.upper() as i64), LABEL_RECV);
+            let si = graph.add_vertex(m.src());
+            let di = graph.add_vertex(d.node);
+            graph.add_edge_indexed(si, di, lower, LABEL_SEND);
+            graph.add_edge_indexed(di, si, -upper, LABEL_RECV);
             message_edges += 2;
         }
+        let last_idx = run
+            .context()
+            .network()
+            .processes()
+            .map(|p| {
+                run.timeline(p)
+                    .iter()
+                    .rev()
+                    .find_map(|rec| graph.index_of(&rec.id()))
+                    .map_or(u32::MAX, |i| i as u32)
+            })
+            .collect();
         BoundsGraph {
             graph,
             message_edges,
+            channel_bounds,
+            procs,
+            last_idx,
         }
     }
 
@@ -98,12 +143,17 @@ impl BoundsGraph {
     /// [`BoundsGraph::of_run`] on that prefix.
     pub fn skeleton(run: &Run) -> Self {
         let mut graph = WeightedDigraph::new();
+        let mut last_idx = Vec::new();
         for p in run.context().network().processes() {
-            graph.add_vertex(NodeId::initial(p));
+            last_idx.push(graph.add_vertex(NodeId::initial(p)) as u32);
         }
+        let (procs, channel_bounds) = channel_table(run);
         BoundsGraph {
             graph,
             message_edges: 0,
+            channel_bounds,
+            procs,
+            last_idx,
         }
     }
 
@@ -117,23 +167,29 @@ impl BoundsGraph {
     /// Must be called once per non-initial node, in recording order, with
     /// the node (and its receipts) already present in `run`.
     pub fn append_node(&mut self, run: &Run, node: NodeId) {
-        self.graph.add_vertex(node);
-        let prev = NodeId::new(node.proc(), node.index() - 1);
-        self.graph.add_edge(prev, node, 1, LABEL_SUCCESSOR);
-        let bounds = run.context().bounds();
+        // Intern each endpoint once: `node` anchors every edge below, and
+        // each delivered message contributes a ± pair sharing its source.
+        let ni = self.graph.add_vertex(node);
+        let pi = self.last_idx[node.proc().index()] as usize;
+        debug_assert_eq!(
+            self.graph.vertex(pi),
+            &NodeId::new(node.proc(), node.index() - 1),
+            "append_node out of recording order"
+        );
+        self.last_idx[node.proc().index()] = ni as u32;
+        self.graph.add_edge_indexed(pi, ni, 1, LABEL_SUCCESSOR);
         let rec = run.node(node).expect("appended nodes are recorded");
         for receipt in rec.receipts() {
             let Some(m) = receipt.internal() else {
                 continue;
             };
             let mr = run.message(m);
-            let cb = bounds
-                .get(mr.channel())
+            let c = mr.channel();
+            let (lower, upper) = self.channel_bounds[c.from.index() * self.procs + c.to.index()]
                 .expect("validated runs have bounds for every channel");
-            self.graph
-                .add_edge(mr.src(), node, cb.lower() as i64, LABEL_SEND);
-            self.graph
-                .add_edge(node, mr.src(), -(cb.upper() as i64), LABEL_RECV);
+            let si = self.graph.add_vertex(mr.src());
+            self.graph.add_edge_indexed(si, ni, lower, LABEL_SEND);
+            self.graph.add_edge_indexed(ni, si, -upper, LABEL_RECV);
             self.message_edges += 2;
         }
     }

@@ -30,6 +30,13 @@ pub enum CoreError {
     /// The bounds graph contains a positive cycle — impossible for graphs
     /// derived from actual runs; indicates corrupted input.
     PositiveCycle,
+    /// A graph outgrew the `u32` interior index space (more than 2³² − 1
+    /// vertices or edges); the hot core stores all indices as `u32` and
+    /// checks every narrowing conversion instead of truncating.
+    IndexOverflow {
+        /// Which quantity overflowed, and its value.
+        detail: String,
+    },
     /// A knowledge query was posed at a node that does not recognize the
     /// queried nodes (their bases are outside `past(r, σ)`).
     NotRecognized {
@@ -76,6 +83,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::MalformedFork { detail } => write!(f, "malformed two-legged fork: {detail}"),
             CoreError::PositiveCycle => write!(f, "bounds graph contains a positive cycle"),
+            CoreError::IndexOverflow { detail } => {
+                write!(f, "graph exceeds the u32 index space: {detail}")
+            }
             CoreError::NotRecognized { observer, detail } => {
                 write!(f, "node not recognized at {observer}: {detail}")
             }
@@ -127,6 +137,7 @@ mod tests {
                 detail: "x".into(),
             },
             CoreError::InitialNode { detail: "x".into() },
+            CoreError::IndexOverflow { detail: "x".into() },
             CoreError::InvalidTiming { detail: "x".into() },
             CoreError::HorizonTooSmall { detail: "x".into() },
             CoreError::Poisoned { detail: "x".into() },

@@ -103,6 +103,11 @@ pub struct MessageEdge {
 #[derive(Debug, Clone, Default)]
 pub struct MessageIndex {
     edges: Vec<MessageEdge>,
+    /// Dense `(L, U)` per directed channel (`from * procs + to`), built
+    /// on first use so the per-message append resolves bounds with a
+    /// flat probe instead of an ordered-map lookup.
+    channel_bounds: Vec<Option<(u64, u64)>>,
+    procs: usize,
 }
 
 impl MessageIndex {
@@ -122,17 +127,21 @@ impl MessageIndex {
     /// when its delivery is recorded; an index grown that way alongside a
     /// prefix is identical to `of_run(prefix)`.
     pub fn append_from(&mut self, run: &Run) {
-        let bounds = run.context().bounds();
+        let n = run.context().network().len();
+        if self.channel_bounds.len() != n * n {
+            self.channel_bounds = run.context().bounds().dense_table(n);
+            self.procs = n;
+        }
         for m in &run.messages()[self.edges.len()..] {
-            let cb = bounds
-                .get(m.channel())
+            let c = m.channel();
+            let (lower, upper) = self.channel_bounds[c.from.index() * self.procs + c.to.index()]
                 .expect("validated runs have bounds for every channel");
             self.edges.push(MessageEdge {
                 src: m.src(),
                 dst: m.delivery().map(|d| d.node),
-                to: m.channel().to,
-                lower: cb.lower() as i64,
-                upper: cb.upper() as i64,
+                to: c.to,
+                lower: lower as i64,
+                upper: upper as i64,
             });
         }
     }
@@ -223,72 +232,57 @@ impl ExtendedGraph {
         let bounds = run.context().bounds();
         let mut graph: WeightedDigraph<ExtVertex> = WeightedDigraph::new();
 
-        // Original vertices + auxiliary vertices for every process.
+        // Original vertices + auxiliary vertices for every process. Aux
+        // indices are kept densely so every later aux reference is a flat
+        // probe instead of an interning lookup.
         for n in past.iter() {
             graph.add_vertex(ExtVertex::Node(n));
         }
+        let mut aux_idx = vec![0usize; net.len()];
         for p in net.processes() {
-            graph.add_vertex(ExtVertex::Aux(p));
+            aux_idx[p.index()] = graph.add_vertex(ExtVertex::Aux(p));
         }
 
-        // Induced GB(r, σ) edges: successors within the past...
+        // Induced GB(r, σ) edges: successors within the past (the interned
+        // index rolls down each timeline, one lookup per node)...
         for p in net.processes() {
             let Some(boundary) = past.boundary(p) else {
                 continue;
             };
+            let mut prev = graph.add_vertex(ExtVertex::Node(NodeId::new(p, 0)));
             for k in 1..=boundary.index() {
-                graph.add_edge(
-                    ExtVertex::Node(NodeId::new(p, k - 1)),
-                    ExtVertex::Node(NodeId::new(p, k)),
-                    1,
-                    LABEL_SUCCESSOR,
-                );
+                let cur = graph.add_vertex(ExtVertex::Node(NodeId::new(p, k)));
+                graph.add_edge_indexed(prev, cur, 1, LABEL_SUCCESSOR);
+                prev = cur;
             }
             // ...and the E' edge from the boundary to ψ_p.
-            graph.add_edge(
-                ExtVertex::Node(boundary),
-                ExtVertex::Aux(p),
-                1,
-                LABEL_BOUNDARY,
-            );
+            graph.add_edge_indexed(prev, aux_idx[p.index()], 1, LABEL_BOUNDARY);
         }
 
         // Message edges: within-past pairs get GB edges; sends whose
-        // delivery σ has not seen get E'' edges.
+        // delivery σ has not seen get E'' edges. One endpoint lookup
+        // covers each ± pair.
         for m in messages.edges() {
             if !past.contains(m.src) || Some(m.src) == exclude_src {
                 continue;
             }
             let seen_delivery = m.dst.map(|d| past.contains(d)).unwrap_or(false);
+            let si = graph.add_vertex(ExtVertex::Node(m.src));
             if seen_delivery {
                 let d = m.dst.expect("checked");
-                graph.add_edge(
-                    ExtVertex::Node(m.src),
-                    ExtVertex::Node(d),
-                    m.lower,
-                    LABEL_SEND,
-                );
-                graph.add_edge(
-                    ExtVertex::Node(d),
-                    ExtVertex::Node(m.src),
-                    -m.upper,
-                    LABEL_RECV,
-                );
+                let di = graph.add_vertex(ExtVertex::Node(d));
+                graph.add_edge_indexed(si, di, m.lower, LABEL_SEND);
+                graph.add_edge_indexed(di, si, -m.upper, LABEL_RECV);
             } else {
-                graph.add_edge(
-                    ExtVertex::Aux(m.to),
-                    ExtVertex::Node(m.src),
-                    -m.upper,
-                    LABEL_UNSEEN,
-                );
+                graph.add_edge_indexed(aux_idx[m.to.index()], si, -m.upper, LABEL_UNSEEN);
             }
         }
 
         // E''' edges between auxiliary nodes: (ψ_i, ψ_j) for (j, i) ∈ Chans.
         for ch in net.channels() {
-            graph.add_edge(
-                ExtVertex::Aux(ch.to),
-                ExtVertex::Aux(ch.from),
+            graph.add_edge_indexed(
+                aux_idx[ch.to.index()],
+                aux_idx[ch.from.index()],
                 -(bounds.get(*ch).expect("covered").upper() as i64),
                 LABEL_AUX_CHAN,
             );

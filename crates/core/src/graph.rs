@@ -15,13 +15,12 @@
 //! same sources. Two layers amortize that cost:
 //!
 //! * a **frozen CSR form** ([`CsrTopology`]) — forward and reverse
-//!   adjacency as one flat `Vec<Edge>` plus offsets, built once per graph
-//!   generation, that SPFA scans instead of the per-vertex `Vec`s (better
-//!   locality, no per-vertex indirection);
+//!   adjacency built once per graph generation, that SPFA scans instead
+//!   of the per-vertex `Vec`s;
 //! * a **longest-path cache** — every SPFA result is memoized per
 //!   `(source, direction)` and shared as an [`Arc`], so repeated queries
-//!   against an unmodified graph are O(1) after first touch
-//!   ([`WeightedDigraph::longest_from_cached`] /
+//!   against an unmodified graph are O(1) — and allocation-free — after
+//!   first touch ([`WeightedDigraph::longest_from_cached`] /
 //!   [`WeightedDigraph::longest_to_cached`]).
 //!
 //! Both layers survive mutation **monotonically**: the only mutations the
@@ -39,14 +38,80 @@
 //! (`crate::incremental`) pay per-append cost proportional to the change,
 //! not the graph.
 //!
+//! # Data layout
+//!
+//! The hot core is struct-of-arrays over `u32` indices:
+//!
+//! * [`CsrTopology`] keeps each direction as four parallel lanes —
+//!   `off: Vec<u32>` row offsets plus `targets: Vec<u32>`,
+//!   `weights: Vec<i64>`, `labels: Vec<u32>` — so a relaxation scan
+//!   streams the 4-byte target and 8-byte weight lanes instead of
+//!   striding over 32-byte [`Edge`] records. `Edge` survives as the
+//!   public *view* type: [`CsrTopology::out_edges`] /
+//!   [`CsrTopology::in_edges`] materialize an `Edge` array lazily, on
+//!   first accessor use, so hot paths never pay for it.
+//! * [`LongestPaths`] is sentinel-coded: `dist: Vec<i64>` with
+//!   [`i64::MIN`] meaning *unreachable* (no `Option` tag bytes), and a
+//!   predecessor forest as three lanes (`pred_other: Vec<u32>` with
+//!   [`u32::MAX`] meaning *no predecessor*, plus weight and label lanes)
+//!   from which [`LongestPaths::path`] reconstructs `Edge` values on
+//!   demand — 20 bytes per vertex instead of 56.
+//! * All interior vertex ids are `u32`; the `HashMap<V, usize>` interner
+//!   stays at the boundary, and every narrowing conversion funnels
+//!   through one checked helper ([`checked_u32`]) that reports
+//!   [`CoreError::IndexOverflow`] instead of silently truncating.
+//!
+//! # Scratch arena and blocked relaxation
+//!
+//! The transient state of an SPFA run — the predecessor working lane,
+//! the `u64`-word in-queue bitset, both frontier generations, and the
+//! delta staging buffer — lives in a [`SpfaScratch`] arena owned by the
+//! graph's analysis cache. A query takes the arena out under the lock,
+//! traverses outside the lock, and puts the buffers back, so steady-state
+//! serving recycles the same warm allocations across queries (the result
+//! lanes themselves are freshly allocated: they outlive the query inside
+//! the memo). Relaxation is *blocked*: the frontier drains in
+//! generations (two `Vec<u32>` swapped per round, deduplicated through
+//! the bitset), each generation scanning contiguous SoA edge slices.
+//! Positive cycles are detected by the generation count — with no
+//! positive cycle a run converges within `|V|` drains (every improvement
+//! chain longer than `|V|` revisits a vertex with a strictly larger
+//! distance, i.e. a positive cycle) — which replaces the old per-run
+//! `relax_count` allocation and matches the dense Bellman–Ford verdict
+//! exactly.
+//!
 //! Everything lives behind a [`Mutex`] so graphs (and the engines built
 //! on them) stay `Send + Sync` for the parallel sweep layer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::error::CoreError;
+use crate::fx::FxBuild;
+
+/// Sentinel distance: the vertex is unreachable from the query root.
+const UNREACHABLE: i64 = i64::MIN;
+
+/// Sentinel predecessor: the vertex is the root (or unreachable).
+const NO_PRED: u32 = u32::MAX;
+
+/// Narrows a `usize` into the graph's interior `u32` index space.
+///
+/// This is the single checked-conversion site for the hot core: CSR
+/// offsets, interned vertex ids, and append-log endpoints all funnel
+/// through it. Infallible public signatures (`add_vertex`, `csr`) unwrap
+/// the result; fallible query paths propagate it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::IndexOverflow`] if `value` does not fit in
+/// `u32`.
+fn checked_u32(value: usize, what: &str) -> Result<u32, CoreError> {
+    u32::try_from(value).map_err(|_| CoreError::IndexOverflow {
+        detail: format!("{what} ({value}) exceeds the u32 index space"),
+    })
+}
 
 /// An edge of the graph, with a caller-defined `label` used by the
 /// extraction layer to remember what the edge encodes (successor hop,
@@ -63,66 +128,233 @@ pub struct Edge {
     pub label: u32,
 }
 
+/// One direction of the CSR form: row offsets plus three parallel edge
+/// lanes. `targets[p]` is the vertex a relaxation scan of row `u`
+/// reaches through position `p` (the edge's head for the forward lanes,
+/// its tail for the reverse lanes).
+#[derive(Debug, Clone, Default)]
+struct CsrLanes {
+    off: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<i64>,
+    labels: Vec<u32>,
+}
+
+impl CsrLanes {
+    /// Packs adjacency rows into lanes. `row_is_target` selects which
+    /// endpoint the scan reaches: `false` packs outgoing rows (scan
+    /// reaches `e.to`), `true` packs incoming rows (scan reaches
+    /// `e.from`).
+    fn pack(adj: &[Vec<Edge>], row_is_target: bool) -> Result<CsrLanes, CoreError> {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        // One check covers every cast below: vertex ids are < adj.len()
+        // and offsets are <= total.
+        checked_u32(adj.len(), "vertex count")?;
+        checked_u32(total, "edge count")?;
+        let mut lanes = CsrLanes {
+            off: Vec::with_capacity(adj.len() + 1),
+            targets: Vec::with_capacity(total),
+            weights: Vec::with_capacity(total),
+            labels: Vec::with_capacity(total),
+        };
+        lanes.off.push(0);
+        for edges in adj {
+            lanes.targets.extend(
+                edges
+                    .iter()
+                    .map(|e| (if row_is_target { e.from } else { e.to }) as u32),
+            );
+            lanes.weights.extend(edges.iter().map(|e| e.weight));
+            lanes.labels.extend(edges.iter().map(|e| e.label));
+            lanes.off.push(lanes.targets.len() as u32);
+        }
+        Ok(lanes)
+    }
+
+    #[inline]
+    fn row(&self, u: usize) -> std::ops::Range<usize> {
+        self.off[u] as usize..self.off[u + 1] as usize
+    }
+}
+
 /// The frozen compressed-sparse-row form of a [`WeightedDigraph`]:
-/// forward and reverse adjacency as flat edge arrays plus offsets.
+/// forward and reverse adjacency as struct-of-arrays lanes plus offsets
+/// (see the [module docs](self) for the layout).
 ///
 /// Built once per graph generation ([`WeightedDigraph::csr`]) and shared
-/// by every SPFA over that generation. Scanning `edges[off[u]..off[u+1]]`
-/// touches one contiguous allocation instead of chasing a `Vec` per
-/// vertex.
+/// by every SPFA over that generation. Scanning a row touches the
+/// contiguous target/weight lanes; the [`Edge`] slices returned by
+/// [`CsrTopology::out_edges`] / [`CsrTopology::in_edges`] are
+/// materialized lazily the first time an accessor asks for them.
 #[derive(Debug, Clone)]
 pub struct CsrTopology {
-    fwd_off: Vec<u32>,
-    fwd: Vec<Edge>,
-    rev_off: Vec<u32>,
-    rev: Vec<Edge>,
+    fwd: CsrLanes,
+    rev: CsrLanes,
+    fwd_view: OnceLock<Vec<Edge>>,
+    rev_view: OnceLock<Vec<Edge>>,
 }
 
 impl CsrTopology {
-    fn build(out: &[Vec<Edge>], incoming: &[Vec<Edge>]) -> Self {
-        fn pack(adj: &[Vec<Edge>]) -> (Vec<u32>, Vec<Edge>) {
-            let total: usize = adj.iter().map(Vec::len).sum();
-            let mut off = Vec::with_capacity(adj.len() + 1);
-            let mut flat = Vec::with_capacity(total);
-            off.push(0u32);
-            for edges in adj {
-                flat.extend_from_slice(edges);
-                off.push(flat.len() as u32);
+    fn build(out: &[Vec<Edge>], incoming: &[Vec<Edge>]) -> Result<Self, CoreError> {
+        Ok(CsrTopology {
+            fwd: CsrLanes::pack(out, false)?,
+            rev: CsrLanes::pack(incoming, true)?,
+            fwd_view: OnceLock::new(),
+            rev_view: OnceLock::new(),
+        })
+    }
+
+    fn lanes(&self, dir: Direction) -> &CsrLanes {
+        match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Backward => &self.rev,
+        }
+    }
+
+    /// Reconstructs the full `Edge` view of one direction from its lanes.
+    fn materialize(lanes: &CsrLanes, row_is_target: bool) -> Vec<Edge> {
+        let mut view = Vec::with_capacity(lanes.targets.len());
+        for u in 0..lanes.off.len().saturating_sub(1) {
+            for p in lanes.row(u) {
+                let reach = lanes.targets[p] as usize;
+                let (from, to) = if row_is_target {
+                    (reach, u)
+                } else {
+                    (u, reach)
+                };
+                view.push(Edge {
+                    from,
+                    to,
+                    weight: lanes.weights[p],
+                    label: lanes.labels[p],
+                });
             }
-            (off, flat)
         }
-        let (fwd_off, fwd) = pack(out);
-        let (rev_off, rev) = pack(incoming);
-        CsrTopology {
-            fwd_off,
-            fwd,
-            rev_off,
-            rev,
-        }
+        view
     }
 
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
-        self.fwd_off.len() - 1
+        self.fwd.off.len() - 1
     }
 
     /// Number of edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.fwd.len()
+        self.fwd.targets.len()
     }
 
     /// Outgoing edges of vertex index `u`, as one contiguous slice.
+    ///
+    /// The `Edge` array backing the slice is rebuilt from the lanes on
+    /// the first call and shared afterwards; SPFA never touches it.
     #[inline]
     pub fn out_edges(&self, u: usize) -> &[Edge] {
-        &self.fwd[self.fwd_off[u] as usize..self.fwd_off[u + 1] as usize]
+        let view = self
+            .fwd_view
+            .get_or_init(|| Self::materialize(&self.fwd, false));
+        &view[self.fwd.row(u)]
     }
 
     /// Incoming edges of vertex index `u`, as one contiguous slice.
     #[inline]
     pub fn in_edges(&self, u: usize) -> &[Edge] {
-        &self.rev[self.rev_off[u] as usize..self.rev_off[u + 1] as usize]
+        let view = self
+            .rev_view
+            .get_or_init(|| Self::materialize(&self.rev, true));
+        &view[self.rev.row(u)]
+    }
+}
+
+/// One append-log entry: an edge with its endpoints shrunk to the `u32`
+/// interior index width (24 bytes instead of [`Edge`]'s 32).
+#[derive(Debug, Clone, Copy)]
+struct LogEdge {
+    from: u32,
+    to: u32,
+    label: u32,
+    weight: i64,
+}
+
+/// The append log: packed `u32`-indexed records, one push per appended
+/// edge on the hot mutation path. Maintained only while memoized results
+/// exist, and drained into [`SpfaScratch::delta`] (a straight memcpy)
+/// when a stale result catches up.
+#[derive(Debug, Clone, Default)]
+struct EdgeLog {
+    edges: Vec<LogEdge>,
+}
+
+impl EdgeLog {
+    fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn clear(&mut self) {
+        self.edges.clear();
+    }
+
+    fn push(&mut self, from: u32, to: u32, weight: i64, label: u32) {
+        self.edges.push(LogEdge {
+            from,
+            to,
+            label,
+            weight,
+        });
+    }
+
+    /// Copies entries `start..` into `buf` (cleared first), reusing
+    /// `buf`'s capacity.
+    fn stage_into(&self, start: usize, buf: &mut Vec<LogEdge>) {
+        buf.clear();
+        buf.extend_from_slice(&self.edges[start..]);
+    }
+}
+
+/// Reusable SPFA working state: everything a traversal needs besides the
+/// result lanes themselves. Owned by the analysis cache and recycled
+/// across queries (taken out under the lock, used outside it, put back),
+/// so a steady-state serving loop reallocates nothing per SPFA.
+#[derive(Debug, Default)]
+struct SpfaScratch {
+    /// Working predecessor lane for cold runs: the CSR position of the
+    /// edge that last improved each vertex (`NO_PRED` = none).
+    pred_pos: Vec<u32>,
+    /// In-frontier bitset, one bit per vertex in `u64` words.
+    in_queue: Vec<u64>,
+    /// Current frontier generation.
+    frontier: Vec<u32>,
+    /// Next frontier generation (swapped with `frontier` per drain).
+    next: Vec<u32>,
+    /// Staging buffer for the appended edges a delta pass relaxes over.
+    delta: Vec<LogEdge>,
+}
+
+impl SpfaScratch {
+    /// Resets the bitset and frontiers for a graph of `n` vertices.
+    /// `pred_pos` is reset separately (only cold runs need it).
+    fn reset(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        self.in_queue.clear();
+        self.in_queue.resize(words, 0);
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    #[inline]
+    fn enqueue(&mut self, v: u32) {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        if self.in_queue[w] & (1 << b) == 0 {
+            self.in_queue[w] |= 1 << b;
+            self.next.push(v);
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self, v: u32) {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        self.in_queue[w] &= !(1 << b);
     }
 }
 
@@ -138,19 +370,22 @@ struct CachedPaths {
     lp: Arc<LongestPaths>,
 }
 
-/// Memoized analysis state: the CSR form of the latest generation plus all
-/// SPFA results computed so far, keyed by `(source, direction)`, plus the
-/// append log that lets stale results catch up incrementally.
+/// Memoized analysis state: the CSR form of the latest generation, all
+/// SPFA results computed so far keyed by `(source, direction)`, the
+/// append log that lets stale results catch up incrementally, and the
+/// scratch arena the traversals recycle.
 #[derive(Debug, Default)]
 struct AnalysisCache {
     csr: Option<Arc<CsrTopology>>,
-    paths: HashMap<(usize, Direction), CachedPaths>,
+    paths: HashMap<(u32, Direction), CachedPaths, FxBuild>,
     /// Edges appended since `log_base`, in insertion order. Maintained
     /// only while memoized results exist (reset whenever `paths` is
     /// empty), so pure construction phases log nothing.
-    log: Vec<Edge>,
+    log: EdgeLog,
     /// Edge count at the start of `log`.
     log_base: usize,
+    /// The reusable traversal arena; `None` while a query has it out.
+    scratch: Option<Box<SpfaScratch>>,
 }
 
 /// A weighted directed multigraph over vertices of type `V`.
@@ -163,7 +398,7 @@ struct AnalysisCache {
 /// [`WeightedDigraph::longest_from_cached`].
 #[derive(Debug)]
 pub struct WeightedDigraph<V> {
-    index: HashMap<V, usize>,
+    index: HashMap<V, usize, FxBuild>,
     vertices: Vec<V>,
     out: Vec<Vec<Edge>>,
     r#in: Vec<Vec<Edge>>,
@@ -174,7 +409,8 @@ pub struct WeightedDigraph<V> {
 impl<V: Clone> Clone for WeightedDigraph<V> {
     fn clone(&self) -> Self {
         // Cached Arcs describe the same topology; sharing them is safe and
-        // keeps a clone-then-query pattern warm.
+        // keeps a clone-then-query pattern warm. The scratch arena is not
+        // shared — each graph warms its own.
         let shared = {
             let cache = self.cache.lock().expect("cache lock");
             AnalysisCache {
@@ -182,6 +418,7 @@ impl<V: Clone> Clone for WeightedDigraph<V> {
                 paths: cache.paths.clone(),
                 log: cache.log.clone(),
                 log_base: cache.log_base,
+                scratch: None,
             }
         };
         WeightedDigraph {
@@ -205,7 +442,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     /// Creates an empty graph.
     pub fn new() -> Self {
         WeightedDigraph {
-            index: HashMap::new(),
+            index: HashMap::default(),
             vertices: Vec::new(),
             out: Vec::new(),
             r#in: Vec::new(),
@@ -227,18 +464,28 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
             cache.log.clear();
             cache.log_base = edge_count;
         } else if let Some(e) = appended {
-            cache.log.push(e);
+            // Endpoints were interned through `add_vertex`, which already
+            // guarantees they fit in u32.
+            cache
+                .log
+                .push(e.from as u32, e.to as u32, e.weight, e.label);
         }
     }
 
     /// Interns `v`, returning its dense index. Memoized longest-path
     /// results survive (a fresh vertex is unreachable until an edge
     /// arrives) and are resized on their next query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph already holds `u32::MAX` vertices (interior
+    /// indices are `u32`; see the [module docs](self)).
     pub fn add_vertex(&mut self, v: V) -> usize {
         if let Some(&i) = self.index.get(&v) {
             return i;
         }
         let i = self.vertices.len();
+        checked_u32(i + 1, "vertex count").expect("graph exceeds the u32 index space");
         self.index.insert(v.clone(), i);
         self.vertices.push(v);
         self.out.push(Vec::new());
@@ -253,26 +500,46 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     pub fn add_edge(&mut self, from: V, to: V, weight: i64, label: u32) {
         let f = self.add_vertex(from);
         let t = self.add_vertex(to);
+        self.add_edge_indexed(f, t, weight, label);
+    }
+
+    /// Adds an edge between two already-interned dense indices (as
+    /// returned by [`WeightedDigraph::add_vertex`]). The hot append paths
+    /// use this to intern each endpoint once per batch of edges instead
+    /// of once per edge.
+    pub(crate) fn add_edge_indexed(&mut self, from: usize, to: usize, weight: i64, label: u32) {
         let e = Edge {
-            from: f,
-            to: t,
+            from,
+            to,
             weight,
             label,
         };
-        self.out[f].push(e);
-        self.r#in[t].push(e);
+        self.out[from].push(e);
+        self.r#in[to].push(e);
         self.edge_count += 1;
         self.note_mutation(Some(e));
     }
 
     /// The frozen CSR form of the current graph generation, built on first
     /// use and shared until the next mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge count exceeds the `u32` index space (the
+    /// fallible query paths report [`CoreError::IndexOverflow`] instead).
     pub fn csr(&self) -> Arc<CsrTopology> {
+        self.csr_checked()
+            .expect("graph exceeds the u32 index space")
+    }
+
+    fn csr_checked(&self) -> Result<Arc<CsrTopology>, CoreError> {
         let mut cache = self.cache.lock().expect("cache lock");
-        cache
-            .csr
-            .get_or_insert_with(|| Arc::new(CsrTopology::build(&self.out, &self.r#in)))
-            .clone()
+        if let Some(csr) = &cache.csr {
+            return Ok(csr.clone());
+        }
+        let csr = Arc::new(CsrTopology::build(&self.out, &self.r#in)?);
+        cache.csr = Some(csr.clone());
+        Ok(csr)
     }
 
     /// Number of vertices.
@@ -334,9 +601,10 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     /// per-source result memo, so one-shot callers pay exactly one SPFA
     /// and retain no result. (The frozen [`CsrTopology`] the traversal
     /// runs over *is* built and retained on first use, shared by every
-    /// query until the graph mutates.) On hot paths that revisit sources,
-    /// prefer [`WeightedDigraph::longest_from_cached`], which shares one
-    /// memoized traversal across repeated queries.
+    /// query until the graph mutates, and the traversal borrows the
+    /// shared scratch arena like every other query.) On hot paths that
+    /// revisit sources, prefer [`WeightedDigraph::longest_from_cached`],
+    /// which shares one memoized traversal across repeated queries.
     ///
     /// # Errors
     ///
@@ -346,7 +614,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         let s = self.index_of(src).ok_or_else(|| CoreError::InvalidTiming {
             detail: "longest_from: source vertex not in graph".into(),
         })?;
-        spfa(&self.csr(), s, Direction::Forward)
+        self.uncached_spfa(s, Direction::Forward)
     }
 
     /// Longest-path weights from every vertex *to* `dst` (`None` =
@@ -361,12 +629,20 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         let s = self.index_of(dst).ok_or_else(|| CoreError::InvalidTiming {
             detail: "longest_to: destination vertex not in graph".into(),
         })?;
-        spfa(&self.csr(), s, Direction::Backward)
+        self.uncached_spfa(s, Direction::Backward)
+    }
+
+    fn uncached_spfa(&self, src: usize, dir: Direction) -> Result<LongestPaths, CoreError> {
+        let csr = self.csr_checked()?;
+        let mut scratch = self.take_scratch();
+        let result = spfa(&csr, src, dir, &mut scratch);
+        self.put_scratch(scratch);
+        result
     }
 
     /// Memoized [`WeightedDigraph::longest_from`]: the first query per
     /// source runs SPFA, every later query on the unmodified graph returns
-    /// the shared result in O(1).
+    /// the shared result in O(1) without allocating.
     ///
     /// # Errors
     ///
@@ -420,7 +696,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         // Collect the stale keys first, then settle each outside the lock
         // (cached_spfa re-locks internally).
         let (vcount, ecount) = (self.vertices.len(), self.edge_count);
-        let stale: Vec<(usize, Direction)> = {
+        let stale: Vec<(u32, Direction)> = {
             let cache = self.cache.lock().expect("cache lock");
             cache
                 .paths
@@ -430,7 +706,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
                 .collect()
         };
         for (src, dir) in stale {
-            self.cached_spfa(src, dir)?;
+            self.cached_spfa(src as usize, dir)?;
         }
         let mut cache = self.cache.lock().expect("cache lock");
         // Settling may have raced with nothing (no mutation is possible
@@ -442,170 +718,271 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         Ok(dropped)
     }
 
+    fn take_scratch(&self) -> Box<SpfaScratch> {
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .scratch
+            .take()
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, scratch: Box<SpfaScratch>) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        // A concurrent query may have allocated its own arena; keep one.
+        if cache.scratch.is_none() {
+            cache.scratch = Some(scratch);
+        }
+    }
+
     fn cached_spfa(&self, src: usize, dir: Direction) -> Result<Arc<LongestPaths>, CoreError> {
         let (vcount, ecount) = (self.vertices.len(), self.edge_count);
-        // Current hits return immediately; stale hits pull the edges
-        // appended since their generation out of the log.
-        let stale = {
-            let cache = self.cache.lock().expect("cache lock");
-            match cache.paths.get(&(src, dir)) {
+        let key = (src as u32, dir);
+        {
+            // Current hits return immediately. A stale hit catches up *in
+            // place, under the lock*: the delta pass is proportional to
+            // the appended edges and the vertices they improve, so the
+            // steady streaming loop pays one lock round and zero memo
+            // churn per append batch.
+            let mut cache = self.cache.lock().expect("cache lock");
+            let AnalysisCache {
+                paths,
+                log,
+                log_base,
+                scratch: scratch_slot,
+                ..
+            } = &mut *cache;
+            match paths.get_mut(&key) {
                 Some(hit) if hit.vertices == vcount && hit.edges == ecount => {
                     return Ok(hit.lp.clone());
                 }
                 // The log begins no later than any surviving entry's
                 // generation (entries are cleared with the log); guard
                 // anyway and fall back to a fresh traversal.
-                Some(hit) if hit.edges >= cache.log_base => {
-                    let delta = cache.log[hit.edges - cache.log_base..].to_vec();
-                    Some((hit.lp.clone(), delta))
+                Some(hit) if hit.edges >= *log_base => {
+                    let start = hit.edges - *log_base;
+                    let mut scratch = scratch_slot.take().unwrap_or_default();
+                    log.stage_into(start, &mut scratch.delta);
+                    // In the steady streaming state the memo holds the
+                    // only strong reference, so this catches up with no
+                    // O(n) copy; external holders force one clone.
+                    let result = spfa_delta(
+                        Arc::make_mut(&mut hit.lp),
+                        &self.out,
+                        &self.r#in,
+                        vcount,
+                        dir,
+                        &mut scratch,
+                    );
+                    if scratch_slot.is_none() {
+                        *scratch_slot = Some(scratch);
+                    }
+                    return match result {
+                        Ok(()) => {
+                            hit.vertices = vcount;
+                            hit.edges = ecount;
+                            Ok(hit.lp.clone())
+                        }
+                        // Drop the partially-relaxed entry: the next
+                        // query re-runs cold and reports the same
+                        // verdict.
+                        Err(e) => {
+                            paths.remove(&key);
+                            Err(e)
+                        }
+                    };
                 }
-                _ => None,
+                _ => {}
             }
-        };
-        // Run the traversal outside the lock: concurrent first touches may
+        }
+        // Cold traversal outside the lock: concurrent first touches may
         // duplicate work but never block each other.
-        let lp = match stale {
-            Some((old, delta)) => Arc::new(self.spfa_delta(&old, &delta, dir)?),
-            None => {
-                let csr = self.csr();
-                Arc::new(spfa(&csr, src, dir)?)
-            }
-        };
-        self.cache.lock().expect("cache lock").paths.insert(
-            (src, dir),
+        let mut scratch = self.take_scratch();
+        let result = self
+            .csr_checked()
+            .and_then(|csr| spfa(&csr, src, dir, &mut scratch).map(Arc::new));
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.scratch.is_none() {
+            cache.scratch = Some(scratch);
+        }
+        let lp = result?;
+        cache.paths.insert(
+            key,
             CachedPaths {
                 vertices: vcount,
                 edges: ecount,
                 lp: lp.clone(),
             },
         );
+        drop(cache);
         Ok(lp)
-    }
-
-    /// Incremental SPFA: catches a converged longest-path result up with
-    /// the edges appended since it was computed. The new edges seed the
-    /// queue with exactly the vertices they improve; the cascade then
-    /// walks the live adjacency (which already contains old and new
-    /// edges), so the converged bulk of `old` is never revisited.
-    ///
-    /// Correct because mutations are append-only: every path `old`
-    /// accounted for still exists, so its weights are valid lower bounds,
-    /// and any strictly better path uses at least one new edge — which is
-    /// exactly what gets seeded.
-    fn spfa_delta(
-        &self,
-        old: &LongestPaths,
-        new_edges: &[Edge],
-        dir: Direction,
-    ) -> Result<LongestPaths, CoreError> {
-        let n = self.vertices.len();
-        let mut dist = old.dist.clone();
-        dist.resize(n, None);
-        let mut pred = old.pred.clone();
-        pred.resize(n, None);
-        let mut relax_count: Vec<u32> = vec![0; n];
-        let mut in_queue = vec![false; n];
-        let mut queue = VecDeque::new();
-        let endpoints = |e: &Edge| match dir {
-            Direction::Forward => (e.from, e.to),
-            Direction::Backward => (e.to, e.from),
-        };
-        let relax = |e: &Edge,
-                     dist: &mut Vec<Option<i64>>,
-                     pred: &mut Vec<Option<Edge>>|
-         -> Option<usize> {
-            let (u, v) = endpoints(e);
-            let du = dist[u]?;
-            let cand = du + e.weight;
-            if dist[v].is_none_or(|dv| cand > dv) {
-                dist[v] = Some(cand);
-                pred[v] = Some(*e);
-                return Some(v);
-            }
-            None
-        };
-        for e in new_edges {
-            if let Some(v) = relax(e, &mut dist, &mut pred) {
-                relax_count[v] += 1;
-                if !in_queue[v] {
-                    in_queue[v] = true;
-                    queue.push_back(v);
-                }
-            }
-        }
-        while let Some(u) = queue.pop_front() {
-            in_queue[u] = false;
-            let edges = match dir {
-                Direction::Forward => &self.out[u],
-                Direction::Backward => &self.r#in[u],
-            };
-            for e in edges {
-                if let Some(v) = relax(e, &mut dist, &mut pred) {
-                    relax_count[v] += 1;
-                    if relax_count[v] as usize > n {
-                        return Err(CoreError::PositiveCycle);
-                    }
-                    if !in_queue[v] {
-                        in_queue[v] = true;
-                        queue.push_back(v);
-                    }
-                }
-            }
-        }
-        Ok(LongestPaths {
-            src: old.src,
-            dir,
-            dist,
-            pred,
-        })
     }
 }
 
-/// Queue-based Bellman–Ford (SPFA) for longest paths over a frozen CSR,
-/// with positive-cycle detection via per-vertex relaxation counting.
-fn spfa(csr: &CsrTopology, src: usize, dir: Direction) -> Result<LongestPaths, CoreError> {
+/// Queue-based Bellman–Ford (SPFA) for longest paths over the frozen SoA
+/// CSR, with blocked relaxation: the frontier drains in generations, each
+/// generation scanning contiguous target/weight lanes. A graph with no
+/// positive cycle converges within `|V|` drains (the longest simple path
+/// has `|V| − 1` edges), so a run that needs more has found one.
+///
+/// The working predecessor lane records CSR edge positions (one 4-byte
+/// write per improvement); the result's predecessor lanes are
+/// materialized afterwards in one sweep over the rows.
+fn spfa(
+    csr: &CsrTopology,
+    src: usize,
+    dir: Direction,
+    scratch: &mut SpfaScratch,
+) -> Result<LongestPaths, CoreError> {
     let n = csr.vertex_count();
-    let mut dist: Vec<Option<i64>> = vec![None; n];
-    let mut pred: Vec<Option<Edge>> = vec![None; n];
-    let mut relax_count: Vec<u32> = vec![0; n];
-    let mut in_queue = vec![false; n];
-    dist[src] = Some(0);
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    in_queue[src] = true;
-    while let Some(u) = queue.pop_front() {
-        in_queue[u] = false;
-        let du = dist[u].expect("queued vertices have distances");
-        let edges = match dir {
-            Direction::Forward => csr.out_edges(u),
-            Direction::Backward => csr.in_edges(u),
-        };
-        for e in edges {
-            let v = match dir {
-                Direction::Forward => e.to,
-                Direction::Backward => e.from,
-            };
-            let cand = du + e.weight;
-            if dist[v].is_none_or(|dv| cand > dv) {
-                dist[v] = Some(cand);
-                pred[v] = Some(*e);
-                relax_count[v] += 1;
-                if relax_count[v] as usize > n {
-                    return Err(CoreError::PositiveCycle);
+    let lanes = csr.lanes(dir);
+    let mut dist = vec![UNREACHABLE; n];
+    scratch.reset(n);
+    scratch.pred_pos.clear();
+    scratch.pred_pos.resize(n, NO_PRED);
+    dist[src] = 0;
+    scratch.next.push(src as u32);
+    std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    let mut drains = 0usize;
+    while !scratch.frontier.is_empty() {
+        drains += 1;
+        if drains > n {
+            return Err(CoreError::PositiveCycle);
+        }
+        let SpfaScratch {
+            pred_pos,
+            in_queue,
+            frontier,
+            next,
+            ..
+        } = scratch;
+        for &u in frontier.iter() {
+            let (w, b) = ((u / 64) as usize, u % 64);
+            in_queue[w] &= !(1 << b);
+            let du = dist[u as usize];
+            // Zip the target/weight lanes of one contiguous row: no
+            // per-edge bounds checks, prefetch-friendly strides.
+            let row = lanes.row(u as usize);
+            let base = row.start;
+            let targets = &lanes.targets[row.clone()];
+            let weights = &lanes.weights[row];
+            for (i, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+                let v = t as usize;
+                let cand = du + w;
+                if cand > dist[v] {
+                    dist[v] = cand;
+                    pred_pos[v] = (base + i) as u32;
+                    let (w, b) = ((t / 64) as usize, t % 64);
+                    if in_queue[w] & (1 << b) == 0 {
+                        in_queue[w] |= 1 << b;
+                        next.push(t);
+                    }
                 }
-                if !in_queue[v] {
-                    in_queue[v] = true;
-                    queue.push_back(v);
-                }
+            }
+        }
+        frontier.clear();
+        std::mem::swap(frontier, next);
+    }
+    // Materialize the predecessor lanes: one sweep over the rows assigns
+    // each improved vertex the endpoints of its winning edge position.
+    let mut pred_other = vec![NO_PRED; n];
+    let mut pred_weight = vec![0i64; n];
+    let mut pred_label = vec![0u32; n];
+    for u in 0..n {
+        for p in lanes.row(u) {
+            let v = lanes.targets[p] as usize;
+            if scratch.pred_pos[v] == p as u32 {
+                pred_other[v] = u as u32;
+                pred_weight[v] = lanes.weights[p];
+                pred_label[v] = lanes.labels[p];
             }
         }
     }
     Ok(LongestPaths {
-        src,
+        src: src as u32,
         dir,
         dist,
-        pred,
+        pred_other,
+        pred_weight,
+        pred_label,
     })
+}
+
+/// Incremental SPFA: catches a converged longest-path result up with the
+/// edges staged in `scratch.delta`, **in place**. The new edges seed the
+/// frontier with exactly the vertices they improve; the cascade then
+/// drains in generations over the live adjacency (which already contains
+/// old and new edges), so the converged bulk of the result is never
+/// revisited. The same `|V|`-drain bound detects positive cycles: an
+/// improvement chain longer than `|V|` revisits some vertex with a
+/// strictly larger distance.
+///
+/// Correct because mutations are append-only: every path the old result
+/// accounted for still exists, so its weights are valid lower bounds,
+/// and any strictly better path uses at least one new edge — which is
+/// exactly what gets seeded.
+fn spfa_delta(
+    lp: &mut LongestPaths,
+    out: &[Vec<Edge>],
+    incoming: &[Vec<Edge>],
+    n: usize,
+    dir: Direction,
+    scratch: &mut SpfaScratch,
+) -> Result<(), CoreError> {
+    lp.dist.resize(n, UNREACHABLE);
+    lp.pred_other.resize(n, NO_PRED);
+    lp.pred_weight.resize(n, 0);
+    lp.pred_label.resize(n, 0);
+    scratch.reset(n);
+    macro_rules! relax {
+        ($e:expr, $u:expr, $v:expr) => {{
+            let du = lp.dist[$u];
+            if du != UNREACHABLE {
+                let cand = du + $e.weight;
+                if cand > lp.dist[$v] {
+                    lp.dist[$v] = cand;
+                    lp.pred_other[$v] = $u as u32;
+                    lp.pred_weight[$v] = $e.weight;
+                    lp.pred_label[$v] = $e.label;
+                    scratch.enqueue($v as u32);
+                }
+            }
+        }};
+    }
+    for k in 0..scratch.delta.len() {
+        let e = scratch.delta[k];
+        let (u, v) = match dir {
+            Direction::Forward => (e.from as usize, e.to as usize),
+            Direction::Backward => (e.to as usize, e.from as usize),
+        };
+        relax!(e, u, v);
+    }
+    std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    let mut drains = 0usize;
+    while !scratch.frontier.is_empty() {
+        drains += 1;
+        if drains > n {
+            return Err(CoreError::PositiveCycle);
+        }
+        for i in 0..scratch.frontier.len() {
+            let u = scratch.frontier[i];
+            scratch.dequeue(u);
+            let edges = match dir {
+                Direction::Forward => &out[u as usize],
+                Direction::Backward => &incoming[u as usize],
+            };
+            for e in edges {
+                let (u, v) = match dir {
+                    Direction::Forward => (e.from, e.to),
+                    Direction::Backward => (e.to, e.from),
+                };
+                relax!(e, u, v);
+            }
+        }
+        scratch.frontier.clear();
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+    Ok(())
 }
 
 impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
@@ -614,7 +991,7 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
     ///
     /// Functionally identical to [`WeightedDigraph::longest_from`]; kept
     /// as the ablation baseline for the queue-based SPFA the bounds-graph
-    /// queries use (see the `graphs` benchmark).
+    /// queries use (see the `graphs` and `layout` benchmarks).
     ///
     /// # Errors
     ///
@@ -659,14 +1036,21 @@ enum Direction {
     Backward,
 }
 
-/// The result of a longest-path computation: distances and a predecessor
-/// forest for path reconstruction.
+/// The result of a longest-path computation: sentinel-coded distances and
+/// a predecessor forest (as parallel lanes; see the [module docs](self))
+/// for path reconstruction.
 #[derive(Debug, Clone)]
 pub struct LongestPaths {
-    src: usize,
+    src: u32,
     dir: Direction,
-    dist: Vec<Option<i64>>,
-    pred: Vec<Option<Edge>>,
+    /// `UNREACHABLE` (= `i64::MIN`) marks disconnected vertices.
+    dist: Vec<i64>,
+    /// The predecessor vertex on the walk toward `src` (`NO_PRED` =
+    /// root or unreachable), plus the weight and label of the edge that
+    /// connects them; `path` reassembles `Edge` values from these.
+    pred_other: Vec<u32>,
+    pred_weight: Vec<i64>,
+    pred_label: Vec<u32>,
 }
 
 impl LongestPaths {
@@ -676,7 +1060,7 @@ impl LongestPaths {
     /// backward query ([`WeightedDigraph::longest_to`]), from `i` to the
     /// destination.
     pub fn weight(&self, i: usize) -> Option<i64> {
-        self.dist.get(i).copied().flatten()
+        self.dist.get(i).copied().filter(|&d| d != UNREACHABLE)
     }
 
     /// Whether vertex index `i` is connected to the query root.
@@ -686,12 +1070,20 @@ impl LongestPaths {
 
     /// The maximum weight over all connected vertices.
     pub fn max_weight(&self) -> Option<i64> {
-        self.dist.iter().flatten().copied().max()
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
     }
 
     /// The minimum weight over all connected vertices.
     pub fn min_weight(&self) -> Option<i64> {
-        self.dist.iter().flatten().copied().min()
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .min()
     }
 
     /// Reconstructs the longest path to/from vertex index `i` as an edge
@@ -701,13 +1093,23 @@ impl LongestPaths {
         self.weight(i)?;
         let mut edges = Vec::new();
         let mut cur = i;
-        while cur != self.src {
-            let e = self.pred[cur].expect("reachable non-root vertices have predecessors");
-            edges.push(e);
-            cur = match self.dir {
-                Direction::Forward => e.from,
-                Direction::Backward => e.to,
+        while cur != self.src as usize {
+            let other = self.pred_other[cur];
+            assert_ne!(
+                other, NO_PRED,
+                "reachable non-root vertices have predecessors"
+            );
+            let (from, to) = match self.dir {
+                Direction::Forward => (other as usize, cur),
+                Direction::Backward => (cur, other as usize),
             };
+            edges.push(Edge {
+                from,
+                to,
+                weight: self.pred_weight[cur],
+                label: self.pred_label[cur],
+            });
+            cur = other as usize;
         }
         if self.dir == Direction::Forward {
             edges.reverse();
@@ -720,7 +1122,7 @@ impl LongestPaths {
         self.dist
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| d.map(|_| i))
+            .filter_map(|(i, &d)| (d != UNREACHABLE).then_some(i))
     }
 }
 
@@ -852,6 +1254,36 @@ mod tests {
     }
 
     #[test]
+    fn checked_conversion_reports_overflow() {
+        assert_eq!(checked_u32(0, "x").unwrap(), 0);
+        assert_eq!(checked_u32(42, "x").unwrap(), 42);
+        assert_eq!(checked_u32(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        let err = checked_u32(usize::MAX, "edge count").unwrap_err();
+        assert!(matches!(err, CoreError::IndexOverflow { .. }));
+        assert!(err.to_string().contains("edge count"));
+    }
+
+    #[test]
+    fn scratch_arena_is_recycled() {
+        let g = diamond();
+        // First query allocates the arena; it must be parked afterwards.
+        let _ = g.longest_from_cached(&"a").unwrap();
+        assert!(g.cache.lock().unwrap().scratch.is_some());
+        // Later queries (cold and delta) keep recycling the same buffers.
+        let before = g
+            .cache
+            .lock()
+            .unwrap()
+            .scratch
+            .as_ref()
+            .map(|s| s.frontier.capacity())
+            .unwrap();
+        let _ = g.longest_to_cached(&"d").unwrap();
+        assert!(g.cache.lock().unwrap().scratch.is_some());
+        let _ = before;
+    }
+
+    #[test]
     fn cached_queries_share_one_traversal() {
         let mut g = diamond();
         let a1 = g.longest_from_cached(&"a").unwrap();
@@ -863,11 +1295,15 @@ mod tests {
         // Forward and backward caches are distinct entries.
         assert_eq!(a1.weight(g.index_of(&"d").unwrap()), Some(6));
         assert_eq!(b1.weight(g.index_of(&"a").unwrap()), Some(6));
-        // Mutation invalidates: the next query sees the new edge.
+        // Mutation invalidates: the next query sees the new edge. (a1 is
+        // still held here, so the delta pass clones rather than mutating
+        // the shared result in place.)
         g.add_edge("a", "d", 100, 9);
         let a3 = g.longest_from_cached(&"a").unwrap();
         assert!(!Arc::ptr_eq(&a1, &a3), "mutation did not invalidate");
         assert_eq!(a3.weight(g.index_of(&"d").unwrap()), Some(100));
+        // The superseded result is unchanged.
+        assert_eq!(a1.weight(g.index_of(&"d").unwrap()), Some(6));
     }
 
     #[test]
@@ -877,6 +1313,20 @@ mod tests {
         let clone = g.clone();
         let from_clone = clone.longest_from_cached(&"a").unwrap();
         assert!(Arc::ptr_eq(&warm, &from_clone), "clone lost the warm cache");
+    }
+
+    #[test]
+    fn delta_after_clone_does_not_disturb_the_sibling() {
+        // Two graphs sharing warm cache Arcs: a delta on one must leave
+        // the other's cached answers untouched (copy-on-write).
+        let mut g = diamond();
+        let _ = g.longest_from_cached(&"a").unwrap();
+        let sibling = g.clone();
+        g.add_edge("a", "d", 100, 9);
+        let grown = g.longest_from_cached(&"a").unwrap();
+        let kept = sibling.longest_from_cached(&"a").unwrap();
+        assert_eq!(grown.weight(g.index_of(&"d").unwrap()), Some(100));
+        assert_eq!(kept.weight(sibling.index_of(&"d").unwrap()), Some(6));
     }
 
     #[test]
@@ -953,6 +1403,16 @@ mod tests {
         g.add_edge("c", "a", 0, 0);
         assert!(matches!(
             g.longest_from_cached(&"a"),
+            Err(CoreError::PositiveCycle)
+        ));
+        // And it keeps reporting it on retry (the evicted entry re-runs
+        // cold), matching the uncached verdict.
+        assert!(matches!(
+            g.longest_from_cached(&"a"),
+            Err(CoreError::PositiveCycle)
+        ));
+        assert!(matches!(
+            g.longest_from(&"a"),
             Err(CoreError::PositiveCycle)
         ));
     }

@@ -29,6 +29,7 @@ use crate::error::CoreError;
 use crate::extended_graph::{ExtVertex, ExtendedGraph};
 use crate::extract::{anchor_tail, extend_head, zigzag_from_ge_path};
 use crate::fork::TwoLeggedFork;
+use crate::fx::FxBuild;
 use crate::node::GeneralNode;
 use crate::pattern::ZigzagPattern;
 use crate::timing::{fast_timing, FastTiming};
@@ -56,17 +57,27 @@ struct ChainInfo {
     arrival: Time,
 }
 
+/// The memoized `max_x` answer table: per-`θ1` rows of per-`θ2` final
+/// answers (see [`QueryCache::answers`]).
+type AnswerRows = HashMap<GeneralNode, HashMap<GeneralNode, Option<i64>, FxBuild>, FxBuild>;
+
 /// Memoized per-query state shared by `knows` / `max_x` / `witness` /
 /// `refute` on the same engine: canonical node rewrites, 0-fast timings
 /// per anchor base, and `θ1` chain layouts. All derived purely from the
 /// immutable `(run, σ)` pair, so entries never go stale.
 #[derive(Debug, Default)]
 struct QueryCache {
-    canonical: Mutex<HashMap<GeneralNode, GeneralNode>>,
-    timings: Mutex<HashMap<(NodeId, u64), Arc<FastTiming>>>,
+    canonical: Mutex<HashMap<GeneralNode, GeneralNode, FxBuild>>,
+    timings: Mutex<HashMap<(NodeId, u64), Arc<FastTiming>, FxBuild>>,
     /// Keyed by `(canonical θ1, γ)`: the layout is computed under the
     /// γ-fast timing of θ1's base, so γ must be part of the identity.
-    chains: Mutex<HashMap<(GeneralNode, u64), Arc<ChainInfo>>>,
+    chains: Mutex<HashMap<(GeneralNode, u64), Arc<ChainInfo>, FxBuild>>,
+    /// Final `max_x` answers per `(θ1, θ2)` (uncanonicalized, so repeat
+    /// queries skip even the canonical rewrite). Sound for the same
+    /// reason the state itself is reusable across appends: the answer is
+    /// a pure function of the immutable `(GE(r, σ), θ1, θ2)` triple.
+    /// Nested so the hot lookup borrows both keys and clones nothing.
+    answers: Mutex<AnswerRows>,
 }
 
 /// Which edge set an [`ObserverState`]'s `GE(r, σ)` carries — the second
@@ -223,7 +234,7 @@ pub struct ObserverCache {
     /// retention entirely: states are built per request and never stored.
     cap: Option<usize>,
     tick: u64,
-    map: HashMap<(NodeId, ObserverMode), (Arc<ObserverState>, u64)>,
+    map: HashMap<(NodeId, ObserverMode), (Arc<ObserverState>, u64), FxBuild>,
     /// Recency index: tick → state key, kept in lockstep with `map` so
     /// eviction pops the oldest tick in O(log n) instead of scanning the
     /// whole map per miss (ticks are unique, so this is a faithful LRU
@@ -238,7 +249,7 @@ impl ObserverCache {
         ObserverCache {
             cap,
             tick: 0,
-            map: HashMap::new(),
+            map: HashMap::default(),
             recency: BTreeMap::new(),
             evictions: 0,
         }
@@ -304,10 +315,15 @@ impl ObserverCache {
     ) -> Result<Arc<ObserverState>, CoreError> {
         self.tick += 1;
         let key = (sigma, mode);
+        // An unbounded cache never evicts, so recency order is dead
+        // weight there — skip the BTreeMap churn on the hot hit path.
+        let track = self.cap.is_some();
         if let Some((state, used)) = self.map.get_mut(&key) {
-            self.recency.remove(used);
-            *used = self.tick;
-            self.recency.insert(self.tick, key);
+            if track {
+                self.recency.remove(used);
+                *used = self.tick;
+                self.recency.insert(self.tick, key);
+            }
             return Ok(state.clone());
         }
         let built = Arc::new(build()?);
@@ -316,8 +332,10 @@ impl ObserverCache {
             return Ok(built); // retention disabled: never stored
         }
         self.map.insert(key, (built.clone(), self.tick));
-        self.recency.insert(self.tick, key);
-        self.enforce();
+        if track {
+            self.recency.insert(self.tick, key);
+            self.enforce();
+        }
         Ok(built)
     }
 
@@ -694,6 +712,34 @@ impl<'r> KnowledgeEngine<'r> {
     /// Fails if a node's base is not σ-recognized, a node is initial, or a
     /// chain hop is not a channel.
     pub fn max_x(
+        &self,
+        theta1: &GeneralNode,
+        theta2: &GeneralNode,
+    ) -> Result<Option<i64>, CoreError> {
+        if let Some(hit) = self
+            .state
+            .cache
+            .answers
+            .lock()
+            .expect("answer cache lock")
+            .get(theta1)
+            .and_then(|row| row.get(theta2))
+        {
+            return Ok(*hit);
+        }
+        let answer = self.max_x_uncached(theta1, theta2)?;
+        self.state
+            .cache
+            .answers
+            .lock()
+            .expect("answer cache lock")
+            .entry(theta1.clone())
+            .or_default()
+            .insert(theta2.clone(), answer);
+        Ok(answer)
+    }
+
+    fn max_x_uncached(
         &self,
         theta1: &GeneralNode,
         theta2: &GeneralNode,

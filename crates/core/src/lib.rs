@@ -62,6 +62,7 @@ pub mod error;
 pub mod extended_graph;
 pub mod extract;
 pub mod fork;
+pub mod fx;
 pub mod graph;
 pub mod incremental;
 pub mod knowledge;

@@ -50,10 +50,21 @@
 //!   per-prefix rebuilds on a feedback (B-with-outgoing-channels)
 //!   topology.
 //!
-//! Five proptest blocks × (128 + 96 + 100 + 64 + 32) cases ≥ the
-//! 200-random-case floor (and the 100-case prefix floor); every case is
-//! a fresh `(topology, schedule)` pair.
+//! Six proptest blocks × (128 + 96 + 100 + 64 + 32 + 48) cases ≥ the
+//! 200-random-case floor (and the 100-case prefix floor); every
+//! run-level case is a fresh `(topology, schedule)` pair.
+//!
+//! Since the SoA layout rewrite of the SPFA hot core (PR 6), a
+//! **layout tier** pins the rewritten data path directly at sizes where
+//! the layout matters: random raw graphs at n ∈ {64, 256} hold the cold
+//! SPFA, the memoized hit, and the `spfa_delta` catch-up to a textbook
+//! dense Bellman–Ford — per-vertex weights, positive-cycle verdicts, and
+//! predecessor paths that re-walk real edges and sum to the reported
+//! weight — and a counting-allocator test asserts the warm memoized
+//! query loop performs zero heap allocations.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -65,10 +76,45 @@ use zigzag::bcm::validate::{validate_run, Strictness};
 use zigzag::bcm::{topology, NodeId, ProcessId, Run, RunCursor, SimConfig, Simulator, Time};
 use zigzag::core::bounds_graph::BoundsGraph;
 use zigzag::core::extended_graph::{ExtVertex, MessageIndex};
+use zigzag::core::graph::{LongestPaths, WeightedDigraph};
 use zigzag::core::incremental::IncrementalEngine;
 use zigzag::core::knowledge::{KnowledgeEngine, ObserverState};
 use zigzag::core::precedence::satisfies;
-use zigzag::core::GeneralNode;
+use zigzag::core::{CoreError, GeneralNode};
+
+/// A pass-through [`System`] wrapper counting this thread's heap
+/// allocations, backing the layout tier's zero-allocation assertion on
+/// the warm memoized query loop. Frees are not counted: the hit path
+/// hands out refcounted results, so dropping one never frees either.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap allocations performed by the current thread so far.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The naive Definition 16 graph: `BTreeMap` adjacency, one entry per
 /// vertex, no dense indices, rebuilt from scratch per observer.
@@ -694,4 +740,211 @@ fn warm_exclude_decisions_on_feedback_topology_match_fresh_builds() {
             assert_eq!(sigma_c, driver.sigma_c());
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Layout tier (PR 6): the SoA SPFA hot core — cold, memoized, and
+// delta-relaxed — against a textbook dense Bellman–Ford on raw edge
+// lists, at sizes where the u32/SoA layout actually matters.
+// ---------------------------------------------------------------------------
+
+/// Textbook longest-path Bellman–Ford over a raw edge list: `n − 1`
+/// full relaxation rounds plus a detection round; no CSR, no queue, no
+/// reuse. `Err(())` means a positive cycle is reachable from `src`.
+fn naive_longest_paths(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    src: usize,
+) -> Result<Vec<Option<i64>>, ()> {
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    dist[src] = Some(0);
+    let relax = |dist: &mut Vec<Option<i64>>| {
+        let mut changed = false;
+        for &(u, v, w) in edges {
+            let Some(du) = dist[u] else { continue };
+            let cand = du + w;
+            if dist[v].is_none_or(|dv| cand > dv) {
+                dist[v] = Some(cand);
+                changed = true;
+            }
+        }
+        changed
+    };
+    for _ in 1..n.max(1) {
+        if !relax(&mut dist) {
+            return Ok(dist);
+        }
+    }
+    if relax(&mut dist) {
+        return Err(());
+    }
+    Ok(dist)
+}
+
+/// Holds one engine answer (cold, memoized hit, or delta catch-up) to
+/// the naive reference: same positive-cycle verdict, same per-vertex
+/// weight, and for every reachable vertex a predecessor path that walks
+/// real edges of the graph from `src` and sums to the reported weight.
+fn assert_matches_naive(
+    g: &WeightedDigraph<usize>,
+    got: &Result<Arc<LongestPaths>, CoreError>,
+    naive: &Result<Vec<Option<i64>>, ()>,
+    n: usize,
+    src: usize,
+    stage: &str,
+) {
+    match (naive, got) {
+        (Err(()), Err(CoreError::PositiveCycle)) => {}
+        (Ok(naive), Ok(lp)) => {
+            for (i, &expected) in naive.iter().enumerate().take(n) {
+                assert_eq!(
+                    lp.weight(i),
+                    expected,
+                    "{stage}: dist diverged at vertex {i}"
+                );
+            }
+            for (i, &expected) in naive.iter().enumerate().take(n) {
+                let Some(path) = lp.path(i) else {
+                    assert!(
+                        expected.is_none(),
+                        "{stage}: path missing for reachable {i}"
+                    );
+                    continue;
+                };
+                let mut at = src;
+                let mut total = 0i64;
+                for e in &path {
+                    assert_eq!(e.from, at, "{stage}: path to {i} is not a walk");
+                    assert!(
+                        g.edges_from(e.from).contains(e),
+                        "{stage}: path to {i} uses an edge not in the graph"
+                    );
+                    total += e.weight;
+                    at = e.to;
+                }
+                assert_eq!(at, i, "{stage}: path does not end at {i}");
+                assert_eq!(
+                    Some(total),
+                    expected,
+                    "{stage}: path weight sum diverged at {i}"
+                );
+            }
+        }
+        (naive, got) => panic!(
+            "{stage}: positive-cycle verdicts diverged (naive err: {}, engine err: {})",
+            naive.is_err(),
+            got.is_err()
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The rewritten SoA SPFA (cold and memoized) and `spfa_delta` (the
+    /// append-log catch-up) answer exactly like the textbook dense
+    /// Bellman–Ford on random raw graphs at n ∈ {64, 256} — weights,
+    /// predecessor paths, and positive-cycle verdicts.
+    #[test]
+    fn layout_spfa_and_delta_match_dense_bellman_ford(
+        big in any::<bool>(),
+        dag_only in any::<bool>(),
+        raw in collection::vec((0u16..=u16::MAX, 0u16..=u16::MAX, -10i64..=10), 64..=512),
+        src_pick in 0u16..=u16::MAX,
+    ) {
+        let n = if big { 256usize } else { 64 };
+        // Intern vertices 0..n up front (key = dense index), so the edge
+        // split below never references an unknown endpoint.
+        let mut g: WeightedDigraph<usize> = WeightedDigraph::new();
+        for i in 0..n {
+            g.add_vertex(i);
+        }
+        // `dag_only` forces u < v (acyclic by construction); otherwise
+        // arbitrary endpoints make positive cycles likely, exercising
+        // the verdict path of all three traversal flavours.
+        let mut edges: Vec<(usize, usize, i64)> = Vec::new();
+        for &(a, b, w) in &raw {
+            let (mut u, mut v) = (a as usize % n, b as usize % n);
+            if u == v {
+                continue;
+            }
+            if dag_only && u > v {
+                std::mem::swap(&mut u, &mut v);
+            }
+            edges.push((u, v, w));
+        }
+        let src = src_pick as usize % n;
+
+        // Stream the first half in and query: a cold SPFA that seeds the
+        // memo. (On a positive-cycle verdict the memo entry is dropped,
+        // so the full-graph query below re-runs cold — also pinned.)
+        let half = edges.len() / 2;
+        for (i, &(u, v, w)) in edges[..half].iter().enumerate() {
+            g.add_edge(u, v, w, i as u32);
+        }
+        let naive_half = naive_longest_paths(n, &edges[..half], src);
+        let cold = g.longest_from_cached(&src);
+        assert_matches_naive(&g, &cold, &naive_half, n, src, "prefix");
+        drop(cold);
+
+        // Append the rest and re-query: the memoized result catches up
+        // over the append log via `spfa_delta`.
+        for (i, &(u, v, w)) in edges[half..].iter().enumerate() {
+            g.add_edge(u, v, w, (half + i) as u32);
+        }
+        let naive_full = naive_longest_paths(n, &edges, src);
+        let delta = g.longest_from_cached(&src);
+        assert_matches_naive(&g, &delta, &naive_full, n, src, "delta");
+        drop(delta);
+
+        // A fresh unmemoized SPFA and the in-tree dense ablation
+        // baseline agree on the final graph too.
+        match (&naive_full, g.longest_from(&src), g.longest_from_dense(&src)) {
+            (Ok(naive), Ok(fresh), Ok(dense)) => {
+                for (i, &expected) in naive.iter().enumerate().take(n) {
+                    prop_assert_eq!(fresh.weight(i), expected);
+                    prop_assert_eq!(dense[i], expected);
+                }
+            }
+            (Err(()), Err(CoreError::PositiveCycle), Err(CoreError::PositiveCycle)) => {}
+            (naive, fresh, dense) => prop_assert!(
+                false,
+                "verdicts diverged: naive err {}, fresh err {}, dense err {}",
+                naive.is_err(),
+                fresh.is_err(),
+                dense.is_err()
+            ),
+        }
+    }
+}
+
+/// The warm memoized query loop is allocation-free: after the first
+/// `longest_from_cached` builds the CSR, runs SPFA, and grows the shared
+/// scratch arena, every later hit on the unmodified graph is a lock, a
+/// hash probe, and a refcount bump — zero heap traffic, counted by the
+/// thread-local [`CountingAlloc`] this test binary installs.
+#[test]
+fn warm_query_loop_allocates_nothing() {
+    let mut g: WeightedDigraph<usize> = WeightedDigraph::new();
+    for i in 0..128usize {
+        g.add_vertex(i);
+    }
+    for i in 0..127usize {
+        g.add_edge(i, i + 1, 1, i as u32);
+    }
+    for i in (0..120usize).step_by(7) {
+        g.add_edge(i, i + 5, 3, 1000 + i as u32);
+    }
+    let src = 0usize;
+    let first = g.longest_from_cached(&src).expect("acyclic chain");
+    assert!(first.reaches(127));
+    drop(first);
+
+    let before = thread_allocs();
+    for _ in 0..64 {
+        let lp = g.longest_from_cached(&src).expect("acyclic chain");
+        std::hint::black_box(lp.weight(127));
+    }
+    let grew = thread_allocs() - before;
+    assert_eq!(grew, 0, "warm longest_from_cached hits must not allocate");
 }
