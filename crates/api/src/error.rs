@@ -47,6 +47,25 @@ pub enum Error {
         /// Explanation of the malformation.
         detail: String,
     },
+    /// A [`crate::Query::Stats`] query reached a bare session — inside a
+    /// [`crate::Query::QueryBatch`], or through a direct
+    /// [`crate::Session::dispatch`] — where no service-wide state exists
+    /// to answer it.
+    ServiceLevelQuery,
+    /// A [`crate::net`] worker's bounded queue was full when the frame
+    /// arrived: the deterministic backpressure verdict (reject now,
+    /// rather than buffer without bound).
+    Overloaded {
+        /// The worker whose queue rejected the frame.
+        worker: usize,
+    },
+    /// The server survived a condition that should be impossible — a
+    /// panic caught on a dispatch path, or a lock poisoned by one — and
+    /// answered with an error document instead of dying.
+    Internal {
+        /// What happened, for the log line.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -64,6 +83,15 @@ impl fmt::Display for Error {
                 "coordination decision requested on a session configured without a spec"
             ),
             Error::Wire { line, detail } => write!(f, "wire: line {line}: {detail}"),
+            Error::ServiceLevelQuery => write!(
+                f,
+                "stats is a service-level query; it cannot be nested in a batch \
+                 or dispatched on a bare session"
+            ),
+            Error::Overloaded { worker } => {
+                write!(f, "server overloaded: worker {worker} queue is full")
+            }
+            Error::Internal { detail } => write!(f, "internal server error: {detail}"),
         }
     }
 }
@@ -132,6 +160,11 @@ mod tests {
             Error::Wire {
                 line: 3,
                 detail: "x".into(),
+            },
+            Error::ServiceLevelQuery,
+            Error::Overloaded { worker: 2 },
+            Error::Internal {
+                detail: "caught panic".into(),
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -82,17 +82,21 @@
 
 pub mod config;
 pub mod error;
+pub mod net;
 pub mod query;
 pub mod serve;
 pub mod service;
 pub mod session;
+pub mod stats;
 pub mod wire;
 
 pub use config::{CachePolicy, SessionConfig};
 pub use error::Error;
+pub use net::{NetConfig, NetServer};
 pub use query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
 pub use service::{SessionId, ZigzagService};
 pub use session::{AppendReport, BatchSession, Session, SessionBackend, StreamSession};
+pub use stats::{LatencyHistogram, StatsReport, LATENCY_BUCKETS};
 
 // Re-exported so facade callers configure sessions without importing the
 // coordination crate directly.

@@ -1,0 +1,798 @@
+//! The socket front end: a TCP / Unix-socket accept loop feeding the
+//! [`crate::serve`] frame path.
+//!
+//! [`crate::serve::serve`] answers a *batch* of frames in one call; a
+//! [`NetServer`] serves the same frames off a stream transport, one
+//! length-delimited envelope at a time, through the same per-frame code
+//! path — so a socket client's responses are **byte-identical** to the
+//! in-process loop's on the same frame sequence (pinned by
+//! `tests/net.rs`).
+//!
+//! # Envelope
+//!
+//! Both directions carry `zigzag-frame v1` / `zigzag-response v1` /
+//! `zigzag-error v1` documents in the length-delimited envelope
+//! specified in [`crate::wire`]'s module docs: a 4-byte big-endian
+//! length followed by that many bytes of UTF-8. [`write_envelope`] and
+//! [`read_envelope`] are the client-side halves. An envelope whose
+//! declared length exceeds [`NetConfig::max_frame_bytes`], or whose
+//! bytes are not UTF-8, is answered with one `zigzag-error v1` envelope
+//! and the connection is closed — the declared length is never trusted
+//! before the bound check, so a hostile header cannot make the server
+//! allocate.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──▶ per-connection reader ──▶ bounded worker queues ──▶ workers
+//!                        │ (routes by session shard)                    │
+//!                        ▼                                              ▼
+//!                per-connection writer ◀── (seq, document) ◀────────────┘
+//! ```
+//!
+//! * **Session affinity** — each frame is routed to the worker owning
+//!   its session's shard (the same `shard % workers` rule as
+//!   [`crate::serve`]), and each worker processes its queue in FIFO
+//!   order, so one session's frames are answered in arrival order no
+//!   matter how many connections or workers exist.
+//! * **Backpressure** — worker queues are bounded
+//!   ([`NetConfig::queue_capacity`]). A frame arriving at a full queue
+//!   is rejected *immediately* with a deterministic
+//!   [`Error::Overloaded`] document in its arrival slot; nothing
+//!   buffers without bound.
+//! * **Ordering** — the reader stamps every accepted frame with a
+//!   per-connection sequence number; the writer reorders worker answers
+//!   by that sequence, so each connection reads its responses in
+//!   exactly the order it wrote its requests (rejections included).
+//! * **Graceful drain** — [`NetServer::shutdown`] stops accepting new
+//!   connections, lets every reader finish the data already in flight
+//!   (a reader only exits at a frame boundary once its socket goes
+//!   idle, so no fully-received frame is dropped), lets the workers
+//!   drain their queues, and joins every thread. Every frame read off a
+//!   socket gets exactly one response envelope.
+//! * **Observability** — per-worker queue depths are kept as atomic
+//!   gauges; a [`crate::Query::Stats`] frame is answered with
+//!   [`crate::ZigzagService::stats_with_queues`], so the histogram,
+//!   cache counters and queue depths are all readable *from the wire*.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//! use zigzag_api::net::{read_envelope, write_envelope, NetConfig, NetServer};
+//! use zigzag_api::{serve, Query, SessionId, ZigzagService};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let service = Arc::new(ZigzagService::new());
+//! let server = NetServer::bind_tcp("127.0.0.1:0", Arc::clone(&service), NetConfig::new())?;
+//! let addr = server.local_addr().unwrap();
+//!
+//! let mut conn = TcpStream::connect(addr)?;
+//! let frame = serve::encode_frame(SessionId::from_raw(0), &Query::Stats);
+//! write_envelope(&mut conn, &frame)?;
+//! let answer = read_envelope(&mut conn, 1 << 20)?.unwrap();
+//! println!("{answer}");
+//!
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::Error;
+use crate::serve;
+use crate::service::ZigzagService;
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of dispatch workers (clamped to at least 1). Frames are
+    /// routed to workers by session shard, exactly as in
+    /// [`crate::serve::serve`].
+    pub workers: usize,
+    /// Bound on each worker's queue (clamped to at least 1). A frame
+    /// arriving at a full queue is rejected with
+    /// [`Error::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest accepted envelope payload, in bytes. A declared length
+    /// above this is answered with an error envelope and the connection
+    /// is closed, before any allocation.
+    pub max_frame_bytes: usize,
+    /// How often idle readers and the accept loop check the shutdown
+    /// flag — the latency floor of [`NetServer::shutdown`], not of
+    /// request handling (reads return as soon as data arrives).
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_frame_bytes: 16 << 20,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        NetConfig::default()
+    }
+
+    /// Sets the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-worker queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the largest accepted envelope payload.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Sets the shutdown-flag poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+}
+
+/// Writes one length-delimited envelope: 4-byte big-endian length, then
+/// the document bytes — the client-side sending half of the transport
+/// (the server uses the same format internally).
+///
+/// # Errors
+///
+/// Fails on the underlying write, or if `doc` exceeds `u32::MAX` bytes.
+pub fn write_envelope<W: Write>(w: &mut W, doc: &str) -> io::Result<()> {
+    let len = u32::try_from(doc.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "document exceeds the u32 envelope length",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(doc.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-delimited envelope, returning `None` on a clean EOF
+/// at an envelope boundary — the client-side receiving half of the
+/// transport. `max_len` bounds the accepted payload (the declared
+/// length is checked before any allocation).
+///
+/// # Errors
+///
+/// Fails on the underlying read, on EOF mid-envelope, on a declared
+/// length above `max_len`, or on non-UTF-8 payload bytes.
+pub fn read_envelope<R: Read>(r: &mut R, max_len: usize) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside an envelope header",
+                ))
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("envelope length {len} exceeds the {max_len}-byte bound"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "envelope is not UTF-8"))
+}
+
+/// One accepted frame on its way to a worker.
+struct Job {
+    frame: String,
+    /// Arrival position on its connection; the writer reorders by it.
+    seq: u64,
+    /// The connection's writer channel.
+    reply: Sender<(u64, String)>,
+}
+
+/// Either stream transport, behind one read/write surface.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Either listening transport.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Listener::Tcp(l) => Conn::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Listener::Unix(l) => Conn::Unix(l.accept()?.0),
+        })
+    }
+}
+
+/// What one attempt to read a frame off a connection produced.
+enum Incoming {
+    /// A complete UTF-8 frame document.
+    Frame(String),
+    /// A declared length above the configured bound (reply + close).
+    Oversized(usize),
+    /// A complete envelope whose payload is not UTF-8 (reply + close).
+    NotUtf8,
+    /// The connection is done: clean EOF, idle shutdown, a truncated
+    /// envelope, or an I/O error — close without another reply.
+    Closed,
+}
+
+/// Outcome of filling a fixed buffer under the poll timeout.
+enum Fill {
+    Done,
+    /// Clean EOF (or idle shutdown) before the first byte.
+    Eof,
+    /// Truncated mid-buffer, shutdown mid-envelope, or an I/O error.
+    Abort,
+}
+
+/// Fills `buf` completely, retrying through read timeouts. `started`
+/// says whether earlier bytes of the same envelope were already
+/// consumed: a clean stop (EOF, or shutdown at an idle moment) is only
+/// clean at an envelope boundary.
+fn read_full(conn: &mut Conn, buf: &mut [u8], mut started: bool, shutdown: &AtomicBool) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !started {
+                    Fill::Eof
+                } else {
+                    Fill::Abort
+                }
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The drain rule: data still flowing keeps the reader
+                // alive past shutdown; the first *idle* timeout after
+                // the flag ends it — at a boundary cleanly, mid-envelope
+                // by aborting (the frame was never fully received, so it
+                // was never accepted).
+                if shutdown.load(Ordering::Relaxed) {
+                    return if filled == 0 && !started {
+                        Fill::Eof
+                    } else {
+                        Fill::Abort
+                    };
+                }
+            }
+            Err(_) => return Fill::Abort,
+        }
+    }
+    Fill::Done
+}
+
+/// Reads one frame envelope off the connection.
+fn read_incoming(conn: &mut Conn, max_frame_bytes: usize, shutdown: &AtomicBool) -> Incoming {
+    let mut header = [0u8; 4];
+    match read_full(conn, &mut header, false, shutdown) {
+        Fill::Done => {}
+        Fill::Eof | Fill::Abort => return Incoming::Closed,
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame_bytes {
+        return Incoming::Oversized(len);
+    }
+    let mut buf = vec![0u8; len];
+    match read_full(conn, &mut buf, true, shutdown) {
+        Fill::Done => {}
+        Fill::Eof | Fill::Abort => return Incoming::Closed,
+    }
+    match String::from_utf8(buf) {
+        Ok(frame) => Incoming::Frame(frame),
+        Err(_) => Incoming::NotUtf8,
+    }
+}
+
+/// Routes one accepted frame into its owning worker's bounded queue, or
+/// rejects it in place with a deterministic error document. The gauge is
+/// raised before the send and lowered again on rejection, so it never
+/// under-counts a queued frame.
+fn route_frame(
+    service: &ZigzagService,
+    txs: &[SyncSender<Job>],
+    depths: &[AtomicUsize],
+    frame: String,
+    seq: u64,
+    reply: &Sender<(u64, String)>,
+) {
+    let worker = serve::owner_of(service, &frame, txs.len());
+    depths[worker].fetch_add(1, Ordering::Relaxed);
+    match txs[worker].try_send(Job {
+        frame,
+        seq,
+        reply: reply.clone(),
+    }) {
+        Ok(()) => {}
+        Err(err) => {
+            depths[worker].fetch_sub(1, Ordering::Relaxed);
+            let e = match err {
+                TrySendError::Full(_) => Error::Overloaded { worker },
+                TrySendError::Disconnected(_) => Error::Internal {
+                    detail: format!("worker {worker} queue closed"),
+                },
+            };
+            let _ = reply.send((seq, serve::encode_error(&e)));
+        }
+    }
+}
+
+/// The per-connection reader: frames off the socket, into the worker
+/// queues, stamped with arrival sequence numbers.
+fn reader_loop(
+    mut conn: Conn,
+    service: Arc<ZigzagService>,
+    txs: Vec<SyncSender<Job>>,
+    depths: Arc<Vec<AtomicUsize>>,
+    max_frame_bytes: usize,
+    shutdown: Arc<AtomicBool>,
+    reply: Sender<(u64, String)>,
+) {
+    let mut seq = 0u64;
+    loop {
+        match read_incoming(&mut conn, max_frame_bytes, &shutdown) {
+            Incoming::Frame(frame) => {
+                route_frame(&service, &txs, &depths, frame, seq, &reply);
+                seq += 1;
+            }
+            Incoming::Oversized(len) => {
+                let e = Error::Wire {
+                    line: 0,
+                    detail: format!(
+                        "frame envelope of {len} bytes exceeds the {max_frame_bytes}-byte bound"
+                    ),
+                };
+                let _ = reply.send((seq, serve::encode_error(&e)));
+                break;
+            }
+            Incoming::NotUtf8 => {
+                let e = Error::Wire {
+                    line: 0,
+                    detail: "frame envelope is not valid UTF-8".into(),
+                };
+                let _ = reply.send((seq, serve::encode_error(&e)));
+                break;
+            }
+            Incoming::Closed => break,
+        }
+    }
+    // Dropping `reply` (the last reader-side sender) lets the writer
+    // exit once every in-flight worker answer for this connection has
+    // been delivered — the drain guarantee.
+}
+
+/// The per-connection writer: collects `(seq, document)` answers from
+/// the workers (and the reader's direct rejections) and writes them in
+/// sequence order, reordering through a buffer keyed by sequence.
+fn writer_loop(mut conn: Conn, rx: Receiver<(u64, String)>) {
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut broken = false;
+    while let Ok((seq, doc)) = rx.recv() {
+        pending.insert(seq, doc);
+        while let Some(doc) = pending.remove(&next) {
+            if !broken && write_envelope(&mut conn, &doc).is_err() {
+                // Client went away: keep draining the channel so the
+                // workers' sends never observe the loss, but stop
+                // writing.
+                broken = true;
+            }
+            next += 1;
+        }
+    }
+    // Every accepted frame got exactly one sequence number, so by the
+    // time all senders dropped the buffer holds only a contiguous tail.
+    for (_, doc) in pending {
+        if !broken && write_envelope(&mut conn, &doc).is_err() {
+            broken = true;
+        }
+    }
+}
+
+/// The accept loop: non-blocking accepts polled against the shutdown
+/// flag, spawning one reader and one writer per connection.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: Listener,
+    service: Arc<ZigzagService>,
+    txs: Vec<SyncSender<Job>>,
+    depths: Arc<Vec<AtomicUsize>>,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                // Accepted sockets may inherit the listener's
+                // non-blocking mode on some platforms; readers use plain
+                // timeouts instead.
+                if conn.set_nonblocking(false).is_err()
+                    || conn.set_read_timeout(Some(config.poll_interval)).is_err()
+                {
+                    continue;
+                }
+                let writer_conn = match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let writer = std::thread::spawn(move || writer_loop(writer_conn, reply_rx));
+                let reader = {
+                    let service = Arc::clone(&service);
+                    let txs = txs.clone();
+                    let depths = Arc::clone(&depths);
+                    let shutdown = Arc::clone(&shutdown);
+                    let max = config.max_frame_bytes;
+                    std::thread::spawn(move || {
+                        reader_loop(conn, service, txs, depths, max, shutdown, reply_tx)
+                    })
+                };
+                let mut handles = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                handles.push(reader);
+                handles.push(writer);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_interval)
+            }
+            Err(_) => std::thread::sleep(config.poll_interval),
+        }
+    }
+}
+
+/// A running socket server over a [`ZigzagService`]; see the
+/// [module docs](self) for the protocol and serving guarantees.
+///
+/// Dropping the server performs the same graceful drain as
+/// [`NetServer::shutdown`].
+#[derive(Debug)]
+pub struct NetServer {
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_txs: Vec<SyncSender<Job>>,
+    tcp_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("seq", &self.seq).finish()
+    }
+}
+
+impl NetServer {
+    /// Binds a TCP listener (use port 0 for an ephemeral port, then
+    /// [`NetServer::local_addr`]) and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or the threads cannot spawn.
+    pub fn bind_tcp<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<ZigzagService>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut server = NetServer::start(Listener::Tcp(listener), service, config)?;
+        server.tcp_addr = Some(local);
+        Ok(server)
+    }
+
+    /// Binds a Unix-domain socket at `path` (which must not already
+    /// exist; it is unlinked again on shutdown) and starts serving
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be bound or the threads cannot spawn.
+    #[cfg(unix)]
+    pub fn bind_unix<P: AsRef<Path>>(
+        path: P,
+        service: Arc<ZigzagService>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let path = path.as_ref().to_path_buf();
+        let listener = UnixListener::bind(&path)?;
+        let mut server = NetServer::start(Listener::Unix(listener), service, config)?;
+        server.unix_path = Some(path);
+        Ok(server)
+    }
+
+    fn start(
+        listener: Listener,
+        service: Arc<ZigzagService>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        listener.set_nonblocking(true)?;
+        let worker_count = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let depths: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..worker_count).map(|_| AtomicUsize::new(0)).collect());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut worker_txs = Vec::with_capacity(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for w in 0..worker_count {
+            let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+            worker_txs.push(tx);
+            let service = Arc::clone(&service);
+            let depths = Arc::clone(&depths);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("zigzag-net-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            depths[w].fetch_sub(1, Ordering::Relaxed);
+                            // Sessions are resolved per frame (no
+                            // cross-frame memo): a session closed between
+                            // two frames must answer the second with
+                            // UnknownSession, not be served stale.
+                            let mut memo = HashMap::new();
+                            let doc = serve::respond_with_queues(
+                                &service,
+                                &job.frame,
+                                &mut memo,
+                                Some(&depths),
+                            );
+                            let _ = job.reply.send((job.seq, doc));
+                        }
+                    })?,
+            );
+        }
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let service = Arc::clone(&service);
+            let txs = worker_txs.clone();
+            let depths = Arc::clone(&depths);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("zigzag-net-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, service, txs, depths, config, shutdown, conns)
+                })?
+        };
+        Ok(NetServer {
+            shutdown,
+            accept: Some(accept),
+            conns,
+            workers,
+            worker_txs,
+            tcp_addr: None,
+            #[cfg(unix)]
+            unix_path: None,
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix-socket servers).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Gracefully drains and stops the server: no new connections are
+    /// accepted, every frame already read off a socket is answered,
+    /// worker queues are drained, all threads are joined, and (for Unix
+    /// servers) the socket file is unlinked.
+    ///
+    /// Delivery blocks on the clients: a connection whose client stops
+    /// reading holds its pending answers in the socket buffer, and the
+    /// drain waits until they fit or the client goes away. Deployments
+    /// needing a hard shutdown deadline should close client connections
+    /// first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Readers exit at their first idle frame boundary (answering
+        // everything already in flight first); writers exit once every
+        // answer for their connection has been delivered.
+        let handles =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        // With every reader gone, dropping the senders lets each worker
+        // drain whatever is still queued and exit.
+        self.worker_txs.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_round_trip_and_reject_hostile_lengths() {
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, "hello\nworld\n").unwrap();
+        assert_eq!(&buf[..4], &12u32.to_be_bytes());
+        let mut r = io::Cursor::new(buf.clone());
+        assert_eq!(
+            read_envelope(&mut r, 1 << 10).unwrap().unwrap(),
+            "hello\nworld\n"
+        );
+        // Clean EOF at a boundary is None, not an error.
+        assert!(read_envelope(&mut r, 1 << 10).unwrap().is_none());
+
+        // A declared length above the bound fails before allocation.
+        let hostile = u32::MAX.to_be_bytes().to_vec();
+        let err = read_envelope(&mut io::Cursor::new(hostile), 1 << 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated header and truncated payload both fail loudly.
+        let err = read_envelope(&mut io::Cursor::new(vec![0u8, 0]), 1 << 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let mut truncated = 8u32.to_be_bytes().to_vec();
+        truncated.extend_from_slice(b"abc");
+        assert!(read_envelope(&mut io::Cursor::new(truncated), 1 << 10).is_err());
+        // Non-UTF-8 payloads are refused.
+        let mut bad = 2u32.to_be_bytes().to_vec();
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_envelope(&mut io::Cursor::new(bad), 1 << 10).is_err());
+    }
+
+    #[test]
+    fn full_queues_reject_with_a_deterministic_overload_document() {
+        // The real enqueue path against a capacity-1 queue nobody
+        // drains: first frame queues, second is rejected in place.
+        let service = ZigzagService::sharded(4);
+        let (tx, _rx) = mpsc::sync_channel::<Job>(1);
+        let txs = vec![tx];
+        let depths = vec![AtomicUsize::new(0)];
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let frame = serve::encode_frame(
+            crate::service::SessionId::from_raw(3),
+            &crate::query::Query::CoordDecision,
+        );
+        route_frame(&service, &txs, &depths, frame.clone(), 0, &reply_tx);
+        assert_eq!(depths[0].load(Ordering::Relaxed), 1);
+        route_frame(&service, &txs, &depths, frame, 1, &reply_tx);
+        assert_eq!(
+            depths[0].load(Ordering::Relaxed),
+            1,
+            "rejected frame left in gauge"
+        );
+        let (seq, doc) = reply_rx.try_recv().unwrap();
+        assert_eq!(seq, 1);
+        assert!(serve::is_error_document(&doc));
+        assert_eq!(doc, serve::encode_error(&Error::Overloaded { worker: 0 }));
+    }
+}

@@ -86,6 +86,13 @@ pub enum Query {
     /// spec: the earliest `B`-node at which the required knowledge holds,
     /// under the session's probe semantics.
     CoordDecision,
+    /// The service's serving counters (latency histogram, observer-cache
+    /// hit/miss/eviction totals, per-shard session counts, per-worker
+    /// queue depths). Service-level: the frame's session line is used for
+    /// worker routing only and need not name an open session, and the
+    /// query cannot appear inside a [`Query::QueryBatch`] (a batch is
+    /// answered by one session, which has no service-wide view).
+    Stats,
     /// A batch of queries answered through one dispatch, positionally
     /// aligned with its responses. Single calls, batches and the bench
     /// harness share the same per-query code path.
@@ -154,6 +161,8 @@ pub enum Response {
     FastRun(FastRunReport),
     /// Answer to [`Query::CoordDecision`].
     CoordDecision(CoordReport),
+    /// Answer to [`Query::Stats`].
+    Stats(Box<crate::stats::StatsReport>),
     /// Answer to [`Query::QueryBatch`], positionally aligned.
     ResponseBatch(
         /// The answers, in query order.

@@ -48,10 +48,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::error::Error;
-use crate::query::Query;
+use crate::query::{Query, Response};
 use crate::service::{SessionId, ZigzagService};
 use crate::session::Session;
 use crate::wire;
@@ -142,7 +145,7 @@ pub fn is_error_document(text: &str) -> bool {
 /// Splits a frame into its target session and the embedded query
 /// document, validating the two header lines only — the cheap routing
 /// parse; the query body is decoded later, on the owning worker.
-fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
+pub(crate) fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
     let bad = |line: usize, detail: String| Error::Wire { line, detail };
     let mut rest = text;
     let mut take_line = |line_no: usize| -> Result<&str, Error> {
@@ -179,20 +182,64 @@ fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
 
 /// Answers one frame: decode, resolve (through `memo`, so one session is
 /// looked up through its shard's lock at most once per loop), dispatch,
-/// encode — *the* per-frame code path shared by the serial loop and
-/// every worker, which is what makes [`serve`] worker-count-invariant.
-fn respond(service: &ZigzagService, frame: &str, memo: &mut HashMap<u64, Arc<Session>>) -> String {
-    let answer = split_frame(frame).and_then(|(id, body)| {
-        let query = wire::decode_query(body).map_err(offset_body_error)?;
-        let session = match memo.get(&id.raw()) {
-            Some(session) => Arc::clone(session),
-            None => {
-                let session = service.session(id)?;
-                memo.insert(id.raw(), Arc::clone(&session));
-                session
+/// encode — *the* per-frame code path shared by the serial loop, every
+/// worker, and the [`crate::net`] front end, which is what makes
+/// [`serve`] worker-count-invariant (and the socket server byte-identical
+/// to it).
+///
+/// Three serving concerns live here so every caller gets them for free:
+///
+/// * **Stats interception** — a [`Query::Stats`] frame is answered from
+///   the service's counters before any session is resolved (its session
+///   line is routing information only); `queues` supplies the per-worker
+///   depth gauges of a [`crate::net`] server, `None` reports no queues.
+/// * **Latency accounting** — each dispatch against a resolved session is
+///   timed into the service's histogram via
+///   `ZigzagService::record_dispatch`.
+/// * **Panic containment** — a panic anywhere in decode or dispatch is
+///   caught and answered as a deterministic [`Error::Internal`] document,
+///   so one hostile or buggy frame cannot take down the worker (or, under
+///   [`serve`]'s join, the whole batch). The memo only caches `Arc`
+///   clones inserted whole, so observing it across the catch is sound.
+pub(crate) fn respond_with_queues(
+    service: &ZigzagService,
+    frame: &str,
+    memo: &mut HashMap<u64, Arc<Session>>,
+    queues: Option<&[AtomicUsize]>,
+) -> String {
+    let answer = catch_unwind(AssertUnwindSafe(|| {
+        split_frame(frame).and_then(|(id, body)| {
+            let query = wire::decode_query(body).map_err(offset_body_error)?;
+            if matches!(query, Query::Stats) {
+                let depths: Vec<u64> = queues
+                    .map(|qs| {
+                        qs.iter()
+                            .map(|q| q.load(Ordering::Relaxed) as u64)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                return Ok(Response::Stats(Box::new(
+                    service.stats_with_queues(&depths),
+                )));
             }
-        };
-        session.dispatch(&query)
+            let session = match memo.get(&id.raw()) {
+                Some(session) => Arc::clone(session),
+                None => {
+                    let session = service.session(id)?;
+                    memo.insert(id.raw(), Arc::clone(&session));
+                    session
+                }
+            };
+            let start = Instant::now();
+            let out = session.dispatch(&query);
+            service.record_dispatch(start.elapsed());
+            out
+        })
+    }))
+    .unwrap_or_else(|_| {
+        Err(Error::Internal {
+            detail: "panic while answering a frame".into(),
+        })
     });
     match answer {
         Ok(response) => {
@@ -205,24 +252,40 @@ fn respond(service: &ZigzagService, frame: &str, memo: &mut HashMap<u64, Arc<Ses
     }
 }
 
+/// [`respond_with_queues`] for the in-process loop, which has no worker
+/// queues to report.
+fn respond(service: &ZigzagService, frame: &str, memo: &mut HashMap<u64, Arc<Session>>) -> String {
+    respond_with_queues(service, frame, memo, None)
+}
+
 /// The worker a frame belongs to: the owner of its session's shard. A
 /// frame whose session line cannot even be parsed has no shard; worker 0
 /// answers it (with the wire error), keeping the assignment total and
 /// deterministic.
-fn owner_of(service: &ZigzagService, frame: &str, workers: usize) -> usize {
+pub(crate) fn owner_of(service: &ZigzagService, frame: &str, workers: usize) -> usize {
     match split_frame(frame) {
-        Ok((id, _)) => service.shard_of(id) % workers,
+        Ok((id, _)) => service.shard_of(id) % workers.max(1),
         Err(_) => 0,
     }
 }
 
-/// Serves a batch of request frames with `workers` threads (clamped to
-/// at least 1), returning one response document per frame, **in arrival
-/// order** — see the [module docs](self) for the sharding, ordering and
-/// byte-identity contract. The session table is treated as fixed for the
-/// duration of the call: concurrent `open`/`close` from other threads
-/// may race individual lookups (exactly as they would against the serial
-/// loop run at the same moment).
+/// Serves a batch of request frames with `workers` threads, returning
+/// one response document per frame, **in arrival order** — see the
+/// [module docs](self) for the sharding, ordering and byte-identity
+/// contract. The session table is treated as fixed for the duration of
+/// the call: concurrent `open`/`close` from other threads may race
+/// individual lookups (exactly as they would against the serial loop run
+/// at the same moment).
+///
+/// # Worker-count clamping
+///
+/// `workers` is a parallelism *hint*, clamped into
+/// `[1, max(frames.len(), 1)]`: `workers == 0` (a natural result of
+/// sizing off `available_parallelism() - k` or an empty CPU mask) means
+/// the serial loop, never a division by zero in shard routing; anything
+/// above the frame count is wasted threads and is clamped down. The
+/// clamp cannot change any answer — byte-identity holds at every worker
+/// count — so it is always safe to apply.
 pub fn serve<S: AsRef<str> + Sync>(
     service: &ZigzagService,
     frames: &[S],
@@ -398,5 +461,109 @@ mod tests {
         let Response::MaxXMatrix(_) = direct else {
             panic!("matrix queries return matrices");
         };
+    }
+
+    #[test]
+    fn zero_workers_means_serial_not_division_by_zero() {
+        // Regression: `workers == 0` falls out naturally of sizing off
+        // `available_parallelism() - k`; it must mean "serial loop", not
+        // panic in `shard_of(id) % workers`.
+        let run = fig1_run();
+        let service = ZigzagService::sharded(4);
+        let id = service.open_batch(run.clone(), SessionConfig::new());
+        let sigma = run
+            .nodes()
+            .map(|r| r.id())
+            .find(|n| !n.is_initial())
+            .unwrap();
+        let frames = vec![encode_frame(id, &Query::MaxXMatrix { sigma })];
+        let zero = serve(&service, &frames, 0);
+        assert_eq!(zero, serve(&service, &frames, 1));
+        assert_eq!(zero, serve(&service, &frames, usize::MAX));
+        // Degenerate extremes: no frames at all, at both clamp edges.
+        assert!(serve(&service, &[] as &[&str], 0).is_empty());
+        assert!(serve(&service, &[] as &[&str], 7).is_empty());
+        // The routing helper is total even for workers == 0.
+        assert_eq!(owner_of(&service, &frames[0], 0), 0);
+    }
+
+    #[test]
+    fn hostile_frames_become_error_documents_not_panics() {
+        let run = fig1_run();
+        let service = ZigzagService::sharded(4);
+        let id = service.open_batch(run, SessionConfig::new());
+        let hostile = [
+            // Oversized counts: a batch that promises more queries /
+            // theta path tokens than the document carries.
+            format!(
+                "zigzag-frame v1\nsession {}\nzigzag-query v1\nbatch 4000000000\ncoord\n",
+                id.raw()
+            ),
+            format!(
+                "zigzag-frame v1\nsession {}\nzigzag-query v1\nmaxx 0 0 0 1 99999999 0 1 0 2 0\n",
+                id.raw()
+            ),
+            // Embedded blank / short lines where documents are promised.
+            format!("zigzag-frame v1\nsession {}\nzigzag-query v1\n\n", id.raw()),
+            // Trailing garbage after a complete query document.
+            format!(
+                "zigzag-frame v1\nsession {}\nzigzag-query v1\ncoord\ntrailing garbage\n",
+                id.raw()
+            ),
+            // Stats cannot nest in a batch: service-level error document.
+            format!(
+                "zigzag-frame v1\nsession {}\nzigzag-query v1\nbatch 1\nstats\n",
+                id.raw()
+            ),
+            // No trailing newline on the session line at all.
+            "zigzag-frame v1\nsession 1".to_string(),
+        ];
+        for workers in [0, 1, 3] {
+            let out = serve(&service, &hostile, workers);
+            assert_eq!(out.len(), hostile.len());
+            for (frame, doc) in hostile.iter().zip(&out) {
+                assert!(
+                    is_error_document(doc),
+                    "workers={workers}: {frame:?} -> {doc:?}"
+                );
+            }
+        }
+        // Dispatching Stats on a bare session (not through the service)
+        // is refused with the typed service-level error.
+        let session = service.session(id).unwrap();
+        assert!(matches!(
+            session.dispatch(&Query::Stats),
+            Err(Error::ServiceLevelQuery)
+        ));
+    }
+
+    #[test]
+    fn stats_frames_are_answered_from_service_counters() {
+        let run = fig1_run();
+        let service = ZigzagService::sharded(4);
+        let id = service.open_batch(run.clone(), SessionConfig::new());
+        let sigma = run
+            .nodes()
+            .map(|r| r.id())
+            .find(|n| !n.is_initial())
+            .unwrap();
+        let work = vec![encode_frame(id, &Query::MaxXMatrix { sigma }); 5];
+        serve(&service, &work, 2);
+        // The session line of a Stats frame is routing-only: a handle
+        // that names no open session still gets the service-wide answer.
+        let stats_frame = encode_frame(SessionId::from_raw(999), &Query::Stats);
+        let out = serve(&service, &[stats_frame], 1);
+        let Response::Stats(report) = wire::decode_response(&out[0]).unwrap() else {
+            panic!(
+                "stats frame answered with a non-stats document: {:?}",
+                out[0]
+            );
+        };
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.latency.count(), 5);
+        assert!(report.observer_misses >= 1);
+        assert!(report.observer_hits >= 4);
+        assert_eq!(report.sessions_per_shard.iter().sum::<u64>(), 1);
+        assert!(report.queue_depths.is_empty());
     }
 }

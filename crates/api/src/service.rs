@@ -12,7 +12,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use zigzag_bcm::stream::RunEvent;
 use zigzag_bcm::{Context, Run, RunCursor, Time};
@@ -21,6 +22,7 @@ use crate::config::SessionConfig;
 use crate::error::Error;
 use crate::query::{Query, Response};
 use crate::session::{AppendReport, BatchSession, Session, StreamSession};
+use crate::stats::{LatencyRecorder, StatsReport};
 
 /// An opaque handle naming one open session of a [`ZigzagService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,6 +58,15 @@ struct Shard {
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
 }
 
+/// The service's monotone serving counters; see [`crate::stats`].
+#[derive(Debug, Default)]
+struct Metrics {
+    /// Dispatches against a resolved session (success or error).
+    dispatches: AtomicU64,
+    /// Wall-time histogram over those dispatches.
+    latency: LatencyRecorder,
+}
+
 /// The unified service facade; see the [module docs](self) and the
 /// crate-level example.
 ///
@@ -72,6 +83,7 @@ struct Shard {
 pub struct ZigzagService {
     shards: Box<[Shard]>,
     next: AtomicU64,
+    metrics: Metrics,
 }
 
 impl Default for ZigzagService {
@@ -97,6 +109,7 @@ impl ZigzagService {
         ZigzagService {
             shards: table.into_boxed_slice(),
             next: AtomicU64::new(0),
+            metrics: Metrics::default(),
         }
     }
 
@@ -113,10 +126,14 @@ impl ZigzagService {
 
     fn insert(&self, session: Session) -> SessionId {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
+        // Table locks guard pure HashMap operations that cannot be
+        // interrupted by a panic mid-mutation, so a poisoned lock (left
+        // by a panic elsewhere while the lock was held on that stack) is
+        // recovered rather than cascaded into every later caller.
         self.shards[(id % self.shards.len() as u64) as usize]
             .sessions
             .lock()
-            .expect("session table lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(id, Arc::new(session));
         SessionId(id)
     }
@@ -127,7 +144,7 @@ impl ZigzagService {
         self.shards[self.shard_of(id)]
             .sessions
             .lock()
-            .expect("session table lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&id.0)
             .cloned()
             .ok_or(Error::UnknownSession { id })
@@ -199,7 +216,67 @@ impl ZigzagService {
     /// Fails on unknown sessions or on the underlying engine error of the
     /// failing query.
     pub fn dispatch(&self, id: SessionId, query: &Query) -> Result<Response, Error> {
-        self.session(id)?.dispatch(query)
+        // Stats is service-level: answered here, before any session is
+        // resolved (the id is routing information only), and not counted
+        // as a dispatch — it measures the serving load, it isn't part of
+        // it.
+        if matches!(query, Query::Stats) {
+            return Ok(Response::Stats(Box::new(self.stats())));
+        }
+        let session = self.session(id)?;
+        let start = Instant::now();
+        let out = session.dispatch(query);
+        self.record_dispatch(start.elapsed());
+        out
+    }
+
+    /// Records one dispatch's wall time into the service's counters —
+    /// shared by [`ZigzagService::dispatch`] and the [`crate::serve`] /
+    /// [`crate::net`] loops (which resolve sessions themselves).
+    pub(crate) fn record_dispatch(&self, elapsed: Duration) {
+        self.metrics.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.latency.record(elapsed);
+    }
+
+    /// A point-in-time [`StatsReport`] with no queue gauges — the answer
+    /// [`ZigzagService::dispatch`] gives [`Query::Stats`]. A [`crate::net`]
+    /// server answers with [`ZigzagService::stats_with_queues`] instead.
+    pub fn stats(&self) -> StatsReport {
+        self.stats_with_queues(&[])
+    }
+
+    /// A point-in-time [`StatsReport`] carrying the caller's per-worker
+    /// queue-depth gauges. Cache counters are summed over every open
+    /// session; each shard's lock is held only long enough to copy its
+    /// handle list, never across counter collection.
+    pub fn stats_with_queues(&self, queue_depths: &[u64]) -> StatsReport {
+        let mut sessions_per_shard = Vec::with_capacity(self.shards.len());
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for shard in self.shards.iter() {
+            let sessions: Vec<Arc<Session>> = shard
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .values()
+                .cloned()
+                .collect();
+            sessions_per_shard.push(sessions.len() as u64);
+            for session in &sessions {
+                let (h, m, e) = session.cache_counters();
+                hits += h;
+                misses += m;
+                evictions += e;
+            }
+        }
+        StatsReport {
+            queries: self.metrics.dispatches.load(Ordering::Relaxed),
+            latency: self.metrics.latency.snapshot(),
+            observer_hits: hits,
+            observer_misses: misses,
+            observer_evictions: evictions,
+            sessions_per_shard,
+            queue_depths: queue_depths.to_vec(),
+        }
     }
 
     /// Runs `f` over a session's run (batch) or grown prefix (stream)
@@ -209,9 +286,10 @@ impl ZigzagService {
     ///
     /// # Errors
     ///
-    /// Fails on unknown sessions.
+    /// Fails on unknown sessions, or with [`Error::Internal`] on a stream
+    /// session poisoned by a panicked append.
     pub fn with_run<T>(&self, id: SessionId, f: impl FnOnce(&Run) -> T) -> Result<T, Error> {
-        Ok(self.session(id)?.with_run(f))
+        self.session(id)?.with_run(f)
     }
 
     /// Number of observer states a session currently holds warm — the
@@ -228,7 +306,12 @@ impl ZigzagService {
     pub fn session_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.sessions.lock().expect("session table lock").len())
+            .map(|s| {
+                s.sessions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 
@@ -241,7 +324,7 @@ impl ZigzagService {
         self.shards[self.shard_of(id)]
             .sessions
             .lock()
-            .expect("session table lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&id.0)
             .map(|_| ())
             .ok_or(Error::UnknownSession { id })

@@ -28,7 +28,7 @@
 //! the method docs forbid.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, RwLockReadGuard};
 
 use zigzag_bcm::stream::RunEvent;
 use zigzag_bcm::{Context, NodeId, Run, Time};
@@ -150,6 +150,10 @@ pub(crate) fn dispatch_on<B: SessionBackend + ?Sized>(
             }))
         }
         Query::CoordDecision => Ok(Response::CoordDecision(backend.coord_decision()?)),
+        // Service-level: a bare session has no service-wide counters to
+        // answer with. ZigzagService::dispatch (and the serve/net loops)
+        // intercept Stats before any session is resolved.
+        Query::Stats => Err(Error::ServiceLevelQuery),
         Query::QueryBatch(queries) => queries
             .iter()
             .map(|q| dispatch_on(backend, q))
@@ -205,6 +209,15 @@ impl BatchSession {
     fn gb(&self) -> &BoundsGraph {
         self.gb.get_or_init(|| BoundsGraph::of_run(&self.run))
     }
+
+    /// The session's observer-cache `(hits, misses, evictions)` totals.
+    pub(crate) fn cache_counters(&self) -> (u64, u64, u64) {
+        let cache = self
+            .observers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (cache.hits(), cache.misses(), cache.evictions())
+    }
 }
 
 impl SessionBackend for BatchSession {
@@ -213,10 +226,14 @@ impl SessionBackend for BatchSession {
     }
 
     fn engine(&self, sigma: NodeId) -> Result<KnowledgeEngine<'_>, Error> {
+        // A panic inside a caller's dispatch can poison this lock; the
+        // cache itself is never left mid-mutation (entries are inserted
+        // whole, after the build), so recovery is sound and keeps the
+        // session serveable.
         let state = self
             .observers
             .lock()
-            .expect("observer cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get_or_build(sigma, || {
                 ObserverState::build(&self.run, sigma, self.messages())
             })?;
@@ -265,7 +282,10 @@ impl SessionBackend for BatchSession {
     }
 
     fn observer_count(&self) -> usize {
-        self.observers.lock().expect("observer cache lock").len()
+        self.observers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -354,18 +374,35 @@ impl StreamSession {
         &self.config
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, StreamInner> {
-        self.inner.read().expect("stream session lock")
+    /// Unlike the session's interior `Mutex`es, a poisoned stream lock is
+    /// *not* recovered: only the write side (an append) can poison it in
+    /// practice, and an append that panicked mid-step may have left the
+    /// engine's incremental state half-updated. Refusing with a typed
+    /// error (instead of cascading the panic into every later caller)
+    /// keeps the server alive while quarantining the session.
+    fn read(&self) -> Result<RwLockReadGuard<'_, StreamInner>, Error> {
+        self.inner.read().map_err(|_| Error::Internal {
+            detail: "stream session poisoned by a panicked append".into(),
+        })
     }
 
     /// Runs `f` over the underlying incremental engine (shared read
     /// access: concurrent queries proceed, appends wait).
-    pub fn with_engine<T>(&self, f: impl FnOnce(&IncrementalEngine) -> T) -> T {
-        f(self.read().engine())
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Internal`] if an earlier append panicked
+    /// mid-step and poisoned the session.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&IncrementalEngine) -> T) -> Result<T, Error> {
+        Ok(f(self.read()?.engine()))
     }
 
     /// Number of events appended so far.
-    pub fn event_count(&self) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Internal`] if the session is poisoned.
+    pub fn event_count(&self) -> Result<usize, Error> {
         self.with_engine(IncrementalEngine::event_count)
     }
 
@@ -379,7 +416,9 @@ impl StreamSession {
     /// failure poisons the underlying engine (every later operation is
     /// refused) exactly as [`IncrementalEngine::append_event`] documents.
     pub fn append(&self, ev: &RunEvent) -> Result<AppendReport, Error> {
-        let mut inner = self.inner.write().expect("stream session lock");
+        let mut inner = self.inner.write().map_err(|_| Error::Internal {
+            detail: "stream session poisoned by a panicked append".into(),
+        })?;
         let report = match &mut *inner {
             StreamInner::Plain(engine) => {
                 let node = engine.append_event(ev)?;
@@ -413,7 +452,7 @@ impl StreamSession {
     ///
     /// Propagates the underlying engine error for the failing query.
     pub fn dispatch(&self, query: &Query) -> Result<Response, Error> {
-        dispatch_on(&*self.read(), query)
+        dispatch_on(&*self.read()?, query)
     }
 }
 
@@ -431,18 +470,37 @@ impl Session {
     /// Runs `f` over the run (batch) or grown prefix (stream) without
     /// cloning it. The closure must not call back into the same stream
     /// session (it holds the session's read lock).
-    pub fn with_run<T>(&self, f: impl FnOnce(&Run) -> T) -> T {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Internal`] on a poisoned stream session.
+    pub fn with_run<T>(&self, f: impl FnOnce(&Run) -> T) -> Result<T, Error> {
         match self {
-            Session::Batch(s) => f(&s.run),
-            Session::Stream(s) => f(s.read().run()),
+            Session::Batch(s) => Ok(f(&s.run)),
+            Session::Stream(s) => Ok(f(s.read()?.run())),
         }
     }
 
-    /// Number of observer states currently held warm.
+    /// Number of observer states currently held warm. A poisoned stream
+    /// session reports 0 — its cache is unreachable and will never be
+    /// served from again.
     pub fn observer_count(&self) -> usize {
         match self {
             Session::Batch(s) => s.observer_count(),
-            Session::Stream(s) => s.with_engine(IncrementalEngine::observer_count),
+            Session::Stream(s) => s
+                .with_engine(IncrementalEngine::observer_count)
+                .unwrap_or(0),
+        }
+    }
+
+    /// The session's observer-cache `(hits, misses, evictions)` totals;
+    /// a poisoned stream session reports zeros.
+    pub(crate) fn cache_counters(&self) -> (u64, u64, u64) {
+        match self {
+            Session::Batch(s) => s.cache_counters(),
+            Session::Stream(s) => s
+                .with_engine(IncrementalEngine::observer_cache_counters)
+                .unwrap_or((0, 0, 0)),
         }
     }
 

@@ -16,6 +16,30 @@
 //! encoded query (or response) yields a value equal to the original, and
 //! dispatching a decoded query returns the identical response (pinned by
 //! a property test in `tests/service.rs`).
+//!
+//! # zigzag-frame v1 over stream transports
+//!
+//! On an in-memory batch, frames and responses are plain strings. On a
+//! **stream transport** (TCP, Unix sockets — [`crate::net`]), documents
+//! are **length-delimited**: each direction carries a sequence of
+//! envelopes
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────┐
+//! │ length: u32, BE    │ document: length bytes, UTF-8 │
+//! └────────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! where the document is, client→server, a complete `zigzag-frame v1`
+//! text ([`crate::serve::encode_frame`]) and, server→client, a
+//! `zigzag-response v1` or `zigzag-error v1` text — exactly the strings
+//! the in-process [`crate::serve::serve`] loop consumes and produces, so
+//! the socket boundary adds framing and nothing else. Responses come
+//! back in the connection's frame-arrival order. A length above the
+//! server's configured cap, or a payload that is not UTF-8, is
+//! unrecoverable (the stream can no longer be re-synchronized): the
+//! server answers one `zigzag-error v1` envelope and closes the
+//! connection. See [`crate::net`] for the listener.
 
 use std::fmt;
 
@@ -128,6 +152,7 @@ fn encode_query_into<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
             writeln!(out, " {gamma} {extra_horizon}")
         }
         Query::CoordDecision => out.write_str("coord\n"),
+        Query::Stats => out.write_str("stats\n"),
         Query::QueryBatch(queries) => {
             writeln!(out, "batch {}", queries.len())?;
             for q in queries {
@@ -218,6 +243,28 @@ fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result
             out.write_str("coord")?;
             push_opt_node(out, *first_known)?;
             push_opt_node(out, *sigma_c)?;
+            out.write_str("\n")
+        }
+        Response::Stats(s) => {
+            writeln!(
+                out,
+                "stats {} {} {} {}",
+                s.queries, s.observer_hits, s.observer_misses, s.observer_evictions
+            )?;
+            out.write_str("lat")?;
+            for b in &s.latency.buckets {
+                write!(out, " {b}")?;
+            }
+            out.write_str("\nshards")?;
+            write!(out, " {}", s.sessions_per_shard.len())?;
+            for c in &s.sessions_per_shard {
+                write!(out, " {c}")?;
+            }
+            out.write_str("\nqueues")?;
+            write!(out, " {}", s.queue_depths.len())?;
+            for d in &s.queue_depths {
+                write!(out, " {d}")?;
+            }
             out.write_str("\n")
         }
         Response::ResponseBatch(responses) => {
@@ -354,12 +401,18 @@ impl<'a> Tokens<'a> {
         Ok(Some(NodeId::new(ProcessId::new(p), i)))
     }
 
+    /// Number of tokens left on the line — the budget any same-line
+    /// count field must respect before anything is allocated for it.
+    fn remaining_on_line(&self) -> usize {
+        self.it.clone().count()
+    }
+
     fn theta(&mut self) -> Result<GeneralNode, Error> {
         let base = self.node()?;
         let n: usize = self.num()?;
         // The n path tokens must already be on this line; reject the
         // count before allocating for it.
-        if n > self.it.clone().count() {
+        if n > self.remaining_on_line() {
             return Err(bad(self.line_no, format!("path promises {n} hops")));
         }
         let mut procs = Vec::with_capacity(n);
@@ -414,6 +467,7 @@ fn decode_query_from(lines: &mut Lines<'_>, depth: usize) -> Result<Query, Error
             extra_horizon: t.num()?,
         },
         "coord" => Query::CoordDecision,
+        "stats" => Query::Stats,
         "batch" => {
             if depth >= MAX_BATCH_DEPTH {
                 return Err(bad(no, format!("batch nesting exceeds {MAX_BATCH_DEPTH}")));
@@ -448,6 +502,27 @@ pub fn decode_query(text: &str) -> Result<Query, Error> {
         Err(_) => Ok(q),
         Ok(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
     }
+}
+
+/// Decodes one `<tag> <n> <v0> … <v(n-1)>` gauge line of a stats
+/// document, validating the count against the line before allocating.
+fn counted_u64s(lines: &mut Lines<'_>, tag: &str) -> Result<Vec<u64>, Error> {
+    let line = lines.next()?;
+    let no = lines.line_no();
+    let mut t = Tokens::new(line, no);
+    if t.next()? != tag {
+        return Err(bad(no, format!("expected {tag}")));
+    }
+    let n: usize = t.num()?;
+    if n > t.remaining_on_line() {
+        return Err(bad(no, format!("{tag} promises {n} values")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(t.num()?);
+    }
+    t.done()?;
+    Ok(out)
 }
 
 fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response, Error> {
@@ -563,6 +638,35 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
                 first_known,
                 sigma_c,
             }))
+        }
+        "stats" => {
+            let queries: u64 = t.num()?;
+            let observer_hits: u64 = t.num()?;
+            let observer_misses: u64 = t.num()?;
+            let observer_evictions: u64 = t.num()?;
+            t.done()?;
+            let lline = lines.next()?;
+            let lno = lines.line_no();
+            let mut lt = Tokens::new(lline, lno);
+            if lt.next()? != "lat" {
+                return Err(bad(lno, "expected lat"));
+            }
+            let mut latency = crate::stats::LatencyHistogram::new();
+            for b in latency.buckets.iter_mut() {
+                *b = lt.num()?;
+            }
+            lt.done()?;
+            let sessions_per_shard = counted_u64s(lines, "shards")?;
+            let queue_depths = counted_u64s(lines, "queues")?;
+            Ok(Response::Stats(Box::new(crate::stats::StatsReport {
+                queries,
+                latency,
+                observer_hits,
+                observer_misses,
+                observer_evictions,
+                sessions_per_shard,
+                queue_depths,
+            })))
         }
         "batch" => {
             if depth >= MAX_BATCH_DEPTH {

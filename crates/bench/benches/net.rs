@@ -1,0 +1,141 @@
+//! B10 — the socket front end: what the wire transport costs over the
+//! in-process serving loop.
+//!
+//! Two measurements over the same workload (the B9 wire-loop shape: an
+//! 8-shard service, 8 batch sessions, 128 two-query `QueryBatch`
+//! frames), with byte-identity between the two serving paths asserted
+//! before anything is timed:
+//!
+//! * `net/in-process/2` — [`zigzag_api::serve::serve`] at 2 workers:
+//!   frames in memory, responses in memory — the floor the socket path
+//!   is measured against.
+//! * `net/unix-socket/2` — the same frames through a
+//!   [`zigzag_api::net::NetServer`] over a Unix-domain socket at 2
+//!   workers: length-delimited envelopes written by a client, read
+//!   back in order. The delta over `in-process` is the whole front-end
+//!   overhead — envelope framing, two socket copies per frame, the
+//!   reader/worker/writer hand-offs — and ns/iter ÷ 128 prices one
+//!   round-tripped frame.
+//!
+//! The server is bound once outside the timing loop (binding and
+//! joining threads is shutdown cost, not per-frame cost); each
+//! iteration opens a fresh client connection, so accept + per-frame
+//! costs are measured, steady-state.
+//!
+//! Run with `CRITERION_JSON=BENCH_pr7.json cargo bench --bench net`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zigzag_api::net::{read_envelope, write_envelope, NetConfig, NetServer};
+use zigzag_api::{serve, Query, SessionConfig, ZigzagService};
+use zigzag_bcm::{NodeId, ProcessId};
+use zigzag_bench::{kicked_run, scaled_context};
+use zigzag_core::GeneralNode;
+
+/// The B9 wire-loop workload, shared so the two paths answer the same
+/// frames: an 8-shard service, 8 batch sessions over one recorded run,
+/// 128 two-query `QueryBatch` frames round-robined across the sessions.
+fn workload() -> (Arc<ZigzagService>, Vec<String>) {
+    let ctx = scaled_context(6, 0.3, 11);
+    let run = kicked_run(&ctx, ProcessId::new(0), 1, 40, 5);
+    let service = Arc::new(ZigzagService::sharded(8));
+    let sessions: Vec<_> = (0..8)
+        .map(|_| service.open_batch(run.clone(), SessionConfig::new()))
+        .collect();
+    let nodes: Vec<NodeId> = run
+        .nodes()
+        .map(|r| r.id())
+        .filter(|n| !n.is_initial())
+        .collect();
+    let anchor = nodes[0];
+    let mut frames = Vec::new();
+    for k in 0..128usize {
+        let sigma = nodes[k % nodes.len()];
+        let id = sessions[k % sessions.len()];
+        frames.push(serve::encode_frame(
+            id,
+            &Query::QueryBatch(vec![
+                Query::MaxX {
+                    sigma,
+                    theta1: GeneralNode::basic(anchor),
+                    theta2: GeneralNode::basic(sigma),
+                },
+                Query::TightBound {
+                    from: anchor,
+                    to: sigma,
+                },
+            ]),
+        ));
+    }
+    assert_eq!(frames.len(), 128, "CI derives frames/sec from 128 frames");
+    (service, frames)
+}
+
+#[cfg(unix)]
+fn socket_pass(path: &std::path::Path, frames: &[String]) -> Vec<String> {
+    use std::os::unix::net::UnixStream;
+    let mut conn = UnixStream::connect(path).expect("server is listening");
+    for frame in frames {
+        write_envelope(&mut conn, frame).expect("server accepts frames");
+    }
+    frames
+        .iter()
+        .map(|_| {
+            read_envelope(&mut conn, 1 << 22)
+                .expect("server answers")
+                .expect("one answer per frame")
+        })
+        .collect()
+}
+
+fn net_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net");
+    let (service, frames) = workload();
+    let workers = 2usize;
+    let reference = serve::serve(&service, &frames, workers);
+    assert!(reference.iter().all(|r| !serve::is_error_document(r)));
+
+    group.bench_with_input(
+        BenchmarkId::new("in-process", workers),
+        &workers,
+        |b, &w| {
+            b.iter(|| serve::serve(&service, &frames, w));
+        },
+    );
+
+    #[cfg(unix)]
+    {
+        let path =
+            std::env::temp_dir().join(format!("zigzag-bench-net-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let server = NetServer::bind_unix(
+            &path,
+            Arc::clone(&service),
+            NetConfig::new()
+                .workers(workers)
+                .poll_interval(Duration::from_millis(2)),
+        )
+        .expect("bind unix socket");
+        // The tentpole contract before timing: the socket path returns
+        // the in-process loop's bytes, frame for frame.
+        assert_eq!(
+            socket_pass(&path, &frames),
+            reference,
+            "socket serving diverged from the in-process loop"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unix-socket", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| socket_pass(&path, &frames));
+            },
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, net_overhead);
+criterion_main!(benches);

@@ -16,10 +16,17 @@
 //!   served from the incremental engine's cached own-sends-excluded
 //!   observer states — equals a fresh per-prefix rebuild
 //!   (`decide_at`: new `MessageIndex`, new excluded `GE`), and the final
-//!   `CoordDecision` equals the in-simulation protocol's action node.
+//!   `CoordDecision` equals the in-simulation protocol's action node;
+//! * **V3 — serving observability (PR 7)**: after a warm frame mix, a
+//!   wire-encoded `stats` frame reports exactly the dispatch count the
+//!   mix implies (hostile frames and the `stats` query itself do not
+//!   count), a latency histogram with one sample per dispatch, and the
+//!   observer-cache hit/miss/eviction counters — all deterministic
+//!   because frames of one session are served in order by one worker.
 //!
 //! All report text is byte-deterministic in both profiles (counts and
-//! times only — wall-clock comparisons live in `benches/serve.rs`).
+//! times only — raw latency buckets never appear, and wall-clock
+//! comparisons live in `benches/serve.rs` and `benches/net.rs`).
 
 use zigzag_api::{
     serve, wire, ProbeSemantics, Query, Response, SessionConfig, SessionId, ZigzagService,
@@ -214,6 +221,102 @@ fn v2_row(x: i64, u_bd: u64, seed: u64, horizon: u64) -> CellOutput {
     )
 }
 
+const V3_WIDTHS: [usize; 7] = [3, 7, 8, 6, 7, 6, 8];
+
+/// One V3 row: serve a warm frame mix at `workers`, then read the
+/// serving counters back through a wire-encoded `stats` frame and hold
+/// them to the arithmetic the mix implies.
+fn v3_row(n: usize, seed: u64, horizon: u64, workers: usize) -> CellOutput {
+    let ctx = scaled_context(n, 0.3, seed);
+    let run = kicked_run(&ctx, ProcessId::new(0), 1, horizon, seed);
+    let service = ZigzagService::sharded(4);
+    let batch = service.open_batch(run.clone(), SessionConfig::new());
+    let (stream, _) = service
+        .open_replay(&run, SessionConfig::new())
+        .expect("legal replay");
+    let sessions = [batch, stream];
+
+    let nodes: Vec<NodeId> = run
+        .nodes()
+        .map(|r| r.id())
+        .filter(|k| !k.is_initial())
+        .collect();
+    let mut frames: Vec<String> = nodes
+        .iter()
+        .enumerate()
+        .map(|(k, &sigma)| serve::encode_frame(sessions[k % 2], &Query::MaxXMatrix { sigma }))
+        .collect();
+    // One hostile frame: answered with an error document, and therefore
+    // absent from the dispatch and latency counters.
+    frames.push(serve::encode_frame(
+        SessionId::from_raw(9_999),
+        &Query::CoordDecision,
+    ));
+    // Two passes of the same mix: the first populates the observer
+    // caches (all misses), the second is served from them (all hits).
+    for pass in 0..2 {
+        let answers = serve::serve(&service, &frames, workers);
+        assert_eq!(
+            answers
+                .iter()
+                .filter(|r| serve::is_error_document(r))
+                .count(),
+            1,
+            "n={n} seed {seed} pass {pass}: exactly the hostile frame fails"
+        );
+    }
+
+    // Observability is itself a wire query; it must not count itself.
+    let stats_frame = serve::encode_frame(SessionId::from_raw(0), &Query::Stats);
+    let doc = serve::serve(&service, &[stats_frame], workers);
+    let report = match wire::decode_response(&doc[0]) {
+        Ok(Response::Stats(report)) => report,
+        other => panic!("n={n} seed {seed}: stats frame misanswered: {other:?}"),
+    };
+    let dispatched = 2 * (frames.len() - 1) as u64;
+    assert_eq!(
+        report.queries, dispatched,
+        "n={n} seed {seed}: dispatch counter off"
+    );
+    assert_eq!(
+        report.latency.count(),
+        dispatched,
+        "n={n} seed {seed}: one latency sample per dispatch"
+    );
+    assert!(
+        report.observer_misses > 0,
+        "n={n} seed {seed}: the first pass must populate the observer cache"
+    );
+    assert!(
+        report.observer_hits > 0,
+        "n={n} seed {seed}: the second pass must be served from the cache"
+    );
+    assert_eq!(
+        report.sessions_per_shard.iter().sum::<u64>(),
+        sessions.len() as u64,
+        "n={n} seed {seed}: every open session is visible per shard"
+    );
+    assert!(
+        report.queue_depths.is_empty(),
+        "the in-process loop has no worker queues to report"
+    );
+    CellOutput::with_metrics(
+        format_row(
+            &V3_WIDTHS,
+            &[
+                n.to_string(),
+                frames.len().to_string(),
+                report.queries.to_string(),
+                report.observer_hits.to_string(),
+                report.observer_misses.to_string(),
+                report.observer_evictions.to_string(),
+                "counted".into(),
+            ],
+        ),
+        vec![report.queries as i64],
+    )
+}
+
 /// Builds the serving experiment family.
 pub fn experiment(p: Profile) -> Experiment {
     let v1_cases: Vec<(usize, usize, u64, u64)> = p.pick(
@@ -264,13 +367,33 @@ pub fn experiment(p: Profile) -> Experiment {
     }
     let v2 = v2.footer(|cells| {
         let decisions: i64 = cells.iter().map(|c| c.metrics[0]).sum();
+        format!("all {decisions} B-node decisions served warm equal their fresh rebuilds\n\n")
+    });
+
+    let v3_cases: Vec<(usize, u64, u64, usize)> = p.pick(
+        vec![(4, 0, 24, 1), (6, 1, 26, 2), (9, 2, 22, 8)],
+        vec![(4, 0, 16, 2)],
+    );
+    let mut v3 = Section::new(format!(
+        "V3 — serving observability (a wire `stats` frame after a warm mix):\n{}",
+        format_header(
+            &V3_WIDTHS,
+            &["n", "frames", "queries", "hits", "misses", "evict", "verdict"]
+        ),
+    ));
+    for (n, seed, horizon, workers) in v3_cases {
+        v3 = v3.cell(move || v3_row(n, seed, horizon, workers));
+    }
+    let v3 = v3.footer(|cells| {
+        let queries: i64 = cells.iter().map(|c| c.metrics[0]).sum();
         format!(
-            "all {decisions} B-node decisions served warm equal their fresh rebuilds\n\n\
+            "all {queries} dispatches counted, one latency sample each\n\n\
              Sessions hash to shards, workers own shards, and the warm\n\
              exclude-mode states make online Protocol 2 decisions cache-served;\n\
-             every byte equals the single-threaded, rebuild-everything baseline.\n"
+             every byte equals the single-threaded, rebuild-everything baseline,\n\
+             and the serving counters reconcile with the frames served.\n"
         )
     });
 
-    Experiment::new("serve").section(v1).section(v2)
+    Experiment::new("serve").section(v1).section(v2).section(v3)
 }

@@ -58,14 +58,14 @@
 //!   demand — 20 bytes per vertex instead of 56.
 //! * All interior vertex ids are `u32`; the `HashMap<V, usize>` interner
 //!   stays at the boundary, and every narrowing conversion funnels
-//!   through one checked helper ([`checked_u32`]) that reports
+//!   through one checked helper (`checked_u32`) that reports
 //!   [`CoreError::IndexOverflow`] instead of silently truncating.
 //!
 //! # Scratch arena and blocked relaxation
 //!
 //! The transient state of an SPFA run — the predecessor working lane,
 //! the `u64`-word in-queue bitset, both frontier generations, and the
-//! delta staging buffer — lives in a [`SpfaScratch`] arena owned by the
+//! delta staging buffer — lives in a `SpfaScratch` arena owned by the
 //! graph's analysis cache. A query takes the arena out under the lock,
 //! traverses outside the lock, and puts the buffers back, so steady-state
 //! serving recycles the same warm allocations across queries (the result

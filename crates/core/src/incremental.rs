@@ -170,6 +170,15 @@ impl IncrementalEngine {
             .evictions()
     }
 
+    /// Observer-cache counters `(hits, misses, evictions)` — the
+    /// serving-observability triple surfaced by `zigzag-api`'s `Stats`
+    /// query (see [`ObserverCache::hits`] / [`ObserverCache::misses`] /
+    /// [`ObserverCache::evictions`]).
+    pub fn observer_cache_counters(&self) -> (u64, u64, u64) {
+        let cache = self.observers.lock().expect("observer cache lock");
+        (cache.hits(), cache.misses(), cache.evictions())
+    }
+
     /// Mid-stream maintenance: settles `GB(r)`'s memoized longest-path
     /// results and reclaims the graph layer's append log (which otherwise
     /// carries O(edges) memory — roughly one extra copy of the adjacency

@@ -241,6 +241,8 @@ pub struct ObserverCache {
     /// order).
     recency: BTreeMap<u64, (NodeId, ObserverMode)>,
     evictions: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl ObserverCache {
@@ -252,6 +254,8 @@ impl ObserverCache {
             map: HashMap::default(),
             recency: BTreeMap::new(),
             evictions: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -281,6 +285,18 @@ impl ObserverCache {
     /// Total number of states evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Number of lookups served from a retained state.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to build a state (including builds the
+    /// cache then declined to retain under `Some(0)`), whether or not the
+    /// build succeeded.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// The full-mode state for `sigma`, built with `build` on a miss —
@@ -319,6 +335,7 @@ impl ObserverCache {
         // weight there — skip the BTreeMap churn on the hot hit path.
         let track = self.cap.is_some();
         if let Some((state, used)) = self.map.get_mut(&key) {
+            self.hits += 1;
             if track {
                 self.recency.remove(used);
                 *used = self.tick;
@@ -326,6 +343,7 @@ impl ObserverCache {
             }
             return Ok(state.clone());
         }
+        self.misses += 1;
         let built = Arc::new(build()?);
         debug_assert_eq!(built.mode(), mode, "cached state built in another mode");
         if self.cap == Some(0) {

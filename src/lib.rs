@@ -11,7 +11,11 @@
 //!   tight bounds, Protocol 2 coordination decisions — through one
 //!   `dispatch` code path, with explicit cache policies (LRU-bounded
 //!   observer states, mid-stream append-log compaction) and probe
-//!   semantics;
+//!   semantics. `api::serve` fans wire-encoded frames across a sharded
+//!   worker fleet, `api::net` puts that loop on a TCP or Unix socket
+//!   (length-delimited envelopes, backpressure, graceful drain), and a
+//!   `Stats` query reports latency histograms and cache counters from
+//!   the wire;
 //! * [`bcm`] — the bounded communication model without clocks: networks,
 //!   transmission-time bounds, event-driven processes, the flooding
 //!   full-information protocol, schedulers, discrete-event simulation, run

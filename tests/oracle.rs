@@ -670,6 +670,33 @@ proptest! {
                 workers
             );
         }
+
+        // Stats tier: the serving counters are exact over the passes
+        // above — the reference loop plus three serve passes each
+        // dispatched every frame that reached a session (all but the two
+        // hostile tails), and the unbounded cache policy never evicted.
+        let report = service.stats();
+        let dispatched = 4 * (frames.len() as u64 - 2);
+        prop_assert_eq!(report.queries, dispatched);
+        prop_assert_eq!(report.latency.count(), dispatched);
+        prop_assert!(report.observer_misses > 0, "no cache misses recorded");
+        prop_assert!(report.observer_hits > 0, "no cache hits recorded");
+        prop_assert_eq!(report.observer_evictions, 0);
+        prop_assert_eq!(report.sessions_per_shard.len(), shards);
+        prop_assert_eq!(report.sessions_per_shard.iter().sum::<u64>(), 3);
+        prop_assert!(report.queue_depths.is_empty());
+        // The Stats answer round-trips the wire byte-exactly: a Stats
+        // frame through the serving loop (not itself a dispatch, so the
+        // counters are frozen) decodes back to the same report.
+        let stats_doc = serve::serve(
+            &service,
+            &[serve::encode_frame(sessions[0], &Query::Stats)],
+            1,
+        );
+        match wire::decode_response(&stats_doc[0]) {
+            Ok(Response::Stats(wired)) => prop_assert_eq!(*wired, report),
+            other => prop_assert!(false, "stats frame misanswered: {other:?}"),
+        }
     }
 }
 

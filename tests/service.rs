@@ -444,3 +444,129 @@ proptest! {
         }
     }
 }
+
+/// Stats documents round-trip the wire byte-exactly — query and
+/// response sides, writer-based encoders included — and malformed stats
+/// documents (wrong bucket counts, overclaimed gauge counts, truncation)
+/// are rejected with wire errors, never panics or misdecodes.
+#[test]
+fn stats_documents_round_trip_and_reject_malformation() {
+    use zigzag::api::{StatsReport, LATENCY_BUCKETS};
+
+    let qdoc = wire::encode_query(&Query::Stats);
+    assert_eq!(wire::decode_query(&qdoc).unwrap(), Query::Stats);
+    let mut streamed = String::new();
+    wire::encode_query_to(&mut streamed, &Query::Stats).unwrap();
+    assert_eq!(streamed, qdoc);
+
+    let mut report = StatsReport {
+        queries: 42,
+        observer_hits: 7,
+        observer_misses: 5,
+        observer_evictions: 2,
+        sessions_per_shard: vec![3, 0, 1],
+        queue_depths: vec![2, 5],
+        ..StatsReport::default()
+    };
+    for (i, b) in report.latency.buckets.iter_mut().enumerate() {
+        *b = (i as u64) * 3;
+    }
+    let doc = wire::encode_response(&Response::Stats(Box::new(report.clone())));
+    assert_eq!(
+        wire::decode_response(&doc).unwrap(),
+        Response::Stats(Box::new(report.clone()))
+    );
+    let mut streamed = String::new();
+    wire::encode_response_to(&mut streamed, &Response::Stats(Box::new(report.clone()))).unwrap();
+    assert_eq!(streamed, doc);
+    // Empty gauges (the in-process shape) round-trip too.
+    report.sessions_per_shard.clear();
+    report.queue_depths.clear();
+    let doc = wire::encode_response(&Response::Stats(Box::new(report.clone())));
+    assert_eq!(
+        wire::decode_response(&doc).unwrap(),
+        Response::Stats(Box::new(report))
+    );
+
+    let lat_ok = {
+        let mut s = String::from("lat");
+        for _ in 0..LATENCY_BUCKETS {
+            s.push_str(" 0");
+        }
+        s
+    };
+    let lat_short = {
+        let mut s = String::from("lat");
+        for _ in 0..LATENCY_BUCKETS - 1 {
+            s.push_str(" 0");
+        }
+        s
+    };
+    let hostile = [
+        // Counter line truncated.
+        "zigzag-response v1\nstats 1 2 3\n".to_string(),
+        // Missing / short / overlong latency lines.
+        "zigzag-response v1\nstats 1 2 3 4\n".to_string(),
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_short}\nshards 0\nqueues 0\n"),
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok} 0\nshards 0\nqueues 0\n"),
+        // Gauge lines promising more values than the line carries — the
+        // count is rejected before any allocation for it.
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok}\nshards 4000000000 1\nqueues 0\n"),
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok}\nshards 0\nqueues 17 1 2\n"),
+        // Wrong tags and non-numeric values.
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok}\nqueues 0\nshards 0\n"),
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok}\nshards 1 x\nqueues 0\n"),
+        // Trailing garbage after a complete document.
+        format!("zigzag-response v1\nstats 1 2 3 4\n{lat_ok}\nshards 0\nqueues 0\nextra\n"),
+    ];
+    for doc in &hostile {
+        assert!(
+            matches!(wire::decode_response(doc), Err(Error::Wire { .. })),
+            "accepted hostile stats doc: {doc:?}"
+        );
+    }
+}
+
+/// Stats is service-level: the service answers it for any routing
+/// handle, a bare session refuses it, and nesting it in a batch is the
+/// same refusal encoded as an error response.
+#[test]
+fn stats_is_service_level_only() {
+    let run = tri_run(2, 24);
+    let service = ZigzagService::new();
+    let id = service.open_batch(run.clone(), SessionConfig::new());
+    service
+        .dispatch(
+            id,
+            &Query::MaxXMatrix {
+                sigma: run
+                    .nodes()
+                    .map(|r| r.id())
+                    .find(|n| !n.is_initial())
+                    .unwrap(),
+            },
+        )
+        .unwrap();
+
+    // Service dispatch answers, even for a handle naming no session.
+    let Response::Stats(report) = service
+        .dispatch(zigzag::api::SessionId::from_raw(700), &Query::Stats)
+        .unwrap()
+    else {
+        panic!("service-level stats dispatch returned a non-stats answer");
+    };
+    assert_eq!(report.queries, 1);
+    assert_eq!(report.latency.count(), 1);
+    assert_eq!(report.observer_misses, 1);
+    // Stats itself is not a dispatch: asking again reports the same.
+    let Response::Stats(again) = service.dispatch(id, &Query::Stats).unwrap() else {
+        panic!("non-stats answer");
+    };
+    assert_eq!(again, report);
+
+    // Nested in a batch, the whole dispatch fails with the typed error.
+    let err = service
+        .dispatch(id, &Query::QueryBatch(vec![Query::Stats]))
+        .unwrap_err();
+    assert!(matches!(err, Error::ServiceLevelQuery), "{err:?}");
+}
