@@ -1,5 +1,5 @@
-//! Session configuration: cache policy, probe semantics, coordination
-//! spec.
+//! Session and serving configuration: cache policy, probe semantics,
+//! coordination spec, and the socket front end's transport knobs.
 //!
 //! Three previously-internal scaling knobs become explicit API here:
 //!
@@ -17,6 +17,8 @@
 //! All three are policies, not semantics: any configuration answers every
 //! query byte-identically to the unbounded default (pinned by the LRU and
 //! compaction tests); the knobs trade memory against rebuild cost only.
+
+use std::time::Duration;
 
 use zigzag_coord::{ProbeSemantics, TimedCoordination};
 
@@ -94,6 +96,101 @@ impl SessionConfig {
     /// Attaches a coordination spec (builder style).
     pub fn spec(mut self, spec: TimedCoordination) -> Self {
         self.spec = Some(spec);
+        self
+    }
+}
+
+/// Tuning knobs for a [`crate::net::NetServer`].
+///
+/// The buffer and coalescing knobs shape the syscall-lean fast path:
+/// each connection's reader slurps up to [`NetConfig::read_chunk_bytes`]
+/// per `read` into a reusable scan buffer and routes every complete
+/// envelope found in it, and each connection's writer coalesces all
+/// replies that are ready in arrival order into batched writes of up to
+/// [`NetConfig::write_coalesce_bytes`] with a single flush per wakeup.
+/// Both are policies, not semantics: every configuration answers every
+/// frame byte-identically (pinned by the loopback tests).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of dispatch workers (clamped to at least 1). Frames are
+    /// routed to workers by session shard, exactly as in
+    /// [`crate::serve::serve`].
+    pub workers: usize,
+    /// Bound on each worker's queue (clamped to at least 1). A frame
+    /// arriving at a full queue is rejected with
+    /// [`crate::Error::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest accepted envelope payload, in bytes. A declared length
+    /// above this is answered with an error envelope and the connection
+    /// is closed, before any allocation.
+    pub max_frame_bytes: usize,
+    /// How much spare room each reader keeps in its scan buffer — the
+    /// most one `read` syscall can slurp (clamped to at least 16 bytes).
+    /// Larger chunks amortize more pipelined frames per syscall at the
+    /// cost of per-connection memory.
+    pub read_chunk_bytes: usize,
+    /// Soft bound on one coalesced write: a writer flushing a batch of
+    /// replies issues a `write` whenever this many bytes have
+    /// accumulated, then keeps batching (clamped to at least 16 bytes).
+    pub write_coalesce_bytes: usize,
+    /// How often idle readers and the accept loop check the shutdown
+    /// flag — the latency floor of [`crate::net::NetServer::shutdown`],
+    /// not of request handling (reads return as soon as data arrives).
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_frame_bytes: 16 << 20,
+            read_chunk_bytes: 64 << 10,
+            write_coalesce_bytes: 256 << 10,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        NetConfig::default()
+    }
+
+    /// Sets the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-worker queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the largest accepted envelope payload.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Sets the reader's per-syscall slurp size.
+    pub fn read_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.read_chunk_bytes = bytes;
+        self
+    }
+
+    /// Sets the writer's coalesced-write soft bound.
+    pub fn write_coalesce_bytes(mut self, bytes: usize) -> Self {
+        self.write_coalesce_bytes = bytes;
+        self
+    }
+
+    /// Sets the shutdown-flag poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
         self
     }
 }

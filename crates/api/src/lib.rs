@@ -92,11 +92,11 @@ pub mod wire;
 
 pub use config::{CachePolicy, SessionConfig};
 pub use error::Error;
-pub use net::{NetConfig, NetServer};
+pub use net::{EnvelopeScanner, NetConfig, NetServer, ScanError};
 pub use query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
 pub use service::{SessionId, ZigzagService};
 pub use session::{AppendReport, BatchSession, Session, SessionBackend, StreamSession};
-pub use stats::{LatencyHistogram, StatsReport, LATENCY_BUCKETS};
+pub use stats::{LatencyHistogram, StatsReport, TransportCounters, LATENCY_BUCKETS};
 
 // Re-exported so facade callers configure sessions without importing the
 // coordination crate directly.

@@ -1,5 +1,6 @@
 //! The socket front end: a TCP / Unix-socket accept loop feeding the
-//! [`crate::serve`] frame path.
+//! [`crate::serve`] frame path through a syscall-lean, allocation-free
+//! steady-state data path.
 //!
 //! [`crate::serve::serve`] answers a *batch* of frames in one call; a
 //! [`NetServer`] serves the same frames off a stream transport, one
@@ -13,23 +14,44 @@
 //! Both directions carry `zigzag-frame v1` / `zigzag-response v1` /
 //! `zigzag-error v1` documents in the length-delimited envelope
 //! specified in [`crate::wire`]'s module docs: a 4-byte big-endian
-//! length followed by that many bytes of UTF-8. [`write_envelope`] and
-//! [`read_envelope`] are the client-side halves. An envelope whose
-//! declared length exceeds [`NetConfig::max_frame_bytes`], or whose
-//! bytes are not UTF-8, is answered with one `zigzag-error v1` envelope
-//! and the connection is closed — the declared length is never trusted
-//! before the bound check, so a hostile header cannot make the server
-//! allocate.
+//! length followed by that many bytes of UTF-8. [`write_envelope`] /
+//! [`read_envelope`] are the one-at-a-time client halves;
+//! [`encode_envelope_into`] + [`EnvelopeScanner`] are the batched,
+//! buffer-reusing halves a pipelining client (and the server itself)
+//! uses. An envelope whose declared length exceeds
+//! [`NetConfig::max_frame_bytes`], or whose bytes are not UTF-8, is
+//! answered with one `zigzag-error v1` envelope and the connection is
+//! closed — the declared length is never trusted before the bound
+//! check, so a hostile header cannot make the server allocate.
 //!
 //! # Architecture
 //!
 //! ```text
 //! accept loop ──▶ per-connection reader ──▶ bounded worker queues ──▶ workers
-//!                        │ (routes by session shard)                    │
-//!                        ▼                                              ▼
-//!                per-connection writer ◀── (seq, document) ◀────────────┘
+//!                  │ (slurps large reads,                               │
+//!                  │  scans frames, routes by shard)                    ▼
+//!                  ▼                                          reply rail (seq-ordered)
+//!          per-connection writer ◀── coalesced batched writes ◀─────────┘
 //! ```
 //!
+//! * **Syscall-lean reads** — each reader owns a reusable
+//!   [`EnvelopeScanner`]: one `read` slurps up to
+//!   [`NetConfig::read_chunk_bytes`] and *every* complete envelope in
+//!   the buffer is scanned out and routed before the next syscall, with
+//!   frames split across arbitrary read boundaries reassembled in
+//!   place. A pipelining client's N frames cost a handful of reads, not
+//!   2·N.
+//! * **Coalesced writes** — worker answers land on a per-connection
+//!   reply rail that reorders them by arrival sequence; each writer
+//!   wakeup drains *all* answers that are ready in arrival order and
+//!   writes them as one batched envelope run with a single flush
+//!   (bounded by [`NetConfig::write_coalesce_bytes`] per `write`).
+//!   `TCP_NODELAY` is set on accepted TCP sockets so batching never
+//!   trades throughput for Nagle latency.
+//! * **Allocation-free steady state** — frame and response documents
+//!   live in pooled `String` buffers recycled reader → worker → writer
+//!   → pool; a warm framed round-trip performs zero server-side heap
+//!   allocations (pinned by `tests/netalloc.rs`).
 //! * **Session affinity** — each frame is routed to the worker owning
 //!   its session's shard (the same `shard % workers` rule as
 //!   [`crate::serve`]), and each worker processes its queue in FIFO
@@ -41,19 +63,26 @@
 //!   [`Error::Overloaded`] document in its arrival slot; nothing
 //!   buffers without bound.
 //! * **Ordering** — the reader stamps every accepted frame with a
-//!   per-connection sequence number; the writer reorders worker answers
-//!   by that sequence, so each connection reads its responses in
-//!   exactly the order it wrote its requests (rejections included).
+//!   per-connection sequence number; the reply rail releases answers to
+//!   the writer in exactly that order, so each connection reads its
+//!   responses in the order it wrote its requests (rejections
+//!   included).
 //! * **Graceful drain** — [`NetServer::shutdown`] stops accepting new
 //!   connections, lets every reader finish the data already in flight
 //!   (a reader only exits at a frame boundary once its socket goes
 //!   idle, so no fully-received frame is dropped), lets the workers
 //!   drain their queues, and joins every thread. Every frame read off a
-//!   socket gets exactly one response envelope.
+//!   socket gets exactly one response envelope. A connection that fails
+//!   setup (e.g. the socket cannot be cloned for the writer half) is
+//!   answered with one deterministic error envelope and counted, never
+//!   dropped silently.
 //! * **Observability** — per-worker queue depths are kept as atomic
-//!   gauges; a [`crate::Query::Stats`] frame is answered with
-//!   [`crate::ZigzagService::stats_with_queues`], so the histogram,
-//!   cache counters and queue depths are all readable *from the wire*.
+//!   gauges and every reader/writer bumps the server's
+//!   [`TransportStats`] (bytes and syscalls each way, frames per read,
+//!   frames per writer flush); a [`crate::Query::Stats`] frame is
+//!   answered with [`crate::ZigzagService::stats_with_net`], so the
+//!   histogram, cache counters, queue depths and transport amortization
+//!   are all readable *from the wire*.
 //!
 //! # Example
 //!
@@ -69,6 +98,7 @@
 //! let addr = server.local_addr().unwrap();
 //!
 //! let mut conn = TcpStream::connect(addr)?;
+//! conn.set_nodelay(true)?; // mirror the server: no Nagle stall on small frames
 //! let frame = serve::encode_frame(SessionId::from_raw(0), &Query::Stats);
 //! write_envelope(&mut conn, &frame)?;
 //! let answer = read_envelope(&mut conn, 1 << 20)?.unwrap();
@@ -79,7 +109,8 @@
 //! # }
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -87,81 +118,22 @@ use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+pub use crate::config::NetConfig;
 use crate::error::Error;
 use crate::serve;
 use crate::service::ZigzagService;
-
-/// Tuning knobs for a [`NetServer`].
-#[derive(Debug, Clone)]
-pub struct NetConfig {
-    /// Number of dispatch workers (clamped to at least 1). Frames are
-    /// routed to workers by session shard, exactly as in
-    /// [`crate::serve::serve`].
-    pub workers: usize,
-    /// Bound on each worker's queue (clamped to at least 1). A frame
-    /// arriving at a full queue is rejected with
-    /// [`Error::Overloaded`].
-    pub queue_capacity: usize,
-    /// Largest accepted envelope payload, in bytes. A declared length
-    /// above this is answered with an error envelope and the connection
-    /// is closed, before any allocation.
-    pub max_frame_bytes: usize,
-    /// How often idle readers and the accept loop check the shutdown
-    /// flag — the latency floor of [`NetServer::shutdown`], not of
-    /// request handling (reads return as soon as data arrives).
-    pub poll_interval: Duration,
-}
-
-impl Default for NetConfig {
-    fn default() -> Self {
-        NetConfig {
-            workers: 4,
-            queue_capacity: 64,
-            max_frame_bytes: 16 << 20,
-            poll_interval: Duration::from_millis(25),
-        }
-    }
-}
-
-impl NetConfig {
-    /// The default configuration.
-    pub fn new() -> Self {
-        NetConfig::default()
-    }
-
-    /// Sets the worker count.
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self
-    }
-
-    /// Sets the per-worker queue bound.
-    pub fn queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = capacity;
-        self
-    }
-
-    /// Sets the largest accepted envelope payload.
-    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
-        self.max_frame_bytes = bytes;
-        self
-    }
-
-    /// Sets the shutdown-flag poll interval.
-    pub fn poll_interval(mut self, interval: Duration) -> Self {
-        self.poll_interval = interval;
-        self
-    }
-}
+use crate::stats::{TransportCounters, TransportStats};
 
 /// Writes one length-delimited envelope: 4-byte big-endian length, then
-/// the document bytes — the client-side sending half of the transport
-/// (the server uses the same format internally).
+/// the document bytes — the one-at-a-time client-side sending half of
+/// the transport. A pipelining client batches instead: accumulate
+/// several envelopes with [`encode_envelope_into`] and write the buffer
+/// once.
 ///
 /// # Errors
 ///
@@ -178,10 +150,32 @@ pub fn write_envelope<W: Write>(w: &mut W, doc: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Appends one length-delimited envelope to `buf` — the batching form
+/// of [`write_envelope`]: a client pipelining N frames encodes them all
+/// into one buffer and pays one `write` syscall, the shape the server's
+/// readers amortize best (see [`TransportCounters`]).
+///
+/// # Errors
+///
+/// Fails if `doc` exceeds `u32::MAX` bytes; `buf` is unchanged then.
+pub fn encode_envelope_into(buf: &mut Vec<u8>, doc: &str) -> io::Result<()> {
+    let len = u32::try_from(doc.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "document exceeds the u32 envelope length",
+        )
+    })?;
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(doc.as_bytes());
+    Ok(())
+}
+
 /// Reads one length-delimited envelope, returning `None` on a clean EOF
-/// at an envelope boundary — the client-side receiving half of the
-/// transport. `max_len` bounds the accepted payload (the declared
-/// length is checked before any allocation).
+/// at an envelope boundary — the one-at-a-time client-side receiving
+/// half of the transport (allocating a `String` per envelope; a
+/// pipelining client reads through a reusable [`EnvelopeScanner`]
+/// instead). `max_len` bounds the accepted payload (the declared length
+/// is checked before any allocation).
 ///
 /// # Errors
 ///
@@ -218,13 +212,403 @@ pub fn read_envelope<R: Read>(r: &mut R, max_len: usize) -> io::Result<Option<St
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "envelope is not UTF-8"))
 }
 
-/// One accepted frame on its way to a worker.
+/// Why an [`EnvelopeScanner`] refused the stream. Both are
+/// unrecoverable for the connection: after either, the byte stream can
+/// no longer be re-synchronized to an envelope boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanError {
+    /// An envelope header declared `len` payload bytes against a
+    /// `max`-byte bound. Raised *before* any buffer growth: a hostile
+    /// header cannot make the scanner allocate.
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The configured bound it exceeded.
+        max: usize,
+    },
+    /// A complete envelope's payload is not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Oversized { len, max } => {
+                write!(f, "envelope length {len} exceeds the {max}-byte bound")
+            }
+            ScanError::NotUtf8 => f.write_str("envelope is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+impl From<ScanError> for io::Error {
+    fn from(e: ScanError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A reusable buffer that turns a byte stream into length-delimited
+/// envelope documents without per-frame allocation: large reads are
+/// slurped into a growable scratch buffer ([`EnvelopeScanner::fill_from`],
+/// one syscall each) and complete frames are scanned out of it as
+/// borrowed `&str` slices ([`EnvelopeScanner::next`]), with envelopes
+/// split across arbitrary read boundaries reassembled in place. The
+/// buffer grows to the high-water mark of `read_chunk + largest frame`
+/// and is then reused forever — the steady state performs no heap
+/// allocation (pinned by `tests/netalloc.rs`) and no copies beyond the
+/// kernel's.
+///
+/// The server's per-connection readers run on this; it is public so
+/// pipelining *clients* can read reply streams the same way (see the
+/// README's pipelining example and `benches/net.rs`).
+#[derive(Debug)]
+pub struct EnvelopeScanner {
+    /// Scratch storage; always fully initialized to its length.
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// One past the last filled byte.
+    end: usize,
+    /// Largest accepted payload; checked before any growth.
+    max_frame: usize,
+    /// Spare room each fill guarantees — the per-syscall slurp size.
+    chunk: usize,
+}
+
+impl EnvelopeScanner {
+    /// A scanner accepting payloads up to `max_frame_bytes`, slurping
+    /// up to 64 KiB per fill.
+    pub fn new(max_frame_bytes: usize) -> Self {
+        EnvelopeScanner::with_chunk(max_frame_bytes, 64 << 10)
+    }
+
+    /// A scanner with an explicit per-fill slurp size (clamped to at
+    /// least 16 bytes). Nothing is allocated until the first fill.
+    pub fn with_chunk(max_frame_bytes: usize, read_chunk_bytes: usize) -> Self {
+        EnvelopeScanner {
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+            max_frame: max_frame_bytes,
+            chunk: read_chunk_bytes.max(16),
+        }
+    }
+
+    /// Whether the scanner holds no bytes at all — i.e. the stream is
+    /// at an envelope boundary and an EOF now would be clean.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes buffered but not yet scanned out (a nonzero value at EOF
+    /// means the peer truncated mid-envelope).
+    pub fn pending_bytes(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Current scratch-buffer size, in bytes — exposed so tests can pin
+    /// that hostile headers are rejected *before* any growth.
+    pub fn buffer_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The declared payload length at the front of the buffer, if a
+    /// complete header is available.
+    fn declared_len(&self) -> Option<usize> {
+        if self.pending_bytes() < 4 {
+            return None;
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 pending bytes");
+        Some(u32::from_be_bytes(header) as usize)
+    }
+
+    /// Classifies the buffered bytes without handing out a borrow:
+    /// `Ok(true)` iff [`EnvelopeScanner::next`] would yield a frame (or
+    /// a UTF-8 refusal) right now.
+    fn frame_buffered(&self) -> Result<bool, ScanError> {
+        match self.declared_len() {
+            None => Ok(false),
+            Some(len) if len > self.max_frame => Err(ScanError::Oversized {
+                len,
+                max: self.max_frame,
+            }),
+            Some(len) => Ok(self.pending_bytes() - 4 >= len),
+        }
+    }
+
+    /// Makes room for the next fill: at least `chunk` spare bytes, plus
+    /// whatever a partially received frame still needs — compacting the
+    /// consumed prefix away first, growing only to the high-water mark.
+    /// Called only with no borrow outstanding, and only after the
+    /// declared length (if visible) passed the bound check.
+    fn make_room(&mut self) {
+        let pending = self.end - self.start;
+        // How much more the frame at the front still needs, beyond what
+        // is already buffered (0 if no complete header yet).
+        let frame_deficit = self
+            .declared_len()
+            .map_or(0, |len| (len + 4).saturating_sub(pending));
+        let need = self.chunk.max(frame_deficit);
+        if self.buf.len() - self.end >= need {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end = pending;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < need {
+            self.buf.resize(self.end + need, 0);
+        }
+    }
+
+    /// Performs **one** read into the buffer (growing it only as the
+    /// validated frame at the front requires) and returns the byte
+    /// count — `Ok(0)` is the peer's EOF. Every read-side error of `r`
+    /// (including `WouldBlock` timeouts) is propagated untouched, so
+    /// callers keep their own retry/shutdown policy.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `r.read` fails with.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        // A hostile declared length must be refused by `next` before
+        // the buffer grows toward it; never make room for one.
+        if !matches!(self.declared_len(), Some(len) if len > self.max_frame) {
+            self.make_room();
+        }
+        if self.buf.len() == self.end {
+            // Oversized frame pending refusal: read nothing for it.
+            return Ok(0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Scans the next complete envelope out of the buffer as a borrowed
+    /// document slice (valid until the next scanner call), `Ok(None)`
+    /// if more bytes are needed first.
+    ///
+    /// # Errors
+    ///
+    /// [`ScanError::Oversized`] if the frame at the front declares a
+    /// payload above the bound — raised before any allocation — and
+    /// [`ScanError::NotUtf8`] if a complete payload is not UTF-8.
+    // Not `Iterator`: each item borrows the scanner's buffer (a lending
+    // iterator), which the trait's `next` signature cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<&str>, ScanError> {
+        if !self.frame_buffered()? {
+            return Ok(None);
+        }
+        let len = self.declared_len().expect("frame_buffered saw a header");
+        let doc_start = self.start + 4;
+        self.start = doc_start + len;
+        match std::str::from_utf8(&self.buf[doc_start..doc_start + len]) {
+            Ok(doc) => Ok(Some(doc)),
+            Err(_) => Err(ScanError::NotUtf8),
+        }
+    }
+
+    /// Blocking client-side receive: fills from `r` until one complete
+    /// envelope is buffered and returns it borrowed; `Ok(None)` on a
+    /// clean EOF at an envelope boundary.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the underlying read, on EOF mid-envelope, and on
+    /// oversized or non-UTF-8 envelopes (as [`io::ErrorKind::InvalidData`]).
+    pub fn recv<R: Read>(&mut self, r: &mut R) -> io::Result<Option<&str>> {
+        loop {
+            if self.frame_buffered()? {
+                break;
+            }
+            let n = self.fill_from(r)?;
+            if n == 0 {
+                return if self.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside an envelope",
+                    ))
+                };
+            }
+        }
+        match self.next()? {
+            Some(doc) => Ok(Some(doc)),
+            None => Err(io::Error::other("scanner lost a buffered frame")),
+        }
+    }
+}
+
+/// One accepted frame on its way to a worker. The document buffer is
+/// pooled: it came from the server's [`BufPool`] and the worker returns
+/// it there after decoding.
 struct Job {
     frame: String,
-    /// Arrival position on its connection; the writer reorders by it.
+    /// Arrival position on its connection; the reply rail orders by it.
     seq: u64,
-    /// The connection's writer channel.
-    reply: Sender<(u64, String)>,
+    /// The connection's reply rail.
+    rail: Arc<ReplyRail>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("seq", &self.seq).finish()
+    }
+}
+
+/// A shared pool of recycled `String` buffers: frame documents travel
+/// reader → worker → pool, response documents worker → writer → pool,
+/// so the steady state allocates nothing. Bounded so a burst cannot pin
+/// memory forever.
+#[derive(Debug, Default)]
+struct BufPool {
+    bufs: Mutex<Vec<String>>,
+}
+
+/// Most buffers the pool retains; beyond this, returned buffers are
+/// simply dropped (in-flight count is transient burst state).
+const MAX_POOLED_BUFS: usize = 1024;
+
+impl BufPool {
+    /// An empty (cleared, capacity-retaining) buffer.
+    fn get(&self) -> String {
+        self.bufs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put(&self, mut s: String) {
+        s.clear();
+        let mut bufs = self.bufs.lock().unwrap_or_else(PoisonError::into_inner);
+        if bufs.len() < MAX_POOLED_BUFS {
+            bufs.push(s);
+        }
+    }
+}
+
+/// One sequenced answer waiting on a connection's reply rail. Ordered
+/// by sequence number alone (each is pushed exactly once).
+struct SeqDoc {
+    seq: u64,
+    doc: String,
+}
+
+impl PartialEq for SeqDoc {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for SeqDoc {}
+impl PartialOrd for SeqDoc {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SeqDoc {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+/// The per-connection reply rail: workers (and the reader's direct
+/// rejections) push `(seq, document)` answers; the writer takes, per
+/// wakeup, **every** answer that is ready in arrival order — the unit
+/// of write coalescing. Replaces PR 7's per-frame channel send +
+/// `BTreeMap` reorder with one heap under one lock, allocation-free
+/// when warm.
+struct ReplyRail {
+    inner: Mutex<RailInner>,
+    ready: Condvar,
+}
+
+struct RailInner {
+    /// Answers not yet released, min-heap by sequence.
+    pending: BinaryHeap<Reverse<SeqDoc>>,
+    /// The next sequence number the writer will release.
+    next: u64,
+    /// Total sequence numbers the reader issued; meaningful once
+    /// `closed`.
+    issued: u64,
+    /// The reader is done issuing sequence numbers.
+    closed: bool,
+}
+
+impl ReplyRail {
+    fn new() -> Self {
+        ReplyRail {
+            inner: Mutex::new(RailInner {
+                pending: BinaryHeap::new(),
+                next: 0,
+                issued: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Delivers the answer for sequence `seq` (exactly one per issued
+    /// sequence number — the drain guarantee's bookkeeping). The writer
+    /// is woken only when this answer is the one it is blocked on: an
+    /// out-of-order answer cannot unblock it, and skipping the wake
+    /// keeps in-order bursts from paying one futex syscall per reply.
+    fn push(&self, seq: u64, doc: String) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let head = seq == inner.next;
+        inner.pending.push(Reverse(SeqDoc { seq, doc }));
+        drop(inner);
+        if head {
+            self.ready.notify_one();
+        }
+    }
+
+    /// The reader is done: `issued` sequence numbers exist in total.
+    /// Once all of them have been released the writer exits.
+    fn close(&self, issued: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        inner.issued = issued;
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until at least one in-order answer is ready, then moves
+    /// **all** answers that are ready in arrival order into `batch`
+    /// (cleared first is the caller's job). Returns `false` — without
+    /// touching `batch` — once the rail is closed and fully drained.
+    fn pop_ready(&self, batch: &mut Vec<String>) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            while inner
+                .pending
+                .peek()
+                .is_some_and(|Reverse(sd)| sd.seq == inner.next)
+            {
+                let Reverse(sd) = inner.pending.pop().expect("peeked");
+                batch.push(sd.doc);
+                inner.next += 1;
+            }
+            if !batch.is_empty() {
+                return true;
+            }
+            if inner.closed && inner.next >= inner.issued {
+                return false;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 /// Either stream transport, behind one read/write surface.
@@ -258,6 +642,16 @@ impl Conn {
             Conn::Unix(s) => s.set_nonblocking(nb),
         }
     }
+
+    /// Disables Nagle on TCP so coalesced writes leave immediately;
+    /// Unix sockets have no Nagle and accept trivially.
+    fn set_nodelay(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nodelay(true),
+            #[cfg(unix)]
+            Conn::Unix(_) => Ok(()),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -288,6 +682,37 @@ impl Write for Conn {
     }
 }
 
+/// A [`Conn`] half that bills every `read`/`write` call and its byte
+/// count to the server's [`TransportStats`] — the source of the
+/// syscalls-per-frame ratios [`crate::Query::Stats`] reports. Timeout
+/// and error returns still count the call (they were syscalls).
+struct CountedConn {
+    conn: Conn,
+    stats: Arc<TransportStats>,
+}
+
+impl Read for CountedConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
+        let n = self.conn.read(buf)?;
+        self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Write for CountedConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+        let n = self.conn.write(buf)?;
+        self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.conn.flush()
+    }
+}
+
 /// Either listening transport.
 enum Listener {
     Tcp(TcpListener),
@@ -296,14 +721,6 @@ enum Listener {
 }
 
 impl Listener {
-    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
-        match self {
-            Listener::Tcp(l) => l.set_nonblocking(nb),
-            #[cfg(unix)]
-            Listener::Unix(l) => l.set_nonblocking(nb),
-        }
-    }
-
     fn accept(&self) -> io::Result<Conn> {
         Ok(match self {
             Listener::Tcp(l) => Conn::Tcp(l.accept()?.0),
@@ -313,199 +730,216 @@ impl Listener {
     }
 }
 
-/// What one attempt to read a frame off a connection produced.
-enum Incoming {
-    /// A complete UTF-8 frame document.
-    Frame(String),
-    /// A declared length above the configured bound (reply + close).
-    Oversized(usize),
-    /// A complete envelope whose payload is not UTF-8 (reply + close).
-    NotUtf8,
-    /// The connection is done: clean EOF, idle shutdown, a truncated
-    /// envelope, or an I/O error — close without another reply.
-    Closed,
-}
-
-/// Outcome of filling a fixed buffer under the poll timeout.
-enum Fill {
-    Done,
-    /// Clean EOF (or idle shutdown) before the first byte.
-    Eof,
-    /// Truncated mid-buffer, shutdown mid-envelope, or an I/O error.
-    Abort,
-}
-
-/// Fills `buf` completely, retrying through read timeouts. `started`
-/// says whether earlier bytes of the same envelope were already
-/// consumed: a clean stop (EOF, or shutdown at an idle moment) is only
-/// clean at an envelope boundary.
-fn read_full(conn: &mut Conn, buf: &mut [u8], mut started: bool, shutdown: &AtomicBool) -> Fill {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match conn.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && !started {
-                    Fill::Eof
-                } else {
-                    Fill::Abort
-                }
-            }
-            Ok(n) => {
-                filled += n;
-                started = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // The drain rule: data still flowing keeps the reader
-                // alive past shutdown; the first *idle* timeout after
-                // the flag ends it — at a boundary cleanly, mid-envelope
-                // by aborting (the frame was never fully received, so it
-                // was never accepted).
-                if shutdown.load(Ordering::Relaxed) {
-                    return if filled == 0 && !started {
-                        Fill::Eof
-                    } else {
-                        Fill::Abort
-                    };
-                }
-            }
-            Err(_) => return Fill::Abort,
-        }
-    }
-    Fill::Done
-}
-
-/// Reads one frame envelope off the connection.
-fn read_incoming(conn: &mut Conn, max_frame_bytes: usize, shutdown: &AtomicBool) -> Incoming {
-    let mut header = [0u8; 4];
-    match read_full(conn, &mut header, false, shutdown) {
-        Fill::Done => {}
-        Fill::Eof | Fill::Abort => return Incoming::Closed,
-    }
-    let len = u32::from_be_bytes(header) as usize;
-    if len > max_frame_bytes {
-        return Incoming::Oversized(len);
-    }
-    let mut buf = vec![0u8; len];
-    match read_full(conn, &mut buf, true, shutdown) {
-        Fill::Done => {}
-        Fill::Eof | Fill::Abort => return Incoming::Closed,
-    }
-    match String::from_utf8(buf) {
-        Ok(frame) => Incoming::Frame(frame),
-        Err(_) => Incoming::NotUtf8,
-    }
-}
-
 /// Routes one accepted frame into its owning worker's bounded queue, or
-/// rejects it in place with a deterministic error document. The gauge is
-/// raised before the send and lowered again on rejection, so it never
-/// under-counts a queued frame.
+/// rejects it in place with a deterministic error document on the reply
+/// rail. The gauge is raised before the send and lowered again on
+/// rejection, so it never under-counts a queued frame; a rejected
+/// frame's buffer goes straight back to the pool.
 fn route_frame(
     service: &ZigzagService,
     txs: &[SyncSender<Job>],
     depths: &[AtomicUsize],
+    pool: &BufPool,
     frame: String,
     seq: u64,
-    reply: &Sender<(u64, String)>,
+    rail: &Arc<ReplyRail>,
 ) {
     let worker = serve::owner_of(service, &frame, txs.len());
     depths[worker].fetch_add(1, Ordering::Relaxed);
     match txs[worker].try_send(Job {
         frame,
         seq,
-        reply: reply.clone(),
+        rail: Arc::clone(rail),
     }) {
         Ok(()) => {}
         Err(err) => {
             depths[worker].fetch_sub(1, Ordering::Relaxed);
-            let e = match err {
-                TrySendError::Full(_) => Error::Overloaded { worker },
-                TrySendError::Disconnected(_) => Error::Internal {
-                    detail: format!("worker {worker} queue closed"),
-                },
+            let (e, job) = match err {
+                TrySendError::Full(job) => (Error::Overloaded { worker }, job),
+                TrySendError::Disconnected(job) => (
+                    Error::Internal {
+                        detail: format!("worker {worker} queue closed"),
+                    },
+                    job,
+                ),
             };
-            let _ = reply.send((seq, serve::encode_error(&e)));
+            pool.put(job.frame);
+            rail.push(seq, serve::encode_error(&e));
         }
     }
 }
 
-/// The per-connection reader: frames off the socket, into the worker
-/// queues, stamped with arrival sequence numbers.
+/// The per-connection reader: slurps large reads into its
+/// [`EnvelopeScanner`], routes every complete frame in the buffer
+/// (stamped with arrival sequence numbers) before the next syscall, and
+/// closes the rail with the issued total so the writer can drain.
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
-    mut conn: Conn,
+    mut conn: CountedConn,
     service: Arc<ZigzagService>,
     txs: Vec<SyncSender<Job>>,
     depths: Arc<Vec<AtomicUsize>>,
-    max_frame_bytes: usize,
+    config: NetConfig,
     shutdown: Arc<AtomicBool>,
-    reply: Sender<(u64, String)>,
+    rail: Arc<ReplyRail>,
+    pool: Arc<BufPool>,
 ) {
+    let stats = Arc::clone(&conn.stats);
+    let mut scanner = EnvelopeScanner::with_chunk(config.max_frame_bytes, config.read_chunk_bytes);
     let mut seq = 0u64;
-    loop {
-        match read_incoming(&mut conn, max_frame_bytes, &shutdown) {
-            Incoming::Frame(frame) => {
-                route_frame(&service, &txs, &depths, frame, seq, &reply);
-                seq += 1;
+    'serve: loop {
+        // Drain every complete envelope already buffered before paying
+        // for another syscall — the read-side amortization.
+        loop {
+            match scanner.next() {
+                Ok(Some(frame)) => {
+                    stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                    let mut owned = pool.get();
+                    owned.push_str(frame);
+                    route_frame(&service, &txs, &depths, &pool, owned, seq, &rail);
+                    seq += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Unrecoverable stream: one deterministic error
+                    // envelope in this frame's arrival slot, then close.
+                    let err = Error::Wire {
+                        line: 0,
+                        detail: match e {
+                            ScanError::Oversized { len, max } => format!(
+                                "frame envelope of {len} bytes exceeds the {max}-byte bound"
+                            ),
+                            ScanError::NotUtf8 => "frame envelope is not valid UTF-8".into(),
+                        },
+                    };
+                    rail.push(seq, serve::encode_error(&err));
+                    seq += 1;
+                    break 'serve;
+                }
             }
-            Incoming::Oversized(len) => {
-                let e = Error::Wire {
-                    line: 0,
-                    detail: format!(
-                        "frame envelope of {len} bytes exceeds the {max_frame_bytes}-byte bound"
-                    ),
-                };
-                let _ = reply.send((seq, serve::encode_error(&e)));
-                break;
+        }
+        match scanner.fill_from(&mut conn) {
+            // EOF: clean at a boundary; mid-envelope the partial frame
+            // was never fully received, so it was never accepted.
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The drain rule: data still flowing keeps the reader
+                // alive past shutdown; the first *idle* timeout after
+                // the flag ends it. Complete frames were all routed
+                // above, so at most a partial envelope is abandoned.
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
             }
-            Incoming::NotUtf8 => {
-                let e = Error::Wire {
-                    line: 0,
-                    detail: "frame envelope is not valid UTF-8".into(),
-                };
-                let _ = reply.send((seq, serve::encode_error(&e)));
-                break;
-            }
-            Incoming::Closed => break,
+            Err(_) => break,
         }
     }
-    // Dropping `reply` (the last reader-side sender) lets the writer
-    // exit once every in-flight worker answer for this connection has
-    // been delivered — the drain guarantee.
+    // Closing the rail with the issued total lets the writer exit once
+    // every in-flight answer for this connection has been delivered —
+    // the drain guarantee.
+    rail.close(seq);
 }
 
-/// The per-connection writer: collects `(seq, document)` answers from
-/// the workers (and the reader's direct rejections) and writes them in
-/// sequence order, reordering through a buffer keyed by sequence.
-fn writer_loop(mut conn: Conn, rx: Receiver<(u64, String)>) {
-    let mut next = 0u64;
-    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+/// The per-connection writer: per rail wakeup, takes **every** answer
+/// that is ready in arrival order and writes the whole run as batched
+/// envelopes — one coalesced `write` per [`NetConfig::write_coalesce_bytes`]
+/// accumulated, one flush per wakeup. Each document buffer is recycled
+/// the moment its bytes are copied into the batch, *before* they reach
+/// the socket, so a client reacting instantly to an answer finds warm
+/// pool buffers waiting instead of racing this thread for the return.
+/// A client that stopped reading flips `broken`: the rail is
+/// still drained (the drain guarantee is about answering, the
+/// bookkeeping must complete) but nothing more is written.
+fn writer_loop(
+    mut conn: CountedConn,
+    rail: Arc<ReplyRail>,
+    pool: Arc<BufPool>,
+    coalesce_bytes: usize,
+) {
+    let stats = Arc::clone(&conn.stats);
+    let coalesce = coalesce_bytes.max(16);
+    let mut batch: Vec<String> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     let mut broken = false;
-    while let Ok((seq, doc)) = rx.recv() {
-        pending.insert(seq, doc);
-        while let Some(doc) = pending.remove(&next) {
-            if !broken && write_envelope(&mut conn, &doc).is_err() {
-                // Client went away: keep draining the channel so the
-                // workers' sends never observe the loss, but stop
-                // writing.
-                broken = true;
+    while rail.pop_ready(&mut batch) {
+        out.clear();
+        let mut delivered = false;
+        for doc in batch.drain(..) {
+            if !broken {
+                match u32::try_from(doc.len()) {
+                    Ok(len) => {
+                        out.extend_from_slice(&len.to_be_bytes());
+                        out.extend_from_slice(doc.as_bytes());
+                        // Counted *before* the bytes can reach the
+                        // client, so any counter snapshot taken after
+                        // reading a reply already includes that reply.
+                        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                        delivered = true;
+                    }
+                    // A >4 GiB document cannot be framed; the stream
+                    // cannot be re-synchronized past it.
+                    Err(_) => broken = true,
+                }
             }
-            next += 1;
+            // Recycle *before* the bytes go out: once the client reads
+            // this answer it may immediately send its next frame, and
+            // the reader and worker must find warm buffers in the pool
+            // rather than racing this thread for the return.
+            pool.put(doc);
+            if !broken && out.len() >= coalesce {
+                if conn.write_all(&out).is_err() {
+                    broken = true;
+                }
+                out.clear();
+            }
         }
-    }
-    // Every accepted frame got exactly one sequence number, so by the
-    // time all senders dropped the buffer holds only a contiguous tail.
-    for (_, doc) in pending {
-        if !broken && write_envelope(&mut conn, &doc).is_err() {
+        if !broken && delivered {
+            // Same ordering rule as the per-reply count above.
+            stats.writer_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        if !broken && !out.is_empty() && conn.write_all(&out).is_err() {
+            broken = true;
+        }
+        if !broken && conn.flush().is_err() {
             broken = true;
         }
     }
 }
 
-/// The accept loop: non-blocking accepts polled against the shutdown
-/// flag, spawning one reader and one writer per connection.
+/// Applies the per-connection socket options and clones the writer
+/// half. Any failure aborts setup — the caller then refuses the
+/// connection loudly instead of dropping it.
+fn prepare_connection(conn: &Conn, poll_interval: Duration) -> io::Result<Conn> {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; readers use plain timeouts instead.
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(poll_interval))?;
+    conn.set_nodelay()?;
+    conn.try_clone()
+}
+
+/// Answers a connection that failed setup with one deterministic error
+/// envelope (best-effort — the socket may be the broken part) and
+/// counts it, so a failed `try_clone` is observable instead of a
+/// silently vanished connection.
+fn refuse_connection<W: Write>(conn: &mut W, stats: &TransportStats) {
+    stats.conn_failures.fetch_add(1, Ordering::Relaxed);
+    let doc = serve::encode_error(&Error::Internal {
+        detail: "connection setup failed; closing before serving any frame".into(),
+    });
+    let _ = write_envelope(conn, &doc);
+}
+
+/// The accept loop: **blocking** accepts — a fresh connection is served
+/// the instant the kernel hands it over, with no poll-interval latency
+/// in the connection path. [`NetServer::stop`] unblocks the loop by
+/// flipping the shutdown flag and making one throwaway connection to
+/// the listener itself; the loop drops any connection accepted after
+/// the flag (including that dummy) and exits.
 #[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: Listener,
@@ -515,45 +949,54 @@ fn accept_loop(
     config: NetConfig,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Arc<BufPool>,
+    stats: Arc<TransportStats>,
 ) {
     loop {
-        if shutdown.load(Ordering::Relaxed) {
-            break;
-        }
         match listener.accept() {
-            Ok(conn) => {
-                // Accepted sockets may inherit the listener's
-                // non-blocking mode on some platforms; readers use plain
-                // timeouts instead.
-                if conn.set_nonblocking(false).is_err()
-                    || conn.set_read_timeout(Some(config.poll_interval)).is_err()
-                {
-                    continue;
-                }
-                let writer_conn = match conn.try_clone() {
+            Ok(_) | Err(_) if shutdown.load(Ordering::Relaxed) => break,
+            Ok(mut conn) => {
+                let writer_conn = match prepare_connection(&conn, config.poll_interval) {
                     Ok(c) => c,
-                    Err(_) => continue,
+                    Err(_) => {
+                        refuse_connection(&mut conn, &stats);
+                        continue;
+                    }
                 };
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let writer = std::thread::spawn(move || writer_loop(writer_conn, reply_rx));
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let rail = Arc::new(ReplyRail::new());
+                let writer = {
+                    let conn = CountedConn {
+                        conn: writer_conn,
+                        stats: Arc::clone(&stats),
+                    };
+                    let rail = Arc::clone(&rail);
+                    let pool = Arc::clone(&pool);
+                    let coalesce = config.write_coalesce_bytes;
+                    std::thread::spawn(move || writer_loop(conn, rail, pool, coalesce))
+                };
                 let reader = {
+                    let conn = CountedConn {
+                        conn,
+                        stats: Arc::clone(&stats),
+                    };
                     let service = Arc::clone(&service);
                     let txs = txs.clone();
                     let depths = Arc::clone(&depths);
                     let shutdown = Arc::clone(&shutdown);
-                    let max = config.max_frame_bytes;
+                    let config = config.clone();
+                    let pool = Arc::clone(&pool);
                     std::thread::spawn(move || {
-                        reader_loop(conn, service, txs, depths, max, shutdown, reply_tx)
+                        reader_loop(conn, service, txs, depths, config, shutdown, rail, pool)
                     })
                 };
                 let mut handles = conns.lock().unwrap_or_else(PoisonError::into_inner);
                 handles.push(reader);
                 handles.push(writer);
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(config.poll_interval)
-            }
-            Err(_) => std::thread::sleep(config.poll_interval),
+            // Transient accept failures (EINTR, a connection aborted in
+            // the backlog); a brief pause avoids a hot error loop.
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
 }
@@ -570,20 +1013,17 @@ pub struct NetServer {
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
     worker_txs: Vec<SyncSender<Job>>,
+    transport: Arc<TransportStats>,
     tcp_addr: Option<SocketAddr>,
     #[cfg(unix)]
     unix_path: Option<PathBuf>,
 }
 
-impl std::fmt::Debug for Job {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Job").field("seq", &self.seq).finish()
-    }
-}
-
 impl NetServer {
     /// Binds a TCP listener (use port 0 for an ephemeral port, then
     /// [`NetServer::local_addr`]) and starts serving `service`.
+    /// Accepted sockets get `TCP_NODELAY`; clients should set it too
+    /// (see the module example).
     ///
     /// # Errors
     ///
@@ -625,12 +1065,13 @@ impl NetServer {
         service: Arc<ZigzagService>,
         config: NetConfig,
     ) -> io::Result<NetServer> {
-        listener.set_nonblocking(true)?;
         let worker_count = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let depths: Arc<Vec<AtomicUsize>> =
             Arc::new((0..worker_count).map(|_| AtomicUsize::new(0)).collect());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufPool::default());
+        let transport = Arc::new(TransportStats::new());
         let mut worker_txs = Vec::with_capacity(worker_count);
         let mut workers = Vec::with_capacity(worker_count);
         for w in 0..worker_count {
@@ -638,24 +1079,33 @@ impl NetServer {
             worker_txs.push(tx);
             let service = Arc::clone(&service);
             let depths = Arc::clone(&depths);
+            let pool = Arc::clone(&pool);
+            let transport = Arc::clone(&transport);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("zigzag-net-worker-{w}"))
                     .spawn(move || {
+                        // The memo map is recycled across jobs but
+                        // cleared per job: a session closed between two
+                        // frames must answer the second with
+                        // UnknownSession, not be served stale.
+                        let mut memo = HashMap::new();
                         while let Ok(job) = rx.recv() {
                             depths[w].fetch_sub(1, Ordering::Relaxed);
-                            // Sessions are resolved per frame (no
-                            // cross-frame memo): a session closed between
-                            // two frames must answer the second with
-                            // UnknownSession, not be served stale.
-                            let mut memo = HashMap::new();
-                            let doc = serve::respond_with_queues(
+                            memo.clear();
+                            let mut out = pool.get();
+                            serve::respond_into(
                                 &service,
                                 &job.frame,
                                 &mut memo,
-                                Some(&depths),
+                                Some(&serve::NetView {
+                                    queues: &depths,
+                                    transport: &transport,
+                                }),
+                                &mut out,
                             );
-                            let _ = job.reply.send((job.seq, doc));
+                            pool.put(job.frame);
+                            job.rail.push(job.seq, out);
                         }
                     })?,
             );
@@ -667,10 +1117,14 @@ impl NetServer {
             let depths = Arc::clone(&depths);
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
+            let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&transport);
             std::thread::Builder::new()
                 .name("zigzag-net-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, service, txs, depths, config, shutdown, conns)
+                    accept_loop(
+                        listener, service, txs, depths, config, shutdown, conns, pool, stats,
+                    )
                 })?
         };
         Ok(NetServer {
@@ -679,6 +1133,7 @@ impl NetServer {
             conns,
             workers,
             worker_txs,
+            transport,
             tcp_addr: None,
             #[cfg(unix)]
             unix_path: None,
@@ -688,6 +1143,12 @@ impl NetServer {
     /// The bound TCP address (`None` for Unix-socket servers).
     pub fn local_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// A point-in-time snapshot of the server's transport counters —
+    /// the same numbers a wire [`crate::Query::Stats`] frame reports.
+    pub fn transport(&self) -> TransportCounters {
+        self.transport.snapshot()
     }
 
     /// Gracefully drains and stops the server: no new connections are
@@ -707,6 +1168,15 @@ impl NetServer {
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept.take() {
+            // The accept loop blocks in the kernel; one throwaway
+            // connection wakes it so it can observe the flag and exit.
+            if let Some(addr) = self.tcp_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            if let Some(path) = &self.unix_path {
+                let _ = UnixStream::connect(path);
+            }
             let _ = h.join();
         }
         // Readers exit at their first idle frame boundary (answering
@@ -752,6 +1222,10 @@ mod tests {
         );
         // Clean EOF at a boundary is None, not an error.
         assert!(read_envelope(&mut r, 1 << 10).unwrap().is_none());
+        // The batching encoder writes the same bytes as write_envelope.
+        let mut batched = Vec::new();
+        encode_envelope_into(&mut batched, "hello\nworld\n").unwrap();
+        assert_eq!(batched, buf);
 
         // A declared length above the bound fails before allocation.
         let hostile = u32::MAX.to_be_bytes().to_vec();
@@ -770,6 +1244,45 @@ mod tests {
     }
 
     #[test]
+    fn scanner_matches_read_envelope_on_a_pipelined_stream() {
+        let docs = ["first\n", "second frame\n", "", "third\nwith\nlines\n"];
+        let mut bytes = Vec::new();
+        for d in docs {
+            encode_envelope_into(&mut bytes, d).unwrap();
+        }
+        let mut scanner = EnvelopeScanner::new(1 << 10);
+        let mut r = io::Cursor::new(bytes);
+        for d in docs {
+            assert_eq!(scanner.recv(&mut r).unwrap(), Some(d));
+        }
+        assert_eq!(scanner.recv(&mut r).unwrap(), None);
+        assert!(scanner.is_empty());
+    }
+
+    #[test]
+    fn scanner_rejects_oversized_headers_before_growing() {
+        let mut scanner = EnvelopeScanner::with_chunk(1 << 10, 64);
+        let mut r = io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        assert!(scanner.fill_from(&mut r).unwrap() > 0);
+        let grown_for_header = scanner.buffer_bytes();
+        assert!(
+            grown_for_header <= 64,
+            "header fill grew past the chunk: {grown_for_header}"
+        );
+        assert_eq!(
+            scanner.next(),
+            Err(ScanError::Oversized {
+                len: u32::MAX as usize,
+                max: 1 << 10,
+            })
+        );
+        // Even an explicit refill attempt will not grow toward the
+        // hostile length.
+        let _ = scanner.fill_from(&mut r);
+        assert_eq!(scanner.buffer_bytes(), grown_for_header);
+    }
+
+    #[test]
     fn full_queues_reject_with_a_deterministic_overload_document() {
         // The real enqueue path against a capacity-1 queue nobody
         // drains: first frame queues, second is rejected in place.
@@ -777,22 +1290,84 @@ mod tests {
         let (tx, _rx) = mpsc::sync_channel::<Job>(1);
         let txs = vec![tx];
         let depths = vec![AtomicUsize::new(0)];
-        let (reply_tx, reply_rx) = mpsc::channel();
+        let pool = BufPool::default();
+        let rail = Arc::new(ReplyRail::new());
         let frame = serve::encode_frame(
             crate::service::SessionId::from_raw(3),
             &crate::query::Query::CoordDecision,
         );
-        route_frame(&service, &txs, &depths, frame.clone(), 0, &reply_tx);
+        route_frame(&service, &txs, &depths, &pool, frame.clone(), 0, &rail);
         assert_eq!(depths[0].load(Ordering::Relaxed), 1);
-        route_frame(&service, &txs, &depths, frame, 1, &reply_tx);
+        route_frame(&service, &txs, &depths, &pool, frame, 1, &rail);
         assert_eq!(
             depths[0].load(Ordering::Relaxed),
             1,
             "rejected frame left in gauge"
         );
-        let (seq, doc) = reply_rx.try_recv().unwrap();
-        assert_eq!(seq, 1);
-        assert!(serve::is_error_document(&doc));
-        assert_eq!(doc, serve::encode_error(&Error::Overloaded { worker: 0 }));
+        // The rejected frame's answer sits in its arrival slot (seq 1);
+        // seq 0 is still owed by the queued job, so nothing is ready.
+        let inner = rail.inner.lock().unwrap();
+        assert_eq!(inner.pending.len(), 1);
+        let Reverse(sd) = inner.pending.peek().unwrap();
+        assert_eq!(sd.seq, 1);
+        assert!(serve::is_error_document(&sd.doc));
+        assert_eq!(
+            sd.doc,
+            serve::encode_error(&Error::Overloaded { worker: 0 })
+        );
+    }
+
+    #[test]
+    fn refused_connections_answer_one_deterministic_envelope_and_count() {
+        let stats = TransportStats::new();
+        let mut sink = Vec::new();
+        refuse_connection(&mut sink, &stats);
+        assert_eq!(stats.conn_failures.load(Ordering::Relaxed), 1);
+        let doc = read_envelope(&mut io::Cursor::new(sink), 1 << 16)
+            .unwrap()
+            .unwrap();
+        assert!(serve::is_error_document(&doc), "{doc:?}");
+        assert_eq!(
+            doc,
+            serve::encode_error(&Error::Internal {
+                detail: "connection setup failed; closing before serving any frame".into(),
+            })
+        );
+        // Refusing twice is deterministic and keeps counting.
+        let mut again = Vec::new();
+        refuse_connection(&mut again, &stats);
+        assert_eq!(stats.conn_failures.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn reply_rail_releases_in_arrival_order_and_drains_on_close() {
+        let rail = ReplyRail::new();
+        rail.push(1, "b".into());
+        rail.push(2, "c".into());
+        let mut batch = Vec::new();
+        // Nothing ready: seq 0 is missing. Push it from another thread
+        // while pop_ready blocks.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                rail.push(0, "a".into());
+            });
+            assert!(rail.pop_ready(&mut batch));
+        });
+        // One wakeup released everything that became ready, in order.
+        assert_eq!(batch, ["a", "b", "c"]);
+        batch.clear();
+        rail.push(3, "d".into());
+        rail.close(5);
+        assert!(rail.pop_ready(&mut batch));
+        assert_eq!(batch, ["d"]);
+        batch.clear();
+        rail.push(4, "e".into());
+        assert!(rail.pop_ready(&mut batch));
+        assert_eq!(batch, ["e"]);
+        batch.clear();
+        // Closed and fully drained: the writer is told to exit.
+        assert!(!rail.pop_ready(&mut batch));
+        assert!(batch.is_empty());
     }
 }

@@ -57,6 +57,7 @@ use crate::error::Error;
 use crate::query::{Query, Response};
 use crate::service::{SessionId, ZigzagService};
 use crate::session::Session;
+use crate::stats::TransportStats;
 use crate::wire;
 
 /// Header line of a request frame.
@@ -180,19 +181,32 @@ pub(crate) fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
     Ok((SessionId::from_raw(raw), rest))
 }
 
-/// Answers one frame: decode, resolve (through `memo`, so one session is
-/// looked up through its shard's lock at most once per loop), dispatch,
-/// encode — *the* per-frame code path shared by the serial loop, every
-/// worker, and the [`crate::net`] front end, which is what makes
-/// [`serve`] worker-count-invariant (and the socket server byte-identical
-/// to it).
+/// The live gauges a [`crate::net`] server hands its workers so a
+/// [`Query::Stats`] frame answered on the socket path can report them:
+/// the per-worker queue depths and the transport counters.
+pub(crate) struct NetView<'a> {
+    /// Per-worker queue-depth gauges.
+    pub queues: &'a [AtomicUsize],
+    /// The server's transport counters.
+    pub transport: &'a TransportStats,
+}
+
+/// Answers one frame into `out` (cleared first): decode, resolve
+/// (through `memo`, so one session is looked up through its shard's lock
+/// at most once per loop), dispatch, encode — *the* per-frame code path
+/// shared by the serial loop, every worker, and the [`crate::net`] front
+/// end, which is what makes [`serve`] worker-count-invariant (and the
+/// socket server byte-identical to it). Writing into a caller-recycled
+/// `String` keeps the warm socket path allocation-free (pinned by
+/// `tests/netalloc.rs`).
 ///
 /// Three serving concerns live here so every caller gets them for free:
 ///
 /// * **Stats interception** — a [`Query::Stats`] frame is answered from
 ///   the service's counters before any session is resolved (its session
-///   line is routing information only); `queues` supplies the per-worker
-///   depth gauges of a [`crate::net`] server, `None` reports no queues.
+///   line is routing information only); `net` supplies the queue-depth
+///   gauges and transport counters of a [`crate::net`] server, `None`
+///   reports neither.
 /// * **Latency accounting** — each dispatch against a resolved session is
 ///   timed into the service's histogram via
 ///   `ZigzagService::record_dispatch`.
@@ -201,25 +215,29 @@ pub(crate) fn split_frame(text: &str) -> Result<(SessionId, &str), Error> {
 ///   so one hostile or buggy frame cannot take down the worker (or, under
 ///   [`serve`]'s join, the whole batch). The memo only caches `Arc`
 ///   clones inserted whole, so observing it across the catch is sound.
-pub(crate) fn respond_with_queues(
+pub(crate) fn respond_into(
     service: &ZigzagService,
     frame: &str,
     memo: &mut HashMap<u64, Arc<Session>>,
-    queues: Option<&[AtomicUsize]>,
-) -> String {
+    net: Option<&NetView<'_>>,
+    out: &mut String,
+) {
     let answer = catch_unwind(AssertUnwindSafe(|| {
         split_frame(frame).and_then(|(id, body)| {
             let query = wire::decode_query(body).map_err(offset_body_error)?;
             if matches!(query, Query::Stats) {
-                let depths: Vec<u64> = queues
-                    .map(|qs| {
-                        qs.iter()
+                let (depths, transport) = net
+                    .map(|v| {
+                        let depths: Vec<u64> = v
+                            .queues
+                            .iter()
                             .map(|q| q.load(Ordering::Relaxed) as u64)
-                            .collect()
+                            .collect();
+                        (depths, v.transport.snapshot())
                     })
                     .unwrap_or_default();
                 return Ok(Response::Stats(Box::new(
-                    service.stats_with_queues(&depths),
+                    service.stats_with_net(&depths, transport),
                 )));
             }
             let session = match memo.get(&id.raw()) {
@@ -241,21 +259,20 @@ pub(crate) fn respond_with_queues(
             detail: "panic while answering a frame".into(),
         })
     });
+    out.clear();
     match answer {
-        Ok(response) => {
-            let mut out = String::new();
-            wire::encode_response_to(&mut out, &response)
-                .expect("writing to a String is infallible");
-            out
-        }
-        Err(e) => encode_error(&e),
+        Ok(response) => wire::encode_response_to(out, &response),
+        Err(e) => encode_error_to(out, &e),
     }
+    .expect("writing to a String is infallible");
 }
 
-/// [`respond_with_queues`] for the in-process loop, which has no worker
-/// queues to report.
+/// [`respond_into`] for the in-process loop, which has no worker queues
+/// or transport counters to report and collects owned documents anyway.
 fn respond(service: &ZigzagService, frame: &str, memo: &mut HashMap<u64, Arc<Session>>) -> String {
-    respond_with_queues(service, frame, memo, None)
+    let mut out = String::new();
+    respond_into(service, frame, memo, None, &mut out);
+    out
 }
 
 /// The worker a frame belongs to: the owner of its session's shard. A

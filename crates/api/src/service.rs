@@ -22,7 +22,7 @@ use crate::config::SessionConfig;
 use crate::error::Error;
 use crate::query::{Query, Response};
 use crate::session::{AppendReport, BatchSession, Session, StreamSession};
-use crate::stats::{LatencyRecorder, StatsReport};
+use crate::stats::{LatencyRecorder, StatsReport, TransportCounters};
 
 /// An opaque handle naming one open session of a [`ZigzagService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -250,6 +250,17 @@ impl ZigzagService {
     /// session; each shard's lock is held only long enough to copy its
     /// handle list, never across counter collection.
     pub fn stats_with_queues(&self, queue_depths: &[u64]) -> StatsReport {
+        self.stats_with_net(queue_depths, TransportCounters::default())
+    }
+
+    /// [`ZigzagService::stats_with_queues`] with the caller's transport
+    /// counters attached — the form a [`crate::net`] server answers
+    /// [`Query::Stats`] with.
+    pub fn stats_with_net(
+        &self,
+        queue_depths: &[u64],
+        transport: TransportCounters,
+    ) -> StatsReport {
         let mut sessions_per_shard = Vec::with_capacity(self.shards.len());
         let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
         for shard in self.shards.iter() {
@@ -276,6 +287,7 @@ impl ZigzagService {
             observer_evictions: evictions,
             sessions_per_shard,
             queue_depths: queue_depths.to_vec(),
+            transport,
         }
     }
 

@@ -15,7 +15,11 @@
 //!   [`zigzag_core::knowledge::ObserverCache`];
 //! * **load placement** — open sessions per table shard, and (when
 //!   serving through [`crate::net`]) the current per-worker queue
-//!   depths.
+//!   depths;
+//! * **transport amortization** — when serving through [`crate::net`],
+//!   the [`TransportCounters`]: bytes and syscalls in each direction,
+//!   frames scanned per read and coalesced per writer flush, so the
+//!   syscall-lean fast path's batching is observable from the wire.
 //!
 //! Everything here is `std`-only and allocation-free on the record path:
 //! the histogram is a fixed array of atomic counters bumped with one
@@ -23,6 +27,98 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A point-in-time snapshot of a [`crate::net`] server's transport
+/// counters — the amortization ledger of the syscall-lean data path. All
+/// fields are monotone over the server's lifetime.
+///
+/// The interesting quantities are the *ratios*: `frames_in /
+/// read_syscalls` is how many frames each reader wakeup slurped out of
+/// one `read`, `frames_out / writer_flushes` is how many replies each
+/// writer wakeup coalesced into one batched write, and `bytes_out /
+/// write_syscalls` is the payload a single write carried. A server
+/// stuck at ~1 frame per syscall is paying PR 7's two-syscalls-per-
+/// envelope tax; a pipelining client should push both ratios well
+/// above one. Idle readers still poll (each timeout is a counted
+/// `read`), so ratios on a mostly-idle server understate the busy-path
+/// amortization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportCounters {
+    /// Payload + envelope-header bytes read off client sockets.
+    pub bytes_in: u64,
+    /// Payload + envelope-header bytes written back to client sockets.
+    pub bytes_out: u64,
+    /// `read` calls issued on client sockets (including reads that
+    /// returned no data: EOF probes and poll-interval timeouts).
+    pub read_syscalls: u64,
+    /// `write` calls issued on client sockets (the kernel may split a
+    /// very large batched write; each server-issued call counts once).
+    pub write_syscalls: u64,
+    /// Complete request envelopes scanned out of the read buffers.
+    pub frames_in: u64,
+    /// Response envelopes batched for delivery (errors included),
+    /// counted as each is copied into the outgoing batch — *before* its
+    /// bytes reach the socket — so a client that has read a reply
+    /// always finds it already counted here.
+    pub frames_out: u64,
+    /// Writer wakeups that flushed at least one coalesced batch —
+    /// `frames_out / writer_flushes` is the frames-per-wakeup ratio.
+    pub writer_flushes: u64,
+    /// Connections accepted and successfully set up.
+    pub connections: u64,
+    /// Connections refused during setup (e.g. the socket could not be
+    /// cloned for the writer half); each was answered with one
+    /// deterministic error envelope before closing.
+    pub conn_failures: u64,
+}
+
+/// The shared-state form of [`TransportCounters`]: one relaxed atomic
+/// per counter, bumped by every reader/writer/accept thread of a
+/// [`crate::net`] server without locks, snapshotted for [`StatsReport`].
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// See [`TransportCounters::bytes_in`].
+    pub bytes_in: AtomicU64,
+    /// See [`TransportCounters::bytes_out`].
+    pub bytes_out: AtomicU64,
+    /// See [`TransportCounters::read_syscalls`].
+    pub read_syscalls: AtomicU64,
+    /// See [`TransportCounters::write_syscalls`].
+    pub write_syscalls: AtomicU64,
+    /// See [`TransportCounters::frames_in`].
+    pub frames_in: AtomicU64,
+    /// See [`TransportCounters::frames_out`].
+    pub frames_out: AtomicU64,
+    /// See [`TransportCounters::writer_flushes`].
+    pub writer_flushes: AtomicU64,
+    /// See [`TransportCounters::connections`].
+    pub connections: AtomicU64,
+    /// See [`TransportCounters::conn_failures`].
+    pub conn_failures: AtomicU64,
+}
+
+impl TransportStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        TransportStats::default()
+    }
+
+    /// A point-in-time copy of the counters (relaxed loads: each counter
+    /// is monotone and independently meaningful).
+    pub fn snapshot(&self) -> TransportCounters {
+        TransportCounters {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            writer_flushes: self.writer_flushes.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            conn_failures: self.conn_failures.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Number of histogram buckets. Bucket `i` counts latencies in
 /// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns); the last
@@ -145,6 +241,11 @@ pub struct StatsReport {
     /// Empty unless the report was answered by a [`crate::net`] server,
     /// whose bounded worker queues are the only queues that exist.
     pub queue_depths: Vec<u64>,
+    /// Transport counters of the answering [`crate::net`] server: bytes
+    /// and syscalls each way, frames scanned and written, and the
+    /// coalescing ratios they imply (see [`TransportCounters`]). All
+    /// zero when the report was answered in-process.
+    pub transport: TransportCounters,
 }
 
 #[cfg(test)]

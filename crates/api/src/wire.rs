@@ -265,7 +265,20 @@ fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result
             for d in &s.queue_depths {
                 write!(out, " {d}")?;
             }
-            out.write_str("\n")
+            let t = &s.transport;
+            writeln!(
+                out,
+                "\nnet 9 {} {} {} {} {} {} {} {} {}",
+                t.bytes_in,
+                t.bytes_out,
+                t.read_syscalls,
+                t.write_syscalls,
+                t.frames_in,
+                t.frames_out,
+                t.writer_flushes,
+                t.connections,
+                t.conn_failures
+            )
         }
         Response::ResponseBatch(responses) => {
             writeln!(out, "batch {}", responses.len())?;
@@ -300,15 +313,18 @@ pub fn encode_response(r: &Response) -> String {
 }
 
 /// A cursor over the document's lines, tracking position for errors.
+/// Wraps the borrowing line iterator directly — decoding a frame never
+/// allocates a line table (the socket fast path decodes one frame per
+/// request at steady state; see `tests/netalloc.rs`).
 struct Lines<'a> {
-    lines: Vec<&'a str>,
+    it: std::str::Lines<'a>,
     pos: usize,
 }
 
 impl<'a> Lines<'a> {
     fn new(text: &'a str) -> Self {
         Lines {
-            lines: text.lines().collect(),
+            it: text.lines(),
             pos: 0,
         }
     }
@@ -317,21 +333,21 @@ impl<'a> Lines<'a> {
         self.pos
     }
 
+    /// Lines left in the document — an O(remaining) walk over a clone of
+    /// the iterator, paid only on count-field validation.
     fn remaining(&self) -> usize {
-        self.lines.len() - self.pos
+        self.it.clone().count()
     }
 
     /// Validates a count field that promises `n` further lines: a
     /// malformed document must produce [`Error::Wire`], never a
     /// pre-allocation of attacker-controlled size.
     fn expect_lines(&self, n: usize, what: &str) -> Result<usize, Error> {
-        if n > self.remaining() {
+        let remaining = self.remaining();
+        if n > remaining {
             return Err(bad(
                 self.pos,
-                format!(
-                    "{what} promises {n} lines but only {} remain",
-                    self.remaining()
-                ),
+                format!("{what} promises {n} lines but only {remaining} remain"),
             ));
         }
         Ok(n)
@@ -339,11 +355,19 @@ impl<'a> Lines<'a> {
 
     fn next(&mut self) -> Result<&'a str, Error> {
         let line = self
-            .lines
-            .get(self.pos)
+            .try_next()
             .ok_or_else(|| bad(self.pos, "unexpected end of document"))?;
-        self.pos += 1;
         Ok(line)
+    }
+
+    /// [`Lines::next`] without the error construction — for end-of-input
+    /// probes where exhaustion is the expected case (building and
+    /// discarding the error there would put an allocation on the decode
+    /// fast path).
+    fn try_next(&mut self) -> Option<&'a str> {
+        let line = self.it.next()?;
+        self.pos += 1;
+        Some(line)
     }
 }
 
@@ -498,9 +522,9 @@ pub fn decode_query(text: &str) -> Result<Query, Error> {
         return Err(bad(1, format!("bad header {header:?}")));
     }
     let q = decode_query_from(&mut lines, 0)?;
-    match lines.next() {
-        Err(_) => Ok(q),
-        Ok(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
+    match lines.try_next() {
+        None => Ok(q),
+        Some(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
     }
 }
 
@@ -658,6 +682,15 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
             lt.done()?;
             let sessions_per_shard = counted_u64s(lines, "shards")?;
             let queue_depths = counted_u64s(lines, "queues")?;
+            let net = counted_u64s(lines, "net")?;
+            let [bytes_in, bytes_out, read_syscalls, write_syscalls, frames_in, frames_out, writer_flushes, connections, conn_failures] =
+                net[..]
+            else {
+                return Err(bad(
+                    lines.line_no(),
+                    format!("net line carries {} of 9 transport counters", net.len()),
+                ));
+            };
             Ok(Response::Stats(Box::new(crate::stats::StatsReport {
                 queries,
                 latency,
@@ -666,6 +699,17 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
                 observer_evictions,
                 sessions_per_shard,
                 queue_depths,
+                transport: crate::stats::TransportCounters {
+                    bytes_in,
+                    bytes_out,
+                    read_syscalls,
+                    write_syscalls,
+                    frames_in,
+                    frames_out,
+                    writer_flushes,
+                    connections,
+                    conn_failures,
+                },
             })))
         }
         "batch" => {
@@ -696,9 +740,9 @@ pub fn decode_response(text: &str) -> Result<Response, Error> {
         return Err(bad(1, format!("bad header {header:?}")));
     }
     let r = decode_response_from(&mut lines, 0)?;
-    match lines.next() {
-        Err(_) => Ok(r),
-        Ok(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
+    match lines.try_next() {
+        None => Ok(r),
+        Some(extra) => Err(bad(lines.line_no(), format!("trailing line {extra:?}"))),
     }
 }
 

@@ -7,7 +7,9 @@
 //! schema-checks every file — unknown or missing fields, wrong types and
 //! malformed JSON are hard errors, so a drifting writer cannot silently
 //! produce an unreadable trajectory — and prints one merged table, file
-//! by file, row order preserved.
+//! by file, row order preserved. `net/*` rows additionally get derived
+//! per-frame µs and queries/sec columns (one iteration of the B10 net
+//! bench serves 128 two-query frames).
 //!
 //! ```text
 //! bench_report [FILE...]      # default: ./BENCH_pr*.json, sorted
@@ -163,6 +165,29 @@ fn parse(text: &str) -> Result<Vec<Record>, String> {
     Ok(records)
 }
 
+/// One `net/*` bench iteration serves this many envelope frames — the
+/// B10 workload in `crates/bench/benches/net.rs` builds exactly 128
+/// (asserted there, since this report derives per-frame cost from it).
+const NET_FRAMES_PER_ITER: f64 = 128.0;
+/// Each of those frames is a two-query `QueryBatch`.
+const NET_QUERIES_PER_FRAME: f64 = 2.0;
+
+/// The derived throughput columns for a `net/*` row: per-frame µs and
+/// queries/sec. Other rows measure heterogeneous units (whole passes,
+/// single dispatches), so they get em-dashes instead of a misleading
+/// number.
+fn derived(name: &str, ns_per_iter: f64) -> (String, String) {
+    if !name.starts_with("net/") || ns_per_iter <= 0.0 {
+        return ("—".to_string(), "—".to_string());
+    }
+    let us_per_frame = ns_per_iter / NET_FRAMES_PER_ITER / 1_000.0;
+    let queries_per_sec = NET_FRAMES_PER_ITER * NET_QUERIES_PER_FRAME / (ns_per_iter * 1e-9);
+    (
+        format!("{us_per_frame:.2}"),
+        group_ns(queries_per_sec), // same thousands-grouping, unit-free
+    )
+}
+
 /// `12345678.9 ns` → `"12,345,679"` (rounded, thousands-grouped).
 fn group_ns(ns: f64) -> String {
     let whole = ns.round().max(0.0) as u64;
@@ -206,8 +231,14 @@ fn main() -> ExitCode {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "| file | benchmark | ns/iter | samples | vs prior |");
-    let _ = writeln!(out, "|------|-----------|--------:|--------:|---------:|");
+    let _ = writeln!(
+        out,
+        "| file | benchmark | ns/iter | samples | vs prior | µs/frame | queries/s |"
+    );
+    let _ = writeln!(
+        out,
+        "|------|-----------|--------:|--------:|---------:|---------:|----------:|"
+    );
     let mut rows = 0usize;
     // Rows re-recorded across PR files (e.g. the serve loop re-measured
     // after the layout rewrite) get a speedup column against the latest
@@ -233,9 +264,10 @@ fn main() -> ExitCode {
                 Some(&old) if r.ns_per_iter > 0.0 => format!("{:.2}x", old / r.ns_per_iter),
                 _ => "—".to_string(),
             };
+            let (us_frame, qps) = derived(&r.name, r.ns_per_iter);
             let _ = writeln!(
                 out,
-                "| {file} | {} | {} | {} | {vs} |",
+                "| {file} | {} | {} | {} | {vs} | {us_frame} | {qps} |",
                 r.name,
                 group_ns(r.ns_per_iter),
                 r.samples

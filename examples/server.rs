@@ -2,12 +2,16 @@
 //!
 //! Binds a `NetServer` on a Unix-domain socket over a warm
 //! `ZigzagService`, connects a client, and speaks the length-delimited
-//! `zigzag-frame v1` envelope: knowledge queries, a query batch, a
-//! deliberately hostile frame (answered with a deterministic
-//! `zigzag-error v1` document), and finally a `stats` query showing the
-//! serving counters — latency histogram, observer-cache hits/misses,
-//! sessions per shard, per-worker queue depths — all read from the wire.
-//! Ends with a graceful drain.
+//! `zigzag-frame v1` envelope *pipelined*, the way the transport is
+//! built to be used: every request envelope is encoded into one buffer
+//! and written with a single syscall, and the replies are scanned back
+//! in order through a reusable `EnvelopeScanner`. The frames cover
+//! knowledge queries, a query batch, and a deliberately hostile frame
+//! (answered with a deterministic `zigzag-error v1` document in its
+//! arrival slot); a final `stats` query shows the serving counters —
+//! latency histogram, observer-cache hits/misses, queue depths, and the
+//! transport counters proving the syscall amortization — all read from
+//! the wire. Ends with a graceful drain.
 //!
 //! ```text
 //! cargo run --example server
@@ -15,11 +19,14 @@
 
 #[cfg(unix)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write;
     use std::os::unix::net::UnixStream;
     use std::sync::Arc;
     use std::time::Duration;
 
-    use zigzag::api::net::{read_envelope, write_envelope, NetConfig, NetServer};
+    use zigzag::api::net::{
+        encode_envelope_into, write_envelope, EnvelopeScanner, NetConfig, NetServer,
+    };
     use zigzag::api::{serve, wire, Query, Response, SessionConfig, SessionId, ZigzagService};
     use zigzag::bcm::protocols::Ffip;
     use zigzag::bcm::scheduler::RandomScheduler;
@@ -100,10 +107,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // connection.
         serve::encode_frame(SessionId::from_raw(424242), &Query::MaxXMatrix { sigma }),
     ];
+    // Pipelined: all three envelopes in one buffer, one write syscall.
+    // The server answers in arrival order — the hostile frame's error
+    // document lands in its slot, not out of band.
+    let mut request = Vec::new();
     for frame in &frames {
-        write_envelope(&mut conn, frame)?;
-        let answer = read_envelope(&mut conn, 1 << 22)?.expect("server closed early");
-        let tag = if serve::is_error_document(&answer) {
+        encode_envelope_into(&mut request, frame)?;
+    }
+    conn.write_all(&request)?;
+    let mut scanner = EnvelopeScanner::new(1 << 22);
+    for _ in 0..frames.len() {
+        let answer = scanner.recv(&mut conn)?.expect("server closed early");
+        let tag = if serve::is_error_document(answer) {
             "error"
         } else {
             "ok"
@@ -117,8 +132,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut conn,
         &serve::encode_frame(SessionId::from_raw(0), &Query::Stats),
     )?;
-    let answer = read_envelope(&mut conn, 1 << 22)?.expect("server closed early");
-    let Response::Stats(stats) = wire::decode_response(&answer)? else {
+    let answer = scanner.recv(&mut conn)?.expect("server closed early");
+    let Response::Stats(stats) = wire::decode_response(answer)? else {
         panic!("stats frame answered with a non-stats document");
     };
     println!("── stats over the wire ─────────────────────────────");
@@ -136,6 +151,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.sessions_per_shard.len(),
         stats.sessions_per_shard.iter().sum::<u64>(),
         stats.queue_depths
+    );
+    let t = &stats.transport;
+    println!(
+        "transport: {} frames in over {} reads, {} frames out over {} flushes",
+        t.frames_in, t.read_syscalls, t.frames_out, t.writer_flushes
+    );
+    println!(
+        "           {} bytes in / {} bytes out on {} connection(s)",
+        t.bytes_in, t.bytes_out, t.connections
+    );
+    // The pipelined burst is why reads undercut frames: one syscall
+    // slurped several envelopes.
+    assert!(
+        t.read_syscalls < t.frames_in,
+        "pipelined reads were not amortized"
     );
     assert!(stats.latency.count() > 0, "warm run recorded no latencies");
     assert!(
