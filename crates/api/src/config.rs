@@ -133,6 +133,15 @@ pub struct NetConfig {
     /// replies issues a `write` whenever this many bytes have
     /// accumulated, then keeps batching (clamped to at least 16 bytes).
     pub write_coalesce_bytes: usize,
+    /// Most frames one connection may have outstanding — accepted but
+    /// not yet written back — before its reader stops reading the
+    /// socket (clamped to at least 1). This is the transport's
+    /// backpressure bound: a client that pipelines frames without ever
+    /// reading its replies stalls (its writes eventually block on the
+    /// kernel buffers) instead of growing the server's reply heap
+    /// without limit. Pipelining clients should keep their in-flight
+    /// window below this.
+    pub max_inflight_frames: usize,
     /// How often idle readers and the accept loop check the shutdown
     /// flag — the latency floor of [`crate::net::NetServer::shutdown`],
     /// not of request handling (reads return as soon as data arrives).
@@ -147,6 +156,7 @@ impl Default for NetConfig {
             max_frame_bytes: 16 << 20,
             read_chunk_bytes: 64 << 10,
             write_coalesce_bytes: 256 << 10,
+            max_inflight_frames: 1024,
             poll_interval: Duration::from_millis(25),
         }
     }
@@ -185,6 +195,12 @@ impl NetConfig {
     /// Sets the writer's coalesced-write soft bound.
     pub fn write_coalesce_bytes(mut self, bytes: usize) -> Self {
         self.write_coalesce_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-connection in-flight frame bound.
+    pub fn max_inflight_frames(mut self, frames: usize) -> Self {
+        self.max_inflight_frames = frames;
         self
     }
 

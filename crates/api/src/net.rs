@@ -58,10 +58,14 @@
 //!   order, so one session's frames are answered in arrival order no
 //!   matter how many connections or workers exist.
 //! * **Backpressure** — worker queues are bounded
-//!   ([`NetConfig::queue_capacity`]). A frame arriving at a full queue
+//!   ([`NetConfig::queue_capacity`]): a frame arriving at a full queue
 //!   is rejected *immediately* with a deterministic
-//!   [`Error::Overloaded`] document in its arrival slot; nothing
-//!   buffers without bound.
+//!   [`Error::Overloaded`] document in its arrival slot. Each
+//!   connection's outstanding answers are bounded too
+//!   ([`NetConfig::max_inflight_frames`]): a client that pipelines
+//!   frames without reading replies stalls its reader at the window —
+//!   its own writes eventually block on the kernel buffers — instead of
+//!   growing the reply rail. Nothing buffers without bound.
 //! * **Ordering** — the reader stamps every accepted frame with a
 //!   per-connection sequence number; the reply rail releases answers to
 //!   the writer in exactly that order, so each connection reads its
@@ -112,7 +116,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
@@ -529,6 +533,9 @@ impl Ord for SeqDoc {
 struct ReplyRail {
     inner: Mutex<RailInner>,
     ready: Condvar,
+    /// Signalled when the writer advances `next` — what a reader blocked
+    /// on the in-flight window ([`ReplyRail::wait_window`]) waits for.
+    released: Condvar,
 }
 
 struct RailInner {
@@ -553,6 +560,31 @@ impl ReplyRail {
                 closed: false,
             }),
             ready: Condvar::new(),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Blocks until issuing sequence number `seq` would keep fewer than
+    /// `window` answers outstanding (`seq - next < window`), or until
+    /// `timeout` elapses with the window still full — the reader's
+    /// backpressure gate. A client that pipelines frames without
+    /// reading its replies stalls its reader here (so its own writes
+    /// eventually block on the kernel buffers) instead of growing the
+    /// pending heap without bound. Returns whether there is room.
+    fn wait_window(&self, seq: u64, window: u64, timeout: Duration) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if seq - inner.next < window {
+                return true;
+            }
+            let (guard, wait) = self
+                .released
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if wait.timed_out() && seq - inner.next >= window {
+                return false;
+            }
         }
     }
 
@@ -598,6 +630,9 @@ impl ReplyRail {
                 inner.next += 1;
             }
             if !batch.is_empty() {
+                // `next` advanced: a reader stalled on the in-flight
+                // window may now have room.
+                self.released.notify_one();
                 return true;
             }
             if inner.closed && inner.next >= inner.issued {
@@ -650,6 +685,18 @@ impl Conn {
             Conn::Tcp(s) => s.set_nodelay(true),
             #[cfg(unix)]
             Conn::Unix(_) => Ok(()),
+        }
+    }
+
+    /// Tears the connection down both ways: the client observes EOF and
+    /// the reader half (a clone of the same socket) unblocks with
+    /// `Ok(0)` — how a writer that can no longer keep the stream in
+    /// sync closes out instead of leaving the peer waiting forever.
+    fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 }
@@ -714,6 +761,7 @@ impl Write for CountedConn {
 }
 
 /// Either listening transport.
+#[derive(Debug)]
 enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
@@ -727,6 +775,25 @@ impl Listener {
             #[cfg(unix)]
             Listener::Unix(l) => Conn::Unix(l.accept()?.0),
         })
+    }
+
+    /// A second handle to the same underlying socket — kept by
+    /// [`NetServer`] so `stop` can flip the listener nonblocking even
+    /// though the accept loop owns this one.
+    fn try_clone(&self) -> io::Result<Listener> {
+        Ok(match self {
+            Listener::Tcp(l) => Listener::Tcp(l.try_clone()?),
+            #[cfg(unix)]
+            Listener::Unix(l) => Listener::Unix(l.try_clone()?),
+        })
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
     }
 }
 
@@ -786,6 +853,7 @@ fn reader_loop(
 ) {
     let stats = Arc::clone(&conn.stats);
     let mut scanner = EnvelopeScanner::with_chunk(config.max_frame_bytes, config.read_chunk_bytes);
+    let window = config.max_inflight_frames.max(1) as u64;
     let mut seq = 0u64;
     'serve: loop {
         // Drain every complete envelope already buffered before paying
@@ -793,6 +861,28 @@ fn reader_loop(
         loop {
             match scanner.next() {
                 Ok(Some(frame)) => {
+                    // Backpressure: never hold more than the in-flight
+                    // window of answers for a client that is not
+                    // reading them — stall here until the writer
+                    // releases room (its progress is the client's
+                    // reads), re-checking shutdown on the poll cadence.
+                    while !rail.wait_window(seq, window, config.poll_interval) {
+                        if shutdown.load(Ordering::Relaxed) {
+                            // Draining, and the client still is not
+                            // consuming replies: answer this frame's
+                            // slot deterministically and give up on the
+                            // connection rather than stall the drain.
+                            let err = Error::Internal {
+                                detail: format!(
+                                    "connection exceeded its {window}-frame in-flight window \
+                                     during shutdown"
+                                ),
+                            };
+                            rail.push(seq, serve::encode_error(&err));
+                            seq += 1;
+                            break 'serve;
+                        }
+                    }
                     stats.frames_in.fetch_add(1, Ordering::Relaxed);
                     let mut owned = pool.get();
                     owned.push_str(frame);
@@ -851,9 +941,13 @@ fn reader_loop(
 /// the moment its bytes are copied into the batch, *before* they reach
 /// the socket, so a client reacting instantly to an answer finds warm
 /// pool buffers waiting instead of racing this thread for the return.
-/// A client that stopped reading flips `broken`: the rail is
-/// still drained (the drain guarantee is about answering, the
-/// bookkeeping must complete) but nothing more is written.
+/// A write failure or an unframeable (>4 GiB) document flips `broken`:
+/// the stream can no longer be kept in sync, so the connection is shut
+/// down both ways — the client observes EOF instead of waiting forever
+/// for replies that will never arrive, and this connection's reader
+/// unblocks with `Ok(0)` and exits. The rail is still drained (the
+/// drain guarantee is about answering, the bookkeeping must complete)
+/// but nothing more is written.
 fn writer_loop(
     mut conn: CountedConn,
     rail: Arc<ReplyRail>,
@@ -865,6 +959,7 @@ fn writer_loop(
     let mut batch: Vec<String> = Vec::new();
     let mut out: Vec<u8> = Vec::new();
     let mut broken = false;
+    let mut torn_down = false;
     while rail.pop_ready(&mut batch) {
         out.clear();
         let mut delivered = false;
@@ -906,6 +1001,13 @@ fn writer_loop(
         }
         if !broken && conn.flush().is_err() {
             broken = true;
+        }
+        if broken && !torn_down {
+            // The stream cannot be re-synchronized: close the socket so
+            // the client sees EOF promptly (and our reader exits)
+            // rather than a connection that silently stopped answering.
+            torn_down = true;
+            let _ = conn.conn.shutdown_both();
         }
     }
 }
@@ -991,6 +1093,9 @@ fn accept_loop(
                     })
                 };
                 let mut handles = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                // Reap connections that already finished so the handle
+                // vector tracks *live* connections, not total churn.
+                handles.retain(|h| !h.is_finished());
                 handles.push(reader);
                 handles.push(writer);
             }
@@ -1014,6 +1119,10 @@ pub struct NetServer {
     workers: Vec<JoinHandle<()>>,
     worker_txs: Vec<SyncSender<Job>>,
     transport: Arc<TransportStats>,
+    /// A clone of the listening socket, kept so `stop` can flip it
+    /// nonblocking — the wake path that does not depend on the host
+    /// being able to connect to its own bind address.
+    wake: Option<Listener>,
     tcp_addr: Option<SocketAddr>,
     #[cfg(unix)]
     unix_path: Option<PathBuf>,
@@ -1111,6 +1220,7 @@ impl NetServer {
             );
         }
         let conns = Arc::new(Mutex::new(Vec::new()));
+        let wake = listener.try_clone().ok();
         let accept = {
             let service = Arc::clone(&service);
             let txs = worker_txs.clone();
@@ -1134,6 +1244,7 @@ impl NetServer {
             workers,
             worker_txs,
             transport,
+            wake,
             tcp_addr: None,
             #[cfg(unix)]
             unix_path: None,
@@ -1165,17 +1276,52 @@ impl NetServer {
         self.stop();
     }
 
+    /// Makes one best-effort throwaway connection to the listener to
+    /// pop the accept loop out of its blocking `accept`. Wildcard binds
+    /// (`0.0.0.0` / `::`) are not connectable addresses on every
+    /// platform, so those aim at the loopback of the same family.
+    fn wake_accept(&self) {
+        if let Some(addr) = self.tcp_addr {
+            let target = if addr.ip().is_unspecified() {
+                let ip = if addr.is_ipv4() {
+                    IpAddr::V4(Ipv4Addr::LOCALHOST)
+                } else {
+                    IpAddr::V6(Ipv6Addr::LOCALHOST)
+                };
+                SocketAddr::new(ip, addr.port())
+            } else {
+                addr
+            };
+            let _ = TcpStream::connect_timeout(&target, Duration::from_millis(100));
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+    }
+
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept.take() {
-            // The accept loop blocks in the kernel; one throwaway
-            // connection wakes it so it can observe the flag and exit.
-            if let Some(addr) = self.tcp_addr {
-                let _ = TcpStream::connect(addr);
+            // The accept loop blocks in the kernel. Flip the listener
+            // nonblocking first so any accept it *enters from now on*
+            // returns immediately, then pop it out of the accept it may
+            // already be parked in with a throwaway connection —
+            // retrying on a short cadence until the thread exits, so
+            // one failed wake connect degrades into a brief poll loop,
+            // never a hung join.
+            if let Some(wake) = &self.wake {
+                let _ = wake.set_nonblocking(true);
             }
-            #[cfg(unix)]
-            if let Some(path) = &self.unix_path {
-                let _ = UnixStream::connect(path);
+            loop {
+                self.wake_accept();
+                if h.is_finished() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                if h.is_finished() {
+                    break;
+                }
             }
             let _ = h.join();
         }
@@ -1369,5 +1515,29 @@ mod tests {
         // Closed and fully drained: the writer is told to exit.
         assert!(!rail.pop_ready(&mut batch));
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn reply_rail_window_stalls_full_connections_and_releases_on_drain() {
+        let rail = ReplyRail::new();
+        // Nothing outstanding: the first `window` sequences have room.
+        assert!(rail.wait_window(0, 2, Duration::from_millis(1)));
+        assert!(rail.wait_window(1, 2, Duration::from_millis(1)));
+        // Issuing seq 2 would put 3 answers in flight against next=0:
+        // the gate times out rather than admitting it.
+        assert!(!rail.wait_window(2, 2, Duration::from_millis(5)));
+        // The writer draining answers opens the window while a reader
+        // is blocked on it.
+        rail.push(0, "a".into());
+        rail.push(1, "b".into());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                let mut batch = Vec::new();
+                assert!(rail.pop_ready(&mut batch));
+                assert_eq!(batch, ["a", "b"]);
+            });
+            assert!(rail.wait_window(2, 2, Duration::from_secs(5)));
+        });
     }
 }

@@ -319,12 +319,20 @@ pub fn encode_response(r: &Response) -> String {
 struct Lines<'a> {
     it: std::str::Lines<'a>,
     pos: usize,
+    /// Lines not yet consumed, counted once at construction and kept in
+    /// step — so count-field validation is O(1) per check. (Walking a
+    /// clone of the iterator instead would make a document of N
+    /// count-bearing lines cost O(N²) to refuse: a remotely triggerable
+    /// CPU sink at 16 MiB frames.)
+    left: usize,
 }
 
 impl<'a> Lines<'a> {
     fn new(text: &'a str) -> Self {
+        let it = text.lines();
         Lines {
-            it: text.lines(),
+            left: it.clone().count(),
+            it,
             pos: 0,
         }
     }
@@ -333,10 +341,9 @@ impl<'a> Lines<'a> {
         self.pos
     }
 
-    /// Lines left in the document — an O(remaining) walk over a clone of
-    /// the iterator, paid only on count-field validation.
+    /// Lines left in the document — O(1), maintained by [`Lines::try_next`].
     fn remaining(&self) -> usize {
-        self.it.clone().count()
+        self.left
     }
 
     /// Validates a count field that promises `n` further lines: a
@@ -367,6 +374,7 @@ impl<'a> Lines<'a> {
     fn try_next(&mut self) -> Option<&'a str> {
         let line = self.it.next()?;
         self.pos += 1;
+        self.left -= 1;
         Some(line)
     }
 }
@@ -903,5 +911,37 @@ mod tests {
             "batch 1\n".repeat(MAX_BATCH_DEPTH)
         );
         assert!(decode_query(&ok).is_ok());
+    }
+
+    #[test]
+    fn line_counting_is_exact_and_constant_time_per_check() {
+        // The cursor's remaining-line count is maintained incrementally.
+        let mut lines = Lines::new("a\nb\nc");
+        assert_eq!(lines.remaining(), 3);
+        assert!(lines.expect_lines(3, "x").is_ok());
+        assert!(lines.expect_lines(4, "x").is_err());
+        lines.next().unwrap();
+        assert_eq!(lines.remaining(), 2);
+        lines.next().unwrap();
+        lines.next().unwrap();
+        assert_eq!(lines.remaining(), 0);
+        assert!(lines.expect_lines(1, "x").is_err());
+
+        // A flat run of N count-bearing lines decodes in linear time: an
+        // O(remaining) walk per count check would make this frame take
+        // minutes, a remotely triggerable CPU sink.
+        let n = 300_000;
+        let flat = format!("zigzag-query v1\nbatch {n}\n{}", "batch 0\n".repeat(n));
+        let start = std::time::Instant::now();
+        let decoded = decode_query(&flat).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "flat count-bearing decode is superlinear: {:?}",
+            start.elapsed()
+        );
+        let Query::QueryBatch(items) = decoded else {
+            panic!("expected a batch");
+        };
+        assert_eq!(items.len(), n);
     }
 }

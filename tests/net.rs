@@ -291,6 +291,38 @@ fn stats_query_over_the_socket_reports_warm_counters() {
     server.shutdown();
 }
 
+/// Backpressure is a policy, not semantics: with the in-flight window
+/// clamped to two frames, a client that pipelines every frame up front
+/// still reads back byte-identical responses in order — the reader
+/// simply stalls at the window until the client's reads release room,
+/// instead of buffering replies without bound.
+#[test]
+fn tiny_inflight_window_still_answers_pipelined_clients_in_order() {
+    let (service, frames) = service_and_frames(29);
+    let reference = serve::serve(&service, &frames, 1);
+    let path = socket_path("window");
+    let server = NetServer::bind_unix(
+        &path,
+        Arc::clone(&service),
+        NetConfig::new()
+            .workers(2)
+            .max_inflight_frames(2)
+            .poll_interval(Duration::from_millis(5)),
+    )
+    .unwrap();
+    let mut request_bytes = Vec::new();
+    for frame in &frames {
+        encode_envelope_into(&mut request_bytes, frame).unwrap();
+    }
+    let mut conn = UnixStream::connect(&path).unwrap();
+    conn.write_all(&request_bytes).unwrap();
+    for (i, expected) in reference.iter().enumerate() {
+        let got = read_envelope(&mut conn, 1 << 22).unwrap().unwrap();
+        assert_eq!(&got, expected, "frame={i}");
+    }
+    server.shutdown();
+}
+
 /// The server is transport-generic: the same byte-identity holds over
 /// loopback TCP.
 #[test]
