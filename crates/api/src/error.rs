@@ -66,6 +66,14 @@ pub enum Error {
         /// What happened, for the log line.
         detail: String,
     },
+    /// The durable session store failed: an I/O error on a log or
+    /// snapshot file, a malformed on-disk document, or a store operation
+    /// addressed to a session it does not manage.
+    Store {
+        /// What happened (I/O errors are rendered in, since
+        /// `std::io::Error` is neither `Clone` nor `PartialEq`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -92,6 +100,7 @@ impl fmt::Display for Error {
                 write!(f, "server overloaded: worker {worker} queue is full")
             }
             Error::Internal { detail } => write!(f, "internal server error: {detail}"),
+            Error::Store { detail } => write!(f, "session store: {detail}"),
         }
     }
 }
@@ -165,6 +174,9 @@ mod tests {
             Error::Overloaded { worker: 2 },
             Error::Internal {
                 detail: "caught panic".into(),
+            },
+            Error::Store {
+                detail: "log unreadable".into(),
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -88,6 +88,7 @@ pub mod serve;
 pub mod service;
 pub mod session;
 pub mod stats;
+pub mod store;
 pub mod wire;
 
 pub use config::{CachePolicy, SessionConfig};
@@ -96,7 +97,8 @@ pub use net::{EnvelopeScanner, NetConfig, NetServer, ScanError};
 pub use query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
 pub use service::{SessionId, ZigzagService};
 pub use session::{AppendReport, BatchSession, Session, SessionBackend, StreamSession};
-pub use stats::{LatencyHistogram, StatsReport, TransportCounters, LATENCY_BUCKETS};
+pub use stats::{LatencyHistogram, StatsReport, StoreCounters, TransportCounters, LATENCY_BUCKETS};
+pub use store::{FsyncPolicy, Recovered, SessionSnapshot, SessionStore, StoreConfig};
 
 // Re-exported so facade callers configure sessions without importing the
 // coordination crate directly.

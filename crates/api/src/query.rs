@@ -20,7 +20,7 @@ use zigzag_core::{GeneralNode, MaxXMatrix};
 /// dispatched to a session answers exactly as the corresponding direct
 /// engine call on that session's run or stream prefix would — pinned
 /// byte-for-byte by the differential oracle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Query {
     /// The exact knowledge threshold: the largest `x` with
@@ -100,6 +100,21 @@ pub enum Query {
         /// The queries, answered in order.
         Vec<Query>,
     ),
+    /// Serializes the addressed stream session's full state — run prefix,
+    /// configuration, coordination progress, warm-observer manifest —
+    /// into a portable [`crate::store::SessionSnapshot`]: the log-shipping
+    /// half of live migration. Service-level like [`Query::Stats`]
+    /// (cannot nest in a batch or hit a bare session), but the frame's
+    /// session line addresses the session to export.
+    Export,
+    /// Installs a shipped [`crate::store::SessionSnapshot`] as a *new*
+    /// stream session of the receiving service and answers its id: the
+    /// receiving half of live migration. Service-level; the frame's
+    /// session line is used for worker routing only.
+    Import(
+        /// The snapshot to install.
+        Box<crate::store::SessionSnapshot>,
+    ),
 }
 
 /// The witness half of a positive [`Query::Witness`] answer.
@@ -168,4 +183,9 @@ pub enum Response {
         /// The answers, in query order.
         Vec<Response>,
     ),
+    /// Answer to [`Query::Export`]: the serialized session.
+    Exported(Box<crate::store::SessionSnapshot>),
+    /// Answer to [`Query::Import`]: the id the receiving service
+    /// assigned to the installed session.
+    Imported(crate::service::SessionId),
 }

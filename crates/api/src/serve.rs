@@ -202,11 +202,13 @@ pub(crate) struct NetView<'a> {
 ///
 /// Three serving concerns live here so every caller gets them for free:
 ///
-/// * **Stats interception** — a [`Query::Stats`] frame is answered from
-///   the service's counters before any session is resolved (its session
-///   line is routing information only); `net` supplies the queue-depth
-///   gauges and transport counters of a [`crate::net`] server, `None`
-///   reports neither.
+/// * **Service-level interception** — a [`Query::Stats`] frame is
+///   answered from the service's counters before any session is resolved
+///   (its session line is routing information only); `net` supplies the
+///   queue-depth gauges and transport counters of a [`crate::net`]
+///   server, `None` reports neither. [`Query::Export`] /
+///   [`Query::Import`] frames likewise run at the service level — the
+///   migration path works identically in-process and over a socket.
 /// * **Latency accounting** — each dispatch against a resolved session is
 ///   timed into the service's histogram via
 ///   `ZigzagService::record_dispatch`.
@@ -239,6 +241,16 @@ pub(crate) fn respond_into(
                 return Ok(Response::Stats(Box::new(
                     service.stats_with_net(&depths, transport),
                 )));
+            }
+            // Migration frames are service-level like Stats: Export reads
+            // the addressed session through the service (never the memo —
+            // a migration must see the live table), Import installs a new
+            // one; both work identically in-process and over a socket.
+            if matches!(query, Query::Export) {
+                return Ok(Response::Exported(Box::new(service.export(id)?)));
+            }
+            if let Query::Import(snap) = query {
+                return Ok(Response::Imported(service.import(*snap)?));
             }
             let session = match memo.get(&id.raw()) {
                 Some(session) => Arc::clone(session),

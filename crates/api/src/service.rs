@@ -22,7 +22,8 @@ use crate::config::SessionConfig;
 use crate::error::Error;
 use crate::query::{Query, Response};
 use crate::session::{AppendReport, BatchSession, Session, StreamSession};
-use crate::stats::{LatencyRecorder, StatsReport, TransportCounters};
+use crate::stats::{LatencyRecorder, StatsReport, StoreStats, TransportCounters};
+use crate::store::SessionSnapshot;
 
 /// An opaque handle naming one open session of a [`ZigzagService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +66,9 @@ struct Metrics {
     dispatches: AtomicU64,
     /// Wall-time histogram over those dispatches.
     latency: LatencyRecorder,
+    /// Durability counters, billed into by every attached
+    /// [`crate::store::SessionStore`] and by export/import.
+    store: StoreStats,
 }
 
 /// The unified service facade; see the [module docs](self) and the
@@ -122,6 +126,58 @@ impl ZigzagService {
     /// `id.raw() % shard_count`.
     pub fn shard_of(&self, id: SessionId) -> usize {
         (id.0 % self.shards.len() as u64) as usize
+    }
+
+    /// The service's durability counters — billed into by
+    /// [`crate::store::SessionStore`] operations and by the
+    /// export/import path, surfaced by [`Query::Stats`].
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.metrics.store
+    }
+
+    /// Serializes a live stream session into a portable
+    /// [`SessionSnapshot`] — the sending half of live migration (and the
+    /// in-process form of [`Query::Export`]). The session keeps serving;
+    /// the snapshot is a consistent point-in-time copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or batch sessions, or if the session is poisoned.
+    pub fn export(&self, id: SessionId) -> Result<SessionSnapshot, Error> {
+        let session = self.session(id)?;
+        let Session::Stream(s) = &*session else {
+            return Err(Error::NotStreaming { id });
+        };
+        let snap = SessionSnapshot::of_frozen(s.config().clone(), s.freeze()?);
+        self.metrics
+            .store
+            .migrations
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(snap)
+    }
+
+    /// Installs a shipped [`SessionSnapshot`] as a new stream session of
+    /// this service, answering the handle it was assigned — the
+    /// receiving half of live migration (and the in-process form of
+    /// [`Query::Import`]). The restored session answers every query
+    /// byte-identically to the exported one and accepts further appends.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Store`] on an internally inconsistent
+    /// snapshot, or propagates the engine error if its run is malformed.
+    pub fn import(&self, snap: SessionSnapshot) -> Result<SessionId, Error> {
+        let session = crate::store::restore(snap)?;
+        self.metrics
+            .store
+            .migrations
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(self.insert(Session::Stream(session)))
+    }
+
+    /// Installs an already-built session — the store's recovery path.
+    pub(crate) fn install(&self, session: Session) -> SessionId {
+        self.insert(session)
     }
 
     fn insert(&self, session: Session) -> SessionId {
@@ -223,6 +279,16 @@ impl ZigzagService {
         if matches!(query, Query::Stats) {
             return Ok(Response::Stats(Box::new(self.stats())));
         }
+        // Export/Import are service-level too (Import installs into the
+        // session table; Export needs the session handle): answered here
+        // and not counted as dispatches. For Export the id addresses the
+        // session to serialize; for Import it is routing-only.
+        if matches!(query, Query::Export) {
+            return Ok(Response::Exported(Box::new(self.export(id)?)));
+        }
+        if let Query::Import(snap) = query {
+            return Ok(Response::Imported(self.import((**snap).clone())?));
+        }
         let session = self.session(id)?;
         let start = Instant::now();
         let out = session.dispatch(query);
@@ -288,6 +354,7 @@ impl ZigzagService {
             sessions_per_shard,
             queue_depths: queue_depths.to_vec(),
             transport,
+            store: self.metrics.store.snapshot(),
         }
     }
 

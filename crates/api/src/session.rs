@@ -36,7 +36,7 @@ use zigzag_coord::StreamDriver;
 use zigzag_core::bounds_graph::BoundsGraph;
 use zigzag_core::extended_graph::MessageIndex;
 use zigzag_core::incremental::IncrementalEngine;
-use zigzag_core::knowledge::{ObserverCache, ObserverState};
+use zigzag_core::knowledge::{ObserverCache, ObserverMode, ObserverState};
 use zigzag_core::KnowledgeEngine;
 
 use crate::config::SessionConfig;
@@ -152,8 +152,11 @@ pub(crate) fn dispatch_on<B: SessionBackend + ?Sized>(
         Query::CoordDecision => Ok(Response::CoordDecision(backend.coord_decision()?)),
         // Service-level: a bare session has no service-wide counters to
         // answer with. ZigzagService::dispatch (and the serve/net loops)
-        // intercept Stats before any session is resolved.
-        Query::Stats => Err(Error::ServiceLevelQuery),
+        // intercept Stats before any session is resolved. Export/Import
+        // are likewise intercepted there: exporting needs the session's
+        // *handle* (not just backend access), and importing installs a
+        // new session into the service table.
+        Query::Stats | Query::Export | Query::Import(_) => Err(Error::ServiceLevelQuery),
         Query::QueryBatch(queries) => queries
             .iter()
             .map(|q| dispatch_on(backend, q))
@@ -336,6 +339,24 @@ impl SessionBackend for StreamInner {
     }
 }
 
+/// A point-in-time copy of a stream session's durable state — the raw
+/// material of a [`crate::store::SessionSnapshot`], extracted atomically
+/// by [`StreamSession::freeze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenStream {
+    /// The grown run prefix (context included).
+    pub run: Run,
+    /// Events appended so far (one per non-initial node).
+    pub events: u64,
+    /// The coordination driver's earliest known `B`-node, if any.
+    pub first_known: Option<NodeId>,
+    /// The coordination driver's trigger node `σ_C`, if seen.
+    pub sigma_c: Option<NodeId>,
+    /// The `(observer, mode)` key of every warm analysis state — the
+    /// manifest recovery uses to pre-build the same warm set.
+    pub observers: Vec<(NodeId, ObserverMode)>,
+}
+
 /// A stream session: a live, append-only run wrapped around an
 /// [`IncrementalEngine`] (plus a [`StreamDriver`] when a coordination
 /// spec is configured), under the session's [`CachePolicy`]. The engine
@@ -369,9 +390,66 @@ impl StreamSession {
         }
     }
 
+    /// Resumes a session over an engine already holding a recovered (or
+    /// imported) run prefix, seeding the coordination progress and the
+    /// append counter a snapshot recorded — the restore path of
+    /// [`crate::store`]. The engine's observer cap is (re)applied from
+    /// `config`; `events` seeds the compaction cadence so periodic
+    /// maintenance continues on the same schedule as an uninterrupted
+    /// session.
+    pub(crate) fn resume(
+        config: SessionConfig,
+        mut engine: IncrementalEngine,
+        events: u64,
+        first_known: Option<NodeId>,
+        sigma_c: Option<NodeId>,
+    ) -> Self {
+        engine.set_observer_cap(config.cache.max_observers);
+        let inner = match &config.spec {
+            Some(spec) => StreamInner::Coord(StreamDriver::resume(
+                spec.clone(),
+                engine,
+                config.probe,
+                sigma_c,
+                first_known,
+            )),
+            None => StreamInner::Plain(engine),
+        };
+        StreamSession {
+            inner: RwLock::new(inner),
+            config,
+            appends: AtomicU64::new(events),
+        }
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// A point-in-time copy of everything a durable snapshot (or a
+    /// migration export) needs, extracted under **one** read-lock
+    /// acquisition so the run prefix, coordination progress and
+    /// warm-observer manifest are mutually consistent even under
+    /// concurrent appends.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Internal`] if the session is poisoned.
+    pub fn freeze(&self) -> Result<FrozenStream, Error> {
+        let inner = self.read()?;
+        let engine = inner.engine();
+        let (first_known, sigma_c) = match &*inner {
+            StreamInner::Plain(_) => (None, None),
+            StreamInner::Coord(driver) => (driver.first_known(), driver.sigma_c()),
+        };
+        Ok(FrozenStream {
+            run: engine.run().clone(),
+            events: engine.event_count() as u64,
+            first_known,
+            sigma_c,
+            observers: engine.observer_keys(),
+        })
     }
 
     /// Unlike the session's interior `Mutex`es, a poisoned stream lock is

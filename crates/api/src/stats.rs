@@ -120,6 +120,62 @@ impl TransportStats {
     }
 }
 
+/// A point-in-time snapshot of a service's durable-store counters — the
+/// persistence ledger of [`crate::store::SessionStore`] plus the
+/// migration traffic answered by `Query::Export` / `Query::Import`. All
+/// fields are monotone over the service's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Event records appended to session logs.
+    pub events_logged: u64,
+    /// Bytes written to session logs and snapshots (headers included).
+    pub bytes_written: u64,
+    /// Session snapshots written (cadence-triggered and explicit).
+    pub snapshots: u64,
+    /// Sessions recovered from disk ([`crate::store::SessionStore::recover`]).
+    pub recoveries: u64,
+    /// Migration operations answered: exports serialized plus imports
+    /// installed, in-process or over the wire.
+    pub migrations: u64,
+}
+
+/// The shared-state form of [`StoreCounters`]: one relaxed atomic per
+/// counter, billed into by every [`crate::store::SessionStore`] attached
+/// to a service and by the service's own export/import path,
+/// snapshotted for [`StatsReport`].
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// See [`StoreCounters::events_logged`].
+    pub events_logged: AtomicU64,
+    /// See [`StoreCounters::bytes_written`].
+    pub bytes_written: AtomicU64,
+    /// See [`StoreCounters::snapshots`].
+    pub snapshots: AtomicU64,
+    /// See [`StoreCounters::recoveries`].
+    pub recoveries: AtomicU64,
+    /// See [`StoreCounters::migrations`].
+    pub migrations: AtomicU64,
+}
+
+impl StoreStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        StoreStats::default()
+    }
+
+    /// A point-in-time copy of the counters (relaxed loads: each counter
+    /// is monotone and independently meaningful).
+    pub fn snapshot(&self) -> StoreCounters {
+        StoreCounters {
+            events_logged: self.events_logged.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Number of histogram buckets. Bucket `i` counts latencies in
 /// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns); the last
 /// bucket absorbs everything from `2^31` ns (~2.1 s) up.
@@ -246,6 +302,11 @@ pub struct StatsReport {
     /// coalescing ratios they imply (see [`TransportCounters`]). All
     /// zero when the report was answered in-process.
     pub transport: TransportCounters,
+    /// Durability counters of the answering service: events logged,
+    /// bytes persisted, snapshots, recoveries and migrations (see
+    /// [`StoreCounters`]). All zero when no [`crate::store::SessionStore`]
+    /// is attached and no migration was served.
+    pub store: StoreCounters,
 }
 
 #[cfg(test)]

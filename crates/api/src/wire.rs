@@ -93,6 +93,39 @@ fn push_opt_node<W: fmt::Write>(out: &mut W, n: Option<NodeId>) -> fmt::Result {
     }
 }
 
+/// Embeds a session snapshot as `snaplines <k>` followed by the complete
+/// `zigzag-snap v1` document — the same count-then-lines shape as the
+/// `runlines` embed of fast-run responses.
+fn push_snapshot<W: fmt::Write>(out: &mut W, snap: &crate::store::SessionSnapshot) -> fmt::Result {
+    let encoded = crate::store::encode_snapshot(snap);
+    writeln!(out, "snaplines {}", encoded.lines().count())?;
+    for l in encoded.lines() {
+        out.write_str(l)?;
+        out.write_str("\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a `snaplines`-embedded snapshot back, count-validated before
+/// any line is consumed.
+fn pull_snapshot(lines: &mut Lines<'_>) -> Result<crate::store::SessionSnapshot, Error> {
+    let kline = lines.next()?;
+    let kno = lines.line_no();
+    let mut kt = Tokens::new(kline, kno);
+    if kt.next()? != "snaplines" {
+        return Err(bad(kno, "expected snaplines"));
+    }
+    let k = lines.expect_lines(kt.num()?, "embedded snapshot")?;
+    kt.done()?;
+    let mut encoded = String::new();
+    for _ in 0..k {
+        encoded.push_str(lines.next()?);
+        encoded.push('\n');
+    }
+    crate::store::decode_snapshot(&encoded)
+        .map_err(|e| bad(lines.line_no(), format!("embedded snapshot: {e}")))
+}
+
 fn encode_query_into<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
     match q {
         Query::MaxX {
@@ -153,6 +186,11 @@ fn encode_query_into<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
         }
         Query::CoordDecision => out.write_str("coord\n"),
         Query::Stats => out.write_str("stats\n"),
+        Query::Export => out.write_str("export\n"),
+        Query::Import(snap) => {
+            out.write_str("import\n")?;
+            push_snapshot(out, snap)
+        }
         Query::QueryBatch(queries) => {
             writeln!(out, "batch {}", queries.len())?;
             for q in queries {
@@ -278,6 +316,12 @@ fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result
                 t.writer_flushes,
                 t.connections,
                 t.conn_failures
+            )?;
+            let d = &s.store;
+            writeln!(
+                out,
+                "store 5 {} {} {} {} {}",
+                d.events_logged, d.bytes_written, d.snapshots, d.recoveries, d.migrations
             )
         }
         Response::ResponseBatch(responses) => {
@@ -287,6 +331,11 @@ fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result
             }
             Ok(())
         }
+        Response::Exported(snap) => {
+            out.write_str("exported\n")?;
+            push_snapshot(out, snap)
+        }
+        Response::Imported(id) => writeln!(out, "imported {}", id.raw()),
     }
 }
 
@@ -500,6 +549,11 @@ fn decode_query_from(lines: &mut Lines<'_>, depth: usize) -> Result<Query, Error
         },
         "coord" => Query::CoordDecision,
         "stats" => Query::Stats,
+        "export" => Query::Export,
+        "import" => {
+            t.done()?;
+            return Ok(Query::Import(Box::new(pull_snapshot(lines)?)));
+        }
         "batch" => {
             if depth >= MAX_BATCH_DEPTH {
                 return Err(bad(no, format!("batch nesting exceeds {MAX_BATCH_DEPTH}")));
@@ -699,6 +753,14 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
                     format!("net line carries {} of 9 transport counters", net.len()),
                 ));
             };
+            let store = counted_u64s(lines, "store")?;
+            let [events_logged, bytes_written, snapshots, recoveries, migrations] = store[..]
+            else {
+                return Err(bad(
+                    lines.line_no(),
+                    format!("store line carries {} of 5 store counters", store.len()),
+                ));
+            };
             Ok(Response::Stats(Box::new(crate::stats::StatsReport {
                 queries,
                 latency,
@@ -718,6 +780,13 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
                     connections,
                     conn_failures,
                 },
+                store: crate::stats::StoreCounters {
+                    events_logged,
+                    bytes_written,
+                    snapshots,
+                    recoveries,
+                    migrations,
+                },
             })))
         }
         "batch" => {
@@ -731,6 +800,15 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
                 responses.push(decode_response_from(lines, depth + 1)?);
             }
             Ok(Response::ResponseBatch(responses))
+        }
+        "exported" => {
+            t.done()?;
+            Ok(Response::Exported(Box::new(pull_snapshot(lines)?)))
+        }
+        "imported" => {
+            let raw: u64 = t.num()?;
+            t.done()?;
+            Ok(Response::Imported(crate::service::SessionId::from_raw(raw)))
         }
         other => Err(bad(no, format!("unknown response {other:?}"))),
     }
@@ -860,6 +938,70 @@ mod tests {
     }
 
     #[test]
+    fn migration_documents_round_trip_and_reject_malformations() {
+        // A real session snapshot (with events, a spec and a warm
+        // observer set) to embed in Import/Exported documents.
+        let mut b = zigzag_bcm::Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        let bb = b.add_process("B");
+        b.add_channel(c, a, 1, 3).unwrap();
+        b.add_channel(c, bb, 7, 9).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim =
+            zigzag_bcm::Simulator::new(ctx, zigzag_bcm::SimConfig::with_horizon(Time::new(40)));
+        sim.external(Time::new(2), c, "go");
+        let run = sim
+            .run(
+                &mut zigzag_bcm::protocols::Ffip::new(),
+                &mut zigzag_bcm::scheduler::EagerScheduler,
+            )
+            .unwrap();
+        let service = crate::ZigzagService::new();
+        let (id, _) = service
+            .open_replay(&run, crate::SessionConfig::new())
+            .unwrap();
+        let snap = service.export(id).unwrap();
+
+        for q in [Query::Export, Query::Import(Box::new(snap.clone()))] {
+            let text = encode_query(&q);
+            assert_eq!(decode_query(&text).unwrap(), q, "{text}");
+        }
+        for r in [
+            Response::Exported(Box::new(snap.clone())),
+            Response::Imported(crate::service::SessionId::from_raw(41)),
+        ] {
+            let text = encode_response(&r);
+            assert_eq!(decode_response(&text).unwrap(), r, "{text}");
+        }
+
+        // Malformations: trailing tokens, a bad embed count, an embedded
+        // snapshot that does not decode.
+        assert!(decode_query("zigzag-query v1\nexport extra\n").is_err());
+        assert!(decode_query("zigzag-query v1\nimport\nsnaplines 2\nzigzag-snap v1\n").is_err());
+        assert!(decode_query("zigzag-query v1\nimport\nsnaplines 1\ngarbage\n").is_err());
+        assert!(decode_response("zigzag-response v1\nimported x\n").is_err());
+        assert!(decode_response("zigzag-response v1\nexported\nsnaplines 1\ngarbage\n").is_err());
+
+        // A stats document missing (or overclaiming) the store line is
+        // refused like any other count malformation.
+        let stats = encode_response(&service.dispatch(id, &Query::Stats).unwrap());
+        assert!(stats.contains("\nstore 5 "));
+        assert_eq!(
+            decode_response(&stats).unwrap(),
+            service.dispatch(id, &Query::Stats).unwrap()
+        );
+        let chopped = stats.replace("\nstore 5 ", "\nstore 9999 ");
+        assert!(decode_response(&chopped).is_err());
+        let missing: String = stats
+            .lines()
+            .filter(|l| !l.starts_with("store "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(decode_response(&missing).is_err());
+    }
+
+    #[test]
     fn hostile_counts_are_rejected_without_allocation() {
         // Counts far beyond the document must come back as wire errors,
         // not capacity panics or giant allocations.
@@ -875,10 +1017,16 @@ mod tests {
                 "{doc}"
             );
         }
+        let doc = format!("zigzag-query v1\nimport\nsnaplines {huge}\n");
+        assert!(
+            matches!(decode_query(&doc), Err(crate::Error::Wire { .. })),
+            "{doc}"
+        );
         for doc in [
             format!("zigzag-response v1\nbatch {huge}\n"),
             format!("zigzag-response v1\nmatrix {huge}\nmnodes\n"),
             format!("zigzag-response v1\nfastrun 0 1 0 5\nrunlines {huge}\n"),
+            format!("zigzag-response v1\nexported\nsnaplines {huge}\n"),
         ] {
             assert!(
                 matches!(decode_response(&doc), Err(crate::Error::Wire { .. })),

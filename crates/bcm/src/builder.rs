@@ -58,6 +58,15 @@ impl RunBuilder {
         }
     }
 
+    /// Resumes construction on top of an already-recorded run. The
+    /// builder keeps no state beyond the run itself (next message and
+    /// external ids are the table lengths, timelines carry their own
+    /// last-node times), so adoption is exact: appends continue precisely
+    /// as if the run had been grown through this builder from the start.
+    pub fn adopt(run: Run) -> Self {
+        RunBuilder { run }
+    }
+
     /// Read access to the run under construction.
     pub fn run(&self) -> &Run {
         &self.run

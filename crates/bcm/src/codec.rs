@@ -29,14 +29,204 @@ use std::fmt::Write as _;
 use crate::builder::RunBuilder;
 use crate::error::BcmError;
 use crate::event::Receipt;
+use crate::message::MessageId;
 use crate::net::{Network, ProcessId};
 use crate::run::{NodeId, Run};
+use crate::stream::{ReceiptEvent, RunEvent, SendEvent};
 use crate::time::Time;
 
 fn bad(line_no: usize, detail: impl Into<String>) -> BcmError {
     BcmError::IllegalRun {
         detail: format!("codec: line {line_no}: {}", detail.into()),
     }
+}
+
+fn bad_event(detail: impl Into<String>) -> BcmError {
+    BcmError::IllegalRun {
+        detail: format!("event codec: {}", detail.into()),
+    }
+}
+
+/// Escapes a name into a single whitespace-free token: `%` and every
+/// whitespace character are percent-encoded byte-wise (`%XX`), and the
+/// empty string becomes the marker `%.` so no token is ever empty. Names
+/// escaped this way survive `split_whitespace` tokenization in any
+/// line-oriented format (the event log, session snapshots, spec lines).
+pub fn escape_token(s: &str) -> String {
+    if s.is_empty() {
+        return "%.".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        if ch == '%' || ch.is_whitespace() {
+            let mut buf = [0u8; 4];
+            for b in ch.encode_utf8(&mut buf).bytes() {
+                let _ = write!(out, "%{b:02x}");
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_token`].
+///
+/// # Errors
+///
+/// Returns [`BcmError::IllegalRun`] on a dangling or non-hex escape, or
+/// if the decoded bytes are not valid UTF-8.
+pub fn unescape_token(tok: &str) -> Result<String, BcmError> {
+    if tok == "%." {
+        return Ok(String::new());
+    }
+    let mut out = Vec::with_capacity(tok.len());
+    let bytes = tok.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| bad_event(format!("dangling escape in {tok:?}")))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| bad_event("non-ASCII escape"))?;
+            let b = u8::from_str_radix(hex, 16)
+                .map_err(|_| bad_event(format!("bad escape %{hex} in {tok:?}")))?;
+            out.push(b);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| bad_event(format!("escape of {tok:?} is not UTF-8")))
+}
+
+/// Encodes one [`RunEvent`] as a single `ev` line (no trailing newline):
+///
+/// ```text
+/// ev <proc> <time> <nr> <receipt>... <ns> <to> <deliver_at>... <na> <action>...
+/// ```
+///
+/// Receipt tokens are `m<id>` (stream-scoped message) or `e<name>`
+/// ([`escape_token`]-escaped external); action tokens are escaped names.
+/// The three counts make the record self-delimiting and let the decoder
+/// validate claimed lengths against the actual token supply.
+pub fn encode_event(ev: &RunEvent) -> String {
+    let mut out = String::with_capacity(32);
+    let _ = write!(
+        out,
+        "ev {} {} {}",
+        ev.proc.index(),
+        ev.time.ticks(),
+        ev.receipts.len()
+    );
+    for r in &ev.receipts {
+        match r {
+            ReceiptEvent::Message(m) => {
+                let _ = write!(out, " m{}", m.index());
+            }
+            ReceiptEvent::External(name) => {
+                let _ = write!(out, " e{}", escape_token(name));
+            }
+        }
+    }
+    let _ = write!(out, " {}", ev.sends.len());
+    for s in &ev.sends {
+        let _ = write!(out, " {} {}", s.to.index(), s.deliver_at.ticks());
+    }
+    let _ = write!(out, " {}", ev.actions.len());
+    for a in &ev.actions {
+        let _ = write!(out, " {}", escape_token(a));
+    }
+    out
+}
+
+/// Decodes one `ev` line produced by [`encode_event`].
+///
+/// Every claimed count is validated against the tokens actually present
+/// before that section is read, and the line must be fully consumed — a
+/// torn or tampered record fails loudly instead of decoding to a
+/// different event.
+///
+/// # Errors
+///
+/// Returns [`BcmError::IllegalRun`] on any malformed record.
+pub fn decode_event(line: &str) -> Result<RunEvent, BcmError> {
+    fn take<'a>(it: &mut std::vec::IntoIter<&'a str>, what: &str) -> Result<&'a str, BcmError> {
+        it.next()
+            .ok_or_else(|| bad_event(format!("truncated record: missing {what}")))
+    }
+    fn num(t: &str, what: &str) -> Result<u64, BcmError> {
+        t.parse()
+            .map_err(|_| bad_event(format!("bad {what} {t:?}")))
+    }
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let mut it = toks.into_iter();
+    if take(&mut it, "tag")? != "ev" {
+        return Err(bad_event("record does not start with \"ev\""));
+    }
+    let proc = ProcessId::new(num(take(&mut it, "proc")?, "proc")? as u32);
+    let time = Time::new(num(take(&mut it, "time")?, "time")?);
+
+    let nr = num(take(&mut it, "receipt count")?, "receipt count")? as usize;
+    if nr > it.len() {
+        return Err(bad_event(format!(
+            "claimed {nr} receipts but only {} tokens remain",
+            it.len()
+        )));
+    }
+    let mut receipts = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let t = take(&mut it, "receipt")?;
+        if let Some(m) = t.strip_prefix('m') {
+            receipts.push(ReceiptEvent::Message(MessageId::new(
+                num(m, "message id")? as u32
+            )));
+        } else if let Some(e) = t.strip_prefix('e') {
+            receipts.push(ReceiptEvent::External(unescape_token(e)?));
+        } else {
+            return Err(bad_event(format!("bad receipt token {t:?}")));
+        }
+    }
+
+    let ns = num(take(&mut it, "send count")?, "send count")? as usize;
+    if ns > it.len() / 2 {
+        return Err(bad_event(format!(
+            "claimed {ns} sends but only {} tokens remain",
+            it.len()
+        )));
+    }
+    let mut sends = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let to = ProcessId::new(num(take(&mut it, "send target")?, "send target")? as u32);
+        let deliver_at = Time::new(num(take(&mut it, "delivery time")?, "delivery time")?);
+        sends.push(SendEvent { to, deliver_at });
+    }
+
+    let na = num(take(&mut it, "action count")?, "action count")? as usize;
+    if na > it.len() {
+        return Err(bad_event(format!(
+            "claimed {na} actions but only {} tokens remain",
+            it.len()
+        )));
+    }
+    let mut actions = Vec::with_capacity(na);
+    for _ in 0..na {
+        actions.push(unescape_token(take(&mut it, "action")?)?);
+    }
+    if it.len() != 0 {
+        return Err(bad_event(format!(
+            "{} trailing tokens after a complete record",
+            it.len()
+        )));
+    }
+    Ok(RunEvent {
+        proc,
+        time,
+        receipts,
+        sends,
+        actions,
+    })
 }
 
 /// Encodes a run (with its context) into the `zigzag-run v1` text format.
@@ -392,6 +582,57 @@ mod tests {
         let run = sample(0);
         let tampered = encode(&run).replace("msg 0 ", "msg 7 ");
         assert!(decode(&tampered).is_err());
+    }
+
+    #[test]
+    fn event_records_round_trip_and_tokens_escape() {
+        use crate::stream::RunCursor;
+        let run = sample(5);
+        for ev in RunCursor::new(&run).collect_events() {
+            let line = encode_event(&ev);
+            assert!(!line.contains('\n'), "records are single lines");
+            assert_eq!(decode_event(&line).unwrap(), ev);
+        }
+        for name in ["", "two words", "tab\tand\nnewline", "100% weird %.", "ü ñ"] {
+            let tok = escape_token(name);
+            assert!(!tok.is_empty() && !tok.chars().any(char::is_whitespace));
+            assert_eq!(unescape_token(&tok).unwrap(), name);
+        }
+    }
+
+    #[test]
+    fn hostile_event_records_are_rejected() {
+        use crate::stream::{RunEvent, SendEvent};
+        let ev = RunEvent {
+            proc: ProcessId::new(1),
+            time: Time::new(7),
+            receipts: vec![
+                crate::stream::ReceiptEvent::External("go now".into()),
+                crate::stream::ReceiptEvent::Message(crate::message::MessageId::new(3)),
+            ],
+            sends: vec![SendEvent {
+                to: ProcessId::new(0),
+                deliver_at: Time::new(9),
+            }],
+            actions: vec!["fire".into()],
+        };
+        let line = encode_event(&ev);
+        assert_eq!(decode_event(&line).unwrap(), ev);
+        // Overclaimed counts fail before the data is trusted.
+        assert!(decode_event(&line.replacen(" 2 ", " 4000000 ", 1)).is_err());
+        assert!(decode_event("ev 0 1 0 99999999 0").is_err());
+        assert!(decode_event("ev 0 1 0 0 18446744073709551615").is_err());
+        // Torn tails, trailing garbage, bad escapes, wrong tag.
+        assert!(decode_event(line.rsplit_once(' ').unwrap().0).is_err());
+        assert!(decode_event(&format!("{line} extra")).is_err());
+        assert!(decode_event("ev 0 1 1 e%zz 0 0").is_err());
+        assert!(
+            decode_event("ev 0 1 1 e%ff 0 0").is_err(),
+            "non-UTF-8 escape"
+        );
+        assert!(decode_event("ev 0 1 1 x3 0 0").is_err());
+        assert!(decode_event("msg 0 1").is_err());
+        assert!(decode_event("").is_err());
     }
 
     #[test]

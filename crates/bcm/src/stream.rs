@@ -200,6 +200,21 @@ impl StreamingRun {
         }
     }
 
+    /// Resumes streaming on top of an already-recorded run — the
+    /// snapshot-restore path: a durable-store recovery decodes a run
+    /// prefix and continues appending the log tail to it. The event count
+    /// resumes at the number of non-initial nodes (one event grew each),
+    /// and stream-scoped message numbering continues from the run's
+    /// message table, so a feed whose ids coincide with the run's (every
+    /// canonical-order feed) appends exactly as if never interrupted.
+    pub fn adopt(run: Run) -> Self {
+        let events = run.nodes().filter(|rec| !rec.id().is_initial()).count();
+        StreamingRun {
+            rb: RunBuilder::adopt(run),
+            events,
+        }
+    }
+
     /// The run as grown so far — a genuine [`Run`] prefix, usable by every
     /// batch analysis without cloning.
     pub fn run(&self) -> &Run {
@@ -353,6 +368,30 @@ mod tests {
         let mut sorted = sched;
         sorted.sort();
         assert_eq!(resched, sorted);
+    }
+
+    #[test]
+    fn adoption_resumes_a_feed_exactly() {
+        for seed in 0..4 {
+            let run = tri_run(seed, 35);
+            let events = RunCursor::new(&run).collect_events();
+            for cut in 0..=events.len() {
+                let mut first = StreamingRun::new(run.context_arc(), run.horizon());
+                for ev in &events[..cut] {
+                    first.append(ev).unwrap();
+                }
+                let mut resumed = StreamingRun::adopt(first.finish());
+                assert_eq!(resumed.event_count(), cut);
+                for ev in &events[cut..] {
+                    resumed.append(ev).unwrap();
+                }
+                assert_eq!(
+                    resumed.finish(),
+                    run,
+                    "seed {seed}: adoption at event {cut} diverged"
+                );
+            }
+        }
     }
 
     #[test]

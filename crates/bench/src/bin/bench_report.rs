@@ -9,7 +9,9 @@
 //! produce an unreadable trajectory — and prints one merged table, file
 //! by file, row order preserved. `net/*` rows additionally get derived
 //! per-frame µs and queries/sec columns (one iteration of the B10 net
-//! bench serves 128 two-query frames).
+//! bench serves 128 two-query frames), and `store/append-*` rows get
+//! per-event µs and events/sec (one iteration of the B11 store bench
+//! appends 64 events).
 //!
 //! ```text
 //! bench_report [FILE...]      # default: ./BENCH_pr*.json, sorted
@@ -171,20 +173,32 @@ fn parse(text: &str) -> Result<Vec<Record>, String> {
 const NET_FRAMES_PER_ITER: f64 = 128.0;
 /// Each of those frames is a two-query `QueryBatch`.
 const NET_QUERIES_PER_FRAME: f64 = 2.0;
+/// One `store/append-*` bench iteration appends this many events — the
+/// B11 workload in `crates/bench/benches/store.rs` feeds exactly 64
+/// (`STORE_EVENTS_PER_ITER` there).
+const STORE_EVENTS_PER_ITER: f64 = 64.0;
 
-/// The derived throughput columns for a `net/*` row: per-frame µs and
-/// queries/sec. Other rows measure heterogeneous units (whole passes,
-/// single dispatches), so they get em-dashes instead of a misleading
-/// number.
+/// The derived throughput columns: per-unit µs and units/sec for the
+/// rows whose iteration is a known batch (`net/*` frames,
+/// `store/append-*` events). Other rows measure heterogeneous units
+/// (whole passes, single dispatches), so they get em-dashes instead of
+/// a misleading number.
 fn derived(name: &str, ns_per_iter: f64) -> (String, String) {
-    if !name.starts_with("net/") || ns_per_iter <= 0.0 {
+    if ns_per_iter <= 0.0 {
         return ("—".to_string(), "—".to_string());
     }
-    let us_per_frame = ns_per_iter / NET_FRAMES_PER_ITER / 1_000.0;
-    let queries_per_sec = NET_FRAMES_PER_ITER * NET_QUERIES_PER_FRAME / (ns_per_iter * 1e-9);
+    let (units, per_unit) = if name.starts_with("net/") {
+        (NET_FRAMES_PER_ITER, NET_QUERIES_PER_FRAME)
+    } else if name.starts_with("store/append-") {
+        (STORE_EVENTS_PER_ITER, 1.0)
+    } else {
+        return ("—".to_string(), "—".to_string());
+    };
+    let us_per_unit = ns_per_iter / units / 1_000.0;
+    let per_sec = units * per_unit / (ns_per_iter * 1e-9);
     (
-        format!("{us_per_frame:.2}"),
-        group_ns(queries_per_sec), // same thousands-grouping, unit-free
+        format!("{us_per_unit:.2}"),
+        group_ns(per_sec), // same thousands-grouping, unit-free
     )
 }
 
@@ -233,11 +247,11 @@ fn main() -> ExitCode {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| file | benchmark | ns/iter | samples | vs prior | µs/frame | queries/s |"
+        "| file | benchmark | ns/iter | samples | vs prior | µs/unit | units/s |"
     );
     let _ = writeln!(
         out,
-        "|------|-----------|--------:|--------:|---------:|---------:|----------:|"
+        "|------|-----------|--------:|--------:|---------:|--------:|--------:|"
     );
     let mut rows = 0usize;
     // Rows re-recorded across PR files (e.g. the serve loop re-measured

@@ -301,6 +301,28 @@ impl StreamDriver {
         }
     }
 
+    /// Resumes a driver over an engine already holding a run prefix,
+    /// seeding the decision state a snapshot recorded: the trigger node
+    /// `σ_C` (if it streamed past before the snapshot) and the earliest
+    /// `B`-node whose knowledge held. Both are pure functions of the
+    /// prefix, so a resumed driver steps exactly like one that streamed
+    /// the prefix itself.
+    pub fn resume(
+        spec: TimedCoordination,
+        engine: IncrementalEngine,
+        probe: ProbeSemantics,
+        sigma_c: Option<NodeId>,
+        first_known: Option<NodeId>,
+    ) -> Self {
+        StreamDriver {
+            spec,
+            engine,
+            probe,
+            sigma_c,
+            first_known,
+        }
+    }
+
     /// Selects the probe semantics (builder style); see the
     /// [module docs](self).
     pub fn with_probe(mut self, probe: ProbeSemantics) -> Self {

@@ -64,7 +64,7 @@ fn channel_table(run: &Run) -> (usize, Vec<Option<(i64, i64)>>) {
 impl BoundsGraph {
     /// Builds `GB(r)` over every recorded basic node.
     pub fn of_run(run: &Run) -> Self {
-        Self::build(run, None)
+        Self::build_full(run)
     }
 
     /// Builds the local bounds graph `GB(r, σ)`: the subgraph induced by
@@ -72,6 +72,74 @@ impl BoundsGraph {
     /// the past are present.
     pub fn local(run: &Run, past: &Past) -> Self {
         Self::build(run, Some(past))
+    }
+
+    /// Full-run bulk build. Vertices are interned in [`Run::nodes`] order
+    /// — timeline after timeline, each position `k` holding the node of
+    /// index `k` — so the dense index of `(p, k)` is `offsets[p] + k` by
+    /// construction and edge endpoints never go back through the
+    /// interner. Storage is reserved up front from the known node count.
+    fn build_full(run: &Run) -> Self {
+        let (procs, channel_bounds) = channel_table(run);
+        let mut offsets = Vec::with_capacity(procs);
+        let mut total = 0usize;
+        for p in run.context().network().processes() {
+            offsets.push(total);
+            total += run.timeline(p).len();
+        }
+
+        let mut graph = WeightedDigraph::new();
+        graph.reserve_vertices(total);
+        for (i, rec) in run.nodes().enumerate() {
+            let vi = graph.add_vertex(rec.id());
+            debug_assert_eq!(vi, i, "timelines must intern densely");
+            debug_assert_eq!(
+                offsets[rec.id().proc().index()] + rec.id().index() as usize,
+                i,
+                "timeline position must equal the node's index"
+            );
+        }
+        let at = |n: NodeId| offsets[n.proc().index()] + n.index() as usize;
+
+        // (a) successor edges: consecutive dense indices down each timeline.
+        for p in run.context().network().processes() {
+            let base = offsets[p.index()];
+            for k in 1..run.timeline(p).len() {
+                graph.add_edge_indexed(base + k - 1, base + k, 1, LABEL_SUCCESSOR);
+            }
+        }
+        // (b) message edges, both directions, endpoints located arithmetically.
+        let mut message_edges = 0usize;
+        for m in run.messages() {
+            let Some(d) = m.delivery() else { continue };
+            let c = m.channel();
+            let (lower, upper) = channel_bounds[c.from.index() * procs + c.to.index()]
+                .expect("validated runs have bounds for every channel");
+            let (si, di) = (at(m.src()), at(d.node));
+            graph.add_edge_indexed(si, di, lower, LABEL_SEND);
+            graph.add_edge_indexed(di, si, -upper, LABEL_RECV);
+            message_edges += 2;
+        }
+        let last_idx = run
+            .context()
+            .network()
+            .processes()
+            .map(|p| {
+                let len = run.timeline(p).len();
+                if len == 0 {
+                    u32::MAX
+                } else {
+                    (offsets[p.index()] + len - 1) as u32
+                }
+            })
+            .collect();
+        BoundsGraph {
+            graph,
+            message_edges,
+            channel_bounds,
+            procs,
+            last_idx,
+        }
     }
 
     fn build(run: &Run, past: Option<&Past>) -> Self {

@@ -451,6 +451,16 @@ impl<V: Hash + Eq + Clone> WeightedDigraph<V> {
         }
     }
 
+    /// Pre-sizes the vertex-side storage (interner and adjacency tables)
+    /// for `n` upcoming vertices: bulk builders reserve once instead of
+    /// growing through repeated reallocation and rehashing.
+    pub(crate) fn reserve_vertices(&mut self, n: usize) {
+        self.index.reserve(n);
+        self.vertices.reserve(n);
+        self.out.reserve(n);
+        self.r#in.reserve(n);
+    }
+
     /// Records a mutation: the CSR freezes a generation and is rebuilt
     /// lazily; memoized SPFA results are *kept* and the appended edge (if
     /// any) is logged so they can delta-relax on their next query.

@@ -150,6 +150,37 @@ impl IncrementalEngine {
         }
     }
 
+    /// Resumes streaming on top of an already-recorded run prefix — the
+    /// snapshot-restore path of a durable session store. The message
+    /// index and `GB(r)` are batch-built over the prefix in one pass each
+    /// (O(prefix) total, no per-event engine maintenance and no knowledge
+    /// queries), and both batch builders are continuation-compatible with
+    /// the append path: subsequent [`IncrementalEngine::append_event`]
+    /// calls grow them exactly as if the prefix had been streamed in
+    /// event by event (pinned by the recovery oracle tier).
+    pub fn from_prefix(run: Run) -> Self {
+        let messages = MessageIndex::of_run(&run);
+        let gb = BoundsGraph::of_run(&run);
+        IncrementalEngine {
+            stream: StreamingRun::adopt(run),
+            messages,
+            gb,
+            observers: Mutex::new(ObserverCache::new(None)),
+            poison: None,
+        }
+    }
+
+    /// The `(observer, mode)` keys of every currently cached analysis
+    /// state, in no particular order — the warm-set manifest a session
+    /// snapshot records so recovery can pre-build the same states.
+    pub fn observer_keys(&self) -> Vec<(NodeId, ObserverMode)> {
+        self.observers
+            .lock()
+            .expect("observer cache lock")
+            .keys()
+            .collect()
+    }
+
     /// Bounds the observer-state cache to at most `cap` states, evicting
     /// least-recently-used states on overflow (`None` = unbounded, the
     /// default). Eviction is sound: a re-queried observer's state is

@@ -282,6 +282,13 @@ impl ObserverCache {
         self.map.is_empty()
     }
 
+    /// The `(observer, mode)` key of every retained state, in no
+    /// particular order — the warm-set manifest durable-session
+    /// snapshots record.
+    pub fn keys(&self) -> impl Iterator<Item = (NodeId, ObserverMode)> + '_ {
+        self.map.keys().copied()
+    }
+
     /// Total number of states evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions

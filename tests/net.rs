@@ -595,3 +595,89 @@ fn pipelined_client_is_byte_identical_and_counters_prove_amortization() {
     assert!(report.transport.frames_out >= t.frames_out, "{report:?}");
     server.shutdown();
 }
+
+/// Live migration between two running socket servers (PR 9): a
+/// coordination-laden stream session is exported out of server A's
+/// socket as a `Query::Export` frame, imported into server B's socket as
+/// a `Query::Import` frame, and every probe query afterwards answers
+/// byte-identically on both live servers.
+#[test]
+fn live_migration_between_two_net_servers_answers_byte_identically() {
+    use zigzag::api::{CoordKind, TimedCoordination};
+    use zigzag::bcm::ProcessId;
+
+    let run = tri_run(11);
+    let config = SessionConfig::new().spec(TimedCoordination::new(
+        CoordKind::Late { x: 3 },
+        ProcessId::new(1),
+        ProcessId::new(2),
+        ProcessId::new(0),
+    ));
+    let service_a = Arc::new(ZigzagService::new());
+    let stream = service_a.open_stream(run.context_arc(), run.horizon(), config);
+    let mut cursor = RunCursor::new(&run);
+    while let Some(ev) = cursor.next_event() {
+        service_a.append(stream, &ev).unwrap();
+    }
+    let service_b = Arc::new(ZigzagService::new());
+
+    let (path_a, path_b) = (socket_path("mig-a"), socket_path("mig-b"));
+    let net = || {
+        NetConfig::new()
+            .workers(2)
+            .poll_interval(Duration::from_millis(5))
+    };
+    let server_a = NetServer::bind_unix(&path_a, Arc::clone(&service_a), net()).unwrap();
+    let server_b = NetServer::bind_unix(&path_b, Arc::clone(&service_b), net()).unwrap();
+    let mut conn_a = UnixStream::connect(&path_a).unwrap();
+    let mut conn_b = UnixStream::connect(&path_b).unwrap();
+
+    // Ship the session A → B entirely over the two sockets.
+    write_envelope(&mut conn_a, &serve::encode_frame(stream, &Query::Export)).unwrap();
+    let doc = read_envelope(&mut conn_a, 1 << 22).unwrap().unwrap();
+    let Response::Exported(snap) = wire::decode_response(&doc).unwrap() else {
+        panic!("export frame answered with: {doc:?}");
+    };
+    write_envelope(
+        &mut conn_b,
+        &serve::encode_frame(SessionId::from_raw(0), &Query::Import(snap)),
+    )
+    .unwrap();
+    let doc = read_envelope(&mut conn_b, 1 << 22).unwrap().unwrap();
+    let Response::Imported(moved) = wire::decode_response(&doc).unwrap() else {
+        panic!("import frame answered with: {doc:?}");
+    };
+
+    // Identical queries to both live servers: byte-identical documents.
+    let nodes: Vec<_> = run
+        .nodes()
+        .map(|r| r.id())
+        .filter(|n| !n.is_initial())
+        .collect();
+    let (&first, &last) = (nodes.first().unwrap(), nodes.last().unwrap());
+    let probes = vec![
+        Query::MaxXMatrix { sigma: last },
+        Query::MaxX {
+            sigma: last,
+            theta1: GeneralNode::basic(first),
+            theta2: GeneralNode::basic(last),
+        },
+        Query::TightBound {
+            from: first,
+            to: last,
+        },
+        Query::CoordDecision,
+    ];
+    for q in &probes {
+        write_envelope(&mut conn_a, &serve::encode_frame(stream, q)).unwrap();
+        write_envelope(&mut conn_b, &serve::encode_frame(moved, q)).unwrap();
+        let doc_a = read_envelope(&mut conn_a, 1 << 22).unwrap().unwrap();
+        let doc_b = read_envelope(&mut conn_b, 1 << 22).unwrap().unwrap();
+        assert_eq!(doc_a, doc_b, "{q:?} diverged across the migration");
+    }
+
+    drop(conn_a);
+    drop(conn_b);
+    server_a.shutdown();
+    server_b.shutdown();
+}

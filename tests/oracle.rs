@@ -975,3 +975,139 @@ fn warm_query_loop_allocates_nothing() {
     let grew = thread_allocs() - before;
     assert_eq!(grew, 0, "warm longest_from_cached hits must not allocate");
 }
+
+// ---------------------------------------------------------------------
+// Durability tier (PR 9): kill/recover at EVERY append boundary.
+// ---------------------------------------------------------------------
+
+/// A fresh scratch directory for one durability case, unique per case
+/// parameters so shrinking reruns never collide with a stale tree.
+fn durable_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "zigzag-oracle-durable-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The query set recovery is held byte-identical on: pointwise `max_x`,
+/// the dense matrix at the newest observer, a `GB(r)` tight bound, and
+/// the Protocol 2 coordination decision.
+fn durable_probes(prefix_nodes: &[NodeId]) -> Vec<Query> {
+    let mut probes = vec![Query::CoordDecision];
+    if let (Some(&first), Some(&last)) = (prefix_nodes.first(), prefix_nodes.last()) {
+        probes.push(Query::MaxXMatrix { sigma: last });
+        probes.push(Query::MaxX {
+            sigma: last,
+            theta1: GeneralNode::basic(first),
+            theta2: GeneralNode::basic(last),
+        });
+        probes.push(Query::TightBound {
+            from: first,
+            to: last,
+        });
+    }
+    probes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Durability tier: stream random (topology, schedule) runs through a
+    /// durable session and, after EVERY append, crash (drop nothing
+    /// gracefully — just re-read the files) and recover into a fresh
+    /// service. Every recovered answer must equal the uninterrupted
+    /// session's at the same prefix, with and without snapshots; the
+    /// final state must also survive an export/import migration.
+    #[test]
+    fn recovery_at_every_append_boundary_is_byte_identical(
+        n in 3usize..6,
+        density in 0u8..=10,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+        snap_every in 0u64..4,
+    ) {
+        use zigzag::api::{CoordKind, SessionStore, StoreConfig, TimedCoordination};
+
+        let run = random_run(n, density, topo_seed, sched_seed, 12);
+        let events: Vec<_> = RunCursor::new(&run).collect();
+        let config = SessionConfig::new().spec(TimedCoordination::new(
+            CoordKind::Late { x: 3 },
+            ProcessId::new(1),
+            ProcessId::new((n - 1) as u32),
+            ProcessId::new(0),
+        ));
+        // snap_every == 0 means log-only durability; otherwise snapshots
+        // land every 1..=3 appends, so most boundaries recover through
+        // snapshot + tail.
+        let store_config = if snap_every == 0 {
+            StoreConfig::new()
+        } else {
+            StoreConfig::new().snapshot_every(snap_every)
+        };
+        let dir = durable_dir(&format!("{n}-{density}-{topo_seed}-{sched_seed}-{snap_every}"));
+
+        // The uninterrupted reference session, fed in lockstep.
+        let reference = ZigzagService::new();
+        let ref_id = reference.open_stream(run.context_arc(), run.horizon(), config.clone());
+
+        let writer = ZigzagService::new();
+        let store = SessionStore::open(&dir, store_config).unwrap();
+        let id = store
+            .open_stream(&writer, "feed", run.context_arc(), run.horizon(), config.clone())
+            .unwrap();
+
+        // Each appended event creates exactly one timeline node on its
+        // process (index = events so far on that process, initial = 0).
+        let mut next_idx = vec![0u32; n];
+        let mut prefix_nodes: Vec<NodeId> = Vec::new();
+        for (k, ev) in events.iter().enumerate() {
+            store.append(&writer, id, ev).unwrap();
+            reference.append(ref_id, ev).unwrap();
+            next_idx[ev.proc.index()] += 1;
+            prefix_nodes.push(NodeId::new(ev.proc, next_idx[ev.proc.index()]));
+
+            // Crash here: recover the on-disk state into a fresh service.
+            let recovered = ZigzagService::new();
+            let rec_store = SessionStore::open(&dir, store_config).unwrap();
+            let rec = rec_store.recover(&recovered, "feed").unwrap();
+            prop_assert_eq!(
+                rec.restored_events + rec.replayed_events,
+                (k + 1) as u64,
+                "boundary {}: wrong recovered event count", k
+            );
+            prop_assert!(!rec.truncated, "boundary {}: clean log flagged torn", k);
+            for q in durable_probes(&prefix_nodes) {
+                let want = reference.dispatch(ref_id, &q);
+                let got = recovered.dispatch(rec.id, &q);
+                prop_assert_eq!(
+                    &got, &want,
+                    "boundary {}: {:?} diverged after recovery", k, q
+                );
+                // Byte-identical on the wire too, not just structurally.
+                if let (Ok(want), Ok(got)) = (&want, &got) {
+                    prop_assert_eq!(
+                        wire::encode_response(got),
+                        wire::encode_response(want),
+                        "boundary {}: wire bytes diverged", k
+                    );
+                }
+            }
+        }
+
+        // The fully-fed session also survives migration: export from the
+        // writer, import into a fresh service, answers unchanged.
+        let snap = writer.export(id).unwrap();
+        let target = ZigzagService::new();
+        let moved = target.import(snap).unwrap();
+        for q in durable_probes(&prefix_nodes) {
+            prop_assert_eq!(
+                &target.dispatch(moved, &q),
+                &reference.dispatch(ref_id, &q),
+                "{:?} diverged after migration", q
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
