@@ -146,6 +146,20 @@ pub struct NetConfig {
     /// flag — the latency floor of [`crate::net::NetServer::shutdown`],
     /// not of request handling (reads return as soon as data arrives).
     pub poll_interval: Duration,
+    /// Bound on how long [`crate::net::NetServer::shutdown`] waits for a
+    /// stalled connection to drain (`None` = wait forever, the pre-PR-10
+    /// behavior). A client that stops reading its replies can otherwise
+    /// hang the drain on a full kernel buffer; once a connection's writer
+    /// has made no progress for this long during shutdown, outstanding
+    /// slots are answered with deterministic [`crate::Error::Internal`]
+    /// envelopes where possible and the connection is abandoned.
+    pub drain_timeout: Option<Duration>,
+    /// Deterministic chaos hook ([`crate::FaultPlan`]): when set, the
+    /// server's per-connection reads and writes consult the plan (short
+    /// reads/writes, injected resets, injected latency). `None` (the
+    /// default) costs one never-taken branch per I/O call — the
+    /// zero-allocation steady state is unaffected.
+    pub faults: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for NetConfig {
@@ -158,6 +172,8 @@ impl Default for NetConfig {
             write_coalesce_bytes: 256 << 10,
             max_inflight_frames: 1024,
             poll_interval: Duration::from_millis(25),
+            drain_timeout: Some(Duration::from_secs(30)),
+            faults: None,
         }
     }
 }
@@ -207,6 +223,19 @@ impl NetConfig {
     /// Sets the shutdown-flag poll interval.
     pub fn poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval;
+        self
+    }
+
+    /// Sets the shutdown drain deadline (`None` = wait forever).
+    pub fn drain_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Arms the server's network I/O with a deterministic fault plan.
+    /// Chaos-testing hook; production servers never call this.
+    pub fn faults(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        self.faults = Some(plan);
         self
     }
 }

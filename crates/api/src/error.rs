@@ -74,6 +74,40 @@ pub enum Error {
         /// `std::io::Error` is neither `Clone` nor `PartialEq`).
         detail: String,
     },
+    /// A client-side transport failure: the connection dropped, reset, or
+    /// timed out before a complete answer arrived. The request *may or may
+    /// not* have reached the server — which is why this variant is
+    /// retryable for idempotent queries but appends must probe first (see
+    /// [`crate::client::ResilientClient`]).
+    Transport {
+        /// What happened (I/O errors are rendered in, since
+        /// `std::io::Error` is neither `Clone` nor `PartialEq`).
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Whether a client may safely retry the request that produced this
+    /// error.
+    ///
+    /// The taxonomy is deliberately conservative — retryable means "the
+    /// failure is transient *and* retrying cannot corrupt state":
+    ///
+    /// | Variant | Retryable | Why |
+    /// |---|---|---|
+    /// | [`Error::Transport`] | yes | connection-level; the server state is intact |
+    /// | [`Error::Overloaded`] | yes | deterministic backpressure; back off and resend |
+    /// | [`Error::Internal`] | no | the server caught a panic; state is suspect |
+    /// | [`Error::Store`] | no | durability failed; blind resend risks duplicates |
+    /// | everything else | no | the request itself is wrong; resending cannot help |
+    ///
+    /// Note the transport/append caveat: a transport failure leaves it
+    /// unknown whether an append landed, so [`crate::ResilientClient`]
+    /// retries appends only after an event-count probe confirms the event
+    /// is absent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Transport { .. } | Error::Overloaded { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -101,6 +135,7 @@ impl fmt::Display for Error {
             }
             Error::Internal { detail } => write!(f, "internal server error: {detail}"),
             Error::Store { detail } => write!(f, "session store: {detail}"),
+            Error::Transport { detail } => write!(f, "transport: {detail}"),
         }
     }
 }
@@ -178,9 +213,40 @@ mod tests {
             Error::Store {
                 detail: "log unreadable".into(),
             },
+            Error::Transport {
+                detail: "connection reset".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
             assert!(e.source().is_none());
+        }
+    }
+
+    #[test]
+    fn retryable_taxonomy_is_exact() {
+        assert!(Error::Transport {
+            detail: "eof".into()
+        }
+        .is_retryable());
+        assert!(Error::Overloaded { worker: 0 }.is_retryable());
+        for e in [
+            Error::Bcm(BcmError::EmptyNetwork),
+            Error::UnknownSession {
+                id: SessionId::from_raw(1),
+            },
+            Error::NotStreaming {
+                id: SessionId::from_raw(1),
+            },
+            Error::NoSpec,
+            Error::Wire {
+                line: 1,
+                detail: "x".into(),
+            },
+            Error::ServiceLevelQuery,
+            Error::Internal { detail: "p".into() },
+            Error::Store { detail: "d".into() },
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
         }
     }
 }

@@ -80,8 +80,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod client;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod net;
 pub mod query;
 pub mod serve;
@@ -89,16 +91,20 @@ pub mod service;
 pub mod session;
 pub mod stats;
 pub mod store;
+pub mod supervisor;
 pub mod wire;
 
+pub use client::{ClientConfig, ResilientClient};
 pub use config::{CachePolicy, SessionConfig};
 pub use error::Error;
+pub use fault::{FaultPlan, FaultRates, LogFault, NetFault};
 pub use net::{EnvelopeScanner, NetConfig, NetServer, ScanError};
 pub use query::{CoordReport, FastRunReport, Query, Response, WitnessReport};
 pub use service::{SessionId, ZigzagService};
 pub use session::{AppendReport, BatchSession, Session, SessionBackend, StreamSession};
 pub use stats::{LatencyHistogram, StatsReport, StoreCounters, TransportCounters, LATENCY_BUCKETS};
 pub use store::{FsyncPolicy, Recovered, SessionSnapshot, SessionStore, StoreConfig};
+pub use supervisor::SessionSupervisor;
 
 // Re-exported so facade callers configure sessions without importing the
 // coordination crate directly.

@@ -79,7 +79,10 @@
 //!   socket gets exactly one response envelope. A connection that fails
 //!   setup (e.g. the socket cannot be cloned for the writer half) is
 //!   answered with one deterministic error envelope and counted, never
-//!   dropped silently.
+//!   dropped silently. The drain is deadline-bounded
+//!   ([`NetConfig::drain_timeout`]): a client that stops reading its
+//!   replies mid-drain is abandoned once its connection makes no write
+//!   progress for that long, instead of hanging the shutdown.
 //! * **Observability** — per-worker queue depths are kept as atomic
 //!   gauges and every reader/writer bumps the server's
 //!   [`TransportStats`] (bytes and syscalls each way, frames per read,
@@ -125,10 +128,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use crate::config::NetConfig;
 use crate::error::Error;
+use crate::fault::{FaultPlan, NetFault};
 use crate::serve;
 use crate::service::ZigzagService;
 use crate::stats::{TransportCounters, TransportStats};
@@ -670,6 +674,17 @@ impl Conn {
         }
     }
 
+    /// Bounds one blocking `write` (`SO_SNDTIMEO`). Set per *socket*,
+    /// not per handle — but only the writer half ever writes, so giving
+    /// its stalls a poll cadence does not perturb the reader.
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
     fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_nonblocking(nb),
@@ -733,13 +748,36 @@ impl Write for Conn {
 /// count to the server's [`TransportStats`] — the source of the
 /// syscalls-per-frame ratios [`crate::Query::Stats`] reports. Timeout
 /// and error returns still count the call (they were syscalls).
+///
+/// This is also the chaos seam: when a [`FaultPlan`] is armed
+/// ([`NetConfig::faults`]), each call first consults the plan — a
+/// `Short` fault caps the operation at one byte (a legal partial I/O
+/// every caller must already tolerate), a `Reset` returns an injected
+/// `ConnectionReset` without touching the socket, and a `Delay` sleeps
+/// before proceeding. Injected resets are *not* billed as syscalls
+/// (they never reached the kernel). Disarmed, the hook is one
+/// never-taken branch per call.
 struct CountedConn {
     conn: Conn,
     stats: Arc<TransportStats>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Read for CountedConn {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut buf = buf;
+        if let Some(plan) = &self.faults {
+            match plan.on_net_read() {
+                NetFault::None => {}
+                NetFault::Short => {
+                    if !buf.is_empty() {
+                        buf = &mut buf[..1];
+                    }
+                }
+                NetFault::Reset => return Err(FaultPlan::reset_error()),
+                NetFault::Delay(d) => std::thread::sleep(d),
+            }
+        }
         self.stats.read_syscalls.fetch_add(1, Ordering::Relaxed);
         let n = self.conn.read(buf)?;
         self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
@@ -749,6 +787,19 @@ impl Read for CountedConn {
 
 impl Write for CountedConn {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut buf = buf;
+        if let Some(plan) = &self.faults {
+            match plan.on_net_write() {
+                NetFault::None => {}
+                NetFault::Short => {
+                    if !buf.is_empty() {
+                        buf = &buf[..1];
+                    }
+                }
+                NetFault::Reset => return Err(FaultPlan::reset_error()),
+                NetFault::Delay(d) => std::thread::sleep(d),
+            }
+        }
         self.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
         let n = self.conn.write(buf)?;
         self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
@@ -948,11 +999,21 @@ fn reader_loop(
 /// unblocks with `Ok(0)` and exits. The rail is still drained (the
 /// drain guarantee is about answering, the bookkeeping must complete)
 /// but nothing more is written.
+///
+/// Writes are stall-bounded during a drain: each `write` carries the
+/// poll-interval `SO_SNDTIMEO` set by [`prepare_connection`], and
+/// [`write_all_bounded`] retries timeouts forever in normal operation
+/// but gives up — breaking the connection — once the server is shutting
+/// down and the client has made no progress for
+/// [`NetConfig::drain_timeout`]. A client that stops reading mid-drain
+/// therefore bounds the shutdown instead of hanging it.
 fn writer_loop(
     mut conn: CountedConn,
     rail: Arc<ReplyRail>,
     pool: Arc<BufPool>,
     coalesce_bytes: usize,
+    shutdown: Arc<AtomicBool>,
+    drain_timeout: Option<Duration>,
 ) {
     let stats = Arc::clone(&conn.stats);
     let coalesce = coalesce_bytes.max(16);
@@ -986,7 +1047,7 @@ fn writer_loop(
             // rather than racing this thread for the return.
             pool.put(doc);
             if !broken && out.len() >= coalesce {
-                if conn.write_all(&out).is_err() {
+                if write_all_bounded(&mut conn, &out, &shutdown, drain_timeout).is_err() {
                     broken = true;
                 }
                 out.clear();
@@ -996,7 +1057,10 @@ fn writer_loop(
             // Same ordering rule as the per-reply count above.
             stats.writer_flushes.fetch_add(1, Ordering::Relaxed);
         }
-        if !broken && !out.is_empty() && conn.write_all(&out).is_err() {
+        if !broken
+            && !out.is_empty()
+            && write_all_bounded(&mut conn, &out, &shutdown, drain_timeout).is_err()
+        {
             broken = true;
         }
         if !broken && conn.flush().is_err() {
@@ -1012,6 +1076,48 @@ fn writer_loop(
     }
 }
 
+/// Writes all of `buf`, retrying the poll-cadence write timeouts — but
+/// only while the drain deadline allows. In normal operation a full
+/// kernel buffer (a client not reading its replies) stalls here
+/// indefinitely, exactly like the old blocking `write_all`; once
+/// `shutdown` is set, a stall that makes no progress for `drain_timeout`
+/// (when bounded) gives up with `TimedOut` so a dead client cannot hang
+/// [`NetServer::shutdown`]. Any byte of progress resets the stall clock.
+fn write_all_bounded(
+    conn: &mut CountedConn,
+    buf: &[u8],
+    shutdown: &AtomicBool,
+    drain_timeout: Option<Duration>,
+) -> io::Result<()> {
+    let mut rest = buf;
+    let mut stalled_since: Option<Instant> = None;
+    while !rest.is_empty() {
+        match conn.write(rest) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                stalled_since = None;
+                rest = &rest[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if shutdown.load(Ordering::Relaxed)
+                    && drain_timeout.is_some_and(|limit| since.elapsed() >= limit)
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "connection made no write progress within the shutdown drain deadline",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Applies the per-connection socket options and clones the writer
 /// half. Any failure aborts setup — the caller then refuses the
 /// connection loudly instead of dropping it.
@@ -1020,6 +1126,11 @@ fn prepare_connection(conn: &Conn, poll_interval: Duration) -> io::Result<Conn> 
     // some platforms; readers use plain timeouts instead.
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(poll_interval))?;
+    // The write timeout is the drain deadline's probe cadence: writer
+    // stalls surface as `TimedOut` every poll interval instead of
+    // blocking forever, so `write_all_bounded` can check the shutdown
+    // flag between retries.
+    conn.set_write_timeout(Some(poll_interval))?;
     conn.set_nodelay()?;
     conn.try_clone()
 }
@@ -1071,16 +1182,22 @@ fn accept_loop(
                     let conn = CountedConn {
                         conn: writer_conn,
                         stats: Arc::clone(&stats),
+                        faults: config.faults.clone(),
                     };
                     let rail = Arc::clone(&rail);
                     let pool = Arc::clone(&pool);
                     let coalesce = config.write_coalesce_bytes;
-                    std::thread::spawn(move || writer_loop(conn, rail, pool, coalesce))
+                    let shutdown = Arc::clone(&shutdown);
+                    let drain = config.drain_timeout;
+                    std::thread::spawn(move || {
+                        writer_loop(conn, rail, pool, coalesce, shutdown, drain)
+                    })
                 };
                 let reader = {
                     let conn = CountedConn {
                         conn,
                         stats: Arc::clone(&stats),
+                        faults: config.faults.clone(),
                     };
                     let service = Arc::clone(&service);
                     let txs = txs.clone();
@@ -1267,11 +1384,15 @@ impl NetServer {
     /// worker queues are drained, all threads are joined, and (for Unix
     /// servers) the socket file is unlinked.
     ///
-    /// Delivery blocks on the clients: a connection whose client stops
+    /// Delivery blocks on the clients, but only up to
+    /// [`NetConfig::drain_timeout`]: a connection whose client stops
     /// reading holds its pending answers in the socket buffer, and the
-    /// drain waits until they fit or the client goes away. Deployments
-    /// needing a hard shutdown deadline should close client connections
-    /// first.
+    /// drain waits until they fit, the client goes away, or the deadline
+    /// passes — after which outstanding slots are answered with
+    /// deterministic [`Error::Internal`] envelopes where delivery is
+    /// still possible and the connection is abandoned. With
+    /// `drain_timeout: None` the drain waits forever (the pre-deadline
+    /// behavior).
     pub fn shutdown(mut self) {
         self.stop();
     }

@@ -115,6 +115,28 @@ pub enum Query {
         /// The snapshot to install.
         Box<crate::store::SessionSnapshot>,
     ),
+    /// Appends one event to the addressed stream session over the wire.
+    /// Service-level like [`Query::Export`] (cannot nest in a batch or
+    /// hit a bare session): the service routes the append through the
+    /// durable store when a [`crate::SessionSupervisor`] manages the
+    /// session, so wire appends and in-process appends share one
+    /// durability path. Answered by [`Response::Appended`] carrying the
+    /// session's event count *after* the append — the anchor for the
+    /// client's exactly-once probe.
+    Append(
+        /// The event to append.
+        Box<zigzag_bcm::RunEvent>,
+    ),
+    /// The addressed stream session's current event count. Service-level;
+    /// this is the idempotent probe [`crate::ResilientClient`] uses to
+    /// decide whether an append whose answer was lost actually landed.
+    EventCount,
+    /// Asks the service's attached [`crate::SessionSupervisor`] to sweep
+    /// its store directory and recover every session log not already
+    /// attached. Service-level; the frame's session line is used for
+    /// worker routing only. Answers [`Response::Recovered`] with the
+    /// (name, id) pairs recovered by *this* call.
+    Recover,
 }
 
 /// The witness half of a positive [`Query::Witness`] answer.
@@ -188,4 +210,14 @@ pub enum Response {
     /// Answer to [`Query::Import`]: the id the receiving service
     /// assigned to the installed session.
     Imported(crate::service::SessionId),
+    /// Answer to [`Query::Append`]: the session's event count after the
+    /// append. With a single writer this is exact (previous count + 1);
+    /// with concurrent writers it is the count observed at append time.
+    Appended(u64),
+    /// Answer to [`Query::EventCount`]: the session's current event
+    /// count.
+    EventCount(u64),
+    /// Answer to [`Query::Recover`]: the sessions recovered by this call,
+    /// as (store name, assigned session id) pairs, sorted by name.
+    Recovered(Vec<(String, crate::service::SessionId)>),
 }

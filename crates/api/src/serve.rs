@@ -249,6 +249,21 @@ pub(crate) fn respond_into(
             if matches!(query, Query::Export) {
                 return Ok(Response::Exported(Box::new(service.export(id)?)));
             }
+            // Append/EventCount/Recover are service-level too: wire
+            // appends route through the attached durable store (so socket
+            // clients get the same durability as in-process callers), the
+            // event count is the resilient client's exactly-once probe,
+            // and Recover sweeps the supervisor's store directory. Like
+            // Export they read the live table, never the memo.
+            if let Query::Append(ev) = &query {
+                return Ok(Response::Appended(service.append_routed(id, ev)?));
+            }
+            if matches!(query, Query::EventCount) {
+                return Ok(Response::EventCount(service.event_count(id)?));
+            }
+            if matches!(query, Query::Recover) {
+                return Ok(Response::Recovered(service.recover_routed()?));
+            }
             if let Query::Import(snap) = query {
                 return Ok(Response::Imported(service.import(*snap)?));
             }

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use zigzag_bcm::stream::RunEvent;
@@ -71,6 +71,46 @@ struct Metrics {
     store: StoreStats,
 }
 
+/// The durable-routing hook a [`crate::SessionSupervisor`] registers on
+/// its service: wire-level appends on store-managed sessions go through
+/// the store (log + fsync + snapshot cadence) instead of bypassing
+/// durability, and [`Query::Recover`] sweeps the store directory.
+///
+/// The service holds only a [`Weak`] reference — the supervisor owns the
+/// service (`Arc`), never the other way around, so dropping the
+/// supervisor detaches the hook without a reference cycle.
+pub(crate) trait Supervise: Send + Sync {
+    /// Appends through the durable store if `id` is store-managed;
+    /// `None` means "not mine — use the plain in-memory path".
+    fn durable_append(
+        &self,
+        service: &ZigzagService,
+        id: SessionId,
+        ev: &RunEvent,
+    ) -> Option<Result<AppendReport, Error>>;
+
+    /// Recovers every unattached `<name>.log` in the store directory,
+    /// answering (name, assigned id) pairs sorted by name.
+    fn recover_all(&self, service: &ZigzagService) -> Result<Vec<(String, SessionId)>, Error>;
+}
+
+/// Interior slot for the supervisor hook; manual `Debug` because trait
+/// objects have none.
+#[derive(Default)]
+struct SupervisorSlot(Mutex<Option<Weak<dyn Supervise>>>);
+
+impl fmt::Debug for SupervisorSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attached = self
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .is_some_and(|w| w.strong_count() > 0);
+        f.debug_tuple("SupervisorSlot").field(&attached).finish()
+    }
+}
+
 /// The unified service facade; see the [module docs](self) and the
 /// crate-level example.
 ///
@@ -88,6 +128,7 @@ pub struct ZigzagService {
     shards: Box<[Shard]>,
     next: AtomicU64,
     metrics: Metrics,
+    supervisor: SupervisorSlot,
 }
 
 impl Default for ZigzagService {
@@ -114,7 +155,28 @@ impl ZigzagService {
             shards: table.into_boxed_slice(),
             next: AtomicU64::new(0),
             metrics: Metrics::default(),
+            supervisor: SupervisorSlot::default(),
         }
+    }
+
+    /// Registers (or replaces) the supervisor hook. `Weak`: the service
+    /// must never keep its supervisor alive.
+    pub(crate) fn set_supervisor(&self, sup: Weak<dyn Supervise>) {
+        *self
+            .supervisor
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(sup);
+    }
+
+    /// The currently attached supervisor, if it is still alive.
+    pub(crate) fn supervisor(&self) -> Option<Arc<dyn Supervise>> {
+        self.supervisor
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .and_then(Weak::upgrade)
     }
 
     /// Number of session-table shards.
@@ -262,6 +324,50 @@ impl ZigzagService {
         }
     }
 
+    /// A stream session's current event count — the idempotent probe
+    /// behind [`Query::EventCount`] and the client's exactly-once append.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or batch sessions, or if the session is poisoned.
+    pub fn event_count(&self, id: SessionId) -> Result<u64, Error> {
+        match &*self.session(id)? {
+            Session::Batch(_) => Err(Error::NotStreaming { id }),
+            Session::Stream(s) => Ok(s.event_count()? as u64),
+        }
+    }
+
+    /// The append path behind [`Query::Append`]: routes through the
+    /// attached supervisor's durable store when one manages `id`, falling
+    /// back to the plain in-memory [`ZigzagService::append`]. Answers the
+    /// event count after the append.
+    pub(crate) fn append_routed(&self, id: SessionId, ev: &RunEvent) -> Result<u64, Error> {
+        match self
+            .supervisor()
+            .and_then(|s| s.durable_append(self, id, ev))
+        {
+            Some(out) => out.map(|_| ()),
+            None => self.append(id, ev).map(|_| ()),
+        }?;
+        self.event_count(id)
+    }
+
+    /// The recovery sweep behind [`Query::Recover`]: delegates to the
+    /// attached supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Store`] when no supervisor is attached, or
+    /// propagates the first recovery failure.
+    pub(crate) fn recover_routed(&self) -> Result<Vec<(String, SessionId)>, Error> {
+        match self.supervisor() {
+            Some(sup) => sup.recover_all(self),
+            None => Err(Error::Store {
+                detail: "no supervisor is attached to this service".into(),
+            }),
+        }
+    }
+
     /// Answers one query (or a whole [`Query::QueryBatch`]) against a
     /// session — *the* code path every caller shares, byte-identical to
     /// the corresponding direct engine calls (pinned by the differential
@@ -288,6 +394,20 @@ impl ZigzagService {
         }
         if let Query::Import(snap) = query {
             return Ok(Response::Imported(self.import((**snap).clone())?));
+        }
+        // Append/EventCount/Recover are service-level for the same reason:
+        // appends route through the attached durable store, the event
+        // count is the client's exactly-once probe, and recovery sweeps
+        // the whole store directory. Like the others they are not counted
+        // as dispatches.
+        if let Query::Append(ev) = query {
+            return Ok(Response::Appended(self.append_routed(id, ev)?));
+        }
+        if matches!(query, Query::EventCount) {
+            return Ok(Response::EventCount(self.event_count(id)?));
+        }
+        if matches!(query, Query::Recover) {
+            return Ok(Response::Recovered(self.recover_routed()?));
         }
         let session = self.session(id)?;
         let start = Instant::now();

@@ -155,8 +155,17 @@ pub(crate) fn dispatch_on<B: SessionBackend + ?Sized>(
         // intercept Stats before any session is resolved. Export/Import
         // are likewise intercepted there: exporting needs the session's
         // *handle* (not just backend access), and importing installs a
-        // new session into the service table.
-        Query::Stats | Query::Export | Query::Import(_) => Err(Error::ServiceLevelQuery),
+        // new session into the service table. Append/EventCount/Recover
+        // are intercepted too: appends must route through the durable
+        // store (and never nest in a batch, where the exactly-once probe
+        // could not tell which batch member landed), and recovery sweeps
+        // the whole store directory.
+        Query::Stats
+        | Query::Export
+        | Query::Import(_)
+        | Query::Append(_)
+        | Query::EventCount
+        | Query::Recover => Err(Error::ServiceLevelQuery),
         Query::QueryBatch(queries) => queries
             .iter()
             .map(|q| dispatch_on(backend, q))

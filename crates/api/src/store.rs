@@ -95,6 +95,7 @@ use zigzag_core::knowledge::ObserverMode;
 
 use crate::config::{CachePolicy, SessionConfig};
 use crate::error::Error;
+use crate::fault::{FaultPlan, LogFault};
 use crate::service::{SessionId, ZigzagService};
 use crate::session::{AppendReport, FrozenStream, Session, StreamSession};
 
@@ -629,6 +630,9 @@ pub struct SessionStore {
     root: PathBuf,
     config: StoreConfig,
     open: Mutex<HashMap<u64, DurableSession>>,
+    /// Deterministic chaos hook ([`crate::FaultPlan`]); `None` (the
+    /// default) is a single never-taken branch on every write seam.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SessionStore {
@@ -644,7 +648,22 @@ impl SessionStore {
             root,
             config,
             open: Mutex::new(HashMap::new()),
+            faults: None,
         })
+    }
+
+    /// Arms this store with a deterministic fault plan: log appends may
+    /// tear, fsyncs may fail, snapshot writes may hit disk-full —
+    /// exactly as scheduled by the plan. Chaos-testing hook; production
+    /// stores never call this.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Whether `id` is a durable session managed by this store.
+    pub fn manages(&self, id: SessionId) -> bool {
+        self.lock().contains_key(&id.raw())
     }
 
     /// The store's root directory.
@@ -669,6 +688,19 @@ impl SessionStore {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, DurableSession>> {
         self.open.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// `sync_all` with the fault plan's fsync site consulted first — the
+    /// seam every durability-relevant sync in this store goes through.
+    fn sync_file(&self, file: &File, path: &Path) -> Result<(), Error> {
+        if let Some(plan) = &self.faults {
+            if plan.on_fsync() {
+                return Err(Error::Store {
+                    detail: format!("injected fsync failure on {}", path.display()),
+                });
+            }
+        }
+        file.sync_all().map_err(|e| io_err("syncing", path, e))
     }
 
     /// Opens a **durable** stream session: a fresh session on `service`
@@ -750,13 +782,28 @@ impl SessionStore {
         let mut line = encode_event(ev);
         line.push('\n');
         let path = self.log_path(&st.name);
+        if let Some(plan) = &self.faults {
+            if let LogFault::Torn(cut) = plan.on_log_write(line.len()) {
+                // A torn write: a strict prefix of the record reaches the
+                // file, then the append fails. Recovery truncates the torn
+                // record away; until then the in-memory session is ahead
+                // of the log, which is why store errors are fatal for the
+                // session.
+                let _ = st.log.write_all(&line.as_bytes()[..cut]);
+                return Err(Error::Store {
+                    detail: format!(
+                        "injected torn write ({cut}/{} bytes) on {}",
+                        line.len(),
+                        path.display()
+                    ),
+                });
+            }
+        }
         st.log
             .write_all(line.as_bytes())
             .map_err(|e| io_err("appending to log", &path, e))?;
         if self.config.fsync == FsyncPolicy::Always {
-            st.log
-                .sync_all()
-                .map_err(|e| io_err("syncing log", &path, e))?;
+            self.sync_file(&st.log, &path)?;
         }
         st.events += 1;
         let stats = service.store_stats();
@@ -836,16 +883,24 @@ impl SessionStore {
         if self.config.fsync != FsyncPolicy::Never {
             // The snapshot claims coverage of every logged event below
             // its count; make the log at least that durable first.
-            st.log
-                .sync_all()
-                .map_err(|e| io_err("syncing log", &self.log_path(&st.name), e))?;
+            self.sync_file(&st.log, &self.log_path(&st.name))?;
         }
         let mut tmp = File::create(&tmp_path).map_err(|e| io_err("creating", &tmp_path, e))?;
+        if let Some(plan) = &self.faults {
+            if plan.on_snapshot_write() {
+                // Disk-full mid-snapshot: the temp file stays behind as
+                // the orphan a crashed writer would leave — exactly what
+                // recover() sweeps. The live snapshot is untouched.
+                let _ = tmp.write_all(&text.as_bytes()[..text.len() / 2]);
+                return Err(Error::Store {
+                    detail: format!("injected disk-full writing {}", tmp_path.display()),
+                });
+            }
+        }
         tmp.write_all(text.as_bytes())
             .map_err(|e| io_err("writing", &tmp_path, e))?;
         if self.config.fsync != FsyncPolicy::Never {
-            tmp.sync_all()
-                .map_err(|e| io_err("syncing", &tmp_path, e))?;
+            self.sync_file(&tmp, &tmp_path)?;
         }
         drop(tmp);
         fs::rename(&tmp_path, &final_path).map_err(|e| io_err("installing", &final_path, e))?;
@@ -873,6 +928,11 @@ impl SessionStore {
     /// context there is no last-good state to recover to.
     pub fn recover(&self, service: &ZigzagService, name: &str) -> Result<Recovered, Error> {
         validate_name(name)?;
+        // Sweep the snapshot temp file a crash between tmp write and
+        // rename leaves behind: it is at best a complete snapshot that
+        // was never installed, at worst a torn one — either way the
+        // durable state is the installed snapshot + log, never the tmp.
+        let _ = fs::remove_file(self.root.join(format!("{name}.snap.tmp")));
         let log_path = self.log_path(name);
         let bytes = fs::read(&log_path).map_err(|e| io_err("reading log", &log_path, e))?;
         // Surface scan: validates the header and counts complete records
@@ -1004,6 +1064,50 @@ impl SessionStore {
     /// open on its service). Returns whether the session was managed.
     pub fn detach(&self, id: SessionId) -> bool {
         self.lock().remove(&id.raw()).is_some()
+    }
+
+    /// Recovers every `<name>.log` in the store directory that is not
+    /// already attached to an open durable session — the supervisor's
+    /// startup sweep and the implementation of [`crate::Query::Recover`].
+    /// Orphaned `<name>.snap.tmp` files whose log is gone are deleted
+    /// along the way (those with a log are swept by the per-name
+    /// [`SessionStore::recover`]). Returns the recovered sessions sorted
+    /// by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Store`] if the directory cannot be listed or
+    /// any individual recovery fails (already-recovered sessions stay
+    /// attached).
+    pub fn recover_all(&self, service: &ZigzagService) -> Result<Vec<(String, Recovered)>, Error> {
+        let attached: std::collections::HashSet<String> =
+            self.lock().values().map(|d| d.name.clone()).collect();
+        let mut names = Vec::new();
+        let entries =
+            fs::read_dir(&self.root).map_err(|e| io_err("listing store root", &self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("listing store root", &self.root, e))?;
+            let fname = entry.file_name();
+            let Some(fname) = fname.to_str() else {
+                continue;
+            };
+            if let Some(stem) = fname.strip_suffix(".log") {
+                if validate_name(stem).is_ok() && !attached.contains(stem) {
+                    names.push(stem.to_string());
+                }
+            } else if let Some(stem) = fname.strip_suffix(".snap.tmp") {
+                if !self.log_path(stem).exists() {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        names.sort();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let rec = self.recover(service, &name)?;
+            out.push((name, rec));
+        }
+        Ok(out)
     }
 }
 
@@ -1419,6 +1523,79 @@ mod tests {
         assert_eq!(rec.replayed_events, events.len() as u64);
         assert_eq!(answers(&service, rec.id, &probes), expected);
         assert_eq!(service.stats().store.recoveries, 1);
+    }
+
+    #[test]
+    fn orphaned_snapshot_tmp_files_are_swept_on_recovery() {
+        use crate::fault::{FaultPlan, FaultRates};
+        use std::sync::Arc;
+
+        let run = fig_run();
+        let events = events_of(&run);
+        let probes = probes(&run);
+        let dir = tmpdir("orphan-tmp");
+
+        let reference = ZigzagService::new();
+        let (ref_id, _) = reference.open_replay(&run, coord_config()).unwrap();
+        let expected = answers(&reference, ref_id, &probes);
+
+        // First life: a fault plan forces disk-full exactly once, mid
+        // snapshot — the crash-between-tmp-write-and-rename shape. A
+        // torn `feed.snap.tmp` stays behind; the log record had already
+        // landed, so the session stays consistent and appending resumes.
+        {
+            let service = ZigzagService::new();
+            let rates = FaultRates {
+                snapshot_full: 1000,
+                ..FaultRates::default()
+            };
+            let plan = Arc::new(FaultPlan::with_budget(7, rates, 1));
+            let store = SessionStore::open(&dir, StoreConfig::new())
+                .unwrap()
+                .with_faults(plan);
+            let id = store
+                .open_stream(
+                    &service,
+                    "feed",
+                    run.context_arc(),
+                    run.horizon(),
+                    coord_config(),
+                )
+                .unwrap();
+            for ev in &events {
+                store.append(&service, id, ev).unwrap();
+            }
+            let err = store.snapshot(&service, id).unwrap_err();
+            assert!(
+                matches!(&err, Error::Store { detail } if detail.contains("injected disk-full")),
+                "got {err}"
+            );
+            assert!(
+                dir.join("feed.snap.tmp").exists(),
+                "the torn tmp file should have been left behind"
+            );
+        }
+        // A second orphan with *no* sibling log — a session whose log was
+        // deleted mid-crash — must be swept by the directory sweep too.
+        fs::write(dir.join("ghost.snap.tmp"), b"torn bytes").unwrap();
+
+        // Second life: the sweep removes both orphans and recovery is
+        // byte-identical to the uninterrupted reference.
+        let service = ZigzagService::new();
+        let store = SessionStore::open(&dir, StoreConfig::new()).unwrap();
+        let recovered = store.recover_all(&service).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].0, "feed");
+        assert!(!dir.join("feed.snap.tmp").exists(), "orphan not swept");
+        assert!(
+            !dir.join("ghost.snap.tmp").exists(),
+            "logless orphan not swept"
+        );
+        assert_eq!(
+            recovered[0].1.restored_events + recovered[0].1.replayed_events,
+            events.len() as u64
+        );
+        assert_eq!(answers(&service, recovered[0].1.id, &probes), expected);
     }
 
     #[test]

@@ -191,6 +191,15 @@ fn encode_query_into<W: fmt::Write>(out: &mut W, q: &Query) -> fmt::Result {
             out.write_str("import\n")?;
             push_snapshot(out, snap)
         }
+        Query::Append(ev) => {
+            // `append` followed by one `ev …` line in the run codec's
+            // event encoding — the same line the session log stores.
+            out.write_str("append\n")?;
+            out.write_str(&codec::encode_event(ev))?;
+            out.write_str("\n")
+        }
+        Query::EventCount => out.write_str("events\n"),
+        Query::Recover => out.write_str("recover\n"),
         Query::QueryBatch(queries) => {
             writeln!(out, "batch {}", queries.len())?;
             for q in queries {
@@ -336,6 +345,17 @@ fn encode_response_into<W: fmt::Write>(out: &mut W, r: &Response) -> fmt::Result
             push_snapshot(out, snap)
         }
         Response::Imported(id) => writeln!(out, "imported {}", id.raw()),
+        Response::Appended(n) => writeln!(out, "appended {n}"),
+        Response::EventCount(n) => writeln!(out, "events {n}"),
+        Response::Recovered(list) => {
+            // `recovered <k>` then k `rec <name> <raw-id>` lines; names
+            // are token-escaped like the store's own documents.
+            writeln!(out, "recovered {}", list.len())?;
+            for (name, id) in list {
+                writeln!(out, "rec {} {}", codec::escape_token(name), id.raw())?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -550,6 +570,16 @@ fn decode_query_from(lines: &mut Lines<'_>, depth: usize) -> Result<Query, Error
         "coord" => Query::CoordDecision,
         "stats" => Query::Stats,
         "export" => Query::Export,
+        "events" => Query::EventCount,
+        "recover" => Query::Recover,
+        "append" => {
+            t.done()?;
+            lines.expect_lines(1, "appended event")?;
+            let evline = lines.next()?;
+            let ev = codec::decode_event(evline)
+                .map_err(|e| bad(lines.line_no(), format!("embedded event: {e}")))?;
+            return Ok(Query::Append(Box::new(ev)));
+        }
         "import" => {
             t.done()?;
             return Ok(Query::Import(Box::new(pull_snapshot(lines)?)));
@@ -810,6 +840,35 @@ fn decode_response_from(lines: &mut Lines<'_>, depth: usize) -> Result<Response,
             t.done()?;
             Ok(Response::Imported(crate::service::SessionId::from_raw(raw)))
         }
+        "appended" => {
+            let n: u64 = t.num()?;
+            t.done()?;
+            Ok(Response::Appended(n))
+        }
+        "events" => {
+            let n: u64 = t.num()?;
+            t.done()?;
+            Ok(Response::EventCount(n))
+        }
+        "recovered" => {
+            let k = lines.expect_lines(t.num()?, "recovered sessions")?;
+            t.done()?;
+            let mut list = Vec::with_capacity(k);
+            for _ in 0..k {
+                let rline = lines.next()?;
+                let rno = lines.line_no();
+                let mut rt = Tokens::new(rline, rno);
+                if rt.next()? != "rec" {
+                    return Err(bad(rno, "expected rec"));
+                }
+                let name = codec::unescape_token(rt.next()?)
+                    .map_err(|e| bad(rno, format!("bad session name: {e}")))?;
+                let raw: u64 = rt.num()?;
+                rt.done()?;
+                list.push((name, crate::service::SessionId::from_raw(raw)));
+            }
+            Ok(Response::Recovered(list))
+        }
         other => Err(bad(no, format!("unknown response {other:?}"))),
     }
 }
@@ -935,6 +994,61 @@ mod tests {
         assert!(decode_response("zigzag-response v1\nknows maybe\n").is_err());
         assert!(decode_response("zigzag-response v1\nmatrix 1\nmnodes 0 1\n").is_err());
         assert!(decode_response("zigzag-response v1\nfastrun 0 1 0 5\nrunlines 1\nx\n").is_err());
+    }
+
+    #[test]
+    fn resilience_documents_round_trip_and_reject_malformations() {
+        // Real events to embed: replay a small simulated run's cursor.
+        let mut b = zigzag_bcm::Network::builder();
+        let c = b.add_process("C");
+        let a = b.add_process("A");
+        b.add_channel(c, a, 1, 3).unwrap();
+        let ctx = b.build().unwrap();
+        let mut sim =
+            zigzag_bcm::Simulator::new(ctx, zigzag_bcm::SimConfig::with_horizon(Time::new(20)));
+        sim.external(Time::new(2), c, "go");
+        let run = sim
+            .run(
+                &mut zigzag_bcm::protocols::Ffip::new(),
+                &mut zigzag_bcm::scheduler::EagerScheduler,
+            )
+            .unwrap();
+        for ev in zigzag_bcm::RunCursor::new(&run) {
+            let q = Query::Append(Box::new(ev));
+            let text = encode_query(&q);
+            assert_eq!(decode_query(&text).unwrap(), q, "{text}");
+        }
+        for q in [Query::EventCount, Query::Recover] {
+            let text = encode_query(&q);
+            assert_eq!(decode_query(&text).unwrap(), q, "{text}");
+        }
+        for r in [
+            Response::Appended(7),
+            Response::EventCount(0),
+            Response::Recovered(vec![]),
+            Response::Recovered(vec![
+                (
+                    "alpha.log-like".into(),
+                    crate::service::SessionId::from_raw(3),
+                ),
+                ("b".into(), crate::service::SessionId::from_raw(0)),
+            ]),
+        ] {
+            let text = encode_response(&r);
+            assert_eq!(decode_response(&text).unwrap(), r, "{text}");
+        }
+        // Malformations: missing/garbled event line, trailing tokens,
+        // count overrun on the recovered list.
+        assert!(decode_query("zigzag-query v1\nappend\n").is_err());
+        assert!(decode_query("zigzag-query v1\nappend\nmsg 0 1\n").is_err());
+        assert!(decode_query("zigzag-query v1\nappend extra\nev 0 1 0 0 0\n").is_err());
+        assert!(decode_query("zigzag-query v1\nevents 3\n").is_err());
+        assert!(decode_query("zigzag-query v1\nrecover now\n").is_err());
+        assert!(decode_response("zigzag-response v1\nappended\n").is_err());
+        assert!(decode_response("zigzag-response v1\nevents x\n").is_err());
+        assert!(decode_response("zigzag-response v1\nrecovered 2\nrec a 1\n").is_err());
+        assert!(decode_response("zigzag-response v1\nrecovered 1\nrec a\n").is_err());
+        assert!(decode_response("zigzag-response v1\nrecovered 1\nwrong a 1\n").is_err());
     }
 
     #[test]

@@ -681,3 +681,53 @@ fn live_migration_between_two_net_servers_answers_byte_identically() {
     server_a.shutdown();
     server_b.shutdown();
 }
+
+/// The shutdown drain is deadline-bounded: a client that pipelines far
+/// more reply bytes than any kernel socket buffer holds and then stops
+/// reading entirely would — before `NetConfig::drain_timeout` — hang
+/// `NetServer::shutdown` forever on the full buffer. With the deadline
+/// the stalled connection is abandoned and the drain returns.
+#[test]
+fn shutdown_is_bounded_when_a_client_stops_reading() {
+    let (service, _) = service_and_frames(13);
+    let path = socket_path("drain-deadline");
+    let server = NetServer::bind_unix(
+        &path,
+        Arc::clone(&service),
+        NetConfig::new()
+            .workers(2)
+            .poll_interval(Duration::from_millis(5))
+            .drain_timeout(Some(Duration::from_millis(200))),
+    )
+    .unwrap();
+
+    // 2000 Stats frames: the requests fit the kernel buffers going out
+    // (so this write_all completes), but the answers are far larger than
+    // what comes back fits — the server's writer must stall against a
+    // client that never reads.
+    let conn = UnixStream::connect(&path).unwrap();
+    let frame = serve::encode_frame(SessionId::from_raw(0), &Query::Stats);
+    let mut batch = Vec::new();
+    for _ in 0..2000 {
+        encode_envelope_into(&mut batch, &frame).unwrap();
+    }
+    {
+        let mut w = &conn;
+        w.write_all(&batch).unwrap();
+        w.flush().unwrap();
+    }
+    // Give the server a moment to accept, serve, and wedge its writer
+    // against the full socket buffer.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The connection stays open (the client "stopped reading", it did
+    // not go away) for the whole shutdown.
+    let started = std::time::Instant::now();
+    server.shutdown();
+    let elapsed = started.elapsed();
+    drop(conn);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "drain-deadline shutdown took {elapsed:?}; the stalled connection was not abandoned"
+    );
+}

@@ -1111,3 +1111,126 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// ---------------------------------------------------------------------
+// Supervised-recovery tier (PR 10): kill/recover at every append
+// boundary while a second thread serves queries concurrently.
+// ---------------------------------------------------------------------
+
+/// Kill-at-every-append-boundary oracle under concurrent serving: while
+/// the main thread appends through the supervised wire path
+/// (`Query::Append` → durable store) and crash-recovers at every
+/// boundary, a second thread hammers the *live* service with queries.
+/// Required: the querier only ever sees success or a typed error —
+/// never `Error::Internal` (a poisoned lock or caught panic escaping) —
+/// and every post-recovery answer is byte-identical to the
+/// uninterrupted reference session's.
+#[test]
+fn concurrent_queries_never_poison_recovery_at_any_boundary() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use zigzag::api::{
+        CoordKind, Error, SessionStore, SessionSupervisor, StoreConfig, TimedCoordination,
+    };
+
+    let run = random_run(4, 6, 42, 43, 12);
+    let events: Vec<_> = RunCursor::new(&run).collect();
+    let config = SessionConfig::new().spec(TimedCoordination::new(
+        CoordKind::Late { x: 3 },
+        ProcessId::new(1),
+        ProcessId::new(3),
+        ProcessId::new(0),
+    ));
+    let store_config = StoreConfig::new().snapshot_every(2);
+    let dir = durable_dir("concurrent");
+
+    // The uninterrupted reference, fed in lockstep.
+    let reference = ZigzagService::new();
+    let ref_id = reference.open_stream(run.context_arc(), run.horizon(), config.clone());
+
+    let writer = Arc::new(ZigzagService::new());
+    let store = Arc::new(SessionStore::open(&dir, store_config).unwrap());
+    let (sup, swept) = SessionSupervisor::bind(Arc::clone(&writer), Arc::clone(&store)).unwrap();
+    assert!(swept.is_empty());
+    let id = store
+        .open_stream(
+            &writer,
+            "feed",
+            run.context_arc(),
+            run.horizon(),
+            config.clone(),
+        )
+        .unwrap();
+
+    // The concurrent querier: cheap and heavy queries against the live
+    // service for the whole oracle run. Typed errors are legitimate
+    // (e.g. CoordDecision racing an empty prefix); Internal is not.
+    let stop = Arc::new(AtomicBool::new(false));
+    let querier = {
+        let service = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> u64 {
+            let mut served = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for q in [Query::EventCount, Query::CoordDecision] {
+                    match service.dispatch(id, &q) {
+                        Ok(_) => served += 1,
+                        Err(Error::Internal { detail }) => {
+                            panic!("internal error escaped to a concurrent reader: {detail}")
+                        }
+                        Err(_) => served += 1,
+                    }
+                }
+            }
+            served
+        })
+    };
+
+    let mut next_idx = [0u32; 4];
+    let mut prefix_nodes: Vec<NodeId> = Vec::new();
+    for (k, ev) in events.iter().enumerate() {
+        // Append through the supervised wire path, so the durable hook
+        // itself runs under concurrency.
+        let appended = writer
+            .dispatch(id, &Query::Append(Box::new(ev.clone())))
+            .unwrap();
+        assert_eq!(appended, Response::Appended((k + 1) as u64));
+        reference.append(ref_id, ev).unwrap();
+        next_idx[ev.proc.index()] += 1;
+        prefix_nodes.push(NodeId::new(ev.proc, next_idx[ev.proc.index()]));
+
+        // Crash here: bind a fresh supervisor over the same directory —
+        // the startup sweep must reattach the session and answer the
+        // probe set byte-identically to the uninterrupted reference.
+        let recovered = Arc::new(ZigzagService::new());
+        let rec_store = Arc::new(SessionStore::open(&dir, store_config).unwrap());
+        let (_rec_sup, recs) = SessionSupervisor::bind(Arc::clone(&recovered), rec_store).unwrap();
+        assert_eq!(recs.len(), 1, "boundary {k}: sweep missed the session");
+        assert_eq!(recs[0].0, "feed");
+        let rec = &recs[0].1;
+        assert_eq!(
+            rec.restored_events + rec.replayed_events,
+            (k + 1) as u64,
+            "boundary {k}: wrong recovered event count"
+        );
+        for q in durable_probes(&prefix_nodes) {
+            let want = reference.dispatch(ref_id, &q);
+            let got = recovered.dispatch(rec.id, &q);
+            assert_eq!(got, want, "boundary {k}: {q:?} diverged after recovery");
+            if let (Ok(want), Ok(got)) = (&want, &got) {
+                assert_eq!(
+                    wire::encode_response(got),
+                    wire::encode_response(want),
+                    "boundary {k}: wire bytes diverged"
+                );
+            }
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let served = querier
+        .join()
+        .expect("the concurrent querier panicked — a poisoned lock escaped");
+    assert!(served > 0, "the querier never got a single answer through");
+    drop(sup);
+    let _ = std::fs::remove_dir_all(&dir);
+}
